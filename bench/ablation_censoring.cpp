@@ -1,0 +1,69 @@
+// Ablation — measurement-campaign censoring and estimator choice.
+//
+// The paper's methodology (Sec. 3.1) fits the model to an ECDF of observed
+// lifetimes, implicitly assuming every VM is watched until preemption. In a
+// live service, VMs are routinely relinquished when their job finishes;
+// treating those censored lifetimes as preemptions biases the model the
+// policies run on. This ablation sweeps the censoring fraction and compares
+// three estimators of the expected lifetime (the policy-relevant scalar):
+//   naive  — ECDF least squares, censorings counted as preemptions,
+//   KM     — least squares on the Kaplan-Meier corrected CDF,
+//   MLE    — censored bathtub maximum likelihood.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/random.hpp"
+#include "common/table.hpp"
+#include "fit/model_fitters.hpp"
+#include "survival/kaplan_meier.hpp"
+#include "survival/mle.hpp"
+#include "trace/ground_truth.hpp"
+
+int main() {
+  using namespace preempt;
+  bench::print_header("Ablation", "censoring-aware estimation vs the paper's plain ECDF fit");
+
+  const auto truth = trace::ground_truth_distribution(bench::headline_regime());
+  const double truth_mean = truth.mean();
+  constexpr int kVms = 800;
+
+  Table table({"censored_pct", "naive_err_pct", "km_err_pct", "mle_err_pct"},
+              "error of fitted mean lifetime vs ground truth (" +
+                  bench::fmt(truth_mean, 2) + " h); job completions censor at Uniform(c0, 30) h");
+
+  for (double c0 : {24.0, 12.0, 6.0, 3.0, 1.0}) {
+    Rng rng(91);
+    std::vector<double> lifetimes, cutoffs;
+    for (int i = 0; i < kVms; ++i) {
+      lifetimes.push_back(truth.sample(rng));
+      cutoffs.push_back(c0 + (30.0 - c0) * rng.uniform());
+    }
+    const auto data = survival::SurvivalData::censor_at(lifetimes, cutoffs);
+    const double censored_pct =
+        100.0 * static_cast<double>(data.censored_count()) / static_cast<double>(data.size());
+
+    std::vector<double> naive_lifetimes;
+    for (const auto& o : data.observations()) naive_lifetimes.push_back(o.time);
+    const auto naive = fit::fit_bathtub_to_samples(naive_lifetimes, 24.0);
+
+    const auto km_pts = survival::kaplan_meier(data).cdf_points();
+    const auto km_fit = fit::fit_bathtub(km_pts.t, km_pts.f, 24.0);
+
+    const auto mle = survival::fit_bathtub_mle(data);
+
+    auto err = [&](const dist::Distribution& d) {
+      return 100.0 * (d.mean() - truth_mean) / truth_mean;
+    };
+    table.add_row({bench::fmt(censored_pct, 1), bench::fmt(err(*naive.distribution), 1),
+                   bench::fmt(err(*km_fit.distribution), 1),
+                   bench::fmt(err(*mle.distribution), 1)});
+  }
+  std::cout << table << "\n";
+
+  bench::print_claim(
+      "(extension; no paper counterpart) ECDF fitting degrades with campaign "
+      "censoring while KM-corrected LS and censored MLE stay calibrated",
+      "see error columns: naive error grows with censored fraction, the "
+      "censoring-aware columns stay within a few percent");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation — checkpoint-DP modeling choices.
+//
+// The paper's Eqs. 9-13 leave two semantic choices open (DESIGN.md §2):
+// what "lost work" means (conditional vs the literal Eq. 13 form) and where
+// a failed job resumes (Eq. 12's same-age timeline vs a fresh VM). This
+// ablation quantifies how much each choice — plus the DP grid resolution —
+// moves the headline numbers. Expected outcome: the qualitative story
+// (DP schedule beats Young-Daly by 2-10x) is insensitive to all of them.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "policy/checkpoint.hpp"
+#include "policy/checkpoint_sim.hpp"
+
+int main() {
+  using namespace preempt;
+  bench::print_header("Ablation", "checkpoint DP: restart model, lost-work form, grid step");
+
+  const auto truth = trace::ground_truth_distribution(bench::headline_regime());
+  constexpr double kJob = 4.0;
+  constexpr double kDelta = 1.0 / 60.0;
+
+  Table table({"restart", "lost_work", "step_min", "increase_at0_pct", "increase_mid_pct",
+               "first_interval_min", "checkpoints", "mc_increase_pct"},
+              "4 h job; mid = start age 8 h; MC = 2000 fresh-VM-restart runs");
+  for (auto [restart, restart_label] :
+       {std::pair{policy::RestartModel::kContinueAge, "continue-age"},
+        std::pair{policy::RestartModel::kFreshVm, "fresh-vm"}}) {
+    for (auto [lost, lost_label] : {std::pair{policy::LostWorkForm::kConditional, "conditional"},
+                                    std::pair{policy::LostWorkForm::kPaper, "paper-eq13"}}) {
+      for (double step_min : {0.5, 1.0, 3.0}) {
+        policy::CheckpointConfig cfg;
+        cfg.restart = restart;
+        cfg.lost_work = lost;
+        cfg.step_hours = step_min / 60.0;
+        cfg.checkpoint_cost_hours = kDelta;
+        const policy::CheckpointDp dp(truth, kJob, cfg);
+        const auto schedule = dp.schedule(0.0);
+        policy::CheckpointPlan plan;
+        plan.checkpoint_cost_hours = kDelta;
+        plan.work_segments_hours = schedule;
+        policy::SimulationOptions opts;
+        opts.runs = 2000;
+        opts.seed = 77;
+        const double mc =
+            (policy::simulate_plan(truth, plan, opts).mean_hours - kJob) / kJob * 100.0;
+        table.add_row({restart_label, lost_label, bench::fmt(step_min, 1),
+                       bench::fmt(dp.expected_increase_fraction(0.0) * 100.0, 2),
+                       bench::fmt(dp.expected_increase_fraction(8.0) * 100.0, 2),
+                       bench::fmt(schedule.front() * 60.0, 0),
+                       std::to_string(schedule.size() - 1), bench::fmt(mc, 2)});
+      }
+    }
+  }
+  std::cout << table << "\n";
+
+  bench::print_claim(
+      "the DP's advantage over Young-Daly (~21% overhead) is insensitive to "
+      "the restart/lost-work semantics and to the grid step",
+      "all variants stay well below Young-Daly in both the analytic and the "
+      "Monte-Carlo columns (see table)");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation — the Sec. 8 "phase-wise model" alternative.
+//
+// The paper sketches a piecewise (segmented linear) CDF as a simpler future
+// alternative to the closed-form bathtub model. This ablation fits both to
+// the same campaign and drives the scheduling policy with each, evaluating
+// decisions under the ground truth. Expected outcome: the segmented model is
+// a usable approximation (the policy mostly cares about phase boundaries),
+// with the smooth model slightly ahead — supporting the paper's argument
+// that even coarse bathtub models retain most of the benefit.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "dist/empirical.hpp"
+#include "fit/model_fitters.hpp"
+#include "fit/segmented.hpp"
+#include "policy/scheduling.hpp"
+
+int main() {
+  using namespace preempt;
+  bench::print_header("Ablation", "smooth bathtub vs segmented phase-wise model (Sec. 8)");
+
+  const auto truth = trace::ground_truth_distribution(bench::headline_regime());
+  const auto lifetimes = bench::headline_sample(400, 606);
+  const dist::EmpiricalDistribution ecdf(lifetimes);
+  const auto pts = ecdf.ecdf_points();
+
+  const fit::FitResult bathtub = fit::fit_bathtub(pts.t, pts.f, 24.0);
+  const fit::SegmentedFit segmented = fit::fit_segmented_cdf(pts.t, pts.f, 24.0);
+
+  Table fit_table({"model", "rmse", "r2", "notes"}, "Fit quality on the same ECDF");
+  fit_table.add_row({"bathtub (Eq. 1)", bench::fmt(bathtub.gof.rmse, 4),
+                     bench::fmt(bathtub.gof.r2, 4), "4 parameters, closed-form moments"});
+  fit_table.add_row({"segmented linear", bench::fmt(segmented.gof.rmse, 4),
+                     bench::fmt(segmented.gof.r2, 4),
+                     "breaks at " + bench::fmt(segmented.break1, 1) + " h / " +
+                         bench::fmt(segmented.break2, 1) + " h"});
+  std::cout << fit_table << "\n";
+
+  // Drive the reuse policy with each model; evaluate under the truth.
+  const policy::ModelDrivenScheduler with_bathtub(bathtub.distribution->clone(), truth.clone());
+  const policy::ModelDrivenScheduler with_segments(segmented.model->clone(), truth.clone());
+  const policy::ModelDrivenScheduler oracle(truth.clone(), truth.clone());
+  const policy::MemorylessScheduler memoryless(truth.clone());
+
+  Table policy_table({"job_hours", "memoryless", "segmented", "bathtub", "oracle"},
+                     "Average job failure probability (evaluated under ground truth)");
+  double worst_gap = 0.0;
+  for (double job : {2.0, 4.0, 6.0, 10.0, 16.0}) {
+    const double m = memoryless.average_failure_probability(job);
+    const double s = with_segments.average_failure_probability(job);
+    const double b = with_bathtub.average_failure_probability(job);
+    const double o = oracle.average_failure_probability(job);
+    policy_table.add_row({bench::fmt(job, 1), bench::fmt(m, 3), bench::fmt(s, 3),
+                          bench::fmt(b, 3), bench::fmt(o, 3)});
+    worst_gap = std::max(worst_gap, s - o);
+  }
+  std::cout << policy_table << "\n";
+
+  bench::print_claim(
+      "a piece-wise phase model could capture the phase transitions and "
+      "drive the same policies (Sec. 8)",
+      "segmented-model policy trails the oracle by at most " +
+          bench::fmt(worst_gap * 100.0, 1) + " percentage points of failure probability");
+  return 0;
+}

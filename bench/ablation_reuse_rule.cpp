@@ -1,0 +1,88 @@
+// Ablation — VM-reuse rule variants on the batch service.
+//
+// Compares the literal Eq. 8 rule, the corrected conditional-waste rule and
+// the memoryless / always-fresh baselines on two bags: the paper's short
+// (14 min) scientific jobs and a long-job (2 h) bag where the deadline wall
+// matters. Expected outcome: for short jobs the literal Eq. 8 churns the
+// fleet (rejecting *young* VMs because t f(t) peaks at tau1) while the
+// conditional rule reuses them; for long jobs both beat memoryless.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "sim/service.hpp"
+
+namespace {
+
+using namespace preempt;
+
+sim::ServiceReport run_service(double job_hours, int gang, std::size_t count,
+                               sim::ReusePolicyKind kind, policy::ReuseRule rule) {
+  trace::RegimeKey key = bench::headline_regime();
+  const auto truth = trace::ground_truth_distribution(key);
+  sim::ServiceConfig cfg;
+  cfg.cluster_size = 16;
+  cfg.seed = 20200623;
+  cfg.reuse_policy = kind;
+  cfg.reuse_rule = rule;
+  sim::BatchService svc(cfg, truth.clone(), truth.clone());
+  sim::BagOfJobs bag;
+  bag.spec.work_hours = job_hours;
+  bag.spec.gang_vms = gang;
+  bag.count = count;
+  svc.submit_bag(bag);
+  return svc.run();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation", "reuse rules on the batch service");
+
+  struct Variant {
+    std::string label;
+    sim::ReusePolicyKind kind;
+    policy::ReuseRule rule;
+  };
+  const std::vector<Variant> variants = {
+      {"eq8-literal", sim::ReusePolicyKind::kModelDriven, policy::ReuseRule::kPaperEq8},
+      {"conditional", sim::ReusePolicyKind::kModelDriven, policy::ReuseRule::kConditionalWaste},
+      {"memoryless", sim::ReusePolicyKind::kMemoryless, policy::ReuseRule::kConditionalWaste},
+      {"always-fresh", sim::ReusePolicyKind::kAlwaysFresh, policy::ReuseRule::kConditionalWaste},
+  };
+
+  struct Scenario {
+    std::string label;
+    double job_hours;
+    int gang;
+    std::size_t count;
+  };
+  // The long-job bag must outlive the 24 h VM lifetime so that dispatches
+  // actually encounter VMs near the deadline wall.
+  const std::vector<Scenario> scenarios = {
+      {"short-jobs (14 min x 200)", 14.0 / 60.0, 2, 200},
+      {"long-jobs (2 h x 300, spans > 24 h)", 2.0, 1, 300},
+  };
+
+  for (const Scenario& sc : scenarios) {
+    Table table({"rule", "vms_launched", "fresh_forced", "preempts", "wasted_h",
+                 "makespan_h", "cost_per_job"},
+                sc.label);
+    for (const Variant& v : variants) {
+      const sim::ServiceReport r = run_service(sc.job_hours, sc.gang, sc.count, v.kind, v.rule);
+      table.add_row({v.label, std::to_string(r.vms_launched),
+                     std::to_string(r.fresh_vm_launches), std::to_string(r.preemptions),
+                     bench::fmt(r.wasted_hours, 2), bench::fmt(r.makespan_hours, 2),
+                     "$" + bench::fmt(r.cost_per_job, 4)});
+    }
+    std::cout << table << "\n";
+  }
+
+  bench::print_claim(
+      "the corrected conditional rule avoids the literal Eq. 8's fleet churn "
+      "on short jobs while both model-driven rules protect long jobs from "
+      "the deadline wall better than memoryless reuse",
+      "see vms_launched / fresh_forced on the short-job bag and wasted_h on "
+      "the long-job bag");
+  return 0;
+}

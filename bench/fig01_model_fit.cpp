@@ -1,0 +1,50 @@
+// Figure 1 — CDF of lifetimes of Google Preemptible VMs, with fits.
+//
+// Reproduces: empirical CDF of ~120 n1-highcpu-16 @ us-east1-b lifetimes and
+// least-squares fits of our bathtub model vs classical exponential, Weibull
+// and Gompertz-Makeham, plus the PDF inset.
+// Paper claim: "Our proposed distribution ... provides a better fit to the
+// empirical data compared to other failure distributions."
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/analysis.hpp"
+
+int main() {
+  using namespace preempt;
+  bench::print_header("Fig. 1", "CDF of time to preemption + candidate model fits");
+
+  const std::vector<double> lifetimes = bench::headline_sample();
+  // Extended scope: the paper's three comparators plus lognormal, gamma and
+  // the "bathtub-capable" exponentiated Weibull (ref [42]) — the claim that
+  // existing bathtub families cannot track the deadline wall is tested too.
+  const core::DistributionComparison cmp =
+      core::compare_distributions(lifetimes, 24.0, core::ComparisonScope::kExtended);
+
+  std::cout << cmp.cdf_table(25) << "\n";
+  std::cout << cmp.pdf_table(25) << "\n";
+  std::cout << cmp.summary_table() << "\n";
+
+  const auto& best = cmp.best();
+  double worst_competitor_sse = 0.0;
+  for (const auto& fr : cmp.fits) {
+    if (fr.distribution->name() != best.distribution->name()) {
+      worst_competitor_sse = std::max(worst_competitor_sse, fr.gof.sse);
+    }
+  }
+  double best_competitor_sse = worst_competitor_sse;
+  for (const auto& fr : cmp.fits) {
+    if (fr.distribution->name() != best.distribution->name()) {
+      best_competitor_sse = std::min(best_competitor_sse, fr.gof.sse);
+    }
+  }
+
+  bench::print_claim(
+      "bathtub model fits the empirical CDF best; classical exponential/"
+      "Weibull/Gompertz-Makeham cannot capture the 24 h deadline wall",
+      "best fit = " + best.distribution->name() +
+          " (sse=" + bench::fmt(best.gof.sse, 4) +
+          ", r2=" + bench::fmt(best.gof.r2, 4) +
+          "); closest classical competitor sse=" + bench::fmt(best_competitor_sse, 4));
+  return 0;
+}

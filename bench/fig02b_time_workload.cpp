@@ -1,0 +1,65 @@
+// Figure 2b — variations due to time of day and workload.
+//
+// Reproduces: lifetime CDFs for idle/non-idle VMs and day/night launches.
+// Paper claim (Observation 5): "VMs have a slightly longer lifetime during
+// the night ... idle VMs have longer lifetimes than VMs running some
+// workload."
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/math.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "dist/empirical.hpp"
+
+int main() {
+  using namespace preempt;
+  bench::print_header("Fig. 2b", "lifetime CDFs by time-of-day and workload");
+
+  trace::RegimeKey base = bench::headline_regime();
+
+  auto key_with = [&base](trace::DayPeriod period, trace::WorkloadKind workload) {
+    trace::RegimeKey k = base;
+    k.period = period;
+    k.workload = workload;
+    return k;
+  };
+
+  struct Series {
+    std::string label;
+    trace::RegimeKey key;
+  };
+  const std::vector<Series> series = {
+      {"idle", key_with(trace::DayPeriod::kDay, trace::WorkloadKind::kIdle)},
+      {"non-idle", key_with(trace::DayPeriod::kDay, trace::WorkloadKind::kBatch)},
+      {"night", key_with(trace::DayPeriod::kNight, trace::WorkloadKind::kBatch)},
+      {"day", key_with(trace::DayPeriod::kDay, trace::WorkloadKind::kBatch)},
+  };
+
+  std::vector<dist::EmpiricalDistribution> ecdfs;
+  std::vector<std::string> header = {"t_hours"};
+  std::uint64_t seed = 7000;
+  for (const Series& s : series) {
+    ecdfs.emplace_back(trace::generate_campaign({s.key, 200, ++seed}).lifetimes());
+    header.push_back(s.label);
+  }
+
+  Table table(header, "CDF of time to preemption");
+  for (double t : linspace(0.0, 24.0, 25)) {
+    std::vector<std::string> row = {bench::fmt(t, 1)};
+    for (const auto& e : ecdfs) row.push_back(bench::fmt(e.cdf(t), 3));
+    table.add_row(std::move(row));
+  }
+  std::cout << table << "\n";
+
+  const double mean_idle = mean(ecdfs[0].sorted_samples());
+  const double mean_busy = mean(ecdfs[1].sorted_samples());
+  const double mean_night = mean(ecdfs[2].sorted_samples());
+  const double mean_day = mean(ecdfs[3].sorted_samples());
+  bench::print_claim(
+      "night launches and idle VMs live longer than day launches / busy VMs",
+      "mean lifetime (h): idle=" + bench::fmt(mean_idle, 2) +
+          " vs non-idle=" + bench::fmt(mean_busy, 2) +
+          "; night=" + bench::fmt(mean_night, 2) + " vs day=" + bench::fmt(mean_day, 2));
+  return 0;
+}

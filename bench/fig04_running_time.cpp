@@ -1,0 +1,50 @@
+// Figure 4 — impact of constrained preemptions on job running times.
+//
+// Reproduces:
+//   4a: computation wasted by one preemption vs job length (bathtub/uniform);
+//   4b: expected increase in running time vs job length.
+// Paper claims: uniform waste = J/2 and increase = J^2/48; bathtub crosses
+// over near 5 h; a 10 h job gains ~30 min (vs ~2 h uniform); waste reduction
+// reaches ~40x for long jobs.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "dist/uniform.hpp"
+#include "policy/running_time.hpp"
+
+int main() {
+  using namespace preempt;
+  bench::print_header("Fig. 4", "wasted computation and expected runtime increase");
+
+  const auto bathtub = trace::ground_truth_distribution(bench::headline_regime());
+  const dist::UniformLifetime uniform(24.0);
+
+  Table table({"job_hours", "waste_bathtub_h", "waste_uniform_h", "increase_bathtub_h",
+               "increase_uniform_h", "uniform_over_bathtub"},
+              "Fig. 4a (waste given one preemption) and 4b (expected increase)");
+  for (double j = 1.0; j <= 24.0; j += 1.0) {
+    const double wb = policy::expected_wasted_work_single(bathtub, std::min(j, 23.9));
+    const double wu = policy::expected_wasted_work_single(uniform, j);
+    const double ib = policy::expected_increase(bathtub, j);
+    const double iu = policy::expected_increase(uniform, j);
+    table.add_row({bench::fmt(j, 1), bench::fmt(wb, 3), bench::fmt(wu, 3), bench::fmt(ib, 3),
+                   bench::fmt(iu, 3), bench::fmt(iu / ib, 1)});
+  }
+  std::cout << table << "\n";
+
+  const double crossover = policy::crossover_job_length(bathtub, uniform);
+  const double inc10_b = policy::expected_increase(bathtub, 10.0);
+  const double inc10_u = policy::expected_increase(uniform, 10.0);
+  const double ratio20 = policy::expected_increase(uniform, 20.0) /
+                         policy::expected_increase(bathtub, 20.0);
+
+  bench::print_claim(
+      "crossover at ~5 h; 10 h job: ~0.5 h increase (bathtub) vs ~2 h "
+      "(uniform); waste reduction between 1x-40x",
+      "crossover=" + bench::fmt(crossover, 2) + " h; 10 h job increase: bathtub=" +
+          bench::fmt(inc10_b, 2) + " h vs uniform=" + bench::fmt(inc10_u, 2) +
+          " h (ratio " + bench::fmt(inc10_u / inc10_b, 1) + "x); 20 h job ratio=" +
+          bench::fmt(ratio20, 1) + "x");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 5 — effect of job start time on failure probability (6 h job).
+//
+// Reproduces: failure probability vs job start time (relative to VM launch)
+// for the memoryless baseline and the model-driven policy.
+// Paper claims: memoryless always fails after 24-6=18 h; our policy caps the
+// failure probability at the fresh-VM level (~0.4) by switching to a new VM.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "policy/scheduling.hpp"
+
+int main() {
+  using namespace preempt;
+  bench::print_header("Fig. 5", "6 h job failure probability vs start time");
+
+  const auto truth = trace::ground_truth_distribution(bench::headline_regime());
+  const policy::ModelDrivenScheduler ours(truth.clone());
+  const policy::MemorylessScheduler memoryless(truth.clone());
+  constexpr double kJob = 6.0;
+
+  Table table({"start_hours", "memoryless", "our_policy", "our_decision"},
+              "P(job failure) for a 6 h job");
+  double cap = 0.0;
+  for (double s = 0.0; s <= 23.5; s += 0.5) {
+    const auto d = ours.decide(s, kJob);
+    table.add_row({bench::fmt(s, 1), bench::fmt(memoryless.policy_failure_probability(s, kJob), 3),
+                   bench::fmt(d.failure_probability, 3), d.reuse ? "reuse" : "fresh-vm"});
+    cap = std::max(cap, d.failure_probability);
+  }
+  std::cout << table << "\n";
+
+  bench::print_claim(
+      "memoryless policy fails with probability 1 after hour 18; our policy "
+      "holds a constant ~0.4 by launching fresh VMs",
+      "memoryless P(fail) at 19 h = " +
+          bench::fmt(memoryless.policy_failure_probability(19.0, kJob), 3) +
+          "; our policy max over all start times = " + bench::fmt(cap, 3) +
+          " (fresh-VM level F(6h) = " + bench::fmt(truth.cdf(6.0), 3) + ")");
+  return 0;
+}

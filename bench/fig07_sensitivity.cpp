@@ -1,0 +1,53 @@
+// Figure 7 — impact of suboptimal bathtub model parameters on scheduling.
+//
+// Reproduces: average job failure probability with (a) the memoryless policy,
+// (b) the best-fit bathtub model and (c) a deliberately wrong bathtub model
+// (n1-highcpu-16 parameters applied to n1-highcpu-32 VMs).
+// Paper claims: the suboptimal model costs < 2% extra failures vs best fit
+// and still beats memoryless by >= 15%.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "policy/scheduling.hpp"
+
+int main() {
+  using namespace preempt;
+  bench::print_header("Fig. 7", "sensitivity of the scheduling policy to model misfit");
+
+  // Truth: n1-highcpu-32 behaviour; misfit model: n1-highcpu-16 parameters.
+  trace::RegimeKey key32 = bench::headline_regime();
+  key32.type = trace::VmType::kN1Highcpu32;
+  key32.zone = trace::Zone::kUsCentral1C;  // Fig. 2a's zone
+  const auto truth32 = trace::ground_truth_distribution(key32);
+  trace::RegimeKey key16 = key32;
+  key16.type = trace::VmType::kN1Highcpu16;
+  const auto model16 = trace::ground_truth_distribution(key16);
+
+  const policy::MemorylessScheduler memoryless(truth32.clone());
+  const policy::ModelDrivenScheduler best_fit(truth32.clone(), truth32.clone());
+  const policy::ModelDrivenScheduler suboptimal(model16.clone(), truth32.clone());
+
+  Table table({"job_hours", "memoryless", "best_fit", "suboptimal", "sub_minus_best"},
+              "P(job failure), averaged over start times");
+  double max_delta = 0.0;
+  double worst_vs_memoryless = 0.0;
+  for (double j = 1.0; j <= 23.0; j += 1.0) {
+    const double m = memoryless.average_failure_probability(j);
+    const double b = best_fit.average_failure_probability(j);
+    const double s = suboptimal.average_failure_probability(j);
+    table.add_row({bench::fmt(j, 1), bench::fmt(m, 3), bench::fmt(b, 3), bench::fmt(s, 3),
+                   bench::fmt(s - b, 4)});
+    max_delta = std::max(max_delta, s - b);
+    if (j >= 2.0 && j <= 20.0) worst_vs_memoryless = std::max(worst_vs_memoryless, s / m);
+  }
+  std::cout << table << "\n";
+
+  bench::print_claim(
+      "suboptimal bathtub parameters increase failure probability by < 2% "
+      "over the best fit, and still reduce it >= 15% vs memoryless",
+      "max(suboptimal - best_fit) = " + bench::fmt(max_delta * 100.0, 2) +
+          " percentage points; worst suboptimal/memoryless ratio (2-20 h) = " +
+          bench::fmt(worst_vs_memoryless, 2));
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 8 — checkpointing effectiveness.
+//
+// Reproduces:
+//   8a: expected % increase in running time vs job start time (4 h job),
+//       model-driven DP schedule vs Young-Daly with MTTF = 1 h;
+//   8b: expected % increase vs job length at start time 0.
+// Paper claims: our policy stays < 5% (≈1% mid-life); Young-Daly sits at a
+// constant ~25%; for jobs started at 0 ours is ~10% for short jobs and ~3%
+// on average for longer ones.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "dist/exponential.hpp"
+#include "dist/truncated.hpp"
+#include "policy/checkpoint.hpp"
+#include "policy/checkpoint_sim.hpp"
+
+int main() {
+  using namespace preempt;
+  bench::print_header("Fig. 8", "checkpointing: model-driven DP vs Young-Daly");
+
+  const auto truth = trace::ground_truth_distribution(bench::headline_regime());
+  policy::CheckpointConfig cfg;  // 1 min steps, delta = 1 min (as in Sec. 6.2.2)
+  constexpr double kMttfYoungDaly = 1.0;  // "an MTTF of 1 hour" (Sec. 6.2.2)
+  constexpr double kDelta = 1.0 / 60.0;
+
+  // One value table covers every job length up to 9 h (the Fig. 8b range).
+  const policy::CheckpointDp dp(truth, 9.0, cfg);
+
+  // The memoryless baseline's own world-view: exponential failures with
+  // MTTF = 1 h (constrained to the 24 h horizon). The paper's flat ~25% line
+  // is this self-assessment; "yd_under_truth" evaluates the same plan under
+  // the actual bathtub distribution.
+  const dist::TruncatedDistribution yd_world(
+      std::make_unique<dist::Exponential>(1.0 / kMttfYoungDaly), 24.0);
+
+  // --- Fig. 8a: 4 h job, varying start time --------------------------------
+  Table fig8a({"start_hours", "ours_pct", "young_daly_pct", "yd_under_truth_pct"},
+              "Fig. 8a: % increase in running time, 4 h job");
+  const policy::CheckpointPlan yd4 = policy::young_daly_plan(4.0, kMttfYoungDaly, kDelta);
+  double ours_mid = 0.0, yd_mid = 0.0;
+  for (double s = 0.0; s <= 16.0; s += 1.0) {
+    const double ours = (dp.expected_makespan_partial(4.0, s) - 4.0) / 4.0 * 100.0;
+    const double yd_self = (policy::evaluate_plan(yd_world, yd4, s, cfg) - 4.0) / 4.0 * 100.0;
+    const double yd_truth = (policy::evaluate_plan(truth, yd4, s, cfg) - 4.0) / 4.0 * 100.0;
+    fig8a.add_row({bench::fmt(s, 1), bench::fmt(ours, 2), bench::fmt(yd_self, 2),
+                   bench::fmt(yd_truth, 2)});
+    if (s >= 5.0 && s <= 15.0) {
+      ours_mid = std::max(ours_mid, ours);
+      yd_mid = std::max(yd_mid, yd_self);
+    }
+  }
+  std::cout << fig8a << "\n";
+
+  // --- Fig. 8b: jobs start at VM-time 0, varying length --------------------
+  Table fig8b({"job_hours", "ours_pct", "young_daly_pct", "ours_mc_pct"},
+              "Fig. 8b: % increase in running time, start time = 0");
+  double ours_total = 0.0;
+  int count = 0;
+  for (double j = 1.0; j <= 9.0; j += 1.0) {
+    const double ours = (dp.expected_makespan_partial(j, 0.0) - j) / j * 100.0;
+    const policy::CheckpointPlan yd = policy::young_daly_plan(j, kMttfYoungDaly, kDelta);
+    const double theirs = (policy::evaluate_plan(yd_world, yd, 0.0, cfg) - j) / j * 100.0;
+    // Monte-Carlo validation of the DP schedule under the true multi-failure
+    // semantics (fresh VM per restart).
+    policy::CheckpointPlan dp_plan;
+    dp_plan.checkpoint_cost_hours = kDelta;
+    dp_plan.work_segments_hours = dp.schedule_partial(j, 0.0);
+    policy::SimulationOptions sim_opts;
+    sim_opts.runs = 2000;
+    sim_opts.seed = 1234;
+    const double mc =
+        (policy::simulate_plan(truth, dp_plan, sim_opts).mean_hours - j) / j * 100.0;
+    fig8b.add_row({bench::fmt(j, 1), bench::fmt(ours, 2), bench::fmt(theirs, 2),
+                   bench::fmt(mc, 2)});
+    ours_total += ours;
+    ++count;
+  }
+  std::cout << fig8b << "\n";
+
+  const double yd_flat =
+      (policy::evaluate_plan(yd_world, yd4, 0.0, cfg) - 4.0) / 4.0 * 100.0;
+  bench::print_claim(
+      "ours < 5% (about 1% mid-life) vs Young-Daly ~25%; at start 0 ours is "
+      "~10% for short jobs, ~3% average for longer jobs",
+      "4 h job mid-life: ours <= " + bench::fmt(ours_mid, 2) + "% vs Young-Daly " +
+          bench::fmt(yd_mid, 2) + "%; start-0 Young-Daly = " + bench::fmt(yd_flat, 1) +
+          "%, ours average over 1-9 h = " + bench::fmt(ours_total / count, 2) + "%");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 9b — % increase in running time vs number of VM preemptions.
+//
+// Reproduces: repeated Nanoconfinement bag runs on 32 x n1-highcpu-32; for
+// each run record (#preemptions that hit jobs, % increase in bag running
+// time); aggregate by preemption count.
+// Paper claim: "the net impact of preemptions results in a roughly linear
+// increase in running time. Each preemption results in a roughly 3% increase."
+#include <iostream>
+#include <map>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sim/service.hpp"
+
+int main() {
+  using namespace preempt;
+  bench::print_header("Fig. 9b", "% increase in running time vs #preemptions");
+
+  trace::RegimeKey key = bench::headline_regime();
+  key.type = trace::VmType::kN1Highcpu32;
+  key.zone = trace::Zone::kUsCentral1C;
+  const auto truth = trace::ground_truth_distribution(key);
+  const sim::Workload w =
+      sim::repack_for_vm_type(sim::nanoconfinement(), trace::VmType::kN1Highcpu32);
+
+  // Repeat the experiment with different seeds; preemption counts vary
+  // naturally ("repeated the experiment multiple times", Sec. 6.3).
+  std::map<int, std::vector<double>> by_count;
+  std::vector<double> xs, ys;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    sim::ServiceConfig cfg;
+    cfg.vm_type = trace::VmType::kN1Highcpu32;
+    cfg.cluster_size = 32;
+    cfg.seed = seed * 7919;
+    sim::BatchService svc(cfg, truth.clone(), truth.clone());
+    sim::BagOfJobs bag;
+    bag.name = w.name;
+    bag.spec = w.job;
+    bag.count = 100;
+    svc.submit_bag(bag);
+    const sim::ServiceReport r = svc.run();
+    const double pct = r.increase_fraction * 100.0;
+    by_count[r.preemptions].push_back(pct);
+    xs.push_back(static_cast<double>(r.preemptions));
+    ys.push_back(pct);
+  }
+
+  Table table({"preemptions", "runs", "mean_increase_pct", "min_pct", "max_pct"},
+              "Nanoconfinement bag (100 jobs), 60 seeded runs");
+  for (const auto& [count, pcts] : by_count) {
+    const Summary s = summarize(pcts);
+    table.add_row({std::to_string(count), std::to_string(pcts.size()), bench::fmt(s.mean, 1),
+                   bench::fmt(s.min, 1), bench::fmt(s.max, 1)});
+  }
+  std::cout << table << "\n";
+
+  const LinearFit fit = linear_regression(xs, ys);
+  bench::print_claim(
+      "running-time increase grows roughly linearly, ~3% per preemption",
+      "linear fit: increase_pct = " + bench::fmt(fit.intercept, 1) + " + " +
+          bench::fmt(fit.slope, 2) + " * preemptions (r2 = " + bench::fmt(fit.r2, 2) + ")");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Micro benchmarks: checkpoint-DP construction and queries (google-benchmark).
+//
+// The paper reports the DP is O(T^3) and therefore precomputed (Sec. 5);
+// these benchmarks quantify the precomputation and the per-job query cost.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "policy/checkpoint.hpp"
+#include "policy/checkpoint_sim.hpp"
+
+namespace {
+
+using namespace preempt;
+
+void BM_CheckpointDpBuild(benchmark::State& state) {
+  const auto d = trace::ground_truth_distribution(bench::headline_regime());
+  const double job_hours = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    policy::CheckpointDp dp(d, job_hours, {});
+    benchmark::DoNotOptimize(dp.expected_makespan(0.0));
+  }
+}
+BENCHMARK(BM_CheckpointDpBuild)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_CheckpointDpScheduleQuery(benchmark::State& state) {
+  const auto d = trace::ground_truth_distribution(bench::headline_regime());
+  const policy::CheckpointDp dp(d, 4.0, {});
+  double age = 0.0;
+  for (auto _ : state) {
+    age += 0.37;
+    if (age > 18.0) age = 0.0;
+    benchmark::DoNotOptimize(dp.schedule(age));
+  }
+}
+BENCHMARK(BM_CheckpointDpScheduleQuery)->Unit(benchmark::kMicrosecond);
+
+void BM_EvaluatePlanYoungDaly(benchmark::State& state) {
+  const auto d = trace::ground_truth_distribution(bench::headline_regime());
+  const policy::CheckpointPlan plan = policy::young_daly_plan(4.0, 1.0, 1.0 / 60.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy::evaluate_plan(d, plan, 0.0, {}));
+  }
+}
+BENCHMARK(BM_EvaluatePlanYoungDaly)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatePlanMonteCarlo(benchmark::State& state) {
+  const auto d = trace::ground_truth_distribution(bench::headline_regime());
+  const policy::CheckpointPlan plan = policy::young_daly_plan(4.0, 1.0, 1.0 / 60.0);
+  policy::SimulationOptions opts;
+  opts.runs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy::simulate_plan(d, plan, opts));
+  }
+}
+BENCHMARK(BM_SimulatePlanMonteCarlo)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,67 @@
+// Micro benchmarks: model-fitting throughput (google-benchmark).
+//
+// The paper's service refits models continuously from fresh preemption data
+// (Sec. 8 "a long-running cloud service can continuously update the model"),
+// so fitting cost matters operationally.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "dist/empirical.hpp"
+#include "fit/model_fitters.hpp"
+
+namespace {
+
+using namespace preempt;
+
+std::vector<double> sample(std::size_t n) { return bench::headline_sample(n, 99); }
+
+void BM_FitBathtub(benchmark::State& state) {
+  const auto lifetimes = sample(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fit::fit_bathtub_to_samples(lifetimes, 24.0));
+  }
+}
+BENCHMARK(BM_FitBathtub)->Arg(100)->Arg(400)->Arg(1600)->Unit(benchmark::kMillisecond);
+
+void BM_FitAllFamilies(benchmark::State& state) {
+  const auto lifetimes = sample(400);
+  const dist::EmpiricalDistribution ecdf(lifetimes);
+  const auto pts = ecdf.ecdf_points();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fit::fit_all_families(pts.t, pts.f, 24.0));
+  }
+}
+BENCHMARK(BM_FitAllFamilies)->Unit(benchmark::kMillisecond);
+
+void BM_EcdfConstruction(benchmark::State& state) {
+  const auto lifetimes = sample(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    dist::EmpiricalDistribution ecdf(lifetimes);
+    benchmark::DoNotOptimize(ecdf.ecdf_points());
+  }
+}
+BENCHMARK(BM_EcdfConstruction)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+void BM_BathtubCdf(benchmark::State& state) {
+  const auto d = trace::ground_truth_distribution(bench::headline_regime());
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 0.001;
+    if (t > 24.0) t = 0.0;
+    benchmark::DoNotOptimize(d.cdf(t));
+  }
+}
+BENCHMARK(BM_BathtubCdf);
+
+void BM_BathtubPartialExpectation(benchmark::State& state) {
+  const auto d = trace::ground_truth_distribution(bench::headline_regime());
+  double a = 0.0;
+  for (auto _ : state) {
+    a += 0.001;
+    if (a > 12.0) a = 0.0;
+    benchmark::DoNotOptimize(d.partial_expectation(a, a + 6.0));
+  }
+}
+BENCHMARK(BM_BathtubPartialExpectation);
+
+}  // namespace

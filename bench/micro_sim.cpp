@@ -1,0 +1,50 @@
+// Micro benchmarks: discrete-event service simulation throughput.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "sim/service.hpp"
+
+namespace {
+
+using namespace preempt;
+
+void BM_ServiceSmallBag(benchmark::State& state) {
+  const auto truth = trace::ground_truth_distribution(bench::headline_regime());
+  for (auto _ : state) {
+    sim::ServiceConfig cfg;
+    cfg.cluster_size = 8;
+    cfg.seed = 11;
+    sim::BatchService svc(cfg, truth.clone(), truth.clone());
+    sim::BagOfJobs bag;
+    bag.spec.work_hours = 14.0 / 60.0;
+    bag.spec.gang_vms = 2;
+    bag.count = static_cast<std::size_t>(state.range(0));
+    svc.submit_bag(bag);
+    benchmark::DoNotOptimize(svc.run());
+  }
+}
+BENCHMARK(BM_ServiceSmallBag)->Arg(20)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    long counter = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(static_cast<double>(i % 97), [&counter] { ++counter; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_EventQueueThroughput)->Unit(benchmark::kMicrosecond);
+
+void BM_LifetimeSampling(benchmark::State& state) {
+  const auto truth = trace::ground_truth_distribution(bench::headline_regime());
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(truth.sample(rng));
+  }
+}
+BENCHMARK(BM_LifetimeSampling);
+
+}  // namespace

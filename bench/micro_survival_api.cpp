@@ -1,0 +1,126 @@
+// Micro benchmarks — survival estimators, censored MLE, JSON and HTTP
+// message machinery (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "api/http.hpp"
+#include "common/json.hpp"
+#include "common/random.hpp"
+#include "dist/bathtub.hpp"
+#include "fit/bootstrap.hpp"
+#include "fit/model_fitters.hpp"
+#include "survival/kaplan_meier.hpp"
+#include "survival/mle.hpp"
+#include "survival/nelson_aalen.hpp"
+#include "trace/ground_truth.hpp"
+
+namespace {
+
+using namespace preempt;
+
+survival::SurvivalData make_data(std::size_t n, bool censored) {
+  const auto d = trace::ground_truth_distribution(trace::RegimeKey{});
+  Rng rng(7);
+  std::vector<survival::Observation> obs;
+  obs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = d.sample(rng);
+    if (censored && i % 3 == 0) {
+      obs.push_back({t * 0.5, false});
+    } else {
+      obs.push_back({t, true});
+    }
+  }
+  return survival::SurvivalData(std::move(obs));
+}
+
+void BM_KaplanMeier(benchmark::State& state) {
+  const auto data = make_data(static_cast<std::size_t>(state.range(0)), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(survival::kaplan_meier(data));
+  }
+}
+BENCHMARK(BM_KaplanMeier)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_NelsonAalen(benchmark::State& state) {
+  const auto data = make_data(static_cast<std::size_t>(state.range(0)), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(survival::nelson_aalen(data));
+  }
+}
+BENCHMARK(BM_NelsonAalen)->Arg(1000)->Arg(10000);
+
+void BM_WeibullMle(benchmark::State& state) {
+  const auto data = make_data(static_cast<std::size_t>(state.range(0)), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(survival::fit_weibull_mle(data));
+  }
+}
+BENCHMARK(BM_WeibullMle)->Arg(500)->Arg(2000);
+
+void BM_BathtubMle(benchmark::State& state) {
+  const auto data = make_data(static_cast<std::size_t>(state.range(0)), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(survival::fit_bathtub_mle(data));
+  }
+}
+BENCHMARK(BM_BathtubMle)->Arg(300)->Unit(benchmark::kMillisecond);
+
+std::vector<double> bootstrap_sample() {
+  const auto d = trace::ground_truth_distribution(trace::RegimeKey{});
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(d.sample(rng));
+  return xs;
+}
+
+fit::SampleFitter bathtub_fitter() {
+  return [](std::span<const double> xs) { return fit::fit_bathtub_to_samples(xs, 24.0).params; };
+}
+
+void BM_BootstrapSerial(benchmark::State& state) {
+  const auto xs = bootstrap_sample();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fit::bootstrap_parameters(xs, bathtub_fitter(), 32));
+  }
+}
+BENCHMARK(BM_BootstrapSerial)->Unit(benchmark::kMillisecond);
+
+void BM_BootstrapParallel(benchmark::State& state) {
+  const auto xs = bootstrap_sample();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fit::bootstrap_parameters_parallel(xs, bathtub_fitter(), 32));
+  }
+}
+BENCHMARK(BM_BootstrapParallel)->Unit(benchmark::kMillisecond);
+
+void BM_JsonParse(benchmark::State& state) {
+  // A representative bag report payload.
+  JsonObject obj;
+  for (int i = 0; i < 12; ++i) {
+    obj.emplace_back("field_" + std::to_string(i), 3.14159 * i);
+  }
+  JsonArray arr;
+  for (int i = 0; i < 50; ++i) arr.emplace_back(0.25 * i);
+  obj.emplace_back("lifetimes", std::move(arr));
+  const std::string text = JsonValue(std::move(obj)).dump();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parse_json(text));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_JsonParse);
+
+void BM_HttpParse(benchmark::State& state) {
+  const std::string wire =
+      "POST /api/bags HTTP/1.1\r\nhost: 127.0.0.1\r\ncontent-type: application/json\r\n"
+      "content-length: 48\r\n\r\n{\"app\":\"shapes\",\"jobs\":50,\"vms\":16,\"seed\":1234}";
+  for (auto _ : state) {
+    api::HttpRequestParser parser;
+    parser.feed(wire.data(), wire.size());
+    benchmark::DoNotOptimize(parser.complete());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * wire.size()));
+}
+BENCHMARK(BM_HttpParse);
+
+}  // namespace

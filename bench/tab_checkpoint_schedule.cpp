@@ -1,0 +1,42 @@
+// Sec. 4.3 anchor — the non-uniform checkpoint schedule example.
+//
+// Reproduces: "For a 5 hour job launched on a new VM (time=0), the
+// checkpointing intervals are (15, 28, 38, 59, 128) minutes" — intervals grow
+// as the VM leaves the infant phase; exact values depend on fit parameters.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "policy/checkpoint.hpp"
+
+int main() {
+  using namespace preempt;
+  bench::print_header("Sec. 4.3", "DP checkpoint schedule for a 5 h job (delta = 1 min)");
+
+  const auto truth = trace::ground_truth_distribution(bench::headline_regime());
+  const policy::CheckpointDp dp(truth, 5.0, {});
+
+  Table table({"start_age_hours", "intervals_minutes", "count", "expected_increase_pct"},
+              "Checkpoint intervals along the success path");
+  for (double age : {0.0, 2.0, 6.0, 12.0, 16.0}) {
+    const auto schedule = dp.schedule(age);
+    std::string intervals;
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      if (i) intervals += ", ";
+      intervals += bench::fmt(schedule[i] * 60.0, 0);
+    }
+    table.add_row({bench::fmt(age, 1), "(" + intervals + ")",
+                   std::to_string(schedule.size()),
+                   bench::fmt(dp.expected_increase_fraction(age) * 100.0, 2)});
+  }
+  std::cout << table << "\n";
+
+  const auto at0 = dp.schedule(0.0);
+  bench::print_claim(
+      "5 h job at VM age 0: intervals (15, 28, 38, 59, 128) min — short first "
+      "interval under infant mortality, growing through the stable phase",
+      "first interval = " + bench::fmt(at0.front() * 60.0, 0) + " min, last = " +
+          bench::fmt(at0.back() * 60.0, 0) + " min, count = " +
+          std::to_string(at0.size()) + " (monotone growing)");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Eq. 3 — expected lifetime of each VM type (the paper's MTTF substitute).
+//
+// Reproduces: the Eq. 3 closed-form expected lifetime for ground-truth
+// parameters and for parameters re-fitted from a synthetic campaign, per VM
+// type. Used by the paper for coarse-grained server selection (Sec. 3.2.2).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/model.hpp"
+
+int main() {
+  using namespace preempt;
+  bench::print_header("Eq. 3", "expected VM lifetime by type (us-east1-b, day, batch)");
+
+  Table table({"vm_type", "eq3_truth_h", "eq3_fitted_h", "mean_truth_h", "mean_fitted_h",
+               "fit_r2"},
+              "Expected lifetime (Eq. 3) and full mean (with 24 h reclaim atom)");
+  std::uint64_t seed = 31000;
+  double max_mean_err = 0.0;
+  for (const trace::VmSpec& spec : trace::all_vm_specs()) {
+    trace::RegimeKey key = bench::headline_regime();
+    key.type = spec.type;
+    const auto truth = trace::ground_truth_distribution(key);
+    const auto lifetimes = trace::generate_campaign({key, 400, ++seed}).lifetimes();
+    const core::PreemptionModel fitted = core::PreemptionModel::fit(lifetimes);
+    const double mean_err =
+        std::abs(fitted.mean_lifetime() - truth.mean()) / truth.mean();
+    max_mean_err = std::max(max_mean_err, mean_err);
+    table.add_row({spec.name, bench::fmt(truth.expected_lifetime_eq3(), 2),
+                   bench::fmt(fitted.expected_lifetime(), 2), bench::fmt(truth.mean(), 2),
+                   bench::fmt(fitted.mean_lifetime(), 2),
+                   bench::fmt(fitted.fit_quality()->r2, 4)});
+  }
+  std::cout << table << "\n";
+
+  bench::print_claim(
+      "Eq. 3 gives a usable MTTF substitute per VM type; the full mean "
+      "(Eq. 3 + deadline atom) is the robust statistic because fits can "
+      "trade mass between the deadline wall and the 24 h reclaim atom",
+      "max relative error of fitted vs ground-truth mean lifetime = " +
+          bench::fmt(max_mean_err * 100.0, 1) + "%");
+  return 0;
+}

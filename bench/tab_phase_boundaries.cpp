@@ -1,0 +1,69 @@
+// Observation 1 — "the lifetimes of VMs are not uniformly distributed, but
+// have three distinct phases" — quantified nonparametrically.
+//
+// For every VM type, draw a campaign, estimate the hazard with the
+// Nelson-Aalen estimator (no model assumption), and report the infant /
+// stable / deadline-wall hazard levels plus the phase boundaries the fitted
+// bathtub model implies. The paper reads the phases off CDF plots; the
+// hazard ratios make the same statement as numbers.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/analysis.hpp"
+#include "fit/model_fitters.hpp"
+#include "survival/nelson_aalen.hpp"
+#include "survival/observation.hpp"
+#include "trace/generator.hpp"
+
+int main() {
+  using namespace preempt;
+  bench::print_header("Obs. 1", "three preemption phases, nonparametric hazard view");
+
+  Table table({"vm_type", "infant_hazard", "stable_hazard", "wall_hazard", "infant/stable",
+               "wall/stable", "model_infant_end_h", "model_wall_start_h"},
+              "Nelson-Aalen smoothed hazards (1/h): infant @0.5h, stable over [6,18]h, wall @23.7h; "
+              "phase boundaries from the fitted bathtub model");
+
+  double min_infant_ratio = 1e9, min_wall_ratio = 1e9;
+  for (const auto& spec : trace::all_vm_specs()) {
+    trace::RegimeKey regime = bench::headline_regime();
+    regime.type = spec.type;
+    const auto lifetimes =
+        trace::generate_campaign({regime, 3000, 7000 + static_cast<unsigned>(spec.type)})
+            .lifetimes();
+
+    const auto na =
+        survival::nelson_aalen(survival::SurvivalData::all_events(lifetimes));
+    const double infant = na.smoothed_hazard(0.5, 0.5);
+    const double stable = na.smoothed_hazard(12.0, 6.0);
+    const double wall = na.smoothed_hazard(23.7, 0.3);
+    // Zero events in the stable window means the hazard is below the
+    // one-event resolution of the estimator; report ratios as lower bounds
+    // against that floor instead of dividing by zero.
+    const double floor =
+        1.0 / (static_cast<double>(lifetimes.size()) * 12.0);  // 1 event / (n x 12 h)
+    const bool floored = stable < floor;
+    const double stable_for_ratio = std::max(stable, floor);
+    min_infant_ratio = std::min(min_infant_ratio, infant / stable_for_ratio);
+    min_wall_ratio = std::min(min_wall_ratio, wall / stable_for_ratio);
+    const std::string bound = floored ? ">=" : "";
+
+    const auto fit = fit::fit_bathtub_to_samples(lifetimes, 24.0);
+    const auto& bathtub = dynamic_cast<const dist::BathtubDistribution&>(*fit.distribution);
+    table.add_row({spec.name, bench::fmt(infant, 3), bench::fmt(stable, 4),
+                   bench::fmt(wall, 2), bound + bench::fmt(infant / stable_for_ratio, 1) + "x",
+                   bound + bench::fmt(wall / stable_for_ratio, 0) + "x",
+                   bench::fmt(bathtub.infant_phase_end(), 2),
+                   bench::fmt(bathtub.deadline_phase_start(), 2)});
+  }
+  std::cout << table << "\n";
+
+  bench::print_claim(
+      "lifetimes have three distinct phases: steep infant mortality, a long "
+      "stable middle, and a deadline wall (bathtub hazard)",
+      "for every VM type the nonparametric hazard is >= " +
+          bench::fmt(min_infant_ratio, 1) + "x stable early and >= " +
+          bench::fmt(min_wall_ratio, 0) + "x stable at the wall");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Bag-of-jobs — run a scientific parameter sweep on the batch service.
+//
+// Recreates the paper's Sec. 6.3 scenario: a bag of 100 Nanoconfinement jobs
+// on a cluster of 32 preemptible n1-highcpu-32 VMs, with the model-driven
+// VM-reuse policy, and compares cost against conventional on-demand VMs.
+// Also contrasts the three reuse policies on the same bag.
+#include <iostream>
+
+#include "preempt.hpp"
+
+namespace {
+
+preempt::sim::ServiceReport run_bag(preempt::sim::ReusePolicyKind policy, std::uint64_t seed) {
+  using namespace preempt;
+  trace::RegimeKey regime;
+  regime.type = trace::VmType::kN1Highcpu32;
+  regime.zone = trace::Zone::kUsCentral1C;
+  const auto truth = trace::ground_truth_distribution(regime);
+
+  sim::ServiceConfig cfg;
+  cfg.vm_type = regime.type;
+  cfg.cluster_size = 32;
+  cfg.reuse_policy = policy;
+  cfg.seed = seed;
+
+  sim::BatchService service(cfg, truth.clone(), truth.clone());
+  const sim::Workload workload =
+      sim::repack_for_vm_type(sim::nanoconfinement(), trace::VmType::kN1Highcpu32);
+  sim::BagOfJobs bag;
+  bag.name = "nanoconfinement-sweep";
+  bag.spec = workload.job;
+  bag.count = 100;
+  service.submit_bag(bag);
+  return service.run();
+}
+
+}  // namespace
+
+int main() {
+  using namespace preempt;
+  std::cout << "Bag of 100 Nanoconfinement jobs on 32 x n1-highcpu-32 (preemptible)\n\n";
+
+  Table table({"reuse_policy", "makespan_h", "increase_pct", "preempts", "cost_per_job",
+               "on_demand_per_job", "reduction"},
+              "Policy comparison on the same bag");
+  for (auto [policy, label] :
+       {std::pair{sim::ReusePolicyKind::kModelDriven, "model-driven"},
+        std::pair{sim::ReusePolicyKind::kMemoryless, "memoryless"},
+        std::pair{sim::ReusePolicyKind::kAlwaysFresh, "always-fresh"}}) {
+    const sim::ServiceReport r = run_bag(policy, /*seed=*/20200623);
+    table.add_row({label, fmt_double(r.makespan_hours, 2),
+                   fmt_double(r.increase_fraction * 100.0, 1), std::to_string(r.preemptions),
+                   "$" + fmt_double(r.cost_per_job, 4),
+                   "$" + fmt_double(r.on_demand_cost_per_job, 4),
+                   fmt_double(r.cost_reduction_factor, 2) + "x"});
+  }
+  std::cout << table << "\n";
+  std::cout << "The model-driven policy reuses stable mid-life VMs and retires\n"
+               "VMs approaching the 24 h deadline, which is what keeps the\n"
+               "preemption overhead low (paper Sec. 6.3: <3% per preemption,\n"
+               "~5x cheaper than on-demand).\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Censored-campaign study — survival analysis for preemption measurement.
+//
+// The paper's methodology (Sec. 3.1) measures VM lifetimes until preemption.
+// In a realistic campaign many VMs are *not* preempted while observed: their
+// job finishes and the VM is shut down, or the study window closes. Those
+// lifetimes are right-censored. This example shows what goes wrong when a
+// study ignores censoring, and how the survival toolkit fixes it:
+//
+//   1. simulate a campaign where ~40% of VMs are shut down early,
+//   2. fit the bathtub model three ways:
+//        (a) naive  — treat shutdowns as preemptions (biased),
+//        (b) KM     — least squares on the Kaplan-Meier corrected CDF,
+//        (c) MLE    — censored maximum likelihood (exact),
+//   3. compare the fitted expected lifetimes against the ground truth, and
+//   4. put a log-rank p-value on Observation 5 (night VMs live longer).
+//
+// Build & run:  ./build/examples/censored_study
+#include <iostream>
+
+#include "preempt.hpp"
+
+int main() {
+  using namespace preempt;
+  using survival::SurvivalData;
+
+  // -- 1. A campaign with job-completion censoring ----------------------------
+  const trace::RegimeKey regime;  // n1-highcpu-16 / us-east1-b / day / batch
+  const dist::BathtubDistribution truth(trace::ground_truth_params(regime));
+  Rng rng(2019);
+
+  std::vector<double> lifetimes, shutdown_times;
+  for (int i = 0; i < 600; ++i) {
+    lifetimes.push_back(truth.sample(rng));
+    // Each VM runs a bag-of-jobs slice that finishes Uniform(4, 30) h after
+    // launch; the VM is relinquished then if it has not been preempted.
+    // (Slices longer than 24 h mean that part of the fleet is observed all
+    // the way to the deadline — without that the 24 h wall is statistically
+    // unidentifiable, censored or not.)
+    shutdown_times.push_back(4.0 + 26.0 * rng.uniform());
+  }
+  const SurvivalData data = SurvivalData::censor_at(lifetimes, shutdown_times);
+  std::cout << "campaign: " << data.size() << " VMs, " << data.event_count()
+            << " preemptions observed, " << data.censored_count()
+            << " censored by job completion ("
+            << 100.0 * static_cast<double>(data.censored_count()) /
+                   static_cast<double>(data.size())
+            << "%)\n\n";
+
+  // -- 2a. Naive fit: censorings mistaken for preemptions ---------------------
+  std::vector<double> naive_lifetimes;
+  for (const auto& o : data.observations()) naive_lifetimes.push_back(o.time);
+  const auto naive = fit::fit_bathtub_to_samples(naive_lifetimes, 24.0);
+
+  // -- 2b. Kaplan-Meier corrected least squares -------------------------------
+  const auto km = survival::kaplan_meier(data);
+  const auto pts = km.cdf_points();
+  const auto km_fit = fit::fit_bathtub(pts.t, pts.f, 24.0);
+
+  // -- 2c. Censored maximum likelihood ----------------------------------------
+  const auto mle = survival::fit_bathtub_mle(data);
+
+  // -- 3. Compare -------------------------------------------------------------
+  // Full mean lifetime, including the mass reclaimed exactly at the deadline
+  // (the Eq. 3 partial expectation alone would under-credit fits that push
+  // late mass into the atom).
+  auto expected_lifetime = [](const dist::Distribution& d) { return d.mean(); };
+  const double truth_el = truth.mean();
+
+  Table table({"estimator", "A", "tau1", "tau2", "b", "E[lifetime] (h)", "error vs truth"});
+  auto add_row = [&](const std::string& name, const dist::Distribution& d,
+                     const std::vector<double>& params) {
+    const double el = expected_lifetime(d);
+    table.add_row({name, fmt_double(params[0], 3), fmt_double(params[1], 3),
+                   fmt_double(params[2], 3), fmt_double(params[3], 3),
+                   fmt_double(el, 3),
+                   fmt_double(100.0 * (el - truth_el) / truth_el, 1) + "%"});
+  };
+  table.add_row({"ground truth", fmt_double(truth.params().scale, 3),
+                 fmt_double(truth.params().tau1, 3), fmt_double(truth.params().tau2, 3),
+                 fmt_double(truth.params().deadline, 3), fmt_double(truth_el, 3), "--"});
+  add_row("naive (censor=event)", *naive.distribution, naive.params);
+  add_row("KM-corrected LS", *km_fit.distribution, km_fit.params);
+  add_row("censored MLE", *mle.distribution, mle.params);
+  std::cout << table << "\n";
+
+  std::cout << "The naive estimator inflates the preemption rate (every job\n"
+               "completion looks like a preemption); both censoring-aware\n"
+               "estimators track the ground truth.\n\n";
+
+  // -- 4. Observation 5 with a p-value -----------------------------------------
+  trace::RegimeKey night = regime;
+  night.period = trace::DayPeriod::kNight;
+  const dist::BathtubDistribution night_truth(trace::ground_truth_params(night));
+  std::vector<double> day_lt, night_lt;
+  for (int i = 0; i < 300; ++i) {
+    day_lt.push_back(truth.sample(rng));
+    night_lt.push_back(night_truth.sample(rng));
+  }
+  const auto lr = survival::log_rank_test(SurvivalData::all_events(day_lt),
+                                          SurvivalData::all_events(night_lt));
+  std::cout << "log-rank test day vs night: chi2=" << lr.chi_squared
+            << "  p=" << lr.p_value
+            << (lr.significant() ? "  -> night VMs live significantly longer"
+                                 : "  -> no significant difference")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Quickstart — the 5-minute tour of libpreempt.
+//
+//   1. Obtain preemption observations (here: a synthetic measurement
+//      campaign standing in for real Google Preemptible VM lifetimes).
+//   2. Fit the constrained-preemption (bathtub) model.
+//   3. Ask the model operational questions: expected lifetime, failure
+//      probabilities, reuse decisions, and a checkpoint schedule.
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+
+#include "preempt.hpp"
+
+int main() {
+  using namespace preempt;
+
+  // -- 1. Collect lifetimes ---------------------------------------------------
+  // 200 n1-highcpu-16 VMs in us-east1-b (the paper's Fig. 1 regime). With real
+  // data you would call trace::Dataset::load_csv("preemptions.csv") instead.
+  trace::RegimeKey regime;  // defaults to n1-highcpu-16 / us-east1-b / day / batch
+  const trace::Dataset dataset = trace::generate_campaign({regime, 200, /*seed=*/7});
+  std::cout << "observed " << dataset.size() << " preemptions; median lifetime = "
+            << median(dataset.lifetimes()) << " h\n\n";
+
+  // -- 2. Fit the model -------------------------------------------------------
+  const core::PreemptionModel model = core::PreemptionModel::fit(dataset.lifetimes());
+  const auto& p = model.params();
+  std::cout << "fitted bathtub parameters: A=" << p.scale << " tau1=" << p.tau1
+            << " tau2=" << p.tau2 << " b=" << p.deadline
+            << "  (r2=" << model.fit_quality()->r2 << ")\n";
+  std::cout << "expected lifetime (Eq. 3): " << model.expected_lifetime() << " h\n\n";
+
+  // -- 3a. Failure probabilities ----------------------------------------------
+  std::cout << "P(6 h job fails | fresh VM)        = "
+            << model.job_failure_probability(0.0, 6.0) << "\n";
+  std::cout << "P(6 h job fails | 9 h old VM)      = "
+            << model.job_failure_probability(9.0, 6.0) << "\n";
+  std::cout << "P(6 h job fails | 19 h old VM)     = "
+            << model.job_failure_probability(19.0, 6.0) << "\n\n";
+
+  // -- 3b. VM reuse decisions (Sec. 4.2) ---------------------------------------
+  for (double age : {9.0, 20.0}) {
+    const policy::ReuseDecision d = model.reuse_decision(age, 6.0);
+    std::cout << "6 h job on a " << age << " h old VM -> "
+              << (d.reuse ? "REUSE it" : "LAUNCH A FRESH VM")
+              << "  (E[T_s]=" << d.expected_existing << " h vs E[T_0]=" << d.expected_fresh
+              << " h)\n";
+  }
+  std::cout << "\n";
+
+  // -- 3c. Checkpoint schedule (Sec. 4.3) ---------------------------------------
+  const policy::CheckpointDp dp = model.make_checkpoint_dp(5.0);
+  std::cout << "checkpoint intervals for a 5 h job on a fresh VM (minutes):";
+  for (double w : dp.schedule(0.0)) std::cout << " " << static_cast<int>(w * 60.0 + 0.5);
+  std::cout << "\nexpected runtime increase: " << dp.expected_increase_fraction(0.0) * 100.0
+            << "%\n";
+  return 0;
+}

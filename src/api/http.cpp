@@ -1,0 +1,198 @@
+#include "api/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "common/string_util.hpp"
+
+namespace preempt::api {
+
+std::string HttpRequest::path() const {
+  const auto q = target.find('?');
+  return q == std::string::npos ? target : target.substr(0, q);
+}
+
+std::optional<std::string> HttpRequest::query(const std::string& key) const {
+  const auto q = target.find('?');
+  if (q == std::string::npos) return std::nullopt;
+  std::size_t pos = q + 1;
+  while (pos < target.size()) {
+    std::size_t amp = target.find('&', pos);
+    if (amp == std::string::npos) amp = target.size();
+    const std::string pair = target.substr(pos, amp - pos);
+    const auto eq = pair.find('=');
+    const std::string k = url_decode(eq == std::string::npos ? pair : pair.substr(0, eq));
+    if (k == key) {
+      return url_decode(eq == std::string::npos ? "" : pair.substr(eq + 1));
+    }
+    pos = amp + 1;
+  }
+  return std::nullopt;
+}
+
+std::string HttpResponse::serialize() const {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
+  for (const auto& [k, v] : headers) out += k + ": " + v + "\r\n";
+  out += "content-length: " + std::to_string(body.size()) + "\r\n";
+  out += "connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+namespace {
+
+std::string reason_for(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace
+
+HttpResponse HttpResponse::json(int status, const std::string& body) {
+  HttpResponse r;
+  r.status = status;
+  r.reason = reason_for(status);
+  r.headers["content-type"] = "application/json";
+  r.body = body;
+  return r;
+}
+
+HttpResponse HttpResponse::text(int status, const std::string& body) {
+  HttpResponse r;
+  r.status = status;
+  r.reason = reason_for(status);
+  r.headers["content-type"] = "text/plain";
+  r.body = body;
+  return r;
+}
+
+HttpResponse HttpResponse::not_found() {
+  return json(404, R"({"error":"not found"})");
+}
+
+HttpResponse HttpResponse::bad_request(const std::string& why) {
+  return json(400, "{\"error\":\"" + why + "\"}");
+}
+
+HttpResponse HttpResponse::method_not_allowed() {
+  return json(405, R"({"error":"method not allowed"})");
+}
+
+bool HttpRequestParser::feed(const char* data, std::size_t size) {
+  if (state_ == State::kError) return false;
+  buffer_.append(data, size);
+
+  if (state_ == State::kHead) {
+    const auto head_end = buffer_.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+      if (buffer_.size() > kMaxHeaderBytes) {
+        state_ = State::kError;
+        error_ = "header section too large";
+        return false;
+      }
+      return true;  // need more bytes
+    }
+    if (!parse_head()) return false;
+    buffer_.erase(0, head_end + 4);
+    state_ = State::kBody;
+  }
+
+  if (state_ == State::kBody) {
+    if (buffer_.size() >= body_expected_) {
+      request_.body = buffer_.substr(0, body_expected_);
+      state_ = State::kDone;
+    }
+  }
+  return true;
+}
+
+bool HttpRequestParser::parse_head() {
+  const auto head_end = buffer_.find("\r\n\r\n");
+  const std::string head = buffer_.substr(0, head_end);
+
+  // Request line.
+  const auto line_end = head.find("\r\n");
+  const std::string request_line = head.substr(0, line_end);
+  const auto sp1 = request_line.find(' ');
+  const auto sp2 = request_line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) {
+    state_ = State::kError;
+    error_ = "malformed request line";
+    return false;
+  }
+  request_.method = request_line.substr(0, sp1);
+  request_.target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  request_.version = request_line.substr(sp2 + 1);
+  if (request_.version.rfind("HTTP/", 0) != 0 || request_.target.empty() ||
+      request_.method.empty()) {
+    state_ = State::kError;
+    error_ = "malformed request line";
+    return false;
+  }
+
+  // Headers.
+  std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string line = head.substr(pos, eol - pos);
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) {
+      state_ = State::kError;
+      error_ = "malformed header line";
+      return false;
+    }
+    request_.headers[to_lower(trim(line.substr(0, colon)))] = trim(line.substr(colon + 1));
+    pos = eol + 2;
+  }
+
+  // Body length.
+  body_expected_ = 0;
+  if (const auto it = request_.headers.find("content-length"); it != request_.headers.end()) {
+    try {
+      const long long n = std::stoll(it->second);
+      if (n < 0 || static_cast<std::size_t>(n) > kMaxBody) throw std::out_of_range("size");
+      body_expected_ = static_cast<std::size_t>(n);
+    } catch (const std::exception&) {
+      state_ = State::kError;
+      error_ = "bad content-length";
+      return false;
+    }
+  }
+  if (request_.headers.count("transfer-encoding") != 0) {
+    state_ = State::kError;
+    error_ = "chunked encoding not supported";
+    return false;
+  }
+  return true;
+}
+
+std::string url_decode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size() && std::isxdigit(static_cast<unsigned char>(s[i + 1])) &&
+        std::isxdigit(static_cast<unsigned char>(s[i + 2]))) {
+      const auto hex = [](char c) -> unsigned {
+        if (c >= '0' && c <= '9') return static_cast<unsigned>(c - '0');
+        if (c >= 'a' && c <= 'f') return static_cast<unsigned>(c - 'a' + 10);
+        return static_cast<unsigned>(c - 'A' + 10);
+      };
+      out += static_cast<char>((hex(s[i + 1]) << 4) | hex(s[i + 2]));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace preempt::api

@@ -1,0 +1,76 @@
+// Minimal HTTP/1.1 message types and wire parsing for the service API.
+//
+// Scope: exactly what the batch-service controller needs — request line +
+// headers + Content-Length bodies, no chunked encoding, no TLS, loopback
+// only. The parser is incremental so the server can feed it straight from
+// recv() buffers.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace preempt::api {
+
+struct HttpRequest {
+  std::string method;   ///< GET, POST, ...
+  std::string target;   ///< raw request target, e.g. /api/bags?limit=5
+  std::string version;  ///< HTTP/1.1
+  std::map<std::string, std::string> headers;  ///< keys lower-cased
+  std::string body;
+
+  /// Target path without the query string.
+  std::string path() const;
+  /// Decoded query parameter, or nullopt.
+  std::optional<std::string> query(const std::string& key) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  /// Serialise with Content-Length and Connection: close.
+  std::string serialize() const;
+
+  static HttpResponse json(int status, const std::string& body);
+  static HttpResponse text(int status, const std::string& body);
+  static HttpResponse not_found();
+  static HttpResponse bad_request(const std::string& why);
+  static HttpResponse method_not_allowed();
+};
+
+/// Incremental request parser: feed() bytes until complete() or error().
+class HttpRequestParser {
+ public:
+  /// Append received bytes; returns false on a malformed request (error()
+  /// carries the reason).
+  bool feed(const char* data, std::size_t size);
+
+  bool complete() const noexcept { return state_ == State::kDone; }
+  bool failed() const noexcept { return state_ == State::kError; }
+  const std::string& error() const noexcept { return error_; }
+  /// Valid once complete().
+  const HttpRequest& request() const noexcept { return request_; }
+
+  /// Total body bytes the parser will accept (guard against abuse).
+  static constexpr std::size_t kMaxBody = 16 * 1024 * 1024;
+  static constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+
+ private:
+  bool parse_head();
+
+  enum class State { kHead, kBody, kDone, kError };
+  State state_ = State::kHead;
+  std::string buffer_;
+  std::size_t body_expected_ = 0;
+  HttpRequest request_;
+  std::string error_;
+};
+
+/// Percent-decode a URL component (+ is NOT treated as space).
+std::string url_decode(const std::string& s);
+
+}  // namespace preempt::api

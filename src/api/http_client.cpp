@@ -1,0 +1,112 @@
+#include "api/http_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace preempt::api {
+
+namespace {
+
+/// Parse a full HTTP response (status line, headers, Content-Length body).
+HttpResponse parse_response(const std::string& wire) {
+  HttpResponse response;
+  const auto head_end = wire.find("\r\n\r\n");
+  if (head_end == std::string::npos) throw IoError("truncated HTTP response");
+  const std::string head = wire.substr(0, head_end);
+
+  const auto line_end = head.find("\r\n");
+  const std::string status_line = head.substr(0, line_end);
+  const auto sp1 = status_line.find(' ');
+  if (sp1 == std::string::npos) throw IoError("malformed status line");
+  const auto sp2 = status_line.find(' ', sp1 + 1);
+  try {
+    response.status = std::stoi(status_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  } catch (const std::exception&) {
+    throw IoError("malformed status code");
+  }
+  if (sp2 != std::string::npos) response.reason = status_line.substr(sp2 + 1);
+
+  std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string line = head.substr(pos, eol - pos);
+    if (const auto colon = line.find(':'); colon != std::string::npos) {
+      response.headers[to_lower(trim(line.substr(0, colon)))] = trim(line.substr(colon + 1));
+    }
+    pos = eol + 2;
+  }
+  response.body = wire.substr(head_end + 4);
+  if (const auto it = response.headers.find("content-length"); it != response.headers.end()) {
+    const auto expected = static_cast<std::size_t>(std::stoll(it->second));
+    if (response.body.size() < expected) throw IoError("short HTTP body");
+    response.body.resize(expected);
+  }
+  return response;
+}
+
+}  // namespace
+
+HttpResponse http_request(std::uint16_t port, const std::string& method,
+                          const std::string& target, const std::string& body,
+                          const std::string& content_type) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw IoError("socket() failed: " + std::string(std::strerror(errno)));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw IoError("connect() to port " + std::to_string(port) + " failed: " + why);
+  }
+
+  std::string wire = method + " " + target + " HTTP/1.1\r\n";
+  wire += "host: 127.0.0.1\r\n";
+  if (!body.empty()) {
+    wire += "content-type: " + content_type + "\r\n";
+    wire += "content-length: " + std::to_string(body.size()) + "\r\n";
+  }
+  wire += "\r\n";
+  wire += body;
+
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      throw IoError("send() failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  ::shutdown(fd, SHUT_WR);
+
+  std::string received;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    received.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return parse_response(received);
+}
+
+HttpResponse http_get(std::uint16_t port, const std::string& target) {
+  return http_request(port, "GET", target);
+}
+
+HttpResponse http_post(std::uint16_t port, const std::string& target, const std::string& body) {
+  return http_request(port, "POST", target, body);
+}
+
+}  // namespace preempt::api

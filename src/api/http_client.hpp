@@ -1,0 +1,23 @@
+// A tiny blocking HTTP/1.1 client for loopback use (tests, examples, and the
+// `preempt-batchd` tool's self-check). One request per connection, matching
+// the server's Connection: close policy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "api/http.hpp"
+
+namespace preempt::api {
+
+/// Perform one request against 127.0.0.1:port. Throws IoError on connection
+/// or protocol failures.
+HttpResponse http_request(std::uint16_t port, const std::string& method,
+                          const std::string& target, const std::string& body = "",
+                          const std::string& content_type = "application/json");
+
+/// Convenience wrappers.
+HttpResponse http_get(std::uint16_t port, const std::string& target);
+HttpResponse http_post(std::uint16_t port, const std::string& target, const std::string& body);
+
+}  // namespace preempt::api

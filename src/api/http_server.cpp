@@ -1,0 +1,131 @@
+#include "api/http_server.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace preempt::api {
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start(HttpHandler handler, Options options) {
+  PREEMPT_REQUIRE(handler != nullptr, "http server needs a handler");
+  PREEMPT_REQUIRE(!running_.load(), "http server already running");
+  handler_ = std::move(handler);
+  options_ = options;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw IoError("socket() failed: " + std::string(std::strerror(errno)));
+
+  const int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // never exposed beyond the host
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw IoError("bind() failed: " + why);
+  }
+  if (::listen(listen_fd_, options_.backlog) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw IoError("listen() failed: " + why);
+  }
+
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false)) {
+    // Not running: still join a finished accept thread if present.
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  // shutdown() unblocks accept() so the loop observes running_ == false.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    const std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers.swap(workers_);
+  }
+  for (auto& w : workers) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void HttpServer::accept_loop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) break;  // stop() closed the listener
+      continue;                     // transient accept error
+    }
+    const timeval tv{options_.recv_timeout_seconds, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    const std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  HttpRequestParser parser;
+  char buf[4096];
+  HttpResponse response;
+  bool have_response = false;
+
+  while (!parser.complete()) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // peer closed, timeout or error
+    if (!parser.feed(buf, static_cast<std::size_t>(n))) {
+      response = HttpResponse::bad_request(parser.error());
+      have_response = true;
+      break;
+    }
+  }
+
+  if (!have_response) {
+    if (!parser.complete()) {
+      ::close(fd);
+      return;  // truncated request; nothing sensible to answer
+    }
+    try {
+      response = handler_(parser.request());
+    } catch (const Error& e) {
+      response = HttpResponse::json(500, std::string("{\"error\":\"") + e.what() + "\"}");
+    } catch (const std::exception& e) {
+      response = HttpResponse::json(500, std::string("{\"error\":\"") + e.what() + "\"}");
+    }
+  }
+
+  const std::string wire = response.serialize();
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  ::shutdown(fd, SHUT_WR);
+  // Drain briefly so the peer sees a clean close, then release the socket.
+  (void)::recv(fd, buf, sizeof(buf), 0);
+  ::close(fd);
+}
+
+}  // namespace preempt::api

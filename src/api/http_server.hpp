@@ -1,0 +1,63 @@
+// A small threaded HTTP/1.1 server over POSIX sockets (loopback only).
+//
+// One accept thread plus one thread per connection — connections are short
+// (Connection: close) and the controller's request rate is human-scale, so
+// the simple model is the right one. Binding to port 0 picks an ephemeral
+// port, reported by port(); tests use that to avoid collisions.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/http.hpp"
+
+namespace preempt::api {
+
+/// Request handler: must be thread-safe (called from connection threads).
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  struct Options {
+    std::uint16_t port = 0;       ///< 0 = ephemeral
+    int backlog = 16;
+    int recv_timeout_seconds = 5; ///< drop connections idle past this
+  };
+
+  HttpServer() = default;
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Bind, listen and start serving `handler` on a background thread.
+  /// Throws IoError when the socket cannot be set up.
+  void start(HttpHandler handler, Options options);
+  void start(HttpHandler handler) { start(std::move(handler), Options{}); }
+
+  /// Port actually bound (valid after start()).
+  std::uint16_t port() const noexcept { return port_; }
+
+  bool running() const noexcept { return running_.load(); }
+
+  /// Stop accepting, close the listener and join all threads. Idempotent.
+  void stop();
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+
+  HttpHandler handler_;
+  Options options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace preempt::api

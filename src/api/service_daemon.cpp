@@ -1,0 +1,335 @@
+#include "api/service_daemon.hpp"
+
+#include <charconv>
+
+#include "common/error.hpp"
+#include "trace/generator.hpp"
+#include "trace/vm_catalog.hpp"
+
+namespace preempt::api {
+
+namespace {
+
+std::string regime_string(const trace::RegimeKey& key) {
+  return trace::to_string(key.type) + "/" + trace::to_string(key.zone) + "/" +
+         trace::to_string(key.period) + "/" + trace::to_string(key.workload);
+}
+
+JsonValue model_json(const trace::RegimeKey& key, const core::PreemptionModel& model) {
+  const auto& p = model.params();
+  JsonObject obj;
+  obj.emplace_back("regime", regime_string(key));
+  obj.emplace_back("A", p.scale);
+  obj.emplace_back("tau1", p.tau1);
+  obj.emplace_back("tau2", p.tau2);
+  obj.emplace_back("b", p.deadline);
+  obj.emplace_back("horizon", p.horizon);
+  obj.emplace_back("expected_lifetime_hours", model.expected_lifetime());
+  if (model.fit_quality()) {
+    obj.emplace_back("fit_r2", model.fit_quality()->r2);
+    obj.emplace_back("fit_sse", model.fit_quality()->sse);
+  }
+  return JsonValue(std::move(obj));
+}
+
+JsonValue report_json(std::uint64_t id, const std::string& app,
+                      const sim::ServiceReport& report) {
+  JsonObject obj;
+  obj.emplace_back("id", id);
+  obj.emplace_back("app", app);
+  obj.emplace_back("jobs_completed", report.jobs_completed);
+  obj.emplace_back("makespan_hours", report.makespan_hours);
+  obj.emplace_back("increase_fraction", report.increase_fraction);
+  obj.emplace_back("cost_per_job", report.cost_per_job);
+  obj.emplace_back("on_demand_cost_per_job", report.on_demand_cost_per_job);
+  obj.emplace_back("cost_reduction_factor", report.cost_reduction_factor);
+  obj.emplace_back("preemptions", report.preemptions);
+  obj.emplace_back("preemptions_total", report.preemptions_total);
+  obj.emplace_back("vms_launched", report.vms_launched);
+  obj.emplace_back("wasted_hours", report.wasted_hours);
+  return JsonValue(std::move(obj));
+}
+
+}  // namespace
+
+ServiceDaemon::ServiceDaemon(Options options) : options_(options) {
+  // Bootstrap the per-regime models from a synthetic measurement study, as
+  // the paper's controller bootstrapped its CDFs from early campaign data.
+  trace::StudyConfig study;
+  study.seed = options_.bootstrap_seed;
+  study.vms_per_cell = options_.bootstrap_vms_per_cell;
+  const trace::Dataset dataset = trace::generate_study(study);
+  registry_ = core::ModelRegistry::fit_from_dataset(dataset, options_.horizon_hours);
+}
+
+void ServiceDaemon::start(std::uint16_t port) {
+  HttpServer::Options opts;
+  opts.port = port;
+  server_.start([this](const HttpRequest& request) { return handle(request); }, opts);
+}
+
+void ServiceDaemon::stop() { server_.stop(); }
+
+std::size_t ServiceDaemon::bags_completed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return bags_.size();
+}
+
+trace::RegimeKey ServiceDaemon::parse_regime(const HttpRequest& request, const JsonValue* body) {
+  trace::RegimeKey key;  // defaults: n1-highcpu-16 / us-east1-b / day / batch
+  auto field = [&](const char* name) -> std::optional<std::string> {
+    if (auto q = request.query(name)) return q;
+    if (body != nullptr) {
+      if (const JsonValue* v = body->find(name); v && v->is_string()) return v->as_string();
+    }
+    return std::nullopt;
+  };
+  if (const auto type = field("type")) {
+    const auto parsed = trace::vm_type_from_string(*type);
+    PREEMPT_REQUIRE(parsed.has_value(), "unknown vm type '" + *type + "'");
+    key.type = *parsed;
+  }
+  if (const auto zone = field("zone")) {
+    const auto parsed = trace::zone_from_string(*zone);
+    PREEMPT_REQUIRE(parsed.has_value(), "unknown zone '" + *zone + "'");
+    key.zone = *parsed;
+  }
+  if (const auto period = field("period")) {
+    const auto parsed = trace::day_period_from_string(*period);
+    PREEMPT_REQUIRE(parsed.has_value(), "unknown period '" + *period + "'");
+    key.period = *parsed;
+  }
+  if (const auto workload = field("workload")) {
+    const auto parsed = trace::workload_from_string(*workload);
+    PREEMPT_REQUIRE(parsed.has_value(), "unknown workload '" + *workload + "'");
+    key.workload = *parsed;
+  }
+  return key;
+}
+
+ServiceDaemon::DriftMonitors& ServiceDaemon::monitors_for(const trace::RegimeKey& key) {
+  const std::string id = regime_string(key);
+  auto it = drift_.find(id);
+  if (it == drift_.end()) {
+    const core::PreemptionModel& model = registry_.lookup(key);
+    core::DriftDetector::Options ks_opts;
+    ks_opts.ks_critical = 1.90;  // baseline is itself fitted (Lilliefors)
+    core::CusumDetector::Options cs_opts;
+    cs_opts.threshold = 12.0;
+    it = drift_
+             .emplace(id, DriftMonitors{core::DriftDetector(model, ks_opts),
+                                        core::CusumDetector(model.distribution(), cs_opts)})
+             .first;
+  }
+  return it->second;
+}
+
+HttpResponse ServiceDaemon::handle(const HttpRequest& request) {
+  try {
+    const std::string path = request.path();
+    if (path == "/healthz") {
+      if (request.method != "GET") return HttpResponse::method_not_allowed();
+      return HttpResponse::json(200, R"({"status":"ok","service":"preempt-batch"})");
+    }
+    if (path == "/api/model") {
+      if (request.method != "GET") return HttpResponse::method_not_allowed();
+      return get_model(request);
+    }
+    if (path == "/api/lifetime") {
+      if (request.method != "GET") return HttpResponse::method_not_allowed();
+      return get_lifetime(request);
+    }
+    if (path == "/api/decisions/reuse") {
+      if (request.method != "GET") return HttpResponse::method_not_allowed();
+      return get_reuse_decision(request);
+    }
+    if (path == "/api/bags") {
+      if (request.method == "POST") return post_bag(request);
+      if (request.method == "GET") return get_bags();
+      return HttpResponse::method_not_allowed();
+    }
+    if (path.rfind("/api/bags/", 0) == 0) {
+      if (request.method != "GET") return HttpResponse::method_not_allowed();
+      const std::string tail = path.substr(std::string("/api/bags/").size());
+      std::uint64_t id = 0;
+      const auto [ptr, ec] = std::from_chars(tail.data(), tail.data() + tail.size(), id);
+      if (ec != std::errc{} || ptr != tail.data() + tail.size()) {
+        return HttpResponse::bad_request("bad bag id");
+      }
+      return get_bag(id);
+    }
+    if (path == "/api/lifetimes") {
+      if (request.method != "POST") return HttpResponse::method_not_allowed();
+      return post_lifetimes(request);
+    }
+    return HttpResponse::not_found();
+  } catch (const InvalidArgument& e) {
+    return HttpResponse::bad_request(e.what());
+  } catch (const IoError& e) {
+    return HttpResponse::bad_request(e.what());
+  }
+}
+
+HttpResponse ServiceDaemon::get_model(const HttpRequest& request) {
+  const trace::RegimeKey key = parse_regime(request, nullptr);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::PreemptionModel& model = registry_.lookup(key);
+  return HttpResponse::json(200, model_json(key, model).dump());
+}
+
+HttpResponse ServiceDaemon::get_lifetime(const HttpRequest& request) {
+  const trace::RegimeKey key = parse_regime(request, nullptr);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::PreemptionModel& model = registry_.lookup(key);
+  JsonObject obj;
+  obj.emplace_back("regime", regime_string(key));
+  obj.emplace_back("expected_lifetime_hours", model.expected_lifetime());
+  obj.emplace_back("mean_lifetime_hours", model.mean_lifetime());
+  return HttpResponse::json(200, JsonValue(std::move(obj)).dump());
+}
+
+HttpResponse ServiceDaemon::get_reuse_decision(const HttpRequest& request) {
+  const trace::RegimeKey key = parse_regime(request, nullptr);
+  const auto age_param = request.query("age");
+  const auto job_param = request.query("job");
+  if (!age_param || !job_param) {
+    return HttpResponse::bad_request("age and job query parameters are required");
+  }
+  double age = 0.0, job = 0.0;
+  try {
+    age = std::stod(*age_param);
+    job = std::stod(*job_param);
+  } catch (const std::exception&) {
+    return HttpResponse::bad_request("age/job must be numbers");
+  }
+  if (age < 0.0 || job <= 0.0) return HttpResponse::bad_request("age >= 0 and job > 0 required");
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::PreemptionModel& model = registry_.lookup(key);
+  const auto decision = model.reuse_decision(age, job);
+  JsonObject obj;
+  obj.emplace_back("regime", regime_string(key));
+  obj.emplace_back("vm_age_hours", age);
+  obj.emplace_back("job_hours", job);
+  obj.emplace_back("reuse", decision.reuse);
+  obj.emplace_back("expected_existing_hours", decision.expected_existing);
+  obj.emplace_back("expected_fresh_hours", decision.expected_fresh);
+  obj.emplace_back("failure_probability", decision.failure_probability);
+  return HttpResponse::json(200, JsonValue(std::move(obj)).dump());
+}
+
+HttpResponse ServiceDaemon::post_bag(const HttpRequest& request) {
+  const JsonValue body = parse_json(request.body.empty() ? "{}" : request.body);
+  if (!body.is_object()) return HttpResponse::bad_request("body must be a JSON object");
+
+  const std::string app = body.string_or("app", "nanoconfinement");
+  sim::Workload workload;
+  bool found = false;
+  for (const auto& w : sim::all_workloads()) {
+    if (w.name == app) {
+      workload = w;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return HttpResponse::bad_request("unknown app '" + app + "'");
+
+  const auto jobs = static_cast<std::size_t>(body.number_or("jobs", 50));
+  const auto vms = static_cast<std::size_t>(body.number_or("vms", 16));
+  if (jobs == 0 || jobs > 100000) return HttpResponse::bad_request("jobs must be in 1..100000");
+  if (vms == 0 || vms > 4096) return HttpResponse::bad_request("vms must be in 1..4096");
+
+  sim::ServiceConfig cfg;
+  cfg.vm_type = workload.vm_type;
+  cfg.cluster_size = vms;
+  cfg.seed = static_cast<std::uint64_t>(body.number_or("seed", 42));
+  const std::string policy = body.string_or("policy", "model");
+  if (policy == "model") {
+    cfg.reuse_policy = sim::ReusePolicyKind::kModelDriven;
+  } else if (policy == "memoryless") {
+    cfg.reuse_policy = sim::ReusePolicyKind::kMemoryless;
+  } else if (policy == "fresh") {
+    cfg.reuse_policy = sim::ReusePolicyKind::kAlwaysFresh;
+  } else {
+    return HttpResponse::bad_request("unknown policy '" + policy + "'");
+  }
+
+  const trace::RegimeKey regime{workload.vm_type, trace::Zone::kUsEast1B,
+                                trace::DayPeriod::kDay, trace::WorkloadKind::kBatch};
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::PreemptionModel& model = registry_.lookup(regime);
+  sim::BatchService service(cfg, trace::ground_truth_distribution(regime).clone(),
+                            model.distribution().clone());
+  sim::BagOfJobs bag;
+  bag.name = app;
+  bag.spec = workload.job;
+  bag.count = jobs;
+  service.submit_bag(bag);
+  const sim::ServiceReport report = service.run();
+
+  const std::uint64_t id = next_bag_id_++;
+  bags_.push_back({id, app, report});
+  return HttpResponse::json(201, report_json(id, app, report).dump());
+}
+
+HttpResponse ServiceDaemon::get_bags() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  JsonArray arr;
+  for (const auto& bag : bags_) {
+    JsonObject summary;
+    summary.emplace_back("id", bag.id);
+    summary.emplace_back("app", bag.app);
+    summary.emplace_back("jobs_completed", bag.report.jobs_completed);
+    summary.emplace_back("cost_reduction_factor", bag.report.cost_reduction_factor);
+    arr.emplace_back(std::move(summary));
+  }
+  JsonObject obj;
+  obj.emplace_back("bags", std::move(arr));
+  return HttpResponse::json(200, JsonValue(std::move(obj)).dump());
+}
+
+HttpResponse ServiceDaemon::get_bag(std::uint64_t id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& bag : bags_) {
+    if (bag.id == id) {
+      return HttpResponse::json(200, report_json(bag.id, bag.app, bag.report).dump());
+    }
+  }
+  return HttpResponse::not_found();
+}
+
+HttpResponse ServiceDaemon::post_lifetimes(const HttpRequest& request) {
+  const JsonValue body = parse_json(request.body.empty() ? "{}" : request.body);
+  if (!body.is_object()) return HttpResponse::bad_request("body must be a JSON object");
+  const JsonValue* lifetimes = body.find("lifetimes");
+  if (lifetimes == nullptr || !lifetimes->is_array() || lifetimes->as_array().empty()) {
+    return HttpResponse::bad_request("lifetimes must be a non-empty array of hours");
+  }
+  const trace::RegimeKey key = parse_regime(request, &body);
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  DriftMonitors& monitors = monitors_for(key);
+  for (const auto& v : lifetimes->as_array()) {
+    if (!v.is_number() || v.as_number() < 0.0) {
+      return HttpResponse::bad_request("lifetimes must be non-negative numbers");
+    }
+    monitors.ks.observe(v.as_number());
+    monitors.cusum.observe(v.as_number());
+  }
+  const auto ks = monitors.ks.status();
+  const auto cusum = monitors.cusum.status();
+  JsonObject obj;
+  obj.emplace_back("regime", regime_string(key));
+  obj.emplace_back("observed", lifetimes->as_array().size());
+  obj.emplace_back("ks_statistic", ks.ks);
+  obj.emplace_back("ks_threshold", ks.threshold);
+  obj.emplace_back("ks_drift", ks.drift);
+  obj.emplace_back("cusum_shorter", cusum.stat_shorter);
+  obj.emplace_back("cusum_longer", cusum.stat_longer);
+  obj.emplace_back("cusum_alarm", cusum.alarm);
+  obj.emplace_back("drift_detected", ks.drift || cusum.alarm);
+  return HttpResponse::json(200, JsonValue(std::move(obj)).dump());
+}
+
+}  // namespace preempt::api

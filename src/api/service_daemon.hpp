@@ -1,0 +1,96 @@
+// The batch-service controller's HTTP API (paper Sec. 5: "The controller ...
+// exposes an HTTP API to end-users. Users submit jobs to the controller via
+// the HTTP API").
+//
+// Endpoints (all JSON):
+//   GET  /healthz                      liveness probe
+//   GET  /api/model?type=&zone=&period=&workload=
+//                                      fitted bathtub parameters for a regime
+//   GET  /api/lifetime?type=&zone=     Eq. 3 expected lifetime for a regime
+//   GET  /api/decisions/reuse?age=&job=&type=&zone=
+//                                      one Sec. 4.2 VM-reuse decision
+//   POST /api/bags                     submit a bag of jobs; runs the batch
+//                                      service simulation and returns the
+//                                      report   {"app","jobs","vms","policy",
+//                                      "seed","checkpointing"}
+//   GET  /api/bags                     all completed bag reports (summaries)
+//   GET  /api/bags/<id>                one full report
+//   POST /api/lifetimes                feed observed lifetimes to the drift
+//                                      monitors {"type","zone","lifetimes":[..]}
+//
+// The daemon owns one ModelRegistry bootstrapped from a synthetic study
+// (standing in for the paper's Sec. 3.1 campaign) plus per-regime drift
+// monitors. Handlers are synchronous: a POST /api/bags call runs the DES to
+// completion before responding — bags simulate in milliseconds.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "api/http.hpp"
+#include "api/http_server.hpp"
+#include "common/json.hpp"
+#include "core/cusum.hpp"
+#include "core/drift.hpp"
+#include "core/registry.hpp"
+#include "sim/service.hpp"
+
+namespace preempt::api {
+
+class ServiceDaemon {
+ public:
+  struct Options {
+    std::uint64_t bootstrap_seed = 2019;  ///< seed of the synthetic Sec. 3.1 study
+    std::size_t bootstrap_vms_per_cell = 44;
+    double horizon_hours = 24.0;
+  };
+
+  explicit ServiceDaemon(Options options);
+  ServiceDaemon() : ServiceDaemon(Options{}) {}
+
+  /// Route one request (thread-safe); usable directly in tests without a
+  /// socket in the loop.
+  HttpResponse handle(const HttpRequest& request);
+
+  /// Serve over HTTP on loopback; port 0 picks an ephemeral port.
+  void start(std::uint16_t port = 0);
+  std::uint16_t port() const noexcept { return server_.port(); }
+  void stop();
+
+  std::size_t bags_completed() const;
+
+ private:
+  struct DriftMonitors {
+    core::DriftDetector ks;
+    core::CusumDetector cusum;
+  };
+
+  HttpResponse get_model(const HttpRequest& request);
+  HttpResponse get_lifetime(const HttpRequest& request);
+  HttpResponse get_reuse_decision(const HttpRequest& request);
+  HttpResponse post_bag(const HttpRequest& request);
+  HttpResponse get_bags() const;
+  HttpResponse get_bag(std::uint64_t id) const;
+  HttpResponse post_lifetimes(const HttpRequest& request);
+
+  /// Regime from query parameters / JSON body fields (missing -> defaults).
+  static trace::RegimeKey parse_regime(const HttpRequest& request, const JsonValue* body);
+  DriftMonitors& monitors_for(const trace::RegimeKey& key);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  core::ModelRegistry registry_;
+  std::map<std::string, DriftMonitors> drift_;  ///< keyed by regime string
+  struct BagRecord {
+    std::uint64_t id;
+    std::string app;
+    sim::ServiceReport report;
+  };
+  std::vector<BagRecord> bags_;
+  std::uint64_t next_bag_id_ = 1;
+  HttpServer server_;
+};
+
+}  // namespace preempt::api

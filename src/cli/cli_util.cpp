@@ -1,0 +1,71 @@
+#include "cli/cli_util.hpp"
+
+#include <ostream>
+
+#include "common/error.hpp"
+#include "trace/generator.hpp"
+#include "trace/public_dataset.hpp"
+#include "trace/vm_catalog.hpp"
+
+namespace preempt::cli {
+
+void add_regime_flags(FlagSet& flags) {
+  flags.add_string("type", "n1-highcpu-16", "VM type (n1-highcpu-{2,4,8,16,32})");
+  flags.add_string("zone", "us-east1-b",
+                   "zone (us-central1-c, us-central1-f, us-west1-a, us-east1-b)");
+  flags.add_string("period", "day", "launch period: day | night");
+  flags.add_string("workload", "batch", "workload inside the VM: batch | idle");
+}
+
+trace::RegimeKey regime_from_flags(const FlagSet& flags) {
+  trace::RegimeKey key;
+  const auto type = trace::vm_type_from_string(flags.get_string("type"));
+  PREEMPT_REQUIRE(type.has_value(), "unknown --type '" + flags.get_string("type") + "'");
+  key.type = *type;
+  const auto zone = trace::zone_from_string(flags.get_string("zone"));
+  PREEMPT_REQUIRE(zone.has_value(), "unknown --zone '" + flags.get_string("zone") + "'");
+  key.zone = *zone;
+  const auto period = trace::day_period_from_string(flags.get_string("period"));
+  PREEMPT_REQUIRE(period.has_value(), "unknown --period '" + flags.get_string("period") + "'");
+  key.period = *period;
+  const auto workload = trace::workload_from_string(flags.get_string("workload"));
+  PREEMPT_REQUIRE(workload.has_value(),
+                  "unknown --workload '" + flags.get_string("workload") + "'");
+  key.workload = *workload;
+  return key;
+}
+
+void add_data_flags(FlagSet& flags) {
+  flags.add_string("input", "",
+                   "CSV of observed lifetimes (tolerant schema); when absent, a synthetic "
+                   "campaign is generated");
+  flags.add_int("count", 200, "synthetic sample size when no --input is given");
+  flags.add_int("seed", 42, "RNG seed for synthetic data");
+  add_regime_flags(flags);
+}
+
+std::vector<double> lifetimes_from_flags(const FlagSet& flags, std::ostream& err) {
+  const trace::RegimeKey regime = regime_from_flags(flags);
+  if (const std::string path = flags.get_string("input"); !path.empty()) {
+    trace::ImportOptions opts;
+    opts.default_type = regime.type;
+    opts.default_zone = regime.zone;
+    auto report = trace::load_public_csv(path, opts);
+    for (const auto& w : report.warnings) err << "warning: " << w << "\n";
+    // Filter to the requested regime only when the flags were given
+    // explicitly; otherwise analyse the file as a whole.
+    trace::Dataset ds = std::move(report.dataset);
+    if (flags.is_set("type")) ds = ds.by_type(regime.type);
+    if (flags.is_set("zone")) ds = ds.by_zone(regime.zone);
+    if (flags.is_set("period")) ds = ds.by_period(regime.period);
+    PREEMPT_REQUIRE(!ds.empty(), "no rows left after filtering '" + path + "'");
+    return ds.lifetimes();
+  }
+  trace::CampaignConfig cfg;
+  cfg.regime = regime;
+  cfg.vm_count = static_cast<std::size_t>(flags.get_int("count"));
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  return trace::generate_campaign(cfg).lifetimes();
+}
+
+}  // namespace preempt::cli

@@ -1,0 +1,28 @@
+// Shared helpers for the CLI subcommands (internal header).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "trace/dataset.hpp"
+#include "trace/ground_truth.hpp"
+
+namespace preempt::cli {
+
+/// Declare the regime-selection flags shared by several commands.
+void add_regime_flags(FlagSet& flags);
+
+/// Resolve the regime flags into a ground-truth key.
+trace::RegimeKey regime_from_flags(const FlagSet& flags);
+
+/// Load lifetimes from --input (tolerant public-schema importer), applying
+/// optional --type/--zone filters; or, when --input is absent, synthesize
+/// --count samples from the ground-truth regime.
+std::vector<double> lifetimes_from_flags(const FlagSet& flags, std::ostream& err);
+
+/// Declare --input/--count/--seed alongside the regime flags.
+void add_data_flags(FlagSet& flags);
+
+}  // namespace preempt::cli

@@ -1,0 +1,58 @@
+// `preempt checkpoint` — DP checkpoint schedule (Sec. 4.3) vs Young-Daly.
+#include <ostream>
+
+#include "cli/cli_util.hpp"
+#include "cli/commands.hpp"
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "core/model.hpp"
+#include "policy/checkpoint.hpp"
+
+namespace preempt::cli {
+
+int cmd_checkpoint(const Args& args, std::ostream& out, std::ostream& err) {
+  FlagSet flags("preempt checkpoint");
+  add_data_flags(flags);
+  flags.add_double("job", 5.0, "job length J (hours)");
+  flags.add_double("age", 0.0, "VM age when the job starts (hours)");
+  flags.add_double("delta-min", 1.0, "checkpoint write cost delta (minutes)");
+  flags.add_double("mttf", 1.0, "MTTF assumed by the Young-Daly baseline (hours)");
+  if (!args.empty() && (args[0] == "--help" || args[0] == "help")) {
+    out << flags.usage();
+    return 0;
+  }
+  flags.parse(args);
+
+  const auto lifetimes = lifetimes_from_flags(flags, err);
+  const auto model = core::PreemptionModel::fit(lifetimes);
+  const double job = flags.get_double("job");
+  const double age = flags.get_double("age");
+  const double delta = flags.get_double("delta-min") / 60.0;
+
+  policy::CheckpointConfig cfg;
+  cfg.checkpoint_cost_hours = delta;
+  const auto dp = model.make_checkpoint_dp(job, cfg);
+  const auto schedule = dp.schedule(age);
+
+  Table table({"segment", "work (min)", "checkpoint after?"},
+              "DP schedule, " + fmt_double(job, 1) + " h job from VM age " + fmt_double(age, 1) +
+                  " h, delta = " + fmt_double(delta * 60.0, 1) + " min");
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    table.add_row({std::to_string(i + 1), fmt_double(schedule[i] * 60.0, 1),
+                   i + 1 < schedule.size() ? "yes" : "no (job ends)"});
+  }
+  out << table << "\n";
+  out << "expected increase (DP):         " << fmt_double(dp.expected_increase_fraction(age) * 100.0, 2)
+      << "%\n";
+
+  const auto yd_plan =
+      policy::young_daly_plan(job, flags.get_double("mttf"), delta);
+  const double yd_makespan = policy::evaluate_plan(model.distribution(), yd_plan, age, cfg);
+  out << "expected increase (Young-Daly): " << fmt_double((yd_makespan - job) / job * 100.0, 2)
+      << "%  (interval " << fmt_double(policy::young_daly_interval(flags.get_double("mttf"), delta) * 60.0, 1)
+      << " min)\n";
+  return 0;
+}
+
+}  // namespace preempt::cli

@@ -1,0 +1,67 @@
+// `preempt fit` — fit candidate lifetime models to observations (Fig. 1).
+#include <ostream>
+
+#include "cli/cli_util.hpp"
+#include "cli/commands.hpp"
+#include "core/analysis.hpp"
+#include "fit/bootstrap.hpp"
+#include "survival/mle.hpp"
+#include "survival/observation.hpp"
+
+namespace preempt::cli {
+
+int cmd_fit(const Args& args, std::ostream& out, std::ostream& err) {
+  FlagSet flags("preempt fit");
+  add_data_flags(flags);
+  flags.add_double("horizon", 24.0, "maximum VM lifetime L (hours)");
+  flags.add_bool("extended", "also fit lognormal, gamma and exponentiated Weibull");
+  flags.add_bool("mle", "additionally run the censored bathtub MLE");
+  flags.add_bool("cdf", "print the fitted-vs-empirical CDF series");
+  flags.add_int("bootstrap", 0,
+                "replicates for parallel bootstrap confidence intervals (0 = off)");
+  if (!args.empty() && (args[0] == "--help" || args[0] == "help")) {
+    out << flags.usage();
+    return 0;
+  }
+  flags.parse(args);
+
+  const std::vector<double> lifetimes = lifetimes_from_flags(flags, err);
+  const double horizon = flags.get_double("horizon");
+  const auto scope = flags.get_bool("extended") ? core::ComparisonScope::kExtended
+                                                : core::ComparisonScope::kPaper;
+  const auto cmp = core::compare_distributions(lifetimes, horizon, scope);
+
+  out << "fitted " << lifetimes.size() << " lifetimes (horizon " << horizon << " h)\n\n";
+  if (flags.get_bool("cdf")) out << cmp.cdf_table(25) << "\n";
+  out << cmp.summary_table() << "\n";
+  out << "best fit: " << cmp.best().distribution->name() << "\n";
+
+  if (flags.get_bool("mle")) {
+    survival::BathtubMleOptions opts;
+    opts.horizon = horizon;
+    const auto mle =
+        survival::fit_bathtub_mle(survival::SurvivalData::all_events(lifetimes), opts);
+    out << "\ncensored bathtub MLE: A=" << mle.params[0] << " tau1=" << mle.params[1]
+        << " tau2=" << mle.params[2] << " b=" << mle.params[3]
+        << "  (lnL=" << mle.log_likelihood << ", AIC=" << mle.aic << ")\n";
+  }
+
+  if (const auto replicates = flags.get_int("bootstrap"); replicates > 0) {
+    const auto boot = fit::bootstrap_parameters_parallel(
+        lifetimes,
+        [horizon](std::span<const double> xs) {
+          return fit::fit_bathtub_to_samples(xs, horizon).params;
+        },
+        static_cast<std::size_t>(replicates));
+    static const char* kNames[] = {"A", "tau1", "tau2", "b"};
+    out << "\nbootstrap 95% CIs (" << boot.replicates << " replicates):\n";
+    for (std::size_t i = 0; i < boot.params.size(); ++i) {
+      const auto& p = boot.params[i];
+      out << "  " << kNames[i] << " = " << p.estimate << "  [" << p.ci_lo << ", " << p.ci_hi
+          << "]  (se " << p.stddev << ")\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace preempt::cli

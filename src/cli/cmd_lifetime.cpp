@@ -1,0 +1,49 @@
+// `preempt lifetime` — expected lifetime (Eq. 3) across VM types and zones,
+// the paper's MTTF substitute for coarse-grained server selection.
+#include <ostream>
+
+#include "cli/cli_util.hpp"
+#include "cli/commands.hpp"
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "trace/ground_truth.hpp"
+#include "trace/vm_catalog.hpp"
+
+namespace preempt::cli {
+
+int cmd_lifetime(const Args& args, std::ostream& out, std::ostream& /*err*/) {
+  FlagSet flags("preempt lifetime");
+  flags.add_string("zone", "us-east1-b", "zone to tabulate");
+  flags.add_string("period", "day", "launch period: day | night");
+  flags.add_string("workload", "batch", "workload: batch | idle");
+  if (!args.empty() && (args[0] == "--help" || args[0] == "help")) {
+    out << flags.usage();
+    return 0;
+  }
+  flags.parse(args);
+
+  const auto zone = trace::zone_from_string(flags.get_string("zone"));
+  PREEMPT_REQUIRE(zone.has_value(), "unknown --zone '" + flags.get_string("zone") + "'");
+  const auto period = trace::day_period_from_string(flags.get_string("period"));
+  PREEMPT_REQUIRE(period.has_value(), "unknown --period");
+  const auto workload = trace::workload_from_string(flags.get_string("workload"));
+  PREEMPT_REQUIRE(workload.has_value(), "unknown --workload");
+
+  Table table({"vm_type", "vcpus", "E[lifetime] eq3 (h)", "mean incl. atom (h)", "F(6h)",
+               "preemptible $/h", "on-demand $/h"},
+              "ground-truth catalog @ " + flags.get_string("zone") + ", " +
+                  flags.get_string("period") + ", " + flags.get_string("workload"));
+  for (const auto& spec : trace::all_vm_specs()) {
+    trace::RegimeKey key{spec.type, *zone, *period, *workload};
+    const auto d = trace::ground_truth_distribution(key);
+    table.add_row({spec.name, std::to_string(spec.vcpus),
+                   fmt_double(d.expected_lifetime_eq3(), 2), fmt_double(d.mean(), 2),
+                   fmt_double(d.cdf(6.0), 3), fmt_double(spec.preemptible_per_hour, 4),
+                   fmt_double(spec.on_demand_per_hour, 4)});
+  }
+  out << table;
+  return 0;
+}
+
+}  // namespace preempt::cli

@@ -1,0 +1,39 @@
+// `preempt schedule` — one VM-reuse decision (Sec. 4.2): should a job of
+// length T run on the existing VM of age s, or on a fresh one?
+#include <ostream>
+
+#include "cli/cli_util.hpp"
+#include "cli/commands.hpp"
+#include "core/model.hpp"
+
+namespace preempt::cli {
+
+int cmd_schedule(const Args& args, std::ostream& out, std::ostream& err) {
+  FlagSet flags("preempt schedule");
+  add_data_flags(flags);
+  flags.add_double("age", 0.0, "current VM age s (hours)");
+  flags.add_double("job", 6.0, "job length T (hours)");
+  if (!args.empty() && (args[0] == "--help" || args[0] == "help")) {
+    out << flags.usage();
+    return 0;
+  }
+  flags.parse(args);
+
+  const auto lifetimes = lifetimes_from_flags(flags, err);
+  const auto model = core::PreemptionModel::fit(lifetimes);
+  const double age = flags.get_double("age");
+  const double job = flags.get_double("job");
+
+  const auto decision = model.reuse_decision(age, job);
+  out << "model: A=" << model.params().scale << " tau1=" << model.params().tau1
+      << " tau2=" << model.params().tau2 << " b=" << model.params().deadline << "\n";
+  out << "E[T | existing VM, age " << age << " h] = " << decision.expected_existing << " h\n";
+  out << "E[T | fresh VM]                = " << decision.expected_fresh << " h\n";
+  out << "P(fail | existing)             = " << model.job_failure_probability(age, job) << "\n";
+  out << "P(fail | fresh)                = " << model.job_failure_probability(0.0, job) << "\n";
+  out << "decision: " << (decision.reuse ? "REUSE the existing VM" : "LAUNCH A FRESH VM")
+      << "\n";
+  return 0;
+}
+
+}  // namespace preempt::cli

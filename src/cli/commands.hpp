@@ -1,0 +1,41 @@
+// The `preempt` command-line tool, as a library.
+//
+// Every subcommand is a function of (args, out, err) returning a process
+// exit code, so the test suite drives them exactly as a shell user would —
+// tools/preempt.cpp is a thin argv shim over run_cli().
+//
+// Subcommands:
+//   generate    synthesize a measurement campaign and emit CSV
+//   fit         fit candidate lifetime models to a CSV of observations
+//   lifetime    expected-lifetime (Eq. 3) table across VM types/zones
+//   schedule    one VM-reuse decision (Sec. 4.2 rule)
+//   checkpoint  DP checkpoint schedule vs Young-Daly (Sec. 4.3)
+//   simulate    run the batch computing service on a bag of jobs (Sec. 5/6.3)
+//   drift       stream lifetimes through the KS + CUSUM change-point monitors
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace preempt::cli {
+
+using Args = std::vector<std::string>;
+
+int cmd_generate(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_fit(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_lifetime(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_schedule(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_checkpoint(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_drift(const Args& args, std::ostream& out, std::ostream& err);
+
+/// Top-level usage text (list of subcommands).
+std::string main_usage();
+
+/// Dispatch `args[0]` as a subcommand; returns the exit code. Unknown or
+/// missing commands print usage to `err` and return 2. Library errors are
+/// caught and reported as one-line messages (exit 1).
+int run_cli(const Args& args, std::ostream& out, std::ostream& err);
+
+}  // namespace preempt::cli

@@ -1,0 +1,47 @@
+// Subcommand dispatch for the `preempt` tool.
+#include <ostream>
+
+#include "cli/commands.hpp"
+#include "common/error.hpp"
+
+namespace preempt::cli {
+
+std::string main_usage() {
+  return "usage: preempt <command> [flags]\n"
+         "\n"
+         "commands:\n"
+         "  generate    synthesize a preemption measurement campaign (CSV)\n"
+         "  fit         fit candidate lifetime models to observations\n"
+         "  lifetime    expected-lifetime table across VM types (Eq. 3)\n"
+         "  schedule    one VM-reuse decision (Sec. 4.2)\n"
+         "  checkpoint  DP checkpoint schedule vs Young-Daly (Sec. 4.3)\n"
+         "  simulate    run the batch computing service on a bag of jobs\n"
+         "  drift       change-point monitoring of a lifetime stream (Sec. 8)\n"
+         "\n"
+         "run `preempt <command> --help` for per-command flags.\n";
+}
+
+int run_cli(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.empty() || args[0] == "--help" || args[0] == "help") {
+    (args.empty() ? err : out) << main_usage();
+    return args.empty() ? 2 : 0;
+  }
+  const std::string command = args[0];
+  const Args rest(args.begin() + 1, args.end());
+  try {
+    if (command == "generate") return cmd_generate(rest, out, err);
+    if (command == "fit") return cmd_fit(rest, out, err);
+    if (command == "lifetime") return cmd_lifetime(rest, out, err);
+    if (command == "schedule") return cmd_schedule(rest, out, err);
+    if (command == "checkpoint") return cmd_checkpoint(rest, out, err);
+    if (command == "simulate") return cmd_simulate(rest, out, err);
+    if (command == "drift") return cmd_drift(rest, out, err);
+  } catch (const Error& e) {
+    err << "preempt " << command << ": " << e.what() << "\n";
+    return 1;
+  }
+  err << "preempt: unknown command '" << command << "'\n\n" << main_usage();
+  return 2;
+}
+
+}  // namespace preempt::cli

@@ -1,0 +1,141 @@
+#include "common/cli.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace preempt {
+
+FlagSet& FlagSet::declare(const std::string& name, Kind kind, std::string default_value,
+                          std::string help, bool required) {
+  PREEMPT_REQUIRE(!name.empty() && name[0] != '-', "flag names are given without dashes");
+  PREEMPT_REQUIRE(specs_.find(name) == specs_.end(), "duplicate flag declaration: " + name);
+  specs_[name] = Spec{kind, std::move(default_value), std::move(help), required};
+  order_.push_back(name);
+  return *this;
+}
+
+FlagSet& FlagSet::add_string(const std::string& name, const std::string& default_value,
+                             const std::string& help) {
+  return declare(name, Kind::kString, default_value, help, false);
+}
+
+FlagSet& FlagSet::add_double(const std::string& name, double default_value,
+                             const std::string& help) {
+  return declare(name, Kind::kDouble, fmt_general(default_value, 12), help, false);
+}
+
+FlagSet& FlagSet::add_int(const std::string& name, long long default_value,
+                          const std::string& help) {
+  return declare(name, Kind::kInt, std::to_string(default_value), help, false);
+}
+
+FlagSet& FlagSet::add_bool(const std::string& name, const std::string& help) {
+  return declare(name, Kind::kBool, "false", help, false);
+}
+
+FlagSet& FlagSet::add_required(const std::string& name, const std::string& help) {
+  return declare(name, Kind::kString, "", help, true);
+}
+
+void FlagSet::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    const auto it = specs_.find(name);
+    if (it == specs_.end()) {
+      throw InvalidArgument(program_ + ": unknown flag --" + name + "\n" + usage());
+    }
+    if (it->second.kind == Kind::kBool) {
+      if (!has_value) value = "true";
+    } else if (!has_value) {
+      if (i + 1 >= args.size()) {
+        throw InvalidArgument(program_ + ": flag --" + name + " needs a value");
+      }
+      value = args[++i];
+    }
+    values_[name] = value;
+  }
+  for (const auto& [name, s] : specs_) {
+    if (s.required && values_.find(name) == values_.end()) {
+      throw InvalidArgument(program_ + ": required flag --" + name + " missing\n" + usage());
+    }
+  }
+  // Validate typed values eagerly so errors point at the command line, not at
+  // a later accessor.
+  for (const auto& [name, value] : values_) {
+    const Spec& s = specs_.at(name);
+    try {
+      if (s.kind == Kind::kDouble) (void)parse_double(value);
+      if (s.kind == Kind::kInt) (void)parse_int(value);
+      if (s.kind == Kind::kBool) {
+        const std::string v = to_lower(value);
+        if (v != "true" && v != "false" && v != "1" && v != "0") {
+          throw InvalidArgument("not a boolean");
+        }
+      }
+    } catch (const Error&) {
+      throw InvalidArgument(program_ + ": bad value for --" + name + ": '" + value + "'");
+    }
+  }
+}
+
+const FlagSet::Spec& FlagSet::spec(const std::string& name) const {
+  const auto it = specs_.find(name);
+  PREEMPT_REQUIRE(it != specs_.end(), "undeclared flag queried: " + name);
+  return it->second;
+}
+
+std::string FlagSet::get_string(const std::string& name) const {
+  (void)spec(name);
+  const auto it = values_.find(name);
+  return it != values_.end() ? it->second : specs_.at(name).default_value;
+}
+
+double FlagSet::get_double(const std::string& name) const { return parse_double(get_string(name)); }
+
+long long FlagSet::get_int(const std::string& name) const {
+  return static_cast<long long>(parse_int(get_string(name)));
+}
+
+bool FlagSet::get_bool(const std::string& name) const {
+  const std::string v = to_lower(get_string(name));
+  return v == "true" || v == "1";
+}
+
+bool FlagSet::is_set(const std::string& name) const {
+  (void)spec(name);
+  return values_.find(name) != values_.end();
+}
+
+std::string FlagSet::usage() const {
+  std::ostringstream os;
+  os << "usage: " << program_ << " [flags]\n";
+  std::size_t width = 0;
+  for (const auto& name : order_) width = std::max(width, name.size());
+  for (const auto& name : order_) {
+    const Spec& s = specs_.at(name);
+    os << "  --" << name << std::string(width - name.size() + 2, ' ') << s.help;
+    if (s.required) {
+      os << " (required)";
+    } else if (s.kind != Kind::kBool && !s.default_value.empty()) {
+      os << " (default: " << s.default_value << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace preempt

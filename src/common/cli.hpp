@@ -1,0 +1,63 @@
+// Tiny declarative command-line flags parser for the tools/ binaries.
+//
+// Supports --name value, --name=value, boolean --flag, typed accessors with
+// defaults, required flags, and usage text generation. Deliberately small:
+// the tools need exactly this and nothing more.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace preempt {
+
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program_name) : program_(std::move(program_name)) {}
+
+  /// Declare flags before parse(); declaration order drives usage() layout.
+  FlagSet& add_string(const std::string& name, const std::string& default_value,
+                      const std::string& help);
+  FlagSet& add_double(const std::string& name, double default_value, const std::string& help);
+  FlagSet& add_int(const std::string& name, long long default_value, const std::string& help);
+  FlagSet& add_bool(const std::string& name, const std::string& help);  ///< defaults to false
+  FlagSet& add_required(const std::string& name, const std::string& help);  ///< string, no default
+
+  /// Parse argv-style arguments (excluding argv[0]). Throws InvalidArgument
+  /// on unknown flags, missing values, type errors or absent required flags.
+  /// Non-flag tokens are collected as positional arguments.
+  void parse(const std::vector<std::string>& args);
+
+  // Typed accessors (post-parse; throw InvalidArgument for undeclared names).
+  std::string get_string(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  long long get_int(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+  bool is_set(const std::string& name) const;  ///< explicitly given on the command line?
+
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+  /// Aligned flag summary for --help output.
+  std::string usage() const;
+
+ private:
+  enum class Kind { kString, kDouble, kInt, kBool };
+  struct Spec {
+    Kind kind;
+    std::string default_value;
+    std::string help;
+    bool required = false;
+  };
+  const Spec& spec(const std::string& name) const;
+  FlagSet& declare(const std::string& name, Kind kind, std::string default_value,
+                   std::string help, bool required);
+
+  std::string program_;
+  std::vector<std::string> order_;  ///< declaration order for usage()
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace preempt

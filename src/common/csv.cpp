@@ -1,0 +1,131 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace preempt {
+
+std::size_t CsvDocument::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw IoError("CSV column not found: " + name);
+}
+
+namespace {
+
+// Parse one logical CSV record starting at `pos`; advances pos past the
+// terminating newline (or to text.size()).
+std::vector<std::string> parse_record(const std::string& text, std::size_t& pos) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  for (; pos < text.size(); ++pos) {
+    const char c = text[pos];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos + 1 < text.size() && text[pos + 1] == '"') {
+          field.push_back('"');
+          ++pos;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n' || c == '\r') {
+      if (c == '\r' && pos + 1 < text.size() && text[pos + 1] == '\n') ++pos;
+      ++pos;
+      fields.push_back(std::move(field));
+      return fields;
+    } else {
+      field.push_back(c);
+    }
+  }
+  if (in_quotes) throw IoError("CSV: unterminated quoted field");
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+bool needs_quoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& s) {
+  if (!needs_quoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+CsvDocument parse_csv(const std::string& text) {
+  CsvDocument doc;
+  std::size_t pos = 0;
+  if (text.empty()) throw IoError("CSV: empty document");
+  doc.header = parse_record(text, pos);
+  while (pos < text.size()) {
+    // Skip blank trailing lines.
+    if (text[pos] == '\n' || text[pos] == '\r') {
+      ++pos;
+      continue;
+    }
+    auto row = parse_record(text, pos);
+    if (row.size() == 1 && row[0].empty()) continue;
+    if (row.size() != doc.header.size()) {
+      throw IoError(std::string("CSV: row width ") + std::to_string(row.size()) + " does not match header width " +
+                    std::to_string(doc.header.size()));
+    }
+    doc.rows.push_back(std::move(row));
+  }
+  return doc;
+}
+
+CsvDocument read_csv_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open CSV file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_csv(ss.str());
+}
+
+std::string to_csv(const std::vector<std::string>& header,
+                   const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) out.push_back(',');
+    out += quote(header[i]);
+  }
+  out.push_back('\n');
+  for (const auto& row : rows) {
+    PREEMPT_REQUIRE(row.size() == header.size(), "CSV row width mismatch");
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out.push_back(',');
+      out += quote(row[i]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void write_csv_file(const std::string& path, const std::vector<std::string>& header,
+                    const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot write CSV file: " + path);
+  out << to_csv(header, rows);
+  if (!out) throw IoError("write failed for CSV file: " + path);
+}
+
+}  // namespace preempt

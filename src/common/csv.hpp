@@ -1,0 +1,37 @@
+// Minimal CSV reader/writer for the preemption dataset interchange format.
+//
+// The paper publishes its preemption dataset as CSV; our Dataset round-trips
+// through this module so synthetic traces can be persisted and re-analysed
+// exactly like the original data would be.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace preempt {
+
+/// A parsed CSV document: header plus string rows.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a named column; throws IoError if absent.
+  std::size_t column(const std::string& name) const;
+};
+
+/// Parse CSV text. Supports double-quoted fields with embedded commas and
+/// doubled quotes; rejects rows whose width differs from the header.
+CsvDocument parse_csv(const std::string& text);
+
+/// Read and parse a CSV file; throws IoError if unreadable.
+CsvDocument read_csv_file(const std::string& path);
+
+/// Serialise rows to CSV text, quoting fields that need it.
+std::string to_csv(const std::vector<std::string>& header,
+                   const std::vector<std::vector<std::string>>& rows);
+
+/// Write CSV text to a file; throws IoError on failure.
+void write_csv_file(const std::string& path, const std::vector<std::string>& header,
+                    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace preempt

@@ -1,0 +1,69 @@
+// Error types and lightweight contract macros used across libpreempt.
+//
+// Policy (per C++ Core Guidelines I.5/I.6/E.*): public API preconditions are
+// checked and reported via exceptions derived from `preempt::Error`; internal
+// invariants use PREEMPT_CHECK which also throws (never aborts) so that the
+// library is safe to embed in long-running services.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace preempt {
+
+/// Base class for all libpreempt errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A numerical routine failed to converge or produced non-finite values.
+class NumericError : public Error {
+ public:
+  explicit NumericError(const std::string& what) : Error(what) {}
+};
+
+/// File/CSV input-output failure.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// The discrete-event simulator reached an inconsistent state.
+class SimError : public Error {
+ public:
+  explicit SimError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid_argument(const char* cond, const char* file, int line,
+                                                const std::string& msg) {
+  throw InvalidArgument(std::string(file) + ":" + std::to_string(line) +
+                        ": precondition failed (" + cond + "): " + msg);
+}
+[[noreturn]] inline void throw_internal(const char* cond, const char* file, int line,
+                                        const std::string& msg) {
+  throw Error(std::string(file) + ":" + std::to_string(line) + ": internal invariant failed (" +
+              cond + "): " + msg);
+}
+}  // namespace detail
+
+}  // namespace preempt
+
+/// Validate a documented precondition of a public API; throws InvalidArgument.
+#define PREEMPT_REQUIRE(cond, msg)                                                   \
+  do {                                                                               \
+    if (!(cond)) ::preempt::detail::throw_invalid_argument(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Validate an internal invariant; throws preempt::Error.
+#define PREEMPT_CHECK(cond, msg)                                              \
+  do {                                                                        \
+    if (!(cond)) ::preempt::detail::throw_internal(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,132 @@
+#include "common/integrate.hpp"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace preempt {
+
+namespace {
+
+double simpson(double fa, double fm, double fb, double h) {
+  return (fa + 4.0 * fm + fb) * h / 6.0;
+}
+
+double adaptive_step(const std::function<double(double)>& f, double a, double b, double fa,
+                     double fm, double fb, double whole, double tol, int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  PREEMPT_CHECK(std::isfinite(flm) && std::isfinite(frm), "integrand returned non-finite value");
+  const double left = simpson(fa, flm, fm, m - a);
+  const double right = simpson(fm, frm, fb, b - m);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::abs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;  // Richardson correction
+  }
+  return adaptive_step(f, a, m, fa, flm, fm, left, 0.5 * tol, depth - 1) +
+         adaptive_step(f, m, b, fm, frm, fb, right, 0.5 * tol, depth - 1);
+}
+
+}  // namespace
+
+double integrate_adaptive(const std::function<double(double)>& f, double a, double b, double tol,
+                          int max_depth) {
+  if (a == b) return 0.0;
+  double sign = 1.0;
+  if (a > b) {
+    std::swap(a, b);
+    sign = -1.0;
+  }
+  const double m = 0.5 * (a + b);
+  const double fa = f(a), fm = f(m), fb = f(b);
+  PREEMPT_CHECK(std::isfinite(fa) && std::isfinite(fm) && std::isfinite(fb),
+                "integrand returned non-finite value at panel endpoints");
+  const double whole = simpson(fa, fm, fb, b - a);
+  return sign * adaptive_step(f, a, b, fa, fm, fb, whole, tol, max_depth);
+}
+
+const GaussLegendreRule& gauss_legendre_rule(std::size_t n) {
+  PREEMPT_REQUIRE(n >= 1 && n <= 256, "Gauss-Legendre order must be in [1, 256]");
+  static std::mutex mu;
+  static std::map<std::size_t, GaussLegendreRule> cache;
+  std::scoped_lock lock(mu);
+  auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+
+  GaussLegendreRule rule;
+  rule.nodes.resize(n);
+  rule.weights.resize(n);
+  // Newton iteration on P_n, symmetric roots; Chebyshev-flavoured initial guess.
+  const std::size_t half = (n + 1) / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    double x = std::cos(kPi * (static_cast<double>(i) + 0.75) / (static_cast<double>(n) + 0.5));
+    double pp = 0.0;
+    for (int iter = 0; iter < 100; ++iter) {
+      // Evaluate P_n(x) and P_{n-1}(x) by the three-term recurrence.
+      double p0 = 1.0, p1 = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double p2 = p1;
+        p1 = p0;
+        p0 = ((2.0 * static_cast<double>(j) + 1.0) * x * p1 - static_cast<double>(j) * p2) /
+             (static_cast<double>(j) + 1.0);
+      }
+      pp = static_cast<double>(n) * (x * p0 - p1) / (x * x - 1.0);
+      const double dx = p0 / pp;
+      x -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    rule.nodes[i] = -x;
+    rule.nodes[n - 1 - i] = x;
+    const double w = 2.0 / ((1.0 - x * x) * pp * pp);
+    rule.weights[i] = w;
+    rule.weights[n - 1 - i] = w;
+  }
+  auto [ins, ok] = cache.emplace(n, std::move(rule));
+  PREEMPT_CHECK(ok, "gauss rule cache insertion failed");
+  return ins->second;
+}
+
+double integrate_gauss(const std::function<double(double)>& f, double a, double b, std::size_t n) {
+  if (a == b) return 0.0;
+  const GaussLegendreRule& rule = gauss_legendre_rule(n);
+  const double mid = 0.5 * (a + b);
+  const double halfwidth = 0.5 * (b - a);
+  KahanSum acc;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc.add(rule.weights[i] * f(mid + halfwidth * rule.nodes[i]));
+  }
+  return halfwidth * acc.value();
+}
+
+double integrate_gauss_composite(const std::function<double(double)>& f, double a, double b,
+                                 std::size_t segments, std::size_t n) {
+  PREEMPT_REQUIRE(segments >= 1, "need at least one segment");
+  if (a == b) return 0.0;
+  const double width = (b - a) / static_cast<double>(segments);
+  KahanSum acc;
+  for (std::size_t s = 0; s < segments; ++s) {
+    const double lo = a + width * static_cast<double>(s);
+    const double hi = (s + 1 == segments) ? b : lo + width;
+    acc.add(integrate_gauss(f, lo, hi, n));
+  }
+  return acc.value();
+}
+
+double trapezoid(std::span<const double> xs, std::span<const double> ys) {
+  PREEMPT_REQUIRE(xs.size() == ys.size(), "trapezoid needs equal-length arrays");
+  PREEMPT_REQUIRE(xs.size() >= 2, "trapezoid needs at least two points");
+  KahanSum acc;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    PREEMPT_REQUIRE(xs[i] > xs[i - 1], "trapezoid abscissae must be strictly increasing");
+    acc.add(0.5 * (ys[i] + ys[i - 1]) * (xs[i] - xs[i - 1]));
+  }
+  return acc.value();
+}
+
+}  // namespace preempt

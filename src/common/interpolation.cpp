@@ -1,0 +1,54 @@
+#include "common/interpolation.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace preempt {
+
+LinearInterpolator::LinearInterpolator(std::span<const double> xs, std::span<const double> ys)
+    : xs_(xs.begin(), xs.end()), ys_(ys.begin(), ys.end()) {
+  PREEMPT_REQUIRE(xs_.size() == ys_.size(), "interpolator needs equal-length arrays");
+  PREEMPT_REQUIRE(xs_.size() >= 2, "interpolator needs at least two points");
+  for (std::size_t i = 1; i < xs_.size(); ++i) {
+    PREEMPT_REQUIRE(xs_[i] > xs_[i - 1], "interpolator abscissae must be strictly increasing");
+  }
+}
+
+double LinearInterpolator::operator()(double x) const {
+  PREEMPT_REQUIRE(!xs_.empty(), "empty interpolator");
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) return ys_.back();
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - xs_.begin());
+  const std::size_t lo = hi - 1;
+  const double frac = (x - xs_[lo]) / (xs_[hi] - xs_[lo]);
+  return ys_[lo] + frac * (ys_[hi] - ys_[lo]);
+}
+
+double LinearInterpolator::inverse(double y) const {
+  PREEMPT_REQUIRE(!xs_.empty(), "empty interpolator");
+  if (y <= ys_.front()) return xs_.front();
+  if (y >= ys_.back()) return xs_.back();
+  // ys_ is assumed non-decreasing; find the first segment crossing y.
+  const auto it = std::lower_bound(ys_.begin(), ys_.end(), y);
+  std::size_t hi = static_cast<std::size_t>(it - ys_.begin());
+  if (hi == 0) return xs_.front();
+  const std::size_t lo = hi - 1;
+  const double dy = ys_[hi] - ys_[lo];
+  if (dy <= 0.0) return xs_[hi];  // flat segment: return its right edge
+  const double frac = (y - ys_[lo]) / dy;
+  return xs_[lo] + frac * (xs_[hi] - xs_[lo]);
+}
+
+double LinearInterpolator::x_min() const {
+  PREEMPT_REQUIRE(!xs_.empty(), "empty interpolator");
+  return xs_.front();
+}
+
+double LinearInterpolator::x_max() const {
+  PREEMPT_REQUIRE(!xs_.empty(), "empty interpolator");
+  return xs_.back();
+}
+
+}  // namespace preempt

@@ -1,0 +1,40 @@
+// Piecewise-linear interpolation with monotone-inverse support.
+//
+// Used to (a) tabulate CDFs for fast inverse-transform sampling and
+// (b) represent empirical / piecewise models.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace preempt {
+
+/// Piecewise-linear interpolant through (x_i, y_i) with strictly increasing x.
+/// Evaluation outside [x_front, x_back] clamps to the boundary value.
+class LinearInterpolator {
+ public:
+  LinearInterpolator() = default;
+
+  /// Build from matching spans; throws InvalidArgument on bad input.
+  LinearInterpolator(std::span<const double> xs, std::span<const double> ys);
+
+  /// Interpolated value at x (clamped at the ends).
+  double operator()(double x) const;
+
+  /// For a non-decreasing y sequence: smallest x with value(x) >= y
+  /// (clamped to the domain). Used for inverse-CDF sampling.
+  double inverse(double y) const;
+
+  bool empty() const noexcept { return xs_.empty(); }
+  std::size_t size() const noexcept { return xs_.size(); }
+  double x_min() const;
+  double x_max() const;
+  const std::vector<double>& xs() const noexcept { return xs_; }
+  const std::vector<double>& ys() const noexcept { return ys_; }
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+}  // namespace preempt

@@ -1,0 +1,82 @@
+// Minimal JSON value, parser and writer for the HTTP service API.
+//
+// Implements the full JSON grammar (RFC 8259) over a simple tagged value —
+// enough for request bodies and responses; not a streaming parser, no
+// comments/trailing-comma extensions. Numbers are doubles (like JavaScript);
+// object key order is preserved for stable output.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace preempt {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+/// Key/value pairs in insertion order.
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(std::nullptr_t) : kind_(Kind::kNull) {}  // NOLINT(google-explicit-constructor)
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}  // NOLINT
+  JsonValue(double n) : kind_(Kind::kNumber), number_(n) {}  // NOLINT
+  JsonValue(int n) : kind_(Kind::kNumber), number_(n) {}  // NOLINT
+  JsonValue(long long n)  // NOLINT
+      : kind_(Kind::kNumber), number_(static_cast<double>(n)) {}
+  JsonValue(std::size_t n)  // NOLINT
+      : kind_(Kind::kNumber), number_(static_cast<double>(n)) {}
+  JsonValue(const char* s) : kind_(Kind::kString), string_(s) {}  // NOLINT
+  JsonValue(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}  // NOLINT
+  JsonValue(JsonArray a) : kind_(Kind::kArray), array_(std::move(a)) {}  // NOLINT
+  JsonValue(JsonObject o) : kind_(Kind::kObject), object_(std::move(o)) {}  // NOLINT
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  // Checked accessors; throw InvalidArgument on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+
+  // Convenience typed lookups with defaults (object values only).
+  double number_or(const std::string& key, double fallback) const;
+  std::string string_or(const std::string& key, const std::string& fallback) const;
+  bool bool_or(const std::string& key, bool fallback) const;
+
+  /// Serialise; `indent` > 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = 0) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  JsonArray array_;
+  JsonObject object_;
+};
+
+/// Parse JSON text; throws IoError with position information on any
+/// syntax error or trailing garbage.
+JsonValue parse_json(const std::string& text);
+
+}  // namespace preempt

@@ -1,0 +1,41 @@
+// Leveled logging to stderr. Benchmarks and examples keep stdout clean for
+// data tables; diagnostics go through here.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace preempt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level (default kWarn so library users are not spammed).
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit a message if `level` >= the global level. Thread-safe.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace preempt
+
+#define PREEMPT_LOG_DEBUG ::preempt::detail::LogLine(::preempt::LogLevel::kDebug)
+#define PREEMPT_LOG_INFO ::preempt::detail::LogLine(::preempt::LogLevel::kInfo)
+#define PREEMPT_LOG_WARN ::preempt::detail::LogLine(::preempt::LogLevel::kWarn)
+#define PREEMPT_LOG_ERROR ::preempt::detail::LogLine(::preempt::LogLevel::kError)

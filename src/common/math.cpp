@@ -1,0 +1,21 @@
+#include "common/math.hpp"
+
+#include "common/error.hpp"
+
+namespace preempt {
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  PREEMPT_REQUIRE(n >= 1, "linspace needs at least one point");
+  std::vector<double> out;
+  out.reserve(n);
+  if (n == 1) {
+    out.push_back(lo);
+    return out;
+  }
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(lo + step * static_cast<double>(i));
+  out.back() = hi;  // avoid rounding drift on the last point
+  return out;
+}
+
+}  // namespace preempt

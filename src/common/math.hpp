@@ -1,0 +1,54 @@
+// Small numeric helpers shared by every module.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace preempt {
+
+inline constexpr double kPi = 3.141592653589793238462643383279502884;
+
+/// Relative/absolute closeness test (mirrors numpy.isclose semantics).
+inline bool is_close(double a, double b, double rel_tol = 1e-9, double abs_tol = 0.0) noexcept {
+  return std::abs(a - b) <= std::max(rel_tol * std::max(std::abs(a), std::abs(b)), abs_tol);
+}
+
+/// x*x, kept out-of-line-free for readability in formulas.
+inline constexpr double sq(double x) noexcept { return x * x; }
+
+/// Clamp into [lo, hi].
+inline constexpr double clamp(double x, double lo, double hi) noexcept {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+/// Clamp a probability into [0, 1].
+inline constexpr double clamp01(double x) noexcept { return clamp(x, 0.0, 1.0); }
+
+/// True if x is neither NaN nor infinite.
+inline bool is_finite(double x) noexcept { return std::isfinite(x); }
+
+/// n evenly spaced points on [lo, hi] inclusive (n >= 2), or {lo} for n == 1.
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// Kahan–Babuska compensated accumulator for long reduction loops.
+class KahanSum {
+ public:
+  void add(double x) noexcept {
+    const double t = sum_ + x;
+    if (std::abs(sum_) >= std::abs(x)) {
+      comp_ += (sum_ - t) + x;
+    } else {
+      comp_ += (x - t) + sum_;
+    }
+    sum_ = t;
+  }
+  double value() const noexcept { return sum_ + comp_; }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+};
+
+}  // namespace preempt

@@ -1,0 +1,132 @@
+#include "common/matrix.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace preempt {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::gram() const {
+  Matrix g(cols_, cols_);
+  for (std::size_t i = 0; i < cols_; ++i) {
+    for (std::size_t j = i; j < cols_; ++j) {
+      double s = 0.0;
+      for (std::size_t r = 0; r < rows_; ++r) s += (*this)(r, i) * (*this)(r, j);
+      g(i, j) = s;
+      g(j, i) = s;
+    }
+  }
+  return g;
+}
+
+std::vector<double> Matrix::transpose_times(const std::vector<double>& v) const {
+  PREEMPT_REQUIRE(v.size() == rows_, "transpose_times dimension mismatch");
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out[c] += (*this)(r, c) * v[r];
+  }
+  return out;
+}
+
+std::vector<double> Matrix::times(const std::vector<double>& v) const {
+  PREEMPT_REQUIRE(v.size() == cols_, "times dimension mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) s += (*this)(r, c) * v[c];
+    out[r] = s;
+  }
+  return out;
+}
+
+std::vector<double> cholesky_solve(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  PREEMPT_REQUIRE(a.cols() == n, "cholesky_solve needs a square matrix");
+  PREEMPT_REQUIRE(b.size() == n, "cholesky_solve rhs dimension mismatch");
+  // In-place lower Cholesky factorisation.
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= a(j, k) * a(j, k);
+    if (!(d > 0.0) || !std::isfinite(d)) {
+      throw NumericError("cholesky_solve: matrix is not positive definite");
+    }
+    const double l = std::sqrt(d);
+    a(j, j) = l;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= a(i, k) * a(j, k);
+      a(i, j) = s / l;
+    }
+  }
+  // Forward substitution L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= a(i, k) * b[k];
+    b[i] = s / a(i, i);
+  }
+  // Back substitution L^T x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= a(k, ii) * b[k];
+    b[ii] = s / a(ii, ii);
+  }
+  return b;
+}
+
+std::vector<double> qr_least_squares(Matrix a, std::vector<double> b) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  PREEMPT_REQUIRE(m >= n, "qr_least_squares needs rows >= cols");
+  PREEMPT_REQUIRE(b.size() == m, "qr_least_squares rhs dimension mismatch");
+  // Householder QR, applying reflectors to b as we go.
+  for (std::size_t k = 0; k < n; ++k) {
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += a(i, k) * a(i, k);
+    norm = std::sqrt(norm);
+    if (!(norm > 0.0) || !std::isfinite(norm)) {
+      throw NumericError(std::string("qr_least_squares: rank-deficient column ") + std::to_string(k));
+    }
+    if (a(k, k) > 0.0) norm = -norm;
+    // v = x - norm*e1 stored in-place below the diagonal; beta = 2/(v^T v).
+    std::vector<double> v(m - k);
+    v[0] = a(k, k) - norm;
+    for (std::size_t i = k + 1; i < m; ++i) v[i - k] = a(i, k);
+    double vtv = 0.0;
+    for (double x : v) vtv += x * x;
+    if (vtv == 0.0) throw NumericError("qr_least_squares: zero Householder vector");
+    const double beta = 2.0 / vtv;
+    // Apply reflector to remaining columns.
+    for (std::size_t j = k; j < n; ++j) {
+      double dot = 0.0;
+      for (std::size_t i = k; i < m; ++i) dot += v[i - k] * a(i, j);
+      const double scale = beta * dot;
+      for (std::size_t i = k; i < m; ++i) a(i, j) -= scale * v[i - k];
+    }
+    // And to b.
+    double dot = 0.0;
+    for (std::size_t i = k; i < m; ++i) dot += v[i - k] * b[i];
+    const double scale = beta * dot;
+    for (std::size_t i = k; i < m; ++i) b[i] -= scale * v[i - k];
+    a(k, k) = norm;
+  }
+  // Back substitution on the upper-triangular R (stored in a's top block).
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= a(ii, j) * x[j];
+    const double d = a(ii, ii);
+    if (d == 0.0 || !std::isfinite(d)) {
+      throw NumericError("qr_least_squares: singular R");
+    }
+    x[ii] = s / d;
+  }
+  return x;
+}
+
+}  // namespace preempt

@@ -1,0 +1,51 @@
+// Minimal dense linear algebra for the nonlinear least-squares fitters.
+//
+// The fit problems in this library are tiny (2-4 parameters, <= a few hundred
+// residuals), so a simple row-major matrix with Cholesky and Householder-QR
+// solvers is the right tool; no external BLAS needed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace preempt {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// this^T * this (Gram matrix), used to form normal equations.
+  Matrix gram() const;
+
+  /// this^T * v for a vector with rows() entries.
+  std::vector<double> transpose_times(const std::vector<double>& v) const;
+
+  /// this * v for a vector with cols() entries.
+  std::vector<double> times(const std::vector<double>& v) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b for symmetric positive-definite A via Cholesky.
+/// Throws NumericError if A is not (numerically) SPD.
+std::vector<double> cholesky_solve(Matrix a, std::vector<double> b);
+
+/// Least-squares solve min ||A x - b||_2 via Householder QR with column checks.
+/// Requires rows >= cols and full column rank; throws NumericError otherwise.
+std::vector<double> qr_least_squares(Matrix a, std::vector<double> b);
+
+}  // namespace preempt

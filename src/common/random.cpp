@@ -1,0 +1,77 @@
+#include "common/random.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace preempt {
+
+void Xoshiro256StarStar::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+                                            0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (std::uint64_t{1} << b)) {
+        s0 ^= state_[0];
+        s1 ^= state_[1];
+        s2 ^= state_[2];
+        s3 ^= state_[3];
+      }
+      (*this)();
+    }
+  }
+  state_[0] = s0;
+  state_[1] = s1;
+  state_[2] = s2;
+  state_[3] = s3;
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
+  // Lemire's nearly-divisionless bounded sampling; bias is < 2^-64 * n which
+  // is negligible for our n (at most millions), so we skip the rejection loop.
+  // (__int128 is a GCC/Clang extension; __extension__ silences -Wpedantic.)
+  __extension__ using uint128 = unsigned __int128;
+  const uint128 m = static_cast<uint128>(gen_()) * n;
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::exponential(double rate) noexcept {
+  // -log(1-U) with U in [0,1) avoids log(0).
+  return -std::log1p(-uniform()) / rate;
+}
+
+double Rng::normal() noexcept {
+  if (spare_valid_) {
+    spare_valid_ = false;
+    return spare_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  spare_valid_ = true;
+  return u * factor;
+}
+
+std::size_t Rng::discrete(const std::vector<double>& weights) {
+  PREEMPT_REQUIRE(!weights.empty(), "discrete() needs at least one weight");
+  double total = 0.0;
+  for (double w : weights) {
+    PREEMPT_REQUIRE(w >= 0.0, "discrete() weights must be non-negative");
+    total += w;
+  }
+  PREEMPT_REQUIRE(total > 0.0, "discrete() weights must not all be zero");
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;  // guard against accumulated rounding
+}
+
+}  // namespace preempt

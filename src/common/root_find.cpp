@@ -1,0 +1,120 @@
+#include "common/root_find.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace preempt {
+
+double bisect(const std::function<double(double)>& f, double a, double b, SolverOptions opts) {
+  double fa = f(a);
+  double fb = f(b);
+  if (fa == 0.0) return a;
+  if (fb == 0.0) return b;
+  PREEMPT_REQUIRE(fa * fb < 0.0, "bisect requires a sign change on [a, b]");
+  for (int i = 0; i < opts.max_iterations && (b - a) > opts.x_tol; ++i) {
+    const double m = 0.5 * (a + b);
+    const double fm = f(m);
+    if (fm == 0.0) return m;
+    if (fa * fm < 0.0) {
+      b = m;
+      fb = fm;
+    } else {
+      a = m;
+      fa = fm;
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+double brent(const std::function<double(double)>& f, double a, double b, SolverOptions opts) {
+  double fa = f(a);
+  double fb = f(b);
+  if (fa == 0.0) return a;
+  if (fb == 0.0) return b;
+  PREEMPT_REQUIRE(fa * fb < 0.0, "brent requires a sign change on [a, b]");
+  if (std::abs(fa) < std::abs(fb)) {
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  double c = a, fc = fa;
+  double d = b - a, e = d;
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    if (std::abs(fc) < std::abs(fb)) {
+      a = b;
+      b = c;
+      c = a;
+      fa = fb;
+      fb = fc;
+      fc = fa;
+    }
+    const double tol = 2.0 * std::numeric_limits<double>::epsilon() * std::abs(b) + 0.5 * opts.x_tol;
+    const double m = 0.5 * (c - b);
+    if (std::abs(m) <= tol || fb == 0.0) return b;
+    if (std::abs(e) >= tol && std::abs(fa) > std::abs(fb)) {
+      // Attempt inverse quadratic / secant interpolation.
+      const double s = fb / fa;
+      double p, q;
+      if (a == c) {
+        p = 2.0 * m * s;
+        q = 1.0 - s;
+      } else {
+        const double qq = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * m * qq * (qq - r) - (b - a) * (r - 1.0));
+        q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q;
+      p = std::abs(p);
+      if (2.0 * p < std::min(3.0 * m * q - std::abs(tol * q), std::abs(e * q))) {
+        e = d;
+        d = p / q;
+      } else {
+        d = m;
+        e = m;
+      }
+    } else {
+      d = m;
+      e = m;
+    }
+    a = b;
+    fa = fb;
+    b += (std::abs(d) > tol) ? d : (m > 0.0 ? tol : -tol);
+    fb = f(b);
+    if ((fb > 0.0) == (fc > 0.0)) {
+      c = a;
+      fc = fa;
+      d = b - a;
+      e = d;
+    }
+  }
+  return b;
+}
+
+double golden_section_minimize(const std::function<double(double)>& f, double a, double b,
+                               SolverOptions opts) {
+  PREEMPT_REQUIRE(a < b, "golden section requires a < b");
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  for (int i = 0; i < opts.max_iterations && (b - a) > opts.x_tol; ++i) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+}  // namespace preempt

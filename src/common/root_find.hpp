@@ -1,0 +1,27 @@
+// Scalar root finding and 1-D minimisation.
+#pragma once
+
+#include <functional>
+
+namespace preempt {
+
+/// Options shared by the scalar solvers.
+struct SolverOptions {
+  double x_tol = 1e-12;   ///< terminate when the bracket is this small
+  int max_iterations = 200;
+};
+
+/// Find x in [a, b] with f(x) = 0 by bisection. Requires f(a) and f(b) to
+/// have opposite signs (or one of them to be an exact root).
+double bisect(const std::function<double(double)>& f, double a, double b,
+              SolverOptions opts = {});
+
+/// Brent's method: bisection safety with inverse-quadratic speed.
+/// Same bracketing requirement as bisect().
+double brent(const std::function<double(double)>& f, double a, double b, SolverOptions opts = {});
+
+/// Golden-section minimisation of a unimodal f over [a, b]; returns argmin.
+double golden_section_minimize(const std::function<double(double)>& f, double a, double b,
+                               SolverOptions opts = {});
+
+}  // namespace preempt

@@ -1,0 +1,42 @@
+// Special functions needed by the wider distribution zoo (log-normal, gamma)
+// and by the censored maximum-likelihood fitters.
+//
+// Everything here is implemented from scratch (no GSL/Boost): the normal
+// quantile uses Acklam's rational approximation polished with one Halley
+// step, and the regularized incomplete gamma uses the classic series /
+// continued-fraction split at x = a + 1. Accuracies are verified against
+// high-precision reference values in tests/test_special.cpp.
+#pragma once
+
+#include <cstddef>
+
+namespace preempt {
+
+/// Standard normal density φ(x).
+double normal_pdf(double x) noexcept;
+
+/// Standard normal CDF Φ(x), accurate in both tails (erfc-based).
+double normal_cdf(double x) noexcept;
+
+/// Inverse standard normal CDF Φ⁻¹(p) for p in (0, 1).
+/// Returns ∓infinity at p = 0 / 1; NaN outside [0, 1].
+double normal_quantile(double p) noexcept;
+
+/// Inverse error function, erf⁻¹(x) for x in (-1, 1).
+double erf_inv(double x) noexcept;
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a, x) / Γ(a), a > 0, x >= 0.
+double regularized_gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double regularized_gamma_q(double a, double x);
+
+/// ln Γ(x) for x > 0 (thin wrapper so callers do not reach for <cmath>
+/// directly and tests can pin the accuracy contract in one place).
+double log_gamma(double x);
+
+/// Digamma ψ(x) = d/dx ln Γ(x) for x > 0 — asymptotic series after argument
+/// shifting. Used by the Weibull/Gamma MLE score equations.
+double digamma(double x);
+
+}  // namespace preempt

@@ -1,0 +1,106 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace preempt {
+
+double mean(std::span<const double> xs) {
+  PREEMPT_REQUIRE(!xs.empty(), "mean of empty sample");
+  KahanSum s;
+  for (double x : xs) s.add(x);
+  return s.value() / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  PREEMPT_REQUIRE(xs.size() >= 2, "variance needs n >= 2");
+  const double m = mean(xs);
+  KahanSum s;
+  for (double x : xs) s.add(sq(x - m));
+  return s.value() / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double quantile(std::span<const double> xs, double q) {
+  PREEMPT_REQUIRE(!xs.empty(), "quantile of empty sample");
+  PREEMPT_REQUIRE(q >= 0.0 && q <= 1.0, "quantile level must be in [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double min_of(std::span<const double> xs) {
+  PREEMPT_REQUIRE(!xs.empty(), "min of empty sample");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  PREEMPT_REQUIRE(!xs.empty(), "max of empty sample");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double pearson_correlation(std::span<const double> xs, std::span<const double> ys) {
+  PREEMPT_REQUIRE(xs.size() == ys.size(), "correlation needs equal-length samples");
+  PREEMPT_REQUIRE(xs.size() >= 2, "correlation needs n >= 2");
+  const double mx = mean(xs), my = mean(ys);
+  KahanSum sxy, sxx, syy;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy.add((xs[i] - mx) * (ys[i] - my));
+    sxx.add(sq(xs[i] - mx));
+    syy.add(sq(ys[i] - my));
+  }
+  const double denom = std::sqrt(sxx.value() * syy.value());
+  PREEMPT_REQUIRE(denom > 0.0, "correlation undefined for constant sample");
+  return sxy.value() / denom;
+}
+
+LinearFit linear_regression(std::span<const double> xs, std::span<const double> ys) {
+  PREEMPT_REQUIRE(xs.size() == ys.size(), "regression needs equal-length samples");
+  PREEMPT_REQUIRE(xs.size() >= 2, "regression needs n >= 2");
+  const double mx = mean(xs), my = mean(ys);
+  KahanSum sxy, sxx, syy;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy.add((xs[i] - mx) * (ys[i] - my));
+    sxx.add(sq(xs[i] - mx));
+    syy.add(sq(ys[i] - my));
+  }
+  PREEMPT_REQUIRE(sxx.value() > 0.0, "regression undefined for constant x");
+  LinearFit fit;
+  fit.slope = sxy.value() / sxx.value();
+  fit.intercept = my - fit.slope * mx;
+  if (syy.value() > 0.0) {
+    KahanSum ss_res;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      ss_res.add(sq(ys[i] - (fit.intercept + fit.slope * xs[i])));
+    }
+    fit.r2 = 1.0 - ss_res.value() / syy.value();
+  } else {
+    fit.r2 = 1.0;
+  }
+  return fit;
+}
+
+Summary summarize(std::span<const double> xs) {
+  PREEMPT_REQUIRE(!xs.empty(), "summarize of empty sample");
+  Summary s;
+  s.count = xs.size();
+  s.mean = mean(xs);
+  s.stddev = xs.size() >= 2 ? stddev(xs) : 0.0;
+  s.min = min_of(xs);
+  s.p25 = quantile(xs, 0.25);
+  s.median = quantile(xs, 0.5);
+  s.p75 = quantile(xs, 0.75);
+  s.max = max_of(xs);
+  return s;
+}
+
+}  // namespace preempt

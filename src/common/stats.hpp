@@ -1,0 +1,54 @@
+// Descriptive statistics over samples (means, quantiles, ECDF support).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace preempt {
+
+/// Arithmetic mean; requires a non-empty sample.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n-1 denominator); requires n >= 2.
+double variance(std::span<const double> xs);
+
+/// Unbiased sample standard deviation; requires n >= 2.
+double stddev(std::span<const double> xs);
+
+/// Linear-interpolation quantile (type 7, the numpy/R default), q in [0, 1].
+/// The input need not be sorted; a sorted copy is made.
+double quantile(std::span<const double> xs, double q);
+
+/// Median shortcut.
+inline double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+/// Min/max of a non-empty sample.
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Pearson correlation of two equal-length samples (n >= 2).
+double pearson_correlation(std::span<const double> xs, std::span<const double> ys);
+
+/// Ordinary least squares line y = a + b x; returns {intercept a, slope b}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination of the fit
+};
+LinearFit linear_regression(std::span<const double> xs, std::span<const double> ys);
+
+/// Summary bundle used by trace analysis reports.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+};
+Summary summarize(std::span<const double> xs);
+
+}  // namespace preempt

@@ -1,0 +1,76 @@
+#include "common/string_util.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace preempt {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string join(const std::vector<std::string>& pieces, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i != 0) out.append(sep);
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string fmt_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string fmt_general(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+  return buf;
+}
+
+double parse_double(std::string_view s) {
+  const std::string t = trim(s);
+  if (t.empty()) throw IoError("parse_double: empty field");
+  char* end = nullptr;
+  const double v = std::strtod(t.c_str(), &end);
+  if (end != t.c_str() + t.size()) throw IoError("parse_double: invalid number '" + t + "'");
+  return v;
+}
+
+long long parse_int(std::string_view s) {
+  const std::string t = trim(s);
+  if (t.empty()) throw IoError("parse_int: empty field");
+  char* end = nullptr;
+  const long long v = std::strtoll(t.c_str(), &end, 10);
+  if (end != t.c_str() + t.size()) throw IoError("parse_int: invalid integer '" + t + "'");
+  return v;
+}
+
+}  // namespace preempt

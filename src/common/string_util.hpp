@@ -1,0 +1,34 @@
+// String helpers for parsing and report formatting.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace preempt {
+
+/// Split on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string trim(std::string_view s);
+
+/// Join pieces with a separator.
+std::string join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+/// Fixed-precision decimal formatting ("%.{prec}f").
+std::string fmt_double(double value, int precision = 4);
+
+/// Compact significant-digit formatting ("%.{digits}g").
+std::string fmt_general(double value, int digits = 6);
+
+/// Parse a double with full-string validation; throws IoError on junk.
+double parse_double(std::string_view s);
+
+/// Parse a non-negative integer with full-string validation; throws IoError.
+long long parse_int(std::string_view s);
+
+}  // namespace preempt

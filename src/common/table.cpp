@@ -1,0 +1,62 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace preempt {
+
+Table::Table(std::vector<std::string> header, std::string title)
+    : title_(std::move(title)), header_(std::move(header)) {
+  PREEMPT_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  PREEMPT_REQUIRE(row.size() == header_.size(), "row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_numeric_row(const std::vector<double>& values, int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size());
+  for (double v : values) row.push_back(fmt_double(v, precision));
+  add_row(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        os << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string Table::to_csv() const {
+  std::string out = join(header_, ",") + "\n";
+  for (const auto& row : rows_) out += join(row, ",") + "\n";
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& table) {
+  table.print(os);
+  return os;
+}
+
+}  // namespace preempt

@@ -1,0 +1,45 @@
+// Aligned text tables: the output format of every bench harness.
+//
+// Benches print the same rows/series the paper's figures plot, so the table
+// writer is part of the reproduction contract (stable, diff-able output).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace preempt {
+
+/// A column-aligned text table with an optional title, printable to any
+/// ostream and exportable as CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header, std::string title = {});
+
+  /// Append a preformatted row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a row of doubles with fixed precision.
+  /// (Named distinctly from add_row: a braced string list would otherwise be
+  /// ambiguous with vector<double>'s iterator-pair constructor.)
+  void add_numeric_row(const std::vector<double>& values, int precision = 4);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  const std::vector<std::string>& header() const noexcept { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const noexcept { return rows_; }
+
+  /// Pretty-print with aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated export (no quoting of fields; callers keep fields clean).
+  std::string to_csv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& table);
+
+}  // namespace preempt

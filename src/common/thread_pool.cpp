@@ -1,0 +1,81 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/error.hpp"
+
+namespace preempt {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body, std::size_t grain) {
+  if (begin >= end) return;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t n = end - begin;
+  const std::size_t max_chunks = std::max<std::size_t>(1, pool.thread_count() * 4);
+  const std::size_t chunk = std::max(grain, (n + max_chunks - 1) / max_chunks);
+
+  std::vector<std::future<void>> futures;
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    const std::size_t hi = std::min(end, lo + chunk);
+    futures.push_back(pool.submit([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body, std::size_t grain) {
+  parallel_for(ThreadPool::global(), begin, end, body, grain);
+}
+
+}  // namespace preempt

@@ -1,0 +1,69 @@
+// Fixed-size thread pool and a blocking parallel_for.
+//
+// The Monte-Carlo validators and the checkpoint DP sweep are embarrassingly
+// parallel; this pool keeps them deterministic (work is partitioned statically
+// per index range, and RNG streams are forked per chunk by the callers).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace preempt {
+
+/// Simple FIFO thread pool. Tasks are std::function<void()>; use submit() for
+/// futures or parallel_for for index ranges.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the returned future observes exceptions thrown by it.
+  template <typename F>
+  std::future<std::invoke_result_t<F>> submit(F&& f) {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::scoped_lock lock(mutex_);
+      tasks_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Run body(i) for i in [begin, end) across the pool, blocking until done.
+/// Indices are partitioned into contiguous chunks of at least `grain`.
+/// Exceptions from the body are rethrown (first one wins).
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body, std::size_t grain = 1);
+
+/// parallel_for on the global pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body, std::size_t grain = 1);
+
+}  // namespace preempt

@@ -1,0 +1,85 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/string_util.hpp"
+
+namespace preempt::core {
+
+DistributionComparison compare_distributions(std::span<const double> lifetimes,
+                                             double horizon_hours, ComparisonScope scope) {
+  DistributionComparison out{dist::EmpiricalDistribution(lifetimes), {}};
+  const auto pts = out.empirical.ecdf_points(dist::EcdfConvention::kHazen);
+  out.fits = scope == ComparisonScope::kPaper
+                 ? fit::fit_all_families(pts.t, pts.f, horizon_hours)
+                 : fit::fit_extended_families(pts.t, pts.f, horizon_hours);
+  return out;
+}
+
+Table DistributionComparison::summary_table() const {
+  Table table({"model", "params", "sse", "rmse", "r2", "ks", "aic"},
+              "Fit quality vs empirical CDF");
+  for (const auto& fr : fits) {
+    std::vector<std::string> params;
+    const auto names = fr.distribution->parameter_names();
+    const auto values = fr.distribution->parameters();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      params.push_back(names[i] + "=" + fmt_general(values[i], 4));
+    }
+    table.add_row({fr.distribution->name(), join(params, " "), fmt_general(fr.gof.sse, 4),
+                   fmt_general(fr.gof.rmse, 4), fmt_double(fr.gof.r2, 4),
+                   fmt_double(empirical.ks_distance(*fr.distribution), 4),
+                   fmt_double(fr.gof.aic, 1)});
+  }
+  return table;
+}
+
+Table DistributionComparison::cdf_table(std::size_t points) const {
+  PREEMPT_REQUIRE(points >= 2, "cdf table needs at least two points");
+  std::vector<std::string> header = {"t_hours", "empirical"};
+  for (const auto& fr : fits) header.push_back(fr.distribution->name());
+  Table table(std::move(header), "CDF of time to preemption");
+  const double hi = empirical.support_end();
+  for (double t : linspace(0.0, hi, points)) {
+    std::vector<std::string> row = {fmt_double(t, 2), fmt_double(empirical.cdf(t), 4)};
+    for (const auto& fr : fits) row.push_back(fmt_double(fr.distribution->cdf(t), 4));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+Table DistributionComparison::pdf_table(std::size_t points) const {
+  PREEMPT_REQUIRE(points >= 2, "pdf table needs at least two points");
+  std::vector<std::string> header = {"t_hours", "empirical_hist"};
+  for (const auto& fr : fits) header.push_back(fr.distribution->name());
+  Table table(std::move(header), "Probability density (Fig. 1 inset)");
+  const double hi = empirical.support_end();
+  for (double t : linspace(0.0, hi, points)) {
+    std::vector<std::string> row = {fmt_double(t, 2), fmt_double(empirical.pdf(t), 4)};
+    for (const auto& fr : fits) row.push_back(fmt_double(fr.distribution->pdf(t), 4));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+const fit::FitResult& DistributionComparison::best() const {
+  PREEMPT_REQUIRE(!fits.empty(), "no fits available");
+  const auto it = std::min_element(fits.begin(), fits.end(), [](const auto& a, const auto& b) {
+    return a.gof.sse < b.gof.sse;
+  });
+  return *it;
+}
+
+PhaseReport phase_report(const dist::BathtubDistribution& d) {
+  PhaseReport report;
+  report.infant_end_hours = d.infant_phase_end();
+  report.deadline_start_hours = d.deadline_phase_start();
+  report.infant_hazard_per_hour = d.hazard(1e-6);
+  const double mid = 0.5 * (report.infant_end_hours + report.deadline_start_hours);
+  report.stable_hazard_per_hour = d.hazard(mid);
+  return report;
+}
+
+}  // namespace preempt::core

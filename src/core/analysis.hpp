@@ -1,0 +1,47 @@
+// High-level analysis harnesses shared by examples and benches.
+#pragma once
+
+#include <span>
+
+#include "common/table.hpp"
+#include "dist/empirical.hpp"
+#include "fit/model_fitters.hpp"
+
+namespace preempt::core {
+
+/// The Fig. 1 experiment: fit all candidate families to one set of lifetimes
+/// and score them against the ECDF.
+struct DistributionComparison {
+  dist::EmpiricalDistribution empirical;
+  std::vector<fit::FitResult> fits;  ///< bathtub, exponential, weibull, gompertz-makeham
+
+  /// Fit-quality summary, one row per family.
+  Table summary_table() const;
+  /// CDF series at `points` abscissae: empirical + every fitted family.
+  Table cdf_table(std::size_t points = 25) const;
+  /// Density series (Fig. 1 inset): histogram + fitted pdfs.
+  Table pdf_table(std::size_t points = 25) const;
+  /// The family with the smallest SSE.
+  const fit::FitResult& best() const;
+};
+
+/// Which comparator families to fit alongside the bathtub model.
+enum class ComparisonScope {
+  kPaper,     ///< Fig. 1's set: exponential, Weibull, Gompertz-Makeham
+  kExtended,  ///< + lognormal, gamma, exponentiated Weibull (ref [42])
+};
+
+DistributionComparison compare_distributions(std::span<const double> lifetimes,
+                                             double horizon_hours = 24.0,
+                                             ComparisonScope scope = ComparisonScope::kPaper);
+
+/// Phase structure report of a bathtub model (Observation 1's three phases).
+struct PhaseReport {
+  double infant_end_hours = 0.0;
+  double deadline_start_hours = 0.0;
+  double stable_hazard_per_hour = 0.0;  ///< hazard at the middle of the stable phase
+  double infant_hazard_per_hour = 0.0;  ///< hazard just after launch
+};
+PhaseReport phase_report(const dist::BathtubDistribution& d);
+
+}  // namespace preempt::core

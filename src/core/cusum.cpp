@@ -1,0 +1,58 @@
+#include "core/cusum.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace preempt::core {
+
+CusumDetector::CusumDetector(const dist::Distribution& baseline, Options options)
+    : baseline_(baseline.clone()), options_(options) {
+  PREEMPT_REQUIRE(options_.allowance >= 0.0, "cusum allowance must be >= 0");
+  PREEMPT_REQUIRE(options_.threshold > 0.0, "cusum threshold must be positive");
+  const double end = baseline_->support_end();
+  if (std::isfinite(end)) {
+    // cdf(end) includes any deadline atom; the continuous part just below it
+    // anchors where the atom's PIT interval starts.
+    atom_base_ = baseline_->cdf(end * (1.0 - 1e-12));
+  }
+}
+
+CusumDetector::Status CusumDetector::observe(double lifetime_hours) {
+  PREEMPT_REQUIRE(std::isfinite(lifetime_hours) && lifetime_hours >= 0.0,
+                  "lifetime must be finite and >= 0");
+  // Probability integral transform. Observations in the deadline atom all
+  // share one cdf value; spread them to the middle of the atom interval so
+  // they contribute (atom_base + 1)/2 instead of saturating at 1.
+  const double end = baseline_->support_end();
+  double u;
+  if (std::isfinite(end) && lifetime_hours >= end * (1.0 - 1e-12)) {
+    u = 0.5 * (atom_base_ + 1.0);
+  } else {
+    u = baseline_->cdf(lifetime_hours);
+  }
+  // Standardize: Uniform(0,1) has mean 1/2 and std 1/sqrt(12).
+  const double z = (u - 0.5) * std::sqrt(12.0);
+
+  // Shorter lifetimes => u below 1/2 => negative z feeds the "shorter" side.
+  status_.stat_shorter = std::max(0.0, status_.stat_shorter - z - options_.allowance);
+  status_.stat_longer = std::max(0.0, status_.stat_longer + z - options_.allowance);
+  ++status_.samples;
+
+  if (!status_.alarm) {
+    if (status_.stat_shorter > options_.threshold) {
+      status_.alarm = true;
+      status_.side = AlarmSide::kShorterLifetimes;
+    } else if (status_.stat_longer > options_.threshold) {
+      status_.alarm = true;
+      status_.side = AlarmSide::kLongerLifetimes;
+    }
+  }
+  return status_;
+}
+
+void CusumDetector::reset() { status_ = Status{}; }
+
+}  // namespace preempt::core

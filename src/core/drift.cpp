@@ -1,0 +1,49 @@
+#include "core/drift.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "dist/empirical.hpp"
+
+namespace preempt::core {
+
+DriftDetector::DriftDetector(PreemptionModel baseline, Options options)
+    : baseline_(std::move(baseline)), options_(options) {
+  PREEMPT_REQUIRE(options_.window >= 10, "drift window must hold at least 10 samples");
+  PREEMPT_REQUIRE(options_.min_samples >= 5 && options_.min_samples <= options_.window,
+                  "min_samples must be in [5, window]");
+  PREEMPT_REQUIRE(options_.ks_critical > 0.0, "KS critical constant must be positive");
+  PREEMPT_REQUIRE(options_.horizon_hours > 0.0, "horizon must be positive");
+}
+
+DriftDetector::Status DriftDetector::observe(double lifetime_hours) {
+  PREEMPT_REQUIRE(std::isfinite(lifetime_hours) && lifetime_hours >= 0.0,
+                  "lifetime must be finite and non-negative");
+  window_.push_back(lifetime_hours);
+  if (window_.size() > options_.window) window_.pop_front();
+  return status();
+}
+
+DriftDetector::Status DriftDetector::status() const {
+  Status s;
+  s.samples = window_.size();
+  if (window_.size() < options_.min_samples) return s;
+  const std::vector<double> samples(window_.begin(), window_.end());
+  const dist::EmpiricalDistribution ecdf(samples);
+  s.ks = ecdf.ks_distance(baseline_.distribution());
+  s.threshold = options_.ks_critical / std::sqrt(static_cast<double>(window_.size()));
+  s.drift = s.ks > s.threshold;
+  return s;
+}
+
+const PreemptionModel& DriftDetector::refit() {
+  PREEMPT_REQUIRE(window_.size() >= options_.min_samples,
+                  "not enough samples in the window to refit");
+  const std::vector<double> samples(window_.begin(), window_.end());
+  baseline_ = PreemptionModel::fit(samples, options_.horizon_hours);
+  window_.clear();
+  return baseline_;
+}
+
+}  // namespace preempt::core

@@ -1,0 +1,62 @@
+// Change-point monitoring for preemption behaviour (paper Sec. 8):
+// "Our model allows detecting policy and phase changes by comparing observed
+// data with model-predictions and detect change-points, and a long-running
+// cloud service can continuously update the model based on recent preemption
+// behavior."
+//
+// The detector keeps a sliding window of recent lifetimes and raises a drift
+// alarm when the window's ECDF strays from the baseline model by more than a
+// Kolmogorov-Smirnov threshold (default: the one-sample KS critical value
+// c(alpha)/sqrt(n), with c = 1.36 ~ alpha = 0.05). On alarm, refit() builds a
+// fresh model from the window — the paper's continuous-update loop.
+#pragma once
+
+#include <deque>
+
+#include "core/model.hpp"
+
+namespace preempt::core {
+
+class DriftDetector {
+ public:
+  struct Options {
+    std::size_t window = 120;       ///< lifetimes kept for comparison
+    std::size_t min_samples = 30;   ///< don't alarm before this many samples
+    /// c in the alarm threshold c / sqrt(n). 1.36 is the 5% one-sample KS
+    /// critical value, valid when the baseline is the *true* law. When the
+    /// baseline was itself fitted from a finite sample the test is
+    /// anti-conservative (Lilliefors effect); raise c to ~1.8-2.0 then.
+    double ks_critical = 1.36;
+    double horizon_hours = 24.0;    ///< refit horizon
+  };
+
+  struct Status {
+    bool drift = false;        ///< KS statistic above the threshold?
+    double ks = 0.0;           ///< current KS distance window-vs-baseline
+    double threshold = 0.0;    ///< c / sqrt(n) for the current window size
+    std::size_t samples = 0;   ///< lifetimes currently in the window
+  };
+
+  explicit DriftDetector(PreemptionModel baseline) : DriftDetector(std::move(baseline), Options{}) {}
+  DriftDetector(PreemptionModel baseline, Options options);
+
+  const PreemptionModel& baseline() const noexcept { return baseline_; }
+  const Options& options() const noexcept { return options_; }
+
+  /// Feed one observed lifetime (hours); returns the updated status.
+  Status observe(double lifetime_hours);
+
+  /// Current status without adding an observation.
+  Status status() const;
+
+  /// Refit the baseline from the current window (requires >= min_samples);
+  /// clears the window and resets the alarm. Returns the new baseline.
+  const PreemptionModel& refit();
+
+ private:
+  PreemptionModel baseline_;
+  Options options_;
+  std::deque<double> window_;
+};
+
+}  // namespace preempt::core

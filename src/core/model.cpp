@@ -1,0 +1,51 @@
+#include "core/model.hpp"
+
+#include "common/error.hpp"
+#include "policy/running_time.hpp"
+
+namespace preempt::core {
+
+PreemptionModel PreemptionModel::fit(std::span<const double> lifetimes, double horizon_hours) {
+  fit::FitResult result = fit::fit_bathtub_to_samples(lifetimes, horizon_hours);
+  auto* bathtub = dynamic_cast<dist::BathtubDistribution*>(result.distribution.get());
+  PREEMPT_CHECK(bathtub != nullptr, "bathtub fitter returned a non-bathtub distribution");
+  return PreemptionModel(*bathtub, result.gof);
+}
+
+PreemptionModel PreemptionModel::from_params(const dist::BathtubParams& params) {
+  return PreemptionModel(dist::BathtubDistribution(params), std::nullopt);
+}
+
+double PreemptionModel::expected_wasted_work(double job_hours) const {
+  return policy::expected_wasted_work_single(dist_, job_hours);
+}
+
+double PreemptionModel::expected_makespan(double job_hours) const {
+  return policy::expected_makespan(dist_, job_hours);
+}
+
+double PreemptionModel::expected_makespan_from_age(double start_age_hours,
+                                                   double job_hours) const {
+  return policy::expected_makespan_from_age(dist_, start_age_hours, job_hours);
+}
+
+double PreemptionModel::job_failure_probability(double start_age_hours, double job_hours) const {
+  return policy::job_failure_probability(dist_, start_age_hours, job_hours);
+}
+
+policy::ReuseDecision PreemptionModel::reuse_decision(double vm_age_hours,
+                                                      double job_hours) const {
+  const policy::ModelDrivenScheduler scheduler(dist_.clone());
+  return scheduler.decide(vm_age_hours, job_hours);
+}
+
+std::unique_ptr<policy::SchedulingPolicy> PreemptionModel::make_scheduler() const {
+  return std::make_unique<policy::ModelDrivenScheduler>(dist_.clone());
+}
+
+policy::CheckpointDp PreemptionModel::make_checkpoint_dp(double job_hours,
+                                                         policy::CheckpointConfig config) const {
+  return policy::CheckpointDp(dist_, job_hours, config);
+}
+
+}  // namespace preempt::core

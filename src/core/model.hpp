@@ -1,0 +1,73 @@
+// PreemptionModel — the library's primary public type.
+//
+// Bundles a fitted constrained-preemption (bathtub) distribution with the
+// analyses and policies the paper derives from it: expected lifetime (Eq. 3),
+// running-time impact (Eqs. 4-8), the VM-reuse scheduler (Sec. 4.2) and the
+// DP checkpoint scheduler (Sec. 4.3).
+//
+// Typical use:
+//   auto ds    = trace::generate_campaign({...});             // or load CSV
+//   auto model = core::PreemptionModel::fit(ds.lifetimes());
+//   model.reuse_decision(vm_age, job_hours).reuse;
+//   auto dp    = model.make_checkpoint_dp(job_hours);
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "dist/bathtub.hpp"
+#include "fit/model_fitters.hpp"
+#include "policy/checkpoint.hpp"
+#include "policy/scheduling.hpp"
+
+namespace preempt::core {
+
+class PreemptionModel {
+ public:
+  /// Fit the bathtub model to observed lifetimes (hours) by bounded least
+  /// squares on the Hazen ECDF. Throws NumericError / InvalidArgument on
+  /// degenerate input (< 5 samples, non-finite values, ...).
+  static PreemptionModel fit(std::span<const double> lifetimes, double horizon_hours = 24.0);
+
+  /// Wrap known parameters (e.g. a ground-truth regime or stored fit).
+  static PreemptionModel from_params(const dist::BathtubParams& params);
+
+  /// The underlying distribution (raw Eq. 1/2 access included).
+  const dist::BathtubDistribution& distribution() const noexcept { return dist_; }
+  const dist::BathtubParams& params() const noexcept { return dist_.params(); }
+
+  /// Goodness of fit on the ECDF; empty for from_params models.
+  const std::optional<fit::GofStats>& fit_quality() const noexcept { return gof_; }
+
+  // -- reliability analysis ---------------------------------------------------
+  /// Eq. 3 expected lifetime (the paper's MTTF substitute).
+  double expected_lifetime() const { return dist_.expected_lifetime_eq3(); }
+  /// Full mean including the deadline-reclamation atom.
+  double mean_lifetime() const { return dist_.mean(); }
+  /// Preemption (hazard) rate at VM age t.
+  double preemption_rate(double age_hours) const { return dist_.hazard(age_hours); }
+
+  // -- running-time impact (Sec. 4.1) -----------------------------------------
+  double expected_wasted_work(double job_hours) const;
+  double expected_makespan(double job_hours) const;
+  double expected_makespan_from_age(double start_age_hours, double job_hours) const;
+  double job_failure_probability(double start_age_hours, double job_hours) const;
+
+  // -- policies ----------------------------------------------------------------
+  /// One reuse-or-replace decision (Sec. 4.2 rule).
+  policy::ReuseDecision reuse_decision(double vm_age_hours, double job_hours) const;
+  /// A scheduler object for continued use.
+  std::unique_ptr<policy::SchedulingPolicy> make_scheduler() const;
+  /// A DP checkpoint value table for jobs up to `job_hours`.
+  policy::CheckpointDp make_checkpoint_dp(double job_hours,
+                                          policy::CheckpointConfig config = {}) const;
+
+ private:
+  PreemptionModel(dist::BathtubDistribution d, std::optional<fit::GofStats> gof)
+      : dist_(std::move(d)), gof_(gof) {}
+
+  dist::BathtubDistribution dist_;
+  std::optional<fit::GofStats> gof_;
+};
+
+}  // namespace preempt::core

@@ -1,0 +1,82 @@
+#include "core/registry.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace preempt::core {
+
+namespace {
+/// Fit, tolerating numeric failure on degenerate pools (returns nullopt).
+std::optional<PreemptionModel> try_fit(const std::vector<double>& lifetimes, double horizon) {
+  if (lifetimes.size() < ModelRegistry::kMinSamples) return std::nullopt;
+  try {
+    return PreemptionModel::fit(lifetimes, horizon);
+  } catch (const Error& e) {
+    PREEMPT_LOG_WARN << "registry pool fit failed: " << e.what();
+    return std::nullopt;
+  }
+}
+}  // namespace
+
+ModelRegistry ModelRegistry::fit_from_dataset(const trace::Dataset& dataset,
+                                              double horizon_hours) {
+  PREEMPT_REQUIRE(!dataset.empty(), "cannot fit a registry from an empty dataset");
+  ModelRegistry registry;
+
+  registry.global_ = try_fit(dataset.lifetimes(), horizon_hours);
+
+  for (const auto& [type, type_ds] : dataset.group_by_type()) {
+    if (auto m = try_fit(type_ds.lifetimes(), horizon_hours)) {
+      registry.type_.emplace(type, std::move(*m));
+    }
+    for (const auto& [zone, zone_ds] : type_ds.group_by_zone()) {
+      if (auto m = try_fit(zone_ds.lifetimes(), horizon_hours)) {
+        registry.type_zone_.emplace(TypeZoneKey{type, zone}, std::move(*m));
+      }
+      // Full keys: split by period and workload.
+      for (trace::DayPeriod period : {trace::DayPeriod::kDay, trace::DayPeriod::kNight}) {
+        for (trace::WorkloadKind workload :
+             {trace::WorkloadKind::kIdle, trace::WorkloadKind::kBatch}) {
+          const trace::Dataset cell = zone_ds.by_period(period).by_workload(workload);
+          if (auto m = try_fit(cell.lifetimes(), horizon_hours)) {
+            registry.full_.emplace(FullKey{type, zone, period, workload}, std::move(*m));
+          }
+        }
+      }
+    }
+  }
+  return registry;
+}
+
+const PreemptionModel* ModelRegistry::exact(const trace::RegimeKey& key) const {
+  const auto it = full_.find(FullKey{key.type, key.zone, key.period, key.workload});
+  return it == full_.end() ? nullptr : &it->second;
+}
+
+const PreemptionModel* ModelRegistry::by_type_zone(trace::VmType type, trace::Zone zone) const {
+  const auto it = type_zone_.find(TypeZoneKey{type, zone});
+  return it == type_zone_.end() ? nullptr : &it->second;
+}
+
+const PreemptionModel* ModelRegistry::by_type(trace::VmType type) const {
+  const auto it = type_.find(type);
+  return it == type_.end() ? nullptr : &it->second;
+}
+
+const PreemptionModel* ModelRegistry::global() const {
+  return global_.has_value() ? &*global_ : nullptr;
+}
+
+const PreemptionModel& ModelRegistry::lookup(const trace::RegimeKey& key) const {
+  if (const PreemptionModel* m = exact(key)) return *m;
+  if (const PreemptionModel* m = by_type_zone(key.type, key.zone)) return *m;
+  if (const PreemptionModel* m = by_type(key.type)) return *m;
+  if (const PreemptionModel* m = global()) return *m;
+  throw InvalidArgument("model registry has no model at any pooling level");
+}
+
+std::size_t ModelRegistry::model_count() const {
+  return full_.size() + type_zone_.size() + type_.size() + (global_ ? 1 : 0);
+}
+
+}  // namespace preempt::core

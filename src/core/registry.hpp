@@ -1,0 +1,61 @@
+// ModelRegistry — per-regime model management.
+//
+// The paper's service "parametrizes the bathtub model based on the VM type,
+// region, time-of-day, and day-of-week" (Sec. 5). The registry fits one model
+// per regime present in a dataset — at several pooling levels — and answers
+// lookups with a fallback chain, so sparsely observed regimes borrow strength
+// from coarser pools:
+//   (type, zone, period, workload) -> (type, zone) -> (type) -> global.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "core/model.hpp"
+#include "trace/dataset.hpp"
+#include "trace/ground_truth.hpp"
+
+namespace preempt::core {
+
+class ModelRegistry {
+ public:
+  /// Minimum samples for a pool to get its own fit.
+  static constexpr std::size_t kMinSamples = 20;
+
+  /// Fit models at every pooling level with enough data.
+  static ModelRegistry fit_from_dataset(const trace::Dataset& dataset,
+                                        double horizon_hours = 24.0);
+
+  /// Most specific model available for the key (see fallback chain above).
+  /// Throws InvalidArgument if the registry is empty.
+  const PreemptionModel& lookup(const trace::RegimeKey& key) const;
+
+  /// Exact-level probes (for introspection / tests).
+  const PreemptionModel* exact(const trace::RegimeKey& key) const;
+  const PreemptionModel* by_type_zone(trace::VmType type, trace::Zone zone) const;
+  const PreemptionModel* by_type(trace::VmType type) const;
+  const PreemptionModel* global() const;
+
+  std::size_t model_count() const;
+
+ private:
+  struct TypeZoneKey {
+    trace::VmType type;
+    trace::Zone zone;
+    auto operator<=>(const TypeZoneKey&) const = default;
+  };
+  struct FullKey {
+    trace::VmType type;
+    trace::Zone zone;
+    trace::DayPeriod period;
+    trace::WorkloadKind workload;
+    auto operator<=>(const FullKey&) const = default;
+  };
+
+  std::map<FullKey, PreemptionModel> full_;
+  std::map<TypeZoneKey, PreemptionModel> type_zone_;
+  std::map<trace::VmType, PreemptionModel> type_;
+  std::optional<PreemptionModel> global_;
+};
+
+}  // namespace preempt::core

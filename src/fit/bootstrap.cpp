@@ -1,0 +1,110 @@
+#include "fit/bootstrap.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+
+namespace preempt::fit {
+
+BootstrapResult bootstrap_parameters(std::span<const double> samples, const SampleFitter& fitter,
+                                     std::size_t replicates, double confidence,
+                                     std::uint64_t seed) {
+  PREEMPT_REQUIRE(!samples.empty(), "bootstrap needs samples");
+  PREEMPT_REQUIRE(replicates >= 10, "bootstrap needs at least 10 replicates");
+  PREEMPT_REQUIRE(confidence > 0.0 && confidence < 1.0, "confidence must be in (0,1)");
+
+  const std::vector<double> full_fit = fitter(samples);
+  PREEMPT_REQUIRE(!full_fit.empty(), "fitter returned no parameters");
+  const std::size_t n_params = full_fit.size();
+
+  Rng rng(seed);
+  std::vector<std::vector<double>> draws(n_params);
+  std::vector<double> resample(samples.size());
+  std::size_t ok = 0;
+  for (std::size_t rep = 0; rep < replicates; ++rep) {
+    for (auto& x : resample) x = samples[rng.uniform_index(samples.size())];
+    try {
+      const std::vector<double> p = fitter(resample);
+      PREEMPT_CHECK(p.size() == n_params, "fitter changed its parameter count");
+      for (std::size_t j = 0; j < n_params; ++j) draws[j].push_back(p[j]);
+      ++ok;
+    } catch (const std::exception&) {
+      // Degenerate resample (e.g. all-identical lifetimes); skip it.
+    }
+  }
+  PREEMPT_REQUIRE(ok * 2 >= replicates, "more than half of the bootstrap refits failed");
+
+  const double alpha = 1.0 - confidence;
+  BootstrapResult out;
+  out.replicates = ok;
+  out.params.resize(n_params);
+  for (std::size_t j = 0; j < n_params; ++j) {
+    BootstrapParam& bp = out.params[j];
+    bp.estimate = full_fit[j];
+    bp.mean = mean(draws[j]);
+    bp.stddev = draws[j].size() >= 2 ? stddev(draws[j]) : 0.0;
+    bp.ci_lo = quantile(draws[j], alpha / 2.0);
+    bp.ci_hi = quantile(draws[j], 1.0 - alpha / 2.0);
+  }
+  return out;
+}
+
+BootstrapResult bootstrap_parameters_parallel(std::span<const double> samples,
+                                               const SampleFitter& fitter,
+                                               std::size_t replicates, double confidence,
+                                               std::uint64_t seed) {
+  PREEMPT_REQUIRE(!samples.empty(), "bootstrap needs samples");
+  PREEMPT_REQUIRE(replicates >= 10, "bootstrap needs at least 10 replicates");
+  PREEMPT_REQUIRE(confidence > 0.0 && confidence < 1.0, "confidence must be in (0,1)");
+
+  const std::vector<double> full_fit = fitter(samples);
+  PREEMPT_REQUIRE(!full_fit.empty(), "fitter returned no parameters");
+  const std::size_t n_params = full_fit.size();
+
+  // One slot per replicate, written by exactly one task: no locking needed,
+  // and the result is independent of scheduling order.
+  std::vector<std::vector<double>> replicate_fits(replicates);
+  parallel_for(0, replicates, [&](std::size_t rep) {
+    // Stream derived from (seed, rep) via SplitMix64 — deterministic across
+    // thread counts.
+    SplitMix64 mix(seed ^ (0x9e3779b97f4a7c15ULL * (rep + 1)));
+    Rng rng(mix.next());
+    std::vector<double> resample(samples.size());
+    for (auto& x : resample) x = samples[rng.uniform_index(samples.size())];
+    try {
+      std::vector<double> p = fitter(resample);
+      PREEMPT_CHECK(p.size() == n_params, "fitter changed its parameter count");
+      replicate_fits[rep] = std::move(p);
+    } catch (const std::exception&) {
+      // Degenerate resample; leave the slot empty.
+    }
+  });
+
+  std::vector<std::vector<double>> draws(n_params);
+  std::size_t ok = 0;
+  for (const auto& p : replicate_fits) {
+    if (p.empty()) continue;
+    for (std::size_t j = 0; j < n_params; ++j) draws[j].push_back(p[j]);
+    ++ok;
+  }
+  PREEMPT_REQUIRE(ok * 2 >= replicates, "more than half of the bootstrap refits failed");
+
+  const double alpha = 1.0 - confidence;
+  BootstrapResult out;
+  out.replicates = ok;
+  out.params.resize(n_params);
+  for (std::size_t j = 0; j < n_params; ++j) {
+    BootstrapParam& bp = out.params[j];
+    bp.estimate = full_fit[j];
+    bp.mean = mean(draws[j]);
+    bp.stddev = draws[j].size() >= 2 ? stddev(draws[j]) : 0.0;
+    bp.ci_lo = quantile(draws[j], alpha / 2.0);
+    bp.ci_hi = quantile(draws[j], 1.0 - alpha / 2.0);
+  }
+  return out;
+}
+
+}  // namespace preempt::fit

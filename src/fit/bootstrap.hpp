@@ -1,0 +1,50 @@
+// Bootstrap confidence intervals for fitted model parameters.
+//
+// Resamples lifetimes with replacement, refits, and reports per-parameter
+// percentile intervals — quantifies how stable the Fig. 1 fit is given the
+// ~100-sample CDFs the paper works with.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace preempt::fit {
+
+/// Fit callback: samples -> parameter vector (fixed length across calls).
+using SampleFitter = std::function<std::vector<double>(std::span<const double>)>;
+
+/// Per-parameter bootstrap summary.
+struct BootstrapParam {
+  double estimate = 0.0;  ///< fit on the full sample
+  double mean = 0.0;      ///< bootstrap mean
+  double stddev = 0.0;    ///< bootstrap standard error
+  double ci_lo = 0.0;     ///< percentile CI lower bound
+  double ci_hi = 0.0;     ///< percentile CI upper bound
+};
+
+struct BootstrapResult {
+  std::vector<BootstrapParam> params;
+  std::size_t replicates = 0;  ///< successful refits (failed refits skipped)
+};
+
+/// Run `replicates` bootstrap refits at the given confidence level (e.g. 0.95).
+/// Replicates whose fit throws are skipped; at least half must succeed.
+BootstrapResult bootstrap_parameters(std::span<const double> samples, const SampleFitter& fitter,
+                                     std::size_t replicates = 200, double confidence = 0.95,
+                                     std::uint64_t seed = 1234);
+
+/// Parallel bootstrap on the global thread pool. Each replicate derives its
+/// own RNG stream from (seed, replicate index), so the result is
+/// bit-identical on any thread count. (The serial bootstrap_parameters()
+/// draws one sequential stream, so the two are statistically equivalent but
+/// not bit-equal.) The fitter must be thread-safe — a pure function of its
+/// input span; all fitters in fit/model_fitters.hpp qualify.
+BootstrapResult bootstrap_parameters_parallel(std::span<const double> samples,
+                                              const SampleFitter& fitter,
+                                              std::size_t replicates = 200,
+                                              double confidence = 0.95,
+                                              std::uint64_t seed = 1234);
+
+}  // namespace preempt::fit

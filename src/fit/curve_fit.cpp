@@ -1,0 +1,24 @@
+#include "fit/curve_fit.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace preempt::fit {
+
+LmResult curve_fit(const ModelFn& model, std::span<const double> xs, std::span<const double> ys,
+                   std::vector<double> p0, const Bounds& bounds, const LmOptions& options) {
+  PREEMPT_REQUIRE(xs.size() == ys.size(), "curve_fit needs equal-length x/y");
+  PREEMPT_REQUIRE(xs.size() >= p0.size(), "curve_fit needs at least as many points as parameters");
+  std::vector<double> x(xs.begin(), xs.end());
+  std::vector<double> y(ys.begin(), ys.end());
+  ResidualFn residuals = [model, x = std::move(x),
+                          y = std::move(y)](const std::vector<double>& p) {
+    std::vector<double> r(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) r[i] = model(x[i], p) - y[i];
+    return r;
+  };
+  return levenberg_marquardt(residuals, std::move(p0), bounds, options);
+}
+
+}  // namespace preempt::fit

@@ -1,0 +1,20 @@
+// scipy.optimize.curve_fit-style convenience wrapper over the LM solver.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "fit/least_squares.hpp"
+
+namespace preempt::fit {
+
+/// Model function y = model(x, params).
+using ModelFn = std::function<double(double, const std::vector<double>&)>;
+
+/// Fit `model` to (xs, ys) by least squares from initial guess p0, optionally
+/// bounded. Mirrors scipy's curve_fit(method="dogbox") behaviour.
+LmResult curve_fit(const ModelFn& model, std::span<const double> xs, std::span<const double> ys,
+                   std::vector<double> p0, const Bounds& bounds = {},
+                   const LmOptions& options = {});
+
+}  // namespace preempt::fit

@@ -1,0 +1,48 @@
+#include "fit/goodness_of_fit.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/stats.hpp"
+
+namespace preempt::fit {
+
+GofStats gof_statistics(std::span<const double> observed, std::span<const double> predicted,
+                        std::size_t k) {
+  PREEMPT_REQUIRE(observed.size() == predicted.size(), "gof needs equal-length arrays");
+  PREEMPT_REQUIRE(!observed.empty(), "gof needs at least one point");
+  GofStats s;
+  s.n = observed.size();
+  s.k = k;
+  KahanSum sse;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double e = predicted[i] - observed[i];
+    sse.add(e * e);
+    s.max_abs = std::max(s.max_abs, std::abs(e));
+  }
+  s.sse = sse.value();
+  const auto n = static_cast<double>(s.n);
+  s.rmse = std::sqrt(s.sse / n);
+
+  const double mean_obs = mean(observed);
+  KahanSum ss_tot;
+  for (double o : observed) ss_tot.add(sq(o - mean_obs));
+  s.r2 = ss_tot.value() > 0.0 ? 1.0 - s.sse / ss_tot.value() : 1.0;
+
+  // Least-squares (Gaussian errors) information criteria.
+  const double log_like_term = n * std::log(std::max(s.sse, 1e-300) / n);
+  s.aic = log_like_term + 2.0 * static_cast<double>(k);
+  s.bic = log_like_term + static_cast<double>(k) * std::log(n);
+  return s;
+}
+
+GofStats score_cdf_fit(const dist::Distribution& model, std::span<const double> ts,
+                       std::span<const double> fs, std::size_t k) {
+  PREEMPT_REQUIRE(ts.size() == fs.size(), "score_cdf_fit needs equal-length arrays");
+  std::vector<double> predicted(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) predicted[i] = model.cdf(ts[i]);
+  return gof_statistics(fs, predicted, k);
+}
+
+}  // namespace preempt::fit

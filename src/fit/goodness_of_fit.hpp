@@ -1,0 +1,31 @@
+// Goodness-of-fit statistics for fitted preemption models.
+#pragma once
+
+#include <span>
+
+#include "dist/distribution.hpp"
+
+namespace preempt::fit {
+
+/// Bundle of fit-quality metrics computed from observed vs predicted values.
+struct GofStats {
+  double sse = 0.0;       ///< sum of squared errors
+  double rmse = 0.0;      ///< root mean squared error
+  double r2 = 0.0;        ///< coefficient of determination
+  double max_abs = 0.0;   ///< max |error| (KS-flavoured distance on CDF fits)
+  double aic = 0.0;       ///< Akaike information criterion (LS Gaussian form)
+  double bic = 0.0;       ///< Bayesian information criterion
+  std::size_t n = 0;      ///< number of points
+  std::size_t k = 0;      ///< number of fitted parameters
+};
+
+/// Compute all statistics given observations, predictions and the parameter
+/// count k of the fitted model.
+GofStats gof_statistics(std::span<const double> observed, std::span<const double> predicted,
+                        std::size_t k);
+
+/// Evaluate a model CDF on the points and score it against empirical values.
+GofStats score_cdf_fit(const dist::Distribution& model, std::span<const double> ts,
+                       std::span<const double> fs, std::size_t k);
+
+}  // namespace preempt::fit

@@ -1,0 +1,196 @@
+#include "fit/least_squares.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/matrix.hpp"
+
+namespace preempt::fit {
+
+void Bounds::project(std::vector<double>& p) const {
+  if (empty()) return;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (!lower.empty()) p[i] = std::max(p[i], lower[i]);
+    if (!upper.empty()) p[i] = std::min(p[i], upper[i]);
+  }
+}
+
+void Bounds::validate(std::size_t n) const {
+  if (!lower.empty()) {
+    PREEMPT_REQUIRE(lower.size() == n, "lower bound size mismatch");
+  }
+  if (!upper.empty()) {
+    PREEMPT_REQUIRE(upper.size() == n, "upper bound size mismatch");
+  }
+  if (!lower.empty() && !upper.empty()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      PREEMPT_REQUIRE(lower[i] < upper[i], "bounds must satisfy lower < upper");
+    }
+  }
+}
+
+namespace {
+
+double sse_of(const std::vector<double>& r) {
+  KahanSum s;
+  for (double x : r) s.add(x * x);
+  return s.value();
+}
+
+bool all_finite(const std::vector<double>& v) {
+  return std::all_of(v.begin(), v.end(), [](double x) { return std::isfinite(x); });
+}
+
+/// Forward-difference Jacobian; switches to backward difference when a
+/// parameter sits at its upper bound so evaluations stay inside the box.
+Matrix numeric_jacobian(const ResidualFn& residuals, const std::vector<double>& p,
+                        const std::vector<double>& r0, const Bounds& bounds, double rel_step) {
+  const std::size_t m = r0.size();
+  const std::size_t n = p.size();
+  Matrix jac(m, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double h = rel_step * std::max(1.0, std::abs(p[j]));
+    double direction = 1.0;
+    if (!bounds.upper.empty() && p[j] + h > bounds.upper[j]) direction = -1.0;
+    if (!bounds.lower.empty() && direction < 0.0 && p[j] - h < bounds.lower[j]) {
+      // Parameter is pinned in a box thinner than h; shrink the step.
+      const double room_up = bounds.upper.empty() ? h : bounds.upper[j] - p[j];
+      const double room_dn = bounds.lower.empty() ? h : p[j] - bounds.lower[j];
+      if (room_up >= room_dn) {
+        direction = 1.0;
+        h = std::max(1e-14, 0.5 * room_up);
+      } else {
+        h = std::max(1e-14, 0.5 * room_dn);
+      }
+    }
+    std::vector<double> probe = p;
+    probe[j] += direction * h;
+    const std::vector<double> r1 = residuals(probe);
+    PREEMPT_CHECK(r1.size() == m, "residual length changed between evaluations");
+    for (std::size_t i = 0; i < m; ++i) {
+      const double d = (r1[i] - r0[i]) / (direction * h);
+      jac(i, j) = std::isfinite(d) ? d : 0.0;
+    }
+  }
+  return jac;
+}
+
+}  // namespace
+
+LmResult levenberg_marquardt(const ResidualFn& residuals, std::vector<double> p0,
+                             const Bounds& bounds, const LmOptions& options) {
+  PREEMPT_REQUIRE(!p0.empty(), "need at least one parameter");
+  bounds.validate(p0.size());
+  bounds.project(p0);
+
+  std::vector<double> p = std::move(p0);
+  std::vector<double> r = residuals(p);
+  PREEMPT_REQUIRE(!r.empty(), "residual function returned no residuals");
+  if (!all_finite(r)) throw NumericError("residuals are non-finite at the initial guess");
+  double sse = sse_of(r);
+
+  const std::size_t n = p.size();
+  double damping = options.initial_damping;
+  LmResult result;
+  result.params = p;
+  result.sse = sse;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    const Matrix jac = numeric_jacobian(residuals, p, r, bounds, options.jacobian_rel_step);
+    std::vector<double> gradient = jac.transpose_times(r);  // J^T r (≙ 1/2 ∇SSE)
+
+    // Freeze parameters pinned at a bound whose gradient pushes outward
+    // (dogbox-style active set): zero their gradient & Jacobian column.
+    Matrix jac_active = jac;
+    for (std::size_t j = 0; j < n; ++j) {
+      const bool at_lower = !bounds.lower.empty() && p[j] <= bounds.lower[j] && gradient[j] > 0.0;
+      const bool at_upper = !bounds.upper.empty() && p[j] >= bounds.upper[j] && gradient[j] < 0.0;
+      if (at_lower || at_upper) {
+        gradient[j] = 0.0;
+        for (std::size_t i = 0; i < jac_active.rows(); ++i) jac_active(i, j) = 0.0;
+      }
+    }
+
+    double gmax = 0.0;
+    for (double g : gradient) gmax = std::max(gmax, std::abs(g));
+    if (gmax < options.gtol) {
+      result.converged = true;
+      result.message = "gradient tolerance reached";
+      break;
+    }
+
+    const Matrix gram = jac_active.gram();
+    bool step_accepted = false;
+    for (int attempt = 0; attempt < 40 && !step_accepted; ++attempt) {
+      // (J^T J + damping * diag(J^T J)) delta = -J^T r
+      Matrix lhs = gram;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double d = std::max(gram(j, j), 1e-12);
+        lhs(j, j) = gram(j, j) + damping * d;
+      }
+      std::vector<double> rhs(n);
+      for (std::size_t j = 0; j < n; ++j) rhs[j] = -gradient[j];
+
+      std::vector<double> delta;
+      try {
+        delta = cholesky_solve(lhs, rhs);
+      } catch (const NumericError&) {
+        damping *= options.damping_increase;
+        continue;
+      }
+
+      std::vector<double> trial = p;
+      for (std::size_t j = 0; j < n; ++j) trial[j] += delta[j];
+      bounds.project(trial);
+
+      std::vector<double> r_trial = residuals(trial);
+      if (r_trial.size() != r.size() || !all_finite(r_trial)) {
+        damping *= options.damping_increase;
+        continue;
+      }
+      const double sse_trial = sse_of(r_trial);
+      if (sse_trial < sse) {
+        // Accepted: check convergence criteria on the accepted step.
+        double step_norm = 0.0, p_norm = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+          step_norm += sq(trial[j] - p[j]);
+          p_norm += sq(p[j]);
+        }
+        const bool f_converged = (sse - sse_trial) <= options.ftol * (sse + 1e-300);
+        const bool x_converged =
+            std::sqrt(step_norm) <= options.xtol * (std::sqrt(p_norm) + options.xtol);
+        p = std::move(trial);
+        r = std::move(r_trial);
+        sse = sse_trial;
+        damping = std::max(1e-12, damping * options.damping_decrease);
+        step_accepted = true;
+        if (f_converged || x_converged) {
+          result.params = p;
+          result.sse = sse;
+          result.converged = true;
+          result.message = f_converged ? "SSE tolerance reached" : "step tolerance reached";
+          return result;
+        }
+      } else {
+        damping *= options.damping_increase;
+      }
+    }
+    if (!step_accepted) {
+      result.converged = true;  // stuck in a (possibly constrained) minimum
+      result.message = "no downhill step found (local minimum)";
+      break;
+    }
+  }
+
+  result.params = p;
+  result.sse = sse;
+  if (result.message.empty()) {
+    result.message = result.converged ? "converged" : "max iterations reached";
+  }
+  return result;
+}
+
+}  // namespace preempt::fit

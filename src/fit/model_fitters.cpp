@@ -1,0 +1,330 @@
+#include "fit/model_fitters.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/special.hpp"
+#include "common/stats.hpp"
+#include "dist/empirical.hpp"
+#include "dist/exponential.hpp"
+#include "dist/exponentiated_weibull.hpp"
+#include "dist/gamma.hpp"
+#include "dist/gompertz_makeham.hpp"
+#include "dist/lognormal.hpp"
+#include "dist/weibull.hpp"
+#include "fit/curve_fit.hpp"
+
+namespace preempt::fit {
+
+namespace {
+
+void validate_points(std::span<const double> ts, std::span<const double> fs) {
+  PREEMPT_REQUIRE(ts.size() == fs.size(), "fit needs equal-length t/F arrays");
+  PREEMPT_REQUIRE(ts.size() >= 5, "fit needs at least 5 CDF points");
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    PREEMPT_REQUIRE(std::isfinite(ts[i]) && ts[i] >= 0.0, "CDF abscissae must be >= 0");
+    PREEMPT_REQUIRE(fs[i] >= 0.0 && fs[i] <= 1.0, "CDF ordinates must be in [0,1]");
+  }
+}
+
+/// Crude rate guess: median of -ln(1-F_i)/t_i over interior points.
+double guess_rate(std::span<const double> ts, std::span<const double> fs) {
+  std::vector<double> rates;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (ts[i] > 1e-9 && fs[i] > 1e-6 && fs[i] < 1.0 - 1e-9) {
+      rates.push_back(-std::log1p(-fs[i]) / ts[i]);
+    }
+  }
+  if (rates.empty()) return 1.0;
+  return median(rates);
+}
+
+}  // namespace
+
+FitResult fit_exponential(std::span<const double> ts, std::span<const double> fs) {
+  validate_points(ts, fs);
+  ModelFn model = [](double t, const std::vector<double>& p) {
+    return clamp01(-std::expm1(-p[0] * t));
+  };
+  Bounds bounds{{1e-6}, {1e3}};
+  LmResult lm = curve_fit(model, ts, fs, {guess_rate(ts, fs)}, bounds);
+  FitResult out;
+  out.distribution = std::make_unique<dist::Exponential>(lm.params[0]);
+  out.params = lm.params;
+  out.converged = lm.converged;
+  out.message = lm.message;
+  out.gof = score_cdf_fit(*out.distribution, ts, fs, 1);
+  return out;
+}
+
+FitResult fit_weibull(std::span<const double> ts, std::span<const double> fs) {
+  validate_points(ts, fs);
+  // Weibull plot: ln(-ln(1-F)) = k ln λ + k ln t → linear regression in ln t.
+  std::vector<double> lx, ly;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (ts[i] > 1e-9 && fs[i] > 1e-6 && fs[i] < 1.0 - 1e-9) {
+      lx.push_back(std::log(ts[i]));
+      ly.push_back(std::log(-std::log1p(-fs[i])));
+    }
+  }
+  double k0 = 1.0, lambda0 = guess_rate(ts, fs);
+  if (lx.size() >= 2) {
+    const LinearFit lf = linear_regression(lx, ly);
+    if (std::isfinite(lf.slope) && lf.slope > 0.05) {
+      k0 = clamp(lf.slope, 0.1, 20.0);
+      lambda0 = clamp(std::exp(lf.intercept / k0), 1e-5, 1e3);
+    }
+  }
+  ModelFn model = [](double t, const std::vector<double>& p) {
+    if (t <= 0.0) return 0.0;
+    return clamp01(-std::expm1(-std::pow(p[0] * t, p[1])));
+  };
+  Bounds bounds{{1e-5, 0.05}, {1e3, 50.0}};
+  LmResult lm = curve_fit(model, ts, fs, {lambda0, k0}, bounds);
+  FitResult out;
+  out.distribution = std::make_unique<dist::Weibull>(lm.params[0], lm.params[1]);
+  out.params = lm.params;
+  out.converged = lm.converged;
+  out.message = lm.message;
+  out.gof = score_cdf_fit(*out.distribution, ts, fs, 2);
+  return out;
+}
+
+FitResult fit_gompertz_makeham(std::span<const double> ts, std::span<const double> fs) {
+  validate_points(ts, fs);
+  const double lambda0 = clamp(guess_rate(ts, fs), 1e-4, 10.0);
+  // alpha may need to be astronomically small (a deadline-style wall at
+  // t ~ 24 h requires alpha ~ e^{-24 beta}), so fit log10(alpha): a linear
+  // parameterisation would break the finite-difference Jacobian across the
+  // 16 orders of magnitude involved. Parameters: {lambda, log10(alpha), beta}.
+  ModelFn model = [](double t, const std::vector<double>& p) {
+    if (t <= 0.0) return 0.0;
+    const double alpha = std::pow(10.0, p[1]);
+    const double cumulative = p[0] * t + alpha / p[2] * std::expm1(p[2] * t);
+    return clamp01(-std::expm1(-cumulative));
+  };
+  Bounds bounds{{1e-6, -28.0, 1e-3}, {10.0, 0.7, 8.0}};
+  // The (alpha, beta) aging pair is strongly correlated and the landscape has
+  // several basins (alpha -> 0 reduces to pure exponential); multi-start over
+  // a small grid and keep the best SSE, mirroring how scipy users restart
+  // curve_fit with different p0. The tiny-alpha starts seed the late-wall
+  // basin (aging only matters near the horizon).
+  LmResult best;
+  bool have_best = false;
+  auto try_start = [&](double lam, double log_alpha, double beta) {
+    try {
+      LmResult lm = curve_fit(model, ts, fs, {lam, log_alpha, beta}, bounds);
+      if (!have_best || lm.sse < best.sse) {
+        best = std::move(lm);
+        have_best = true;
+      }
+    } catch (const NumericError&) {
+      // Degenerate start (non-finite residuals); try the next one.
+    }
+  };
+  for (double log_alpha0 : {-12.0, -8.0, -4.0, -2.0}) {
+    for (double beta0 : {0.1, 0.3, 1.0, 2.0}) {
+      try_start(lambda0, log_alpha0, beta0);
+    }
+  }
+  // Ridge starts: alpha = c * beta * e^{-H beta} places the aging "wall" at
+  // t ~ H; probe plausible horizons so a deadline-constrained dataset gets a
+  // fighting chance (the generic grid drains into the exponential basin).
+  const double horizon_guess = ts.back();
+  for (double beta0 : {0.8, 1.2, 2.0}) {
+    for (double c : {0.1, 1.0}) {
+      const double log_alpha0 =
+          std::log10(c * beta0) - horizon_guess * beta0 / std::log(10.0);
+      if (log_alpha0 <= bounds.lower[1] || log_alpha0 >= bounds.upper[1]) continue;
+      try_start(lambda0, log_alpha0, beta0);
+      try_start(0.5 * lambda0, log_alpha0, beta0);
+    }
+  }
+  PREEMPT_CHECK(have_best, "all Gompertz-Makeham starts failed");
+  FitResult out;
+  const double alpha_fit = std::pow(10.0, best.params[1]);
+  out.distribution =
+      std::make_unique<dist::GompertzMakeham>(best.params[0], alpha_fit, best.params[2]);
+  out.params = {best.params[0], alpha_fit, best.params[2]};
+  out.converged = best.converged;
+  out.message = best.message;
+  out.gof = score_cdf_fit(*out.distribution, ts, fs, 3);
+  return out;
+}
+
+FitResult fit_bathtub(std::span<const double> ts, std::span<const double> fs, double horizon) {
+  validate_points(ts, fs);
+  PREEMPT_REQUIRE(horizon > 0.0, "bathtub horizon must be positive");
+
+  // Initial guesses exploit the model's anatomy: A is the mid-life plateau of
+  // the CDF; τ1 controls how fast the plateau is reached; the wall sits at b≈L.
+  double plateau = 0.45;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (ts[i] >= 0.4 * horizon && ts[i] <= 0.6 * horizon) plateau = fs[i];
+  }
+  plateau = clamp(plateau, 0.06, 0.99);
+  // τ1 guess: time to reach half the plateau ≈ τ1 ln 2.
+  double t_half = 0.5;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (fs[i] >= 0.5 * plateau) {
+      t_half = std::max(1e-3, ts[i]);
+      break;
+    }
+  }
+  const double tau1_0 = clamp(t_half / std::log(2.0), 0.1, 10.0);
+
+  // Parameters: p = {A, tau1, tau2, b}.
+  ModelFn model = [horizon](double t, const std::vector<double>& p) {
+    const double tt = clamp(t, 0.0, horizon);
+    return clamp01(p[0] * (1.0 - std::exp(-tt / p[1]) + std::exp((tt - p[3]) / p[2])));
+  };
+  Bounds bounds{{0.05, 0.05, 0.05, 0.5 * horizon}, {1.0, 20.0, 10.0, 1.5 * horizon}};
+  LmResult lm = curve_fit(model, ts, fs, {plateau, tau1_0, 0.8, horizon}, bounds);
+
+  dist::BathtubParams params;
+  params.scale = lm.params[0];
+  params.tau1 = lm.params[1];
+  params.tau2 = lm.params[2];
+  params.deadline = lm.params[3];
+  params.horizon = horizon;
+
+  FitResult out;
+  out.distribution = std::make_unique<dist::BathtubDistribution>(params);
+  out.params = lm.params;
+  out.converged = lm.converged;
+  out.message = lm.message;
+  out.gof = score_cdf_fit(*out.distribution, ts, fs, 4);
+  return out;
+}
+
+FitResult fit_lognormal(std::span<const double> ts, std::span<const double> fs) {
+  validate_points(ts, fs);
+  // Quantile plot: Φ⁻¹(F) = (ln t − μ)/σ → regress Φ⁻¹(F) on ln t;
+  // slope = 1/σ, intercept = −μ/σ.
+  std::vector<double> lx, qy;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (ts[i] > 1e-9 && fs[i] > 1e-6 && fs[i] < 1.0 - 1e-6) {
+      lx.push_back(std::log(ts[i]));
+      qy.push_back(normal_quantile(fs[i]));
+    }
+  }
+  double mu0 = 1.0, sigma0 = 1.0;
+  if (lx.size() >= 2) {
+    const LinearFit lf = linear_regression(lx, qy);
+    if (std::isfinite(lf.slope) && lf.slope > 1e-3) {
+      sigma0 = clamp(1.0 / lf.slope, 0.05, 10.0);
+      mu0 = clamp(-lf.intercept * sigma0, -10.0, 10.0);
+    }
+  }
+  ModelFn model = [](double t, const std::vector<double>& p) {
+    if (t <= 0.0) return 0.0;
+    return clamp01(normal_cdf((std::log(t) - p[0]) / p[1]));
+  };
+  Bounds bounds{{-15.0, 0.02}, {15.0, 20.0}};
+  LmResult lm = curve_fit(model, ts, fs, {mu0, sigma0}, bounds);
+  FitResult out;
+  out.distribution = std::make_unique<dist::LogNormal>(lm.params[0], lm.params[1]);
+  out.params = lm.params;
+  out.converged = lm.converged;
+  out.message = lm.message;
+  out.gof = score_cdf_fit(*out.distribution, ts, fs, 2);
+  return out;
+}
+
+FitResult fit_gamma(std::span<const double> ts, std::span<const double> fs) {
+  validate_points(ts, fs);
+  const double rate0 = clamp(guess_rate(ts, fs), 1e-4, 1e2);
+  ModelFn model = [](double t, const std::vector<double>& p) {
+    if (t <= 0.0) return 0.0;
+    return clamp01(regularized_gamma_p(p[0], p[1] * t));
+  };
+  Bounds bounds{{0.05, 1e-5}, {100.0, 1e3}};
+  // Shape is the hard parameter: multi-start a small grid and keep best SSE.
+  LmResult best;
+  bool have_best = false;
+  for (double alpha0 : {0.5, 1.0, 2.0, 4.0}) {
+    try {
+      LmResult lm = curve_fit(model, ts, fs, {alpha0, alpha0 * rate0}, bounds);
+      if (!have_best || lm.sse < best.sse) {
+        best = std::move(lm);
+        have_best = true;
+      }
+    } catch (const NumericError&) {
+      // Degenerate start; try the next one.
+    }
+  }
+  PREEMPT_CHECK(have_best, "all Gamma starts failed");
+  FitResult out;
+  out.distribution = std::make_unique<dist::Gamma>(best.params[0], best.params[1]);
+  out.params = best.params;
+  out.converged = best.converged;
+  out.message = best.message;
+  out.gof = score_cdf_fit(*out.distribution, ts, fs, 2);
+  return out;
+}
+
+FitResult fit_exponentiated_weibull(std::span<const double> ts, std::span<const double> fs) {
+  validate_points(ts, fs);
+  // Seed from the plain Weibull fit (γ = 1) and probe exponents on both sides:
+  // γ < 1 adds early mass (infant phase), γ > 1 delays it.
+  const FitResult wb = fit_weibull(ts, fs);
+  const double lambda0 = wb.params[0];
+  const double k0 = wb.params[1];
+  ModelFn model = [](double t, const std::vector<double>& p) {
+    if (t <= 0.0) return 0.0;
+    const double base = -std::expm1(-std::pow(p[0] * t, p[1]));
+    return clamp01(std::pow(std::max(base, 0.0), p[2]));
+  };
+  Bounds bounds{{1e-5, 0.05, 0.02}, {1e3, 50.0, 50.0}};
+  LmResult best;
+  bool have_best = false;
+  for (double gamma0 : {0.2, 0.5, 1.0, 2.0, 5.0}) {
+    try {
+      LmResult lm = curve_fit(model, ts, fs, {lambda0, k0, gamma0}, bounds);
+      if (!have_best || lm.sse < best.sse) {
+        best = std::move(lm);
+        have_best = true;
+      }
+    } catch (const NumericError&) {
+      // Degenerate start; try the next one.
+    }
+  }
+  PREEMPT_CHECK(have_best, "all exponentiated-Weibull starts failed");
+  FitResult out;
+  out.distribution = std::make_unique<dist::ExponentiatedWeibull>(best.params[0], best.params[1],
+                                                                  best.params[2]);
+  out.params = best.params;
+  out.converged = best.converged;
+  out.message = best.message;
+  out.gof = score_cdf_fit(*out.distribution, ts, fs, 3);
+  return out;
+}
+
+std::vector<FitResult> fit_all_families(std::span<const double> ts, std::span<const double> fs,
+                                        double horizon) {
+  std::vector<FitResult> results;
+  results.push_back(fit_bathtub(ts, fs, horizon));
+  results.push_back(fit_exponential(ts, fs));
+  results.push_back(fit_weibull(ts, fs));
+  results.push_back(fit_gompertz_makeham(ts, fs));
+  return results;
+}
+
+std::vector<FitResult> fit_extended_families(std::span<const double> ts,
+                                             std::span<const double> fs, double horizon) {
+  std::vector<FitResult> results = fit_all_families(ts, fs, horizon);
+  results.push_back(fit_lognormal(ts, fs));
+  results.push_back(fit_gamma(ts, fs));
+  results.push_back(fit_exponentiated_weibull(ts, fs));
+  return results;
+}
+
+FitResult fit_bathtub_to_samples(std::span<const double> lifetimes, double horizon) {
+  const dist::EmpiricalDistribution ecdf(lifetimes);
+  const auto pts = ecdf.ecdf_points(dist::EcdfConvention::kHazen);
+  return fit_bathtub(pts.t, pts.f, horizon);
+}
+
+}  // namespace preempt::fit

@@ -1,0 +1,63 @@
+// Per-family fitters: reproduce the paper's Fig. 1 methodology of fitting
+// candidate failure distributions to an empirical preemption CDF by bounded
+// least squares, with data-driven initial guesses.
+#pragma once
+
+#include <span>
+
+#include "dist/bathtub.hpp"
+#include "dist/distribution.hpp"
+#include "fit/goodness_of_fit.hpp"
+#include "fit/least_squares.hpp"
+
+namespace preempt::fit {
+
+/// Outcome of fitting one distribution family to ECDF points.
+struct FitResult {
+  dist::DistributionPtr distribution;  ///< fitted model (never null on return)
+  std::vector<double> params;          ///< fitted parameter vector
+  GofStats gof;                        ///< quality on the input points
+  bool converged = false;
+  std::string message;
+};
+
+/// Fit F(t) = 1 - e^{-λt}. Initial guess from the mean implied rate.
+FitResult fit_exponential(std::span<const double> ts, std::span<const double> fs);
+
+/// Fit F(t) = 1 - e^{-(λt)^k}. Initial guess via Weibull-plot linearisation.
+FitResult fit_weibull(std::span<const double> ts, std::span<const double> fs);
+
+/// Fit F(t) = 1 - exp(-λt - (α/β)(e^{βt} - 1)).
+FitResult fit_gompertz_makeham(std::span<const double> ts, std::span<const double> fs);
+
+/// Fit the paper's constrained-preemption model (Eq. 1) on [0, horizon].
+/// Bounds follow the paper's reported ranges, widened for robustness:
+/// A ∈ [0.05, 1], τ1 ∈ [0.05, 20] h, τ2 ∈ [0.05, 10] h, b ∈ [0.5, 1.5]·horizon.
+FitResult fit_bathtub(std::span<const double> ts, std::span<const double> fs,
+                      double horizon = 24.0);
+
+/// Fit ln T ~ N(μ, σ²). Initial guess via normal-quantile linearisation.
+FitResult fit_lognormal(std::span<const double> ts, std::span<const double> fs);
+
+/// Fit the Gamma(α, β) lifetime. Multi-start over shapes.
+FitResult fit_gamma(std::span<const double> ts, std::span<const double> fs);
+
+/// Fit the exponentiated Weibull (ref [42], the classical bathtub-capable
+/// family). Seeded from the plain Weibull fit plus a grid of exponents.
+FitResult fit_exponentiated_weibull(std::span<const double> ts, std::span<const double> fs);
+
+/// Fit every family above to the same points (the Fig. 1 comparison set).
+/// Returned in a fixed order: bathtub, exponential, weibull, gompertz-makeham.
+std::vector<FitResult> fit_all_families(std::span<const double> ts, std::span<const double> fs,
+                                        double horizon = 24.0);
+
+/// The widened Fig. 1 comparison: everything in fit_all_families plus
+/// lognormal, gamma and exponentiated Weibull (in that order).
+std::vector<FitResult> fit_extended_families(std::span<const double> ts,
+                                             std::span<const double> fs, double horizon = 24.0);
+
+/// Fit the bathtub model directly to lifetime samples (builds the Hazen ECDF
+/// internally); the common entry point for trace-driven model construction.
+FitResult fit_bathtub_to_samples(std::span<const double> lifetimes, double horizon = 24.0);
+
+}  // namespace preempt::fit

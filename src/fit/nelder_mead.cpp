@@ -1,0 +1,163 @@
+#include "fit/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace preempt::fit {
+
+namespace {
+
+/// Simplex diameter: max distance of any vertex to the best one.
+double simplex_diameter(const std::vector<std::vector<double>>& verts) {
+  double diameter = 0.0;
+  for (std::size_t i = 1; i < verts.size(); ++i) {
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < verts[0].size(); ++j) {
+      const double dx = verts[i][j] - verts[0][j];
+      d2 += dx * dx;
+    }
+    diameter = std::max(diameter, std::sqrt(d2));
+  }
+  return diameter;
+}
+
+}  // namespace
+
+NelderMeadResult nelder_mead(const ObjectiveFn& f, std::vector<double> p0, const Bounds& bounds,
+                             const NelderMeadOptions& options) {
+  const std::size_t n = p0.size();
+  PREEMPT_REQUIRE(n >= 1, "nelder_mead needs at least one parameter");
+  if (!bounds.empty()) {
+    bounds.validate(n);
+    bounds.project(p0);
+  }
+
+  auto eval = [&](std::vector<double> p) {
+    if (!bounds.empty()) bounds.project(p);
+    const double v = f(p);
+    return std::pair{std::move(p), std::isfinite(v) ? v : std::numeric_limits<double>::max()};
+  };
+
+  {
+    const double v0 = f(p0);
+    if (!std::isfinite(v0)) {
+      throw NumericError("nelder_mead: objective not finite at the start point");
+    }
+  }
+
+  // Adaptive coefficients (Gao & Han 2012) — markedly better in dimension > 2.
+  const double nd = static_cast<double>(n);
+  const double alpha = 1.0;                 // reflection
+  const double beta = 1.0 + 2.0 / nd;       // expansion
+  const double gamma = 0.75 - 0.5 / nd;     // contraction
+  const double delta = 1.0 - 1.0 / nd;      // shrink
+
+  // Start simplex: p0 plus one perturbed vertex per axis.
+  std::vector<std::vector<double>> verts(n + 1, p0);
+  std::vector<double> values(n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    double step = options.initial_step * std::abs(p0[i]);
+    if (step == 0.0) step = options.initial_step;
+    verts[i + 1][i] += step;
+  }
+  for (std::size_t i = 0; i <= n; ++i) {
+    auto [p, v] = eval(verts[i]);
+    verts[i] = std::move(p);
+    values[i] = v;
+  }
+
+  NelderMeadResult result;
+  std::vector<std::size_t> order(n + 1);
+  for (result.iterations = 0; result.iterations < options.max_iterations; ++result.iterations) {
+    // Sort vertices by objective (indices only — vertices can be large).
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+    {
+      std::vector<std::vector<double>> vs(n + 1);
+      std::vector<double> fs(n + 1);
+      for (std::size_t i = 0; i <= n; ++i) {
+        vs[i] = std::move(verts[order[i]]);
+        fs[i] = values[order[i]];
+      }
+      verts = std::move(vs);
+      values = std::move(fs);
+    }
+
+    const double f_spread = std::abs(values[n] - values[0]);
+    if (f_spread < options.f_tol || simplex_diameter(verts) < options.x_tol) {
+      result.converged = true;
+      result.message = "converged";
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) centroid[j] += verts[i][j];
+    }
+    for (double& c : centroid) c /= nd;
+
+    auto blend = [&](double coeff) {
+      std::vector<double> p(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        p[j] = centroid[j] + coeff * (centroid[j] - verts[n][j]);
+      }
+      return p;
+    };
+
+    auto [pr, fr] = eval(blend(alpha));  // reflect
+    if (fr < values[0]) {
+      auto [pe, fe] = eval(blend(alpha * beta));  // expand
+      if (fe < fr) {
+        verts[n] = std::move(pe);
+        values[n] = fe;
+      } else {
+        verts[n] = std::move(pr);
+        values[n] = fr;
+      }
+      continue;
+    }
+    if (fr < values[n - 1]) {  // accept reflection
+      verts[n] = std::move(pr);
+      values[n] = fr;
+      continue;
+    }
+    if (fr < values[n]) {  // outside contraction
+      auto [pc, fc] = eval(blend(alpha * gamma));
+      if (fc <= fr) {
+        verts[n] = std::move(pc);
+        values[n] = fc;
+        continue;
+      }
+    } else {  // inside contraction
+      auto [pc, fc] = eval(blend(-gamma));
+      if (fc < values[n]) {
+        verts[n] = std::move(pc);
+        values[n] = fc;
+        continue;
+      }
+    }
+    // Shrink towards the best vertex.
+    for (std::size_t i = 1; i <= n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        verts[i][j] = verts[0][j] + delta * (verts[i][j] - verts[0][j]);
+      }
+      auto [p, v] = eval(verts[i]);
+      verts[i] = std::move(p);
+      values[i] = v;
+    }
+  }
+
+  const auto best = static_cast<std::size_t>(
+      std::min_element(values.begin(), values.end()) - values.begin());
+  result.params = verts[best];
+  result.value = values[best];
+  if (!result.converged) result.message = "max iterations reached";
+  return result;
+}
+
+}  // namespace preempt::fit

@@ -1,0 +1,38 @@
+// Derivative-free simplex minimisation (Nelder-Mead with adaptive
+// parameters), used where least squares does not apply — chiefly the
+// censored maximum-likelihood fits in src/survival, whose objective is a
+// log-likelihood rather than a residual vector.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "fit/least_squares.hpp"  // for Bounds
+
+namespace preempt::fit {
+
+/// Scalar objective f(p) to minimise.
+using ObjectiveFn = std::function<double(const std::vector<double>&)>;
+
+struct NelderMeadOptions {
+  std::size_t max_iterations = 2000;
+  double f_tol = 1e-10;       ///< stop when the simplex f-spread falls below this
+  double x_tol = 1e-10;       ///< ... or the simplex diameter does
+  double initial_step = 0.1;  ///< relative perturbation building the start simplex
+};
+
+struct NelderMeadResult {
+  std::vector<double> params;  ///< best vertex found
+  double value = 0.0;          ///< objective at params
+  std::size_t iterations = 0;
+  bool converged = false;
+  std::string message;
+};
+
+/// Minimise `f` from `p0`. If `bounds` is non-empty the search is confined to
+/// the box by projection (evaluations never leave it). Throws InvalidArgument
+/// on dimension mismatches and NumericError if f(p0) is not finite.
+NelderMeadResult nelder_mead(const ObjectiveFn& f, std::vector<double> p0,
+                             const Bounds& bounds = {}, const NelderMeadOptions& options = {});
+
+}  // namespace preempt::fit

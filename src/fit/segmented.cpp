@@ -1,0 +1,97 @@
+#include "fit/segmented.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/matrix.hpp"
+
+namespace preempt::fit {
+
+namespace {
+
+struct HingeFit {
+  std::vector<double> beta;  // {intercept, slope, hinge1, hinge2}
+  double sse = std::numeric_limits<double>::infinity();
+};
+
+HingeFit solve_hinge(std::span<const double> ts, std::span<const double> fs, double b1, double b2) {
+  const std::size_t n = ts.size();
+  Matrix design(n, 4);
+  std::vector<double> y(fs.begin(), fs.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    design(i, 0) = 1.0;
+    design(i, 1) = ts[i];
+    design(i, 2) = std::max(0.0, ts[i] - b1);
+    design(i, 3) = std::max(0.0, ts[i] - b2);
+  }
+  HingeFit fit;
+  try {
+    fit.beta = qr_least_squares(design, y);
+  } catch (const NumericError&) {
+    return fit;  // rank-deficient grid point (no data between breakpoints)
+  }
+  double sse = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pred = fit.beta[0] + fit.beta[1] * design(i, 1) + fit.beta[2] * design(i, 2) +
+                        fit.beta[3] * design(i, 3);
+    sse += sq(pred - y[i]);
+  }
+  fit.sse = sse;
+  return fit;
+}
+
+double eval_hinge(const std::vector<double>& beta, double b1, double b2, double t) {
+  return beta[0] + beta[1] * t + beta[2] * std::max(0.0, t - b1) + beta[3] * std::max(0.0, t - b2);
+}
+
+}  // namespace
+
+SegmentedFit fit_segmented_cdf(std::span<const double> ts, std::span<const double> fs,
+                               double horizon, std::size_t grid) {
+  PREEMPT_REQUIRE(ts.size() == fs.size(), "segmented fit needs equal-length arrays");
+  PREEMPT_REQUIRE(ts.size() >= 8, "segmented fit needs at least 8 points");
+  PREEMPT_REQUIRE(grid >= 4, "segmented fit needs a grid of at least 4");
+
+  // Candidate breakpoints span the interior of the horizon; b1 in the first
+  // half (infant phase boundary), b2 in the second half (deadline onset).
+  double best_sse = std::numeric_limits<double>::infinity();
+  double best_b1 = horizon / 8.0;
+  double best_b2 = horizon * 7.0 / 8.0;
+  std::vector<double> best_beta;
+  for (std::size_t i = 1; i < grid; ++i) {
+    const double b1 = horizon * 0.5 * static_cast<double>(i) / static_cast<double>(grid);
+    for (std::size_t j = 1; j < grid; ++j) {
+      const double b2 =
+          horizon * (0.5 + 0.5 * static_cast<double>(j) / static_cast<double>(grid + 1));
+      if (b2 <= b1 + horizon / static_cast<double>(grid)) continue;
+      const HingeFit fit = solve_hinge(ts, fs, b1, b2);
+      if (fit.sse < best_sse) {
+        best_sse = fit.sse;
+        best_b1 = b1;
+        best_b2 = b2;
+        best_beta = fit.beta;
+      }
+    }
+  }
+  PREEMPT_CHECK(!best_beta.empty(), "segmented fit found no feasible breakpoints");
+
+  // Materialise as a monotone piecewise-linear CDF on {0, b1, b2, horizon}.
+  std::vector<double> knot_t = {0.0, best_b1, best_b2, horizon};
+  std::vector<double> knot_f(knot_t.size());
+  for (std::size_t i = 0; i < knot_t.size(); ++i) {
+    knot_f[i] = clamp01(eval_hinge(best_beta, best_b1, best_b2, knot_t[i]));
+  }
+  for (std::size_t i = 1; i < knot_f.size(); ++i) knot_f[i] = std::max(knot_f[i], knot_f[i - 1]);
+
+  SegmentedFit out;
+  out.break1 = best_b1;
+  out.break2 = best_b2;
+  out.model = std::make_unique<dist::PiecewiseLinearCdf>(knot_t, knot_f);
+  out.gof = score_cdf_fit(*out.model, ts, fs, 6);  // 4 betas + 2 breakpoints
+  return out;
+}
+
+}  // namespace preempt::fit

@@ -1,0 +1,30 @@
+// Segmented (3-phase) linear regression on an empirical CDF — the
+// "phase-wise model" the paper sketches as future work (Sec. 8): three linear
+// CDF regions joined continuously at two breakpoints, found by grid search.
+#pragma once
+
+#include <span>
+
+#include "dist/piecewise.hpp"
+#include "fit/goodness_of_fit.hpp"
+
+namespace preempt::fit {
+
+/// Result of the segmented fit.
+struct SegmentedFit {
+  double break1 = 0.0;  ///< end of the infant phase (hours)
+  double break2 = 0.0;  ///< start of the deadline phase (hours)
+  /// Fitted continuous piecewise-linear CDF with knots at
+  /// {0, break1, break2, horizon}, clamped monotone into [0, 1].
+  std::unique_ptr<dist::PiecewiseLinearCdf> model;
+  GofStats gof;
+};
+
+/// Fit a continuous 3-segment linear CDF to (ts, fs) by exhaustive search
+/// over a breakpoint grid of `grid` candidate positions per knot; for each
+/// candidate pair the segment slopes are solved in closed form (linear least
+/// squares with hinge basis {1, t, (t-b1)+, (t-b2)+}).
+SegmentedFit fit_segmented_cdf(std::span<const double> ts, std::span<const double> fs,
+                               double horizon = 24.0, std::size_t grid = 24);
+
+}  // namespace preempt::fit

@@ -1,0 +1,375 @@
+#include "policy/checkpoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace preempt::policy {
+
+namespace {
+
+/// Candidate next-checkpoint lengths (in steps) for a layer with j steps of
+/// work remaining: every value up to 16, then a ~12% geometric ladder, and
+/// always j itself (run to completion). Keeps the DP O(50) per state with
+/// negligible optimality loss (the cost curve is flat near its minimum).
+std::vector<std::uint32_t> candidate_intervals(std::size_t j) {
+  std::vector<std::uint32_t> out;
+  const std::size_t dense = std::min<std::size_t>(j, 16);
+  for (std::size_t i = 1; i <= dense; ++i) out.push_back(static_cast<std::uint32_t>(i));
+  std::size_t i = dense;
+  while (i < j) {
+    i = std::max(i + 1, static_cast<std::size_t>(std::ceil(static_cast<double>(i) * 1.12)));
+    out.push_back(static_cast<std::uint32_t>(std::min(i, j)));
+  }
+  if (out.empty() || out.back() != j) out.push_back(static_cast<std::uint32_t>(j));
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void validate_config(const CheckpointConfig& c) {
+  PREEMPT_REQUIRE(c.step_hours > 0.0, "step_hours must be positive");
+  PREEMPT_REQUIRE(c.checkpoint_cost_hours >= 0.0, "checkpoint cost must be >= 0");
+  PREEMPT_REQUIRE(c.restart_overhead_hours >= 0.0, "restart overhead must be >= 0");
+  PREEMPT_REQUIRE(c.fixed_point_tol > 0.0, "fixed point tolerance must be positive");
+  PREEMPT_REQUIRE(c.max_fixed_point_iters >= 1, "need at least one fixed point iteration");
+}
+
+std::size_t to_steps_round(double hours, double step) {
+  return static_cast<std::size_t>(std::llround(hours / step));
+}
+
+std::size_t to_steps_ceil(double hours, double step) {
+  return static_cast<std::size_t>(std::ceil(hours / step - 1e-9));
+}
+
+}  // namespace
+
+double CheckpointPlan::job_hours() const {
+  double total = 0.0;
+  for (double w : work_segments_hours) total += w;
+  return total;
+}
+
+double young_daly_interval(double mttf_hours, double delta_hours) {
+  PREEMPT_REQUIRE(mttf_hours > 0.0, "MTTF must be positive");
+  PREEMPT_REQUIRE(delta_hours > 0.0, "checkpoint cost must be positive");
+  return std::sqrt(2.0 * delta_hours * mttf_hours);
+}
+
+CheckpointPlan young_daly_plan(double job_hours, double mttf_hours, double delta_hours) {
+  PREEMPT_REQUIRE(job_hours > 0.0, "job length must be positive");
+  const double tau = young_daly_interval(mttf_hours, delta_hours);
+  CheckpointPlan plan;
+  plan.checkpoint_cost_hours = delta_hours;
+  double remaining = job_hours;
+  while (remaining > tau + 1e-12) {
+    plan.work_segments_hours.push_back(tau);
+    remaining -= tau;
+  }
+  if (remaining > 1e-12) plan.work_segments_hours.push_back(remaining);
+  PREEMPT_CHECK(!plan.work_segments_hours.empty(), "Young-Daly plan came out empty");
+  return plan;
+}
+
+CheckpointPlan no_checkpoint_plan(double job_hours, double delta_hours) {
+  PREEMPT_REQUIRE(job_hours > 0.0, "job length must be positive");
+  CheckpointPlan plan;
+  plan.checkpoint_cost_hours = delta_hours;
+  plan.work_segments_hours = {job_hours};
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Shared DP kernel machinery
+// ---------------------------------------------------------------------------
+namespace {
+
+/// Precomputed grid view of the distribution: F and the first partial moment
+/// M(t) = E[X 1{X <= t}] at grid ages, with any deadline atom folded into the
+/// final grid point.
+struct DistGrid {
+  double step = 0.0;
+  std::size_t age_steps = 0;  ///< grid has age_steps + 1 points, last = support end
+  std::vector<double> cdf;
+  std::vector<double> moment;
+
+  DistGrid(const dist::Distribution& d, double step_hours) {
+    const double end = d.support_end();
+    PREEMPT_REQUIRE(std::isfinite(end),
+                    "checkpoint DP requires a finite-support (constrained) distribution");
+    step = step_hours;
+    age_steps = to_steps_ceil(end, step_hours);
+    PREEMPT_REQUIRE(age_steps >= 2, "support too short for the chosen step");
+    cdf.resize(age_steps + 1);
+    moment.resize(age_steps + 1);
+    for (std::size_t k = 0; k <= age_steps; ++k) {
+      const double t = std::min(static_cast<double>(k) * step, end);
+      cdf[k] = d.cdf(t);
+      moment[k] = d.partial_expectation(0.0, t);
+    }
+    // Fold a deadline atom (mass not covered by the continuous density) into
+    // the last grid point so interval probabilities/moments stay consistent.
+    cdf[age_steps] = 1.0;
+    const double continuous_mass = d.cdf(end * (1.0 - 1e-12));
+    const double atom = std::max(0.0, 1.0 - continuous_mass);
+    moment[age_steps] += atom * end;
+  }
+
+  double survival(std::size_t k) const { return 1.0 - cdf[k]; }
+};
+
+/// One segment's branch quantities from state age-index t choosing total
+/// duration d_steps (work + checkpoint), under a survival-to-t condition.
+struct SegmentOutcome {
+  double p_succ = 0.0;
+  double p_fail = 1.0;
+  double lost_hours = 0.0;  ///< expected elapsed time when the segment fails
+  std::size_t end_index = 0;
+};
+
+SegmentOutcome segment_outcome(const DistGrid& grid, std::size_t t, std::size_t d_steps,
+                               LostWorkForm lost_form) {
+  SegmentOutcome out;
+  out.end_index = std::min(t + d_steps, grid.age_steps);
+  const double surv_t = grid.survival(t);
+  if (surv_t <= 0.0) {
+    out.p_succ = 0.0;
+    out.p_fail = 1.0;
+    out.lost_hours = 0.0;
+    return out;
+  }
+  const bool past_end = (t + d_steps) >= grid.age_steps;
+  const double q = grid.cdf[out.end_index] - grid.cdf[t];
+  out.p_fail = past_end ? 1.0 : clamp01(q / surv_t);
+  out.p_succ = 1.0 - out.p_fail;
+  const double t_hours = static_cast<double>(t) * grid.step;
+  if (q > 0.0) {
+    const double mass_weighted_time = grid.moment[out.end_index] - grid.moment[t];
+    if (lost_form == LostWorkForm::kConditional) {
+      out.lost_hours = std::max(0.0, mass_weighted_time / q - t_hours);
+    } else {
+      out.lost_hours = std::max(0.0, mass_weighted_time);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CheckpointDp
+// ---------------------------------------------------------------------------
+
+CheckpointDp::CheckpointDp(const dist::Distribution& d, double job_hours, CheckpointConfig config)
+    : config_(config) {
+  validate_config(config_);
+  PREEMPT_REQUIRE(job_hours > 0.0, "job length must be positive");
+  DistGrid grid(d, config_.step_hours);
+  age_steps_ = grid.age_steps;
+  job_steps_ = to_steps_round(job_hours, config_.step_hours);
+  PREEMPT_REQUIRE(job_steps_ >= 1, "job shorter than one DP step");
+  delta_steps_ = to_steps_ceil(config_.checkpoint_cost_hours, config_.step_hours);
+  cdf_grid_ = grid.cdf;
+  moment_grid_ = grid.moment;
+
+  const std::size_t stride = age_steps_ + 1;
+  value_.assign((job_steps_ + 1) * stride, 0.0);
+  choice_.assign((job_steps_ + 1) * stride, 0);
+
+  const double h = config_.step_hours;
+  // fresh_value[j] = V(j, 0), the fixed-point coupling for fresh restarts.
+  std::vector<double> fresh_value(job_steps_ + 1, 0.0);
+
+  for (std::size_t j = 1; j <= job_steps_; ++j) {
+    const std::vector<std::uint32_t> candidates = candidate_intervals(j);
+    // Warm-start the layer fixed point from the previous layer.
+    fresh_value[j] = fresh_value[j - 1] + h;
+    for (int iter = 0; iter < config_.max_fixed_point_iters; ++iter) {
+      for (std::size_t tt = stride; tt-- > 0;) {
+        const std::size_t t = tt;
+        if (grid.survival(t) <= 0.0) {
+          // VM is certainly dead at this age: restart on a fresh VM.
+          value(j, t) = config_.restart_overhead_hours + fresh_value[j];
+          choice(j, t) = 0;
+          continue;
+        }
+        double best = std::numeric_limits<double>::infinity();
+        std::uint32_t best_i = candidates.front();
+        for (std::uint32_t i : candidates) {
+          const double cost = segment_cost(j, t, i, fresh_value);
+          if (cost < best) {
+            best = cost;
+            best_i = i;
+          }
+        }
+        value(j, t) = best;
+        choice(j, t) = best_i;
+      }
+      const double updated = value(j, 0);
+      const double err = std::abs(updated - fresh_value[j]);
+      fresh_value[j] = updated;
+      if (err < config_.fixed_point_tol * std::max(1.0, updated)) break;
+    }
+  }
+}
+
+double CheckpointDp::segment_cost(std::size_t j, std::size_t t, std::size_t i,
+                                  const std::vector<double>& fresh_value) const {
+  const bool has_checkpoint = i < j;
+  const std::size_t d_steps = i + (has_checkpoint ? delta_steps_ : 0);
+  const double h = config_.step_hours;
+  const double d_hours = static_cast<double>(d_steps) * h;
+
+  // Outcome math inlined against the member arrays (this is the DP hot loop).
+  const std::size_t end_index = std::min(t + d_steps, age_steps_);
+  const double surv_t = 1.0 - cdf_grid_[t];
+  double p_fail = 1.0, p_succ = 0.0, lost_hours = 0.0;
+  if (surv_t > 0.0) {
+    const bool past_end = (t + d_steps) >= age_steps_;
+    const double q = cdf_grid_[end_index] - cdf_grid_[t];
+    p_fail = past_end ? 1.0 : clamp01(q / surv_t);
+    p_succ = 1.0 - p_fail;
+    if (q > 0.0) {
+      const double mass_weighted_time = moment_grid_[end_index] - moment_grid_[t];
+      const double t_hours = static_cast<double>(t) * h;
+      lost_hours = (config_.lost_work == LostWorkForm::kConditional)
+                       ? std::max(0.0, mass_weighted_time / q - t_hours)
+                       : std::max(0.0, mass_weighted_time);
+    }
+  }
+
+  double cost = 0.0;
+  if (p_succ > 0.0) {
+    const double cont = (j == i) ? 0.0 : value(j - i, end_index);
+    cost += p_succ * (d_hours + cont);
+  }
+  if (p_fail > 0.0) {
+    double fail_cont;
+    if (config_.restart == RestartModel::kFreshVm || end_index >= age_steps_) {
+      fail_cont = config_.restart_overhead_hours + fresh_value[j];
+    } else {
+      fail_cont = value(j, end_index);
+    }
+    cost += p_fail * (lost_hours + fail_cont);
+  }
+  return cost;
+}
+
+std::size_t CheckpointDp::age_index(double age_hours) const {
+  PREEMPT_REQUIRE(age_hours >= 0.0, "age must be non-negative");
+  const auto idx = to_steps_round(age_hours, config_.step_hours);
+  return std::min(idx, age_steps_);
+}
+
+std::size_t CheckpointDp::work_index(double work_hours) const {
+  const auto idx = to_steps_round(work_hours, config_.step_hours);
+  PREEMPT_REQUIRE(idx >= 1 && idx <= job_steps_, "work amount outside the DP table");
+  return idx;
+}
+
+double CheckpointDp::expected_makespan(double start_age_hours) const {
+  return value(job_steps_, age_index(start_age_hours));
+}
+
+double CheckpointDp::expected_increase_fraction(double start_age_hours) const {
+  const double ideal = static_cast<double>(job_steps_) * config_.step_hours;
+  return (expected_makespan(start_age_hours) - ideal) / ideal;
+}
+
+double CheckpointDp::expected_makespan_partial(double work_hours, double start_age_hours) const {
+  return value(work_index(work_hours), age_index(start_age_hours));
+}
+
+std::vector<double> CheckpointDp::schedule(double start_age_hours) const {
+  return schedule_partial(job_hours(), start_age_hours);
+}
+
+std::vector<double> CheckpointDp::schedule_partial(double work_hours,
+                                                   double start_age_hours) const {
+  std::vector<double> intervals;
+  std::size_t j = work_index(work_hours);
+  std::size_t t = age_index(start_age_hours);
+  while (j > 0) {
+    std::uint32_t i = choice(j, t);
+    if (i == 0) {
+      // Dead-VM state: the success path restarts on a fresh VM.
+      t = 0;
+      continue;
+    }
+    intervals.push_back(static_cast<double>(i) * config_.step_hours);
+    const bool has_checkpoint = i < j;
+    const std::size_t d_steps = i + (has_checkpoint ? delta_steps_ : 0);
+    t = std::min(t + d_steps, age_steps_);
+    j -= i;
+  }
+  return intervals;
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-plan analytic evaluator
+// ---------------------------------------------------------------------------
+
+double evaluate_plan(const dist::Distribution& d, const CheckpointPlan& plan,
+                     double start_age_hours, CheckpointConfig config) {
+  validate_config(config);
+  PREEMPT_REQUIRE(!plan.work_segments_hours.empty(), "plan has no segments");
+  PREEMPT_REQUIRE(start_age_hours >= 0.0, "start age must be non-negative");
+
+  const DistGrid grid(d, config.step_hours);
+  const std::size_t stride = grid.age_steps + 1;
+  const std::size_t delta_steps = to_steps_ceil(plan.checkpoint_cost_hours, config.step_hours);
+  const double h = config.step_hours;
+
+  // Segment lengths in steps (each at least one step).
+  std::vector<std::size_t> seg_steps;
+  seg_steps.reserve(plan.work_segments_hours.size());
+  for (double w : plan.work_segments_hours) {
+    PREEMPT_REQUIRE(w > 0.0, "plan segments must be positive");
+    seg_steps.push_back(std::max<std::size_t>(1, to_steps_round(w, h)));
+  }
+
+  const std::size_t m = seg_steps.size();
+  // W[k][t] = expected remaining makespan with segments k..m-1 left, age t.
+  std::vector<double> next(stride, 0.0);  // W[k+1][.]
+  std::vector<double> cur(stride, 0.0);
+  // Iterate k downward; each layer needs a fixed point on W[k][0].
+  for (std::size_t kk = m; kk-- > 0;) {
+    const bool has_checkpoint = (kk + 1) < m;
+    const std::size_t d_steps = seg_steps[kk] + (has_checkpoint ? delta_steps : 0);
+    const double d_hours = static_cast<double>(d_steps) * h;
+    double fresh_guess = next[0] + d_hours;
+    for (int iter = 0; iter < config.max_fixed_point_iters; ++iter) {
+      for (std::size_t tt = stride; tt-- > 0;) {
+        const std::size_t t = tt;
+        if (grid.survival(t) <= 0.0) {
+          cur[t] = config.restart_overhead_hours + fresh_guess;
+          continue;
+        }
+        const SegmentOutcome seg = segment_outcome(grid, t, d_steps, config.lost_work);
+        double cost = 0.0;
+        if (seg.p_succ > 0.0) cost += seg.p_succ * (d_hours + next[seg.end_index]);
+        if (seg.p_fail > 0.0) {
+          double fail_cont;
+          if (config.restart == RestartModel::kFreshVm || seg.end_index >= grid.age_steps) {
+            fail_cont = config.restart_overhead_hours + fresh_guess;
+          } else {
+            fail_cont = cur[seg.end_index];
+          }
+          cost += seg.p_fail * (seg.lost_hours + fail_cont);
+        }
+        cur[t] = cost;
+      }
+      const double err = std::abs(cur[0] - fresh_guess);
+      fresh_guess = cur[0];
+      if (err < config.fixed_point_tol * std::max(1.0, fresh_guess)) break;
+    }
+    next = cur;
+  }
+  const std::size_t start_idx =
+      std::min(to_steps_round(start_age_hours, h), grid.age_steps);
+  return next[start_idx];
+}
+
+}  // namespace preempt::policy

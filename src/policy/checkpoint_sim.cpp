@@ -1,0 +1,75 @@
+#include "policy/checkpoint_sim.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/stats.hpp"
+
+namespace preempt::policy {
+
+namespace {
+
+/// Draw a lifetime conditioned on survival to `age` (inverse transform on the
+/// conditional CDF). Returns the *remaining* lifetime after `age`.
+double sample_remaining_lifetime(const dist::Distribution& d, double age, Rng& rng) {
+  if (age <= 0.0) return d.sample(rng);
+  const double s_age = d.survival(age);
+  if (s_age <= 0.0) return 0.0;
+  const double u = rng.uniform();
+  // P(T <= x | T > age) = u  =>  F(x) = F(age) + u * S(age).
+  const double target = d.cdf(age) + u * s_age;
+  const double t = d.quantile(clamp01(target));
+  return std::max(0.0, t - age);
+}
+
+}  // namespace
+
+SimulatedMakespan simulate_plan(const dist::Distribution& d, const CheckpointPlan& plan,
+                                const SimulationOptions& options) {
+  PREEMPT_REQUIRE(!plan.work_segments_hours.empty(), "plan has no segments");
+  PREEMPT_REQUIRE(options.runs >= 1, "simulation needs at least one run");
+  Rng rng(options.seed);
+
+  std::vector<double> makespans;
+  makespans.reserve(options.runs);
+  double total_preemptions = 0.0;
+
+  for (std::size_t run = 0; run < options.runs; ++run) {
+    double elapsed = 0.0;
+    std::size_t preemptions = 0;
+    std::size_t segment = 0;  // next segment to execute (checkpointed progress)
+    // Remaining lifetime of the current VM.
+    double vm_left = sample_remaining_lifetime(d, options.start_age_hours, rng);
+
+    while (segment < plan.work_segments_hours.size()) {
+      const bool has_checkpoint = segment + 1 < plan.work_segments_hours.size();
+      const double need =
+          plan.work_segments_hours[segment] + (has_checkpoint ? plan.checkpoint_cost_hours : 0.0);
+      if (vm_left >= need) {
+        elapsed += need;
+        vm_left -= need;
+        ++segment;
+      } else {
+        // Preempted mid-segment: lose the partial segment, move to a new VM.
+        elapsed += vm_left;
+        elapsed += options.restart_overhead_hours;
+        ++preemptions;
+        if (preemptions >= options.max_preemptions_per_run) break;
+        vm_left = d.sample(rng);
+      }
+    }
+    makespans.push_back(elapsed);
+    total_preemptions += static_cast<double>(preemptions);
+  }
+
+  SimulatedMakespan out;
+  out.runs = options.runs;
+  out.mean_hours = mean(makespans);
+  out.stddev_hours = makespans.size() >= 2 ? stddev(makespans) : 0.0;
+  out.mean_preemptions = total_preemptions / static_cast<double>(options.runs);
+  out.max_hours = max_of(makespans);
+  return out;
+}
+
+}  // namespace preempt::policy

@@ -1,0 +1,41 @@
+// Monte-Carlo execution of checkpoint plans under sampled preemptions.
+//
+// This is the ground-truth semantics the analytic evaluator approximates:
+// every preemption moves the job to a brand-new VM (fresh lifetime draw)
+// and it resumes from the last completed checkpoint. Used to validate the
+// DP/evaluator ordering and as an extra column in the Fig. 8 benches.
+#pragma once
+
+#include <cstdint>
+
+#include "dist/distribution.hpp"
+#include "policy/checkpoint.hpp"
+
+namespace preempt::policy {
+
+/// Aggregate outcome of repeated simulated executions.
+struct SimulatedMakespan {
+  double mean_hours = 0.0;
+  double stddev_hours = 0.0;
+  double mean_preemptions = 0.0;
+  double max_hours = 0.0;
+  std::size_t runs = 0;
+};
+
+struct SimulationOptions {
+  std::size_t runs = 2000;
+  std::uint64_t seed = 7;
+  double restart_overhead_hours = 0.0;  ///< added per preemption (provisioning)
+  double start_age_hours = 0.0;         ///< age of the first VM when the job starts
+  /// Safety valve: abort a run after this many preemptions (treats the run as
+  /// its accumulated time; prevents pathological infinite loops).
+  std::size_t max_preemptions_per_run = 10000;
+};
+
+/// Execute `plan` repeatedly against lifetimes drawn from `d`.
+/// The first VM has the configured starting age (its remaining lifetime is
+/// sampled conditionally); replacement VMs start at age 0.
+SimulatedMakespan simulate_plan(const dist::Distribution& d, const CheckpointPlan& plan,
+                                const SimulationOptions& options = {});
+
+}  // namespace preempt::policy

@@ -1,0 +1,100 @@
+#include "policy/running_time.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/root_find.hpp"
+
+namespace preempt::policy {
+
+double expected_wasted_work_single(const dist::Distribution& d, double job_hours) {
+  PREEMPT_REQUIRE(job_hours >= 0.0, "job length must be non-negative");
+  if (job_hours == 0.0) return 0.0;
+  const double prob = d.cdf(job_hours);
+  if (prob <= 0.0) return 0.0;
+  return d.partial_expectation(0.0, job_hours) / prob;
+}
+
+double expected_increase(const dist::Distribution& d, double job_hours) {
+  PREEMPT_REQUIRE(job_hours >= 0.0, "job length must be non-negative");
+  return d.partial_expectation(0.0, job_hours);
+}
+
+double expected_makespan(const dist::Distribution& d, double job_hours) {
+  return job_hours + expected_increase(d, job_hours);
+}
+
+double expected_makespan_from_age(const dist::Distribution& d, double start_age_hours,
+                                  double job_hours) {
+  PREEMPT_REQUIRE(start_age_hours >= 0.0, "start age must be non-negative");
+  PREEMPT_REQUIRE(job_hours >= 0.0, "job length must be non-negative");
+  return job_hours + d.partial_expectation(start_age_hours, start_age_hours + job_hours);
+}
+
+double expected_makespan_from_age_conditional(const dist::Distribution& d,
+                                              double start_age_hours, double job_hours) {
+  PREEMPT_REQUIRE(start_age_hours >= 0.0, "start age must be non-negative");
+  PREEMPT_REQUIRE(job_hours >= 0.0, "job length must be non-negative");
+  const double s = start_age_hours;
+  const double completion = s + job_hours;
+  const double survive = d.survival(s);
+  if (survive <= 0.0) {
+    // The VM is certainly dead; treat the whole job as lost once.
+    return 2.0 * job_hours;
+  }
+  // E[(t - s) 1{s < t <= s+T}] = PE(s, s+T) - s * (F(s+T) - F(s)), plus any
+  // deadline atom inside the window contributing (end - s) * mass.
+  double mass_time = d.partial_expectation(s, completion);
+  double prob = d.cdf(completion) - d.cdf(s);
+  const double end = d.support_end();
+  if (std::isfinite(end) && completion >= end) {
+    const double continuous_at_end = d.cdf(end * (1.0 - 1e-12));
+    const double atom = std::max(0.0, 1.0 - continuous_at_end);
+    mass_time += atom * end;  // cdf() already includes the atom in `prob`
+  }
+  const double waste = std::max(0.0, mass_time - s * prob) / survive;
+  return job_hours + waste;
+}
+
+double expected_makespan_with_restarts(const dist::Distribution& d, double job_hours,
+                                       double restart_overhead_hours) {
+  PREEMPT_REQUIRE(job_hours > 0.0, "job length must be positive");
+  PREEMPT_REQUIRE(restart_overhead_hours >= 0.0, "restart overhead must be >= 0");
+  const double q = d.cdf(job_hours);  // includes any deadline atom before T
+  const double p = 1.0 - q;
+  PREEMPT_REQUIRE(p > 0.0,
+                  "job cannot finish: preemption before completion is certain "
+                  "(job longer than the maximum lifetime?)");
+  // E[elapsed time of one failed attempt] * expected retries, by renewal:
+  //   E[M] = p T + q (E[X | X <= T] + R + E[M]).
+  double mass_time = d.partial_expectation(0.0, job_hours);
+  const double end = d.support_end();
+  if (std::isfinite(end) && job_hours >= end) {
+    const double continuous_at_end = d.cdf(end * (1.0 - 1e-12));
+    mass_time += std::max(0.0, 1.0 - continuous_at_end) * end;
+  }
+  return job_hours + (mass_time + q * restart_overhead_hours) / p;
+}
+
+double crossover_job_length(const dist::Distribution& a, const dist::Distribution& b, double lo,
+                            double hi) {
+  PREEMPT_REQUIRE(lo > 0.0 && lo < hi, "crossover scan needs 0 < lo < hi");
+  auto diff = [&](double j) { return expected_increase(a, j) - expected_increase(b, j); };
+  // Scan for a bracket, then refine with Brent.
+  constexpr int kScanPoints = 96;
+  double prev_t = lo;
+  double prev_v = diff(lo);
+  for (int i = 1; i <= kScanPoints; ++i) {
+    const double t = lo + (hi - lo) * static_cast<double>(i) / kScanPoints;
+    const double v = diff(t);
+    if (prev_v == 0.0) return prev_t;
+    if (prev_v * v < 0.0) return brent(diff, prev_t, t);
+    prev_t = t;
+    prev_v = v;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+}  // namespace preempt::policy

@@ -1,0 +1,62 @@
+// Impact of constrained preemptions on job running time (paper Sec. 4.1).
+//
+// All quantities follow Eqs. 4-8 with time in hours and `d` the lifetime
+// (time-to-preemption) distribution of the VM the job runs on:
+//   * expected wasted work given one preemption:
+//       E[W1(T)] = (1/F(T)) ∫_0^T t f(t) dt                       (Eq. 5)
+//   * expected makespan under the at-most-one-failure assumption:
+//       E[T] = T + ∫_0^T t f(t) dt                                (Eq. 7)
+//   * expected makespan for a job starting at VM age s:
+//       E[T_s] = T + ∫_s^{s+T} t f(t) dt                          (Eq. 8)
+// The integrals use the continuous density (paper's literal form); the
+// deadline atom enters failure probabilities via cdf(), not these moments.
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace preempt::policy {
+
+/// Eq. 5: expected wasted hours assuming the job hits exactly one preemption.
+/// Returns 0 when the preemption probability F(T) is zero.
+double expected_wasted_work_single(const dist::Distribution& d, double job_hours);
+
+/// Eq. 7's second term: the expected increase in running time
+/// F(T) * E[W1(T)] = ∫_0^T t f(t) dt.
+double expected_increase(const dist::Distribution& d, double job_hours);
+
+/// Eq. 7: total expected running time T + expected_increase.
+double expected_makespan(const dist::Distribution& d, double job_hours);
+
+/// Eq. 8: expected running time of a job of length T starting at VM age s.
+double expected_makespan_from_age(const dist::Distribution& d, double start_age_hours,
+                                  double job_hours);
+
+/// Corrected variant of Eq. 8 (see DESIGN.md): waste is the time lost since
+/// the *job* start rather than the VM launch, conditioned on the VM being
+/// alive at age s:
+///   E[T_s] = T + ∫_s^{s+T} (t - s) f(t) dt / (1 - F(s)).
+/// The literal Eq. 8 weights failures by absolute VM age, which makes young
+/// VMs look spuriously risky for short jobs; this form removes that artifact
+/// while agreeing with Eq. 8 in the regimes the paper evaluates (Fig. 5/6).
+double expected_makespan_from_age_conditional(const dist::Distribution& d,
+                                              double start_age_hours, double job_hours);
+
+/// Job length at which distribution `a` stops being cheaper than `b` in
+/// expected increase (the Fig. 4b bathtub-vs-uniform crossover, ~5 h).
+/// Scans [lo, hi] for a sign change and bisects; returns NaN if none found.
+double crossover_job_length(const dist::Distribution& a, const dist::Distribution& b,
+                            double lo = 0.25, double hi = 24.0);
+
+/// The "higher order terms and multiple job failures" extension the paper
+/// says "easily follows from the base case" (Sec. 4.1): expected makespan
+/// when every preemption restarts the job from scratch on a fresh VM, for
+/// unboundedly many retries. Renewal (first-step) analysis gives
+///   E[M] = T + E[X 1{X <= T}] / (1 - F(T))
+/// where the numerator includes any deadline atom inside [0, T].
+/// `restart_overhead_hours` is charged per retry (VM re-provisioning).
+/// Requires F(T) < 1 (a job longer than the max lifetime never finishes
+/// without checkpointing) — throws InvalidArgument otherwise.
+double expected_makespan_with_restarts(const dist::Distribution& d, double job_hours,
+                                       double restart_overhead_hours = 0.0);
+
+}  // namespace preempt::policy

@@ -1,0 +1,151 @@
+#include "policy/scheduling.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "policy/running_time.hpp"
+
+namespace preempt::policy {
+
+double job_failure_probability(const dist::Distribution& d, double start_age_hours,
+                               double job_hours) {
+  PREEMPT_REQUIRE(start_age_hours >= 0.0, "start age must be non-negative");
+  PREEMPT_REQUIRE(job_hours >= 0.0, "job length must be non-negative");
+  if (job_hours == 0.0) return 0.0;
+  const double completion = start_age_hours + job_hours;
+  const double end = d.support_end();
+  if (std::isfinite(end) && completion >= end) return 1.0;  // cannot outlive the deadline
+  const double survive_start = d.survival(start_age_hours);
+  if (survive_start <= 0.0) return 1.0;
+  return clamp01((d.cdf(completion) - d.cdf(start_age_hours)) / survive_start);
+}
+
+double gang_failure_probability(const dist::Distribution& d,
+                                std::span<const double> vm_ages_hours, double job_hours) {
+  PREEMPT_REQUIRE(!vm_ages_hours.empty(), "gang needs at least one VM");
+  double survive_all = 1.0;
+  for (double age : vm_ages_hours) {
+    survive_all *= 1.0 - job_failure_probability(d, age, job_hours);
+  }
+  return clamp01(1.0 - survive_all);
+}
+
+double SchedulingPolicy::average_failure_probability(double job_hours, double horizon_hours,
+                                                     std::size_t grid) const {
+  PREEMPT_REQUIRE(grid >= 2, "average needs at least 2 grid points");
+  PREEMPT_REQUIRE(horizon_hours > 0.0, "horizon must be positive");
+  double total = 0.0;
+  for (std::size_t i = 0; i < grid; ++i) {
+    // Midpoint grid over [0, horizon) — avoids double-counting s = horizon.
+    const double s =
+        horizon_hours * (static_cast<double>(i) + 0.5) / static_cast<double>(grid);
+    total += policy_failure_probability(s, job_hours);
+  }
+  return total / static_cast<double>(grid);
+}
+
+ModelDrivenScheduler::ModelDrivenScheduler(dist::DistributionPtr decision_model,
+                                           dist::DistributionPtr truth_model, ReuseRule rule)
+    : decision_model_(std::move(decision_model)),
+      truth_model_(std::move(truth_model)),
+      rule_(rule) {
+  PREEMPT_REQUIRE(decision_model_ != nullptr, "decision model must not be null");
+  PREEMPT_REQUIRE(truth_model_ != nullptr, "truth model must not be null");
+}
+
+ModelDrivenScheduler::ModelDrivenScheduler(dist::DistributionPtr model, ReuseRule rule)
+    : decision_model_(std::move(model)), rule_(rule) {
+  // Not delegated: `f(model->clone(), std::move(model))` would have
+  // unspecified evaluation order and could clone a moved-from pointer.
+  PREEMPT_REQUIRE(decision_model_ != nullptr, "decision model must not be null");
+  truth_model_ = decision_model_->clone();
+}
+
+ReuseDecision ModelDrivenScheduler::decide(double vm_age_hours, double job_hours) const {
+  PREEMPT_REQUIRE(vm_age_hours >= 0.0, "VM age must be non-negative");
+  PREEMPT_REQUIRE(job_hours > 0.0, "job length must be positive");
+  ReuseDecision decision;
+  if (rule_ == ReuseRule::kPaperEq8) {
+    decision.expected_existing =
+        expected_makespan_from_age(*decision_model_, vm_age_hours, job_hours);
+    decision.expected_fresh = expected_makespan_from_age(*decision_model_, 0.0, job_hours);
+    decision.reuse = decision.expected_existing <= decision.expected_fresh;
+  } else {
+    decision.expected_existing =
+        expected_makespan_from_age_conditional(*decision_model_, vm_age_hours, job_hours);
+    decision.expected_fresh =
+        expected_makespan_from_age_conditional(*decision_model_, 0.0, job_hours);
+    // A job that cannot complete before the deadline never reuses.
+    const double end = decision_model_->support_end();
+    const bool impossible = std::isfinite(end) && vm_age_hours + job_hours >= end;
+    decision.reuse = !impossible && decision.expected_existing <= decision.expected_fresh;
+  }
+  decision.failure_probability =
+      job_failure_probability(*truth_model_, decision.reuse ? vm_age_hours : 0.0, job_hours);
+  return decision;
+}
+
+double ModelDrivenScheduler::transition_job_length(double vm_age_hours) const {
+  // T* is the job length where E[T_s] - E[T_0] changes sign. Scan then refine.
+  const double horizon = decision_model_->support_end();
+  const double hi = std::isfinite(horizon) ? horizon : 24.0;
+  constexpr int kScan = 192;
+  double prev_t = std::numeric_limits<double>::quiet_NaN();
+  bool prev_reuse = false;
+  for (int i = 1; i <= kScan; ++i) {
+    const double job = hi * static_cast<double>(i) / kScan;
+    const bool reuse = decide(vm_age_hours, job).reuse;
+    if (i > 1 && reuse != prev_reuse) {
+      // Binary refine between prev_t and job.
+      double lo = prev_t, up = job;
+      for (int iter = 0; iter < 48; ++iter) {
+        const double mid = 0.5 * (lo + up);
+        if (decide(vm_age_hours, mid).reuse == prev_reuse) {
+          lo = mid;
+        } else {
+          up = mid;
+        }
+      }
+      return 0.5 * (lo + up);
+    }
+    prev_t = job;
+    prev_reuse = reuse;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+MemorylessScheduler::MemorylessScheduler(dist::DistributionPtr truth_model)
+    : truth_model_(std::move(truth_model)) {
+  PREEMPT_REQUIRE(truth_model_ != nullptr, "truth model must not be null");
+}
+
+ReuseDecision MemorylessScheduler::decide(double vm_age_hours, double job_hours) const {
+  PREEMPT_REQUIRE(vm_age_hours >= 0.0, "VM age must be non-negative");
+  PREEMPT_REQUIRE(job_hours > 0.0, "job length must be positive");
+  ReuseDecision decision;
+  decision.reuse = true;
+  decision.expected_existing = expected_makespan_from_age(*truth_model_, vm_age_hours, job_hours);
+  decision.expected_fresh = expected_makespan_from_age(*truth_model_, 0.0, job_hours);
+  decision.failure_probability = job_failure_probability(*truth_model_, vm_age_hours, job_hours);
+  return decision;
+}
+
+AlwaysFreshScheduler::AlwaysFreshScheduler(dist::DistributionPtr truth_model)
+    : truth_model_(std::move(truth_model)) {
+  PREEMPT_REQUIRE(truth_model_ != nullptr, "truth model must not be null");
+}
+
+ReuseDecision AlwaysFreshScheduler::decide(double vm_age_hours, double job_hours) const {
+  PREEMPT_REQUIRE(vm_age_hours >= 0.0, "VM age must be non-negative");
+  PREEMPT_REQUIRE(job_hours > 0.0, "job length must be positive");
+  ReuseDecision decision;
+  decision.reuse = false;
+  decision.expected_existing = expected_makespan_from_age(*truth_model_, vm_age_hours, job_hours);
+  decision.expected_fresh = expected_makespan_from_age(*truth_model_, 0.0, job_hours);
+  decision.failure_probability = job_failure_probability(*truth_model_, 0.0, job_hours);
+  return decision;
+}
+
+}  // namespace preempt::policy

@@ -1,0 +1,74 @@
+// libpreempt — umbrella header.
+//
+// A C++20 library for modeling temporally constrained preemptions of
+// transient cloud VMs, reproducing Kadupitiya, Jadhao & Sharma (HPDC '20).
+// See README.md for a tour and DESIGN.md for the module map.
+#pragma once
+
+// Foundations
+#include "common/csv.hpp"          // IWYU pragma: export
+#include "common/error.hpp"        // IWYU pragma: export
+#include "common/integrate.hpp"    // IWYU pragma: export
+#include "common/json.hpp"         // IWYU pragma: export
+#include "common/log.hpp"          // IWYU pragma: export
+#include "common/random.hpp"       // IWYU pragma: export
+#include "common/stats.hpp"        // IWYU pragma: export
+#include "common/string_util.hpp"  // IWYU pragma: export
+#include "common/table.hpp"        // IWYU pragma: export
+
+// Lifetime distributions & reliability theory
+#include "dist/bathtub.hpp"        // IWYU pragma: export
+#include "dist/empirical.hpp"      // IWYU pragma: export
+#include "dist/exponential.hpp"    // IWYU pragma: export
+#include "dist/exponentiated_weibull.hpp"  // IWYU pragma: export
+#include "dist/gamma.hpp"          // IWYU pragma: export
+#include "dist/gompertz_makeham.hpp"  // IWYU pragma: export
+#include "dist/lognormal.hpp"      // IWYU pragma: export
+#include "dist/piecewise.hpp"      // IWYU pragma: export
+#include "dist/reliability.hpp"    // IWYU pragma: export
+#include "dist/truncated.hpp"      // IWYU pragma: export
+#include "dist/uniform.hpp"        // IWYU pragma: export
+#include "dist/weibull.hpp"        // IWYU pragma: export
+
+// Model fitting
+#include "fit/bootstrap.hpp"       // IWYU pragma: export
+#include "fit/model_fitters.hpp"   // IWYU pragma: export
+#include "fit/nelder_mead.hpp"     // IWYU pragma: export
+#include "fit/segmented.hpp"       // IWYU pragma: export
+
+// Survival analysis under right censoring
+#include "survival/kaplan_meier.hpp"  // IWYU pragma: export
+#include "survival/logrank.hpp"       // IWYU pragma: export
+#include "survival/mle.hpp"           // IWYU pragma: export
+#include "survival/nelson_aalen.hpp"  // IWYU pragma: export
+#include "survival/observation.hpp"   // IWYU pragma: export
+
+// Preemption traces (synthetic measurement campaigns)
+#include "trace/dataset.hpp"       // IWYU pragma: export
+#include "trace/generator.hpp"     // IWYU pragma: export
+#include "trace/ground_truth.hpp"  // IWYU pragma: export
+#include "trace/public_dataset.hpp"  // IWYU pragma: export
+#include "trace/vm_catalog.hpp"    // IWYU pragma: export
+
+// Model-driven policies
+#include "policy/checkpoint.hpp"     // IWYU pragma: export
+#include "policy/checkpoint_sim.hpp" // IWYU pragma: export
+#include "policy/running_time.hpp"   // IWYU pragma: export
+#include "policy/scheduling.hpp"     // IWYU pragma: export
+
+// Batch computing service simulation
+#include "sim/service.hpp"         // IWYU pragma: export
+#include "sim/workloads.hpp"       // IWYU pragma: export
+
+// Batch-service HTTP API
+#include "api/http.hpp"             // IWYU pragma: export
+#include "api/http_client.hpp"      // IWYU pragma: export
+#include "api/http_server.hpp"      // IWYU pragma: export
+#include "api/service_daemon.hpp"   // IWYU pragma: export
+
+// Public facade
+#include "core/analysis.hpp"       // IWYU pragma: export
+#include "core/cusum.hpp"          // IWYU pragma: export
+#include "core/drift.hpp"          // IWYU pragma: export
+#include "core/model.hpp"          // IWYU pragma: export
+#include "core/registry.hpp"       // IWYU pragma: export

@@ -1,0 +1,99 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace preempt::sim {
+
+void ClusterManager::register_node(VmInstance vm) {
+  PREEMPT_CHECK(nodes_.find(vm.id) == nodes_.end(), "duplicate VM id registered");
+  vm.state = VmState::kIdle;
+  vm.idle_since = vm.launch_time;
+  nodes_.emplace(vm.id, vm);
+}
+
+VmInstance& ClusterManager::node(std::uint64_t vm_id) {
+  auto it = nodes_.find(vm_id);
+  if (it == nodes_.end()) throw SimError(std::string("unknown VM id ") + std::to_string(vm_id));
+  return it->second;
+}
+
+const VmInstance& ClusterManager::node(std::uint64_t vm_id) const {
+  auto it = nodes_.find(vm_id);
+  if (it == nodes_.end()) throw SimError(std::string("unknown VM id ") + std::to_string(vm_id));
+  return it->second;
+}
+
+bool ClusterManager::has_node(std::uint64_t vm_id) const {
+  return nodes_.find(vm_id) != nodes_.end();
+}
+
+std::vector<std::uint64_t> ClusterManager::idle_nodes() const {
+  std::vector<std::uint64_t> ids;
+  for (const auto& [id, vm] : nodes_) {
+    if (vm.state == VmState::kIdle) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end(), [this](std::uint64_t a, std::uint64_t b) {
+    const double ta = nodes_.at(a).launch_time;
+    const double tb = nodes_.at(b).launch_time;
+    if (ta != tb) return ta < tb;
+    return a < b;
+  });
+  return ids;
+}
+
+std::size_t ClusterManager::alive_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, vm] : nodes_) {
+    if (vm.alive()) ++n;
+  }
+  return n;
+}
+
+std::size_t ClusterManager::busy_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, vm] : nodes_) {
+    if (vm.state == VmState::kBusy) ++n;
+  }
+  return n;
+}
+
+void ClusterManager::assign(const std::vector<std::uint64_t>& vm_ids, std::uint64_t job_id) {
+  for (std::uint64_t id : vm_ids) {
+    VmInstance& vm = node(id);
+    PREEMPT_CHECK(vm.state == VmState::kIdle, "assigning a non-idle VM");
+    vm.state = VmState::kBusy;
+    vm.running_job = job_id;
+  }
+}
+
+void ClusterManager::release(const std::vector<std::uint64_t>& vm_ids, double now) {
+  for (std::uint64_t id : vm_ids) {
+    if (!has_node(id)) continue;
+    VmInstance& vm = node(id);
+    if (vm.state != VmState::kBusy) continue;
+    vm.state = VmState::kIdle;
+    vm.running_job = 0;
+    vm.idle_since = now;
+  }
+}
+
+std::uint64_t ClusterManager::mark_preempted(std::uint64_t vm_id, double now) {
+  VmInstance& vm = node(vm_id);
+  PREEMPT_CHECK(vm.alive(), "preempting a VM that is not running");
+  const std::uint64_t job = vm.running_job;
+  vm.state = VmState::kPreempted;
+  vm.running_job = 0;
+  vm.stop_time = now;
+  return job;
+}
+
+void ClusterManager::mark_terminated(std::uint64_t vm_id, double now) {
+  VmInstance& vm = node(vm_id);
+  PREEMPT_CHECK(vm.state == VmState::kIdle, "terminating a VM that is not idle");
+  vm.state = VmState::kTerminated;
+  vm.stop_time = now;
+}
+
+}  // namespace preempt::sim

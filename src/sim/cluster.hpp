@@ -1,0 +1,54 @@
+// Slurm-like cluster manager: node registry plus gang allocation.
+//
+// The batch service treats each VM as a cluster "node" (the paper registers
+// VMs as Slurm cloud nodes). The manager tracks node state and hands out
+// gangs of idle nodes; it knows nothing about policies or costs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "sim/vm.hpp"
+
+namespace preempt::sim {
+
+class ClusterManager {
+ public:
+  /// Register a newly usable VM (state becomes kIdle).
+  void register_node(VmInstance vm);
+
+  /// Node lookup (throws SimError for unknown ids).
+  VmInstance& node(std::uint64_t vm_id);
+  const VmInstance& node(std::uint64_t vm_id) const;
+  bool has_node(std::uint64_t vm_id) const;
+
+  /// All ids currently idle, oldest launch first.
+  std::vector<std::uint64_t> idle_nodes() const;
+
+  /// Count by liveness.
+  std::size_t alive_count() const;
+  std::size_t busy_count() const;
+
+  /// Mark a gang of idle nodes busy on a job. All must be idle.
+  void assign(const std::vector<std::uint64_t>& vm_ids, std::uint64_t job_id);
+
+  /// Return a gang to the idle pool (e.g. after job completion/failure).
+  /// Nodes that are no longer alive are skipped.
+  void release(const std::vector<std::uint64_t>& vm_ids, double now);
+
+  /// Provider reclaimed the VM; returns the job that was running (0 if idle).
+  std::uint64_t mark_preempted(std::uint64_t vm_id, double now);
+
+  /// Service shut the VM down (hot-spare expiry or policy retirement).
+  void mark_terminated(std::uint64_t vm_id, double now);
+
+  /// Every node ever registered (for cost accounting).
+  const std::map<std::uint64_t, VmInstance>& all_nodes() const noexcept { return nodes_; }
+
+ private:
+  std::map<std::uint64_t, VmInstance> nodes_;
+};
+
+}  // namespace preempt::sim

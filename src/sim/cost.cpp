@@ -1,0 +1,18 @@
+#include "sim/cost.hpp"
+
+#include "common/error.hpp"
+
+namespace preempt::sim {
+
+double CostModel::vm_cost(trace::VmType type, double hours, bool preemptible) const {
+  PREEMPT_REQUIRE(hours >= 0.0, "billed hours must be non-negative");
+  const trace::VmSpec& spec = trace::vm_spec(type);
+  return hours * (preemptible ? spec.preemptible_per_hour : spec.on_demand_per_hour);
+}
+
+double CostModel::discount_factor(trace::VmType type) const {
+  const trace::VmSpec& spec = trace::vm_spec(type);
+  return spec.on_demand_per_hour / spec.preemptible_per_hour;
+}
+
+}  // namespace preempt::sim

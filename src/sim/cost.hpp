@@ -1,0 +1,18 @@
+// Cloud cost accounting (preemptible vs on-demand pricing).
+#pragma once
+
+#include "trace/vm_catalog.hpp"
+
+namespace preempt::sim {
+
+/// Price book backed by the trace catalog's 2019 GCP rates.
+class CostModel {
+ public:
+  /// $ for `hours` of one VM of `type`.
+  double vm_cost(trace::VmType type, double hours, bool preemptible) const;
+
+  /// Preemptible discount factor (on-demand / preemptible price).
+  double discount_factor(trace::VmType type) const;
+};
+
+}  // namespace preempt::sim

@@ -1,0 +1,50 @@
+// Jobs and the bag-of-jobs abstraction (paper Sec. 5).
+//
+// Scientific simulation campaigns submit a *bag* of near-identical jobs that
+// sweep a parameter space; within a bag, running times show little variance,
+// which is what makes the model-driven policies practical (job lengths are
+// known from earlier jobs in the bag).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace preempt::sim {
+
+/// Static description of one job.
+struct JobSpec {
+  std::string name = "job";
+  double work_hours = 1.0;       ///< failure-free running time
+  int gang_vms = 1;              ///< VMs that must run simultaneously
+  bool checkpointable = false;   ///< can the application write checkpoints?
+  double checkpoint_cost_hours = 1.0 / 60.0;  ///< delta, when checkpointable
+};
+
+/// A bag of `count` jobs sharing one spec (different physical parameters).
+struct BagOfJobs {
+  std::string name = "bag";
+  JobSpec spec;
+  std::size_t count = 1;
+};
+
+enum class JobState { kPending, kRunning, kCompleted };
+
+/// Dynamic per-job bookkeeping maintained by the batch service.
+struct Job {
+  std::uint64_t id = 0;
+  JobSpec spec;
+  JobState state = JobState::kPending;
+  double submit_time = 0.0;
+  double first_start_time = -1.0;
+  double finish_time = -1.0;
+  double completed_work = 0.0;   ///< checkpointed progress (hours of work)
+  double wasted_hours = 0.0;     ///< work + checkpoint time lost to preemptions
+  double overhead_hours = 0.0;   ///< checkpoint-write time spent
+  int preemptions = 0;           ///< preemptions observed while running
+  int fresh_vm_launches = 0;     ///< VMs launched because the policy refused reuse
+
+  double remaining_work() const { return spec.work_hours - completed_work; }
+};
+
+}  // namespace preempt::sim

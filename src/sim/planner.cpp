@@ -1,0 +1,45 @@
+#include "sim/planner.hpp"
+
+#include "common/error.hpp"
+
+namespace preempt::sim {
+
+std::vector<double> NoCheckpointPlanner::plan(double work_hours, double /*vm_age_hours*/) const {
+  PREEMPT_REQUIRE(work_hours > 0.0, "work must be positive");
+  return {work_hours};
+}
+
+YoungDalyPlanner::YoungDalyPlanner(double mttf_hours, double delta_hours)
+    : mttf_hours_(mttf_hours), delta_hours_(delta_hours) {
+  PREEMPT_REQUIRE(mttf_hours > 0.0, "MTTF must be positive");
+  PREEMPT_REQUIRE(delta_hours > 0.0, "checkpoint cost must be positive");
+}
+
+std::vector<double> YoungDalyPlanner::plan(double work_hours, double /*vm_age_hours*/) const {
+  PREEMPT_REQUIRE(work_hours > 0.0, "work must be positive");
+  return policy::young_daly_plan(work_hours, mttf_hours_, delta_hours_).work_segments_hours;
+}
+
+DpCheckpointPlanner::DpCheckpointPlanner(std::shared_ptr<const policy::CheckpointDp> dp)
+    : dp_(std::move(dp)) {
+  PREEMPT_REQUIRE(dp_ != nullptr, "DP planner needs a value table");
+}
+
+std::vector<double> DpCheckpointPlanner::plan(double work_hours, double vm_age_hours) const {
+  PREEMPT_REQUIRE(work_hours > 0.0, "work must be positive");
+  // Clamp tiny remainders (rounding) up to one DP step.
+  const double step = dp_->config().step_hours;
+  const double work = std::max(work_hours, step);
+  PREEMPT_REQUIRE(work <= dp_->job_hours() + 1e-9,
+                  "work exceeds the precomputed DP table; build a larger table");
+  auto segments = dp_->schedule_partial(std::min(work, dp_->job_hours()), vm_age_hours);
+  PREEMPT_CHECK(!segments.empty(), "DP schedule came out empty");
+  // Rescale rounding drift so segments sum exactly to the requested work.
+  double total = 0.0;
+  for (double s : segments) total += s;
+  const double scale = work_hours / total;
+  for (double& s : segments) s *= scale;
+  return segments;
+}
+
+}  // namespace preempt::sim

@@ -1,0 +1,57 @@
+// Checkpoint planners used by the batch service.
+//
+// A planner maps (remaining work, current VM age) to a list of work segments;
+// the service writes a checkpoint after every segment except the last. The
+// DP planner wraps policy::CheckpointDp (precomputed once per bag, as the
+// paper's service does); Young-Daly is the memoryless baseline.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "policy/checkpoint.hpp"
+
+namespace preempt::sim {
+
+class CheckpointPlanner {
+ public:
+  virtual ~CheckpointPlanner() = default;
+  virtual std::string name() const = 0;
+  /// Segment lengths (hours) for `work_hours` of remaining work on a VM of
+  /// age `vm_age_hours`; must sum to work_hours.
+  virtual std::vector<double> plan(double work_hours, double vm_age_hours) const = 0;
+};
+
+/// No checkpoints: a single segment (restart from scratch on failure).
+class NoCheckpointPlanner final : public CheckpointPlanner {
+ public:
+  std::string name() const override { return "none"; }
+  std::vector<double> plan(double work_hours, double vm_age_hours) const override;
+};
+
+/// Periodic Young-Daly intervals, age-independent.
+class YoungDalyPlanner final : public CheckpointPlanner {
+ public:
+  YoungDalyPlanner(double mttf_hours, double delta_hours);
+  std::string name() const override { return "young-daly"; }
+  std::vector<double> plan(double work_hours, double vm_age_hours) const override;
+
+ private:
+  double mttf_hours_;
+  double delta_hours_;
+};
+
+/// Model-driven DP schedule (paper Sec. 4.3), backed by a shared precomputed
+/// value table covering jobs up to the table's job length.
+class DpCheckpointPlanner final : public CheckpointPlanner {
+ public:
+  explicit DpCheckpointPlanner(std::shared_ptr<const policy::CheckpointDp> dp);
+  std::string name() const override { return "model-dp"; }
+  std::vector<double> plan(double work_hours, double vm_age_hours) const override;
+
+ private:
+  std::shared_ptr<const policy::CheckpointDp> dp_;
+};
+
+}  // namespace preempt::sim

@@ -1,0 +1,323 @@
+#include "sim/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace preempt::sim {
+
+namespace {
+/// VMs younger than this are considered "fresh" and always acceptable (they
+/// were just provisioned, typically on this very dispatch round).
+constexpr double kFreshAgeHours = 2.0 / 60.0;
+}  // namespace
+
+BatchService::BatchService(ServiceConfig config, dist::DistributionPtr ground_truth,
+                           dist::DistributionPtr decision_model,
+                           std::unique_ptr<CheckpointPlanner> planner)
+    : config_(config),
+      ground_truth_(std::move(ground_truth)),
+      planner_(std::move(planner)),
+      rng_(config.seed) {
+  PREEMPT_REQUIRE(ground_truth_ != nullptr, "ground truth distribution must not be null");
+  PREEMPT_REQUIRE(decision_model != nullptr, "decision model must not be null");
+  PREEMPT_REQUIRE(config_.cluster_size >= 1, "cluster needs at least one VM");
+  PREEMPT_REQUIRE(config_.provision_delay_hours >= 0.0, "provision delay must be >= 0");
+  PREEMPT_REQUIRE(!config_.checkpointing || planner_ != nullptr,
+                  "checkpointing requires a planner");
+  switch (config_.reuse_policy) {
+    case ReusePolicyKind::kModelDriven:
+      reuse_policy_ = std::make_unique<policy::ModelDrivenScheduler>(
+          std::move(decision_model), ground_truth_->clone(), config_.reuse_rule);
+      break;
+    case ReusePolicyKind::kMemoryless:
+      reuse_policy_ = std::make_unique<policy::MemorylessScheduler>(ground_truth_->clone());
+      break;
+    case ReusePolicyKind::kAlwaysFresh:
+      reuse_policy_ = std::make_unique<policy::AlwaysFreshScheduler>(ground_truth_->clone());
+      break;
+  }
+}
+
+void BatchService::submit_bag(const BagOfJobs& bag) {
+  PREEMPT_REQUIRE(bag.count >= 1, "bag must contain at least one job");
+  PREEMPT_REQUIRE(bag.spec.work_hours > 0.0, "jobs must have positive work");
+  PREEMPT_REQUIRE(bag.spec.gang_vms >= 1, "jobs need at least one VM");
+  PREEMPT_REQUIRE(static_cast<std::size_t>(bag.spec.gang_vms) <= config_.cluster_size,
+                  "job gang exceeds the cluster size");
+  for (std::size_t i = 0; i < bag.count; ++i) {
+    Job job;
+    job.id = job_store_.size() + 1;
+    job.spec = bag.spec;
+    job.submit_time = sim_.now();
+    job_store_.push_back(job);
+    queue_.push_back(job.id);
+  }
+  if (first_submit_ < 0.0) first_submit_ = sim_.now();
+}
+
+ServiceReport BatchService::run() {
+  PREEMPT_REQUIRE(!job_store_.empty(), "no jobs submitted");
+  for (std::size_t i = 0; i < config_.cluster_size; ++i) provision_vm();
+  sim_.run(config_.max_sim_hours);
+  for (const Job& job : job_store_) {
+    PREEMPT_CHECK(job.state == JobState::kCompleted,
+                  std::string("job ") + std::to_string(job.id) + " did not complete before max_sim_hours");
+  }
+  return build_report();
+}
+
+void BatchService::provision_vm() {
+  ++vms_launched_;
+  ++provisions_in_flight_;
+  const std::uint64_t vm_id = next_vm_id_++;
+  sim_.schedule_in(config_.provision_delay_hours, [this, vm_id] { on_vm_ready(vm_id); });
+}
+
+void BatchService::on_vm_ready(std::uint64_t vm_id) {
+  --provisions_in_flight_;
+  VmInstance vm;
+  vm.id = vm_id;
+  vm.type = config_.vm_type;
+  vm.launch_time = sim_.now();
+  const double lifetime = ground_truth_->sample(rng_);
+  vm.preempt_time = sim_.now() + lifetime;
+  cluster_.register_node(vm);
+  sim_.schedule_at(vm.preempt_time, [this, vm_id] { on_vm_preempted(vm_id); },
+                   /*priority=*/-1);  // preemptions beat same-time completions
+  // A fresh-but-unused VM still expires as a hot spare.
+  const double idle_since = sim_.now();
+  sim_.schedule_in(config_.hot_spare_retention_hours,
+                   [this, vm_id, idle_since] { on_hot_spare_timeout(vm_id, idle_since); });
+  try_dispatch();
+}
+
+void BatchService::on_vm_preempted(std::uint64_t vm_id) {
+  if (!cluster_.has_node(vm_id)) return;
+  if (!cluster_.node(vm_id).alive()) return;  // already terminated
+  const std::uint64_t job_id = cluster_.mark_preempted(vm_id, sim_.now());
+  ++preemptions_total_;
+  if (job_id != 0) {
+    ++preemptions_hitting_jobs_;
+    Job& job = job_store_[job_id - 1];
+    fail_running_job(job, vm_id);
+  }
+}
+
+void BatchService::on_hot_spare_timeout(std::uint64_t vm_id, double idle_since) {
+  if (!cluster_.has_node(vm_id)) return;
+  VmInstance& vm = cluster_.node(vm_id);
+  if (vm.state != VmState::kIdle) return;
+  if (vm.idle_since > idle_since + 1e-12) return;  // was reused since; timer is stale
+  cluster_.mark_terminated(vm_id, sim_.now());
+  ++hot_spare_expirations_;
+}
+
+bool BatchService::accepts_vm(const Job& job, const VmInstance& vm) const {
+  const double age = vm.age(sim_.now());
+  if (age <= kFreshAgeHours) return true;  // just provisioned
+  return reuse_policy_->decide(age, job.remaining_work()).reuse;
+}
+
+void BatchService::try_dispatch() {
+  while (!queue_.empty()) {
+    Job& job = job_store_[queue_.front() - 1];
+    const auto gang_size = static_cast<std::size_t>(job.spec.gang_vms);
+    std::vector<std::uint64_t> accepted;
+    std::vector<std::uint64_t> rejected;
+    for (std::uint64_t id : cluster_.idle_nodes()) {
+      if (accepted.size() == gang_size) break;
+      const VmInstance& vm = cluster_.node(id);
+      if (accepts_vm(job, vm)) {
+        accepted.push_back(id);
+      } else {
+        rejected.push_back(id);
+      }
+    }
+    if (accepted.size() == gang_size) {
+      queue_.pop_front();
+      start_job(job, accepted);
+      continue;
+    }
+    // The job is blocked. Retire the rejects (their age only grows; the
+    // policy chose fresh VMs over them) and top the fleet back up to the
+    // configured cluster size — never beyond it, so busy VMs are waited for
+    // rather than duplicated.
+    for (std::uint64_t id : rejected) {
+      cluster_.mark_terminated(id, sim_.now());
+      ++fresh_vm_launches_;  // a replacement launch attributable to the policy
+      job.fresh_vm_launches += 1;
+    }
+    const std::size_t alive = cluster_.alive_count();
+    const std::size_t incoming = provisions_in_flight_;
+    if (alive + incoming < config_.cluster_size) {
+      const std::size_t to_provision = config_.cluster_size - alive - incoming;
+      for (std::size_t i = 0; i < to_provision; ++i) provision_vm();
+    }
+    break;  // wait for provisioning or for busy VMs to free up
+  }
+}
+
+double BatchService::gang_age(const std::vector<std::uint64_t>& gang) const {
+  double oldest = 0.0;
+  for (std::uint64_t id : gang) {
+    oldest = std::max(oldest, cluster_.node(id).age(sim_.now()));
+  }
+  return oldest;
+}
+
+void BatchService::start_job(Job& job, const std::vector<std::uint64_t>& gang) {
+  cluster_.assign(gang, job.id);
+  job.state = JobState::kRunning;
+  if (job.first_start_time < 0.0) job.first_start_time = sim_.now();
+
+  RunContext ctx;
+  ctx.gang = gang;
+  ctx.epoch = next_epoch_++;
+  if (config_.checkpointing && job.spec.checkpointable && planner_ != nullptr) {
+    ctx.segments = planner_->plan(job.remaining_work(), gang_age(gang));
+  } else {
+    ctx.segments = {job.remaining_work()};
+  }
+  PREEMPT_CHECK(!ctx.segments.empty(), "job started with an empty plan");
+  running_[job.id] = std::move(ctx);
+  begin_segment(job.id);
+}
+
+void BatchService::begin_segment(std::uint64_t job_id) {
+  RunContext& ctx = running_.at(job_id);
+  const Job& job = job_store_[job_id - 1];
+  const double work = ctx.segments.front();
+  const bool writes_checkpoint = ctx.segments.size() > 1;
+  const double duration = work + (writes_checkpoint ? job.spec.checkpoint_cost_hours : 0.0);
+  ctx.segment_started = sim_.now();
+  const std::uint64_t epoch = ctx.epoch;
+  sim_.schedule_in(duration, [this, job_id, epoch] { on_segment_complete(job_id, epoch); });
+}
+
+void BatchService::on_segment_complete(std::uint64_t job_id, std::uint64_t epoch) {
+  auto it = running_.find(job_id);
+  if (it == running_.end() || it->second.epoch != epoch) return;  // stale event
+  RunContext& ctx = it->second;
+  Job& job = job_store_[job_id - 1];
+  const double work = ctx.segments.front();
+  const bool wrote_checkpoint = ctx.segments.size() > 1;
+  ctx.segments.erase(ctx.segments.begin());
+  job.completed_work += work;
+  if (wrote_checkpoint) job.overhead_hours += job.spec.checkpoint_cost_hours;
+  if (ctx.segments.empty()) {
+    complete_job(job);
+  } else {
+    begin_segment(job_id);
+  }
+}
+
+void BatchService::fail_running_job(Job& job, std::uint64_t preempted_vm) {
+  auto it = running_.find(job.id);
+  PREEMPT_CHECK(it != running_.end(), "failing a job that is not running");
+  RunContext& ctx = it->second;
+  job.wasted_hours += sim_.now() - ctx.segment_started;
+  ++job.preemptions;
+  // Release surviving gang members back to the pool.
+  std::vector<std::uint64_t> survivors;
+  for (std::uint64_t id : ctx.gang) {
+    if (id != preempted_vm) survivors.push_back(id);
+  }
+  cluster_.release(survivors, sim_.now());
+  for (std::uint64_t id : survivors) {
+    if (!cluster_.has_node(id) || cluster_.node(id).state != VmState::kIdle) continue;
+    const double idle_since = sim_.now();
+    sim_.schedule_in(config_.hot_spare_retention_hours,
+                     [this, id, idle_since] { on_hot_spare_timeout(id, idle_since); });
+  }
+  running_.erase(it);
+  job.state = JobState::kPending;
+  queue_.push_front(job.id);
+  try_dispatch();
+}
+
+void BatchService::complete_job(Job& job) {
+  auto it = running_.find(job.id);
+  PREEMPT_CHECK(it != running_.end(), "completing a job that is not running");
+  const std::vector<std::uint64_t> gang = it->second.gang;
+  running_.erase(it);
+  cluster_.release(gang, sim_.now());
+  for (std::uint64_t id : gang) {
+    if (!cluster_.has_node(id) || cluster_.node(id).state != VmState::kIdle) continue;
+    const double idle_since = sim_.now();
+    sim_.schedule_in(config_.hot_spare_retention_hours,
+                     [this, id, idle_since] { on_hot_spare_timeout(id, idle_since); });
+  }
+  job.state = JobState::kCompleted;
+  job.finish_time = sim_.now();
+  last_completion_ = std::max(last_completion_, job.finish_time);
+  try_dispatch();
+  // Bag drained: release the whole cluster immediately (the operator shuts
+  // the experiment down; hot spares are only kept while work may arrive).
+  if (queue_.empty() && running_.empty()) {
+    for (const auto& [id, vm] : cluster_.all_nodes()) {
+      if (vm.state == VmState::kIdle) cluster_.mark_terminated(id, sim_.now());
+    }
+  }
+}
+
+ServiceReport BatchService::build_report() const {
+  ServiceReport report;
+  report.jobs_completed = job_store_.size();
+  report.preemptions = preemptions_hitting_jobs_;
+  report.preemptions_total = preemptions_total_;
+  report.vms_launched = vms_launched_;
+  report.fresh_vm_launches = fresh_vm_launches_;
+  report.hot_spare_expirations = hot_spare_expirations_;
+
+  double total_gang_vm_hours = 0.0;
+  double longest_job = 0.0;
+  for (const Job& job : job_store_) {
+    report.wasted_hours += job.wasted_hours;
+    report.checkpoint_overhead_hours += job.overhead_hours;
+    total_gang_vm_hours += job.spec.work_hours * job.spec.gang_vms;
+    longest_job = std::max(longest_job, job.spec.work_hours);
+  }
+  for (const auto& [id, vm] : cluster_.all_nodes()) {
+    report.total_vm_hours += vm.billed_hours(sim_.now());
+  }
+  report.total_cost = cost_model_.vm_cost(config_.vm_type, report.total_vm_hours, true);
+  report.cost_per_job = report.total_cost / static_cast<double>(report.jobs_completed);
+  report.on_demand_cost_per_job =
+      cost_model_.vm_cost(config_.vm_type, total_gang_vm_hours, false) /
+      static_cast<double>(report.jobs_completed);
+  report.cost_reduction_factor =
+      report.cost_per_job > 0.0 ? report.on_demand_cost_per_job / report.cost_per_job : 0.0;
+
+  report.makespan_hours = last_completion_ - std::max(0.0, first_submit_);
+  // Failure-free lower bound. For a homogeneous bag the cluster runs waves of
+  // floor(cluster/gang) concurrent gangs; otherwise fall back to the
+  // work-conservation bound.
+  bool homogeneous = true;
+  for (const Job& job : job_store_) {
+    if (job.spec.work_hours != job_store_.front().spec.work_hours ||
+        job.spec.gang_vms != job_store_.front().spec.gang_vms) {
+      homogeneous = false;
+      break;
+    }
+  }
+  if (homogeneous) {
+    const auto concurrent = std::max<std::size_t>(
+        1, config_.cluster_size / static_cast<std::size_t>(job_store_.front().spec.gang_vms));
+    const auto waves =
+        (job_store_.size() + concurrent - 1) / concurrent;
+    report.ideal_makespan_hours =
+        static_cast<double>(waves) * job_store_.front().spec.work_hours;
+  } else {
+    report.ideal_makespan_hours =
+        std::max(total_gang_vm_hours / static_cast<double>(config_.cluster_size), longest_job);
+  }
+  report.increase_fraction =
+      report.ideal_makespan_hours > 0.0
+          ? (report.makespan_hours - report.ideal_makespan_hours) / report.ideal_makespan_hours
+          : 0.0;
+  return report;
+}
+
+}  // namespace preempt::sim

@@ -1,0 +1,56 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace preempt::sim {
+
+std::uint64_t Simulator::schedule_at(double when, EventCallback callback, int priority) {
+  PREEMPT_REQUIRE(when >= now_ - 1e-12, "cannot schedule events in the past");
+  PREEMPT_REQUIRE(callback != nullptr, "event callback must not be null");
+  const std::uint64_t id = next_id_++;
+  queue_.push(Entry{std::max(when, now_), priority, next_sequence_++, id});
+  callbacks_.emplace_back(id, std::move(callback));
+  return id;
+}
+
+std::uint64_t Simulator::schedule_in(double delay, EventCallback callback, int priority) {
+  PREEMPT_REQUIRE(delay >= 0.0, "delay must be non-negative");
+  return schedule_at(now_ + delay, std::move(callback), priority);
+}
+
+EventCallback* Simulator::find_callback(std::uint64_t id) {
+  for (auto& [cb_id, cb] : callbacks_) {
+    if (cb_id == id) return &cb;
+  }
+  return nullptr;
+}
+
+void Simulator::cancel(std::uint64_t event_id) {
+  // Lazy cancellation: drop the callback; the queue entry is skipped later.
+  callbacks_.erase(std::remove_if(callbacks_.begin(), callbacks_.end(),
+                                  [event_id](const auto& p) { return p.first == event_id; }),
+                   callbacks_.end());
+}
+
+std::uint64_t Simulator::run(double max_time) {
+  std::uint64_t count = 0;
+  while (!queue_.empty()) {
+    const Entry top = queue_.top();
+    if (top.time > max_time) break;
+    queue_.pop();
+    EventCallback* cb = find_callback(top.id);
+    if (cb == nullptr) continue;  // cancelled
+    EventCallback callback = std::move(*cb);
+    cancel(top.id);
+    PREEMPT_CHECK(top.time >= now_ - 1e-12, "event queue went backwards in time");
+    now_ = std::max(now_, top.time);
+    callback();
+    ++count;
+    ++executed_;
+  }
+  return count;
+}
+
+}  // namespace preempt::sim

@@ -1,0 +1,68 @@
+// Discrete-event simulation core.
+//
+// A classic calendar queue: events are callbacks scheduled at absolute times;
+// ties break by (priority, insertion order) so runs are fully deterministic.
+// Time is measured in hours, matching the rest of the library.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace preempt::sim {
+
+using EventCallback = std::function<void()>;
+
+class Simulator {
+ public:
+  /// Current simulation time (hours since start).
+  double now() const noexcept { return now_; }
+
+  /// Number of events executed so far.
+  std::uint64_t executed_events() const noexcept { return executed_; }
+
+  /// Schedule `callback` at absolute time `when` (>= now). Lower `priority`
+  /// runs first among same-time events. Returns an id usable with cancel().
+  std::uint64_t schedule_at(double when, EventCallback callback, int priority = 0);
+
+  /// Schedule after a delay relative to now.
+  std::uint64_t schedule_in(double delay, EventCallback callback, int priority = 0);
+
+  /// Cancel a pending event (no-op if already executed or unknown).
+  void cancel(std::uint64_t event_id);
+
+  /// Run until the queue is empty or `max_time` is passed. Events scheduled
+  /// beyond max_time remain queued. Returns the number of events executed.
+  std::uint64_t run(double max_time = kNoLimit);
+
+  /// True if no runnable events remain.
+  bool idle() const { return queue_.empty(); }
+
+  static constexpr double kNoLimit = 1e300;
+
+ private:
+  struct Entry {
+    double time;
+    int priority;
+    std::uint64_t sequence;  // FIFO among equal (time, priority)
+    std::uint64_t id;
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      if (priority != other.priority) return priority > other.priority;
+      return sequence > other.sequence;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  // id -> callback; erased on execution/cancellation.
+  std::vector<std::pair<std::uint64_t, EventCallback>> callbacks_;
+
+  EventCallback* find_callback(std::uint64_t id);
+};
+
+}  // namespace preempt::sim

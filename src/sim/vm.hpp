@@ -1,0 +1,38 @@
+// Transient VM instances inside the simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/vm_catalog.hpp"
+
+namespace preempt::sim {
+
+enum class VmState {
+  kProvisioning,  ///< requested, not yet usable
+  kIdle,          ///< running, no job assigned
+  kBusy,          ///< running a job (gang member)
+  kPreempted,     ///< reclaimed by the provider
+  kTerminated,    ///< shut down by the service
+};
+
+/// One (simulated) preemptible VM.
+struct VmInstance {
+  std::uint64_t id = 0;
+  trace::VmType type = trace::VmType::kN1Highcpu16;
+  VmState state = VmState::kProvisioning;
+  double launch_time = 0.0;   ///< when it became usable
+  double preempt_time = 0.0;  ///< absolute time the provider will reclaim it
+  double stop_time = -1.0;    ///< when it stopped accruing cost (preempt/terminate)
+  std::uint64_t running_job = 0;  ///< job id when busy, else 0
+  double idle_since = 0.0;        ///< for hot-spare retention
+
+  double age(double now) const { return now - launch_time; }
+  bool alive() const { return state == VmState::kIdle || state == VmState::kBusy; }
+  /// Hours billed: from launch to stop (or `now` if still running).
+  double billed_hours(double now) const {
+    const double end = stop_time >= 0.0 ? stop_time : now;
+    return end > launch_time ? end - launch_time : 0.0;
+  }
+};
+
+}  // namespace preempt::sim

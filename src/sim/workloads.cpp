@@ -1,0 +1,42 @@
+#include "sim/workloads.hpp"
+
+#include "common/error.hpp"
+
+namespace preempt::sim {
+
+namespace {
+Workload make(const std::string& name, double minutes, int gang, trace::VmType type) {
+  Workload w;
+  w.name = name;
+  w.job.name = name;
+  w.job.work_hours = minutes / 60.0;
+  w.job.gang_vms = gang;
+  w.job.checkpointable = false;  // the paper's applications lack checkpointing
+  w.job.checkpoint_cost_hours = 1.0 / 60.0;
+  w.vm_type = type;
+  return w;
+}
+}  // namespace
+
+Workload nanoconfinement() {
+  return make("nanoconfinement", 14.0, 4, trace::VmType::kN1Highcpu16);
+}
+
+Workload shapes() { return make("shapes", 9.0, 4, trace::VmType::kN1Highcpu16); }
+
+Workload lulesh() { return make("lulesh", 12.5, 8, trace::VmType::kN1Highcpu8); }
+
+std::vector<Workload> all_workloads() { return {nanoconfinement(), shapes(), lulesh()}; }
+
+Workload repack_for_vm_type(const Workload& w, trace::VmType target) {
+  const int total_cores = trace::vm_spec(w.vm_type).vcpus * w.job.gang_vms;
+  const int target_cores = trace::vm_spec(target).vcpus;
+  PREEMPT_REQUIRE(total_cores % target_cores == 0,
+                  "workload cores must pack evenly onto the target VM type");
+  Workload out = w;
+  out.vm_type = target;
+  out.job.gang_vms = total_cores / target_cores;
+  return out;
+}
+
+}  // namespace preempt::sim

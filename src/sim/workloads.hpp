@@ -1,0 +1,36 @@
+// The paper's three scientific computing workloads (Sec. 6, "Environment and
+// Workloads"), expressed as job templates for the batch service.
+#pragma once
+
+#include "sim/job.hpp"
+#include "trace/vm_catalog.hpp"
+
+namespace preempt::sim {
+
+/// A named workload: a job spec plus the VM type it was benchmarked on.
+struct Workload {
+  std::string name;
+  JobSpec job;
+  trace::VmType vm_type;
+};
+
+/// Molecular dynamics of ions in nanoconfinement:
+/// 14 min on a 64-core cluster (4 x n1-highcpu-16).
+Workload nanoconfinement();
+
+/// MD shape optimisation of charged deformable nanoparticles:
+/// 9 min on a 64-core cluster (4 x n1-highcpu-16).
+Workload shapes();
+
+/// LULESH hydrodynamics proxy benchmark: 12.5 min on 8 x n1-highcpu-8.
+Workload lulesh();
+
+/// All three, in paper order.
+std::vector<Workload> all_workloads();
+
+/// The same workload re-packed onto a different VM type with the same total
+/// core count (used by the Fig. 9 experiments, which run everything on
+/// n1-highcpu-32 clusters).
+Workload repack_for_vm_type(const Workload& w, trace::VmType target);
+
+}  // namespace preempt::sim

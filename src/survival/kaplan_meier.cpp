@@ -1,0 +1,89 @@
+#include "survival/kaplan_meier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/special.hpp"
+
+namespace preempt::survival {
+
+double KaplanMeierEstimate::survival_at(double t) const {
+  // Last event time <= t determines the current step.
+  const auto it = std::upper_bound(times.begin(), times.end(), t);
+  if (it == times.begin()) return 1.0;
+  return survival[static_cast<std::size_t>(it - times.begin()) - 1];
+}
+
+double KaplanMeierEstimate::cdf_at(double t) const { return 1.0 - survival_at(t); }
+
+double KaplanMeierEstimate::median() const {
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (survival[i] <= 0.5) return times[i];
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+KaplanMeierEstimate::CdfPoints KaplanMeierEstimate::cdf_points() const {
+  CdfPoints pts;
+  pts.t = times;
+  pts.f.reserve(survival.size());
+  for (double s : survival) pts.f.push_back(1.0 - s);
+  return pts;
+}
+
+KaplanMeierEstimate kaplan_meier(const SurvivalData& data, double confidence) {
+  PREEMPT_REQUIRE(!data.empty(), "kaplan_meier needs observations");
+  PREEMPT_REQUIRE(data.event_count() > 0, "kaplan_meier needs at least one event");
+  PREEMPT_REQUIRE(confidence > 0.0 && confidence < 1.0, "confidence must be in (0,1)");
+
+  KaplanMeierEstimate est;
+  est.confidence = confidence;
+  const double z = normal_quantile(0.5 + confidence / 2.0);
+
+  const auto& obs = data.observations();  // sorted by (time, events-first)
+  std::size_t at_risk = obs.size();
+  double s = 1.0;
+  double greenwood = 0.0;  // running sum d_i / (n_i (n_i - d_i))
+
+  std::size_t i = 0;
+  while (i < obs.size()) {
+    const double t = obs[i].time;
+    std::size_t events = 0, removed = 0;
+    while (i < obs.size() && obs[i].time == t) {
+      if (obs[i].event) ++events;
+      ++removed;
+      ++i;
+    }
+    if (events > 0) {
+      const double n = static_cast<double>(at_risk);
+      const double d = static_cast<double>(events);
+      s *= 1.0 - d / n;
+      if (n > d) greenwood += d / (n * (n - d));
+
+      est.times.push_back(t);
+      est.survival.push_back(s);
+      est.at_risk.push_back(at_risk);
+      est.events.push_back(events);
+
+      const double se = s * std::sqrt(greenwood);
+      est.std_error.push_back(se);
+      if (s > 0.0 && s < 1.0) {
+        // log(-log S) transform keeps the band inside (0, 1).
+        const double theta = std::log(-std::log(s));
+        const double se_theta = std::sqrt(greenwood) / std::abs(std::log(s));
+        est.lower.push_back(std::exp(-std::exp(theta + z * se_theta)));
+        est.upper.push_back(std::exp(-std::exp(theta - z * se_theta)));
+      } else {
+        est.lower.push_back(s);
+        est.upper.push_back(s);
+      }
+    }
+    at_risk -= removed;
+  }
+  return est;
+}
+
+}  // namespace preempt::survival

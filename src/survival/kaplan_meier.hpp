@@ -1,0 +1,48 @@
+// Kaplan-Meier product-limit estimator of the survival function under right
+// censoring, with Greenwood variance and log-log confidence bands.
+//
+// KM generalises the ECDF that the paper fits against: on fully observed
+// data 1 - KM(t) is exactly the ECDF, and with censored campaigns it remains
+// unbiased where the plain ECDF is not. fit::fit_bathtub can therefore be
+// pointed at cdf_points() of this estimate instead of the raw ECDF.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "survival/observation.hpp"
+
+namespace preempt::survival {
+
+/// The estimate: step function with one row per distinct event time.
+struct KaplanMeierEstimate {
+  std::vector<double> times;       ///< distinct event times, ascending
+  std::vector<double> survival;    ///< S(t_i+) after the drop at t_i
+  std::vector<double> std_error;   ///< Greenwood standard error of S(t_i)
+  std::vector<double> lower;       ///< lower confidence band (log-log)
+  std::vector<double> upper;       ///< upper confidence band
+  std::vector<std::size_t> at_risk;  ///< n_i — subjects at risk entering t_i
+  std::vector<std::size_t> events;   ///< d_i — events at t_i
+  double confidence = 0.95;
+
+  /// S(t): right-continuous step lookup; 1 before the first event.
+  double survival_at(double t) const;
+  /// 1 - S(t).
+  double cdf_at(double t) const;
+  /// Smallest event time with S <= 0.5, or NaN if the curve never reaches it
+  /// (heavy censoring can leave the median unidentified).
+  double median() const;
+
+  /// (t, F) pairs usable directly by the least-squares CDF fitters.
+  struct CdfPoints {
+    std::vector<double> t;
+    std::vector<double> f;
+  };
+  CdfPoints cdf_points() const;
+};
+
+/// Compute the KM estimate. Throws InvalidArgument when `data` is empty or
+/// has no events, or if `confidence` is outside (0, 1).
+KaplanMeierEstimate kaplan_meier(const SurvivalData& data, double confidence = 0.95);
+
+}  // namespace preempt::survival

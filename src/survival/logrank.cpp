@@ -1,0 +1,76 @@
+#include "survival/logrank.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/special.hpp"
+
+namespace preempt::survival {
+
+LogRankResult log_rank_test(const SurvivalData& group_a, const SurvivalData& group_b) {
+  PREEMPT_REQUIRE(!group_a.empty() && !group_b.empty(), "log_rank_test needs two non-empty groups");
+  PREEMPT_REQUIRE(group_a.event_count() + group_b.event_count() > 0,
+                  "log_rank_test needs at least one event");
+
+  // Merge, remembering group membership; both inputs are already sorted.
+  struct Tagged {
+    double time;
+    bool event;
+    bool in_a;
+  };
+  std::vector<Tagged> all;
+  all.reserve(group_a.size() + group_b.size());
+  for (const auto& o : group_a.observations()) all.push_back({o.time, o.event, true});
+  for (const auto& o : group_b.observations()) all.push_back({o.time, o.event, false});
+  std::sort(all.begin(), all.end(), [](const Tagged& x, const Tagged& y) {
+    if (x.time != y.time) return x.time < y.time;
+    return x.event && !y.event;
+  });
+
+  std::size_t at_risk_a = group_a.size();
+  std::size_t at_risk_b = group_b.size();
+  double observed_a = 0.0, expected_a = 0.0, variance = 0.0;
+
+  std::size_t i = 0;
+  while (i < all.size()) {
+    const double t = all[i].time;
+    std::size_t events_a = 0, events_b = 0, removed_a = 0, removed_b = 0;
+    while (i < all.size() && all[i].time == t) {
+      if (all[i].in_a) {
+        if (all[i].event) ++events_a;
+        ++removed_a;
+      } else {
+        if (all[i].event) ++events_b;
+        ++removed_b;
+      }
+      ++i;
+    }
+    const double d = static_cast<double>(events_a + events_b);
+    if (d > 0.0) {
+      const double na = static_cast<double>(at_risk_a);
+      const double nb = static_cast<double>(at_risk_b);
+      const double n = na + nb;
+      observed_a += static_cast<double>(events_a);
+      expected_a += d * na / n;
+      // Hypergeometric variance of events_a given margins.
+      if (n > 1.0) variance += d * (na / n) * (nb / n) * (n - d) / (n - 1.0);
+    }
+    at_risk_a -= removed_a;
+    at_risk_b -= removed_b;
+  }
+
+  LogRankResult out;
+  out.observed_a = observed_a;
+  out.expected_a = expected_a;
+  if (variance > 0.0) {
+    const double diff = observed_a - expected_a;
+    out.chi_squared = diff * diff / variance;
+    // χ²(1) tail: P(X >= x) = Q(1/2, x/2).
+    out.p_value = regularized_gamma_q(0.5, out.chi_squared / 2.0);
+  }
+  return out;
+}
+
+}  // namespace preempt::survival

@@ -1,0 +1,26 @@
+// Two-sample log-rank test (Mantel-Cox) for comparing lifetime curves under
+// right censoring.
+//
+// The paper's Observations 4-5 ("larger VMs are preempted more", "night
+// launches live longer") are eyeballed from CDF plots; the log-rank test puts
+// a p-value on them. Used by examples/trace_analysis and the survival tests.
+#pragma once
+
+#include "survival/observation.hpp"
+
+namespace preempt::survival {
+
+struct LogRankResult {
+  double chi_squared = 0.0;   ///< test statistic, ~χ²(1) under H0
+  double p_value = 1.0;       ///< P(χ²(1) >= chi_squared)
+  double observed_a = 0.0;    ///< events observed in group A
+  double expected_a = 0.0;    ///< events expected in group A under H0
+  /// Convenience: true when p_value < alpha.
+  bool significant(double alpha = 0.05) const { return p_value < alpha; }
+};
+
+/// Test H0: both groups share the same hazard. Throws InvalidArgument when
+/// either group is empty or the pooled data has no events.
+LogRankResult log_rank_test(const SurvivalData& group_a, const SurvivalData& group_b);
+
+}  // namespace preempt::survival

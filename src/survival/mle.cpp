@@ -1,0 +1,198 @@
+#include "survival/mle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/root_find.hpp"
+#include "dist/exponential.hpp"
+#include "dist/weibull.hpp"
+#include "fit/nelder_mead.hpp"
+
+namespace preempt::survival {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Guard against ln(0) for event times recorded as exactly zero.
+double positive_time(double t) { return std::max(t, 1e-12); }
+
+void finish_information_criteria(MleResult& result, std::size_t k, std::size_t n) {
+  result.aic = 2.0 * static_cast<double>(k) - 2.0 * result.log_likelihood;
+  result.bic = static_cast<double>(k) * std::log(static_cast<double>(n)) -
+               2.0 * result.log_likelihood;
+}
+
+}  // namespace
+
+double censored_log_likelihood(const dist::Distribution& d, const SurvivalData& data) {
+  PREEMPT_REQUIRE(!data.empty(), "log-likelihood needs observations");
+  KahanSum ll;
+  for (const auto& o : data.observations()) {
+    if (o.event) {
+      const double f = d.pdf(positive_time(o.time));
+      if (f <= 0.0) return kNegInf;
+      ll.add(std::log(f));
+    } else {
+      const double s = d.survival(o.time);
+      if (s <= 0.0) return kNegInf;
+      ll.add(std::log(s));
+    }
+  }
+  return ll.value();
+}
+
+MleResult fit_exponential_mle(const SurvivalData& data) {
+  PREEMPT_REQUIRE(data.event_count() > 0, "exponential MLE needs at least one event");
+  PREEMPT_REQUIRE(data.total_exposure() > 0.0, "exponential MLE needs positive exposure");
+  const double d = static_cast<double>(data.event_count());
+  const double lambda = d / data.total_exposure();
+
+  MleResult out;
+  out.distribution = std::make_unique<dist::Exponential>(lambda);
+  out.params = {lambda};
+  out.log_likelihood = d * std::log(lambda) - lambda * data.total_exposure();
+  out.converged = true;
+  out.message = "closed form";
+  finish_information_criteria(out, 1, data.size());
+  return out;
+}
+
+MleResult fit_weibull_mle(const SurvivalData& data) {
+  PREEMPT_REQUIRE(data.event_count() > 0, "weibull MLE needs at least one event");
+  const double d = static_cast<double>(data.event_count());
+
+  // Profile likelihood: for fixed shape k the scale is
+  //   θ̂(k)^k = Σ_i t_i^k / d        (sum over ALL observations),
+  // and the score in k reduces to
+  //   g(k) = d/k + Σ_events ln t_i − d · Σ t_i^k ln t_i / Σ t_i^k.
+  double sum_log_events = 0.0;
+  for (const auto& o : data.observations()) {
+    if (o.event) sum_log_events += std::log(positive_time(o.time));
+  }
+  auto score = [&](double k) {
+    KahanSum sum_tk, sum_tk_log;
+    for (const auto& o : data.observations()) {
+      const double t = positive_time(o.time);
+      const double tk = std::pow(t, k);
+      sum_tk.add(tk);
+      sum_tk_log.add(tk * std::log(t));
+    }
+    return d / k + sum_log_events - d * sum_tk_log.value() / sum_tk.value();
+  };
+
+  MleResult out;
+  double k_lo = 0.05, k_hi = 50.0;
+  double g_lo = score(k_lo), g_hi = score(k_hi);
+  double k_hat;
+  if (g_lo > 0.0 && g_hi < 0.0) {
+    k_hat = brent(score, k_lo, k_hi);
+    out.converged = true;
+    out.message = "profile-likelihood root";
+  } else {
+    // Degenerate data (e.g. all events at one time): fall back to the
+    // boundary with the higher likelihood.
+    k_hat = std::abs(g_lo) < std::abs(g_hi) ? k_lo : k_hi;
+    out.converged = false;
+    out.message = "score equation had no sign change; boundary shape used";
+  }
+
+  KahanSum sum_tk;
+  for (const auto& o : data.observations()) sum_tk.add(std::pow(positive_time(o.time), k_hat));
+  const double theta = std::pow(sum_tk.value() / d, 1.0 / k_hat);
+  const double lambda = 1.0 / theta;
+
+  out.distribution = std::make_unique<dist::Weibull>(lambda, k_hat);
+  out.params = {lambda, k_hat};
+  out.log_likelihood = censored_log_likelihood(*out.distribution, data);
+  finish_information_criteria(out, 2, data.size());
+  return out;
+}
+
+MleResult fit_bathtub_mle(const SurvivalData& data, const BathtubMleOptions& options) {
+  PREEMPT_REQUIRE(data.event_count() > 0, "bathtub MLE needs at least one event");
+  PREEMPT_REQUIRE(options.horizon > 0.0, "bathtub MLE horizon must be positive");
+  const double L = options.horizon;
+
+  // Pre-split the data: interior events, deadline reclaims, censorings.
+  std::vector<double> interior_events, censorings;
+  std::size_t reclaims = 0;
+  for (const auto& o : data.observations()) {
+    if (o.event) {
+      if (o.time >= L - options.atom_tol) {
+        ++reclaims;
+      } else {
+        interior_events.push_back(positive_time(o.time));
+      }
+    } else {
+      censorings.push_back(std::min(o.time, L));
+    }
+  }
+
+  // Negative log-likelihood over p = {A, tau1, tau2, b}.
+  auto nll = [&](const std::vector<double>& p) {
+    const double A = p[0], tau1 = p[1], tau2 = p[2], b = p[3];
+    auto raw_cdf = [&](double t) {
+      return A * (1.0 - std::exp(-t / tau1) + std::exp((t - b) / tau2));
+    };
+    const double f_end = raw_cdf(L);
+    if (f_end > 1.0) return std::numeric_limits<double>::max();  // invalid law
+    const double f_start = raw_cdf(0.0);
+    if (f_start > 0.2) return std::numeric_limits<double>::max();  // violates F(0) ≈ 0
+    KahanSum ll;
+    for (double t : interior_events) {
+      const double f = A * (std::exp(-t / tau1) / tau1 + std::exp((t - b) / tau2) / tau2);
+      if (f <= 0.0) return std::numeric_limits<double>::max();
+      ll.add(std::log(f));
+    }
+    if (reclaims > 0) {
+      const double atom = 1.0 - f_end;
+      if (atom <= 0.0) return std::numeric_limits<double>::max();
+      ll.add(static_cast<double>(reclaims) * std::log(atom));
+    }
+    for (double t : censorings) {
+      const double s = 1.0 - raw_cdf(t);
+      if (s <= 0.0) return std::numeric_limits<double>::max();
+      ll.add(std::log(s));
+    }
+    return -ll.value();
+  };
+
+  const fit::Bounds bounds{{0.05, 0.05, 0.05, 0.5 * L}, {1.0, 20.0, 10.0, 1.5 * L}};
+  fit::NelderMeadResult best;
+  bool have_best = false;
+  // Multi-start over plausible regimes (plateau height x infant speed).
+  for (double a0 : {0.3, 0.45, 0.6}) {
+    for (double tau1_0 : {0.5, 1.0, 3.0}) {
+      std::vector<double> p0 = {a0, tau1_0, 0.8, L};
+      if (!std::isfinite(nll(p0)) || nll(p0) >= std::numeric_limits<double>::max()) continue;
+      auto r = fit::nelder_mead(nll, p0, bounds);
+      if (!have_best || r.value < best.value) {
+        best = std::move(r);
+        have_best = true;
+      }
+    }
+  }
+  PREEMPT_CHECK(have_best, "all bathtub MLE starts were infeasible");
+
+  dist::BathtubParams params;
+  params.scale = best.params[0];
+  params.tau1 = best.params[1];
+  params.tau2 = best.params[2];
+  params.deadline = best.params[3];
+  params.horizon = L;
+
+  MleResult out;
+  out.distribution = std::make_unique<dist::BathtubDistribution>(params);
+  out.params = best.params;
+  out.log_likelihood = -best.value;
+  out.converged = best.converged;
+  out.message = best.message;
+  finish_information_criteria(out, 4, data.size());
+  return out;
+}
+
+}  // namespace preempt::survival

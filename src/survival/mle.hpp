@@ -1,0 +1,51 @@
+// Censored maximum-likelihood fitters.
+//
+// Least squares on the ECDF (the paper's methodology, src/fit) silently
+// treats censored lifetimes as preemptions. The MLE handles censoring
+// exactly: events contribute ln f(t), right-censored observations ln S(t),
+// and — for the deadline-constrained bathtub model — reclaims at the horizon
+// contribute the atom mass ln(1 - F(L⁻)).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dist/bathtub.hpp"
+#include "dist/distribution.hpp"
+#include "survival/observation.hpp"
+
+namespace preempt::survival {
+
+struct MleResult {
+  dist::DistributionPtr distribution;  ///< fitted model (never null on return)
+  std::vector<double> params;
+  double log_likelihood = 0.0;
+  double aic = 0.0;  ///< 2k - 2 lnL
+  double bic = 0.0;  ///< k ln n - 2 lnL
+  bool converged = false;
+  std::string message;
+};
+
+/// Censored log-likelihood of a *continuous* lifetime law:
+///   Σ_events ln f(t_i) + Σ_censored ln S(t_i).
+/// Not suitable for distributions with probability atoms (use
+/// fit_bathtub_mle for the deadline model); returns -infinity when any event
+/// falls where the density vanishes.
+double censored_log_likelihood(const dist::Distribution& d, const SurvivalData& data);
+
+/// Exponential MLE — closed form: λ̂ = #events / total exposure.
+MleResult fit_exponential_mle(const SurvivalData& data);
+
+/// Weibull MLE — profile likelihood, Brent root on the shape score equation.
+MleResult fit_weibull_mle(const SurvivalData& data);
+
+/// Bathtub MLE on [0, horizon] — Nelder-Mead over (A, τ1, τ2, b) with the
+/// deadline atom handled exactly: observations with time >= horizon - atom_tol
+/// and event=true are treated as deadline reclaims.
+struct BathtubMleOptions {
+  double horizon = 24.0;
+  double atom_tol = 1e-6;  ///< event times within this of the horizon count as reclaims
+};
+MleResult fit_bathtub_mle(const SurvivalData& data, const BathtubMleOptions& options = {});
+
+}  // namespace preempt::survival

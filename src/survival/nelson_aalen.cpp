@@ -1,0 +1,59 @@
+#include "survival/nelson_aalen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace preempt::survival {
+
+double NelsonAalenEstimate::cumulative_hazard_at(double t) const {
+  const auto it = std::upper_bound(times.begin(), times.end(), t);
+  if (it == times.begin()) return 0.0;
+  return cumulative_hazard[static_cast<std::size_t>(it - times.begin()) - 1];
+}
+
+double NelsonAalenEstimate::smoothed_hazard(double t, double half_width) const {
+  PREEMPT_REQUIRE(half_width > 0.0, "smoothing half-width must be positive");
+  const double lo = std::max(0.0, t - half_width);
+  const double hi = t + half_width;
+  const double dh = cumulative_hazard_at(hi) - cumulative_hazard_at(lo);
+  return dh / (hi - lo);
+}
+
+NelsonAalenEstimate nelson_aalen(const SurvivalData& data) {
+  PREEMPT_REQUIRE(!data.empty(), "nelson_aalen needs observations");
+  PREEMPT_REQUIRE(data.event_count() > 0, "nelson_aalen needs at least one event");
+
+  NelsonAalenEstimate est;
+  const auto& obs = data.observations();
+  std::size_t at_risk = obs.size();
+  double h = 0.0;
+  double var = 0.0;
+
+  std::size_t i = 0;
+  while (i < obs.size()) {
+    const double t = obs[i].time;
+    std::size_t events = 0, removed = 0;
+    while (i < obs.size() && obs[i].time == t) {
+      if (obs[i].event) ++events;
+      ++removed;
+      ++i;
+    }
+    if (events > 0) {
+      const double n = static_cast<double>(at_risk);
+      const double d = static_cast<double>(events);
+      h += d / n;
+      var += d / (n * n);
+      est.times.push_back(t);
+      est.cumulative_hazard.push_back(h);
+      est.variance.push_back(var);
+      est.at_risk.push_back(at_risk);
+      est.events.push_back(events);
+    }
+    at_risk -= removed;
+  }
+  return est;
+}
+
+}  // namespace preempt::survival

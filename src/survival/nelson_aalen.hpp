@@ -1,0 +1,35 @@
+// Nelson-Aalen estimator of the cumulative hazard H(t) = ∫ h(u) du under
+// right censoring.
+//
+// The bathtub shape the paper reports is a statement about the hazard; the
+// Nelson-Aalen increments d_i/n_i give a direct nonparametric view of it,
+// independent of the CDF fits (an empirical cross-check of Observation 1's
+// three phases).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "survival/observation.hpp"
+
+namespace preempt::survival {
+
+struct NelsonAalenEstimate {
+  std::vector<double> times;            ///< distinct event times, ascending
+  std::vector<double> cumulative_hazard;  ///< H(t_i)
+  std::vector<double> variance;         ///< Var[H(t_i)] (Poisson form d/n²)
+  std::vector<std::size_t> at_risk;
+  std::vector<std::size_t> events;
+
+  /// H(t): right-continuous step lookup; 0 before the first event.
+  double cumulative_hazard_at(double t) const;
+
+  /// Smoothed hazard over [t - half_width, t + half_width]:
+  /// ΔH / Δt, a crude kernel estimate good enough for phase plots.
+  double smoothed_hazard(double t, double half_width) const;
+};
+
+/// Compute the NA estimate. Preconditions as for kaplan_meier.
+NelsonAalenEstimate nelson_aalen(const SurvivalData& data);
+
+}  // namespace preempt::survival

@@ -1,0 +1,58 @@
+#include "survival/observation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace preempt::survival {
+
+SurvivalData::SurvivalData(std::vector<Observation> observations)
+    : observations_(std::move(observations)) {
+  for (const auto& o : observations_) {
+    PREEMPT_REQUIRE(std::isfinite(o.time) && o.time >= 0.0,
+                    "survival observation times must be finite and >= 0");
+  }
+  std::sort(observations_.begin(), observations_.end(), [](const auto& a, const auto& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.event && !b.event;  // events precede censorings at the same time
+  });
+  for (const auto& o : observations_) {
+    if (o.event) ++event_count_;
+    total_exposure_ += o.time;
+  }
+}
+
+SurvivalData SurvivalData::all_events(std::span<const double> times) {
+  std::vector<Observation> obs;
+  obs.reserve(times.size());
+  for (double t : times) obs.push_back({t, true});
+  return SurvivalData(std::move(obs));
+}
+
+SurvivalData SurvivalData::censor_at(std::span<const double> lifetimes,
+                                     std::span<const double> cutoffs) {
+  PREEMPT_REQUIRE(lifetimes.size() == cutoffs.size(),
+                  "censor_at needs one cutoff per lifetime");
+  std::vector<Observation> obs;
+  obs.reserve(lifetimes.size());
+  for (std::size_t i = 0; i < lifetimes.size(); ++i) {
+    if (lifetimes[i] <= cutoffs[i]) {
+      obs.push_back({lifetimes[i], true});
+    } else {
+      obs.push_back({cutoffs[i], false});
+    }
+  }
+  return SurvivalData(std::move(obs));
+}
+
+std::vector<double> SurvivalData::event_times() const {
+  std::vector<double> out;
+  out.reserve(event_count_);
+  for (const auto& o : observations_) {
+    if (o.event) out.push_back(o.time);
+  }
+  return out;
+}
+
+}  // namespace preempt::survival

@@ -1,0 +1,61 @@
+// Right-censored lifetime observations.
+//
+// The paper's empirical study (Sec. 3.1) measures VM lifetimes; in a live
+// campaign some lifetimes are not fully observed — a VM may be shut down
+// because its job finished, or the campaign ends while it is still running.
+// Treating such right-censored observations as preemptions biases every
+// downstream estimate. This module provides the survival-analysis view:
+// (time, event) pairs, where event=false marks a censored lifetime.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace preempt::survival {
+
+/// One VM lifetime observation.
+struct Observation {
+  double time = 0.0;   ///< hours from launch to preemption or censoring
+  bool event = true;   ///< true: preemption observed; false: right-censored
+};
+
+/// A validated collection of observations, sorted by time on construction
+/// (ties: events before censorings, the standard convention).
+class SurvivalData {
+ public:
+  SurvivalData() = default;
+  /// Throws InvalidArgument on negative or non-finite times or empty input
+  /// where an estimator needs data (estimators validate separately).
+  explicit SurvivalData(std::vector<Observation> observations);
+
+  /// All lifetimes fully observed (no censoring).
+  static SurvivalData all_events(std::span<const double> times);
+
+  /// Administrative censoring: observation i is censored (with the recorded
+  /// time cut) when the true lifetime exceeds `cutoffs[i]`. The classic case
+  /// is "the campaign stopped after c hours".
+  static SurvivalData censor_at(std::span<const double> lifetimes,
+                                std::span<const double> cutoffs);
+
+  std::size_t size() const noexcept { return observations_.size(); }
+  bool empty() const noexcept { return observations_.empty(); }
+  const std::vector<Observation>& observations() const noexcept { return observations_; }
+
+  std::size_t event_count() const noexcept { return event_count_; }
+  std::size_t censored_count() const noexcept { return observations_.size() - event_count_; }
+
+  /// Sum of all observation times (total exposure) — the denominator of the
+  /// exponential MLE.
+  double total_exposure() const noexcept { return total_exposure_; }
+
+  /// Times of observed events only.
+  std::vector<double> event_times() const;
+
+ private:
+  std::vector<Observation> observations_;  // sorted by (time, !event)
+  std::size_t event_count_ = 0;
+  double total_exposure_ = 0.0;
+};
+
+}  // namespace preempt::survival

@@ -1,0 +1,141 @@
+#include "trace/dataset.hpp"
+
+#include <cmath>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "trace/ground_truth.hpp"
+
+namespace preempt::trace {
+
+namespace {
+void validate_record(const PreemptionRecord& r) {
+  PREEMPT_REQUIRE(r.launch_hour >= 0.0 && r.launch_hour < 24.0, "launch_hour must be in [0,24)");
+  PREEMPT_REQUIRE(r.day_of_week >= 0 && r.day_of_week <= 6, "day_of_week must be in [0,6]");
+  PREEMPT_REQUIRE(std::isfinite(r.lifetime_hours) && r.lifetime_hours >= 0.0 &&
+                      r.lifetime_hours <= kMaxLifetimeHours + 1e-9,
+                  "lifetime must be in [0, 24] hours");
+}
+}  // namespace
+
+void Dataset::add(PreemptionRecord record) {
+  validate_record(record);
+  records_.push_back(record);
+}
+
+void Dataset::append(const Dataset& other) {
+  records_.insert(records_.end(), other.records_.begin(), other.records_.end());
+}
+
+Dataset Dataset::filter(const std::function<bool(const PreemptionRecord&)>& pred) const {
+  Dataset out;
+  for (const auto& r : records_) {
+    if (pred(r)) out.records_.push_back(r);
+  }
+  return out;
+}
+
+Dataset Dataset::by_type(VmType type) const {
+  return filter([type](const PreemptionRecord& r) { return r.type == type; });
+}
+
+Dataset Dataset::by_zone(Zone zone) const {
+  return filter([zone](const PreemptionRecord& r) { return r.zone == zone; });
+}
+
+Dataset Dataset::by_period(DayPeriod period) const {
+  return filter([period](const PreemptionRecord& r) { return r.period == period; });
+}
+
+Dataset Dataset::by_workload(WorkloadKind workload) const {
+  return filter([workload](const PreemptionRecord& r) { return r.workload == workload; });
+}
+
+std::vector<double> Dataset::lifetimes() const {
+  std::vector<double> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) out.push_back(r.lifetime_hours);
+  return out;
+}
+
+std::map<VmType, Dataset> Dataset::group_by_type() const {
+  std::map<VmType, Dataset> out;
+  for (const auto& r : records_) out[r.type].records_.push_back(r);
+  return out;
+}
+
+std::map<Zone, Dataset> Dataset::group_by_zone() const {
+  std::map<Zone, Dataset> out;
+  for (const auto& r : records_) out[r.zone].records_.push_back(r);
+  return out;
+}
+
+namespace {
+const std::vector<std::string>& csv_header() {
+  static const std::vector<std::string> kHeader = {
+      "vm_type", "zone", "period", "workload", "launch_hour", "day_of_week", "lifetime_hours"};
+  return kHeader;
+}
+}  // namespace
+
+std::string Dataset::to_csv() const {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(records_.size());
+  for (const auto& r : records_) {
+    rows.push_back({to_string(r.type), to_string(r.zone), to_string(r.period),
+                    to_string(r.workload), fmt_double(r.launch_hour, 4),
+                    std::to_string(r.day_of_week), fmt_double(r.lifetime_hours, 6)});
+  }
+  return preempt::to_csv(csv_header(), rows);
+}
+
+Dataset Dataset::from_csv(const std::string& text) {
+  const CsvDocument doc = parse_csv(text);
+  const std::size_t c_type = doc.column("vm_type");
+  const std::size_t c_zone = doc.column("zone");
+  const std::size_t c_period = doc.column("period");
+  const std::size_t c_workload = doc.column("workload");
+  const std::size_t c_hour = doc.column("launch_hour");
+  const std::size_t c_dow = doc.column("day_of_week");
+  const std::size_t c_life = doc.column("lifetime_hours");
+
+  Dataset out;
+  for (const auto& row : doc.rows) {
+    PreemptionRecord r;
+    const auto type = vm_type_from_string(row[c_type]);
+    const auto zone = zone_from_string(row[c_zone]);
+    const auto period = day_period_from_string(row[c_period]);
+    const auto workload = workload_from_string(row[c_workload]);
+    if (!type || !zone || !period || !workload) {
+      throw IoError("dataset CSV: unknown enum value in row");
+    }
+    r.type = *type;
+    r.zone = *zone;
+    r.period = *period;
+    r.workload = *workload;
+    r.launch_hour = parse_double(row[c_hour]);
+    r.day_of_week = static_cast<int>(parse_int(row[c_dow]));
+    r.lifetime_hours = parse_double(row[c_life]);
+    out.add(r);
+  }
+  return out;
+}
+
+void Dataset::save_csv(const std::string& path) const {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(records_.size());
+  for (const auto& r : records_) {
+    rows.push_back({to_string(r.type), to_string(r.zone), to_string(r.period),
+                    to_string(r.workload), fmt_double(r.launch_hour, 4),
+                    std::to_string(r.day_of_week), fmt_double(r.lifetime_hours, 6)});
+  }
+  write_csv_file(path, csv_header(), rows);
+}
+
+Dataset Dataset::load_csv(const std::string& path) {
+  const CsvDocument doc = read_csv_file(path);
+  return from_csv(preempt::to_csv(doc.header, doc.rows));
+}
+
+}  // namespace preempt::trace

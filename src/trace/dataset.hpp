@@ -1,0 +1,65 @@
+// Preemption dataset: the record format of the empirical study (Sec. 3.1),
+// compatible in spirit with the paper's published CSV dataset.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/vm_catalog.hpp"
+
+namespace preempt::trace {
+
+/// One observed VM lifetime (a preemption event, or a 24 h deadline reclaim).
+struct PreemptionRecord {
+  VmType type = VmType::kN1Highcpu16;
+  Zone zone = Zone::kUsEast1B;
+  DayPeriod period = DayPeriod::kDay;       ///< derived from launch_hour
+  WorkloadKind workload = WorkloadKind::kBatch;
+  double launch_hour = 12.0;                ///< local time of launch, [0, 24)
+  int day_of_week = 0;                      ///< 0 = Monday ... 6 = Sunday
+  double lifetime_hours = 0.0;              ///< time to preemption
+};
+
+/// A collection of preemption observations with filtering and grouping.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<PreemptionRecord> records) : records_(std::move(records)) {}
+
+  std::size_t size() const noexcept { return records_.size(); }
+  bool empty() const noexcept { return records_.empty(); }
+  const std::vector<PreemptionRecord>& records() const noexcept { return records_; }
+
+  void add(PreemptionRecord record);
+  void append(const Dataset& other);
+
+  /// Records matching a predicate.
+  Dataset filter(const std::function<bool(const PreemptionRecord&)>& pred) const;
+
+  /// Common filters.
+  Dataset by_type(VmType type) const;
+  Dataset by_zone(Zone zone) const;
+  Dataset by_period(DayPeriod period) const;
+  Dataset by_workload(WorkloadKind workload) const;
+
+  /// All lifetimes (hours), in record order.
+  std::vector<double> lifetimes() const;
+
+  /// Partition by VM type (only non-empty groups are returned).
+  std::map<VmType, Dataset> group_by_type() const;
+  std::map<Zone, Dataset> group_by_zone() const;
+
+  /// CSV round-trip. Columns:
+  /// vm_type,zone,period,workload,launch_hour,day_of_week,lifetime_hours
+  std::string to_csv() const;
+  static Dataset from_csv(const std::string& text);
+  void save_csv(const std::string& path) const;
+  static Dataset load_csv(const std::string& path);
+
+ private:
+  std::vector<PreemptionRecord> records_;
+};
+
+}  // namespace preempt::trace

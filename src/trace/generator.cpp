@@ -1,0 +1,73 @@
+#include "trace/generator.hpp"
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+
+namespace preempt::trace {
+
+namespace {
+
+/// Draw a local launch hour consistent with the requested period.
+double draw_launch_hour(Rng& rng, DayPeriod period) {
+  if (period == DayPeriod::kDay) return rng.uniform(8.0, 20.0);
+  // Night wraps midnight: [20, 24) u [0, 8).
+  const double x = rng.uniform(0.0, 12.0);
+  return x < 4.0 ? 20.0 + x : x - 4.0;
+}
+
+}  // namespace
+
+Dataset generate_campaign(const CampaignConfig& config) {
+  PREEMPT_REQUIRE(config.vm_count >= 1, "campaign needs at least one VM");
+  const dist::BathtubDistribution truth = ground_truth_distribution(config.regime);
+  Rng rng(config.seed);
+  Dataset out;
+  for (std::size_t i = 0; i < config.vm_count; ++i) {
+    PreemptionRecord r;
+    r.type = config.regime.type;
+    r.zone = config.regime.zone;
+    r.period = config.regime.period;
+    r.workload = config.regime.workload;
+    r.launch_hour = draw_launch_hour(rng, config.regime.period);
+    r.day_of_week = static_cast<int>(rng.uniform_index(7));
+    r.lifetime_hours = truth.sample(rng);
+    out.add(r);
+  }
+  return out;
+}
+
+Dataset generate_study(const StudyConfig& config) {
+  PREEMPT_REQUIRE(config.vms_per_cell >= 4, "study needs at least 4 VMs per cell");
+  PREEMPT_REQUIRE(config.night_fraction >= 0.0 && config.night_fraction <= 1.0,
+                  "night_fraction must be in [0,1]");
+  PREEMPT_REQUIRE(config.idle_fraction >= 0.0 && config.idle_fraction <= 1.0,
+                  "idle_fraction must be in [0,1]");
+  Dataset out;
+  std::uint64_t stream = config.seed;
+  for (const VmSpec& spec : all_vm_specs()) {
+    for (Zone zone : all_zones()) {
+      // Split the cell into the four period x workload mixes.
+      const auto n = static_cast<double>(config.vms_per_cell);
+      const auto n_night = static_cast<std::size_t>(n * config.night_fraction);
+      const std::size_t n_day = config.vms_per_cell - n_night;
+      const auto split = [&](std::size_t count, DayPeriod period) {
+        const auto n_idle = static_cast<std::size_t>(
+            static_cast<double>(count) * config.idle_fraction);
+        const std::size_t n_batch = count - n_idle;
+        if (n_batch > 0) {
+          out.append(generate_campaign(
+              {{spec.type, zone, period, WorkloadKind::kBatch}, n_batch, ++stream}));
+        }
+        if (n_idle > 0) {
+          out.append(generate_campaign(
+              {{spec.type, zone, period, WorkloadKind::kIdle}, n_idle, ++stream}));
+        }
+      };
+      split(n_day, DayPeriod::kDay);
+      split(n_night, DayPeriod::kNight);
+    }
+  }
+  return out;
+}
+
+}  // namespace preempt::trace

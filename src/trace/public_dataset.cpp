@@ -1,0 +1,163 @@
+#include "trace/public_dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace preempt::trace {
+
+namespace {
+
+/// Case-insensitive lookup of the first matching column alias; nullopt when
+/// none is present.
+std::optional<std::size_t> find_column(const CsvDocument& doc,
+                                       const std::vector<std::string>& aliases) {
+  for (std::size_t i = 0; i < doc.header.size(); ++i) {
+    const std::string name = to_lower(trim(doc.header[i]));
+    for (const auto& alias : aliases) {
+      if (name == alias) return i;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Lifetime unit implied by the column name: "sec" -> seconds, "min" ->
+/// minutes, otherwise hours.
+double unit_scale_to_hours(const std::string& column_name) {
+  const std::string name = to_lower(column_name);
+  if (name.find("sec") != std::string::npos) return 1.0 / 3600.0;
+  if (name.find("min") != std::string::npos) return 1.0 / 60.0;
+  return 1.0;
+}
+
+}  // namespace
+
+ImportReport import_public_csv(const std::string& text, const ImportOptions& options) {
+  const CsvDocument doc = parse_csv(text);
+
+  const auto type_col = find_column(doc, {"machine_type", "vm_type", "instance_type", "type"});
+  const auto zone_col = find_column(doc, {"zone", "region"});
+  const auto life_col =
+      find_column(doc, {"lifetime_hours", "lifetime", "time_to_preemption", "lifetime_seconds",
+                        "duration_seconds", "duration_sec", "lifetime_minutes", "duration",
+                        "time_to_preemption_hours"});
+  const auto hour_col = find_column(doc, {"launch_hour", "launch_time", "hour"});
+  const auto dow_col = find_column(doc, {"day_of_week", "dow", "weekday"});
+  const auto workload_col = find_column(doc, {"workload", "workload_kind"});
+
+  if (!life_col) {
+    throw IoError("public dataset import: no lifetime column found (tried lifetime_hours, "
+                  "lifetime, time_to_preemption, *_seconds, *_minutes)");
+  }
+  if (!type_col && !options.default_type) {
+    throw IoError("public dataset import: no machine-type column and no default_type given");
+  }
+  if (!zone_col && !options.default_zone) {
+    throw IoError("public dataset import: no zone column and no default_zone given");
+  }
+  const double scale = unit_scale_to_hours(doc.header[*life_col]);
+
+  ImportReport report;
+  std::set<std::string> warned;
+  auto skip = [&](std::size_t row_index, const std::string& reason) {
+    if (options.strict) {
+      throw IoError("public dataset import: row " + std::to_string(row_index + 2) + ": " +
+                    reason);
+    }
+    ++report.skipped;
+    if (warned.insert(reason).second) report.warnings.push_back(reason);
+  };
+
+  for (std::size_t r = 0; r < doc.rows.size(); ++r) {
+    const auto& row = doc.rows[r];
+    PreemptionRecord rec;
+
+    if (type_col) {
+      const auto type = vm_type_from_string(trim(row[*type_col]));
+      if (!type) {
+        skip(r, "unknown machine type '" + row[*type_col] + "'");
+        continue;
+      }
+      rec.type = *type;
+    } else {
+      rec.type = *options.default_type;
+    }
+
+    if (zone_col) {
+      const auto zone = zone_from_string(trim(row[*zone_col]));
+      if (!zone) {
+        skip(r, "unknown zone '" + row[*zone_col] + "'");
+        continue;
+      }
+      rec.zone = *zone;
+    } else {
+      rec.zone = *options.default_zone;
+    }
+
+    double lifetime = 0.0;
+    try {
+      lifetime = parse_double(row[*life_col]) * scale;
+    } catch (const Error&) {
+      skip(r, "unparseable lifetime '" + row[*life_col] + "'");
+      continue;
+    }
+    if (!std::isfinite(lifetime) || lifetime <= 0.0) {
+      skip(r, "non-positive lifetime");
+      continue;
+    }
+    if (lifetime > options.max_lifetime_hours) {
+      skip(r, "lifetime beyond the sanity cap");
+      continue;
+    }
+    rec.lifetime_hours = lifetime;
+
+    if (hour_col) {
+      try {
+        rec.launch_hour = std::fmod(parse_double(row[*hour_col]), 24.0);
+        if (rec.launch_hour < 0.0) rec.launch_hour += 24.0;
+      } catch (const Error&) {
+        skip(r, "unparseable launch hour '" + row[*hour_col] + "'");
+        continue;
+      }
+    }
+    rec.period = day_period_of_hour(rec.launch_hour);
+
+    if (dow_col) {
+      try {
+        const long dow = parse_int(row[*dow_col]);
+        if (dow < 0 || dow > 6) {
+          skip(r, "day_of_week outside 0..6");
+          continue;
+        }
+        rec.day_of_week = static_cast<int>(dow);
+      } catch (const Error&) {
+        skip(r, "unparseable day_of_week '" + row[*dow_col] + "'");
+        continue;
+      }
+    }
+
+    if (workload_col) {
+      const auto workload = workload_from_string(to_lower(trim(row[*workload_col])));
+      if (!workload) {
+        skip(r, "unknown workload '" + row[*workload_col] + "'");
+        continue;
+      }
+      rec.workload = *workload;
+    }
+
+    report.dataset.add(rec);
+    ++report.imported;
+  }
+  return report;
+}
+
+ImportReport load_public_csv(const std::string& path, const ImportOptions& options) {
+  const CsvDocument doc = read_csv_file(path);
+  return import_public_csv(to_csv(doc.header, doc.rows), options);
+}
+
+}  // namespace preempt::trace

@@ -1,0 +1,56 @@
+// Importer for the paper's released preemption dataset
+// (github.com/kadupitiya/goog-preemption-data).
+//
+// The release is a set of CSV files of observed VM lifetimes. Column naming
+// in such research dumps is not standardised, so the importer is
+// header-driven and tolerant:
+//   * the machine type column may be named machine_type / vm_type /
+//     instance_type / type;
+//   * the zone column zone / region (optional — a file-level default can be
+//     supplied instead);
+//   * the lifetime column lifetime_hours / lifetime / time_to_preemption /
+//     lifetime_seconds / duration_seconds / lifetime_minutes ... — a "sec" or
+//     "min" fragment in the name selects the unit, otherwise hours;
+//   * optional launch_hour / launch_time and day_of_week columns;
+//   * rows naming unknown machine types or zones are skipped and counted
+//     (or rejected, per options).
+//
+// Everything lands in the same trace::Dataset the synthetic generator
+// produces, so the full analysis stack (ECDF, fits, policies, benches) runs
+// on real data unchanged.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/dataset.hpp"
+
+namespace preempt::trace {
+
+struct ImportOptions {
+  /// Zone to assume when the file has no zone column.
+  std::optional<Zone> default_zone;
+  /// VM type to assume when the file has no type column.
+  std::optional<VmType> default_type;
+  /// Reject the whole file on the first unparseable row instead of skipping.
+  bool strict = false;
+  /// Drop rows with non-positive or non-finite lifetimes (always counted).
+  double max_lifetime_hours = 48.0;  ///< sanity cap; beyond it the row is junk
+};
+
+struct ImportReport {
+  Dataset dataset;
+  std::size_t imported = 0;
+  std::size_t skipped = 0;
+  std::vector<std::string> warnings;  ///< one entry per skip reason (deduplicated)
+};
+
+/// Import from CSV text. Throws IoError when the text is not CSV, has no
+/// usable lifetime column, or (strict mode) any row is bad.
+ImportReport import_public_csv(const std::string& text, const ImportOptions& options = {});
+
+/// Convenience: read a file and import it.
+ImportReport load_public_csv(const std::string& path, const ImportOptions& options = {});
+
+}  // namespace preempt::trace

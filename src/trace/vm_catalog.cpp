@@ -1,0 +1,93 @@
+#include "trace/vm_catalog.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace preempt::trace {
+
+namespace {
+// 2019 list prices, us-central1 (USD/hour). The preemptible discount is the
+// flat ~79% Google applied to the n1 family.
+constexpr int kTypeCount = 5;
+const std::array<VmSpec, kTypeCount>& specs() {
+  static const std::array<VmSpec, kTypeCount> kSpecs = {{
+      {VmType::kN1Highcpu2, "n1-highcpu-2", 2, 1.80, 0.0709, 0.0150},
+      {VmType::kN1Highcpu4, "n1-highcpu-4", 4, 3.60, 0.1418, 0.0300},
+      {VmType::kN1Highcpu8, "n1-highcpu-8", 8, 7.20, 0.2836, 0.0600},
+      {VmType::kN1Highcpu16, "n1-highcpu-16", 16, 14.40, 0.5672, 0.1200},
+      {VmType::kN1Highcpu32, "n1-highcpu-32", 32, 28.80, 1.1344, 0.2400},
+  }};
+  return kSpecs;
+}
+
+const std::array<Zone, 4>& zones() {
+  static const std::array<Zone, 4> kZones = {Zone::kUsCentral1C, Zone::kUsCentral1F,
+                                             Zone::kUsWest1A, Zone::kUsEast1B};
+  return kZones;
+}
+}  // namespace
+
+std::span<const VmSpec> all_vm_specs() { return specs(); }
+
+const VmSpec& vm_spec(VmType type) {
+  for (const VmSpec& s : specs()) {
+    if (s.type == type) return s;
+  }
+  throw InvalidArgument("unknown VM type");
+}
+
+std::span<const Zone> all_zones() { return zones(); }
+
+std::string to_string(VmType type) { return vm_spec(type).name; }
+
+std::string to_string(Zone zone) {
+  switch (zone) {
+    case Zone::kUsCentral1C: return "us-central1-c";
+    case Zone::kUsCentral1F: return "us-central1-f";
+    case Zone::kUsWest1A: return "us-west1-a";
+    case Zone::kUsEast1B: return "us-east1-b";
+  }
+  throw InvalidArgument("unknown zone");
+}
+
+std::string to_string(DayPeriod period) {
+  return period == DayPeriod::kDay ? "day" : "night";
+}
+
+std::string to_string(WorkloadKind workload) {
+  return workload == WorkloadKind::kIdle ? "idle" : "batch";
+}
+
+std::optional<VmType> vm_type_from_string(const std::string& name) {
+  for (const VmSpec& s : specs()) {
+    if (s.name == name) return s.type;
+  }
+  return std::nullopt;
+}
+
+std::optional<Zone> zone_from_string(const std::string& name) {
+  for (Zone z : zones()) {
+    if (to_string(z) == name) return z;
+  }
+  return std::nullopt;
+}
+
+std::optional<DayPeriod> day_period_from_string(const std::string& name) {
+  if (name == "day") return DayPeriod::kDay;
+  if (name == "night") return DayPeriod::kNight;
+  return std::nullopt;
+}
+
+std::optional<WorkloadKind> workload_from_string(const std::string& name) {
+  if (name == "idle") return WorkloadKind::kIdle;
+  if (name == "batch") return WorkloadKind::kBatch;
+  return std::nullopt;
+}
+
+DayPeriod day_period_of_hour(double hour) {
+  PREEMPT_REQUIRE(hour >= 0.0 && hour < 24.0, "hour must be in [0, 24)");
+  return (hour >= 8.0 && hour < 20.0) ? DayPeriod::kDay : DayPeriod::kNight;
+}
+
+}  // namespace preempt::trace

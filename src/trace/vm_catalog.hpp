@@ -1,0 +1,70 @@
+// Catalog of the VM types, zones and prices used in the paper's study.
+//
+// Types are the Google Cloud n1-highcpu family the paper measures
+// (Fig. 2a); prices are the published 2019 us-central1 rates, which give the
+// ~4.7x preemptible discount behind the paper's "5x cheaper" headline.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+namespace preempt::trace {
+
+/// VM types from the empirical study (number = vCPU count).
+enum class VmType {
+  kN1Highcpu2,
+  kN1Highcpu4,
+  kN1Highcpu8,
+  kN1Highcpu16,
+  kN1Highcpu32,
+};
+
+/// Geographic zones from the empirical study (Fig. 2c).
+enum class Zone {
+  kUsCentral1C,
+  kUsCentral1F,
+  kUsWest1A,
+  kUsEast1B,
+};
+
+/// Launch period relative to the VM's local time zone (Fig. 2b): day is
+/// 8 AM - 8 PM, night is the complement.
+enum class DayPeriod { kDay, kNight };
+
+/// Workload running inside the VM during the measurement (Fig. 2b).
+enum class WorkloadKind { kIdle, kBatch };
+
+/// Static description of a VM type.
+struct VmSpec {
+  VmType type;
+  std::string name;          ///< e.g. "n1-highcpu-16"
+  int vcpus;                 ///< CPU count
+  double memory_gb;          ///< RAM
+  double on_demand_per_hour; ///< conventional price, $/h
+  double preemptible_per_hour;  ///< transient price, $/h
+};
+
+/// All specs, ordered by size.
+std::span<const VmSpec> all_vm_specs();
+
+/// Spec lookup; throws InvalidArgument for unknown types.
+const VmSpec& vm_spec(VmType type);
+
+/// All zones in study order.
+std::span<const Zone> all_zones();
+
+// Name round-trips (throw InvalidArgument / return nullopt on junk).
+std::string to_string(VmType type);
+std::string to_string(Zone zone);
+std::string to_string(DayPeriod period);
+std::string to_string(WorkloadKind workload);
+std::optional<VmType> vm_type_from_string(const std::string& name);
+std::optional<Zone> zone_from_string(const std::string& name);
+std::optional<DayPeriod> day_period_from_string(const std::string& name);
+std::optional<WorkloadKind> workload_from_string(const std::string& name);
+
+/// Day period implied by a local launch hour in [0, 24).
+DayPeriod day_period_of_hour(double hour);
+
+}  // namespace preempt::trace

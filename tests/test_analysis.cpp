@@ -1,0 +1,73 @@
+#include "core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/random.hpp"
+#include "test_util.hpp"
+
+namespace preempt::core {
+namespace {
+
+using preempt::testing::reference_bathtub;
+
+std::vector<double> sample_lifetimes(int n, std::uint64_t seed = 404) {
+  const auto d = reference_bathtub();
+  Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) out.push_back(d.sample(rng));
+  return out;
+}
+
+TEST(CompareDistributions, FitsAllFourFamilies) {
+  const auto cmp = compare_distributions(sample_lifetimes(400));
+  ASSERT_EQ(cmp.fits.size(), 4u);
+  EXPECT_EQ(cmp.fits[0].distribution->name(), "bathtub");
+  EXPECT_EQ(cmp.fits[1].distribution->name(), "exponential");
+  EXPECT_EQ(cmp.fits[2].distribution->name(), "weibull");
+  EXPECT_EQ(cmp.fits[3].distribution->name(), "gompertz-makeham");
+}
+
+TEST(CompareDistributions, BathtubWinsOnConstrainedData) {
+  const auto cmp = compare_distributions(sample_lifetimes(400));
+  EXPECT_EQ(cmp.best().distribution->name(), "bathtub");
+}
+
+TEST(CompareDistributions, SummaryTableHasOneRowPerFamily) {
+  const auto cmp = compare_distributions(sample_lifetimes(200));
+  const Table t = cmp.summary_table();
+  EXPECT_EQ(t.row_count(), 4u);
+  std::ostringstream os;
+  os << t;
+  EXPECT_NE(os.str().find("bathtub"), std::string::npos);
+  EXPECT_NE(os.str().find("r2"), std::string::npos);
+}
+
+TEST(CompareDistributions, CdfTableCoversHorizon) {
+  const auto cmp = compare_distributions(sample_lifetimes(200));
+  const Table t = cmp.cdf_table(13);
+  EXPECT_EQ(t.row_count(), 13u);
+  EXPECT_EQ(t.header().size(), 2u + 4u);  // t, empirical + 4 fits
+}
+
+TEST(CompareDistributions, PdfTableMatchesHeaderWidth) {
+  const auto cmp = compare_distributions(sample_lifetimes(200));
+  const Table t = cmp.pdf_table(7);
+  EXPECT_EQ(t.row_count(), 7u);
+  for (const auto& row : t.rows()) EXPECT_EQ(row.size(), t.header().size());
+}
+
+TEST(PhaseReport, ReflectsBathtubAnatomy) {
+  const auto d = reference_bathtub();
+  const PhaseReport r = phase_report(d);
+  EXPECT_NEAR(r.infant_end_hours, 3.0, 1e-9);
+  EXPECT_GT(r.deadline_start_hours, 12.0);
+  EXPECT_LT(r.deadline_start_hours, 24.0);
+  // Infant hazard dominates stable hazard by orders of magnitude.
+  EXPECT_GT(r.infant_hazard_per_hour, 100.0 * r.stable_hazard_per_hour);
+}
+
+}  // namespace
+}  // namespace preempt::core

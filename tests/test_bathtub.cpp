@@ -1,0 +1,227 @@
+// Tests of the paper's constrained-preemption model (Eqs. 1-3), including the
+// quantitative anchors derived from the paper's figures (DESIGN.md Sec. 7).
+#include "dist/bathtub.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/integrate.hpp"
+#include "common/random.hpp"
+#include "test_util.hpp"
+
+namespace preempt::dist {
+namespace {
+
+using preempt::testing::reference_bathtub;
+using preempt::testing::reference_params;
+
+TEST(Bathtub, BoundaryConditionAtZero) {
+  const auto d = reference_bathtub();
+  // F(0) = A e^{-b/tau2} ~ 4e-14 — the paper's F(0) ≈ 0 boundary condition.
+  EXPECT_NEAR(d.cdf(0.0), 0.0, 1e-12);
+  EXPECT_GE(d.cdf(0.0), 0.0);
+}
+
+TEST(Bathtub, RawCdfMatchesEquationOne) {
+  const auto d = reference_bathtub();
+  const auto& p = d.params();
+  for (double t : {0.5, 3.0, 12.0, 22.0, 23.9}) {
+    const double expected =
+        p.scale * (1.0 - std::exp(-t / p.tau1) + std::exp((t - p.deadline) / p.tau2));
+    EXPECT_NEAR(d.raw_cdf(t), expected, 1e-14);
+  }
+}
+
+TEST(Bathtub, PdfMatchesEquationTwo) {
+  const auto d = reference_bathtub();
+  const auto& p = d.params();
+  for (double t : {0.5, 3.0, 12.0, 22.0}) {
+    const double expected = p.scale * (std::exp(-t / p.tau1) / p.tau1 +
+                                       std::exp((t - p.deadline) / p.tau2) / p.tau2);
+    EXPECT_NEAR(d.pdf(t), expected, 1e-14);
+  }
+}
+
+TEST(Bathtub, PdfIsDerivativeOfCdf) {
+  const auto d = reference_bathtub();
+  const double h = 1e-6;
+  for (double t : {0.3, 1.0, 5.0, 15.0, 22.0}) {
+    const double numeric = (d.raw_cdf(t + h) - d.raw_cdf(t - h)) / (2.0 * h);
+    EXPECT_NEAR(d.pdf(t), numeric, 1e-6);
+  }
+}
+
+TEST(Bathtub, CdfIsMonotoneNonDecreasing) {
+  const auto d = reference_bathtub();
+  double prev = -1.0;
+  for (int i = 0; i <= 480; ++i) {
+    const double f = d.cdf(i * 0.05);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(Bathtub, DeadlineAtomAccountsForMissingMass) {
+  const auto d = reference_bathtub();
+  // raw F(24) = 0.45 * (2 - e^{-24}) ≈ 0.9 -> atom ≈ 0.1.
+  EXPECT_NEAR(d.raw_cdf(24.0), 0.9, 1e-9);
+  EXPECT_NEAR(d.deadline_atom(), 0.1, 1e-9);
+  EXPECT_DOUBLE_EQ(d.cdf(24.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.cdf(25.0), 1.0);
+}
+
+TEST(Bathtub, ExpectedLifetimeEq3ClosedForm) {
+  const auto d = reference_bathtub();
+  // Hand-computed: -A(t+tau1)e^{-t/tau1} + A(t-tau2)e^{(t-b)/tau2} over [0,24]
+  // = 10.44 + 0.45 ≈ 10.89 h.
+  EXPECT_NEAR(d.expected_lifetime_eq3(), 10.89, 0.01);
+}
+
+TEST(Bathtub, Eq3MatchesNumericIntegralOfTf) {
+  const auto d = reference_bathtub();
+  const double numeric = integrate_gauss_composite(
+      [&d](double t) { return t * d.pdf(t); }, 0.0, 24.0, 192, 16);
+  EXPECT_NEAR(d.expected_lifetime_eq3(), numeric, 1e-8);
+}
+
+TEST(Bathtub, MeanIncludesAtom) {
+  const auto d = reference_bathtub();
+  EXPECT_NEAR(d.mean(), d.expected_lifetime_eq3() + 24.0 * d.deadline_atom(), 1e-9);
+}
+
+TEST(Bathtub, MeanMatchesSurvivalIntegral) {
+  const auto d = reference_bathtub();
+  const double via_survival = integrate_gauss_composite(
+      [&d](double t) { return d.survival(t); }, 0.0, 24.0, 192, 16);
+  EXPECT_NEAR(d.mean(), via_survival, 1e-6);
+}
+
+TEST(Bathtub, PartialExpectationIsAdditive) {
+  const auto d = reference_bathtub();
+  const double whole = d.partial_expectation(0.0, 24.0);
+  const double split = d.partial_expectation(0.0, 7.5) + d.partial_expectation(7.5, 24.0);
+  EXPECT_NEAR(whole, split, 1e-10);
+}
+
+TEST(Bathtub, PartialExpectationOutsideSupportIsZero) {
+  const auto d = reference_bathtub();
+  EXPECT_DOUBLE_EQ(d.partial_expectation(24.0, 30.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.partial_expectation(-5.0, 0.0), 0.0);
+}
+
+TEST(Bathtub, QuantileInvertsRawCdf) {
+  const auto d = reference_bathtub();
+  for (double p : {0.05, 0.2, 0.44, 0.6, 0.85}) {
+    EXPECT_NEAR(d.raw_cdf(d.quantile(p)), p, 1e-9);
+  }
+}
+
+TEST(Bathtub, QuantileAboveRawMassHitsHorizon) {
+  const auto d = reference_bathtub();
+  EXPECT_DOUBLE_EQ(d.quantile(0.95), 24.0);  // inside the atom
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 24.0);
+}
+
+TEST(Bathtub, HazardIsBathtubShaped) {
+  const auto d = reference_bathtub();
+  const double early = d.hazard(0.1);
+  const double mid = d.hazard(12.0);
+  const double late = d.hazard(23.0);
+  EXPECT_GT(early, 5.0 * mid);
+  EXPECT_GT(late, 5.0 * mid);
+}
+
+TEST(Bathtub, PhaseBoundariesAreOrdered) {
+  const auto d = reference_bathtub();
+  EXPECT_NEAR(d.infant_phase_end(), 3.0, 1e-12);  // 3 tau1
+  EXPECT_GT(d.deadline_phase_start(), d.infant_phase_end());
+  EXPECT_LT(d.deadline_phase_start(), 24.0);
+}
+
+TEST(Bathtub, SamplingMatchesCdf) {
+  const auto d = reference_bathtub();
+  Rng rng(4242);
+  constexpr int kN = 20000;
+  std::vector<double> samples;
+  samples.reserve(kN);
+  int at_deadline = 0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = d.sample(rng);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 24.0);
+    if (x == 24.0) ++at_deadline;
+    samples.push_back(x);
+  }
+  // Atom frequency ≈ 0.1.
+  EXPECT_NEAR(static_cast<double>(at_deadline) / kN, d.deadline_atom(), 0.01);
+  // KS distance between the sample ECDF and the model CDF over the
+  // continuous region (samples below the deadline atom).
+  std::sort(samples.begin(), samples.end());
+  double ks = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    if (samples[i] >= 24.0) break;
+    const double fr = d.raw_cdf(samples[i]);
+    ks = std::max(ks, std::abs(fr - static_cast<double>(i) / kN));
+  }
+  EXPECT_LT(ks, 0.02);
+}
+
+TEST(Bathtub, PaperAnchorSixHourFailureProbability) {
+  // Fig. 5: a 6 h job on a fresh VM fails with probability ≈ 0.4-0.45.
+  const auto d = reference_bathtub();
+  EXPECT_NEAR(d.cdf(6.0), 0.4489, 0.001);
+}
+
+TEST(Bathtub, LargerScaleMeansMorePreemptions) {
+  auto p16 = reference_params();
+  auto p32 = reference_params();
+  p32.scale = 0.50;
+  p32.tau1 = 0.7;
+  const BathtubDistribution d16(p16), d32(p32);
+  for (double t : {1.0, 6.0, 12.0, 20.0}) {
+    EXPECT_GT(d32.cdf(t), d16.cdf(t));
+  }
+}
+
+TEST(Bathtub, SaturatingParametersClampDensity) {
+  // A = 0.5 with slow tau1 keeps raw F(24) near 1; the clamped CDF must stay
+  // within [0, 1] and the density must vanish once saturated.
+  BathtubParams p;
+  p.scale = 0.5;
+  p.tau1 = 0.2;  // very fast infant phase: raw cdf approaches 1 near deadline
+  p.tau2 = 0.8;
+  p.deadline = 24.0;
+  p.horizon = 24.0;
+  const BathtubDistribution d(p);
+  for (double t : {0.0, 1.0, 12.0, 23.0, 23.99}) {
+    EXPECT_GE(d.cdf(t), 0.0);
+    EXPECT_LE(d.cdf(t), 1.0);
+  }
+}
+
+TEST(Bathtub, ValidatesParameters) {
+  BathtubParams p = reference_params();
+  p.scale = 0.0;
+  EXPECT_THROW(BathtubDistribution{p}, InvalidArgument);
+  p = reference_params();
+  p.tau1 = -1.0;
+  EXPECT_THROW(BathtubDistribution{p}, InvalidArgument);
+  p = reference_params();
+  p.scale = 1.5;
+  EXPECT_THROW(BathtubDistribution{p}, InvalidArgument);
+  p = reference_params();
+  p.horizon = 0.0;
+  EXPECT_THROW(BathtubDistribution{p}, InvalidArgument);
+}
+
+TEST(Bathtub, CloneIsDeepAndEquivalent) {
+  const auto d = reference_bathtub();
+  const auto c = d.clone();
+  EXPECT_EQ(c->name(), "bathtub");
+  for (double t : {1.0, 12.0, 23.0}) EXPECT_DOUBLE_EQ(c->cdf(t), d.cdf(t));
+}
+
+}  // namespace
+}  // namespace preempt::dist

@@ -1,0 +1,268 @@
+// Tests of the Sec. 4.3 checkpointing machinery: Young-Daly baseline, the
+// fixed-plan evaluator, and the DP scheduler (Eqs. 9-13), including
+// optimality against brute-force enumeration on small instances.
+#include "policy/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "dist/exponential.hpp"
+#include "dist/uniform.hpp"
+#include "test_util.hpp"
+
+namespace preempt::policy {
+namespace {
+
+using preempt::testing::reference_bathtub;
+
+constexpr double kMinute = 1.0 / 60.0;
+
+TEST(YoungDaly, IntervalFormula) {
+  // tau = sqrt(2 * delta * MTTF); delta = 1 min, MTTF = 1 h -> ~10.95 min.
+  const double tau = young_daly_interval(1.0, kMinute);
+  EXPECT_NEAR(tau, std::sqrt(2.0 / 60.0), 1e-12);
+  EXPECT_NEAR(tau * 60.0, 10.95, 0.01);
+}
+
+TEST(YoungDaly, PlanCoversJobExactly) {
+  const CheckpointPlan plan = young_daly_plan(4.0, 1.0, kMinute);
+  double total = 0.0;
+  for (double w : plan.work_segments_hours) total += w;
+  EXPECT_NEAR(total, 4.0, 1e-9);
+  // All but the last segment equal the YD interval.
+  const double tau = young_daly_interval(1.0, kMinute);
+  for (std::size_t i = 0; i + 1 < plan.work_segments_hours.size(); ++i) {
+    EXPECT_NEAR(plan.work_segments_hours[i], tau, 1e-12);
+  }
+  EXPECT_EQ(plan.checkpoint_count(), plan.work_segments_hours.size() - 1);
+}
+
+TEST(YoungDaly, ShortJobGetsSingleSegment) {
+  const CheckpointPlan plan = young_daly_plan(0.05, 1.0, kMinute);
+  EXPECT_EQ(plan.work_segments_hours.size(), 1u);
+}
+
+TEST(NoCheckpointPlan, SingleSegment) {
+  const CheckpointPlan plan = no_checkpoint_plan(3.0, kMinute);
+  ASSERT_EQ(plan.work_segments_hours.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.job_hours(), 3.0);
+  EXPECT_EQ(plan.checkpoint_count(), 0u);
+}
+
+TEST(EvaluatePlan, UniformNoCheckpointClosedForm) {
+  // Under Uniform(24) with FreshVm restarts and conditional lost work, a
+  // single D-hour segment satisfies M = D + q D / (2p) with q = D/L:
+  // D = 6 -> M = 7.
+  const dist::UniformLifetime u(24.0);
+  CheckpointConfig cfg;
+  cfg.restart = RestartModel::kFreshVm;
+  cfg.step_hours = kMinute;
+  const double m = evaluate_plan(u, no_checkpoint_plan(6.0, kMinute), 0.0, cfg);
+  EXPECT_NEAR(m, 7.0, 0.01);
+}
+
+TEST(EvaluatePlan, LongerJobsCostSuperlinearlyWithoutCheckpoints) {
+  const dist::UniformLifetime u(24.0);
+  CheckpointConfig cfg;
+  cfg.restart = RestartModel::kFreshVm;
+  const double m6 = evaluate_plan(u, no_checkpoint_plan(6.0, kMinute), 0.0, cfg);
+  const double m12 = evaluate_plan(u, no_checkpoint_plan(12.0, kMinute), 0.0, cfg);
+  EXPECT_GT(m12, 2.0 * m6);
+}
+
+TEST(EvaluatePlan, CheckpointingHelpsLongJobsUnderBathtub) {
+  const auto d = reference_bathtub();
+  CheckpointConfig cfg;
+  cfg.restart = RestartModel::kFreshVm;
+  const double none = evaluate_plan(d, no_checkpoint_plan(6.0, kMinute), 0.0, cfg);
+  const double yd = evaluate_plan(d, young_daly_plan(6.0, 1.0, kMinute), 0.0, cfg);
+  EXPECT_LT(yd, none);
+}
+
+TEST(EvaluatePlan, StartAgeMatters) {
+  const auto d = reference_bathtub();
+  CheckpointConfig cfg;
+  cfg.restart = RestartModel::kFreshVm;
+  const CheckpointPlan plan = young_daly_plan(2.0, 1.0, kMinute);
+  const double stable = evaluate_plan(d, plan, 8.0, cfg);
+  const double fresh = evaluate_plan(d, plan, 0.0, cfg);
+  EXPECT_LT(stable, fresh);  // stable-phase starts see fewer failures
+}
+
+TEST(CheckpointDp, ScheduleSumsToJobLength) {
+  const auto d = reference_bathtub();
+  CheckpointConfig cfg;
+  const CheckpointDp dp(d, 5.0, cfg);
+  const auto schedule = dp.schedule(0.0);
+  const double total = std::accumulate(schedule.begin(), schedule.end(), 0.0);
+  EXPECT_NEAR(total, 5.0, 1e-9);
+  EXPECT_GE(schedule.size(), 2u);  // a 5 h job on a fresh VM must checkpoint
+}
+
+TEST(CheckpointDp, IntervalsGrowOutOfTheInfantPhase) {
+  // Sec. 4.3: "(15, 28, 38, 59, 128) minutes" — intervals grow as the VM
+  // leaves the infant phase. Require monotone growth of the first few
+  // intervals and a clearly larger final interval.
+  const auto d = reference_bathtub();
+  const CheckpointDp dp(d, 5.0, {});
+  const auto schedule = dp.schedule(0.0);
+  ASSERT_GE(schedule.size(), 3u);
+  EXPECT_LT(schedule.front(), schedule.back());
+  for (std::size_t i = 0; i + 1 < std::min<std::size_t>(schedule.size(), 4); ++i) {
+    EXPECT_LE(schedule[i], schedule[i + 1] + 1e-9) << "interval " << i;
+  }
+  // First checkpoint lands early (paper: 15 min) — allow a broad band.
+  EXPECT_LT(schedule.front(), 1.0);
+  EXPECT_GT(schedule.front(), 2.0 * kMinute);
+}
+
+TEST(CheckpointDp, ExpectedMakespanAtLeastJobLength) {
+  const auto d = reference_bathtub();
+  const CheckpointDp dp(d, 3.0, {});
+  for (double age : {0.0, 6.0, 12.0, 18.0}) {
+    EXPECT_GE(dp.expected_makespan(age), 3.0 - 1e-9) << "age=" << age;
+  }
+}
+
+TEST(CheckpointDp, StablePhaseStartIsCheapest) {
+  // Fig. 8a: the expected increase is bathtub-shaped in the start age, lowest
+  // mid-life.
+  const auto d = reference_bathtub();
+  const CheckpointDp dp(d, 4.0, {});
+  const double at0 = dp.expected_increase_fraction(0.0);
+  const double at8 = dp.expected_increase_fraction(8.0);
+  const double at16 = dp.expected_increase_fraction(16.0);
+  EXPECT_LT(at8, at0);
+  EXPECT_LT(at8, at16);
+  EXPECT_LT(at8, 0.05);  // "around 1%" mid-life; allow < 5%
+}
+
+TEST(CheckpointDp, BeatsYoungDalyUnderBathtub) {
+  // Fig. 8a/8b: the DP schedule's expected increase stays below Young-Daly
+  // with MTTF = 1 h across start ages.
+  const auto d = reference_bathtub();
+  CheckpointConfig cfg;
+  const CheckpointDp dp(d, 4.0, cfg);
+  const CheckpointPlan yd = young_daly_plan(4.0, 1.0, kMinute);
+  for (double age : {0.0, 4.0, 8.0, 12.0}) {
+    const double ours = dp.expected_makespan(age);
+    const double theirs = evaluate_plan(d, yd, age, cfg);
+    EXPECT_LE(ours, theirs + 1e-6) << "age=" << age;
+  }
+}
+
+TEST(CheckpointDp, BeatsNoCheckpointing) {
+  const auto d = reference_bathtub();
+  CheckpointConfig cfg;
+  const CheckpointDp dp(d, 6.0, cfg);
+  const double none = evaluate_plan(d, no_checkpoint_plan(6.0, kMinute), 0.0, cfg);
+  EXPECT_LT(dp.expected_makespan(0.0), none);
+}
+
+TEST(CheckpointDp, OptimalVersusBruteForceEnumeration) {
+  // Small instance: J = 6 steps of 30 min under Uniform(24), delta = 1 step.
+  // Enumerate all 2^5 static checkpoint placements and compare.
+  const dist::UniformLifetime u(24.0);
+  CheckpointConfig cfg;
+  cfg.step_hours = 0.5;
+  cfg.checkpoint_cost_hours = 0.5;
+  cfg.restart = RestartModel::kFreshVm;
+  const CheckpointDp dp(u, 3.0, cfg);
+
+  double best = std::numeric_limits<double>::infinity();
+  for (int mask = 0; mask < 32; ++mask) {
+    CheckpointPlan plan;
+    plan.checkpoint_cost_hours = 0.5;
+    double run = 0.0;
+    for (int step = 0; step < 6; ++step) {
+      run += 0.5;
+      const bool boundary_here = step < 5 && (mask & (1 << step));
+      if (boundary_here) {
+        plan.work_segments_hours.push_back(run);
+        run = 0.0;
+      }
+    }
+    if (run > 0.0) plan.work_segments_hours.push_back(run);
+    best = std::min(best, evaluate_plan(u, plan, 0.0, cfg));
+  }
+  // The adaptive DP can only do at least as well as the best static plan.
+  EXPECT_LE(dp.expected_makespan(0.0), best + 1e-6);
+  // And it must not be wildly better (same semantics, small instance).
+  EXPECT_GT(dp.expected_makespan(0.0), 0.9 * best);
+}
+
+TEST(CheckpointDp, PartialJobsAreConsistent) {
+  const auto d = reference_bathtub();
+  const CheckpointDp dp(d, 4.0, {});
+  const double full = dp.expected_makespan_partial(4.0, 0.0);
+  const double half = dp.expected_makespan_partial(2.0, 0.0);
+  EXPECT_NEAR(full, dp.expected_makespan(0.0), 1e-12);
+  EXPECT_LT(half, full);
+  const auto partial_schedule = dp.schedule_partial(2.0, 8.0);
+  const double total = std::accumulate(partial_schedule.begin(), partial_schedule.end(), 0.0);
+  EXPECT_NEAR(total, 2.0, 1e-9);
+}
+
+TEST(CheckpointDp, PaperLostWorkFormAlsoWorks) {
+  const auto d = reference_bathtub();
+  CheckpointConfig cfg;
+  cfg.lost_work = LostWorkForm::kPaper;
+  const CheckpointDp dp(d, 2.0, cfg);
+  EXPECT_GE(dp.expected_makespan(0.0), 2.0);
+  EXPECT_LT(dp.expected_makespan(0.0), 4.0);
+}
+
+TEST(CheckpointDp, FreshVmRestartModel) {
+  const auto d = reference_bathtub();
+  CheckpointConfig cfg;
+  cfg.restart = RestartModel::kFreshVm;
+  const CheckpointDp dp(d, 3.0, cfg);
+  EXPECT_GE(dp.expected_makespan(0.0), 3.0);
+  const auto schedule = dp.schedule(0.0);
+  EXPECT_NEAR(std::accumulate(schedule.begin(), schedule.end(), 0.0), 3.0, 1e-9);
+}
+
+TEST(CheckpointDp, RestartOverheadIncreasesMakespan) {
+  // Restart overhead is charged on the fresh-VM path, so exercise kFreshVm
+  // (under kContinueAge a short job from age 0 almost never reaches it).
+  const auto d = reference_bathtub();
+  CheckpointConfig cheap;
+  cheap.restart = RestartModel::kFreshVm;
+  CheckpointConfig pricey = cheap;
+  pricey.restart_overhead_hours = 0.25;
+  const CheckpointDp dp_cheap(d, 2.0, cheap);
+  const CheckpointDp dp_pricey(d, 2.0, pricey);
+  EXPECT_LT(dp_cheap.expected_makespan(0.0), dp_pricey.expected_makespan(0.0));
+}
+
+TEST(CheckpointDp, HigherCheckpointCostMeansFewerCheckpoints) {
+  const auto d = reference_bathtub();
+  CheckpointConfig cheap;
+  cheap.checkpoint_cost_hours = 0.5 * kMinute;
+  CheckpointConfig pricey;
+  pricey.checkpoint_cost_hours = 10.0 * kMinute;
+  const CheckpointDp dp_cheap(d, 4.0, cheap);
+  const CheckpointDp dp_pricey(d, 4.0, pricey);
+  EXPECT_GE(dp_cheap.schedule(0.0).size(), dp_pricey.schedule(0.0).size());
+}
+
+TEST(CheckpointDp, RequiresFiniteSupportDistribution) {
+  const dist::Exponential e(0.5);
+  EXPECT_THROW(CheckpointDp(e, 2.0, {}), InvalidArgument);
+}
+
+TEST(CheckpointDp, ValidatesConfigAndArguments) {
+  const auto d = reference_bathtub();
+  CheckpointConfig bad;
+  bad.step_hours = 0.0;
+  EXPECT_THROW(CheckpointDp(d, 2.0, bad), InvalidArgument);
+  EXPECT_THROW(CheckpointDp(d, 0.0, {}), InvalidArgument);
+  const CheckpointDp dp(d, 2.0, {});
+  EXPECT_THROW(dp.expected_makespan_partial(3.0, 0.0), InvalidArgument);  // > table
+}
+
+}  // namespace
+}  // namespace preempt::policy

@@ -1,0 +1,177 @@
+// End-to-end tests of the `preempt` tool commands, driven through the same
+// run_cli() entry point the binary uses (stdout/stderr captured).
+#include "cli/commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace preempt::cli {
+namespace {
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult run(const Args& args) {
+  std::ostringstream out, err;
+  const int code = run_cli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+/// Temp file that cleans up after itself.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name) : path_("/tmp/preempt_cli_test_" + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(CliDispatch, HelpAndUnknownCommands) {
+  EXPECT_EQ(run({"help"}).code, 0);
+  EXPECT_NE(run({"help"}).out.find("commands:"), std::string::npos);
+  EXPECT_EQ(run({}).code, 2);
+  const auto unknown = run({"frobnicate"});
+  EXPECT_EQ(unknown.code, 2);
+  EXPECT_NE(unknown.err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliDispatch, LibraryErrorsBecomeExitCodeOne) {
+  const auto r = run({"fit", "--input", "/tmp/definitely_missing_file.csv"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_FALSE(r.err.empty());
+}
+
+TEST(CliDispatch, BadFlagValueIsReported) {
+  const auto r = run({"generate", "--count", "many"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--count"), std::string::npos);
+}
+
+TEST(CliGenerate, EmitsParsableCsv) {
+  const auto r = run({"generate", "--count", "50", "--seed", "5"});
+  EXPECT_EQ(r.code, 0);
+  // Header + 50 rows.
+  EXPECT_EQ(static_cast<int>(std::count(r.out.begin(), r.out.end(), '\n')), 51);
+  EXPECT_NE(r.out.find("lifetime_hours"), std::string::npos);
+}
+
+TEST(CliGenerate, WritesToFile) {
+  TempFile file("gen.csv");
+  const auto r = run({"generate", "--count", "30", "--out", file.path()});
+  EXPECT_EQ(r.code, 0);
+  std::ifstream in(file.path());
+  ASSERT_TRUE(in.good());
+  EXPECT_NE(r.err.find("30 records"), std::string::npos);
+}
+
+TEST(CliGenerate, HelpPrintsUsage) {
+  const auto r = run({"generate", "--help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("--count"), std::string::npos);
+}
+
+TEST(CliFitPipeline, GenerateThenFitFindsBathtub) {
+  TempFile file("fit.csv");
+  ASSERT_EQ(run({"generate", "--count", "200", "--seed", "11", "--out", file.path()}).code, 0);
+  const auto r = run({"fit", "--input", file.path()});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("best fit: bathtub"), std::string::npos);
+}
+
+TEST(CliFit, BootstrapIntervalsBracketTheEstimate) {
+  const auto r = run({"fit", "--count", "120", "--seed", "3", "--bootstrap", "30"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("bootstrap 95% CIs"), std::string::npos);
+  EXPECT_NE(r.out.find("tau1"), std::string::npos);
+}
+
+TEST(CliFit, ExtendedAndMleOptions) {
+  const auto r = run({"fit", "--count", "150", "--seed", "3", "--extended", "--mle"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("exponentiated_weibull"), std::string::npos);
+  EXPECT_NE(r.out.find("censored bathtub MLE"), std::string::npos);
+}
+
+TEST(CliFit, FiltersByTypeWhenRequested) {
+  TempFile file("mixed.csv");
+  ASSERT_EQ(run({"generate", "--study", "--out", file.path()}).code, 0);
+  const auto r = run({"fit", "--input", file.path(), "--type", "n1-highcpu-32", "--zone",
+                      "us-central1-c"});
+  EXPECT_EQ(r.code, 0);
+}
+
+TEST(CliLifetime, TableCoversAllTypes) {
+  const auto r = run({"lifetime"});
+  EXPECT_EQ(r.code, 0);
+  for (const char* type : {"n1-highcpu-2", "n1-highcpu-4", "n1-highcpu-8", "n1-highcpu-16",
+                           "n1-highcpu-32"}) {
+    EXPECT_NE(r.out.find(type), std::string::npos) << type;
+  }
+}
+
+TEST(CliLifetime, RejectsUnknownZone) {
+  const auto r = run({"lifetime", "--zone", "mars-central-1"});
+  EXPECT_EQ(r.code, 1);
+}
+
+TEST(CliSchedule, LateJobGetsFreshVm) {
+  const auto r = run({"schedule", "--age", "20", "--job", "6", "--count", "300", "--seed", "5"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("LAUNCH A FRESH VM"), std::string::npos);
+}
+
+TEST(CliSchedule, MidLifeJobReusesVm) {
+  const auto r = run({"schedule", "--age", "8", "--job", "4", "--count", "300", "--seed", "5"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("REUSE"), std::string::npos);
+}
+
+TEST(CliCheckpoint, ScheduleGrowsAndBeatsYoungDaly) {
+  const auto r =
+      run({"checkpoint", "--job", "4", "--delta-min", "1", "--count", "300", "--seed", "5"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("expected increase (DP)"), std::string::npos);
+  EXPECT_NE(r.out.find("Young-Daly"), std::string::npos);
+}
+
+TEST(CliSimulate, CompletesBagAndReportsCost) {
+  const auto r = run({"simulate", "--app", "shapes", "--jobs", "30", "--vms", "8", "--seed",
+                      "7"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("jobs completed"), std::string::npos);
+  EXPECT_NE(r.out.find("cost reduction"), std::string::npos);
+}
+
+TEST(CliSimulate, RejectsUnknownWorkloadAndPolicy) {
+  EXPECT_EQ(run({"simulate", "--app", "doom"}).code, 1);
+  EXPECT_EQ(run({"simulate", "--policy", "vibes"}).code, 1);
+}
+
+TEST(CliDrift, CleanStreamExitsZero) {
+  const auto r = run({"drift", "--count", "400", "--baseline", "150", "--seed", "21"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("no drift detected"), std::string::npos);
+}
+
+TEST(CliDrift, InjectedDriftIsDetected) {
+  const auto r =
+      run({"drift", "--count", "500", "--baseline", "150", "--seed", "21", "--inject-drift"});
+  EXPECT_EQ(r.code, 3);
+  EXPECT_NE(r.out.find("ALARM"), std::string::npos);
+}
+
+TEST(CliDrift, RefusesTinyStreams) {
+  const auto r = run({"drift", "--count", "100", "--baseline", "150"});
+  EXPECT_EQ(r.code, 1);
+}
+
+}  // namespace
+}  // namespace preempt::cli

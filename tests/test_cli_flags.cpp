@@ -1,0 +1,127 @@
+// FlagSet parser: declaration, parsing forms, typed access, failure modes.
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace preempt {
+namespace {
+
+FlagSet make_flags() {
+  FlagSet flags("test");
+  flags.add_string("name", "default", "a string flag");
+  flags.add_double("rate", 0.5, "a double flag");
+  flags.add_int("count", 10, "an int flag");
+  flags.add_bool("verbose", "a boolean flag");
+  return flags;
+}
+
+TEST(FlagSet, DefaultsApplyWhenUnset) {
+  auto flags = make_flags();
+  flags.parse({});
+  EXPECT_EQ(flags.get_string("name"), "default");
+  EXPECT_DOUBLE_EQ(flags.get_double("rate"), 0.5);
+  EXPECT_EQ(flags.get_int("count"), 10);
+  EXPECT_FALSE(flags.get_bool("verbose"));
+  EXPECT_FALSE(flags.is_set("name"));
+}
+
+TEST(FlagSet, ParsesSpaceSeparatedValues) {
+  auto flags = make_flags();
+  flags.parse({"--name", "abc", "--rate", "2.25", "--count", "-3"});
+  EXPECT_EQ(flags.get_string("name"), "abc");
+  EXPECT_DOUBLE_EQ(flags.get_double("rate"), 2.25);
+  EXPECT_EQ(flags.get_int("count"), -3);
+  EXPECT_TRUE(flags.is_set("name"));
+}
+
+TEST(FlagSet, ParsesEqualsForm) {
+  auto flags = make_flags();
+  flags.parse({"--name=xyz", "--rate=1e-3", "--verbose=true"});
+  EXPECT_EQ(flags.get_string("name"), "xyz");
+  EXPECT_DOUBLE_EQ(flags.get_double("rate"), 1e-3);
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(FlagSet, BareBooleanIsTrue) {
+  auto flags = make_flags();
+  flags.parse({"--verbose"});
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(FlagSet, CollectsPositionals) {
+  auto flags = make_flags();
+  flags.parse({"input.csv", "--count", "5", "more.csv"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.csv");
+  EXPECT_EQ(flags.positional()[1], "more.csv");
+}
+
+TEST(FlagSet, RejectsUnknownFlag) {
+  auto flags = make_flags();
+  EXPECT_THROW(flags.parse({"--bogus", "1"}), InvalidArgument);
+}
+
+TEST(FlagSet, RejectsMissingValue) {
+  auto flags = make_flags();
+  EXPECT_THROW(flags.parse({"--name"}), InvalidArgument);
+}
+
+TEST(FlagSet, RejectsTypeErrorsEagerly) {
+  {
+    auto flags = make_flags();
+    EXPECT_THROW(flags.parse({"--rate", "not-a-number"}), InvalidArgument);
+  }
+  {
+    auto flags = make_flags();
+    EXPECT_THROW(flags.parse({"--count", "1.5x"}), InvalidArgument);
+  }
+  {
+    auto flags = make_flags();
+    EXPECT_THROW(flags.parse({"--verbose=banana"}), InvalidArgument);
+  }
+}
+
+TEST(FlagSet, RequiredFlagEnforced) {
+  FlagSet flags("test");
+  flags.add_required("input", "mandatory input file");
+  EXPECT_THROW(flags.parse({}), InvalidArgument);
+  FlagSet flags2("test");
+  flags2.add_required("input", "mandatory input file");
+  flags2.parse({"--input", "file.csv"});
+  EXPECT_EQ(flags2.get_string("input"), "file.csv");
+}
+
+TEST(FlagSet, RejectsDuplicateDeclaration) {
+  FlagSet flags("test");
+  flags.add_string("x", "", "first");
+  EXPECT_THROW(flags.add_int("x", 1, "second"), InvalidArgument);
+}
+
+TEST(FlagSet, QueryingUndeclaredFlagThrows) {
+  auto flags = make_flags();
+  flags.parse({});
+  EXPECT_THROW(flags.get_string("nope"), InvalidArgument);
+}
+
+TEST(FlagSet, UsageListsFlagsInDeclarationOrder) {
+  const auto flags = make_flags();
+  const std::string usage = flags.usage();
+  const auto p_name = usage.find("--name");
+  const auto p_rate = usage.find("--rate");
+  const auto p_verbose = usage.find("--verbose");
+  EXPECT_NE(p_name, std::string::npos);
+  EXPECT_LT(p_name, p_rate);
+  EXPECT_LT(p_rate, p_verbose);
+  EXPECT_NE(usage.find("default: 10"), std::string::npos);
+}
+
+TEST(FlagSet, LastValueWins) {
+  auto flags = make_flags();
+  flags.parse({"--count", "1", "--count", "2"});
+  EXPECT_EQ(flags.get_int("count"), 2);
+}
+
+}  // namespace
+}  // namespace preempt

@@ -1,0 +1,120 @@
+#include "sim/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace preempt::sim {
+namespace {
+
+VmInstance make_vm(std::uint64_t id, double launch = 0.0) {
+  VmInstance vm;
+  vm.id = id;
+  vm.launch_time = launch;
+  vm.preempt_time = launch + 24.0;
+  return vm;
+}
+
+TEST(Cluster, RegisterMakesNodeIdle) {
+  ClusterManager c;
+  c.register_node(make_vm(1));
+  EXPECT_EQ(c.node(1).state, VmState::kIdle);
+  EXPECT_EQ(c.alive_count(), 1u);
+  EXPECT_EQ(c.busy_count(), 0u);
+}
+
+TEST(Cluster, IdleNodesSortedByLaunchTime) {
+  ClusterManager c;
+  c.register_node(make_vm(1, 5.0));
+  c.register_node(make_vm(2, 1.0));
+  c.register_node(make_vm(3, 3.0));
+  const auto idle = c.idle_nodes();
+  ASSERT_EQ(idle.size(), 3u);
+  EXPECT_EQ(idle[0], 2u);
+  EXPECT_EQ(idle[1], 3u);
+  EXPECT_EQ(idle[2], 1u);
+}
+
+TEST(Cluster, AssignAndRelease) {
+  ClusterManager c;
+  c.register_node(make_vm(1));
+  c.register_node(make_vm(2));
+  c.assign({1, 2}, 77);
+  EXPECT_EQ(c.node(1).state, VmState::kBusy);
+  EXPECT_EQ(c.node(1).running_job, 77u);
+  EXPECT_EQ(c.busy_count(), 2u);
+  EXPECT_TRUE(c.idle_nodes().empty());
+  c.release({1, 2}, 4.5);
+  EXPECT_EQ(c.node(1).state, VmState::kIdle);
+  EXPECT_DOUBLE_EQ(c.node(1).idle_since, 4.5);
+  EXPECT_EQ(c.node(2).running_job, 0u);
+}
+
+TEST(Cluster, AssignRequiresIdleNodes) {
+  ClusterManager c;
+  c.register_node(make_vm(1));
+  c.assign({1}, 5);
+  EXPECT_THROW(c.assign({1}, 6), Error);
+}
+
+TEST(Cluster, PreemptionReturnsRunningJob) {
+  ClusterManager c;
+  c.register_node(make_vm(1));
+  c.assign({1}, 42);
+  const std::uint64_t job = c.mark_preempted(1, 3.0);
+  EXPECT_EQ(job, 42u);
+  EXPECT_EQ(c.node(1).state, VmState::kPreempted);
+  EXPECT_DOUBLE_EQ(c.node(1).stop_time, 3.0);
+  EXPECT_EQ(c.alive_count(), 0u);
+}
+
+TEST(Cluster, PreemptingIdleNodeReturnsZero) {
+  ClusterManager c;
+  c.register_node(make_vm(1));
+  EXPECT_EQ(c.mark_preempted(1, 2.0), 0u);
+}
+
+TEST(Cluster, TerminationOnlyFromIdle) {
+  ClusterManager c;
+  c.register_node(make_vm(1));
+  c.assign({1}, 9);
+  EXPECT_THROW(c.mark_terminated(1, 1.0), Error);
+  c.release({1}, 1.0);
+  c.mark_terminated(1, 2.0);
+  EXPECT_EQ(c.node(1).state, VmState::kTerminated);
+}
+
+TEST(Cluster, ReleaseSkipsDeadNodes) {
+  ClusterManager c;
+  c.register_node(make_vm(1));
+  c.register_node(make_vm(2));
+  c.assign({1, 2}, 8);
+  c.mark_preempted(1, 1.0);
+  c.release({1, 2}, 1.0);  // must not throw on the preempted node
+  EXPECT_EQ(c.node(1).state, VmState::kPreempted);
+  EXPECT_EQ(c.node(2).state, VmState::kIdle);
+}
+
+TEST(Cluster, BilledHoursStopAtTermination) {
+  ClusterManager c;
+  VmInstance vm = make_vm(1, 2.0);
+  c.register_node(vm);
+  c.mark_terminated(1, 10.0);
+  EXPECT_DOUBLE_EQ(c.node(1).billed_hours(50.0), 8.0);
+}
+
+TEST(Cluster, UnknownIdsThrow) {
+  ClusterManager c;
+  EXPECT_THROW(c.node(99), SimError);
+  EXPECT_FALSE(c.has_node(99));
+  EXPECT_THROW(c.mark_preempted(99, 0.0), SimError);
+}
+
+TEST(Cluster, DuplicateRegistrationThrows) {
+  ClusterManager c;
+  c.register_node(make_vm(1));
+  EXPECT_THROW(c.register_node(make_vm(1)), Error);
+}
+
+}  // namespace
+}  // namespace preempt::sim

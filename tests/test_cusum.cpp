@@ -1,0 +1,168 @@
+// Sequential CUSUM change-point detection on PIT residuals.
+#include "core/cusum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "dist/bathtub.hpp"
+#include "dist/exponential.hpp"
+#include "test_util.hpp"
+
+namespace preempt::core {
+namespace {
+
+using Side = CusumDetector::AlarmSide;
+
+TEST(Cusum, NoAlarmUnderBaseline) {
+  const auto baseline = preempt::testing::reference_bathtub();
+  CusumDetector detector(baseline);
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const auto s = detector.observe(baseline.sample(rng));
+    ASSERT_FALSE(s.alarm) << "false alarm at sample " << i;
+  }
+  EXPECT_EQ(detector.status().samples, 2000u);
+  EXPECT_EQ(detector.status().side, Side::kNone);
+}
+
+TEST(Cusum, DetectsShorterLifetimes) {
+  // Provider policy change: infant mortality doubles (tau1 halves) and the
+  // plateau rises. Lifetimes get stochastically shorter.
+  const auto baseline = preempt::testing::reference_bathtub();
+  auto shifted_params = preempt::testing::reference_params();
+  shifted_params.tau1 = 0.5;
+  shifted_params.scale = 0.6;
+  const dist::BathtubDistribution shifted(shifted_params);
+
+  CusumDetector detector(baseline);
+  Rng rng(7);
+  int alarm_at = -1;
+  for (int i = 0; i < 500; ++i) {
+    const auto s = detector.observe(shifted.sample(rng));
+    if (s.alarm) {
+      alarm_at = i;
+      break;
+    }
+  }
+  ASSERT_GE(alarm_at, 0) << "no alarm after 500 shifted samples";
+  EXPECT_LT(alarm_at, 200);  // should fire well before a KS window would fill
+  EXPECT_EQ(detector.status().side, Side::kShorterLifetimes);
+}
+
+TEST(Cusum, DetectsLongerLifetimes) {
+  // Demand drop: preemptions get rarer (plateau falls).
+  const auto baseline = preempt::testing::reference_bathtub();
+  auto shifted_params = preempt::testing::reference_params();
+  shifted_params.scale = 0.2;
+  const dist::BathtubDistribution shifted(shifted_params);
+
+  CusumDetector detector(baseline);
+  Rng rng(11);
+  int alarm_at = -1;
+  for (int i = 0; i < 500; ++i) {
+    if (detector.observe(shifted.sample(rng)).alarm) {
+      alarm_at = i;
+      break;
+    }
+  }
+  ASSERT_GE(alarm_at, 0);
+  EXPECT_EQ(detector.status().side, Side::kLongerLifetimes);
+}
+
+TEST(Cusum, AlarmLatches) {
+  const auto baseline = preempt::testing::reference_bathtub();
+  CusumDetector detector(baseline);
+  // Hammer with zero lifetimes until alarm.
+  while (!detector.observe(0.01).alarm) {
+  }
+  // Feeding normal data afterwards must not clear the alarm.
+  Rng rng(13);
+  const auto s = detector.observe(baseline.sample(rng));
+  EXPECT_TRUE(s.alarm);
+}
+
+TEST(Cusum, ResetClearsState) {
+  const auto baseline = preempt::testing::reference_bathtub();
+  CusumDetector detector(baseline);
+  while (!detector.observe(0.01).alarm) {
+  }
+  detector.reset();
+  const auto s = detector.status();
+  EXPECT_FALSE(s.alarm);
+  EXPECT_EQ(s.samples, 0u);
+  EXPECT_EQ(s.stat_shorter, 0.0);
+  EXPECT_EQ(s.stat_longer, 0.0);
+}
+
+TEST(Cusum, ThresholdTradesDelayForFalseAlarms) {
+  // A lower threshold must fire no later than a higher one on the same data.
+  const auto baseline = preempt::testing::reference_bathtub();
+  auto shifted_params = preempt::testing::reference_params();
+  shifted_params.tau1 = 0.4;
+  shifted_params.scale = 0.6;
+  const dist::BathtubDistribution shifted(shifted_params);
+
+  auto alarm_index = [&](double threshold) {
+    CusumDetector::Options opts;
+    opts.threshold = threshold;
+    CusumDetector detector(baseline, opts);
+    Rng rng(17);  // identical stream for both
+    for (int i = 0; i < 2000; ++i) {
+      if (detector.observe(shifted.sample(rng)).alarm) return i;
+    }
+    return -1;
+  };
+  const int fast = alarm_index(4.0);
+  const int slow = alarm_index(10.0);
+  ASSERT_GE(fast, 0);
+  ASSERT_GE(slow, 0);
+  EXPECT_LE(fast, slow);
+}
+
+TEST(Cusum, DeadlineAtomDoesNotFalseAlarm) {
+  // A baseline with a big atom (low plateau): ~half the mass is deadline
+  // reclaims. Feeding the baseline's own samples (with many exact-24 values)
+  // must not trip the detector.
+  auto params = preempt::testing::reference_params();
+  params.scale = 0.25;
+  const dist::BathtubDistribution baseline(params);
+  CusumDetector detector(baseline);
+  Rng rng(19);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_FALSE(detector.observe(baseline.sample(rng)).alarm) << i;
+  }
+}
+
+TEST(Cusum, WorksWithUnboundedBaseline) {
+  const dist::Exponential baseline(0.1);
+  CusumDetector detector(baseline);
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_FALSE(detector.observe(baseline.sample(rng)).alarm);
+  }
+  // Rate doubles -> shorter lifetimes -> alarm.
+  const dist::Exponential faster(0.3);
+  bool alarmed = false;
+  for (int i = 0; i < 500 && !alarmed; ++i) {
+    alarmed = detector.observe(faster.sample(rng)).alarm;
+  }
+  EXPECT_TRUE(alarmed);
+  EXPECT_EQ(detector.status().side, Side::kShorterLifetimes);
+}
+
+TEST(Cusum, Preconditions) {
+  const auto baseline = preempt::testing::reference_bathtub();
+  CusumDetector::Options bad;
+  bad.threshold = 0.0;
+  EXPECT_THROW(CusumDetector(baseline, bad), InvalidArgument);
+  bad.threshold = 5.0;
+  bad.allowance = -1.0;
+  EXPECT_THROW(CusumDetector(baseline, bad), InvalidArgument);
+  CusumDetector detector(baseline);
+  EXPECT_THROW(detector.observe(-1.0), InvalidArgument);
+  EXPECT_THROW(detector.observe(std::numeric_limits<double>::infinity()), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace preempt::core

@@ -1,0 +1,181 @@
+// Property-based invariants every lifetime distribution must satisfy,
+// parameterised over all families in the library (TEST_P sweep).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/random.hpp"
+#include "dist/bathtub.hpp"
+#include "dist/exponential.hpp"
+#include "dist/exponentiated_weibull.hpp"
+#include "dist/gamma.hpp"
+#include "dist/gompertz_makeham.hpp"
+#include "dist/lognormal.hpp"
+#include "dist/piecewise.hpp"
+#include "dist/truncated.hpp"
+#include "dist/uniform.hpp"
+#include "dist/weibull.hpp"
+#include "test_util.hpp"
+
+namespace preempt::dist {
+namespace {
+
+struct Case {
+  std::string label;
+  std::shared_ptr<const Distribution> dist;
+  double probe_end;  ///< upper probe time (finite even for unbounded laws)
+};
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  cases.push_back({"exponential", std::make_shared<Exponential>(0.25), 40.0});
+  cases.push_back({"weibull_wearout", std::make_shared<Weibull>(0.1, 2.5), 40.0});
+  cases.push_back({"weibull_infant", std::make_shared<Weibull>(0.2, 0.7), 40.0});
+  cases.push_back({"gompertz_makeham", std::make_shared<GompertzMakeham>(0.05, 0.01, 0.25), 40.0});
+  cases.push_back({"uniform", std::make_shared<UniformLifetime>(24.0), 24.0});
+  cases.push_back(
+      {"bathtub_ref", std::make_shared<BathtubDistribution>(preempt::testing::reference_params()),
+       24.0});
+  {
+    auto p = preempt::testing::reference_params();
+    p.scale = 0.32;
+    p.tau1 = 2.4;
+    cases.push_back({"bathtub_small_vm", std::make_shared<BathtubDistribution>(p), 24.0});
+  }
+  cases.push_back({"truncated_exponential",
+                   std::make_shared<TruncatedDistribution>(std::make_unique<Exponential>(0.08), 24.0),
+                   24.0});
+  cases.push_back({"lognormal", std::make_shared<LogNormal>(1.8, 0.9), 60.0});
+  cases.push_back({"gamma_infant", std::make_shared<Gamma>(0.6, 0.1), 60.0});
+  cases.push_back({"gamma_wearout", std::make_shared<Gamma>(3.0, 0.25), 60.0});
+  cases.push_back(
+      {"exp_weibull_bathtub", std::make_shared<ExponentiatedWeibull>(0.08, 3.0, 0.2), 60.0});
+  cases.push_back(
+      {"exp_weibull_plain", std::make_shared<ExponentiatedWeibull>(0.15, 1.4, 1.0), 60.0});
+  {
+    const std::vector<double> ts = {0.0, 3.0, 20.0, 24.0};
+    const std::vector<double> fs = {0.0, 0.3, 0.45, 1.0};
+    cases.push_back({"piecewise", std::make_shared<PiecewiseLinearCdf>(ts, fs), 24.0});
+  }
+  return cases;
+}
+
+class DistributionProps : public ::testing::TestWithParam<Case> {};
+
+TEST_P(DistributionProps, CdfIsMonotoneWithinBounds) {
+  const auto& d = *GetParam().dist;
+  double prev = 0.0;
+  for (int i = 0; i <= 200; ++i) {
+    const double t = GetParam().probe_end * i / 200.0;
+    const double f = d.cdf(t);
+    EXPECT_GE(f, prev - 1e-12) << "at t=" << t;
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+}
+
+TEST_P(DistributionProps, SurvivalComplementsCdf) {
+  const auto& d = *GetParam().dist;
+  for (int i = 0; i <= 40; ++i) {
+    const double t = GetParam().probe_end * i / 40.0;
+    EXPECT_NEAR(d.cdf(t) + d.survival(t), 1.0, 1e-12);
+  }
+}
+
+TEST_P(DistributionProps, PdfIsNonNegative) {
+  const auto& d = *GetParam().dist;
+  for (int i = 0; i <= 200; ++i) {
+    const double t = GetParam().probe_end * i / 200.0;
+    EXPECT_GE(d.pdf(t), 0.0) << "at t=" << t;
+  }
+}
+
+TEST_P(DistributionProps, PdfMatchesCdfSlopeAtSmoothPoints) {
+  const auto& d = *GetParam().dist;
+  if (GetParam().label == "piecewise") return;  // slope jumps at knots
+  const double h = 1e-5;
+  for (double frac : {0.11, 0.37, 0.53, 0.79}) {
+    const double t = GetParam().probe_end * frac;
+    const double numeric = (d.cdf(t + h) - d.cdf(t - h)) / (2.0 * h);
+    // Skip deadline-atom neighbourhoods where cdf jumps.
+    if (numeric > 1e3) continue;
+    EXPECT_NEAR(d.pdf(t), numeric, 5e-4 + 1e-3 * std::abs(numeric)) << "at t=" << t;
+  }
+}
+
+TEST_P(DistributionProps, QuantileIsRightInverseOfCdf) {
+  const auto& d = *GetParam().dist;
+  for (double p : {0.05, 0.25, 0.5, 0.75, 0.9}) {
+    const double t = d.quantile(p);
+    EXPECT_GE(d.cdf(t), p - 1e-6) << "p=" << p;
+    if (t > 1e-9) {
+      EXPECT_LE(d.cdf(t * (1.0 - 1e-9)) - 1e-6, p) << "p=" << p;
+    }
+  }
+}
+
+TEST_P(DistributionProps, SampleMeanApproximatesMean) {
+  const auto& d = *GetParam().dist;
+  Rng rng(2024);
+  constexpr int kN = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += d.sample(rng);
+  const double expected = d.mean();
+  EXPECT_NEAR(sum / kN, expected, std::max(0.05, 0.03 * expected)) << GetParam().label;
+}
+
+TEST_P(DistributionProps, SamplesStayInSupport) {
+  const auto& d = *GetParam().dist;
+  Rng rng(11);
+  const double end = d.support_end();
+  for (int i = 0; i < 2000; ++i) {
+    const double x = d.sample(rng);
+    EXPECT_GE(x, 0.0);
+    if (std::isfinite(end)) {
+      EXPECT_LE(x, end + 1e-9);
+    }
+  }
+}
+
+TEST_P(DistributionProps, PartialExpectationIsAdditiveAndBounded) {
+  const auto& d = *GetParam().dist;
+  const double end = GetParam().probe_end;
+  const double whole = d.partial_expectation(0.0, end);
+  const double split =
+      d.partial_expectation(0.0, end / 3.0) + d.partial_expectation(end / 3.0, end);
+  EXPECT_NEAR(whole, split, 1e-6 * std::max(1.0, whole));
+  // ∫ t f dt over [a,b] is at most b * P(a < T <= b).
+  const double bound = end * (d.cdf(end) - d.cdf(0.0));
+  EXPECT_LE(whole, bound + 1e-9);
+  EXPECT_GE(whole, 0.0);
+}
+
+TEST_P(DistributionProps, CloneBehavesIdentically) {
+  const auto& d = *GetParam().dist;
+  const auto c = d.clone();
+  for (double frac : {0.1, 0.5, 0.9}) {
+    const double t = GetParam().probe_end * frac;
+    EXPECT_DOUBLE_EQ(c->cdf(t), d.cdf(t));
+    EXPECT_DOUBLE_EQ(c->pdf(t), d.pdf(t));
+  }
+  EXPECT_EQ(c->name(), d.name());
+  EXPECT_EQ(c->parameters(), d.parameters());
+}
+
+TEST_P(DistributionProps, HazardIsNonNegative) {
+  const auto& d = *GetParam().dist;
+  for (double frac : {0.05, 0.3, 0.6, 0.9}) {
+    const double t = GetParam().probe_end * frac;
+    EXPECT_GE(d.hazard(t), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, DistributionProps, ::testing::ValuesIn(make_cases()),
+                         [](const ::testing::TestParamInfo<Case>& param_info) {
+                           return param_info.param.label;
+                         });
+
+}  // namespace
+}  // namespace preempt::dist

@@ -1,0 +1,108 @@
+// Tests of the Sec. 8 change-point monitor (drift detection + refitting).
+#include "core/drift.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "test_util.hpp"
+
+namespace preempt::core {
+namespace {
+
+using preempt::testing::reference_bathtub;
+using preempt::testing::reference_params;
+
+PreemptionModel baseline_model() { return PreemptionModel::from_params(reference_params()); }
+
+TEST(Drift, NoAlarmUnderTheBaselineRegime) {
+  DriftDetector detector(baseline_model());
+  const auto truth = reference_bathtub();
+  Rng rng(17);
+  DriftDetector::Status status;
+  for (int i = 0; i < 400; ++i) status = detector.observe(truth.sample(rng));
+  EXPECT_FALSE(status.drift) << "ks=" << status.ks << " thr=" << status.threshold;
+  EXPECT_EQ(status.samples, detector.options().window);
+}
+
+TEST(Drift, QuietBeforeMinSamples) {
+  DriftDetector detector(baseline_model());
+  const auto status = detector.observe(5.0);
+  EXPECT_FALSE(status.drift);
+  EXPECT_EQ(status.samples, 1u);
+  EXPECT_DOUBLE_EQ(status.ks, 0.0);
+}
+
+TEST(Drift, AlarmsAfterRegimeChange) {
+  // Simulate a provider policy change: preemptions become much more
+  // aggressive (the n1-highcpu-32 regime replaces the 16-core one).
+  DriftDetector detector(baseline_model());
+  auto changed = reference_params();
+  changed.scale = 0.50;
+  changed.tau1 = 0.4;
+  const dist::BathtubDistribution new_regime(changed);
+  Rng rng(23);
+  DriftDetector::Status status;
+  for (int i = 0; i < 200; ++i) status = detector.observe(new_regime.sample(rng));
+  EXPECT_TRUE(status.drift);
+  EXPECT_GT(status.ks, status.threshold);
+}
+
+TEST(Drift, RefitAdoptsTheNewRegime) {
+  // A baseline refitted from a finite window is itself an estimate, so the
+  // plain KS critical value is anti-conservative (Lilliefors effect); a
+  // production monitor of an *estimated* baseline raises ks_critical.
+  DriftDetector::Options opts;
+  opts.window = 240;
+  opts.ks_critical = 2.0;
+  DriftDetector detector(baseline_model(), opts);
+  auto changed = reference_params();
+  changed.scale = 0.50;
+  changed.tau1 = 0.4;
+  const dist::BathtubDistribution new_regime(changed);
+  Rng rng(29);
+  for (int i = 0; i < 240; ++i) detector.observe(new_regime.sample(rng));
+  ASSERT_TRUE(detector.status().drift);
+
+  const PreemptionModel& refitted = detector.refit();
+  EXPECT_NEAR(refitted.params().tau1, 0.4, 0.25);
+  EXPECT_NEAR(refitted.params().scale, 0.50, 0.05);
+  // Window cleared; the alarm resets.
+  EXPECT_EQ(detector.status().samples, 0u);
+  EXPECT_FALSE(detector.status().drift);
+
+  // Feeding the new regime to the refitted detector stays quiet.
+  DriftDetector::Status status;
+  for (int i = 0; i < 200; ++i) status = detector.observe(new_regime.sample(rng));
+  EXPECT_FALSE(status.drift) << "ks=" << status.ks;
+}
+
+TEST(Drift, SlidingWindowForgetsOldRegime) {
+  DriftDetector::Options opts;
+  opts.window = 60;
+  DriftDetector detector(baseline_model(), opts);
+  const auto truth = reference_bathtub();
+  auto changed = reference_params();
+  changed.tau1 = 0.3;
+  changed.scale = 0.5;
+  const dist::BathtubDistribution new_regime(changed);
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) detector.observe(new_regime.sample(rng));
+  EXPECT_TRUE(detector.status().drift);
+  // A long stretch of baseline behaviour flushes the window; alarm clears.
+  DriftDetector::Status status;
+  for (int i = 0; i < 200; ++i) status = detector.observe(truth.sample(rng));
+  EXPECT_FALSE(status.drift) << "ks=" << status.ks;
+}
+
+TEST(Drift, ValidatesInput) {
+  DriftDetector::Options bad;
+  bad.window = 5;
+  EXPECT_THROW(DriftDetector(baseline_model(), bad), InvalidArgument);
+  DriftDetector detector(baseline_model());
+  EXPECT_THROW(detector.observe(-1.0), InvalidArgument);
+  EXPECT_THROW(detector.refit(), InvalidArgument);  // empty window
+}
+
+}  // namespace
+}  // namespace preempt::core

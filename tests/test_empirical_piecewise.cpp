@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "dist/empirical.hpp"
+#include "dist/piecewise.hpp"
+#include "test_util.hpp"
+
+namespace preempt::dist {
+namespace {
+
+// --- EmpiricalDistribution ----------------------------------------------------
+
+TEST(Empirical, StepCdf) {
+  const std::vector<double> samples = {1.0, 2.0, 3.0, 4.0};
+  const EmpiricalDistribution e(samples);
+  EXPECT_DOUBLE_EQ(e.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e.cdf(4.0), 1.0);
+}
+
+TEST(Empirical, EcdfPointsConventions) {
+  const std::vector<double> samples = {2.0, 1.0, 3.0};  // unsorted on purpose
+  const EmpiricalDistribution e(samples);
+  const auto hazen = e.ecdf_points(EcdfConvention::kHazen);
+  ASSERT_EQ(hazen.t.size(), 3u);
+  EXPECT_DOUBLE_EQ(hazen.t[0], 1.0);  // sorted
+  EXPECT_NEAR(hazen.f[0], 0.5 / 3.0, 1e-15);
+  EXPECT_NEAR(hazen.f[2], 2.5 / 3.0, 1e-15);
+  const auto step = e.ecdf_points(EcdfConvention::kStep);
+  EXPECT_NEAR(step.f[2], 1.0, 1e-15);
+}
+
+TEST(Empirical, QuantileMeanMinMax) {
+  const std::vector<double> samples = {1.0, 3.0, 5.0, 7.0};
+  const EmpiricalDistribution e(samples);
+  EXPECT_DOUBLE_EQ(e.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(e.support_end(), 7.0);
+}
+
+TEST(Empirical, BootstrapSamplingDrawsFromData) {
+  const std::vector<double> samples = {1.0, 2.0, 3.0};
+  const EmpiricalDistribution e(samples);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const double x = e.sample(rng);
+    EXPECT_TRUE(x == 1.0 || x == 2.0 || x == 3.0);
+  }
+}
+
+TEST(Empirical, HistogramDensityIntegratesToOne) {
+  Rng rng(77);
+  std::vector<double> samples;
+  const auto d = preempt::testing::reference_bathtub();
+  for (int i = 0; i < 2000; ++i) samples.push_back(d.sample(rng));
+  const EmpiricalDistribution e(samples);
+  const auto hist = e.histogram_density(24);
+  double mass = 0.0;
+  const double width = (e.support_end() - e.sorted_samples().front()) / 24.0;
+  for (const auto& [center, density] : hist) mass += density * width;
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+TEST(Empirical, KsDistanceToPerfectModelIsSmall) {
+  Rng rng(123);
+  const auto d = preempt::testing::reference_bathtub();
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) samples.push_back(d.sample(rng));
+  const EmpiricalDistribution e(samples);
+  EXPECT_LT(e.ks_distance(d), 0.03);
+  // A mismatched model must be farther away.
+  auto wrong = preempt::testing::reference_params();
+  wrong.tau1 = 5.0;
+  wrong.scale = 0.2;
+  EXPECT_GT(e.ks_distance(BathtubDistribution(wrong)), 0.1);
+}
+
+TEST(Empirical, RejectsBadSamples) {
+  std::vector<double> empty;
+  EXPECT_THROW(EmpiricalDistribution{empty}, InvalidArgument);
+  const std::vector<double> negative = {1.0, -2.0};
+  EXPECT_THROW(EmpiricalDistribution{negative}, InvalidArgument);
+}
+
+// --- PiecewiseLinearCdf ---------------------------------------------------------
+
+PiecewiseLinearCdf three_phase() {
+  // Infant to 3 h (F 0->0.3), stable to 20 h (0.3->0.45), wall to 24 h (->1).
+  const std::vector<double> ts = {0.0, 3.0, 20.0, 24.0};
+  const std::vector<double> fs = {0.0, 0.3, 0.45, 1.0};
+  return PiecewiseLinearCdf(ts, fs);
+}
+
+TEST(Piecewise, InterpolatesCdf) {
+  const auto d = three_phase();
+  EXPECT_DOUBLE_EQ(d.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(1.5), 0.15);
+  EXPECT_NEAR(d.cdf(11.5), 0.3 + 0.15 * (11.5 - 3.0) / 17.0, 1e-12);
+  EXPECT_DOUBLE_EQ(d.cdf(24.0), 1.0);
+}
+
+TEST(Piecewise, PdfIsPiecewiseConstant) {
+  const auto d = three_phase();
+  EXPECT_NEAR(d.pdf(1.0), 0.1, 1e-12);
+  EXPECT_NEAR(d.pdf(10.0), 0.15 / 17.0, 1e-12);
+  EXPECT_NEAR(d.pdf(22.0), 0.55 / 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(d.pdf(25.0), 0.0);
+}
+
+TEST(Piecewise, QuantileInvertsCdf) {
+  const auto d = three_phase();
+  for (double p : {0.1, 0.3, 0.4, 0.7, 0.99}) {
+    EXPECT_NEAR(d.cdf(d.quantile(p)), p, 1e-12);
+  }
+}
+
+TEST(Piecewise, PartialExpectationMatchesNumeric) {
+  const auto d = three_phase();
+  double numeric = 0.0;
+  const int n = 48000;
+  for (int i = 0; i < n; ++i) {
+    const double x = (i + 0.5) * 24.0 / n;
+    numeric += x * d.pdf(x) * 24.0 / n;
+  }
+  EXPECT_NEAR(d.partial_expectation(0.0, 24.0), numeric, 1e-4);
+}
+
+TEST(Piecewise, NoAtomWhenCdfReachesOne) {
+  const auto d = three_phase();
+  EXPECT_NEAR(d.deadline_atom(), 0.0, 1e-12);
+}
+
+TEST(Piecewise, AtomWhenCdfFallsShort) {
+  const std::vector<double> ts = {0.0, 24.0};
+  const std::vector<double> fs = {0.0, 0.8};
+  const PiecewiseLinearCdf d(ts, fs);
+  EXPECT_NEAR(d.deadline_atom(), 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(d.cdf(24.0), 1.0);
+  EXPECT_NEAR(d.mean(), d.partial_expectation(0, 24) + 0.2 * 24.0, 1e-12);
+}
+
+TEST(Piecewise, RejectsBadKnots) {
+  const std::vector<double> ts = {0.0, 1.0};
+  const std::vector<double> down = {0.5, 0.2};
+  EXPECT_THROW(PiecewiseLinearCdf(ts, down), InvalidArgument);
+  const std::vector<double> dup_t = {1.0, 1.0};
+  const std::vector<double> fs = {0.0, 1.0};
+  EXPECT_THROW(PiecewiseLinearCdf(dup_t, fs), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace preempt::dist

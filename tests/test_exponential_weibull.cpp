@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "dist/exponential.hpp"
+#include "dist/weibull.hpp"
+#include "test_util.hpp"
+
+namespace preempt::dist {
+namespace {
+
+TEST(Exponential, CdfPdfClosedForms) {
+  const Exponential d(0.5);
+  EXPECT_DOUBLE_EQ(d.cdf(0.0), 0.0);
+  EXPECT_NEAR(d.cdf(2.0), 1.0 - std::exp(-1.0), 1e-15);
+  EXPECT_NEAR(d.pdf(2.0), 0.5 * std::exp(-1.0), 1e-15);
+  EXPECT_DOUBLE_EQ(d.cdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.pdf(-1.0), 0.0);
+}
+
+TEST(Exponential, MeanAndMttf) {
+  const Exponential d = Exponential::from_mttf(4.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(d.mttf(), 4.0);
+  EXPECT_DOUBLE_EQ(d.rate(), 0.25);
+}
+
+TEST(Exponential, QuantileInvertsCdf) {
+  const Exponential d(1.3);
+  for (double p : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(d.cdf(d.quantile(p)), p, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 0.0);
+  EXPECT_TRUE(std::isinf(d.quantile(1.0)));
+}
+
+TEST(Exponential, HazardIsConstant) {
+  const Exponential d(0.7);
+  EXPECT_NEAR(d.hazard(0.1), 0.7, 1e-12);
+  EXPECT_NEAR(d.hazard(5.0), 0.7, 1e-9);
+  EXPECT_NEAR(d.hazard(20.0), 0.7, 1e-6);
+}
+
+TEST(Exponential, MemorylessProperty) {
+  const Exponential d(0.4);
+  // P(T > s + t | T > s) == P(T > t).
+  const double s = 2.0, t = 3.0;
+  EXPECT_NEAR(d.survival(s + t) / d.survival(s), d.survival(t), 1e-12);
+}
+
+TEST(Exponential, PartialExpectationClosedFormMatchesNumeric) {
+  const Exponential d(0.9);
+  const double closed = d.partial_expectation(0.5, 4.0);
+  // Fall back to the base-class numeric integration for comparison.
+  const Weibull as_weibull(0.9, 1.0);  // Weibull k=1 has no closed-form override
+  const double numeric = as_weibull.partial_expectation(0.5, 4.0);
+  EXPECT_NEAR(closed, numeric, 1e-9);
+}
+
+TEST(Exponential, SampleMeanMatches) {
+  const Exponential d(2.0);
+  Rng rng(99);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Exponential, RejectsBadRate) {
+  EXPECT_THROW(Exponential(0.0), InvalidArgument);
+  EXPECT_THROW(Exponential(-1.0), InvalidArgument);
+}
+
+TEST(Weibull, ReducesToExponentialAtShapeOne) {
+  const Weibull w(0.5, 1.0);
+  const Exponential e(0.5);
+  for (double t : {0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(w.cdf(t), e.cdf(t), 1e-12);
+    EXPECT_NEAR(w.pdf(t), e.pdf(t), 1e-12);
+  }
+}
+
+TEST(Weibull, CdfClosedForm) {
+  const Weibull w(0.2, 2.0);
+  EXPECT_NEAR(w.cdf(5.0), 1.0 - std::exp(-1.0), 1e-15);
+}
+
+TEST(Weibull, MeanUsesGamma) {
+  const Weibull w(1.0, 2.0);
+  EXPECT_NEAR(w.mean(), std::tgamma(1.5), 1e-12);
+}
+
+TEST(Weibull, QuantileInvertsCdf) {
+  const Weibull w(0.3, 1.7);
+  for (double p : {0.05, 0.25, 0.5, 0.95}) {
+    EXPECT_NEAR(w.cdf(w.quantile(p)), p, 1e-12);
+  }
+}
+
+TEST(Weibull, HazardShapeByK) {
+  const Weibull infant(1.0, 0.5);   // decreasing hazard
+  const Weibull wearout(1.0, 3.0);  // increasing hazard
+  EXPECT_GT(infant.hazard(0.1), infant.hazard(2.0));
+  EXPECT_LT(wearout.hazard(0.1), wearout.hazard(2.0));
+}
+
+TEST(Weibull, CannotProduceSharpDeadlineWall) {
+  // The paper's core observation: even a steep Weibull rises smoothly, so the
+  // ratio cdf(23.9)/cdf(20) stays modest, unlike the empirical wall at 24 h.
+  const auto bathtub = preempt::testing::reference_bathtub();
+  const Weibull steep(1.0 / 20.0, 8.0);
+  const double bathtub_jump = (bathtub.cdf(23.9) - bathtub.cdf(20.0));
+  const double weibull_jump = (steep.cdf(23.9) - steep.cdf(20.0));
+  // The bathtub packs most of its late mass into the last 4 hours.
+  EXPECT_GT(bathtub_jump, 0.35);
+  EXPECT_LT(weibull_jump, bathtub_jump);
+}
+
+TEST(Weibull, RejectsBadParameters) {
+  EXPECT_THROW(Weibull(0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(Weibull(1.0, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace preempt::dist

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dist/exponential.hpp"
+#include "dist/gompertz_makeham.hpp"
+#include "dist/truncated.hpp"
+#include "dist/uniform.hpp"
+
+namespace preempt::dist {
+namespace {
+
+// --- Gompertz-Makeham --------------------------------------------------------
+
+TEST(GompertzMakeham, CdfClosedForm) {
+  const GompertzMakeham d(0.1, 0.01, 0.5);
+  const double t = 2.0;
+  const double cumulative = 0.1 * t + 0.01 / 0.5 * (std::exp(0.5 * t) - 1.0);
+  EXPECT_NEAR(d.cdf(t), 1.0 - std::exp(-cumulative), 1e-14);
+}
+
+TEST(GompertzMakeham, PdfIsDerivativeOfCdf) {
+  const GompertzMakeham d(0.05, 0.02, 0.3);
+  const double h = 1e-6;
+  for (double t : {0.5, 2.0, 8.0}) {
+    const double numeric = (d.cdf(t + h) - d.cdf(t - h)) / (2.0 * h);
+    EXPECT_NEAR(d.pdf(t), numeric, 1e-6);
+  }
+}
+
+TEST(GompertzMakeham, HazardGrowsExponentially) {
+  const GompertzMakeham d(0.01, 0.001, 1.0);
+  EXPECT_LT(d.hazard(0.5), d.hazard(5.0));
+  // hazard(t) = lambda + alpha e^{beta t}
+  EXPECT_NEAR(d.hazard(3.0), 0.01 + 0.001 * std::exp(3.0), 1e-9);
+}
+
+TEST(GompertzMakeham, ReducesTowardExponentialForTinyAlpha) {
+  const GompertzMakeham d(0.5, 1e-12, 0.1);
+  const Exponential e(0.5);
+  EXPECT_NEAR(d.cdf(3.0), e.cdf(3.0), 1e-9);
+}
+
+TEST(GompertzMakeham, RejectsBadParameters) {
+  EXPECT_THROW(GompertzMakeham(-0.1, 0.1, 0.1), InvalidArgument);
+  EXPECT_THROW(GompertzMakeham(0.1, 0.0, 0.1), InvalidArgument);
+  EXPECT_THROW(GompertzMakeham(0.1, 0.1, 0.0), InvalidArgument);
+}
+
+// --- Uniform -------------------------------------------------------------------
+
+TEST(UniformLifetime, CdfIsLinear) {
+  const UniformLifetime u(24.0);
+  EXPECT_DOUBLE_EQ(u.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(u.cdf(6.0), 0.25);
+  EXPECT_DOUBLE_EQ(u.cdf(24.0), 1.0);
+  EXPECT_DOUBLE_EQ(u.cdf(30.0), 1.0);
+}
+
+TEST(UniformLifetime, MeanAndQuantile) {
+  const UniformLifetime u(24.0);
+  EXPECT_DOUBLE_EQ(u.mean(), 12.0);
+  EXPECT_DOUBLE_EQ(u.quantile(0.5), 12.0);
+  EXPECT_DOUBLE_EQ(u.quantile(0.25), 6.0);
+}
+
+TEST(UniformLifetime, PartialExpectationClosedForm) {
+  const UniformLifetime u(24.0);
+  // ∫_0^J t/24 dt = J^2/48 — the paper's uniform "expected increase".
+  EXPECT_NEAR(u.partial_expectation(0.0, 10.0), 100.0 / 48.0, 1e-12);
+  EXPECT_NEAR(u.partial_expectation(6.0, 12.0), (144.0 - 36.0) / 48.0, 1e-12);
+  // Clamped outside the support.
+  EXPECT_NEAR(u.partial_expectation(20.0, 40.0), (576.0 - 400.0) / 48.0, 1e-12);
+}
+
+TEST(UniformLifetime, WastedWorkIsHalfJobLength) {
+  const UniformLifetime u(24.0);
+  // E[W1(J)] = (J^2/(2L)) / (J/L) = J/2 (paper Sec. 6.1).
+  const double j = 7.0;
+  EXPECT_NEAR(u.partial_expectation(0.0, j) / u.cdf(j), j / 2.0, 1e-12);
+}
+
+TEST(UniformLifetime, RejectsBadHorizon) {
+  EXPECT_THROW(UniformLifetime(0.0), InvalidArgument);
+}
+
+// --- Truncation ------------------------------------------------------------------
+
+TEST(Truncated, NormalisesMassToHorizon) {
+  TruncatedDistribution t(std::make_unique<Exponential>(0.1), 24.0);
+  EXPECT_DOUBLE_EQ(t.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.cdf(24.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.cdf(30.0), 1.0);
+  // Interior values are scaled by 1/F(24).
+  const Exponential base(0.1);
+  EXPECT_NEAR(t.cdf(10.0), base.cdf(10.0) / base.cdf(24.0), 1e-12);
+}
+
+TEST(Truncated, PdfIntegratesToOne) {
+  TruncatedDistribution t(std::make_unique<Exponential>(0.05), 24.0);
+  double sum = 0.0;
+  const int n = 4800;
+  for (int i = 0; i < n; ++i) {
+    const double x = (i + 0.5) * 24.0 / n;
+    sum += t.pdf(x) * 24.0 / n;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(Truncated, QuantileInvertsCdf) {
+  TruncatedDistribution t(std::make_unique<Exponential>(0.2), 24.0);
+  for (double p : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(t.cdf(t.quantile(p)), p, 1e-10);
+  }
+}
+
+TEST(Truncated, MeanIsBelowHorizonAndBaseMean) {
+  TruncatedDistribution t(std::make_unique<Exponential>(0.05), 24.0);  // base mean 20 h
+  const double m = t.mean();
+  EXPECT_LT(m, 20.0);
+  EXPECT_LT(m, 24.0);
+  EXPECT_GT(m, 0.0);
+}
+
+TEST(Truncated, CloneIsIndependentAndEqual) {
+  TruncatedDistribution t(std::make_unique<Exponential>(0.2), 12.0);
+  const auto copy = t.clone();
+  EXPECT_NEAR(copy->cdf(5.0), t.cdf(5.0), 1e-15);
+  EXPECT_EQ(copy->name(), "exponential-truncated");
+}
+
+TEST(Truncated, RejectsNullAndEmptyMass) {
+  EXPECT_THROW(TruncatedDistribution(nullptr, 24.0), InvalidArgument);
+  EXPECT_THROW(TruncatedDistribution(std::make_unique<Exponential>(1.0), -1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace preempt::dist

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "trace/generator.hpp"
+#include "trace/ground_truth.hpp"
+
+namespace preempt::trace {
+namespace {
+
+RegimeKey base_key() {
+  return RegimeKey{VmType::kN1Highcpu16, Zone::kUsEast1B, DayPeriod::kDay, WorkloadKind::kBatch};
+}
+
+// --- ground truth catalog ------------------------------------------------------
+
+TEST(GroundTruth, BaseRegimeMatchesCalibration) {
+  const auto p = ground_truth_params(base_key());
+  EXPECT_DOUBLE_EQ(p.scale, 0.45);
+  EXPECT_DOUBLE_EQ(p.tau1, 1.0);
+  EXPECT_DOUBLE_EQ(p.tau2, 0.8);
+  EXPECT_DOUBLE_EQ(p.deadline, 24.0);
+}
+
+TEST(GroundTruth, LargerVmsPreemptMore) {
+  // Observation 4: larger VMs have a higher preemption probability.
+  double prev_f6 = 0.0;
+  for (VmType type : {VmType::kN1Highcpu2, VmType::kN1Highcpu4, VmType::kN1Highcpu8,
+                      VmType::kN1Highcpu16, VmType::kN1Highcpu32}) {
+    RegimeKey key = base_key();
+    key.type = type;
+    const auto d = ground_truth_distribution(key);
+    const double f6 = d.cdf(6.0);
+    EXPECT_GT(f6, prev_f6) << to_string(type);
+    prev_f6 = f6;
+  }
+}
+
+TEST(GroundTruth, NightVmsLiveLonger) {
+  // Observation 5: lifetimes are longer at night.
+  RegimeKey day = base_key();
+  RegimeKey night = base_key();
+  night.period = DayPeriod::kNight;
+  const auto d_day = ground_truth_distribution(day);
+  const auto d_night = ground_truth_distribution(night);
+  // Compare full means (incl. the deadline atom): night VMs survive to the
+  // 24 h reclaim more often, so Eq. 3's continuous part alone would mislead.
+  EXPECT_GT(d_night.mean(), d_day.mean());
+  EXPECT_LT(d_night.cdf(6.0), d_day.cdf(6.0));
+}
+
+TEST(GroundTruth, IdleVmsLiveLonger) {
+  RegimeKey busy = base_key();
+  RegimeKey idle = base_key();
+  idle.workload = WorkloadKind::kIdle;
+  const auto d_busy = ground_truth_distribution(busy);
+  const auto d_idle = ground_truth_distribution(idle);
+  EXPECT_LT(d_idle.cdf(6.0), d_busy.cdf(6.0));
+}
+
+TEST(GroundTruth, ZonesDifferButModestly) {
+  RegimeKey east = base_key();
+  RegimeKey west = base_key();
+  west.zone = Zone::kUsWest1A;
+  const auto d_east = ground_truth_distribution(east);
+  const auto d_west = ground_truth_distribution(west);
+  EXPECT_NE(d_east.cdf(6.0), d_west.cdf(6.0));
+  EXPECT_NEAR(d_east.cdf(6.0), d_west.cdf(6.0), 0.15);
+}
+
+TEST(GroundTruth, AllRegimesProduceValidDistributions) {
+  for (const VmSpec& spec : all_vm_specs()) {
+    for (Zone zone : all_zones()) {
+      for (DayPeriod period : {DayPeriod::kDay, DayPeriod::kNight}) {
+        for (WorkloadKind workload : {WorkloadKind::kIdle, WorkloadKind::kBatch}) {
+          const RegimeKey key{spec.type, zone, period, workload};
+          const auto d = ground_truth_distribution(key);
+          EXPECT_GT(d.expected_lifetime_eq3(), 0.0);
+          EXPECT_LE(d.cdf(24.0), 1.0);
+        }
+      }
+    }
+  }
+}
+
+// --- generator -------------------------------------------------------------------
+
+TEST(Generator, CampaignIsDeterministicPerSeed) {
+  const CampaignConfig cfg{base_key(), 50, 1234};
+  const Dataset a = generate_campaign(cfg);
+  const Dataset b = generate_campaign(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.records()[i].lifetime_hours, b.records()[i].lifetime_hours);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const Dataset a = generate_campaign({base_key(), 50, 1});
+  const Dataset b = generate_campaign({base_key(), 50, 2});
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_diff |= a.records()[i].lifetime_hours != b.records()[i].lifetime_hours;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, LifetimesRespectTheDeadline) {
+  const Dataset ds = generate_campaign({base_key(), 400, 7});
+  for (const auto& r : ds.records()) {
+    EXPECT_GE(r.lifetime_hours, 0.0);
+    EXPECT_LE(r.lifetime_hours, kMaxLifetimeHours);
+  }
+}
+
+TEST(Generator, LaunchHoursMatchRequestedPeriod) {
+  const Dataset day = generate_campaign({base_key(), 100, 3});
+  for (const auto& r : day.records()) {
+    EXPECT_GE(r.launch_hour, 8.0);
+    EXPECT_LT(r.launch_hour, 20.0);
+  }
+  RegimeKey nk = base_key();
+  nk.period = DayPeriod::kNight;
+  const Dataset night = generate_campaign({nk, 100, 3});
+  for (const auto& r : night.records()) {
+    EXPECT_TRUE(r.launch_hour >= 20.0 || r.launch_hour < 8.0) << r.launch_hour;
+  }
+}
+
+TEST(Generator, SampleMeanTracksGroundTruth) {
+  const auto d = ground_truth_distribution(base_key());
+  const Dataset ds = generate_campaign({base_key(), 4000, 11});
+  const auto lifetimes = ds.lifetimes();
+  double sum = 0.0;
+  for (double x : lifetimes) sum += x;
+  EXPECT_NEAR(sum / lifetimes.size(), d.mean(), 0.25);
+}
+
+TEST(Generator, StudyCoversTheFullFactorialGrid) {
+  StudyConfig cfg;
+  cfg.vms_per_cell = 8;
+  const Dataset ds = generate_study(cfg);
+  // 5 types x 4 zones x 8 VMs.
+  EXPECT_EQ(ds.size(), 5u * 4u * 8u);
+  EXPECT_EQ(ds.group_by_type().size(), 5u);
+  EXPECT_EQ(ds.group_by_zone().size(), 4u);
+  // Both periods and workloads occur.
+  EXPECT_GT(ds.by_period(DayPeriod::kNight).size(), 0u);
+  EXPECT_GT(ds.by_workload(WorkloadKind::kIdle).size(), 0u);
+}
+
+// --- dataset -------------------------------------------------------------------
+
+TEST(Dataset, FiltersCompose) {
+  StudyConfig cfg;
+  cfg.vms_per_cell = 8;
+  const Dataset ds = generate_study(cfg);
+  const Dataset slice = ds.by_type(VmType::kN1Highcpu16).by_zone(Zone::kUsEast1B);
+  for (const auto& r : slice.records()) {
+    EXPECT_EQ(r.type, VmType::kN1Highcpu16);
+    EXPECT_EQ(r.zone, Zone::kUsEast1B);
+  }
+  EXPECT_EQ(slice.size(), 8u);
+}
+
+TEST(Dataset, CsvRoundTripPreservesRecords) {
+  const Dataset ds = generate_campaign({base_key(), 25, 17});
+  const Dataset back = Dataset::from_csv(ds.to_csv());
+  ASSERT_EQ(back.size(), ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const auto& a = ds.records()[i];
+    const auto& b = back.records()[i];
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.zone, b.zone);
+    EXPECT_EQ(a.period, b.period);
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.day_of_week, b.day_of_week);
+    EXPECT_NEAR(a.lifetime_hours, b.lifetime_hours, 1e-6);
+  }
+}
+
+TEST(Dataset, RejectsCorruptCsv) {
+  EXPECT_THROW(Dataset::from_csv("vm_type,zone\nnope,alsono\n"), IoError);
+  const Dataset ds = generate_campaign({base_key(), 5, 1});
+  std::string csv = ds.to_csv();
+  csv.replace(csv.find("n1-highcpu-16"), 13, "n1-nonexistent");
+  EXPECT_THROW(Dataset::from_csv(csv), IoError);
+}
+
+TEST(Dataset, AddValidatesRecords) {
+  Dataset ds;
+  PreemptionRecord r;
+  r.lifetime_hours = 25.0;  // beyond the 24 h constraint
+  EXPECT_THROW(ds.add(r), InvalidArgument);
+  r.lifetime_hours = 5.0;
+  r.launch_hour = 24.5;
+  EXPECT_THROW(ds.add(r), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace preempt::trace

@@ -1,0 +1,221 @@
+// HTTP message parsing and the threaded loopback server + client pair.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <thread>
+
+#include "api/http.hpp"
+#include "api/http_client.hpp"
+#include "api/http_server.hpp"
+#include "common/error.hpp"
+
+namespace preempt::api {
+namespace {
+
+// ------------------------------------------------------------------- parser
+
+TEST(HttpRequestParser, ParsesSimpleGet) {
+  HttpRequestParser parser;
+  const std::string wire = "GET /path?x=1 HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  ASSERT_TRUE(parser.feed(wire.data(), wire.size()));
+  ASSERT_TRUE(parser.complete());
+  const HttpRequest& req = parser.request();
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.target, "/path?x=1");
+  EXPECT_EQ(req.path(), "/path");
+  EXPECT_EQ(req.version, "HTTP/1.1");
+  EXPECT_EQ(req.headers.at("host"), "localhost");
+  EXPECT_TRUE(req.body.empty());
+}
+
+TEST(HttpRequestParser, ParsesPostBodyAcrossFeeds) {
+  HttpRequestParser parser;
+  const std::string wire =
+      "POST /api HTTP/1.1\r\ncontent-length: 11\r\n\r\nhello world";
+  // Feed byte by byte: the parser must be fully incremental.
+  for (char c : wire) {
+    ASSERT_TRUE(parser.feed(&c, 1));
+  }
+  ASSERT_TRUE(parser.complete());
+  EXPECT_EQ(parser.request().body, "hello world");
+}
+
+TEST(HttpRequestParser, HeaderKeysAreLowercasedAndTrimmed) {
+  HttpRequestParser parser;
+  const std::string wire = "GET / HTTP/1.1\r\nX-Thing:   padded value  \r\n\r\n";
+  ASSERT_TRUE(parser.feed(wire.data(), wire.size()));
+  EXPECT_EQ(parser.request().headers.at("x-thing"), "padded value");
+}
+
+TEST(HttpRequestParser, RejectsMalformedInput) {
+  {
+    HttpRequestParser parser;
+    const std::string wire = "NOT-HTTP\r\n\r\n";
+    EXPECT_FALSE(parser.feed(wire.data(), wire.size()));
+    EXPECT_TRUE(parser.failed());
+  }
+  {
+    HttpRequestParser parser;
+    const std::string wire = "GET / HTTP/1.1\r\nbroken header line\r\n\r\n";
+    EXPECT_FALSE(parser.feed(wire.data(), wire.size()));
+  }
+  {
+    HttpRequestParser parser;
+    const std::string wire = "GET / HTTP/1.1\r\ncontent-length: banana\r\n\r\n";
+    EXPECT_FALSE(parser.feed(wire.data(), wire.size()));
+  }
+  {
+    HttpRequestParser parser;
+    const std::string wire = "GET / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n";
+    EXPECT_FALSE(parser.feed(wire.data(), wire.size()));
+  }
+}
+
+TEST(HttpRequestParser, RejectsOversizedBodies) {
+  HttpRequestParser parser;
+  const std::string wire = "POST / HTTP/1.1\r\ncontent-length: 999999999999\r\n\r\n";
+  EXPECT_FALSE(parser.feed(wire.data(), wire.size()));
+  EXPECT_EQ(parser.error(), "bad content-length");
+}
+
+TEST(HttpRequest, QueryParsing) {
+  HttpRequest req;
+  req.target = "/p?a=1&b=two%20words&empty=&flag";
+  EXPECT_EQ(req.query("a").value(), "1");
+  EXPECT_EQ(req.query("b").value(), "two words");
+  EXPECT_EQ(req.query("empty").value(), "");
+  EXPECT_EQ(req.query("flag").value(), "");
+  EXPECT_FALSE(req.query("missing").has_value());
+  HttpRequest no_query;
+  no_query.target = "/p";
+  EXPECT_FALSE(no_query.query("a").has_value());
+}
+
+TEST(UrlDecode, Basics) {
+  EXPECT_EQ(url_decode("a%2Fb%3Dc"), "a/b=c");
+  EXPECT_EQ(url_decode("no-escapes"), "no-escapes");
+  EXPECT_EQ(url_decode("%zz"), "%zz");  // malformed escape passes through
+  EXPECT_EQ(url_decode("%41%61"), "Aa");
+}
+
+TEST(HttpResponse, SerializeCarriesContentLength) {
+  HttpResponse r = HttpResponse::json(200, R"({"k":1})");
+  const std::string wire = r.serialize();
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("content-length: 7\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("content-type: application/json"), std::string::npos);
+}
+
+// ------------------------------------------------------------- live server
+
+TEST(HttpServer, RoundTripsRequests) {
+  HttpServer server;
+  std::atomic<int> hits{0};
+  server.start([&hits](const HttpRequest& req) {
+    ++hits;
+    if (req.path() == "/echo") return HttpResponse::text(200, req.body);
+    return HttpResponse::not_found();
+  });
+  ASSERT_GT(server.port(), 0);
+
+  const HttpResponse echo = http_post(server.port(), "/echo", "payload-123");
+  EXPECT_EQ(echo.status, 200);
+  EXPECT_EQ(echo.body, "payload-123");
+
+  const HttpResponse missing = http_get(server.port(), "/nowhere");
+  EXPECT_EQ(missing.status, 404);
+  EXPECT_EQ(hits.load(), 2);
+  server.stop();
+}
+
+TEST(HttpServer, ServesConcurrentClients) {
+  HttpServer server;
+  server.start([](const HttpRequest& req) {
+    return HttpResponse::text(200, "ok:" + req.path());
+  });
+  constexpr int kThreads = 8;
+  std::atomic<int> successes{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    clients.emplace_back([&, i] {
+      const auto r = http_get(server.port(), "/c" + std::to_string(i));
+      if (r.status == 200 && r.body == "ok:/c" + std::to_string(i)) ++successes;
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(successes.load(), kThreads);
+  server.stop();
+}
+
+TEST(HttpServer, HandlerExceptionsBecome500) {
+  HttpServer server;
+  server.start([](const HttpRequest&) -> HttpResponse {
+    throw NumericError("deliberate failure");
+  });
+  const auto r = http_get(server.port(), "/");
+  EXPECT_EQ(r.status, 500);
+  EXPECT_NE(r.body.find("deliberate failure"), std::string::npos);
+  server.stop();
+}
+
+TEST(HttpServer, MalformedRequestGets400) {
+  HttpServer server;
+  server.start([](const HttpRequest&) { return HttpResponse::text(200, "never"); });
+  // http_request builds valid requests, so talk raw for this one.
+  const HttpResponse r = [&] {
+    // A request with a broken header line.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(server.port());
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    const std::string wire = "GET / HTTP/1.1\r\nbroken\r\n\r\n";
+    EXPECT_GT(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL), 0);
+    ::shutdown(fd, SHUT_WR);
+    std::string received;
+    char buf[1024];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+      received.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    HttpResponse parsed;
+    parsed.status = received.find("400") != std::string::npos ? 400 : 0;
+    return parsed;
+  }();
+  EXPECT_EQ(r.status, 400);
+  server.stop();
+}
+
+TEST(HttpServer, StopIsIdempotentAndRestartable) {
+  HttpServer server;
+  server.start([](const HttpRequest&) { return HttpResponse::text(200, "a"); });
+  const auto port1 = server.port();
+  EXPECT_EQ(http_get(port1, "/").status, 200);
+  server.stop();
+  server.stop();  // no-op
+  // A fresh start binds a new ephemeral port and serves again.
+  server.start([](const HttpRequest&) { return HttpResponse::text(200, "b"); });
+  EXPECT_EQ(http_get(server.port(), "/").body, "b");
+  server.stop();
+}
+
+TEST(HttpServer, RequiresHandler) {
+  HttpServer server;
+  EXPECT_THROW(server.start(nullptr), InvalidArgument);
+}
+
+TEST(HttpClient, ConnectFailureThrows) {
+  // Port 1 on loopback is essentially never listening.
+  EXPECT_THROW(http_get(1, "/"), IoError);
+}
+
+}  // namespace
+}  // namespace preempt::api

@@ -1,0 +1,93 @@
+#include "common/integrate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace preempt {
+namespace {
+
+TEST(AdaptiveSimpson, PolynomialExact) {
+  const double v = integrate_adaptive([](double x) { return 3.0 * x * x; }, 0.0, 2.0);
+  EXPECT_NEAR(v, 8.0, 1e-10);
+}
+
+TEST(AdaptiveSimpson, ExponentialDecay) {
+  const double v = integrate_adaptive([](double x) { return std::exp(-x); }, 0.0, 10.0);
+  EXPECT_NEAR(v, 1.0 - std::exp(-10.0), 1e-9);
+}
+
+TEST(AdaptiveSimpson, ReversedLimitsFlipSign) {
+  const double fwd = integrate_adaptive([](double x) { return x; }, 0.0, 1.0);
+  const double bwd = integrate_adaptive([](double x) { return x; }, 1.0, 0.0);
+  EXPECT_NEAR(fwd, -bwd, 1e-12);
+}
+
+TEST(AdaptiveSimpson, ZeroWidthIsZero) {
+  EXPECT_DOUBLE_EQ(integrate_adaptive([](double) { return 1e9; }, 2.0, 2.0), 0.0);
+}
+
+TEST(AdaptiveSimpson, OscillatoryIntegrand) {
+  const double v = integrate_adaptive([](double x) { return std::sin(x); }, 0.0, kPi);
+  EXPECT_NEAR(v, 2.0, 1e-8);
+}
+
+TEST(GaussLegendre, RuleIsSymmetricAndNormalised) {
+  const auto& rule = gauss_legendre_rule(16);
+  ASSERT_EQ(rule.nodes.size(), 16u);
+  double wsum = 0.0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    wsum += rule.weights[i];
+    EXPECT_NEAR(rule.nodes[i], -rule.nodes[15 - i], 1e-14);
+    EXPECT_NEAR(rule.weights[i], rule.weights[15 - i], 1e-14);
+  }
+  EXPECT_NEAR(wsum, 2.0, 1e-12);
+}
+
+TEST(GaussLegendre, ExactForHighDegreePolynomials) {
+  // n-point GL is exact up to degree 2n-1: try x^15 with n=8 on [0,1] = 1/16.
+  const double v = integrate_gauss([](double x) { return std::pow(x, 15); }, 0.0, 1.0, 8);
+  EXPECT_NEAR(v, 1.0 / 16.0, 1e-13);
+}
+
+TEST(GaussLegendre, MatchesAdaptiveOnSmoothFunction) {
+  auto f = [](double x) { return std::exp(-x) * std::cos(3.0 * x); };
+  const double a = integrate_adaptive(f, 0.0, 5.0, 1e-12);
+  const double g = integrate_gauss(f, 0.0, 5.0, 32);
+  EXPECT_NEAR(a, g, 1e-9);
+}
+
+TEST(GaussComposite, HandlesSharpWall) {
+  // The bathtub deadline wall: e^{(x-24)/0.8} over [0, 24].
+  auto wall = [](double x) { return std::exp((x - 24.0) / 0.8); };
+  const double expected = 0.8 * (1.0 - std::exp(-30.0));
+  const double v = integrate_gauss_composite(wall, 0.0, 24.0, 96, 16);
+  EXPECT_NEAR(v, expected, 1e-10);
+}
+
+TEST(GaussLegendre, RejectsInvalidOrder) {
+  EXPECT_THROW(gauss_legendre_rule(0), InvalidArgument);
+  EXPECT_THROW(gauss_legendre_rule(1000), InvalidArgument);
+}
+
+TEST(Trapezoid, ExactForLinearData) {
+  const std::vector<double> xs = {0.0, 1.0, 3.0};
+  const std::vector<double> ys = {0.0, 2.0, 6.0};
+  EXPECT_NEAR(trapezoid(xs, ys), 9.0, 1e-12);
+}
+
+TEST(Trapezoid, RejectsNonIncreasingAbscissae) {
+  const std::vector<double> xs = {0.0, 1.0, 1.0};
+  const std::vector<double> ys = {0.0, 1.0, 2.0};
+  EXPECT_THROW(trapezoid(xs, ys), InvalidArgument);
+}
+
+TEST(AdaptiveSimpson, ThrowsOnNonFiniteIntegrand) {
+  EXPECT_THROW(integrate_adaptive([](double x) { return 1.0 / x; }, -1.0, 1.0), Error);
+}
+
+}  // namespace
+}  // namespace preempt

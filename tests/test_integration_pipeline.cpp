@@ -1,0 +1,124 @@
+// Full-pipeline integration tests: synthetic measurement campaign -> dataset
+// -> model fitting -> policies -> service, mirroring how the paper's system
+// is assembled end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analysis.hpp"
+#include "core/model.hpp"
+#include "core/registry.hpp"
+#include "policy/checkpoint.hpp"
+#include "policy/running_time.hpp"
+#include "dist/uniform.hpp"
+#include "policy/scheduling.hpp"
+#include "sim/service.hpp"
+#include "test_util.hpp"
+#include "trace/generator.hpp"
+
+namespace preempt {
+namespace {
+
+trace::RegimeKey base_key() {
+  return trace::RegimeKey{trace::VmType::kN1Highcpu16, trace::Zone::kUsEast1B,
+                          trace::DayPeriod::kDay, trace::WorkloadKind::kBatch};
+}
+
+TEST(Pipeline, TraceToModelReproducesGroundTruthBehaviour) {
+  const trace::Dataset ds = trace::generate_campaign({base_key(), 600, 2020});
+  const core::PreemptionModel fitted = core::PreemptionModel::fit(ds.lifetimes());
+  const auto truth = trace::ground_truth_distribution(base_key());
+
+  // The fitted model must reproduce operational quantities of the truth.
+  for (double t : {2.0, 6.0, 12.0, 20.0, 23.0}) {
+    EXPECT_NEAR(fitted.distribution().raw_cdf(t), truth.raw_cdf(t), 0.05) << "t=" << t;
+  }
+  EXPECT_NEAR(fitted.expected_lifetime(), truth.expected_lifetime_eq3(), 0.6);
+}
+
+TEST(Pipeline, FittedPolicyDecisionsMatchTruthPolicyDecisions) {
+  const trace::Dataset ds = trace::generate_campaign({base_key(), 600, 99});
+  const core::PreemptionModel fitted = core::PreemptionModel::fit(ds.lifetimes());
+  const auto truth = trace::ground_truth_distribution(base_key());
+  const policy::ModelDrivenScheduler truth_policy(truth.clone());
+
+  int agreements = 0, total = 0;
+  for (double age = 0.5; age < 24.0; age += 0.5) {
+    for (double job : {2.0, 6.0, 10.0}) {
+      const bool a = fitted.reuse_decision(age, job).reuse;
+      const bool b = truth_policy.decide(age, job).reuse;
+      agreements += (a == b) ? 1 : 0;
+      ++total;
+    }
+  }
+  // Decisions agree almost everywhere (Fig. 7's robustness result).
+  EXPECT_GT(static_cast<double>(agreements) / total, 0.95);
+}
+
+TEST(Pipeline, CsvRoundTripThenRegistryLookup) {
+  trace::StudyConfig cfg;
+  cfg.vms_per_cell = 24;
+  const trace::Dataset ds = trace::generate_study(cfg);
+  const trace::Dataset back = trace::Dataset::from_csv(ds.to_csv());
+  const core::ModelRegistry reg = core::ModelRegistry::fit_from_dataset(back);
+  const core::PreemptionModel& m = reg.lookup(base_key());
+  EXPECT_GT(m.expected_lifetime(), 5.0);
+  EXPECT_LT(m.expected_lifetime(), 20.0);
+}
+
+TEST(Pipeline, FittedModelDrivesCheckpointingEndToEnd) {
+  const trace::Dataset ds = trace::generate_campaign({base_key(), 500, 314});
+  const core::PreemptionModel fitted = core::PreemptionModel::fit(ds.lifetimes());
+  const policy::CheckpointDp dp = fitted.make_checkpoint_dp(4.0);
+  const auto schedule = dp.schedule(0.0);
+  EXPECT_GE(schedule.size(), 2u);
+  // The schedule generated from the *fitted* model must also perform well
+  // under the *true* distribution (evaluate cross-model).
+  const auto truth = trace::ground_truth_distribution(base_key());
+  policy::CheckpointPlan plan;
+  plan.checkpoint_cost_hours = 1.0 / 60.0;
+  plan.work_segments_hours = schedule;
+  const double ours = policy::evaluate_plan(truth, plan, 0.0, {});
+  const double yd = policy::evaluate_plan(
+      truth, policy::young_daly_plan(4.0, 1.0, 1.0 / 60.0), 0.0, {});
+  EXPECT_LT(ours, yd);
+}
+
+TEST(Pipeline, ServiceRunWithFittedModelsCompletes) {
+  // The paper's bootstrapped loop: fit from a small campaign, run the
+  // service with the fitted model while the provider follows ground truth.
+  const trace::Dataset ds = trace::generate_campaign({base_key(), 200, 555});
+  const core::PreemptionModel fitted = core::PreemptionModel::fit(ds.lifetimes());
+  const auto truth = trace::ground_truth_distribution(base_key());
+
+  sim::ServiceConfig cfg;
+  cfg.cluster_size = 8;
+  cfg.seed = 99;
+  sim::BatchService svc(cfg, truth.clone(), fitted.distribution().clone());
+  sim::BagOfJobs bag;
+  bag.spec.work_hours = 14.0 / 60.0;
+  bag.spec.gang_vms = 2;
+  bag.count = 50;
+  svc.submit_bag(bag);
+  const sim::ServiceReport report = svc.run();
+  EXPECT_EQ(report.jobs_completed, 50u);
+  EXPECT_GT(report.cost_reduction_factor, 2.0);
+}
+
+TEST(Pipeline, Fig4StoryHoldsOnFittedModels) {
+  // The full Fig. 4 narrative computed on a *fitted* model rather than the
+  // ground truth: crossover near 5 h, 10 h job increase ≈ 30 min.
+  const trace::Dataset ds = trace::generate_campaign({base_key(), 800, 11});
+  const core::PreemptionModel fitted = core::PreemptionModel::fit(ds.lifetimes());
+  const dist::UniformLifetime uniform(24.0);
+  const double crossover =
+      policy::crossover_job_length(fitted.distribution(), uniform);
+  EXPECT_GT(crossover, 3.0);
+  EXPECT_LT(crossover, 6.5);
+  const double increase_10h = policy::expected_increase(fitted.distribution(), 10.0);
+  EXPECT_GT(increase_10h, 0.3);
+  EXPECT_LT(increase_10h, 0.8);
+}
+
+}  // namespace
+}  // namespace preempt

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/interpolation.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+
+namespace preempt {
+namespace {
+
+// --- LinearInterpolator -----------------------------------------------------
+
+TEST(Interpolator, HitsKnotsExactly) {
+  const std::vector<double> xs = {0.0, 1.0, 3.0};
+  const std::vector<double> ys = {0.0, 2.0, 4.0};
+  const LinearInterpolator f(xs, ys);
+  EXPECT_DOUBLE_EQ(f(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(f(3.0), 4.0);
+}
+
+TEST(Interpolator, LinearBetweenKnotsAndClampedOutside) {
+  const std::vector<double> xs = {0.0, 2.0};
+  const std::vector<double> ys = {0.0, 4.0};
+  const LinearInterpolator f(xs, ys);
+  EXPECT_DOUBLE_EQ(f(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(f(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(f(5.0), 4.0);
+}
+
+TEST(Interpolator, InverseOfMonotoneData) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0};
+  const std::vector<double> ys = {0.0, 0.5, 1.0};
+  const LinearInterpolator f(xs, ys);
+  EXPECT_DOUBLE_EQ(f.inverse(0.25), 0.5);
+  EXPECT_DOUBLE_EQ(f.inverse(0.75), 1.5);
+  EXPECT_DOUBLE_EQ(f.inverse(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.inverse(2.0), 2.0);
+}
+
+TEST(Interpolator, RejectsBadInput) {
+  const std::vector<double> xs = {0.0, 0.0};
+  const std::vector<double> ys = {1.0, 2.0};
+  EXPECT_THROW(LinearInterpolator(xs, ys), InvalidArgument);
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(LinearInterpolator(one, one), InvalidArgument);
+}
+
+// --- Table -------------------------------------------------------------------
+
+TEST(Table, AlignedPrintContainsHeaderAndData) {
+  Table t({"a", "bb"}, "demo");
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  os << t;
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+TEST(Table, NumericRowFormatting) {
+  Table t({"x", "y"});
+  t.add_numeric_row({1.23456, 2.0}, 2);
+  EXPECT_EQ(t.rows()[0][0], "1.23");
+  EXPECT_EQ(t.rows()[0][1], "2.00");
+}
+
+TEST(Table, CsvExport) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  Table t({"x", "y"});
+  EXPECT_THROW(t.add_row({std::string("only-one")}), InvalidArgument);
+}
+
+// --- CSV ----------------------------------------------------------------------
+
+TEST(Csv, ParsesSimpleDocument) {
+  const CsvDocument doc = parse_csv("a,b\n1,2\n3,4\n");
+  ASSERT_EQ(doc.header.size(), 2u);
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[1][1], "4");
+  EXPECT_EQ(doc.column("b"), 1u);
+}
+
+TEST(Csv, HandlesQuotedFieldsAndEmbeddedCommas) {
+  const CsvDocument doc = parse_csv("name,note\nx,\"hello, world\"\n");
+  EXPECT_EQ(doc.rows[0][1], "hello, world");
+}
+
+TEST(Csv, HandlesEscapedQuotes) {
+  const CsvDocument doc = parse_csv("a\n\"say \"\"hi\"\"\"\n");
+  EXPECT_EQ(doc.rows[0][0], "say \"hi\"");
+}
+
+TEST(Csv, RoundTripsThroughToCsv) {
+  const std::vector<std::string> header = {"a", "b"};
+  const std::vector<std::vector<std::string>> rows = {{"1", "with,comma"}, {"2", "plain"}};
+  const CsvDocument doc = parse_csv(to_csv(header, rows));
+  EXPECT_EQ(doc.rows[0][1], "with,comma");
+  EXPECT_EQ(doc.rows[1][1], "plain");
+}
+
+TEST(Csv, RejectsRaggedRows) { EXPECT_THROW(parse_csv("a,b\n1\n"), IoError); }
+
+TEST(Csv, RejectsUnknownColumn) {
+  const CsvDocument doc = parse_csv("a,b\n1,2\n");
+  EXPECT_THROW(doc.column("missing"), IoError);
+}
+
+// --- string_util ----------------------------------------------------------------
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StringUtil, TrimAndLower) {
+  EXPECT_EQ(trim("  hi \t"), "hi");
+  EXPECT_EQ(to_lower("AbC"), "abc");
+}
+
+TEST(StringUtil, JoinInvertsSplit) {
+  EXPECT_EQ(join({"a", "b", "c"}, "-"), "a-b-c");
+}
+
+TEST(StringUtil, NumberFormatting) {
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_general(0.000123456, 3), "0.000123");
+}
+
+TEST(StringUtil, ParseDoubleValidatesWholeString) {
+  EXPECT_DOUBLE_EQ(parse_double(" 1.5 "), 1.5);
+  EXPECT_THROW(parse_double("1.5x"), IoError);
+  EXPECT_THROW(parse_double(""), IoError);
+}
+
+TEST(StringUtil, ParseIntValidatesWholeString) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_THROW(parse_int("4.2"), IoError);
+}
+
+}  // namespace
+}  // namespace preempt

@@ -1,0 +1,136 @@
+// JSON value, parser and writer (common/json.hpp).
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace preempt {
+namespace {
+
+TEST(JsonValue, KindsAndAccessors) {
+  EXPECT_TRUE(JsonValue().is_null());
+  EXPECT_TRUE(JsonValue(nullptr).is_null());
+  EXPECT_TRUE(JsonValue(true).as_bool());
+  EXPECT_DOUBLE_EQ(JsonValue(2.5).as_number(), 2.5);
+  EXPECT_EQ(JsonValue("hi").as_string(), "hi");
+  EXPECT_TRUE(JsonValue(JsonArray{}).is_array());
+  EXPECT_TRUE(JsonValue(JsonObject{}).is_object());
+  EXPECT_THROW(JsonValue(1.0).as_string(), InvalidArgument);
+  EXPECT_THROW(JsonValue("x").as_number(), InvalidArgument);
+}
+
+TEST(JsonValue, ObjectLookupHelpers) {
+  JsonObject obj;
+  obj.emplace_back("a", 1.5);
+  obj.emplace_back("s", "text");
+  obj.emplace_back("flag", true);
+  const JsonValue v(std::move(obj));
+  EXPECT_DOUBLE_EQ(v.number_or("a", 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(v.number_or("missing", 7.0), 7.0);
+  EXPECT_EQ(v.string_or("s", ""), "text");
+  EXPECT_TRUE(v.bool_or("flag", false));
+  EXPECT_EQ(v.find("nope"), nullptr);
+  EXPECT_NE(v.find("a"), nullptr);
+  // Wrong-typed member falls back.
+  EXPECT_DOUBLE_EQ(v.number_or("s", 3.0), 3.0);
+}
+
+TEST(JsonDump, ScalarsAndEscapes) {
+  EXPECT_EQ(JsonValue().dump(), "null");
+  EXPECT_EQ(JsonValue(true).dump(), "true");
+  EXPECT_EQ(JsonValue(42).dump(), "42");
+  EXPECT_EQ(JsonValue(2.5).dump(), "2.5");
+  EXPECT_EQ(JsonValue("a\"b\\c\n").dump(), R"("a\"b\\c\n")");
+  EXPECT_EQ(JsonValue(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+  // No Inf/NaN in JSON.
+  EXPECT_EQ(JsonValue(std::nan("")).dump(), "null");
+}
+
+TEST(JsonDump, NestedStructure) {
+  JsonObject inner;
+  inner.emplace_back("x", 1);
+  JsonArray arr;
+  arr.emplace_back(JsonValue(std::move(inner)));
+  arr.emplace_back("two");
+  JsonObject outer;
+  outer.emplace_back("list", std::move(arr));
+  EXPECT_EQ(JsonValue(std::move(outer)).dump(), R"({"list":[{"x":1},"two"]})");
+}
+
+TEST(JsonDump, PrettyPrintIsReparseable) {
+  JsonObject obj;
+  obj.emplace_back("a", JsonArray{JsonValue(1), JsonValue(2)});
+  obj.emplace_back("b", "text");
+  const JsonValue v(std::move(obj));
+  const std::string pretty = v.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  const JsonValue round = parse_json(pretty);
+  EXPECT_EQ(round.dump(), v.dump());
+}
+
+TEST(JsonParse, RoundTripsValues) {
+  for (const char* text : {
+           R"(null)",
+           R"(true)",
+           R"(-12.75)",
+           R"("hello")",
+           R"([])",
+           R"({})",
+           R"([1,2,3])",
+           R"({"a":{"b":[false,null,"x"]},"c":1e-3})",
+       }) {
+    const JsonValue v = parse_json(text);
+    EXPECT_EQ(parse_json(v.dump()).dump(), v.dump()) << text;
+  }
+}
+
+TEST(JsonParse, Whitespace) {
+  const JsonValue v = parse_json(" {\n \"a\" :\t[ 1 , 2 ] }\r\n");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("a")->as_array().size(), 2u);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b")").as_string(), "a\"b");
+  EXPECT_EQ(parse_json(R"("tab\there")").as_string(), "tab\there");
+  EXPECT_EQ(parse_json(R"("A")").as_string(), "A");
+  EXPECT_EQ(parse_json(R"("é")").as_string(), "\xc3\xa9");  // é in UTF-8
+}
+
+TEST(JsonParse, Numbers) {
+  EXPECT_DOUBLE_EQ(parse_json("0").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(parse_json("-0.5").as_number(), -0.5);
+  EXPECT_DOUBLE_EQ(parse_json("1e3").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse_json("2.25E-2").as_number(), 0.0225);
+}
+
+TEST(JsonParse, Failures) {
+  for (const char* bad : {
+           "", "tru", "nul", "[1,", "{\"a\":}", "{\"a\" 1}", "[1 2]", "\"unterminated",
+           "{\"a\":1}extra", "01x", "\"bad\\q\"", "[--1]",
+       }) {
+    EXPECT_THROW(parse_json(bad), IoError) << "accepted: " << bad;
+  }
+}
+
+TEST(JsonParse, RejectsRawControlCharacters) {
+  std::string s = "\"a";
+  s += '\x02';
+  s += '"';
+  EXPECT_THROW(parse_json(s), IoError);
+}
+
+TEST(JsonParse, DeepNestingWorks) {
+  std::string text;
+  for (int i = 0; i < 60; ++i) text += '[';
+  text += "1";
+  for (int i = 0; i < 60; ++i) text += ']';
+  const JsonValue v = parse_json(text);
+  EXPECT_TRUE(v.is_array());
+}
+
+}  // namespace
+}  // namespace preempt

@@ -1,0 +1,122 @@
+#include "fit/least_squares.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "fit/curve_fit.hpp"
+
+namespace preempt::fit {
+namespace {
+
+TEST(LevenbergMarquardt, SolvesLinearProblemExactly) {
+  // Residuals r_i = (a + b x_i) - y_i for y = 2 + 3x.
+  const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0};
+  ResidualFn residuals = [&xs](const std::vector<double>& p) {
+    std::vector<double> r(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      r[i] = p[0] + p[1] * xs[i] - (2.0 + 3.0 * xs[i]);
+    }
+    return r;
+  };
+  const LmResult res = levenberg_marquardt(residuals, {0.0, 0.0});
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.params[0], 2.0, 1e-6);
+  EXPECT_NEAR(res.params[1], 3.0, 1e-6);
+  EXPECT_NEAR(res.sse, 0.0, 1e-10);
+}
+
+TEST(LevenbergMarquardt, SolvesNonlinearExponentialFit) {
+  // y = 5 e^{-0.7 x} sampled exactly; recover (5, 0.7).
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(0.25 * i);
+    ys.push_back(5.0 * std::exp(-0.7 * 0.25 * i));
+  }
+  ModelFn model = [](double x, const std::vector<double>& p) {
+    return p[0] * std::exp(-p[1] * x);
+  };
+  const LmResult res = curve_fit(model, xs, ys, {1.0, 0.1});
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.params[0], 5.0, 1e-5);
+  EXPECT_NEAR(res.params[1], 0.7, 1e-5);
+}
+
+TEST(LevenbergMarquardt, RosenbrockStyleValley) {
+  // Classic hard case expressed as residuals: r1 = 10(y - x^2), r2 = 1 - x.
+  ResidualFn residuals = [](const std::vector<double>& p) {
+    return std::vector<double>{10.0 * (p[1] - p[0] * p[0]), 1.0 - p[0]};
+  };
+  LmOptions opts;
+  opts.max_iterations = 500;
+  const LmResult res = levenberg_marquardt(residuals, {-1.2, 1.0}, {}, opts);
+  EXPECT_NEAR(res.params[0], 1.0, 1e-4);
+  EXPECT_NEAR(res.params[1], 1.0, 1e-4);
+}
+
+TEST(LevenbergMarquardt, RespectsBounds) {
+  // Unconstrained minimum at p = 5; box caps it at 2.
+  ResidualFn residuals = [](const std::vector<double>& p) {
+    return std::vector<double>{p[0] - 5.0};
+  };
+  Bounds bounds{{0.0}, {2.0}};
+  const LmResult res = levenberg_marquardt(residuals, {1.0}, bounds);
+  EXPECT_NEAR(res.params[0], 2.0, 1e-9);
+}
+
+TEST(LevenbergMarquardt, StartsFromProjectedGuess) {
+  ResidualFn residuals = [](const std::vector<double>& p) {
+    return std::vector<double>{p[0] - 1.0};
+  };
+  Bounds bounds{{0.0}, {2.0}};
+  // Initial guess outside the box gets projected, then optimised.
+  const LmResult res = levenberg_marquardt(residuals, {50.0}, bounds);
+  EXPECT_NEAR(res.params[0], 1.0, 1e-9);
+}
+
+TEST(LevenbergMarquardt, ReportsIterationsAndMessage) {
+  ResidualFn residuals = [](const std::vector<double>& p) {
+    return std::vector<double>{p[0] * p[0] - 2.0};
+  };
+  const LmResult res = levenberg_marquardt(residuals, {1.0});
+  EXPECT_GE(res.iterations, 1);
+  EXPECT_FALSE(res.message.empty());
+  EXPECT_NEAR(res.params[0], std::sqrt(2.0), 1e-6);
+}
+
+TEST(LevenbergMarquardt, RejectsMalformedInput) {
+  ResidualFn residuals = [](const std::vector<double>&) { return std::vector<double>{0.0}; };
+  EXPECT_THROW(levenberg_marquardt(residuals, {}), InvalidArgument);
+  Bounds bad{{1.0}, {0.0}};  // lower > upper
+  EXPECT_THROW(levenberg_marquardt(residuals, {0.5}, bad), InvalidArgument);
+}
+
+TEST(LevenbergMarquardt, ThrowsOnNonFiniteInitialResiduals) {
+  ResidualFn residuals = [](const std::vector<double>& p) {
+    return std::vector<double>{std::log(p[0])};  // NaN at p = -1
+  };
+  EXPECT_THROW(levenberg_marquardt(residuals, {-1.0}), NumericError);
+}
+
+TEST(CurveFit, ValidatesShapes) {
+  ModelFn model = [](double x, const std::vector<double>& p) { return p[0] * x; };
+  const std::vector<double> xs = {1.0, 2.0};
+  const std::vector<double> ys = {1.0};
+  EXPECT_THROW(curve_fit(model, xs, ys, {1.0}), InvalidArgument);
+}
+
+TEST(CurveFit, FitsThroughNoise) {
+  // y = 4 x + noise; the LS slope must land near 4.
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i * 0.1);
+    ys.push_back(4.0 * i * 0.1 + ((i % 3) - 1) * 0.05);
+  }
+  ModelFn model = [](double x, const std::vector<double>& p) { return p[0] * x; };
+  const LmResult res = curve_fit(model, xs, ys, {0.5});
+  EXPECT_NEAR(res.params[0], 4.0, 0.05);
+}
+
+}  // namespace
+}  // namespace preempt::fit

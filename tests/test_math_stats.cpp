@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/stats.hpp"
+
+namespace preempt {
+namespace {
+
+TEST(Math, LinspaceEndpointsAndSpacing) {
+  const auto xs = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(xs.size(), 5u);
+  EXPECT_DOUBLE_EQ(xs.front(), 0.0);
+  EXPECT_DOUBLE_EQ(xs.back(), 1.0);
+  EXPECT_DOUBLE_EQ(xs[1], 0.25);
+  EXPECT_DOUBLE_EQ(xs[2], 0.5);
+}
+
+TEST(Math, LinspaceSinglePoint) {
+  const auto xs = linspace(3.0, 9.0, 1);
+  ASSERT_EQ(xs.size(), 1u);
+  EXPECT_DOUBLE_EQ(xs[0], 3.0);
+}
+
+TEST(Math, LinspaceRejectsZeroPoints) { EXPECT_THROW(linspace(0, 1, 0), InvalidArgument); }
+
+TEST(Math, IsCloseBehaviour) {
+  EXPECT_TRUE(is_close(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(is_close(1.0, 1.001));
+  EXPECT_TRUE(is_close(0.0, 1e-12, 1e-9, 1e-9));
+}
+
+TEST(Math, ClampFunctions) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp01(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(clamp01(1.5), 1.0);
+}
+
+TEST(Math, KahanSumBeatsNaiveOnIllConditionedSeries) {
+  KahanSum k;
+  k.add(1.0);
+  for (int i = 0; i < 10000000; ++i) k.add(1e-16);
+  EXPECT_NEAR(k.value(), 1.0 + 1e-9, 1e-12);
+}
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, MeanRejectsEmpty) {
+  std::vector<double> empty;
+  EXPECT_THROW(mean(empty), InvalidArgument);
+}
+
+TEST(Stats, QuantileType7Convention) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(Stats, QuantileUnsortedInput) {
+  const std::vector<double> xs = {9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(median(xs), 5.0);
+}
+
+TEST(Stats, PearsonCorrelationPerfectAndAnti) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> up = {2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> dn = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson_correlation(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson_correlation(xs, dn), -1.0, 1e-12);
+}
+
+TEST(Stats, LinearRegressionRecoversLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 + 2.0 * i);
+  }
+  const LinearFit fit = linear_regression(xs, ys);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-10);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-10);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, LinearRegressionR2OnNoisyData) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 10; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.0 * i + ((i % 2 == 0) ? 0.5 : -0.5));
+  }
+  const LinearFit fit = linear_regression(xs, ys);
+  EXPECT_GT(fit.r2, 0.9);
+  EXPECT_LT(fit.r2, 1.0);
+}
+
+TEST(Stats, SummarizeBundlesEverything) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.p25, 2.0);
+  EXPECT_DOUBLE_EQ(s.p75, 4.0);
+}
+
+}  // namespace
+}  // namespace preempt

@@ -1,0 +1,121 @@
+#include "common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace preempt {
+namespace {
+
+TEST(Matrix, IdentityAndIndexing) {
+  Matrix m = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), 0.0);
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+}
+
+TEST(Matrix, GramMatrix) {
+  Matrix a(3, 2);
+  a(0, 0) = 1;
+  a(1, 0) = 2;
+  a(2, 0) = 3;
+  a(0, 1) = 4;
+  a(1, 1) = 5;
+  a(2, 1) = 6;
+  const Matrix g = a.gram();
+  EXPECT_DOUBLE_EQ(g(0, 0), 14.0);
+  EXPECT_DOUBLE_EQ(g(0, 1), 32.0);
+  EXPECT_DOUBLE_EQ(g(1, 0), 32.0);
+  EXPECT_DOUBLE_EQ(g(1, 1), 77.0);
+}
+
+TEST(Matrix, MatrixVectorProducts) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  const auto av = a.times({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(av[0], 3.0);
+  EXPECT_DOUBLE_EQ(av[1], 7.0);
+  const auto atv = a.transpose_times({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(atv[0], 4.0);
+  EXPECT_DOUBLE_EQ(atv[1], 6.0);
+}
+
+TEST(Cholesky, SolvesSpdSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 3;
+  const auto x = cholesky_solve(a, {8.0, 7.0});
+  // Solution of [[4,2],[2,3]] x = [8,7] is x = [1.25, 1.5].
+  EXPECT_NEAR(x[0], 1.25, 1e-12);
+  EXPECT_NEAR(x[1], 1.5, 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 5;
+  a(1, 0) = 5;
+  a(1, 1) = 1;  // eigenvalues 6, -4
+  EXPECT_THROW(cholesky_solve(a, {1.0, 1.0}), NumericError);
+}
+
+TEST(QrLeastSquares, ExactSquareSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  const auto x = qr_least_squares(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(QrLeastSquares, OverdeterminedRegression) {
+  // Fit y = b0 + b1 x through 4 points lying on y = 1 + 2x exactly.
+  Matrix a(4, 2);
+  std::vector<double> b(4);
+  for (int i = 0; i < 4; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = i;
+    b[i] = 1.0 + 2.0 * i;
+  }
+  const auto x = qr_least_squares(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(QrLeastSquares, MinimisesResidualOnInconsistentSystem) {
+  // Points (0,0), (1,1), (2,1): LS line is y = 1/6 + x/2.
+  Matrix a(3, 2);
+  std::vector<double> b = {0.0, 1.0, 1.0};
+  for (int i = 0; i < 3; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = i;
+  }
+  const auto x = qr_least_squares(a, b);
+  EXPECT_NEAR(x[0], 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(x[1], 0.5, 1e-12);
+}
+
+TEST(QrLeastSquares, RejectsRankDeficiency) {
+  Matrix a(3, 2);
+  for (int i = 0; i < 3; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = 0.0;  // second column is zero
+  }
+  EXPECT_THROW(qr_least_squares(a, {1.0, 2.0, 3.0}), NumericError);
+}
+
+TEST(QrLeastSquares, RejectsUnderdeterminedShape) {
+  Matrix a(1, 2);
+  EXPECT_THROW(qr_least_squares(a, {1.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace preempt

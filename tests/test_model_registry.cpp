@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/model.hpp"
+#include "core/registry.hpp"
+#include "test_util.hpp"
+#include "trace/generator.hpp"
+
+namespace preempt::core {
+namespace {
+
+using preempt::testing::reference_bathtub;
+using preempt::testing::reference_params;
+
+TEST(PreemptionModel, FromParamsExposesDistribution) {
+  const PreemptionModel m = PreemptionModel::from_params(reference_params());
+  EXPECT_NEAR(m.params().scale, 0.45, 1e-12);
+  EXPECT_FALSE(m.fit_quality().has_value());
+  EXPECT_NEAR(m.expected_lifetime(), 10.89, 0.01);
+  EXPECT_NEAR(m.mean_lifetime(), 10.89 + 2.4, 0.02);
+}
+
+TEST(PreemptionModel, FitRecoversGroundTruth) {
+  const auto truth = reference_bathtub();
+  Rng rng(5150);
+  std::vector<double> lifetimes;
+  for (int i = 0; i < 600; ++i) lifetimes.push_back(truth.sample(rng));
+  const PreemptionModel m = PreemptionModel::fit(lifetimes);
+  ASSERT_TRUE(m.fit_quality().has_value());
+  EXPECT_GT(m.fit_quality()->r2, 0.99);
+  EXPECT_NEAR(m.params().scale, 0.45, 0.05);
+  EXPECT_NEAR(m.params().tau1, 1.0, 0.35);
+}
+
+TEST(PreemptionModel, AnalysisPassthroughsAreConsistent) {
+  const PreemptionModel m = PreemptionModel::from_params(reference_params());
+  EXPECT_NEAR(m.job_failure_probability(0.0, 6.0), 0.4489, 1e-3);
+  EXPECT_GT(m.expected_makespan(10.0), 10.0);
+  EXPECT_NEAR(m.expected_makespan_from_age(8.0, 4.0), 4.0, 0.01);
+  EXPECT_GT(m.preemption_rate(0.1), m.preemption_rate(12.0));
+  EXPECT_GT(m.expected_wasted_work(10.0), 0.0);
+}
+
+TEST(PreemptionModel, PolicyFactories) {
+  const PreemptionModel m = PreemptionModel::from_params(reference_params());
+  EXPECT_TRUE(m.reuse_decision(8.0, 6.0).reuse);
+  EXPECT_FALSE(m.reuse_decision(20.0, 6.0).reuse);
+  const auto scheduler = m.make_scheduler();
+  EXPECT_EQ(scheduler->name(), "model-driven");
+  const auto dp = m.make_checkpoint_dp(2.0);
+  EXPECT_GE(dp.expected_makespan(0.0), 2.0);
+}
+
+TEST(Registry, FitsAllPoolingLevels) {
+  trace::StudyConfig cfg;
+  cfg.vms_per_cell = 30;
+  const trace::Dataset ds = trace::generate_study(cfg);
+  const ModelRegistry reg = ModelRegistry::fit_from_dataset(ds);
+  EXPECT_NE(reg.global(), nullptr);
+  EXPECT_NE(reg.by_type(trace::VmType::kN1Highcpu16), nullptr);
+  EXPECT_NE(reg.by_type_zone(trace::VmType::kN1Highcpu16, trace::Zone::kUsEast1B), nullptr);
+  EXPECT_GT(reg.model_count(), 5u);
+}
+
+TEST(Registry, LookupFallsBackGracefully) {
+  trace::StudyConfig cfg;
+  cfg.vms_per_cell = 30;
+  cfg.idle_fraction = 0.0;  // no idle cells -> full keys with idle miss
+  const trace::Dataset ds = trace::generate_study(cfg);
+  const ModelRegistry reg = ModelRegistry::fit_from_dataset(ds);
+  trace::RegimeKey key;
+  key.type = trace::VmType::kN1Highcpu16;
+  key.zone = trace::Zone::kUsEast1B;
+  key.workload = trace::WorkloadKind::kIdle;  // never observed
+  // Falls back to (type, zone) or coarser without throwing.
+  const PreemptionModel& m = reg.lookup(key);
+  EXPECT_GT(m.expected_lifetime(), 0.0);
+}
+
+TEST(Registry, PerTypeModelsReflectObservation4) {
+  trace::StudyConfig cfg;
+  cfg.vms_per_cell = 60;
+  const trace::Dataset ds = trace::generate_study(cfg);
+  const ModelRegistry reg = ModelRegistry::fit_from_dataset(ds);
+  const PreemptionModel* small = reg.by_type(trace::VmType::kN1Highcpu2);
+  const PreemptionModel* big = reg.by_type(trace::VmType::kN1Highcpu32);
+  ASSERT_NE(small, nullptr);
+  ASSERT_NE(big, nullptr);
+  // Larger VMs preempt more: 6 h fresh failure probability must be higher.
+  EXPECT_GT(big->job_failure_probability(0.0, 6.0),
+            small->job_failure_probability(0.0, 6.0));
+}
+
+TEST(Registry, RejectsEmptyDataset) {
+  const trace::Dataset empty;
+  EXPECT_THROW(ModelRegistry::fit_from_dataset(empty), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace preempt::core

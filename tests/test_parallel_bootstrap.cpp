@@ -1,0 +1,134 @@
+// Parallel bootstrap: determinism across runs, agreement with the serial
+// implementation, and failure handling under a flaky fitter.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "dist/exponential.hpp"
+#include "fit/bootstrap.hpp"
+#include "fit/model_fitters.hpp"
+#include "test_util.hpp"
+
+namespace preempt::fit {
+namespace {
+
+std::vector<double> exponential_sample(double rate, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  const dist::Exponential d(rate);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) xs.push_back(d.sample(rng));
+  return xs;
+}
+
+/// Closed-form exponential rate "fitter": fast and exact for testing.
+SampleFitter rate_fitter() {
+  return [](std::span<const double> xs) {
+    double sum = 0.0;
+    for (double x : xs) sum += x;
+    PREEMPT_CHECK(sum > 0.0, "degenerate resample");
+    return std::vector<double>{static_cast<double>(xs.size()) / sum};
+  };
+}
+
+TEST(ParallelBootstrap, DeterministicAcrossRuns) {
+  const auto xs = exponential_sample(0.5, 200, 3);
+  const auto a = bootstrap_parameters_parallel(xs, rate_fitter(), 100, 0.95, 42);
+  const auto b = bootstrap_parameters_parallel(xs, rate_fitter(), 100, 0.95, 42);
+  ASSERT_EQ(a.params.size(), 1u);
+  EXPECT_DOUBLE_EQ(a.params[0].mean, b.params[0].mean);
+  EXPECT_DOUBLE_EQ(a.params[0].stddev, b.params[0].stddev);
+  EXPECT_DOUBLE_EQ(a.params[0].ci_lo, b.params[0].ci_lo);
+  EXPECT_DOUBLE_EQ(a.params[0].ci_hi, b.params[0].ci_hi);
+  EXPECT_EQ(a.replicates, b.replicates);
+}
+
+TEST(ParallelBootstrap, SeedChangesTheDraws) {
+  const auto xs = exponential_sample(0.5, 200, 3);
+  const auto a = bootstrap_parameters_parallel(xs, rate_fitter(), 100, 0.95, 1);
+  const auto b = bootstrap_parameters_parallel(xs, rate_fitter(), 100, 0.95, 2);
+  EXPECT_NE(a.params[0].mean, b.params[0].mean);
+}
+
+TEST(ParallelBootstrap, AgreesWithSerialStatistically) {
+  const auto xs = exponential_sample(0.25, 400, 11);
+  const auto serial = bootstrap_parameters(xs, rate_fitter(), 400, 0.95, 7);
+  const auto parallel = bootstrap_parameters_parallel(xs, rate_fitter(), 400, 0.95, 7);
+  // Different stream layouts, same estimand: means within a couple of
+  // bootstrap standard errors, similar CI widths.
+  EXPECT_NEAR(parallel.params[0].mean, serial.params[0].mean,
+              3.0 * serial.params[0].stddev / std::sqrt(400.0) * 10.0);
+  const double w_serial = serial.params[0].ci_hi - serial.params[0].ci_lo;
+  const double w_parallel = parallel.params[0].ci_hi - parallel.params[0].ci_lo;
+  EXPECT_NEAR(w_parallel / w_serial, 1.0, 0.35);
+}
+
+TEST(ParallelBootstrap, CiCoversTheTruth) {
+  const auto xs = exponential_sample(0.4, 500, 19);
+  const auto r = bootstrap_parameters_parallel(xs, rate_fitter(), 300, 0.99, 5);
+  EXPECT_LT(r.params[0].ci_lo, 0.4);
+  EXPECT_GT(r.params[0].ci_hi, 0.4);
+  EXPECT_NEAR(r.params[0].estimate, 0.4, 0.06);
+}
+
+TEST(ParallelBootstrap, WorksWithTheBathtubFitter) {
+  Rng rng(23);
+  const auto truth = preempt::testing::reference_bathtub();
+  std::vector<double> xs;
+  for (int i = 0; i < 150; ++i) xs.push_back(truth.sample(rng));
+  SampleFitter fitter = [](std::span<const double> samples) {
+    return fit_bathtub_to_samples(samples, 24.0).params;
+  };
+  const auto r = bootstrap_parameters_parallel(xs, fitter, 40, 0.9, 31);
+  ASSERT_EQ(r.params.size(), 4u);
+  // A (plateau) interval should bracket the truth.
+  EXPECT_LT(r.params[0].ci_lo, 0.45);
+  EXPECT_GT(r.params[0].ci_hi, 0.45);
+}
+
+TEST(ParallelBootstrap, SkipsFailingReplicatesButEnforcesQuorum) {
+  const auto xs = exponential_sample(0.5, 100, 3);
+  double full_sum = 0.0;
+  for (double x : xs) full_sum += x;
+  // Fails ~30% of replicates deterministically by resample content — but
+  // never the mandatory full-sample fit.
+  SampleFitter flaky = [full_sum](std::span<const double> samples) {
+    double sum = 0.0;
+    for (double x : samples) sum += x;
+    if (sum != full_sum && std::fmod(sum, 1.0) < 0.3) throw NumericError("synthetic failure");
+    return std::vector<double>{static_cast<double>(samples.size()) / sum};
+  };
+  const auto r = bootstrap_parameters_parallel(xs, flaky, 100, 0.95, 13);
+  EXPECT_LT(r.replicates, 100u);
+  EXPECT_GE(r.replicates * 2, std::size_t{100});
+
+  // A fitter that dies on the full sample propagates immediately.
+  SampleFitter always_fails = [](std::span<const double>) -> std::vector<double> {
+    throw NumericError("no");
+  };
+  EXPECT_THROW(bootstrap_parameters_parallel(xs, always_fails, 20, 0.95, 13), NumericError);
+
+  // One that passes the full sample but fails most resamples trips the
+  // half-must-succeed quorum.
+  SampleFitter mostly_fails = [full_sum](std::span<const double> samples) {
+    double sum = 0.0;
+    for (double x : samples) sum += x;
+    if (sum != full_sum) throw NumericError("synthetic failure");
+    return std::vector<double>{1.0};
+  };
+  EXPECT_THROW(bootstrap_parameters_parallel(xs, mostly_fails, 20, 0.95, 13),
+               InvalidArgument);
+}
+
+TEST(ParallelBootstrap, Preconditions) {
+  const auto xs = exponential_sample(0.5, 50, 3);
+  EXPECT_THROW(bootstrap_parameters_parallel({}, rate_fitter(), 100), InvalidArgument);
+  EXPECT_THROW(bootstrap_parameters_parallel(xs, rate_fitter(), 5), InvalidArgument);
+  EXPECT_THROW(bootstrap_parameters_parallel(xs, rate_fitter(), 100, 1.5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace preempt::fit

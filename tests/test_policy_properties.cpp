@@ -1,0 +1,156 @@
+// Cross-regime property sweep (TEST_P over every VM type's ground truth):
+// the policy guarantees the paper argues for must hold in *every* preemption
+// regime, not just the headline one.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dist/uniform.hpp"
+#include "policy/checkpoint.hpp"
+#include "policy/running_time.hpp"
+#include "policy/scheduling.hpp"
+#include "trace/ground_truth.hpp"
+
+namespace preempt::policy {
+namespace {
+
+struct RegimeCase {
+  std::string label;
+  trace::RegimeKey key;
+};
+
+std::vector<RegimeCase> regimes() {
+  std::vector<RegimeCase> out;
+  for (const trace::VmSpec& spec : trace::all_vm_specs()) {
+    trace::RegimeKey key;
+    key.type = spec.type;
+    out.push_back({spec.name, key});
+  }
+  // One night regime and one idle regime for diversity.
+  trace::RegimeKey night;
+  night.period = trace::DayPeriod::kNight;
+  out.push_back({std::string("n1_highcpu_16_night"), night});
+  trace::RegimeKey idle;
+  idle.workload = trace::WorkloadKind::kIdle;
+  out.push_back({std::string("n1_highcpu_16_idle"), idle});
+  return out;
+}
+
+class RegimeProps : public ::testing::TestWithParam<RegimeCase> {
+ protected:
+  dist::BathtubDistribution truth() const {
+    return trace::ground_truth_distribution(GetParam().key);
+  }
+};
+
+TEST_P(RegimeProps, ModelDrivenNeverWorseThanMemoryless) {
+  // The literal Eq. 8 rule can be *marginally* worse than memoryless for
+  // very short jobs (it rejects young VMs whose conditional risk is already
+  // below the fresh-VM level — see DESIGN.md); allow half a percentage point
+  // there, and demand strict dominance from 3 h up.
+  const auto d = truth();
+  const ModelDrivenScheduler ours(d.clone());
+  const MemorylessScheduler baseline(d.clone());
+  for (double job : {1.0, 2.0}) {
+    EXPECT_LE(ours.average_failure_probability(job),
+              baseline.average_failure_probability(job) + 0.005)
+        << "job=" << job;
+  }
+  for (double job : {3.0, 6.0, 12.0, 18.0}) {
+    EXPECT_LE(ours.average_failure_probability(job),
+              baseline.average_failure_probability(job) + 1e-9)
+        << "job=" << job;
+  }
+}
+
+TEST_P(RegimeProps, ConditionalRuleAlsoNeverWorse) {
+  const auto d = truth();
+  const ModelDrivenScheduler ours(d.clone(), d.clone(), ReuseRule::kConditionalWaste);
+  const MemorylessScheduler baseline(d.clone());
+  for (double job : {1.0, 6.0, 12.0}) {
+    EXPECT_LE(ours.average_failure_probability(job),
+              baseline.average_failure_probability(job) + 1e-9)
+        << "job=" << job;
+  }
+}
+
+TEST_P(RegimeProps, FreshVmDecisionIsAlwaysReuse) {
+  // E[T_0] <= E[T_0] trivially: a brand-new VM is always acceptable.
+  const auto d = truth();
+  const ModelDrivenScheduler ours(d.clone());
+  for (double job : {0.5, 4.0, 12.0}) {
+    EXPECT_TRUE(ours.decide(0.0, job).reuse) << "job=" << job;
+  }
+}
+
+TEST_P(RegimeProps, FailureProbabilityMonotoneInJobLength) {
+  const auto d = truth();
+  for (double age : {0.0, 6.0, 15.0}) {
+    double prev = -1.0;
+    for (double job : {0.5, 2.0, 4.0, 8.0, 16.0}) {
+      const double p = job_failure_probability(d, age, job);
+      EXPECT_GE(p, prev - 1e-12) << "age=" << age << " job=" << job;
+      prev = p;
+    }
+  }
+}
+
+TEST_P(RegimeProps, ExpectedIncreaseMonotoneInJobLength) {
+  const auto d = truth();
+  double prev = -1.0;
+  for (double job : {1.0, 4.0, 8.0, 16.0, 23.0}) {
+    const double inc = expected_increase(d, job);
+    EXPECT_GE(inc, prev - 1e-12);
+    prev = inc;
+  }
+}
+
+TEST_P(RegimeProps, WasteNeverExceedsJobLength) {
+  // E[W1(T)] <= T: you cannot lose more than the whole job to one failure.
+  const auto d = truth();
+  for (double job : {0.5, 3.0, 9.0, 20.0, 23.9}) {
+    EXPECT_LE(expected_wasted_work_single(d, job), job + 1e-9) << "job=" << job;
+  }
+}
+
+TEST_P(RegimeProps, DpScheduleCoversWorkAndBeatsNoCheckpoint) {
+  const auto d = truth();
+  CheckpointConfig cfg;
+  cfg.step_hours = 2.0 / 60.0;  // coarser grid keeps the sweep fast
+  const CheckpointDp dp(d, 4.0, cfg);
+  const auto schedule = dp.schedule(0.0);
+  const double total = std::accumulate(schedule.begin(), schedule.end(), 0.0);
+  EXPECT_NEAR(total, 4.0, 1e-6);
+  const double none =
+      evaluate_plan(d, no_checkpoint_plan(4.0, cfg.checkpoint_cost_hours), 0.0, cfg);
+  EXPECT_LE(dp.expected_makespan(0.0), none + 1e-9);
+  EXPECT_GE(dp.expected_makespan(0.0), 4.0 - 1e-9);
+}
+
+TEST_P(RegimeProps, DpMakespanDecreasesIntoTheStablePhase) {
+  const auto d = truth();
+  CheckpointConfig cfg;
+  cfg.step_hours = 2.0 / 60.0;
+  const CheckpointDp dp(d, 2.0, cfg);
+  EXPECT_LE(dp.expected_makespan(8.0), dp.expected_makespan(0.0) + 1e-9);
+}
+
+TEST_P(RegimeProps, BathtubBeatsUniformForLongJobs) {
+  // The Fig. 4 argument generalises: past the crossover, constrained bathtub
+  // preemptions waste less than uniform ones in every regime.
+  const auto d = truth();
+  const dist::UniformLifetime uniform(24.0);
+  EXPECT_LT(expected_increase(d, 16.0), expected_increase(uniform, 16.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegimes, RegimeProps, ::testing::ValuesIn(regimes()),
+                         [](const ::testing::TestParamInfo<RegimeCase>& param_info) {
+                           std::string name = param_info.param.label;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace preempt::policy

@@ -1,0 +1,172 @@
+// Public-dataset CSV importer: schema tolerance, unit inference, failure
+// injection, and the bundled data/ sample files.
+#include "trace/public_dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace preempt::trace {
+namespace {
+
+TEST(PublicDataset, ImportsCanonicalSchema) {
+  const std::string csv =
+      "machine_type,zone,launch_hour,day_of_week,lifetime_hours\n"
+      "n1-highcpu-16,us-east1-b,10.5,2,7.25\n"
+      "n1-highcpu-2,us-west1-a,22.0,6,23.9\n";
+  const auto report = import_public_csv(csv);
+  EXPECT_EQ(report.imported, 2u);
+  EXPECT_EQ(report.skipped, 0u);
+  ASSERT_EQ(report.dataset.size(), 2u);
+  const auto& r0 = report.dataset.records()[0];
+  EXPECT_EQ(r0.type, VmType::kN1Highcpu16);
+  EXPECT_EQ(r0.zone, Zone::kUsEast1B);
+  EXPECT_DOUBLE_EQ(r0.lifetime_hours, 7.25);
+  EXPECT_EQ(r0.period, DayPeriod::kDay);
+  EXPECT_EQ(r0.day_of_week, 2);
+  const auto& r1 = report.dataset.records()[1];
+  EXPECT_EQ(r1.period, DayPeriod::kNight);
+}
+
+TEST(PublicDataset, InfersSecondsFromColumnName) {
+  const std::string csv =
+      "instance_type,duration_seconds\n"
+      "n1-highcpu-8,7200\n";
+  ImportOptions opts;
+  opts.default_zone = Zone::kUsCentral1C;
+  const auto report = import_public_csv(csv, opts);
+  ASSERT_EQ(report.imported, 1u);
+  EXPECT_DOUBLE_EQ(report.dataset.records()[0].lifetime_hours, 2.0);
+  EXPECT_EQ(report.dataset.records()[0].zone, Zone::kUsCentral1C);
+}
+
+TEST(PublicDataset, InfersMinutesFromColumnName) {
+  const std::string csv =
+      "type,zone,lifetime_minutes\n"
+      "n1-highcpu-4,us-west1-a,90\n";
+  const auto report = import_public_csv(csv);
+  ASSERT_EQ(report.imported, 1u);
+  EXPECT_DOUBLE_EQ(report.dataset.records()[0].lifetime_hours, 1.5);
+}
+
+TEST(PublicDataset, HeaderMatchingIsCaseInsensitive) {
+  const std::string csv =
+      "Machine_Type,ZONE,Lifetime\n"
+      "n1-highcpu-16,us-east1-b,3.5\n";
+  const auto report = import_public_csv(csv);
+  EXPECT_EQ(report.imported, 1u);
+}
+
+TEST(PublicDataset, SkipsUnknownTypesAndZones) {
+  const std::string csv =
+      "machine_type,zone,lifetime_hours\n"
+      "n1-highcpu-16,us-east1-b,5.0\n"
+      "e2-standard-4,us-east1-b,5.0\n"
+      "n1-highcpu-16,europe-west4-a,5.0\n";
+  const auto report = import_public_csv(csv);
+  EXPECT_EQ(report.imported, 1u);
+  EXPECT_EQ(report.skipped, 2u);
+  EXPECT_EQ(report.warnings.size(), 2u);
+}
+
+TEST(PublicDataset, SkipsJunkLifetimes) {
+  const std::string csv =
+      "machine_type,zone,lifetime_hours\n"
+      "n1-highcpu-16,us-east1-b,not-a-number\n"
+      "n1-highcpu-16,us-east1-b,-2\n"
+      "n1-highcpu-16,us-east1-b,0\n"
+      "n1-highcpu-16,us-east1-b,500\n"
+      "n1-highcpu-16,us-east1-b,12.5\n";
+  const auto report = import_public_csv(csv);
+  EXPECT_EQ(report.imported, 1u);
+  EXPECT_EQ(report.skipped, 4u);
+}
+
+TEST(PublicDataset, StrictModeThrowsOnFirstBadRow) {
+  const std::string csv =
+      "machine_type,zone,lifetime_hours\n"
+      "mystery-vm,us-east1-b,5.0\n";
+  ImportOptions opts;
+  opts.strict = true;
+  EXPECT_THROW(import_public_csv(csv, opts), IoError);
+}
+
+TEST(PublicDataset, DuplicateSkipReasonsAreDeduplicated) {
+  const std::string csv =
+      "machine_type,zone,lifetime_hours\n"
+      "bad-vm,us-east1-b,5.0\n"
+      "bad-vm,us-east1-b,6.0\n"
+      "bad-vm,us-east1-b,7.0\n";
+  const auto report = import_public_csv(csv);
+  EXPECT_EQ(report.skipped, 3u);
+  EXPECT_EQ(report.warnings.size(), 1u);
+}
+
+TEST(PublicDataset, RequiresLifetimeColumn) {
+  EXPECT_THROW(import_public_csv("machine_type,zone\nn1-highcpu-16,us-east1-b\n"), IoError);
+}
+
+TEST(PublicDataset, RequiresTypeOrDefault) {
+  const std::string csv = "zone,lifetime_hours\nus-east1-b,5.0\n";
+  EXPECT_THROW(import_public_csv(csv), IoError);
+  ImportOptions opts;
+  opts.default_type = VmType::kN1Highcpu16;
+  const auto report = import_public_csv(csv, opts);
+  EXPECT_EQ(report.imported, 1u);
+  EXPECT_EQ(report.dataset.records()[0].type, VmType::kN1Highcpu16);
+}
+
+TEST(PublicDataset, RequiresZoneOrDefault) {
+  const std::string csv = "machine_type,lifetime_hours\nn1-highcpu-16,5.0\n";
+  EXPECT_THROW(import_public_csv(csv), IoError);
+}
+
+TEST(PublicDataset, NormalisesLaunchHour) {
+  const std::string csv =
+      "machine_type,zone,launch_hour,lifetime_hours\n"
+      "n1-highcpu-16,us-east1-b,25.5,5.0\n"   // wraps to 1.5
+      "n1-highcpu-16,us-east1-b,-3.0,5.0\n";  // wraps to 21.0
+  const auto report = import_public_csv(csv);
+  ASSERT_EQ(report.imported, 2u);
+  EXPECT_DOUBLE_EQ(report.dataset.records()[0].launch_hour, 1.5);
+  EXPECT_DOUBLE_EQ(report.dataset.records()[1].launch_hour, 21.0);
+}
+
+TEST(PublicDataset, RejectsMalformedCsv) {
+  EXPECT_THROW(import_public_csv("machine_type,zone,lifetime_hours\na,b\n"), IoError);
+}
+
+TEST(PublicDataset, LoadsBundledHoursSample) {
+  const auto report = load_public_csv(std::string(PREEMPT_SOURCE_DIR) + "/data/sample_lifetimes_hours.csv");
+  EXPECT_EQ(report.skipped, 0u);
+  EXPECT_EQ(report.imported, 240u);
+  // Both types and both zones present.
+  EXPECT_EQ(report.dataset.group_by_type().size(), 2u);
+  EXPECT_EQ(report.dataset.group_by_zone().size(), 2u);
+  // All lifetimes within the 24 h constraint (up to atom rounding).
+  for (const auto& r : report.dataset.records()) {
+    EXPECT_GT(r.lifetime_hours, 0.0);
+    EXPECT_LE(r.lifetime_hours, 24.0 + 1e-6);
+  }
+}
+
+TEST(PublicDataset, LoadsBundledSecondsSample) {
+  ImportOptions opts;
+  opts.default_zone = Zone::kUsWest1A;
+  const auto report = load_public_csv(std::string(PREEMPT_SOURCE_DIR) + "/data/sample_lifetimes_seconds.csv", opts);
+  EXPECT_EQ(report.skipped, 0u);
+  EXPECT_EQ(report.imported, 80u);
+  for (const auto& r : report.dataset.records()) {
+    EXPECT_LE(r.lifetime_hours, 24.0 + 1e-6);
+    EXPECT_EQ(r.type, VmType::kN1Highcpu32);
+  }
+}
+
+TEST(PublicDataset, LoadThrowsOnMissingFile) {
+  EXPECT_THROW(load_public_csv(std::string(PREEMPT_SOURCE_DIR) + "/data/definitely_not_here.csv"), IoError);
+}
+
+}  // namespace
+}  // namespace preempt::trace

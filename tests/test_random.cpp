@@ -1,0 +1,145 @@
+#include "common/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace preempt {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro, DeterministicStream) {
+  Xoshiro256StarStar a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, JumpChangesStream) {
+  Xoshiro256StarStar a(42), b(42);
+  b.jump();
+  bool any_different = false;
+  for (int i = 0; i < 10; ++i) any_different |= (a() != b());
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMomentsMatch) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum_sq += u * u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+  EXPECT_NEAR(sum_sq / kN - 0.25, 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t k = rng.uniform_index(7);
+    EXPECT_LT(k, 7u);
+    seen.insert(k);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, ExponentialHasCorrectMean) {
+  Rng rng(13);
+  constexpr double kRate = 0.5;
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(kRate);
+  EXPECT_NEAR(sum / kN, 1.0 / kRate, 0.02);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(17);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.03);
+  EXPECT_NEAR(var, 4.0, 0.08);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, DiscreteFollowsWeights) {
+  Rng rng(23);
+  std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.discrete(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kN), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kN), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kN), 0.6, 0.01);
+}
+
+TEST(Rng, DiscreteRejectsBadWeights) {
+  Rng rng(1);
+  EXPECT_THROW(rng.discrete({}), InvalidArgument);
+  EXPECT_THROW(rng.discrete({0.0, 0.0}), InvalidArgument);
+  EXPECT_THROW(rng.discrete({1.0, -1.0}), InvalidArgument);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(29);
+  Rng child = parent.fork();
+  // Parent and child should not emit identical sequences.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.uniform() == child.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, SameSeedSameSequenceAcrossInstances) {
+  Rng a(31), b(31);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+}  // namespace
+}  // namespace preempt

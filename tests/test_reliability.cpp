@@ -1,0 +1,93 @@
+#include "dist/reliability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dist/exponential.hpp"
+#include "dist/uniform.hpp"
+#include "test_util.hpp"
+
+namespace preempt::dist {
+namespace {
+
+using preempt::testing::reference_bathtub;
+
+TEST(Reliability, MttfOfExponential) {
+  const Exponential d(0.25);
+  EXPECT_NEAR(mttf(d), 4.0, 1e-12);
+}
+
+TEST(Reliability, ConditionalSurvivalMemoryless) {
+  const Exponential d(0.5);
+  EXPECT_NEAR(conditional_survival(d, 3.0, 2.0), d.survival(2.0), 1e-12);
+  EXPECT_NEAR(conditional_failure(d, 3.0, 2.0), d.cdf(2.0), 1e-12);
+}
+
+TEST(Reliability, ConditionalSurvivalBathtubStablePhase) {
+  const auto d = reference_bathtub();
+  // A VM that survived the infant phase is very likely to survive the stable
+  // middle (Observation 1 / Sec. 3.1 significance discussion).
+  EXPECT_GT(conditional_survival(d, 5.0, 6.0), 0.99);
+  // But almost surely dies crossing the deadline wall.
+  EXPECT_LT(conditional_survival(d, 20.0, 4.0), 1e-6);
+}
+
+TEST(Reliability, ConditionalSurvivalAtDeadEndIsZero) {
+  const auto d = reference_bathtub();
+  EXPECT_DOUBLE_EQ(conditional_survival(d, 24.0, 1.0), 0.0);
+}
+
+TEST(Reliability, MeanResidualLifeExponentialIsConstant) {
+  const Exponential d(0.5);
+  EXPECT_NEAR(mean_residual_life(d, 0.0), 2.0, 1e-6);
+  EXPECT_NEAR(mean_residual_life(d, 7.0), 2.0, 1e-6);
+}
+
+TEST(Reliability, MeanResidualLifeUniform) {
+  const UniformLifetime d(24.0);
+  // MRL(s) = (24 - s)/2 for uniform.
+  EXPECT_NEAR(mean_residual_life(d, 0.0), 12.0, 1e-9);
+  EXPECT_NEAR(mean_residual_life(d, 12.0), 6.0, 1e-9);
+}
+
+TEST(Reliability, BathtubMrlPeaksAfterInfantPhase) {
+  const auto d = reference_bathtub();
+  const double at_birth = mean_residual_life(d, 0.0);
+  const double post_infant = mean_residual_life(d, 4.0);
+  const double near_deadline = mean_residual_life(d, 22.0);
+  // Surviving the infant phase buys a longer outlook than birth; the wall
+  // destroys it.
+  EXPECT_GT(post_infant, at_birth);
+  EXPECT_LT(near_deadline, 2.0);
+}
+
+TEST(Reliability, MttfFromInitialRateMatchesPaperBaseline) {
+  // Sec. 6.2.2 derives the Young-Daly MTTF from the initial failure rate.
+  const auto d = reference_bathtub();
+  // h(0) = A (1/tau1 + e^{-30}/tau2) ≈ 0.45 -> MTTF ≈ 2.22 h.
+  EXPECT_NEAR(mttf_from_initial_rate(d), 1.0 / 0.45, 0.01);
+}
+
+TEST(Reliability, PhaseClassification) {
+  const auto d = reference_bathtub();
+  EXPECT_EQ(classify_phase(d, 0.5), Phase::kInfant);
+  EXPECT_EQ(classify_phase(d, 12.0), Phase::kStable);
+  EXPECT_EQ(classify_phase(d, 23.0), Phase::kDeadline);
+}
+
+TEST(Reliability, PhaseNamesAreStable) {
+  EXPECT_STREQ(phase_name(Phase::kInfant), "infant");
+  EXPECT_STREQ(phase_name(Phase::kStable), "stable");
+  EXPECT_STREQ(phase_name(Phase::kDeadline), "deadline");
+}
+
+TEST(Reliability, PreconditionsChecked) {
+  const Exponential d(1.0);
+  EXPECT_THROW(conditional_survival(d, -1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(mean_residual_life(d, -1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace preempt::dist

@@ -1,0 +1,64 @@
+#include "common/root_find.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace preempt {
+namespace {
+
+TEST(Bisect, FindsSqrtTwo) {
+  const double r = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_NEAR(r, std::sqrt(2.0), 1e-10);
+}
+
+TEST(Bisect, ExactRootAtEndpoint) {
+  EXPECT_DOUBLE_EQ(bisect([](double x) { return x; }, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(bisect([](double x) { return x - 1.0; }, 0.0, 1.0), 1.0);
+}
+
+TEST(Bisect, RequiresSignChange) {
+  EXPECT_THROW(bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0), InvalidArgument);
+}
+
+TEST(Brent, FindsSqrtTwoFast) {
+  const double r = brent([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_NEAR(r, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Brent, TranscendentalRoot) {
+  // x = cos(x) has root ~0.7390851332.
+  const double r = brent([](double x) { return x - std::cos(x); }, 0.0, 1.0);
+  EXPECT_NEAR(r, 0.7390851332151607, 1e-10);
+}
+
+TEST(Brent, SteepExponentialRoot) {
+  // The bathtub quantile shape: e^{(x-24)/0.8} = 0.5 -> x = 24 + 0.8 ln 0.5.
+  const double r =
+      brent([](double x) { return std::exp((x - 24.0) / 0.8) - 0.5; }, 0.0, 24.0);
+  EXPECT_NEAR(r, 24.0 + 0.8 * std::log(0.5), 1e-9);
+}
+
+TEST(Brent, RequiresSignChange) {
+  EXPECT_THROW(brent([](double x) { return x * x + 1.0; }, -1.0, 1.0), InvalidArgument);
+}
+
+TEST(GoldenSection, FindsParabolaMinimum) {
+  const double m = golden_section_minimize([](double x) { return (x - 3.0) * (x - 3.0); }, 0.0, 10.0);
+  EXPECT_NEAR(m, 3.0, 1e-8);
+}
+
+TEST(GoldenSection, FindsAsymmetricMinimum) {
+  auto f = [](double x) { return std::exp(x) - 3.0 * x; };  // min at ln 3
+  const double m = golden_section_minimize(f, 0.0, 3.0);
+  EXPECT_NEAR(m, std::log(3.0), 1e-8);
+}
+
+TEST(GoldenSection, RequiresOrderedBracket) {
+  EXPECT_THROW(golden_section_minimize([](double x) { return x; }, 1.0, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace preempt

@@ -1,0 +1,176 @@
+// Tests of the Sec. 4.1 running-time analysis (Eqs. 4-8) against closed forms
+// and the paper's Fig. 4 anchors.
+#include "policy/running_time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dist/exponential.hpp"
+#include "dist/uniform.hpp"
+#include "test_util.hpp"
+
+namespace preempt::policy {
+namespace {
+
+using preempt::testing::reference_bathtub;
+
+TEST(RunningTime, UniformWasteIsHalfJobLength) {
+  // Paper Sec. 6.1: "for the uniform distribution, the wasted work ... is
+  // given by J/2".
+  const dist::UniformLifetime u(24.0);
+  for (double j : {1.0, 5.0, 12.0, 20.0}) {
+    EXPECT_NEAR(expected_wasted_work_single(u, j), j / 2.0, 1e-10);
+  }
+}
+
+TEST(RunningTime, UniformIncreaseIsQuadratic) {
+  // Expected increase = J^2/48 for L = 24 (Sec. 6.1).
+  const dist::UniformLifetime u(24.0);
+  for (double j : {2.0, 6.0, 10.0, 24.0}) {
+    EXPECT_NEAR(expected_increase(u, j), j * j / 48.0, 1e-10);
+  }
+}
+
+TEST(RunningTime, BathtubTenHourJobAnchor) {
+  // Fig. 4b text: "for a 10 hour job, the increase in running time is about
+  // 30 minutes ... if failures were uniformly distributed, ... 2 hours".
+  const auto d = reference_bathtub();
+  const double bathtub_increase = expected_increase(d, 10.0);
+  EXPECT_GT(bathtub_increase, 0.35);
+  EXPECT_LT(bathtub_increase, 0.6);
+  const dist::UniformLifetime u(24.0);
+  EXPECT_NEAR(expected_increase(u, 10.0), 100.0 / 48.0, 1e-9);  // ≈ 2.08 h
+}
+
+TEST(RunningTime, BathtubWasteNearDeadlineMatchesFig4a) {
+  // Fig. 4a: wasted hours for a ~24 h job reach ≈ 12 h.
+  const auto d = reference_bathtub();
+  const double w = expected_wasted_work_single(d, 23.9);
+  EXPECT_GT(w, 11.0);
+  EXPECT_LT(w, 12.7);
+}
+
+TEST(RunningTime, BathtubShortJobsWasteMoreThanUniform) {
+  // Fig. 4b: "the high rate of early failures ... results in a slightly worse
+  // running time for short jobs" — below the crossover the bathtub increase
+  // exceeds the uniform increase.
+  const auto d = reference_bathtub();
+  const dist::UniformLifetime u(24.0);
+  for (double j : {1.0, 2.0, 3.0}) {
+    EXPECT_GT(expected_increase(d, j), expected_increase(u, j)) << "J=" << j;
+  }
+}
+
+TEST(RunningTime, CrossoverNearFiveHours) {
+  // Fig. 4b: "for jobs longer than 5 hours, a cross-over point is reached".
+  const auto d = reference_bathtub();
+  const dist::UniformLifetime u(24.0);
+  const double crossover = crossover_job_length(d, u);
+  EXPECT_GT(crossover, 3.8);
+  EXPECT_LT(crossover, 5.5);
+  // Beyond it, bathtub is strictly better.
+  for (double j : {6.0, 10.0, 18.0}) {
+    EXPECT_LT(expected_increase(d, j), expected_increase(u, j)) << "J=" << j;
+  }
+}
+
+TEST(RunningTime, WasteReductionUpTo40x) {
+  // Sec. 6.1: bathtub waste is "between 1x-40x" lower than uniform for long
+  // jobs. Check a >4x gap at 10 h and >1x over the post-crossover range.
+  const auto d = reference_bathtub();
+  const dist::UniformLifetime u(24.0);
+  EXPECT_GT(expected_increase(u, 10.0) / expected_increase(d, 10.0), 4.0);
+  EXPECT_GT(expected_increase(u, 20.0) / expected_increase(d, 20.0), 1.0);
+}
+
+TEST(RunningTime, MakespanIsJobPlusIncrease) {
+  const auto d = reference_bathtub();
+  for (double j : {1.0, 6.0, 12.0}) {
+    EXPECT_NEAR(expected_makespan(d, j), j + expected_increase(d, j), 1e-12);
+  }
+}
+
+TEST(RunningTime, MakespanFromAgeZeroMatchesBase) {
+  const auto d = reference_bathtub();
+  EXPECT_NEAR(expected_makespan_from_age(d, 0.0, 6.0), expected_makespan(d, 6.0), 1e-12);
+}
+
+TEST(RunningTime, MidlifeStartHasNearZeroPenalty) {
+  // Eq. 8: a job running entirely inside the stable phase sees almost no
+  // expected increase.
+  const auto d = reference_bathtub();
+  const double penalty = expected_makespan_from_age(d, 8.0, 4.0) - 4.0;
+  EXPECT_LT(penalty, 0.01);
+  EXPECT_GE(penalty, 0.0);
+}
+
+TEST(RunningTime, DeadlineStartHasHugePenalty) {
+  const auto d = reference_bathtub();
+  const double penalty = expected_makespan_from_age(d, 19.0, 6.0) - 6.0;
+  EXPECT_GT(penalty, 5.0);
+}
+
+TEST(RunningTime, ExponentialWasteIsNotHalfJob) {
+  // For memoryless failures E[W1] < J/2 (density decays), the contrast the
+  // paper draws in Sec. 4.1.
+  const dist::Exponential e(0.5);
+  const double j = 4.0;
+  EXPECT_LT(expected_wasted_work_single(e, j), j / 2.0);
+}
+
+TEST(RunningTime, ZeroJobLengthEdgeCases) {
+  const auto d = reference_bathtub();
+  EXPECT_DOUBLE_EQ(expected_wasted_work_single(d, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(expected_increase(d, 0.0), 0.0);
+  EXPECT_THROW(expected_increase(d, -1.0), InvalidArgument);
+}
+
+TEST(RunningTime, MultiFailureMakespanUniformClosedForm) {
+  // Uniform(24), job 6 h: p = 3/4, E[X 1{X<=6}] = 36/48 = 0.75
+  // -> E[M] = 6 + 0.75/0.75 = 7 (matches the plan-evaluator closed form).
+  const dist::UniformLifetime u(24.0);
+  EXPECT_NEAR(expected_makespan_with_restarts(u, 6.0), 7.0, 1e-9);
+}
+
+TEST(RunningTime, MultiFailureDominatesSingleFailureApproximation) {
+  // Multiple retries can only add time relative to Eq. 7's at-most-one-
+  // failure approximation.
+  const auto d = reference_bathtub();
+  for (double j : {1.0, 4.0, 8.0, 16.0}) {
+    EXPECT_GE(expected_makespan_with_restarts(d, j), expected_makespan(d, j) - 1e-9)
+        << "J=" << j;
+  }
+}
+
+TEST(RunningTime, MultiFailureClosedFormValue) {
+  // F(2h) ≈ 0.389, E[X 1{X<=2}] ≈ 0.267 -> E[M] = 2 + 0.267/0.611 ≈ 2.44,
+  // noticeably above Eq. 7's single-failure 2 + 0.267 = 2.27.
+  const auto d = reference_bathtub();
+  const double m = expected_makespan_with_restarts(d, 2.0);
+  EXPECT_NEAR(m, 2.4375, 0.01);
+  EXPECT_GT(m, expected_makespan(d, 2.0));
+}
+
+TEST(RunningTime, MultiFailureChargesRestartOverhead) {
+  const auto d = reference_bathtub();
+  const double cheap = expected_makespan_with_restarts(d, 4.0, 0.0);
+  const double pricey = expected_makespan_with_restarts(d, 4.0, 0.25);
+  EXPECT_GT(pricey, cheap);
+}
+
+TEST(RunningTime, MultiFailureRejectsImpossibleJobs) {
+  // A 25 h job can never beat the 24 h deadline without checkpointing.
+  const auto d = reference_bathtub();
+  EXPECT_THROW(expected_makespan_with_restarts(d, 25.0), InvalidArgument);
+}
+
+TEST(RunningTime, CrossoverReturnsNanWhenNoCrossing) {
+  const dist::UniformLifetime u(24.0);
+  const double c = crossover_job_length(u, u);  // identical distributions
+  EXPECT_TRUE(std::isnan(c) || c >= 0.0);  // degenerate: zero difference everywhere
+}
+
+}  // namespace
+}  // namespace preempt::policy

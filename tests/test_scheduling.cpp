@@ -1,0 +1,237 @@
+// Tests of the Sec. 4.2 job-scheduling / VM-reuse policy and the Fig. 5-7
+// experiments' underlying quantities.
+#include "policy/scheduling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dist/exponential.hpp"
+#include "test_util.hpp"
+
+namespace preempt::policy {
+namespace {
+
+using preempt::testing::reference_bathtub;
+using preempt::testing::reference_params;
+
+dist::DistributionPtr ref_ptr() { return reference_bathtub().clone(); }
+
+TEST(FailureProbability, FreshVmMatchesCdf) {
+  const auto d = reference_bathtub();
+  EXPECT_NEAR(job_failure_probability(d, 0.0, 6.0), d.cdf(6.0), 1e-12);
+  // The Fig. 5 plateau: ≈ 0.45 for the reference regime.
+  EXPECT_NEAR(job_failure_probability(d, 0.0, 6.0), 0.4489, 1e-3);
+}
+
+TEST(FailureProbability, CertainFailurePastDeadline) {
+  const auto d = reference_bathtub();
+  // A 6 h job started after hour 18 cannot finish before the 24 h deadline.
+  EXPECT_DOUBLE_EQ(job_failure_probability(d, 18.0, 6.0), 1.0);
+  EXPECT_DOUBLE_EQ(job_failure_probability(d, 23.0, 6.0), 1.0);
+}
+
+TEST(FailureProbability, StablePhaseIsNearlySafe) {
+  const auto d = reference_bathtub();
+  EXPECT_LT(job_failure_probability(d, 9.0, 6.0), 0.001);
+}
+
+TEST(FailureProbability, MemorylessIsAgeIndependent) {
+  const dist::Exponential e(0.3);
+  EXPECT_NEAR(job_failure_probability(e, 0.0, 2.0), job_failure_probability(e, 7.0, 2.0), 1e-12);
+}
+
+TEST(FailureProbability, ZeroLengthJobNeverFails) {
+  const auto d = reference_bathtub();
+  EXPECT_DOUBLE_EQ(job_failure_probability(d, 5.0, 0.0), 0.0);
+}
+
+TEST(GangFailure, SingleVmReducesToJobFailure) {
+  const auto d = reference_bathtub();
+  const std::vector<double> one = {0.0};
+  EXPECT_NEAR(gang_failure_probability(d, one, 6.0), job_failure_probability(d, 0.0, 6.0),
+              1e-12);
+}
+
+TEST(GangFailure, IndependenceProductForm) {
+  const auto d = reference_bathtub();
+  const std::vector<double> ages = {0.0, 8.0, 12.0};
+  double expected = 1.0;
+  for (double age : ages) expected *= 1.0 - job_failure_probability(d, age, 4.0);
+  EXPECT_NEAR(gang_failure_probability(d, ages, 4.0), 1.0 - expected, 1e-12);
+}
+
+TEST(GangFailure, GrowsWithGangSizeAndDominatesWorstMember) {
+  const auto d = reference_bathtub();
+  const std::vector<double> small = {8.0, 9.0};
+  const std::vector<double> large = {8.0, 9.0, 0.5, 19.5};
+  const double p_small = gang_failure_probability(d, small, 4.0);
+  const double p_large = gang_failure_probability(d, large, 4.0);
+  EXPECT_GT(p_large, p_small);
+  double worst = 0.0;
+  for (double age : large) worst = std::max(worst, job_failure_probability(d, age, 4.0));
+  EXPECT_GE(p_large, worst - 1e-12);
+}
+
+TEST(GangFailure, CertainWhenAnyMemberCannotFinish) {
+  const auto d = reference_bathtub();
+  const std::vector<double> ages = {8.0, 21.0};  // second VM dies before +4 h
+  EXPECT_DOUBLE_EQ(gang_failure_probability(d, ages, 4.0), 1.0);
+}
+
+TEST(ModelDriven, ReusesStableVms) {
+  const ModelDrivenScheduler policy(ref_ptr());
+  for (double age : {4.0, 8.0, 12.0, 15.0}) {
+    const ReuseDecision d = policy.decide(age, 6.0);
+    EXPECT_TRUE(d.reuse) << "age=" << age;
+  }
+}
+
+TEST(ModelDriven, RelinquishesNearDeadline) {
+  // Fig. 5: "after 18 hours, we will be better off running the job on a
+  // newer VM" (our rule switches somewhat earlier; the decision boundary
+  // must lie in the late afternoon of VM life).
+  const ModelDrivenScheduler policy(ref_ptr());
+  for (double age : {18.0, 20.0, 23.0}) {
+    EXPECT_FALSE(policy.decide(age, 6.0).reuse) << "age=" << age;
+  }
+}
+
+TEST(ModelDriven, FailureProbabilityIsCappedAtFreshVmLevel) {
+  // Once the policy switches to fresh VMs the failure probability is constant
+  // at F(T) (the flat right side of Fig. 5).
+  const ModelDrivenScheduler policy(ref_ptr());
+  const auto d = reference_bathtub();
+  const double fresh = d.cdf(6.0);
+  for (double age : {0.0, 5.0, 10.0, 17.0, 19.0, 22.0, 23.5}) {
+    EXPECT_LE(policy.policy_failure_probability(age, 6.0), fresh + 1e-9) << "age=" << age;
+  }
+}
+
+TEST(Memoryless, AlwaysReusesAndFailsLate) {
+  const MemorylessScheduler policy(ref_ptr());
+  EXPECT_TRUE(policy.decide(23.0, 6.0).reuse);
+  // Certain failure when reusing past the 18 h boundary (Fig. 5).
+  EXPECT_DOUBLE_EQ(policy.policy_failure_probability(19.0, 6.0), 1.0);
+}
+
+TEST(AlwaysFresh, NeverReuses) {
+  const AlwaysFreshScheduler policy(ref_ptr());
+  const ReuseDecision d = policy.decide(10.0, 6.0);
+  EXPECT_FALSE(d.reuse);
+  EXPECT_NEAR(d.failure_probability, reference_bathtub().cdf(6.0), 1e-12);
+}
+
+TEST(Fig6, ModelDrivenHalvesAverageFailureProbability) {
+  // Fig. 6: "for all but the shortest and longest jobs, the failure
+  // probability with our policy is half of that of existing memoryless
+  // policies".
+  const ModelDrivenScheduler ours(ref_ptr());
+  const MemorylessScheduler baseline(ref_ptr());
+  for (double job : {6.0, 8.0, 12.0}) {
+    const double a = ours.average_failure_probability(job);
+    const double b = baseline.average_failure_probability(job);
+    EXPECT_LT(a, 0.62 * b) << "job=" << job;
+  }
+  // The paper carves out "the shortest and longest jobs"; still, ours must
+  // never be worse.
+  for (double job : {1.0, 4.0, 20.0}) {
+    EXPECT_LE(ours.average_failure_probability(job),
+              baseline.average_failure_probability(job) + 1e-9)
+        << "job=" << job;
+  }
+}
+
+TEST(Fig6, FailureProbabilityGrowsWithJobLength) {
+  const ModelDrivenScheduler ours(ref_ptr());
+  double prev = -1.0;
+  for (double job : {2.0, 6.0, 12.0, 18.0, 23.0}) {
+    const double p = ours.average_failure_probability(job);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Fig7, SuboptimalModelBarelyHurts) {
+  // Fig. 7: using n1-highcpu-16 parameters to schedule n1-highcpu-32 VMs
+  // (a deliberately bad fit) increases job failure probability by < 2%.
+  auto p32 = reference_params();
+  p32.scale = 0.50;
+  p32.tau1 = 0.7;
+  const dist::BathtubDistribution truth32(p32);
+
+  const ModelDrivenScheduler best_fit(truth32.clone(), truth32.clone());
+  const ModelDrivenScheduler suboptimal(ref_ptr() /* 16-core model */, truth32.clone());
+  const MemorylessScheduler memoryless(truth32.clone());
+
+  for (double job : {4.0, 6.0, 10.0}) {
+    const double best = best_fit.average_failure_probability(job);
+    const double sub = suboptimal.average_failure_probability(job);
+    const double memless = memoryless.average_failure_probability(job);
+    EXPECT_LT(std::abs(sub - best), 0.02) << "job=" << job;
+    // And even the wrong bathtub beats memoryless clearly (>= 15%).
+    EXPECT_LT(sub, 0.85 * memless) << "job=" << job;
+  }
+}
+
+TEST(ConditionalRule, ReusesYoungVmsForShortJobs) {
+  // The literal Eq. 8 rejects a 30-minute-old VM for a 12-minute job (t f(t)
+  // peaks at t = tau1); the conditional-waste rule does not.
+  const ModelDrivenScheduler paper(ref_ptr(), ref_ptr(), ReuseRule::kPaperEq8);
+  const ModelDrivenScheduler corrected(ref_ptr(), ref_ptr(), ReuseRule::kConditionalWaste);
+  const double age = 0.5, job = 0.2;
+  EXPECT_FALSE(paper.decide(age, job).reuse);     // the artifact
+  EXPECT_TRUE(corrected.decide(age, job).reuse);  // the fix
+}
+
+TEST(ConditionalRule, AgreesWithPaperRuleOnFig5Regime) {
+  // For the 6 h jobs of Fig. 5 both rules reuse mid-life and reject late.
+  const ModelDrivenScheduler paper(ref_ptr(), ref_ptr(), ReuseRule::kPaperEq8);
+  const ModelDrivenScheduler corrected(ref_ptr(), ref_ptr(), ReuseRule::kConditionalWaste);
+  for (double age : {6.0, 10.0, 14.0}) {
+    EXPECT_TRUE(paper.decide(age, 6.0).reuse) << age;
+    EXPECT_TRUE(corrected.decide(age, 6.0).reuse) << age;
+  }
+  for (double age : {19.0, 22.0}) {
+    EXPECT_FALSE(paper.decide(age, 6.0).reuse) << age;
+    EXPECT_FALSE(corrected.decide(age, 6.0).reuse) << age;
+  }
+}
+
+TEST(ConditionalRule, NeverReusesWhenCompletionIsImpossible) {
+  const ModelDrivenScheduler corrected(ref_ptr(), ref_ptr(), ReuseRule::kConditionalWaste);
+  EXPECT_FALSE(corrected.decide(23.0, 2.0).reuse);
+  EXPECT_FALSE(corrected.decide(23.95, 0.2).reuse);
+}
+
+TEST(TransitionLength, ExistsForLateStarts) {
+  // T* (Sec. 4.2): at age 19 the switch point is small; long jobs go fresh.
+  const ModelDrivenScheduler policy(ref_ptr());
+  const double t_star = policy.transition_job_length(19.0);
+  ASSERT_FALSE(std::isnan(t_star));
+  EXPECT_GT(t_star, 0.0);
+  EXPECT_LT(t_star, 6.0);
+  // Consistency: shorter than T* reuses, longer relinquishes.
+  EXPECT_TRUE(policy.decide(19.0, std::max(0.05, t_star - 0.2)).reuse);
+  EXPECT_FALSE(policy.decide(19.0, t_star + 0.2).reuse);
+}
+
+TEST(TransitionLength, EarlyAgesReuseEverything) {
+  const ModelDrivenScheduler policy(ref_ptr());
+  const double t_star = policy.transition_job_length(6.0);
+  // At age 6 h every job up to the horizon is better on the warm VM or the
+  // transition sits far to the right.
+  EXPECT_TRUE(std::isnan(t_star) || t_star > 10.0);
+}
+
+TEST(Preconditions, RejectBadArguments) {
+  const ModelDrivenScheduler policy(ref_ptr());
+  EXPECT_THROW(policy.decide(-1.0, 6.0), InvalidArgument);
+  EXPECT_THROW(policy.decide(5.0, 0.0), InvalidArgument);
+  const auto d = reference_bathtub();
+  EXPECT_THROW(job_failure_probability(d, -1.0, 1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace preempt::policy

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "dist/piecewise.hpp"
+#include "fit/bootstrap.hpp"
+#include "fit/model_fitters.hpp"
+#include "fit/segmented.hpp"
+#include "test_util.hpp"
+
+namespace preempt::fit {
+namespace {
+
+TEST(Segmented, RecoversThreePhaseCdf) {
+  // Truth: piecewise linear with breaks at 3 h and 20 h.
+  const std::vector<double> knot_t = {0.0, 3.0, 20.0, 24.0};
+  const std::vector<double> knot_f = {0.0, 0.3, 0.45, 1.0};
+  const dist::PiecewiseLinearCdf truth(knot_t, knot_f);
+  std::vector<double> ts, fs;
+  for (int i = 0; i < 97; ++i) {
+    const double t = 24.0 * i / 96.0;
+    ts.push_back(t);
+    fs.push_back(truth.cdf(t));
+  }
+  const SegmentedFit fit = fit_segmented_cdf(ts, fs, 24.0, 32);
+  EXPECT_NEAR(fit.break1, 3.0, 1.0);
+  EXPECT_NEAR(fit.break2, 20.0, 1.5);
+  EXPECT_LT(fit.gof.rmse, 0.02);
+}
+
+TEST(Segmented, ApproximatesBathtubReasonably) {
+  // Sec. 8 "phase-wise model": a 3-segment CDF should track the smooth
+  // bathtub well in the stable region.
+  const auto truth = preempt::testing::reference_bathtub();
+  std::vector<double> ts, fs;
+  for (int i = 1; i < 96; ++i) {
+    const double t = 24.0 * i / 96.0;
+    ts.push_back(t);
+    fs.push_back(truth.raw_cdf(t));
+  }
+  const SegmentedFit fit = fit_segmented_cdf(ts, fs, 24.0, 24);
+  EXPECT_LT(fit.gof.rmse, 0.05);
+  EXPECT_GT(fit.gof.r2, 0.95);
+  // The fitted model is itself a usable distribution.
+  EXPECT_GE(fit.model->cdf(12.0), 0.3);
+  EXPECT_LE(fit.model->cdf(12.0), 0.6);
+}
+
+TEST(Segmented, RejectsTinyInput) {
+  const std::vector<double> ts = {0.0, 1.0, 2.0};
+  const std::vector<double> fs = {0.0, 0.5, 1.0};
+  EXPECT_THROW(fit_segmented_cdf(ts, fs, 24.0), InvalidArgument);
+}
+
+TEST(Bootstrap, QuantifiesFitUncertainty) {
+  const auto truth = preempt::testing::reference_bathtub();
+  Rng rng(8);
+  std::vector<double> lifetimes;
+  for (int i = 0; i < 300; ++i) lifetimes.push_back(truth.sample(rng));
+
+  SampleFitter fitter = [](std::span<const double> xs) {
+    return fit_bathtub_to_samples(xs, 24.0).params;
+  };
+  const BootstrapResult res = bootstrap_parameters(lifetimes, fitter, 60, 0.9, 77);
+  ASSERT_EQ(res.params.size(), 4u);
+  EXPECT_GE(res.replicates, 30u);
+  // A (scale): CI must bracket the truth and be reasonably tight.
+  EXPECT_LE(res.params[0].ci_lo, 0.45);
+  EXPECT_GE(res.params[0].ci_hi, 0.45);
+  EXPECT_GT(res.params[0].stddev, 0.0);
+  EXPECT_LT(res.params[0].ci_hi - res.params[0].ci_lo, 0.2);
+}
+
+TEST(Bootstrap, ValidatesArguments) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  SampleFitter fitter = [](std::span<const double>) { return std::vector<double>{1.0}; };
+  std::vector<double> empty;
+  EXPECT_THROW(bootstrap_parameters(empty, fitter), InvalidArgument);
+  EXPECT_THROW(bootstrap_parameters(xs, fitter, 5), InvalidArgument);       // too few reps
+  EXPECT_THROW(bootstrap_parameters(xs, fitter, 50, 1.5), InvalidArgument);  // bad confidence
+}
+
+TEST(Bootstrap, SkipsFailingReplicates) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  int calls = 0;
+  SampleFitter flaky = [&calls](std::span<const double>) -> std::vector<double> {
+    // Full-sample call (first) succeeds; 30% of replicates throw.
+    ++calls;
+    if (calls % 10 == 3) throw NumericError("synthetic failure");
+    return {1.0};
+  };
+  const BootstrapResult res = bootstrap_parameters(xs, flaky, 50, 0.9, 5);
+  EXPECT_LT(res.replicates, 50u);
+  EXPECT_GE(res.replicates, 25u);
+}
+
+}  // namespace
+}  // namespace preempt::fit

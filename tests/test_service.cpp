@@ -1,0 +1,227 @@
+// End-to-end tests of the batch computing service simulation (paper Sec. 5-6).
+#include "sim/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "test_util.hpp"
+#include "trace/ground_truth.hpp"
+
+namespace preempt::sim {
+namespace {
+
+using preempt::testing::reference_bathtub;
+
+dist::DistributionPtr truth() { return reference_bathtub().clone(); }
+
+ServiceConfig small_config() {
+  ServiceConfig cfg;
+  cfg.vm_type = trace::VmType::kN1Highcpu16;
+  cfg.cluster_size = 8;
+  cfg.seed = 7;
+  return cfg;
+}
+
+BagOfJobs small_bag(std::size_t count, double minutes, int gang) {
+  BagOfJobs bag;
+  bag.name = "test-bag";
+  bag.spec.name = "job";
+  bag.spec.work_hours = minutes / 60.0;
+  bag.spec.gang_vms = gang;
+  return bag.count = count, bag;
+}
+
+TEST(Service, CompletesAllJobs) {
+  BatchService svc(small_config(), truth(), truth());
+  svc.submit_bag(small_bag(20, 15.0, 2));
+  const ServiceReport report = svc.run();
+  EXPECT_EQ(report.jobs_completed, 20u);
+  for (const Job& job : svc.jobs()) {
+    EXPECT_EQ(job.state, JobState::kCompleted);
+    EXPECT_GE(job.finish_time, job.submit_time);
+    EXPECT_NEAR(job.completed_work, job.spec.work_hours, 1e-9);
+  }
+}
+
+TEST(Service, DeterministicPerSeed) {
+  auto run_once = [] {
+    BatchService svc(small_config(), truth(), truth());
+    svc.submit_bag(small_bag(15, 10.0, 2));
+    return svc.run();
+  };
+  const ServiceReport a = run_once();
+  const ServiceReport b = run_once();
+  EXPECT_DOUBLE_EQ(a.makespan_hours, b.makespan_hours);
+  EXPECT_DOUBLE_EQ(a.total_cost, b.total_cost);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+}
+
+TEST(Service, PreemptibleIsMuchCheaperThanOnDemand) {
+  // The Fig. 9a headline: ~5x cost reduction.
+  BatchService svc(small_config(), truth(), truth());
+  svc.submit_bag(small_bag(40, 14.0, 2));
+  const ServiceReport report = svc.run();
+  EXPECT_GT(report.cost_reduction_factor, 2.5);
+  EXPECT_LT(report.cost_per_job, report.on_demand_cost_per_job);
+}
+
+TEST(Service, CostsAccrueOnlyWhileVmsRun) {
+  BatchService svc(small_config(), truth(), truth());
+  svc.submit_bag(small_bag(10, 10.0, 1));
+  const ServiceReport report = svc.run();
+  EXPECT_GT(report.total_vm_hours, 0.0);
+  EXPECT_GT(report.total_cost, 0.0);
+  // VM hours can't exceed cluster size x makespan (+ hot-spare retention).
+  const double bound = (report.makespan_hours + 1.5) * (8 + report.vms_launched);
+  EXPECT_LT(report.total_vm_hours, bound);
+}
+
+TEST(Service, GangJobsOccupyMultipleVms) {
+  ServiceConfig cfg = small_config();
+  cfg.cluster_size = 4;
+  BatchService svc(cfg, truth(), truth());
+  svc.submit_bag(small_bag(6, 12.0, 4));  // whole cluster per job
+  const ServiceReport report = svc.run();
+  EXPECT_EQ(report.jobs_completed, 6u);
+  // Jobs must serialise: makespan at least 6 x 12 min of work.
+  EXPECT_GE(report.makespan_hours, 6.0 * 12.0 / 60.0 - 1e-6);
+}
+
+TEST(Service, PreemptionsAreObservedOnLongBags) {
+  // A bag long enough to stretch over many VM lifetimes must see preemptions.
+  BatchService svc(small_config(), truth(), truth());
+  svc.submit_bag(small_bag(300, 20.0, 2));
+  const ServiceReport report = svc.run();
+  EXPECT_GT(report.preemptions_total, 0);
+  EXPECT_GT(report.vms_launched, 8);  // replacements happened
+}
+
+TEST(Service, WastedHoursTrackPreemptionsHittingJobs) {
+  BatchService svc(small_config(), truth(), truth());
+  svc.submit_bag(small_bag(300, 20.0, 2));
+  const ServiceReport report = svc.run();
+  if (report.preemptions > 0) {
+    EXPECT_GT(report.wasted_hours, 0.0);
+  }
+  EXPECT_GE(report.increase_fraction, 0.0);
+}
+
+TEST(Service, ModelDrivenBeatsMemorylessOnJobFailures) {
+  // Sec. 6.2.1: the reuse policy halves job failure probability; in service
+  // terms, fewer preemptions hit running jobs.
+  auto run_policy = [](ReusePolicyKind kind) {
+    ServiceConfig cfg;
+    cfg.cluster_size = 8;
+    cfg.seed = 1234;
+    cfg.reuse_policy = kind;
+    BatchService svc(cfg, reference_bathtub().clone(), reference_bathtub().clone());
+    BagOfJobs bag;
+    bag.spec.work_hours = 2.0;  // long jobs: the end-of-life window matters
+    bag.spec.gang_vms = 1;
+    bag.count = 400;
+    svc.submit_bag(bag);
+    return svc.run();
+  };
+  const ServiceReport ours = run_policy(ReusePolicyKind::kModelDriven);
+  const ServiceReport memoryless = run_policy(ReusePolicyKind::kMemoryless);
+  EXPECT_LT(ours.preemptions, memoryless.preemptions);
+  EXPECT_LT(ours.wasted_hours, memoryless.wasted_hours);
+}
+
+TEST(Service, CheckpointingReducesWaste) {
+  auto run_ckpt = [](bool enabled) {
+    ServiceConfig cfg;
+    cfg.cluster_size = 4;
+    cfg.seed = 77;
+    cfg.checkpointing = enabled;
+    const auto model = reference_bathtub();
+    std::unique_ptr<CheckpointPlanner> planner;
+    if (enabled) {
+      auto dp = std::make_shared<const policy::CheckpointDp>(model, 3.0,
+                                                             policy::CheckpointConfig{});
+      planner = std::make_unique<DpCheckpointPlanner>(dp);
+    }
+    BatchService svc(cfg, model.clone(), model.clone(), std::move(planner));
+    BagOfJobs bag;
+    bag.spec.work_hours = 3.0;
+    bag.spec.gang_vms = 1;
+    bag.spec.checkpointable = true;
+    bag.spec.checkpoint_cost_hours = 1.0 / 60.0;
+    bag.count = 60;
+    svc.submit_bag(bag);
+    return svc.run();
+  };
+  const ServiceReport with = run_ckpt(true);
+  const ServiceReport without = run_ckpt(false);
+  EXPECT_LT(with.wasted_hours, without.wasted_hours);
+  EXPECT_GT(with.checkpoint_overhead_hours, 0.0);
+  EXPECT_DOUBLE_EQ(without.checkpoint_overhead_hours, 0.0);
+}
+
+TEST(Service, HotSparesExpireWhenIdle) {
+  // Mid-bag idling: one long job keeps the service busy while the rest of
+  // the cluster sits idle past the retention window. (At bag completion the
+  // cluster is drained immediately, so only mid-bag idling exercises spares.)
+  ServiceConfig cfg = small_config();
+  cfg.cluster_size = 6;
+  cfg.hot_spare_retention_hours = 0.25;
+  BatchService svc(cfg, truth(), truth());
+  svc.submit_bag(small_bag(1, 120.0, 1));  // 2 h job pins the service open
+  svc.submit_bag(small_bag(3, 3.0, 1));    // short jobs leave idle VMs behind
+  const ServiceReport report = svc.run();
+  EXPECT_GT(report.hot_spare_expirations, 0);
+}
+
+TEST(Service, MixedBagsShareTheCluster) {
+  // Two bags with different shapes (the service is not restricted to
+  // homogeneous workloads): a gang bag and a single-VM bag.
+  BatchService svc(small_config(), truth(), truth());
+  svc.submit_bag(small_bag(10, 12.0, 4));
+  svc.submit_bag(small_bag(20, 6.0, 1));
+  const ServiceReport report = svc.run();
+  EXPECT_EQ(report.jobs_completed, 30u);
+  for (const Job& job : svc.jobs()) EXPECT_EQ(job.state, JobState::kCompleted);
+  // Heterogeneous bags fall back to the work-conservation ideal bound.
+  EXPECT_GT(report.ideal_makespan_hours, 0.0);
+  EXPECT_GE(report.makespan_hours, report.ideal_makespan_hours - 1e-9);
+}
+
+TEST(Service, ClusterDrainsWhenBagCompletes) {
+  BatchService svc(small_config(), truth(), truth());
+  svc.submit_bag(small_bag(5, 10.0, 1));
+  const ServiceReport report = svc.run();
+  // Billing stops when the bag finishes: the total VM-hours cannot include
+  // an hour-long hot-spare tail for the whole cluster.
+  EXPECT_LT(report.total_vm_hours, (report.makespan_hours + 0.25) * 8.0 + 1.0);
+}
+
+TEST(Service, ReuseRuleKnobIsHonoured) {
+  // The literal Eq. 8 rule churns the fleet on very short jobs; the
+  // conditional rule reuses young VMs (see DESIGN.md / ablation bench).
+  auto run_rule = [](policy::ReuseRule rule) {
+    ServiceConfig cfg = small_config();
+    cfg.reuse_rule = rule;
+    BatchService svc(cfg, reference_bathtub().clone(), reference_bathtub().clone());
+    svc.submit_bag(small_bag(40, 10.0, 1));
+    return svc.run();
+  };
+  const ServiceReport literal = run_rule(policy::ReuseRule::kPaperEq8);
+  const ServiceReport conditional = run_rule(policy::ReuseRule::kConditionalWaste);
+  EXPECT_GT(literal.fresh_vm_launches, conditional.fresh_vm_launches);
+}
+
+TEST(Service, ValidatesConfiguration) {
+  EXPECT_THROW(BatchService(small_config(), nullptr, truth()), InvalidArgument);
+  ServiceConfig cfg = small_config();
+  cfg.checkpointing = true;  // no planner supplied
+  EXPECT_THROW(BatchService(cfg, truth(), truth()), InvalidArgument);
+  BatchService svc(small_config(), truth(), truth());
+  EXPECT_THROW(svc.run(), InvalidArgument);  // no jobs
+  BagOfJobs bag = small_bag(1, 10.0, 99);   // gang larger than cluster
+  EXPECT_THROW(svc.submit_bag(bag), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace preempt::sim

@@ -1,0 +1,96 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace preempt::sim {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&order] { order.push_back(3); });
+  sim.schedule_at(1.0, [&order] { order.push_back(1); });
+  sim.schedule_at(2.0, [&order] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, TiesBreakByPriorityThenFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&order] { order.push_back(10); }, /*priority=*/0);
+  sim.schedule_at(1.0, [&order] { order.push_back(-5); }, /*priority=*/-1);
+  sim.schedule_at(1.0, [&order] { order.push_back(11); }, /*priority=*/0);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{-5, 10, 11}));
+}
+
+TEST(Simulator, ScheduleInUsesRelativeTime) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(2.0, [&sim, &fired_at] {
+    sim.schedule_in(1.5, [&sim, &fired_at] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 3.5);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.schedule_at(1.0, [&fired] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, RunStopsAtMaxTime) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&count] { ++count; });
+  sim.schedule_at(5.0, [&count] { ++count; });
+  sim.run(2.0);
+  EXPECT_EQ(count, 1);
+  EXPECT_FALSE(sim.idle());
+  sim.run();
+  EXPECT_EQ(count, 2);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 5) sim.schedule_in(1.0, step);
+  };
+  sim.schedule_at(0.0, step);
+  sim.run();
+  EXPECT_EQ(chain, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+  EXPECT_EQ(sim.executed_events(), 5u);
+}
+
+TEST(Simulator, RejectsPastAndNullEvents) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), InvalidArgument);
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), InvalidArgument);
+  EXPECT_THROW(sim.schedule_at(10.0, nullptr), InvalidArgument);
+}
+
+TEST(Simulator, SameTimeEventScheduledDuringExecutionRuns) {
+  Simulator sim;
+  bool inner = false;
+  sim.schedule_at(1.0, [&] { sim.schedule_at(1.0, [&inner] { inner = true; }); });
+  sim.run();
+  EXPECT_TRUE(inner);
+}
+
+}  // namespace
+}  // namespace preempt::sim

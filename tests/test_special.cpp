@@ -1,0 +1,142 @@
+// Accuracy contracts for common/special.hpp against high-precision reference
+// values (computed with mpmath at 50 digits).
+#include "common/special.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace preempt {
+namespace {
+
+TEST(NormalCdf, ReferenceValues) {
+  // mpmath: ncdf(x)
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.0), 0.84134474606854293, 1e-14);
+  EXPECT_NEAR(normal_cdf(-1.0), 0.15865525393145707, 1e-14);
+  EXPECT_NEAR(normal_cdf(2.5), 0.99379033467422384, 1e-14);
+  EXPECT_NEAR(normal_cdf(-3.0), 1.3498980316300946e-3, 1e-16);
+  // Deep lower tail keeps relative accuracy (the reason we use erfc).
+  EXPECT_NEAR(normal_cdf(-8.0) / 6.2209605742717841e-16, 1.0, 1e-10);
+}
+
+TEST(NormalCdf, Symmetry) {
+  for (double x : {0.1, 0.7, 1.3, 2.9, 4.4}) {
+    EXPECT_NEAR(normal_cdf(x) + normal_cdf(-x), 1.0, 1e-15) << x;
+  }
+}
+
+TEST(NormalPdf, ReferenceValues) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.39894228040143268, 1e-15);
+  EXPECT_NEAR(normal_pdf(1.0), 0.24197072451914337, 1e-15);
+  EXPECT_NEAR(normal_pdf(-2.0), 0.053990966513188063, 1e-16);
+}
+
+TEST(NormalQuantile, RoundTripsThroughCdf) {
+  for (double p = 0.0005; p < 1.0; p += 0.013) {
+    const double x = normal_quantile(p);
+    EXPECT_NEAR(normal_cdf(x), p, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantile, ReferenceValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-15);
+  EXPECT_NEAR(normal_quantile(0.975), 1.9599639845400545, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.84134474606854293), 1.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(1e-10), -6.3613409024040557, 1e-9);
+}
+
+TEST(NormalQuantile, EdgeCases) {
+  EXPECT_EQ(normal_quantile(0.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(normal_quantile(1.0), std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isnan(normal_quantile(-0.1)));
+  EXPECT_TRUE(std::isnan(normal_quantile(1.1)));
+  EXPECT_TRUE(std::isnan(normal_quantile(std::numeric_limits<double>::quiet_NaN())));
+}
+
+TEST(ErfInv, MatchesErf) {
+  for (double x : {-0.95, -0.5, -0.01, 0.0, 0.3, 0.77, 0.999}) {
+    EXPECT_NEAR(std::erf(erf_inv(x)), x, 1e-12) << x;
+  }
+  EXPECT_EQ(erf_inv(1.0), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(erf_inv(-1.0), -std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isnan(erf_inv(1.5)));
+}
+
+TEST(RegularizedGamma, ReferenceValues) {
+  // mpmath: gammainc(a, 0, x, regularized=True)
+  EXPECT_NEAR(regularized_gamma_p(1.0, 1.0), 0.63212055882855768, 1e-14);   // 1 - e^-1
+  EXPECT_NEAR(regularized_gamma_p(0.5, 0.5), 0.68268949213708590, 1e-13);   // erf(1/sqrt2)... P(1/2,x)=erf(sqrt x)
+  EXPECT_NEAR(regularized_gamma_p(2.0, 3.0), 0.80085172652854419, 1e-13);
+  EXPECT_NEAR(regularized_gamma_p(5.0, 2.0), 0.052653017343711156, 1e-13);
+  EXPECT_NEAR(regularized_gamma_p(10.0, 15.0), 0.93014633930059023, 1e-12);
+  EXPECT_NEAR(regularized_gamma_p(100.0, 90.0), 0.15822098918643016, 1e-11);
+}
+
+TEST(RegularizedGamma, ComplementIdentity) {
+  for (double a : {0.3, 1.0, 2.7, 9.0, 40.0}) {
+    for (double x : {0.01, 0.5, 1.0, 3.0, 10.0, 60.0}) {
+      EXPECT_NEAR(regularized_gamma_p(a, x) + regularized_gamma_q(a, x), 1.0, 1e-13)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(RegularizedGamma, HalfIntegerMatchesErf) {
+  // P(1/2, x) = erf(sqrt(x)).
+  for (double x : {0.1, 0.5, 1.0, 2.0, 4.0}) {
+    EXPECT_NEAR(regularized_gamma_p(0.5, x), std::erf(std::sqrt(x)), 1e-13) << x;
+  }
+}
+
+TEST(RegularizedGamma, IntegerIsPoissonTail) {
+  // Q(n, x) = sum_{k<n} e^-x x^k / k! (Poisson CDF identity), n = 3, x = 2.
+  const double x = 2.0;
+  const double poisson = std::exp(-x) * (1.0 + x + x * x / 2.0);
+  EXPECT_NEAR(regularized_gamma_q(3.0, x), poisson, 1e-14);
+}
+
+TEST(RegularizedGamma, BoundsAndMonotonicity) {
+  EXPECT_EQ(regularized_gamma_p(2.0, 0.0), 0.0);
+  EXPECT_EQ(regularized_gamma_q(2.0, 0.0), 1.0);
+  double prev = -1.0;
+  for (double x = 0.0; x <= 30.0; x += 0.5) {
+    const double p = regularized_gamma_p(3.5, x);
+    EXPECT_GE(p, prev);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+  EXPECT_THROW(regularized_gamma_p(0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(regularized_gamma_p(1.0, -1.0), InvalidArgument);
+}
+
+TEST(LogGamma, ReferenceValues) {
+  EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-15);
+  EXPECT_NEAR(log_gamma(2.0), 0.0, 1e-15);
+  EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-13);
+  EXPECT_NEAR(log_gamma(0.5), 0.5 * std::log(M_PI), 1e-14);
+  EXPECT_THROW(log_gamma(0.0), InvalidArgument);
+}
+
+TEST(Digamma, ReferenceValues) {
+  // ψ(1) = -γ (Euler–Mascheroni), ψ(1/2) = -γ - 2 ln 2, ψ(n+1) = ψ(n) + 1/n.
+  constexpr double euler = 0.57721566490153286;
+  EXPECT_NEAR(digamma(1.0), -euler, 1e-12);
+  EXPECT_NEAR(digamma(0.5), -euler - 2.0 * std::log(2.0), 1e-12);
+  EXPECT_NEAR(digamma(2.0), -euler + 1.0, 1e-12);
+  EXPECT_NEAR(digamma(10.0), 2.2517525890667211, 1e-12);
+  EXPECT_THROW(digamma(-1.0), InvalidArgument);
+}
+
+TEST(Digamma, RecurrenceHolds) {
+  for (double x : {0.3, 1.7, 4.2, 11.0}) {
+    EXPECT_NEAR(digamma(x + 1.0), digamma(x) + 1.0 / x, 1e-12) << x;
+  }
+}
+
+}  // namespace
+}  // namespace preempt

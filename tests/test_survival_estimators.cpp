@@ -1,0 +1,249 @@
+// Kaplan-Meier / Nelson-Aalen / log-rank behaviour, including hand-computed
+// textbook examples and consistency with the plain ECDF on uncensored data.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "dist/empirical.hpp"
+#include "dist/exponential.hpp"
+#include "survival/kaplan_meier.hpp"
+#include "survival/logrank.hpp"
+#include "survival/nelson_aalen.hpp"
+#include "test_util.hpp"
+
+namespace preempt::survival {
+namespace {
+
+SurvivalData textbook_data() {
+  // Classic 10-subject example: events at 1, 3, 3, 6, 10; censorings at
+  // 2+, 4+, 5+, 8+, 12+.
+  return SurvivalData({{1, true},
+                       {2, false},
+                       {3, true},
+                       {3, true},
+                       {4, false},
+                       {5, false},
+                       {6, true},
+                       {8, false},
+                       {10, true},
+                       {12, false}});
+}
+
+TEST(SurvivalData, SortsAndCounts) {
+  const auto data = textbook_data();
+  EXPECT_EQ(data.size(), 10u);
+  EXPECT_EQ(data.event_count(), 5u);
+  EXPECT_EQ(data.censored_count(), 5u);
+  EXPECT_DOUBLE_EQ(data.total_exposure(), 1 + 2 + 3 + 3 + 4 + 5 + 6 + 8 + 10 + 12);
+  // Sorted ascending.
+  double prev = 0.0;
+  for (const auto& o : data.observations()) {
+    EXPECT_GE(o.time, prev);
+    prev = o.time;
+  }
+}
+
+TEST(SurvivalData, EventsPrecedeCensoringsAtTies) {
+  const SurvivalData data({{3.0, false}, {3.0, true}});
+  EXPECT_TRUE(data.observations()[0].event);
+  EXPECT_FALSE(data.observations()[1].event);
+}
+
+TEST(SurvivalData, RejectsBadTimes) {
+  EXPECT_THROW(SurvivalData({{-1.0, true}}), InvalidArgument);
+  EXPECT_THROW(SurvivalData({{std::nan(""), true}}), InvalidArgument);
+}
+
+TEST(SurvivalData, CensorAtHelper) {
+  const std::vector<double> lifetimes = {1.0, 5.0, 9.0};
+  const std::vector<double> cutoffs = {2.0, 2.0, 10.0};
+  const auto data = SurvivalData::censor_at(lifetimes, cutoffs);
+  EXPECT_EQ(data.event_count(), 2u);  // 1.0 and 9.0 observed
+  EXPECT_EQ(data.censored_count(), 1u);
+  // the censored one is recorded at its cutoff
+  EXPECT_DOUBLE_EQ(data.observations()[1].time, 2.0);
+  EXPECT_FALSE(data.observations()[1].event);
+}
+
+TEST(KaplanMeier, TextbookExample) {
+  // Hand computation (at-risk sets shrink by censorings at 2+, 4+, 5+, 8+):
+  //  t=1:  n=10 d=1 -> S = 9/10                = 0.9
+  //  t=3:  n=8  d=2 -> S = 0.9 * 6/8           = 0.675
+  //  t=6:  n=4  d=1 -> S = 0.675 * 3/4         = 0.50625
+  //  t=10: n=2  d=1 -> S = 0.50625 * 1/2       = 0.253125
+  const auto km = kaplan_meier(textbook_data());
+  ASSERT_EQ(km.times.size(), 4u);
+  EXPECT_DOUBLE_EQ(km.times[0], 1.0);
+  EXPECT_DOUBLE_EQ(km.times[1], 3.0);
+  EXPECT_DOUBLE_EQ(km.times[2], 6.0);
+  EXPECT_DOUBLE_EQ(km.times[3], 10.0);
+  EXPECT_NEAR(km.survival[0], 0.9, 1e-12);
+  EXPECT_NEAR(km.survival[1], 0.675, 1e-12);
+  EXPECT_NEAR(km.survival[2], 0.50625, 1e-12);
+  EXPECT_NEAR(km.survival[3], 0.253125, 1e-12);
+  EXPECT_EQ(km.at_risk[0], 10u);
+  EXPECT_EQ(km.at_risk[1], 8u);
+  EXPECT_EQ(km.at_risk[2], 4u);
+  EXPECT_EQ(km.at_risk[3], 2u);
+  EXPECT_EQ(km.events[1], 2u);
+}
+
+TEST(KaplanMeier, StepLookupAndMedian) {
+  const auto km = kaplan_meier(textbook_data());
+  EXPECT_DOUBLE_EQ(km.survival_at(0.5), 1.0);
+  EXPECT_NEAR(km.survival_at(1.0), 0.9, 1e-12);
+  EXPECT_NEAR(km.survival_at(2.9), 0.9, 1e-12);
+  EXPECT_NEAR(km.survival_at(3.0), 0.675, 1e-12);
+  EXPECT_NEAR(km.cdf_at(7.0), 1.0 - 0.50625, 1e-12);
+  EXPECT_DOUBLE_EQ(km.median(), 10.0);  // first S <= 0.5 happens at t=10
+}
+
+TEST(KaplanMeier, MedianUndefinedUnderHeavyCensoring) {
+  const SurvivalData data({{1.0, true}, {2.0, false}, {3.0, false}, {4.0, false}});
+  const auto km = kaplan_meier(data);
+  EXPECT_TRUE(std::isnan(km.median()));
+}
+
+TEST(KaplanMeier, MatchesEcdfWhenUncensored) {
+  Rng rng(5);
+  const dist::Exponential d(0.4);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(d.sample(rng));
+  const auto km = kaplan_meier(SurvivalData::all_events(xs));
+  const dist::EmpiricalDistribution ecdf(xs);
+  for (double t : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    EXPECT_NEAR(km.cdf_at(t), ecdf.cdf(t), 1e-12) << t;
+  }
+}
+
+TEST(KaplanMeier, ConfidenceBandsBracketTheEstimate) {
+  const auto km = kaplan_meier(textbook_data(), 0.95);
+  for (std::size_t i = 0; i < km.times.size(); ++i) {
+    EXPECT_LE(km.lower[i], km.survival[i] + 1e-12);
+    EXPECT_GE(km.upper[i], km.survival[i] - 1e-12);
+    EXPECT_GE(km.lower[i], 0.0);
+    EXPECT_LE(km.upper[i], 1.0);
+  }
+  // Wider confidence -> wider band.
+  const auto km99 = kaplan_meier(textbook_data(), 0.99);
+  EXPECT_LE(km99.lower[1], km.lower[1]);
+  EXPECT_GE(km99.upper[1], km.upper[1]);
+}
+
+TEST(KaplanMeier, Preconditions) {
+  EXPECT_THROW(kaplan_meier(SurvivalData{}), InvalidArgument);
+  EXPECT_THROW(kaplan_meier(SurvivalData({{1.0, false}})), InvalidArgument);
+  EXPECT_THROW(kaplan_meier(textbook_data(), 0.0), InvalidArgument);
+  EXPECT_THROW(kaplan_meier(textbook_data(), 1.0), InvalidArgument);
+}
+
+TEST(KaplanMeier, CdfPointsFeedTheFitters) {
+  const auto km = kaplan_meier(textbook_data());
+  const auto pts = km.cdf_points();
+  ASSERT_EQ(pts.t.size(), pts.f.size());
+  for (std::size_t i = 1; i < pts.f.size(); ++i) {
+    EXPECT_GE(pts.f[i], pts.f[i - 1]);
+  }
+  EXPECT_NEAR(pts.f[0], 0.1, 1e-12);
+}
+
+TEST(NelsonAalen, TextbookExample) {
+  //  t=1:  H = 1/10 = 0.1
+  //  t=3:  H = 0.1 + 2/8  = 0.35
+  //  t=6:  H = 0.35 + 1/4 = 0.6
+  //  t=10: H = 0.6 + 1/2  = 1.1
+  const auto na = nelson_aalen(textbook_data());
+  ASSERT_EQ(na.times.size(), 4u);
+  EXPECT_NEAR(na.cumulative_hazard[0], 0.1, 1e-12);
+  EXPECT_NEAR(na.cumulative_hazard[1], 0.35, 1e-12);
+  EXPECT_NEAR(na.cumulative_hazard[2], 0.6, 1e-12);
+  EXPECT_NEAR(na.cumulative_hazard[3], 1.1, 1e-12);
+  EXPECT_NEAR(na.variance[0], 0.01, 1e-12);
+  EXPECT_NEAR(na.variance[1], 0.01 + 2.0 / 64.0, 1e-12);
+}
+
+TEST(NelsonAalen, ApproximatesNegLogKm) {
+  // For many at-risk subjects, H ≈ -ln S: check on a larger sample.
+  Rng rng(9);
+  const dist::Exponential d(0.3);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(d.sample(rng));
+  const auto data = SurvivalData::all_events(xs);
+  const auto km = kaplan_meier(data);
+  const auto na = nelson_aalen(data);
+  for (double t : {1.0, 2.0, 4.0}) {
+    EXPECT_NEAR(na.cumulative_hazard_at(t), -std::log(km.survival_at(t)), 0.02) << t;
+  }
+}
+
+TEST(NelsonAalen, CumulativeHazardTracksExponentialRate) {
+  Rng rng(11);
+  const dist::Exponential d(0.25);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(d.sample(rng));
+  const auto na = nelson_aalen(SurvivalData::all_events(xs));
+  // H(t) = λt for the exponential.
+  EXPECT_NEAR(na.cumulative_hazard_at(4.0), 1.0, 0.08);
+  EXPECT_NEAR(na.smoothed_hazard(3.0, 1.0), 0.25, 0.05);
+}
+
+TEST(NelsonAalen, HazardRevealsBathtubPhases) {
+  // The nonparametric hazard must dip in the middle and spike near the
+  // deadline for bathtub data — Observation 1 without any model fitting.
+  Rng rng(13);
+  const auto d = preempt::testing::reference_bathtub();
+  std::vector<double> xs;
+  for (int i = 0; i < 4000; ++i) xs.push_back(d.sample(rng));
+  const auto na = nelson_aalen(SurvivalData::all_events(xs));
+  const double infant = na.smoothed_hazard(0.5, 0.5);
+  const double stable = na.smoothed_hazard(12.0, 2.0);
+  const double wall = na.smoothed_hazard(23.7, 0.3);
+  EXPECT_GT(infant, 3.0 * stable);
+  EXPECT_GT(wall, 10.0 * stable);
+}
+
+TEST(LogRank, IdenticalGroupsAreNotSignificant) {
+  Rng rng(17);
+  const dist::Exponential d(0.2);
+  std::vector<double> a, b;
+  for (int i = 0; i < 300; ++i) a.push_back(d.sample(rng));
+  for (int i = 0; i < 300; ++i) b.push_back(d.sample(rng));
+  const auto r = log_rank_test(SurvivalData::all_events(a), SurvivalData::all_events(b));
+  EXPECT_FALSE(r.significant(0.01));
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(LogRank, DetectsRateDifference) {
+  Rng rng(19);
+  const dist::Exponential fast(0.4), slow(0.2);
+  std::vector<double> a, b;
+  for (int i = 0; i < 300; ++i) a.push_back(fast.sample(rng));
+  for (int i = 0; i < 300; ++i) b.push_back(slow.sample(rng));
+  const auto r = log_rank_test(SurvivalData::all_events(a), SurvivalData::all_events(b));
+  EXPECT_TRUE(r.significant(0.001));
+  EXPECT_GT(r.observed_a, r.expected_a);  // faster group has more events than expected
+}
+
+TEST(LogRank, WorksUnderCensoring) {
+  // Same groups, half the observations administratively censored at 3 h:
+  // the test must remain non-significant.
+  Rng rng(23);
+  const dist::Exponential d(0.3);
+  std::vector<double> a, b, cut(300, 3.0);
+  for (int i = 0; i < 300; ++i) a.push_back(d.sample(rng));
+  for (int i = 0; i < 300; ++i) b.push_back(d.sample(rng));
+  const auto r =
+      log_rank_test(SurvivalData::censor_at(a, cut), SurvivalData::censor_at(b, cut));
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(LogRank, Preconditions) {
+  const auto data = textbook_data();
+  EXPECT_THROW(log_rank_test(SurvivalData{}, data), InvalidArgument);
+  EXPECT_THROW(log_rank_test(data, SurvivalData{}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace preempt::survival

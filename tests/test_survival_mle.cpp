@@ -1,0 +1,218 @@
+// Censored maximum-likelihood fitters and the Nelder-Mead engine behind the
+// bathtub MLE.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "dist/exponential.hpp"
+#include "dist/weibull.hpp"
+#include "fit/model_fitters.hpp"
+#include "fit/nelder_mead.hpp"
+#include "survival/mle.hpp"
+#include "test_util.hpp"
+
+namespace preempt::survival {
+namespace {
+
+// ---------------------------------------------------------------- NelderMead
+
+TEST(NelderMead, MinimisesQuadratic) {
+  auto f = [](const std::vector<double>& p) {
+    return (p[0] - 3.0) * (p[0] - 3.0) + 2.0 * (p[1] + 1.0) * (p[1] + 1.0);
+  };
+  const auto r = fit::nelder_mead(f, {0.0, 0.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.params[0], 3.0, 1e-5);
+  EXPECT_NEAR(r.params[1], -1.0, 1e-5);
+  EXPECT_NEAR(r.value, 0.0, 1e-9);
+}
+
+TEST(NelderMead, MinimisesRosenbrock) {
+  auto f = [](const std::vector<double>& p) {
+    const double a = 1.0 - p[0];
+    const double b = p[1] - p[0] * p[0];
+    return a * a + 100.0 * b * b;
+  };
+  fit::NelderMeadOptions opts;
+  opts.max_iterations = 20000;
+  const auto r = fit::nelder_mead(f, {-1.2, 1.0}, {}, opts);
+  EXPECT_NEAR(r.params[0], 1.0, 1e-4);
+  EXPECT_NEAR(r.params[1], 1.0, 1e-4);
+}
+
+TEST(NelderMead, RespectsBounds) {
+  auto f = [](const std::vector<double>& p) { return (p[0] - 5.0) * (p[0] - 5.0); };
+  const fit::Bounds bounds{{0.0}, {2.0}};
+  const auto r = fit::nelder_mead(f, {1.0}, bounds);
+  EXPECT_NEAR(r.params[0], 2.0, 1e-6);  // pinned at the boundary
+}
+
+TEST(NelderMead, RejectsBadStart) {
+  auto f = [](const std::vector<double>& p) { return std::log(p[0]); };  // -inf at 0
+  EXPECT_THROW(fit::nelder_mead(f, {0.0}), NumericError);
+  EXPECT_THROW(fit::nelder_mead(f, {}), InvalidArgument);
+}
+
+// -------------------------------------------------------------- exponential
+
+SurvivalData exponential_censored_sample(double rate, double cutoff, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  const dist::Exponential d(rate);
+  std::vector<double> lifetimes, cutoffs(n, cutoff);
+  for (int i = 0; i < n; ++i) lifetimes.push_back(d.sample(rng));
+  return SurvivalData::censor_at(lifetimes, cutoffs);
+}
+
+TEST(ExponentialMle, ClosedFormOnUncensoredData) {
+  const SurvivalData data = SurvivalData::all_events(std::vector<double>{1.0, 2.0, 3.0, 4.0});
+  const auto r = fit_exponential_mle(data);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.params[0], 4.0 / 10.0, 1e-12);  // d / sum(t)
+}
+
+TEST(ExponentialMle, UnbiasedUnderHeavyCensoring) {
+  // 60%+ of the mass is beyond the cutoff; the MLE must still recover λ.
+  const auto data = exponential_censored_sample(0.25, 2.0, 4000, 29);
+  ASSERT_LT(data.event_count(), data.size() / 2);
+  const auto r = fit_exponential_mle(data);
+  EXPECT_NEAR(r.params[0], 0.25, 0.02);
+}
+
+TEST(ExponentialMle, LikelihoodIsMaximal) {
+  const auto data = exponential_censored_sample(0.5, 3.0, 500, 31);
+  const auto r = fit_exponential_mle(data);
+  const double at_hat = censored_log_likelihood(dist::Exponential(r.params[0]), data);
+  EXPECT_NEAR(at_hat, r.log_likelihood, 1e-9);
+  for (double lam : {r.params[0] * 0.8, r.params[0] * 1.2}) {
+    EXPECT_LT(censored_log_likelihood(dist::Exponential(lam), data), at_hat);
+  }
+}
+
+// ------------------------------------------------------------------ weibull
+
+TEST(WeibullMle, RecoversParametersUncensored) {
+  Rng rng(37);
+  const dist::Weibull truth(0.2, 1.8);
+  std::vector<double> xs;
+  for (int i = 0; i < 3000; ++i) xs.push_back(truth.sample(rng));
+  const auto r = fit_weibull_mle(SurvivalData::all_events(xs));
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.params[0], 0.2, 0.01);
+  EXPECT_NEAR(r.params[1], 1.8, 0.08);
+}
+
+TEST(WeibullMle, RecoversParametersCensored) {
+  Rng rng(41);
+  const dist::Weibull truth(0.15, 2.2);
+  std::vector<double> xs, cutoffs;
+  for (int i = 0; i < 3000; ++i) {
+    xs.push_back(truth.sample(rng));
+    cutoffs.push_back(6.0);  // censors ~the upper third
+  }
+  const auto data = SurvivalData::censor_at(xs, cutoffs);
+  ASSERT_GT(data.censored_count(), 100u);
+  const auto r = fit_weibull_mle(data);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.params[0], 0.15, 0.01);
+  EXPECT_NEAR(r.params[1], 2.2, 0.15);
+}
+
+TEST(WeibullMle, ExponentialSpecialCase) {
+  Rng rng(43);
+  const dist::Exponential truth(0.35);
+  std::vector<double> xs;
+  for (int i = 0; i < 3000; ++i) xs.push_back(truth.sample(rng));
+  const auto r = fit_weibull_mle(SurvivalData::all_events(xs));
+  EXPECT_NEAR(r.params[1], 1.0, 0.05);  // shape ≈ 1
+  EXPECT_NEAR(r.params[0], 0.35, 0.02);
+}
+
+TEST(WeibullMle, AicPrefersTrueFamily) {
+  // Data from an exponential: Weibull's extra parameter should not pay for
+  // itself — AIC(exponential) <= AIC(weibull) + small slack.
+  const auto data = exponential_censored_sample(0.3, 8.0, 1000, 47);
+  const auto exp_fit = fit_exponential_mle(data);
+  const auto wb_fit = fit_weibull_mle(data);
+  EXPECT_LT(exp_fit.aic, wb_fit.aic + 2.5);
+}
+
+// ------------------------------------------------------------------ bathtub
+
+TEST(BathtubMle, RecoversParametersFromSamples) {
+  Rng rng(53);
+  const auto truth = preempt::testing::reference_bathtub();
+  std::vector<double> xs;
+  for (int i = 0; i < 2500; ++i) xs.push_back(truth.sample(rng));
+  const auto r = fit_bathtub_mle(SurvivalData::all_events(xs));
+  EXPECT_NEAR(r.params[0], 0.45, 0.05);  // A
+  EXPECT_NEAR(r.params[1], 1.0, 0.2);    // tau1
+  EXPECT_NEAR(r.params[3], 24.0, 0.5);   // b
+}
+
+TEST(BathtubMle, HandlesJobCompletionCensoring) {
+  // VMs whose job finished at ~10 h are censored, thinning the stable phase.
+  Rng rng(59);
+  const auto truth = preempt::testing::reference_bathtub();
+  std::vector<double> xs, cutoffs;
+  for (int i = 0; i < 3000; ++i) {
+    xs.push_back(truth.sample(rng));
+    cutoffs.push_back(i % 3 == 0 ? 10.0 : 30.0);  // a third of the fleet censored at 10 h
+  }
+  const auto data = SurvivalData::censor_at(xs, cutoffs);
+  ASSERT_GT(data.censored_count(), 200u);
+  const auto r = fit_bathtub_mle(data);
+  EXPECT_NEAR(r.params[0], 0.45, 0.06);
+  EXPECT_NEAR(r.params[3], 24.0, 0.6);
+}
+
+TEST(BathtubMle, DeadlineReclaimsEnterTheAtom) {
+  // Samples at exactly the horizon are deadline reclaims; a model whose fit
+  // ignored them would underestimate the atom. Use a high-atom truth.
+  auto params = preempt::testing::reference_params();
+  params.scale = 0.3;  // bigger atom: 1 - F(24) is larger
+  const dist::BathtubDistribution truth(params);
+  Rng rng(61);
+  std::vector<double> xs;
+  for (int i = 0; i < 2500; ++i) xs.push_back(truth.sample(rng));
+  const std::size_t reclaims = static_cast<std::size_t>(
+      std::count_if(xs.begin(), xs.end(), [](double t) { return t >= 24.0 - 1e-9; }));
+  ASSERT_GT(reclaims, 100u);
+  const auto r = fit_bathtub_mle(SurvivalData::all_events(xs));
+  EXPECT_NEAR(r.params[0], 0.3, 0.05);
+}
+
+TEST(BathtubMle, AgreesWithLeastSquaresOnCleanData) {
+  // Both estimators see the same uncensored sample; fitted CDFs should agree
+  // pointwise to a few percent (they are different estimators, not clones).
+  Rng rng(67);
+  const auto truth = preempt::testing::reference_bathtub();
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(truth.sample(rng));
+  const auto mle = fit_bathtub_mle(SurvivalData::all_events(xs));
+  const auto ls = fit::fit_bathtub_to_samples(xs, 24.0);
+  for (double t : {1.0, 6.0, 12.0, 20.0, 23.5}) {
+    EXPECT_NEAR(mle.distribution->cdf(t), ls.distribution->cdf(t), 0.04) << t;
+  }
+}
+
+TEST(BathtubMle, Preconditions) {
+  EXPECT_THROW(fit_bathtub_mle(SurvivalData{}), InvalidArgument);
+  BathtubMleOptions opts;
+  opts.horizon = -1.0;
+  EXPECT_THROW(
+      fit_bathtub_mle(SurvivalData::all_events(std::vector<double>{1.0, 2.0}), opts),
+      InvalidArgument);
+}
+
+TEST(CensoredLogLikelihood, MatchesHandComputation) {
+  const dist::Exponential d(0.5);
+  const SurvivalData data({{2.0, true}, {3.0, false}});
+  // ln f(2) + ln S(3) = ln(0.5 e^{-1}) + (-1.5)
+  const double expected = std::log(0.5) - 1.0 - 1.5;
+  EXPECT_NEAR(censored_log_likelihood(d, data), expected, 1e-12);
+}
+
+}  // namespace
+}  // namespace preempt::survival

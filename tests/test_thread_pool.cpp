@@ -1,0 +1,72 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+namespace preempt {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ParallelFor, ComputesDisjointChunks) {
+  ThreadPool pool(3);
+  std::vector<int> data(1000, 0);
+  parallel_for(pool, 0, data.size(), [&data](std::size_t i) { data[i] = static_cast<int>(i); });
+  for (std::size_t i = 0; i < data.size(); ++i) EXPECT_EQ(data[i], static_cast<int>(i));
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  parallel_for(pool, 5, 5, [&touched](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, RethrowsBodyException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 0, 10,
+                            [](std::size_t i) {
+                              if (i == 7) throw std::runtime_error("bad index");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, GrainIsRespectedFunctionally) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  parallel_for(pool, 0, 100, [&sum](std::size_t i) { sum.fetch_add(static_cast<long>(i)); }, 25);
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ParallelFor, GlobalPoolWorks) {
+  std::atomic<int> counter{0};
+  parallel_for(0, 64, [&counter](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 64);
+}
+
+}  // namespace
+}  // namespace preempt

@@ -1,0 +1,33 @@
+// Shared helpers for the libpreempt test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dist/bathtub.hpp"
+
+namespace preempt::testing {
+
+/// The calibration anchor from DESIGN.md Sec. 7: ground truth for
+/// n1-highcpu-16 @ us-east1-b.
+inline dist::BathtubParams reference_params() {
+  dist::BathtubParams p;
+  p.scale = 0.45;
+  p.tau1 = 1.0;
+  p.tau2 = 0.8;
+  p.deadline = 24.0;
+  p.horizon = 24.0;
+  return p;
+}
+
+inline dist::BathtubDistribution reference_bathtub() {
+  return dist::BathtubDistribution(reference_params());
+}
+
+/// Relative-error expectation for strictly positive quantities.
+#define EXPECT_NEAR_REL(actual, expected, rel)                                \
+  EXPECT_NEAR((actual), (expected), std::abs(expected) * (rel))               \
+      << "actual=" << (actual) << " expected=" << (expected)
+
+}  // namespace preempt::testing

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/cost.hpp"
+#include "sim/planner.hpp"
+#include "sim/workloads.hpp"
+#include "test_util.hpp"
+
+namespace preempt::sim {
+namespace {
+
+TEST(Workloads, PaperDefinitions) {
+  const Workload nano = nanoconfinement();
+  EXPECT_NEAR(nano.job.work_hours, 14.0 / 60.0, 1e-12);
+  EXPECT_EQ(nano.job.gang_vms, 4);
+  EXPECT_EQ(nano.vm_type, trace::VmType::kN1Highcpu16);
+
+  const Workload sh = shapes();
+  EXPECT_NEAR(sh.job.work_hours, 9.0 / 60.0, 1e-12);
+  EXPECT_EQ(sh.job.gang_vms, 4);
+
+  const Workload lu = lulesh();
+  EXPECT_NEAR(lu.job.work_hours, 12.5 / 60.0, 1e-12);
+  EXPECT_EQ(lu.job.gang_vms, 8);
+  EXPECT_EQ(lu.vm_type, trace::VmType::kN1Highcpu8);
+
+  EXPECT_EQ(all_workloads().size(), 3u);
+}
+
+TEST(Workloads, RepackPreservesTotalCores) {
+  // Fig. 9 runs everything on n1-highcpu-32 clusters: 64 cores = 2 VMs.
+  const Workload nano32 = repack_for_vm_type(nanoconfinement(), trace::VmType::kN1Highcpu32);
+  EXPECT_EQ(nano32.job.gang_vms, 2);
+  EXPECT_EQ(nano32.vm_type, trace::VmType::kN1Highcpu32);
+  const Workload lu32 = repack_for_vm_type(lulesh(), trace::VmType::kN1Highcpu32);
+  EXPECT_EQ(lu32.job.gang_vms, 2);  // 8 x 8 = 64 cores
+}
+
+TEST(Workloads, RepackRejectsUnevenPacking) {
+  Workload odd = nanoconfinement();
+  odd.job.gang_vms = 3;  // 48 cores do not fill n1-highcpu-32 VMs evenly
+  EXPECT_THROW(repack_for_vm_type(odd, trace::VmType::kN1Highcpu32), InvalidArgument);
+}
+
+TEST(CostModel, ChargesByHourAndKind) {
+  const CostModel cm;
+  const auto& spec = trace::vm_spec(trace::VmType::kN1Highcpu16);
+  EXPECT_NEAR(cm.vm_cost(trace::VmType::kN1Highcpu16, 10.0, false),
+              10.0 * spec.on_demand_per_hour, 1e-12);
+  EXPECT_NEAR(cm.vm_cost(trace::VmType::kN1Highcpu16, 10.0, true),
+              10.0 * spec.preemptible_per_hour, 1e-12);
+  EXPECT_THROW(cm.vm_cost(trace::VmType::kN1Highcpu16, -1.0, true), InvalidArgument);
+}
+
+TEST(CostModel, DiscountFactorNearFive) {
+  const CostModel cm;
+  EXPECT_NEAR(cm.discount_factor(trace::VmType::kN1Highcpu32), 4.73, 0.05);
+}
+
+TEST(Planners, NoCheckpointPlanner) {
+  const NoCheckpointPlanner p;
+  const auto plan = p.plan(2.5, 0.0);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan[0], 2.5);
+  EXPECT_EQ(p.name(), "none");
+}
+
+TEST(Planners, YoungDalyPlanner) {
+  const YoungDalyPlanner p(1.0, 1.0 / 60.0);
+  const auto plan = p.plan(1.0, 5.0);  // age is ignored
+  double total = 0.0;
+  for (double w : plan) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(plan.size(), 3u);  // ~11 min cadence over 1 h
+}
+
+TEST(Planners, DpPlannerUsesValueTable) {
+  const auto d = preempt::testing::reference_bathtub();
+  auto dp = std::make_shared<const policy::CheckpointDp>(d, 2.0, policy::CheckpointConfig{});
+  const DpCheckpointPlanner p(dp);
+  const auto plan = p.plan(2.0, 0.0);
+  double total = 0.0;
+  for (double w : plan) total += w;
+  EXPECT_NEAR(total, 2.0, 1e-9);
+  // Remaining-work replanning stays inside the table.
+  const auto partial = p.plan(1.0, 6.0);
+  total = 0.0;
+  for (double w : partial) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Beyond the table throws.
+  EXPECT_THROW(p.plan(3.0, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace preempt::sim

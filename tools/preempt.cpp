@@ -1,0 +1,18 @@
+// `preempt` — command-line front end for libpreempt.
+//
+//   preempt generate --type n1-highcpu-16 --count 200 > campaign.csv
+//   preempt fit --input campaign.csv --extended
+//   preempt checkpoint --job 5 --delta-min 1
+//   preempt simulate --app nanoconfinement --jobs 100 --vms 32
+//
+// All logic lives in src/cli (testable); this file only adapts argv.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return preempt::cli::run_cli(args, std::cout, std::cerr);
+}

@@ -1,0 +1,79 @@
+// `preempt-batchd` — the batch-service controller daemon (paper Sec. 5).
+//
+//   preempt-batchd --port 8080        # serve until stdin closes / Ctrl-D
+//   preempt-batchd --self-check      # start, exercise the API, exit
+//
+// Endpoints are documented in src/api/service_daemon.hpp. Example session:
+//   curl localhost:8080/healthz
+//   curl 'localhost:8080/api/model?type=n1-highcpu-16&zone=us-east1-b'
+//   curl -X POST localhost:8080/api/bags -d '{"app":"shapes","jobs":50,"vms":16}'
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/http_client.hpp"
+#include "api/service_daemon.hpp"
+#include "common/cli.hpp"
+#include "common/error.hpp"
+
+namespace {
+
+int self_check(preempt::api::ServiceDaemon& daemon) {
+  using preempt::api::http_get;
+  using preempt::api::http_post;
+  const std::uint16_t port = daemon.port();
+  int failures = 0;
+  auto check = [&](const std::string& what, bool ok) {
+    std::cout << (ok ? "  ok  " : " FAIL ") << what << "\n";
+    if (!ok) ++failures;
+  };
+  check("GET /healthz", http_get(port, "/healthz").status == 200);
+  check("GET /api/model", http_get(port, "/api/model?type=n1-highcpu-16").status == 200);
+  check("GET /api/decisions/reuse",
+        http_get(port, "/api/decisions/reuse?age=9&job=6").status == 200);
+  check("POST /api/bags",
+        http_post(port, "/api/bags", R"({"app":"shapes","jobs":20,"vms":8})").status == 201);
+  check("GET /api/bags/1", http_get(port, "/api/bags/1").status == 200);
+  check("404 routing", http_get(port, "/nope").status == 404);
+  std::cout << (failures == 0 ? "self-check passed\n" : "self-check FAILED\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  preempt::FlagSet flags("preempt-batchd");
+  flags.add_int("port", 0, "TCP port to bind on loopback (0 = ephemeral)");
+  flags.add_int("seed", 2019, "bootstrap campaign seed");
+  flags.add_bool("self-check", "start, probe every endpoint, and exit");
+  try {
+    flags.parse(std::vector<std::string>(argv + 1, argv + argc));
+  } catch (const preempt::Error& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  try {
+    preempt::api::ServiceDaemon::Options options;
+    options.bootstrap_seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    preempt::api::ServiceDaemon daemon(options);
+    daemon.start(static_cast<std::uint16_t>(flags.get_int("port")));
+    std::cout << "preempt-batchd listening on 127.0.0.1:" << daemon.port() << "\n";
+
+    if (flags.get_bool("self-check")) {
+      const int rc = self_check(daemon);
+      daemon.stop();
+      return rc;
+    }
+
+    std::cout << "serving until stdin closes (Ctrl-D to stop)\n";
+    std::string line;
+    while (std::getline(std::cin, line)) {
+    }
+    daemon.stop();
+    return 0;
+  } catch (const preempt::Error& e) {
+    std::cerr << "preempt-batchd: " << e.what() << "\n";
+    return 1;
+  }
+}
