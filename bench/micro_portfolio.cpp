@@ -1,0 +1,92 @@
+// Micro benchmarks: portfolio optimizer throughput and market-fit speedup
+// (google-benchmark).
+//
+// The optimizer sits on the service's request path (/v1/portfolio quotes and
+// allocates per call), and the ~40-market grid refits whenever drift forces
+// a catalog rebuild — so both the allocation loop and the parallel fit
+// fan-out are operational hot paths.
+#include <benchmark/benchmark.h>
+
+#include "common/thread_pool.hpp"
+#include "portfolio/optimizer.hpp"
+
+namespace {
+
+using namespace preempt;
+
+const portfolio::MarketCatalog& fitted_catalog() {
+  static const portfolio::MarketCatalog catalog = [] {
+    portfolio::MarketCatalog c = portfolio::MarketCatalog::synthetic(60, 2019);
+    c.fit_all();
+    return c;
+  }();
+  return catalog;
+}
+
+portfolio::PortfolioConfig config_for(std::size_t jobs) {
+  portfolio::PortfolioConfig config;
+  config.jobs = jobs;
+  config.risk_bound = 0.05;
+  return config;
+}
+
+/// Quote + greedy allocation over the full grid (markets x jobs).
+void BM_GreedyAllocation(benchmark::State& state) {
+  const auto& catalog = fitted_catalog();
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const portfolio::PortfolioOptimizer optimizer(catalog, config_for(jobs));
+    benchmark::DoNotOptimize(optimizer.optimize_greedy());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs * catalog.size()));
+}
+BENCHMARK(BM_GreedyAllocation)->Arg(100)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+/// Allocation with cached quotes only (the inner greedy loop).
+void BM_GreedyLoopOnly(benchmark::State& state) {
+  const auto& catalog = fitted_catalog();
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  const portfolio::PortfolioOptimizer optimizer(catalog, config_for(jobs));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.optimize_greedy());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs));
+}
+BENCHMARK(BM_GreedyLoopOnly)->Arg(100)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+/// Exhaustive reference solver on a deliberately tiny instance.
+void BM_ExhaustiveReference(benchmark::State& state) {
+  const auto& catalog = fitted_catalog();
+  portfolio::PortfolioConfig config = config_for(static_cast<std::size_t>(state.range(0)));
+  config.risk_bound = 0.02;  // keep the eligible set small
+  const portfolio::PortfolioOptimizer optimizer(catalog, config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.optimize_exhaustive());
+  }
+}
+BENCHMARK(BM_ExhaustiveReference)->Arg(2)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
+
+/// Serial fit of the whole 40-market grid.
+void BM_FitAllMarketsSerial(benchmark::State& state) {
+  for (auto _ : state) {
+    portfolio::MarketCatalog catalog = portfolio::MarketCatalog::synthetic(60, 2019);
+    catalog.fit_all();
+    benchmark::DoNotOptimize(catalog.fitted_count());
+  }
+}
+BENCHMARK(BM_FitAllMarketsSerial)->Unit(benchmark::kMillisecond);
+
+/// Parallel fit fan-out; compare against the serial baseline for speedup.
+void BM_FitAllMarketsParallel(benchmark::State& state) {
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    portfolio::MarketCatalog catalog = portfolio::MarketCatalog::synthetic(60, 2019);
+    catalog.fit_all(pool);
+    benchmark::DoNotOptimize(catalog.fitted_count());
+  }
+}
+BENCHMARK(BM_FitAllMarketsParallel)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace

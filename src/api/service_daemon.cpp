@@ -3,6 +3,7 @@
 #include <charconv>
 
 #include "common/error.hpp"
+#include "portfolio/optimizer.hpp"
 #include "trace/generator.hpp"
 #include "trace/vm_catalog.hpp"
 
@@ -52,14 +53,30 @@ JsonValue report_json(std::uint64_t id, const std::string& app,
 
 }  // namespace
 
-ServiceDaemon::ServiceDaemon(Options options) : options_(options) {
+namespace {
+
+trace::Dataset bootstrap_study(const ServiceDaemon::Options& options) {
   // Bootstrap the per-regime models from a synthetic measurement study, as
   // the paper's controller bootstrapped its CDFs from early campaign data.
   trace::StudyConfig study;
-  study.seed = options_.bootstrap_seed;
-  study.vms_per_cell = options_.bootstrap_vms_per_cell;
-  const trace::Dataset dataset = trace::generate_study(study);
-  registry_ = core::ModelRegistry::fit_from_dataset(dataset, options_.horizon_hours);
+  study.seed = options.bootstrap_seed;
+  study.vms_per_cell = options.bootstrap_vms_per_cell;
+  return trace::generate_study(study);
+}
+
+portfolio::MarketCatalog::Options catalog_options(const ServiceDaemon::Options& options) {
+  portfolio::MarketCatalog::Options out;
+  out.horizon_hours = options.horizon_hours;
+  return out;
+}
+
+}  // namespace
+
+ServiceDaemon::ServiceDaemon(Options options) : ServiceDaemon(options, bootstrap_study(options)) {}
+
+ServiceDaemon::ServiceDaemon(Options options, trace::Dataset bootstrap)
+    : options_(options), market_catalog_(bootstrap, catalog_options(options)) {
+  registry_ = core::ModelRegistry::fit_from_dataset(bootstrap, options_.horizon_hours);
 }
 
 void ServiceDaemon::start(std::uint16_t port) {
@@ -161,6 +178,12 @@ HttpResponse ServiceDaemon::handle(const HttpRequest& request) {
     if (path == "/api/lifetimes") {
       if (request.method != "POST") return HttpResponse::method_not_allowed();
       return post_lifetimes(request);
+    }
+    if (path == "/v1/portfolio") {
+      if (request.method != "GET" && request.method != "POST") {
+        return HttpResponse::method_not_allowed();
+      }
+      return portfolio_allocation(request);
     }
     return HttpResponse::not_found();
   } catch (const InvalidArgument& e) {
@@ -329,6 +352,63 @@ HttpResponse ServiceDaemon::post_lifetimes(const HttpRequest& request) {
   obj.emplace_back("cusum_longer", cusum.stat_longer);
   obj.emplace_back("cusum_alarm", cusum.alarm);
   obj.emplace_back("drift_detected", ks.drift || cusum.alarm);
+  return HttpResponse::json(200, JsonValue(std::move(obj)).dump());
+}
+
+HttpResponse ServiceDaemon::portfolio_allocation(const HttpRequest& request) {
+  const JsonValue body = parse_json(request.body.empty() ? "{}" : request.body);
+  if (!body.is_object()) return HttpResponse::bad_request("body must be a JSON object");
+  auto field = [&](const char* name, double fallback) {
+    if (const auto q = request.query(name)) {
+      try {
+        return std::stod(*q);
+      } catch (const std::exception&) {
+        throw InvalidArgument(std::string(name) + " must be a number");
+      }
+    }
+    return body.number_or(name, fallback);
+  };
+
+  const double jobs_raw = field("jobs", 100.0);
+  PREEMPT_REQUIRE(jobs_raw >= 1.0 && jobs_raw <= 1e7, "jobs must be in [1, 1e7]");
+  portfolio::PortfolioConfig config;
+  config.jobs = static_cast<std::size_t>(jobs_raw);
+  config.job_hours = field("job_hours", 0.25);
+  config.risk_bound = field("risk", 0.05);
+  config.correlation_penalty = field("lambda", 0.5);
+
+  // No daemon lock: the catalog synchronizes its own fit cache and the
+  // optimizer is request-local, so the (expensive) first-use market fits
+  // must not stall every other endpoint behind mutex_.
+  const portfolio::PortfolioOptimizer optimizer(market_catalog_, config);
+  const auto allocation = optimizer.optimize_greedy();
+
+  JsonArray rows;
+  for (const auto& quote : optimizer.quotes()) {
+    if (allocation.counts[quote.market] == 0) continue;
+    const auto& market = market_catalog_.market(quote.market);
+    JsonObject row;
+    row.emplace_back("market", market.label());
+    row.emplace_back("type", trace::to_string(market.regime.type));
+    row.emplace_back("zone", trace::to_string(market.regime.zone));
+    row.emplace_back("period", trace::to_string(market.regime.period));
+    row.emplace_back("price_per_hour", market.price_per_hour);
+    row.emplace_back("failure_probability", quote.failure_probability);
+    row.emplace_back("expected_makespan_hours", quote.expected_makespan_hours);
+    row.emplace_back("expected_cost_per_job", quote.expected_cost);
+    row.emplace_back("jobs", allocation.counts[quote.market]);
+    rows.emplace_back(std::move(row));
+  }
+  JsonObject obj;
+  obj.emplace_back("jobs", config.jobs);
+  obj.emplace_back("job_hours", config.job_hours);
+  obj.emplace_back("risk_bound", config.risk_bound);
+  obj.emplace_back("markets_total", market_catalog_.size());
+  obj.emplace_back("markets_eligible", optimizer.eligible_count());
+  obj.emplace_back("markets_used", allocation.markets_used);
+  obj.emplace_back("expected_cost", allocation.base_cost);
+  obj.emplace_back("objective", allocation.objective);
+  obj.emplace_back("allocation", std::move(rows));
   return HttpResponse::json(200, JsonValue(std::move(obj)).dump());
 }
 

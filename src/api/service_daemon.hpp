@@ -17,6 +17,9 @@
 //   GET  /api/bags/<id>                one full report
 //   POST /api/lifetimes                feed observed lifetimes to the drift
 //                                      monitors {"type","zone","lifetimes":[..]}
+//   GET/POST /v1/portfolio             allocate a bag across the spot-market
+//                                      grid; query or JSON body
+//                                      {"jobs","job_hours","risk","lambda"}
 //
 // The daemon owns one ModelRegistry bootstrapped from a synthetic study
 // (standing in for the paper's Sec. 3.1 campaign) plus per-regime drift
@@ -35,6 +38,7 @@
 #include "core/cusum.hpp"
 #include "core/drift.hpp"
 #include "core/registry.hpp"
+#include "portfolio/market.hpp"
 #include "sim/service.hpp"
 
 namespace preempt::api {
@@ -74,14 +78,19 @@ class ServiceDaemon {
   HttpResponse get_bags() const;
   HttpResponse get_bag(std::uint64_t id) const;
   HttpResponse post_lifetimes(const HttpRequest& request);
+  HttpResponse portfolio_allocation(const HttpRequest& request);
 
   /// Regime from query parameters / JSON body fields (missing -> defaults).
   static trace::RegimeKey parse_regime(const HttpRequest& request, const JsonValue* body);
+  ServiceDaemon(Options options, trace::Dataset bootstrap);
   DriftMonitors& monitors_for(const trace::RegimeKey& key);
 
   Options options_;
   mutable std::mutex mutex_;
   core::ModelRegistry registry_;
+  /// Spot-market grid over the bootstrap observations; market fits are
+  /// lazy, so untouched markets cost nothing until /v1/portfolio is hit.
+  portfolio::MarketCatalog market_catalog_;
   std::map<std::string, DriftMonitors> drift_;  ///< keyed by regime string
   struct BagRecord {
     std::uint64_t id;

@@ -12,6 +12,7 @@
 //   checkpoint  DP checkpoint schedule vs Young-Daly (Sec. 4.3)
 //   simulate    run the batch computing service on a bag of jobs (Sec. 5/6.3)
 //   drift       stream lifetimes through the KS + CUSUM change-point monitors
+//   portfolio   allocate a bag across VmType x Zone x DayPeriod spot markets
 #pragma once
 
 #include <iosfwd>
@@ -29,6 +30,7 @@ int cmd_schedule(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_checkpoint(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_drift(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_portfolio(const Args& args, std::ostream& out, std::ostream& err);
 
 /// Top-level usage text (list of subcommands).
 std::string main_usage();

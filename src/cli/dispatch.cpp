@@ -17,6 +17,7 @@ std::string main_usage() {
          "  checkpoint  DP checkpoint schedule vs Young-Daly (Sec. 4.3)\n"
          "  simulate    run the batch computing service on a bag of jobs\n"
          "  drift       change-point monitoring of a lifetime stream (Sec. 8)\n"
+         "  portfolio   allocate a bag of jobs across spot markets\n"
          "\n"
          "run `preempt <command> --help` for per-command flags.\n";
 }
@@ -36,6 +37,7 @@ int run_cli(const Args& args, std::ostream& out, std::ostream& err) {
     if (command == "checkpoint") return cmd_checkpoint(rest, out, err);
     if (command == "simulate") return cmd_simulate(rest, out, err);
     if (command == "drift") return cmd_drift(rest, out, err);
+    if (command == "portfolio") return cmd_portfolio(rest, out, err);
   } catch (const Error& e) {
     err << "preempt " << command << ": " << e.what() << "\n";
     return 1;

@@ -1,0 +1,109 @@
+#include "dist/bathtub.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace preempt::dist {
+
+BathtubDistribution::BathtubDistribution(const BathtubParams& params) : params_(params) {
+  PREEMPT_REQUIRE(std::isfinite(params.scale) && params.scale > 0.0 && params.scale <= 1.0,
+                  "bathtub scale A must be in (0, 1]");
+  PREEMPT_REQUIRE(std::isfinite(params.tau1) && params.tau1 > 0.0,
+                  "bathtub tau1 must be positive");
+  PREEMPT_REQUIRE(std::isfinite(params.tau2) && params.tau2 > 0.0,
+                  "bathtub tau2 must be positive");
+  PREEMPT_REQUIRE(std::isfinite(params.deadline) && params.deadline > 0.0,
+                  "bathtub deadline must be positive");
+  PREEMPT_REQUIRE(std::isfinite(params.horizon) && params.horizon > 0.0,
+                  "bathtub horizon must be positive");
+  // Saturation point: fitted parameters may push the raw CDF to 1 before the
+  // horizon (the clamped regime). The density vanishes there, so all moment
+  // integrals must stop at t_sat or they would count phantom mass.
+  sat_ = params_.horizon;
+  const double unclamped_end =
+      params_.scale * (1.0 - std::exp(-params_.horizon / params_.tau1) +
+                       std::exp((params_.horizon - params_.deadline) / params_.tau2));
+  if (unclamped_end > 1.0) {
+    double lo = 0.0, hi = params_.horizon;
+    for (int i = 0; i < 200 && hi - lo > 1e-14 * params_.horizon; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      if (raw_cdf(mid) < 1.0) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    sat_ = 0.5 * (lo + hi);
+  }
+  raw_at_end_ = raw_cdf(params_.horizon);
+  atom_ = clamp01(1.0 - raw_at_end_);
+}
+
+double BathtubDistribution::raw_cdf(double t) const {
+  if (t <= 0.0) t = 0.0;
+  const double f = params_.scale * (1.0 - std::exp(-t / params_.tau1) +
+                                    std::exp((t - params_.deadline) / params_.tau2));
+  return std::min(f, 1.0);
+}
+
+double BathtubDistribution::cdf(double t) const {
+  if (t < 0.0) return 0.0;
+  if (t >= params_.horizon) return 1.0;
+  return raw_cdf(t);
+}
+
+double BathtubDistribution::pdf(double t) const {
+  if (t < 0.0 || t > params_.horizon) return 0.0;
+  // Density vanishes once the raw CDF has saturated at 1 (clamped regime).
+  if (raw_cdf(t) >= 1.0) return 0.0;
+  return params_.scale * (std::exp(-t / params_.tau1) / params_.tau1 +
+                          std::exp((t - params_.deadline) / params_.tau2) / params_.tau2);
+}
+
+double BathtubDistribution::quantile(double p) const {
+  if (p <= 0.0) return 0.0;
+  if (p >= raw_at_end_) return params_.horizon;
+  // Invert the strictly increasing raw CDF by bisection.
+  double lo = 0.0, hi = params_.horizon;
+  for (int i = 0; i < 200 && hi - lo > 1e-14 * params_.horizon; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (raw_cdf(mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double BathtubDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  if (u >= raw_at_end_) return params_.horizon;  // deadline reclaim atom
+  return quantile(u);
+}
+
+double BathtubDistribution::tf_antiderivative(double t) const {
+  return params_.scale *
+         (-(t + params_.tau1) * std::exp(-t / params_.tau1) +
+          (t - params_.tau2) * std::exp((t - params_.deadline) / params_.tau2));
+}
+
+double BathtubDistribution::expected_lifetime_eq3() const {
+  return tf_antiderivative(sat_) - tf_antiderivative(0.0);
+}
+
+double BathtubDistribution::mean() const {
+  return expected_lifetime_eq3() + params_.horizon * atom_;
+}
+
+double BathtubDistribution::partial_expectation(double a, double b) const {
+  const double lo = clamp(a, 0.0, sat_);
+  const double hi = clamp(b, 0.0, sat_);
+  if (hi <= lo) return 0.0;
+  return tf_antiderivative(hi) - tf_antiderivative(lo);
+}
+
+}  // namespace preempt::dist

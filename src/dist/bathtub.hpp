@@ -1,0 +1,77 @@
+// The paper's constrained-preemption ("bathtub") model, Eqs. 1–3.
+//
+// Raw CDF (Eq. 1):  F(t) = A (1 − e^{−t/τ1} + e^{(t−b)/τ2}),  t ∈ [0, b]
+// Density (Eq. 2):  f(t) = A (e^{−t/τ1}/τ1 + e^{(t−b)/τ2}/τ2)
+// Expected lifetime (Eq. 3): closed-form ∫_0^b t f(t) dt.
+//
+// The infant-mortality term drains at rate 1/τ1, the deadline wall rises at
+// rate 1/τ2 towards the enforced maximum lifetime b (24 h on GCP). Any mass
+// the raw CDF has not absorbed by the horizon is a probability atom at the
+// horizon — the provider reclaims every VM there ("deadline reclaim").
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace preempt::dist {
+
+/// Parameters of Eq. 1. The paper reports A ≈ 0.2–0.5, τ1 ≈ 0.5–3 h,
+/// τ2 ≈ 0.5–1 h for the regimes it measures; b is the 24 h deadline.
+struct BathtubParams {
+  double scale = 0.45;    ///< A, plateau height of the raw CDF, in (0, 1]
+  double tau1 = 1.0;      ///< infant-phase time constant (hours)
+  double tau2 = 0.8;      ///< deadline-wall time constant (hours)
+  double deadline = 24.0; ///< b, wall location (hours)
+  double horizon = 24.0;  ///< enforced maximum lifetime (hours)
+};
+
+class BathtubDistribution final : public Distribution {
+ public:
+  /// Validates: 0 < A <= 1, τ1 > 0, τ2 > 0, horizon > 0, deadline > 0.
+  explicit BathtubDistribution(const BathtubParams& params);
+
+  const BathtubParams& params() const noexcept { return params_; }
+
+  /// Eq. 1 literal, un-clamped except into [0, 1]; no deadline atom.
+  double raw_cdf(double t) const;
+
+  /// Probability mass reclaimed exactly at the horizon: 1 − raw F(horizon).
+  double deadline_atom() const noexcept { return atom_; }
+
+  /// Eq. 3 closed form: ∫_0^horizon t f(t) dt (continuous part only).
+  double expected_lifetime_eq3() const;
+
+  /// Phase boundaries (Observation 1): infant phase ends at 3 τ1, the
+  /// deadline phase starts when the wall term wakes up at b − 3 τ2.
+  double infant_phase_end() const noexcept { return 3.0 * params_.tau1; }
+  double deadline_phase_start() const noexcept { return params_.deadline - 3.0 * params_.tau2; }
+
+  std::string name() const override { return "bathtub"; }
+  std::vector<std::string> parameter_names() const override {
+    return {"A", "tau1", "tau2", "b"};
+  }
+  std::vector<double> parameters() const override {
+    return {params_.scale, params_.tau1, params_.tau2, params_.deadline};
+  }
+  DistributionPtr clone() const override {
+    return std::make_unique<BathtubDistribution>(*this);
+  }
+
+  double cdf(double t) const override;
+  double pdf(double t) const override;
+  double quantile(double p) const override;
+  double sample(Rng& rng) const override;
+  double mean() const override;
+  double partial_expectation(double a, double b) const override;
+  double support_end() const override { return params_.horizon; }
+
+ private:
+  /// Antiderivative of t f(t): A[−(t+τ1)e^{−t/τ1} + (t−τ2)e^{(t−b)/τ2}].
+  double tf_antiderivative(double t) const;
+
+  BathtubParams params_;
+  double atom_ = 0.0;       ///< 1 − raw_cdf(horizon), clamped to [0, 1]
+  double raw_at_end_ = 0.0; ///< raw_cdf(horizon)
+  double sat_ = 0.0;        ///< first t where the raw CDF saturates at 1
+};
+
+}  // namespace preempt::dist

@@ -1,0 +1,69 @@
+#include "dist/distribution.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/integrate.hpp"
+#include "common/math.hpp"
+
+namespace preempt::dist {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+double Distribution::hazard(double t) const {
+  const double s = survival(t);
+  const double f = pdf(t);
+  if (s <= 0.0) return f > 0.0 ? kInf : 0.0;
+  return f / s;
+}
+
+double Distribution::quantile(double p) const {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return support_end();
+  // Bracket: grow hi until cdf(hi) >= p (or we hit the support end).
+  double lo = 0.0;
+  double hi = std::isfinite(support_end()) ? support_end() : 1.0;
+  if (!std::isfinite(support_end())) {
+    int guard = 0;
+    while (cdf(hi) < p && guard++ < 1100) hi *= 2.0;
+    if (cdf(hi) < p) return kInf;
+  }
+  // Bisection to ~1 ulp of the bracket width.
+  for (int i = 0; i < 200 && hi - lo > 1e-15 * std::max(1.0, hi); ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (cdf(mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+double Distribution::mean() const {
+  // E[T] = ∫_0^end S(t) dt for non-negative T; this absorbs any atom at the
+  // support end since S stays positive up to it.
+  double end = support_end();
+  if (!std::isfinite(end)) {
+    end = 1.0;
+    int guard = 0;
+    while (survival(end) > 1e-13 && guard++ < 1100) end *= 2.0;
+  }
+  if (end <= 0.0) return 0.0;
+  return integrate_gauss_composite([this](double t) { return survival(t); }, 0.0, end, 96, 16);
+}
+
+double Distribution::partial_expectation(double a, double b) const {
+  const double end = support_end();
+  const double lo = clamp(a, 0.0, std::isfinite(end) ? end : std::max(a, 0.0));
+  const double hi = std::isfinite(end) ? clamp(b, 0.0, end) : std::max(b, 0.0);
+  if (hi <= lo) return 0.0;
+  return integrate_gauss_composite([this](double t) { return t * pdf(t); }, lo, hi, 64, 16);
+}
+
+double Distribution::support_end() const { return kInf; }
+
+}  // namespace preempt::dist

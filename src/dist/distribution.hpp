@@ -1,0 +1,69 @@
+// Lifetime distribution interface.
+//
+// Every law in the library models a non-negative random lifetime T (hours).
+// Implementations provide the CDF/PDF pair; survival, hazard, quantile, mean
+// and partial expectation have numerically robust defaults that subclasses
+// override when a closed form exists. Distributions with a finite support may
+// carry a probability atom at the support end (the 24 h deadline reclaim of
+// preemptible VMs); cdf() includes the atom, pdf() does not.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace preempt::dist {
+
+class Distribution;
+
+/// Owning handle used across the policy / fitting / simulation layers.
+using DistributionPtr = std::unique_ptr<Distribution>;
+
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Stable family identifier, e.g. "bathtub", "exponential".
+  virtual std::string name() const = 0;
+
+  /// Parameter labels and values, aligned index-wise.
+  virtual std::vector<std::string> parameter_names() const = 0;
+  virtual std::vector<double> parameters() const = 0;
+
+  /// Deep copy.
+  virtual DistributionPtr clone() const = 0;
+
+  /// P(T <= t), including any atom at the support end. 0 for t < 0.
+  virtual double cdf(double t) const = 0;
+
+  /// Density of the continuous part; 0 outside the support.
+  virtual double pdf(double t) const = 0;
+
+  /// P(T > t) = 1 - cdf(t).
+  virtual double survival(double t) const { return 1.0 - cdf(t); }
+
+  /// Instantaneous failure rate pdf / survival; +inf where survival is zero
+  /// but density remains, 0 where both vanish.
+  virtual double hazard(double t) const;
+
+  /// Smallest t with cdf(t) >= p. Default: bracketing bisection on cdf().
+  /// Returns 0 for p <= 0 and support_end() for p >= 1.
+  virtual double quantile(double p) const;
+
+  /// Draw one variate. Default: inverse-transform via quantile().
+  virtual double sample(Rng& rng) const { return quantile(rng.uniform()); }
+
+  /// E[T], atom included. Default: integral of survival over the support.
+  virtual double mean() const;
+
+  /// Partial expectation of the continuous part, ∫_a^b t f(t) dt with the
+  /// interval clamped to [0, support_end]. Atoms are excluded.
+  virtual double partial_expectation(double a, double b) const;
+
+  /// Upper end of the support; +inf for unbounded laws.
+  virtual double support_end() const;
+};
+
+}  // namespace preempt::dist

@@ -1,0 +1,125 @@
+#include "dist/empirical.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace preempt::dist {
+
+EmpiricalDistribution::EmpiricalDistribution(std::span<const double> samples) {
+  PREEMPT_REQUIRE(!samples.empty(), "empirical distribution needs at least one sample");
+  sorted_.assign(samples.begin(), samples.end());
+  for (double x : sorted_) {
+    PREEMPT_REQUIRE(std::isfinite(x) && x >= 0.0, "lifetimes must be finite and >= 0");
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+  KahanSum sum;
+  for (double x : sorted_) sum.add(x);
+  mean_ = sum.value() / static_cast<double>(sorted_.size());
+}
+
+EcdfPoints EmpiricalDistribution::ecdf_points(EcdfConvention convention) const {
+  const double n = static_cast<double>(sorted_.size());
+  EcdfPoints pts;
+  pts.t = sorted_;
+  pts.f.reserve(sorted_.size());
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    const double rank = static_cast<double>(i);
+    pts.f.push_back(convention == EcdfConvention::kHazen ? (rank + 0.5) / n : (rank + 1.0) / n);
+  }
+  return pts;
+}
+
+std::vector<std::pair<double, double>> EmpiricalDistribution::histogram_density(
+    std::size_t bins) const {
+  PREEMPT_REQUIRE(bins >= 1, "histogram needs at least one bin");
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  const double width = (hi - lo) / static_cast<double>(bins);
+  std::vector<std::pair<double, double>> out(bins);
+  std::vector<std::size_t> counts(bins, 0);
+  for (double x : sorted_) {
+    std::size_t b = width > 0.0 ? static_cast<std::size_t>((x - lo) / width) : 0;
+    if (b >= bins) b = bins - 1;  // right edge lands in the last bin
+    ++counts[b];
+  }
+  const double norm =
+      width > 0.0 ? 1.0 / (static_cast<double>(sorted_.size()) * width) : 1.0;
+  for (std::size_t b = 0; b < bins; ++b) {
+    out[b] = {lo + (static_cast<double>(b) + 0.5) * width,
+              static_cast<double>(counts[b]) * norm};
+  }
+  return out;
+}
+
+double EmpiricalDistribution::ks_distance(const Distribution& model) const {
+  // sup_t |F_n(t) − F(t)| over distinct sample values. Both functions are
+  // right-continuous; the left-side gap must therefore use the model's left
+  // limit, or a probability atom shared by model and data (the 24 h deadline
+  // reclaim, which ties many samples) would read as a spurious distance.
+  const double n = static_cast<double>(sorted_.size());
+  double ks = 0.0;
+  for (std::size_t i = 0; i < sorted_.size();) {
+    const double v = sorted_[i];
+    std::size_t j = i;
+    while (j < sorted_.size() && sorted_[j] == v) ++j;
+    const double below = static_cast<double>(i) / n;   // F_n(v^-)
+    const double above = static_cast<double>(j) / n;   // F_n(v)
+    const double fm = model.cdf(v);
+    const double fm_left = model.cdf(std::nextafter(v, -1.0));
+    ks = std::max({ks, std::abs(fm - above), std::abs(fm_left - below)});
+    i = j;
+  }
+  return ks;
+}
+
+double EmpiricalDistribution::cdf(double t) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), t);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalDistribution::pdf(double t) const {
+  if (t < sorted_.front() || t > sorted_.back()) return 0.0;
+  const std::size_t bins =
+      std::max<std::size_t>(1, static_cast<std::size_t>(std::sqrt(sorted_.size())));
+  const double lo = sorted_.front();
+  const double width = (sorted_.back() - lo) / static_cast<double>(bins);
+  if (width <= 0.0) return 0.0;
+  std::size_t b = static_cast<std::size_t>((t - lo) / width);
+  if (b >= bins) b = bins - 1;
+  const double lo_edge = lo + static_cast<double>(b) * width;
+  const auto first = std::lower_bound(sorted_.begin(), sorted_.end(), lo_edge);
+  const auto last = b + 1 == bins
+                        ? sorted_.end()
+                        : std::lower_bound(sorted_.begin(), sorted_.end(), lo_edge + width);
+  const double count = static_cast<double>(last - first);
+  return count / (static_cast<double>(sorted_.size()) * width);
+}
+
+double EmpiricalDistribution::quantile(double p) const {
+  if (p <= 0.0) return sorted_.front();
+  if (p >= 1.0) return sorted_.back();
+  // Type-7 (linear interpolation between order statistics).
+  const double pos = p * static_cast<double>(sorted_.size() - 1);
+  const std::size_t i = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(i);
+  if (i + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[i] + frac * (sorted_[i + 1] - sorted_[i]);
+}
+
+double EmpiricalDistribution::sample(Rng& rng) const {
+  return sorted_[rng.uniform_index(sorted_.size())];
+}
+
+double EmpiricalDistribution::partial_expectation(double a, double b) const {
+  if (b <= a) return 0.0;
+  KahanSum sum;
+  const auto first = std::lower_bound(sorted_.begin(), sorted_.end(), std::max(a, 0.0));
+  const auto last = std::upper_bound(sorted_.begin(), sorted_.end(), b);
+  for (auto it = first; it != last; ++it) sum.add(*it);
+  return sum.value() / static_cast<double>(sorted_.size());
+}
+
+}  // namespace preempt::dist

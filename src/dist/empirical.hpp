@@ -1,0 +1,71 @@
+// Empirical distribution of observed lifetimes: step ECDF, plotting-position
+// ECDF points for fitting, bootstrap sampling, histogram density and the
+// Kolmogorov–Smirnov distance to a candidate model.
+#pragma once
+
+#include <span>
+#include <utility>
+
+#include "dist/distribution.hpp"
+
+namespace preempt::dist {
+
+/// Plotting-position convention for ECDF points fed to least-squares fitters.
+enum class EcdfConvention {
+  kHazen,  ///< F_i = (i + 0.5) / n — unbiased mid-rank positions
+  kStep,   ///< F_i = (i + 1) / n — the right-continuous step heights
+};
+
+/// Sorted abscissae with matching ECDF ordinates.
+struct EcdfPoints {
+  std::vector<double> t;
+  std::vector<double> f;
+};
+
+class EmpiricalDistribution final : public Distribution {
+ public:
+  /// Requires at least one sample; all samples finite and >= 0.
+  explicit EmpiricalDistribution(std::span<const double> samples);
+  explicit EmpiricalDistribution(const std::vector<double>& samples)
+      : EmpiricalDistribution(std::span<const double>(samples)) {}
+
+  std::size_t size() const noexcept { return sorted_.size(); }
+  const std::vector<double>& sorted_samples() const noexcept { return sorted_; }
+
+  /// ECDF points under the given plotting convention (sorted by t).
+  EcdfPoints ecdf_points(EcdfConvention convention = EcdfConvention::kHazen) const;
+
+  /// Equal-width histogram over [min, max]: (bin center, density) pairs,
+  /// normalised so the densities integrate to 1.
+  std::vector<std::pair<double, double>> histogram_density(std::size_t bins) const;
+
+  /// Two-sided KS distance sup_t |F_n(t) − F_model(t)|, evaluated at jumps.
+  double ks_distance(const Distribution& model) const;
+
+  std::string name() const override { return "empirical"; }
+  std::vector<std::string> parameter_names() const override { return {"n"}; }
+  std::vector<double> parameters() const override {
+    return {static_cast<double>(sorted_.size())};
+  }
+  DistributionPtr clone() const override {
+    return std::make_unique<EmpiricalDistribution>(*this);
+  }
+
+  /// Right-continuous step ECDF: (# samples <= t) / n.
+  double cdf(double t) const override;
+  /// Histogram density (√n bins) — for plotting, not inference.
+  double pdf(double t) const override;
+  /// Linear-interpolation (type-7) sample quantile.
+  double quantile(double p) const override;
+  /// Bootstrap draw: one of the observed samples, uniformly.
+  double sample(Rng& rng) const override;
+  double mean() const override { return mean_; }
+  double partial_expectation(double a, double b) const override;
+  double support_end() const override { return sorted_.back(); }
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+};
+
+}  // namespace preempt::dist

@@ -1,0 +1,47 @@
+#include "dist/exponential.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace preempt::dist {
+
+Exponential::Exponential(double rate) : rate_(rate) {
+  PREEMPT_REQUIRE(std::isfinite(rate) && rate > 0.0, "exponential rate must be positive");
+}
+
+Exponential Exponential::from_mttf(double mttf_hours) {
+  PREEMPT_REQUIRE(std::isfinite(mttf_hours) && mttf_hours > 0.0, "MTTF must be positive");
+  return Exponential(1.0 / mttf_hours);
+}
+
+double Exponential::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  return -std::expm1(-rate_ * t);
+}
+
+double Exponential::pdf(double t) const {
+  if (t < 0.0) return 0.0;
+  return rate_ * std::exp(-rate_ * t);
+}
+
+double Exponential::survival(double t) const {
+  if (t <= 0.0) return 1.0;
+  return std::exp(-rate_ * t);
+}
+
+double Exponential::quantile(double p) const {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return support_end();
+  return -std::log1p(-p) / rate_;
+}
+
+double Exponential::partial_expectation(double a, double b) const {
+  // ∫ t λ e^{-λt} dt = -(t + 1/λ) e^{-λt}.
+  const double lo = std::max(a, 0.0);
+  if (b <= lo) return 0.0;
+  auto antiderivative = [this](double t) { return -(t + 1.0 / rate_) * std::exp(-rate_ * t); };
+  return antiderivative(b) - antiderivative(lo);
+}
+
+}  // namespace preempt::dist

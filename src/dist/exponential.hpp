@@ -1,0 +1,38 @@
+// Exponential lifetime — the memoryless baseline the paper's comparators
+// start from (constant hazard; what spot-market models assume).
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace preempt::dist {
+
+class Exponential final : public Distribution {
+ public:
+  /// Rate λ > 0 (per hour); mean lifetime is 1/λ.
+  explicit Exponential(double rate);
+
+  /// Construct from the mean time to failure (MTTF = 1/λ).
+  static Exponential from_mttf(double mttf_hours);
+
+  double rate() const noexcept { return rate_; }
+  double mttf() const noexcept { return 1.0 / rate_; }
+
+  std::string name() const override { return "exponential"; }
+  std::vector<std::string> parameter_names() const override { return {"lambda"}; }
+  std::vector<double> parameters() const override { return {rate_}; }
+  DistributionPtr clone() const override { return std::make_unique<Exponential>(*this); }
+
+  double cdf(double t) const override;
+  double pdf(double t) const override;
+  double survival(double t) const override;
+  double hazard(double t) const override { return rate_; }
+  double quantile(double p) const override;
+  double sample(Rng& rng) const override { return rng.exponential(rate_); }
+  double mean() const override { return 1.0 / rate_; }
+  double partial_expectation(double a, double b) const override;
+
+ private:
+  double rate_;
+};
+
+}  // namespace preempt::dist

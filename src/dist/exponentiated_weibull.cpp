@@ -1,0 +1,40 @@
+#include "dist/exponentiated_weibull.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace preempt::dist {
+
+ExponentiatedWeibull::ExponentiatedWeibull(double lambda, double k, double gamma)
+    : lambda_(lambda), k_(k), gamma_(gamma) {
+  PREEMPT_REQUIRE(std::isfinite(lambda) && lambda > 0.0,
+                  "exponentiated-weibull lambda must be positive");
+  PREEMPT_REQUIRE(std::isfinite(k) && k > 0.0, "exponentiated-weibull shape must be positive");
+  PREEMPT_REQUIRE(std::isfinite(gamma) && gamma > 0.0,
+                  "exponentiated-weibull exponent must be positive");
+}
+
+double ExponentiatedWeibull::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  const double base = -std::expm1(-std::pow(lambda_ * t, k_));
+  return std::pow(base, gamma_);
+}
+
+double ExponentiatedWeibull::pdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  const double x = std::pow(lambda_ * t, k_);
+  const double base = -std::expm1(-x);  // 1 - e^{-x}
+  if (base <= 0.0) return 0.0;
+  return gamma_ * k_ * lambda_ * std::pow(lambda_ * t, k_ - 1.0) * std::exp(-x) *
+         std::pow(base, gamma_ - 1.0);
+}
+
+double ExponentiatedWeibull::quantile(double p) const {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return support_end();
+  const double base = std::pow(p, 1.0 / gamma_);
+  return std::pow(-std::log1p(-base), 1.0 / k_) / lambda_;
+}
+
+}  // namespace preempt::dist

@@ -1,0 +1,37 @@
+// Exponentiated Weibull, F(t) = [1 − exp(−(λt)^k)]^γ — the classical
+// bathtub-capable family (paper ref [42]); k > 1 with kγ < 1 yields a
+// decreasing-then-increasing hazard, but no deadline wall.
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace preempt::dist {
+
+class ExponentiatedWeibull final : public Distribution {
+ public:
+  /// λ > 0, shape k > 0, exponent γ > 0.
+  ExponentiatedWeibull(double lambda, double k, double gamma);
+
+  double lambda() const noexcept { return lambda_; }
+  double shape() const noexcept { return k_; }
+  double gamma() const noexcept { return gamma_; }
+
+  std::string name() const override { return "exponentiated_weibull"; }
+  std::vector<std::string> parameter_names() const override { return {"lambda", "k", "gamma"}; }
+  std::vector<double> parameters() const override { return {lambda_, k_, gamma_}; }
+  DistributionPtr clone() const override {
+    return std::make_unique<ExponentiatedWeibull>(*this);
+  }
+
+  double cdf(double t) const override;
+  double pdf(double t) const override;
+  double quantile(double p) const override;
+  double sample(Rng& rng) const override { return quantile(rng.uniform()); }
+
+ private:
+  double lambda_;
+  double k_;
+  double gamma_;
+};
+
+}  // namespace preempt::dist

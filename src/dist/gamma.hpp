@@ -1,0 +1,32 @@
+// Gamma lifetime — comparator family for the extended Fig. 1 zoo.
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace preempt::dist {
+
+class Gamma final : public Distribution {
+ public:
+  /// Shape α > 0, rate β > 0 (per hour); mean is α/β.
+  Gamma(double shape, double rate);
+
+  double shape() const noexcept { return shape_; }
+  double rate() const noexcept { return rate_; }
+
+  std::string name() const override { return "gamma"; }
+  std::vector<std::string> parameter_names() const override { return {"alpha", "beta"}; }
+  std::vector<double> parameters() const override { return {shape_, rate_}; }
+  DistributionPtr clone() const override { return std::make_unique<Gamma>(*this); }
+
+  double cdf(double t) const override;
+  double pdf(double t) const override;
+  double sample(Rng& rng) const override;
+  double mean() const override { return shape_ / rate_; }
+  double partial_expectation(double a, double b) const override;
+
+ private:
+  double shape_;
+  double rate_;
+};
+
+}  // namespace preempt::dist

@@ -1,0 +1,41 @@
+#include "dist/gompertz_makeham.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace preempt::dist {
+
+GompertzMakeham::GompertzMakeham(double lambda, double alpha, double beta)
+    : lambda_(lambda), alpha_(alpha), beta_(beta) {
+  PREEMPT_REQUIRE(std::isfinite(lambda) && lambda >= 0.0,
+                  "gompertz-makeham lambda must be >= 0");
+  PREEMPT_REQUIRE(std::isfinite(alpha) && alpha > 0.0, "gompertz-makeham alpha must be positive");
+  PREEMPT_REQUIRE(std::isfinite(beta) && beta > 0.0, "gompertz-makeham beta must be positive");
+}
+
+double GompertzMakeham::cumulative_hazard(double t) const {
+  return lambda_ * t + alpha_ / beta_ * std::expm1(beta_ * t);
+}
+
+double GompertzMakeham::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  return -std::expm1(-cumulative_hazard(t));
+}
+
+double GompertzMakeham::pdf(double t) const {
+  if (t < 0.0) return 0.0;
+  return hazard(t) * survival(t);
+}
+
+double GompertzMakeham::survival(double t) const {
+  if (t <= 0.0) return 1.0;
+  return std::exp(-cumulative_hazard(t));
+}
+
+double GompertzMakeham::hazard(double t) const {
+  if (t < 0.0) return 0.0;
+  return lambda_ + alpha_ * std::exp(beta_ * t);
+}
+
+}  // namespace preempt::dist

@@ -1,0 +1,39 @@
+// Gompertz–Makeham lifetime: hazard h(t) = λ + α e^{βt} — a constant
+// background rate plus exponential aging (Fig. 1 comparator).
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace preempt::dist {
+
+class GompertzMakeham final : public Distribution {
+ public:
+  /// λ >= 0 background rate, α > 0 aging amplitude, β > 0 aging speed.
+  GompertzMakeham(double lambda, double alpha, double beta);
+
+  double lambda() const noexcept { return lambda_; }
+  double alpha() const noexcept { return alpha_; }
+  double beta() const noexcept { return beta_; }
+
+  std::string name() const override { return "gompertz-makeham"; }
+  std::vector<std::string> parameter_names() const override {
+    return {"lambda", "alpha", "beta"};
+  }
+  std::vector<double> parameters() const override { return {lambda_, alpha_, beta_}; }
+  DistributionPtr clone() const override { return std::make_unique<GompertzMakeham>(*this); }
+
+  double cdf(double t) const override;
+  double pdf(double t) const override;
+  double survival(double t) const override;
+  double hazard(double t) const override;
+
+ private:
+  /// Cumulative hazard Λ(t) = λt + (α/β)(e^{βt} − 1).
+  double cumulative_hazard(double t) const;
+
+  double lambda_;
+  double alpha_;
+  double beta_;
+};
+
+}  // namespace preempt::dist

@@ -1,0 +1,49 @@
+#include "dist/lognormal.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/special.hpp"
+
+namespace preempt::dist {
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  PREEMPT_REQUIRE(std::isfinite(mu), "lognormal mu must be finite");
+  PREEMPT_REQUIRE(std::isfinite(sigma) && sigma > 0.0, "lognormal sigma must be positive");
+}
+
+double LogNormal::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  return normal_cdf((std::log(t) - mu_) / sigma_);
+}
+
+double LogNormal::pdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  const double z = (std::log(t) - mu_) / sigma_;
+  return normal_pdf(z) / (sigma_ * t);
+}
+
+double LogNormal::quantile(double p) const {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return support_end();
+  return std::exp(mu_ + sigma_ * normal_quantile(p));
+}
+
+double LogNormal::sample(Rng& rng) const { return std::exp(rng.normal(mu_, sigma_)); }
+
+double LogNormal::mean() const { return std::exp(mu_ + 0.5 * sq(sigma_)); }
+
+double LogNormal::partial_expectation(double a, double b) const {
+  // ∫_a^b t f(t) dt = e^{μ+σ²/2} [Φ((ln b − μ − σ²)/σ) − Φ((ln a − μ − σ²)/σ)].
+  const double lo = std::max(a, 0.0);
+  if (b <= lo) return 0.0;
+  auto upper_arg = [this](double t) {
+    if (t <= 0.0) return -std::numeric_limits<double>::infinity();
+    return (std::log(t) - mu_ - sq(sigma_)) / sigma_;
+  };
+  return mean() * (normal_cdf(upper_arg(b)) - normal_cdf(upper_arg(lo)));
+}
+
+}  // namespace preempt::dist

@@ -1,0 +1,33 @@
+// Log-normal lifetime, ln T ~ N(μ, σ²) — comparator family (extended zoo).
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace preempt::dist {
+
+class LogNormal final : public Distribution {
+ public:
+  /// μ finite, σ > 0.
+  LogNormal(double mu, double sigma);
+
+  double mu() const noexcept { return mu_; }
+  double sigma() const noexcept { return sigma_; }
+
+  std::string name() const override { return "lognormal"; }
+  std::vector<std::string> parameter_names() const override { return {"mu", "sigma"}; }
+  std::vector<double> parameters() const override { return {mu_, sigma_}; }
+  DistributionPtr clone() const override { return std::make_unique<LogNormal>(*this); }
+
+  double cdf(double t) const override;
+  double pdf(double t) const override;
+  double quantile(double p) const override;
+  double sample(Rng& rng) const override;
+  double mean() const override;
+  double partial_expectation(double a, double b) const override;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+}  // namespace preempt::dist

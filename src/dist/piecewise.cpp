@@ -1,0 +1,101 @@
+#include "dist/piecewise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/string_util.hpp"
+
+namespace preempt::dist {
+
+PiecewiseLinearCdf::PiecewiseLinearCdf(std::vector<double> ts, std::vector<double> fs)
+    : ts_(std::move(ts)), fs_(std::move(fs)) {
+  PREEMPT_REQUIRE(ts_.size() == fs_.size(), "piecewise CDF needs equal-length knot arrays");
+  PREEMPT_REQUIRE(ts_.size() >= 2, "piecewise CDF needs at least two knots");
+  for (std::size_t i = 0; i < ts_.size(); ++i) {
+    PREEMPT_REQUIRE(std::isfinite(ts_[i]) && ts_[i] >= 0.0, "knot times must be >= 0");
+    PREEMPT_REQUIRE(std::isfinite(fs_[i]) && fs_[i] >= 0.0 && fs_[i] <= 1.0,
+                    "knot CDF values must be in [0, 1]");
+    if (i > 0) {
+      PREEMPT_REQUIRE(ts_[i] > ts_[i - 1], "knot times must be strictly increasing");
+      PREEMPT_REQUIRE(fs_[i] >= fs_[i - 1], "knot CDF values must be non-decreasing");
+    }
+  }
+  atom_ = 1.0 - fs_.back();
+}
+
+std::vector<std::string> PiecewiseLinearCdf::parameter_names() const {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < ts_.size(); ++i) {
+    names.push_back("t" + std::to_string(i));
+    names.push_back("F" + std::to_string(i));
+  }
+  return names;
+}
+
+std::vector<double> PiecewiseLinearCdf::parameters() const {
+  std::vector<double> values;
+  for (std::size_t i = 0; i < ts_.size(); ++i) {
+    values.push_back(ts_[i]);
+    values.push_back(fs_[i]);
+  }
+  return values;
+}
+
+double PiecewiseLinearCdf::cdf(double t) const {
+  if (t < ts_.front()) return 0.0;
+  if (t >= ts_.back()) return 1.0;  // atom absorbed at the last knot
+  const auto it = std::upper_bound(ts_.begin(), ts_.end(), t);
+  const std::size_t i = static_cast<std::size_t>(it - ts_.begin());
+  const double frac = (t - ts_[i - 1]) / (ts_[i] - ts_[i - 1]);
+  return fs_[i - 1] + frac * (fs_[i] - fs_[i - 1]);
+}
+
+double PiecewiseLinearCdf::pdf(double t) const {
+  if (t < ts_.front() || t >= ts_.back()) return 0.0;
+  const auto it = std::upper_bound(ts_.begin(), ts_.end(), t);
+  const std::size_t i = static_cast<std::size_t>(it - ts_.begin());
+  return (fs_[i] - fs_[i - 1]) / (ts_[i] - ts_[i - 1]);
+}
+
+double PiecewiseLinearCdf::quantile(double p) const {
+  if (p <= fs_.front()) return ts_.front();
+  if (p >= fs_.back()) return ts_.back();
+  const auto it = std::lower_bound(fs_.begin(), fs_.end(), p);
+  std::size_t i = static_cast<std::size_t>(it - fs_.begin());
+  // Skip flat segments so the division below is well defined.
+  while (i > 0 && fs_[i] == fs_[i - 1]) --i;
+  if (i == 0) return ts_.front();
+  const double frac = (p - fs_[i - 1]) / (fs_[i] - fs_[i - 1]);
+  return ts_[i - 1] + frac * (ts_[i] - ts_[i - 1]);
+}
+
+double PiecewiseLinearCdf::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  if (u >= fs_.back()) return ts_.back();
+  return quantile(u);
+}
+
+double PiecewiseLinearCdf::mean() const {
+  // fs.front() > 0 with ts.front() > 0 is an atom at the first knot (the CDF
+  // jumps from 0 there); count it alongside the deadline atom.
+  return fs_.front() * ts_.front() + partial_expectation(0.0, ts_.back()) + atom_ * ts_.back();
+}
+
+double PiecewiseLinearCdf::partial_expectation(double a, double b) const {
+  const double lo = clamp(a, ts_.front(), ts_.back());
+  const double hi = clamp(b, ts_.front(), ts_.back());
+  if (hi <= lo) return 0.0;
+  KahanSum sum;
+  for (std::size_t i = 1; i < ts_.size(); ++i) {
+    const double seg_lo = std::max(lo, ts_[i - 1]);
+    const double seg_hi = std::min(hi, ts_[i]);
+    if (seg_hi <= seg_lo) continue;
+    const double slope = (fs_[i] - fs_[i - 1]) / (ts_[i] - ts_[i - 1]);
+    sum.add(slope * 0.5 * (seg_hi * seg_hi - seg_lo * seg_lo));
+  }
+  return sum.value();
+}
+
+}  // namespace preempt::dist

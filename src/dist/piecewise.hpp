@@ -1,0 +1,41 @@
+// Piecewise-linear CDF on knots — the paper's Fig. 3 "three straight phases"
+// reading of the empirical curve, with a deadline atom when the last knot
+// falls short of probability 1.
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace preempt::dist {
+
+class PiecewiseLinearCdf final : public Distribution {
+ public:
+  /// Knots: ts strictly increasing (>= 0), fs non-decreasing in [0, 1],
+  /// equal lengths >= 2. Mass 1 − fs.back() becomes an atom at ts.back().
+  PiecewiseLinearCdf(std::vector<double> ts, std::vector<double> fs);
+
+  const std::vector<double>& knot_times() const noexcept { return ts_; }
+  const std::vector<double>& knot_values() const noexcept { return fs_; }
+  double deadline_atom() const noexcept { return atom_; }
+
+  std::string name() const override { return "piecewise"; }
+  std::vector<std::string> parameter_names() const override;
+  std::vector<double> parameters() const override;
+  DistributionPtr clone() const override {
+    return std::make_unique<PiecewiseLinearCdf>(*this);
+  }
+
+  double cdf(double t) const override;
+  double pdf(double t) const override;
+  double quantile(double p) const override;
+  double sample(Rng& rng) const override;
+  double mean() const override;
+  double partial_expectation(double a, double b) const override;
+  double support_end() const override { return ts_.back(); }
+
+ private:
+  std::vector<double> ts_;
+  std::vector<double> fs_;
+  double atom_ = 0.0;
+};
+
+}  // namespace preempt::dist

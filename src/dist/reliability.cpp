@@ -1,0 +1,65 @@
+#include "dist/reliability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/integrate.hpp"
+
+namespace preempt::dist {
+
+double mttf(const Distribution& d) { return d.mean(); }
+
+double conditional_survival(const Distribution& d, double age_hours, double horizon_hours) {
+  PREEMPT_REQUIRE(age_hours >= 0.0, "conditional survival needs age >= 0");
+  PREEMPT_REQUIRE(horizon_hours >= 0.0, "conditional survival needs horizon >= 0");
+  const double s_age = d.survival(age_hours);
+  if (s_age <= 0.0) return 0.0;
+  return std::min(1.0, d.survival(age_hours + horizon_hours) / s_age);
+}
+
+double conditional_failure(const Distribution& d, double age_hours, double horizon_hours) {
+  return 1.0 - conditional_survival(d, age_hours, horizon_hours);
+}
+
+double mean_residual_life(const Distribution& d, double age_hours) {
+  PREEMPT_REQUIRE(age_hours >= 0.0, "mean residual life needs age >= 0");
+  const double s_age = d.survival(age_hours);
+  if (s_age <= 0.0) return 0.0;
+  double end = d.support_end();
+  if (!std::isfinite(end)) {
+    end = std::max(1.0, 2.0 * age_hours);
+    int guard = 0;
+    while (d.survival(end) > 1e-14 * s_age && guard++ < 1100) end *= 2.0;
+  }
+  if (end <= age_hours) return 0.0;
+  const double integral = integrate_gauss_composite(
+      [&d](double t) { return d.survival(t); }, age_hours, end, 96, 16);
+  return integral / s_age;
+}
+
+double mttf_from_initial_rate(const Distribution& d) {
+  const double h0 = d.hazard(0.0);
+  PREEMPT_REQUIRE(h0 > 0.0, "initial failure rate is zero");
+  return 1.0 / h0;
+}
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kInfant:
+      return "infant";
+    case Phase::kStable:
+      return "stable";
+    case Phase::kDeadline:
+      return "deadline";
+  }
+  return "unknown";
+}
+
+Phase classify_phase(const BathtubDistribution& d, double age_hours) {
+  if (age_hours < d.infant_phase_end()) return Phase::kInfant;
+  if (age_hours < d.deadline_phase_start()) return Phase::kStable;
+  return Phase::kDeadline;
+}
+
+}  // namespace preempt::dist

@@ -1,0 +1,38 @@
+// Reliability-theory helpers over lifetime distributions: conditional
+// survival, mean residual life, MTTF variants and the bathtub phase
+// classification of Observation 1.
+#pragma once
+
+#include "dist/bathtub.hpp"
+#include "dist/distribution.hpp"
+
+namespace preempt::dist {
+
+/// Mean time to failure, E[T] (atom included for constrained laws).
+double mttf(const Distribution& d);
+
+/// P(T > s + t | T > s). Zero when survival at s is already zero.
+/// Throws InvalidArgument for s < 0 or t < 0.
+double conditional_survival(const Distribution& d, double age_hours, double horizon_hours);
+
+/// P(T <= s + t | T > s) = 1 − conditional_survival.
+double conditional_failure(const Distribution& d, double age_hours, double horizon_hours);
+
+/// Mean residual life MRL(s) = E[T − s | T > s] = ∫_s^end S(t) dt / S(s).
+/// Throws InvalidArgument for s < 0; returns 0 once survival vanishes.
+double mean_residual_life(const Distribution& d, double age_hours);
+
+/// The Young–Daly MTTF substitute of Sec. 6.2.2: 1 / h(0), the inverse
+/// initial failure rate.
+double mttf_from_initial_rate(const Distribution& d);
+
+/// Observation 1's three bathtub phases.
+enum class Phase { kInfant, kStable, kDeadline };
+
+/// Stable display names: "infant", "stable", "deadline".
+const char* phase_name(Phase phase);
+
+/// Classify a VM age against the model's phase boundaries.
+Phase classify_phase(const BathtubDistribution& d, double age_hours);
+
+}  // namespace preempt::dist

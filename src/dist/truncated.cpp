@@ -1,0 +1,67 @@
+#include "dist/truncated.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace preempt::dist {
+
+TruncatedDistribution::TruncatedDistribution(DistributionPtr base, double horizon_hours)
+    : base_(std::move(base)), horizon_(horizon_hours) {
+  PREEMPT_REQUIRE(base_ != nullptr, "truncation needs a base distribution");
+  PREEMPT_REQUIRE(std::isfinite(horizon_hours) && horizon_hours > 0.0,
+                  "truncation horizon must be positive");
+  mass_ = base_->cdf(horizon_);
+  PREEMPT_REQUIRE(mass_ > 0.0, "base distribution has no mass below the horizon");
+}
+
+TruncatedDistribution::TruncatedDistribution(const TruncatedDistribution& other)
+    : base_(other.base_->clone()), horizon_(other.horizon_), mass_(other.mass_) {}
+
+TruncatedDistribution& TruncatedDistribution::operator=(const TruncatedDistribution& other) {
+  if (this != &other) {
+    base_ = other.base_->clone();
+    horizon_ = other.horizon_;
+    mass_ = other.mass_;
+  }
+  return *this;
+}
+
+std::vector<std::string> TruncatedDistribution::parameter_names() const {
+  auto names = base_->parameter_names();
+  names.push_back("horizon");
+  return names;
+}
+
+std::vector<double> TruncatedDistribution::parameters() const {
+  auto values = base_->parameters();
+  values.push_back(horizon_);
+  return values;
+}
+
+double TruncatedDistribution::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  if (t >= horizon_) return 1.0;
+  return clamp01(base_->cdf(t) / mass_);
+}
+
+double TruncatedDistribution::pdf(double t) const {
+  if (t < 0.0 || t > horizon_) return 0.0;
+  return base_->pdf(t) / mass_;
+}
+
+double TruncatedDistribution::quantile(double p) const {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return horizon_;
+  return std::min(base_->quantile(p * mass_), horizon_);
+}
+
+double TruncatedDistribution::partial_expectation(double a, double b) const {
+  const double lo = clamp(a, 0.0, horizon_);
+  const double hi = clamp(b, 0.0, horizon_);
+  if (hi <= lo) return 0.0;
+  return base_->partial_expectation(lo, hi) / mass_;
+}
+
+}  // namespace preempt::dist

@@ -1,0 +1,43 @@
+// Right-truncation wrapper: condition any base lifetime law on T <= horizon.
+// Used for Young–Daly-style baselines that must live in the same 24 h world
+// as the constrained models.
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace preempt::dist {
+
+class TruncatedDistribution final : public Distribution {
+ public:
+  /// Requires a non-null base with positive mass below `horizon` (> 0).
+  TruncatedDistribution(DistributionPtr base, double horizon_hours);
+
+  TruncatedDistribution(const TruncatedDistribution& other);
+  TruncatedDistribution& operator=(const TruncatedDistribution& other);
+  TruncatedDistribution(TruncatedDistribution&&) noexcept = default;
+  TruncatedDistribution& operator=(TruncatedDistribution&&) noexcept = default;
+
+  const Distribution& base() const noexcept { return *base_; }
+  double horizon() const noexcept { return horizon_; }
+
+  std::string name() const override { return base_->name() + "-truncated"; }
+  std::vector<std::string> parameter_names() const override;
+  std::vector<double> parameters() const override;
+  DistributionPtr clone() const override {
+    return std::make_unique<TruncatedDistribution>(*this);
+  }
+
+  double cdf(double t) const override;
+  double pdf(double t) const override;
+  double quantile(double p) const override;
+  double sample(Rng& rng) const override { return quantile(rng.uniform()); }
+  double partial_expectation(double a, double b) const override;
+  double support_end() const override { return horizon_; }
+
+ private:
+  DistributionPtr base_;
+  double horizon_;
+  double mass_;  ///< base CDF at the horizon
+};
+
+}  // namespace preempt::dist

@@ -1,0 +1,32 @@
+#include "dist/uniform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace preempt::dist {
+
+UniformLifetime::UniformLifetime(double horizon_hours) : horizon_(horizon_hours) {
+  PREEMPT_REQUIRE(std::isfinite(horizon_hours) && horizon_hours > 0.0,
+                  "uniform horizon must be positive");
+}
+
+double UniformLifetime::cdf(double t) const { return clamp01(t / horizon_); }
+
+double UniformLifetime::pdf(double t) const {
+  if (t < 0.0 || t > horizon_) return 0.0;
+  return 1.0 / horizon_;
+}
+
+double UniformLifetime::quantile(double p) const { return clamp01(p) * horizon_; }
+
+double UniformLifetime::partial_expectation(double a, double b) const {
+  const double lo = clamp(a, 0.0, horizon_);
+  const double hi = clamp(b, 0.0, horizon_);
+  if (hi <= lo) return 0.0;
+  return (hi * hi - lo * lo) / (2.0 * horizon_);
+}
+
+}  // namespace preempt::dist

@@ -1,0 +1,33 @@
+// Uniform lifetime on [0, L] — the paper's Sec. 6.1 strawman comparator
+// ("preemptions spread evenly over the 24 h window").
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace preempt::dist {
+
+class UniformLifetime final : public Distribution {
+ public:
+  /// Lifetimes uniform on [0, horizon_hours], horizon > 0.
+  explicit UniformLifetime(double horizon_hours);
+
+  double horizon() const noexcept { return horizon_; }
+
+  std::string name() const override { return "uniform"; }
+  std::vector<std::string> parameter_names() const override { return {"horizon"}; }
+  std::vector<double> parameters() const override { return {horizon_}; }
+  DistributionPtr clone() const override { return std::make_unique<UniformLifetime>(*this); }
+
+  double cdf(double t) const override;
+  double pdf(double t) const override;
+  double quantile(double p) const override;
+  double sample(Rng& rng) const override { return rng.uniform(0.0, horizon_); }
+  double mean() const override { return 0.5 * horizon_; }
+  double partial_expectation(double a, double b) const override;
+  double support_end() const override { return horizon_; }
+
+ private:
+  double horizon_;
+};
+
+}  // namespace preempt::dist

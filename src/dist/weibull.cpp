@@ -1,0 +1,54 @@
+#include "dist/weibull.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace preempt::dist {
+
+Weibull::Weibull(double lambda, double k) : lambda_(lambda), k_(k) {
+  PREEMPT_REQUIRE(std::isfinite(lambda) && lambda > 0.0, "weibull lambda must be positive");
+  PREEMPT_REQUIRE(std::isfinite(k) && k > 0.0, "weibull shape must be positive");
+}
+
+double Weibull::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  return -std::expm1(-std::pow(lambda_ * t, k_));
+}
+
+double Weibull::pdf(double t) const {
+  if (t < 0.0) return 0.0;
+  if (t == 0.0) {
+    if (k_ > 1.0) return 0.0;
+    if (k_ == 1.0) return lambda_;
+    return 0.0;  // density diverges; report 0 at the boundary point
+  }
+  const double x = lambda_ * t;
+  return k_ * lambda_ * std::pow(x, k_ - 1.0) * std::exp(-std::pow(x, k_));
+}
+
+double Weibull::survival(double t) const {
+  if (t <= 0.0) return 1.0;
+  return std::exp(-std::pow(lambda_ * t, k_));
+}
+
+double Weibull::hazard(double t) const {
+  if (t <= 0.0) {
+    if (k_ == 1.0) return lambda_;
+    return k_ > 1.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return k_ * lambda_ * std::pow(lambda_ * t, k_ - 1.0);
+}
+
+double Weibull::quantile(double p) const {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return support_end();
+  return std::pow(-std::log1p(-p), 1.0 / k_) / lambda_;
+}
+
+double Weibull::sample(Rng& rng) const { return quantile(rng.uniform()); }
+
+double Weibull::mean() const { return std::tgamma(1.0 + 1.0 / k_) / lambda_; }
+
+}  // namespace preempt::dist

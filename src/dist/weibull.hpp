@@ -1,0 +1,35 @@
+// Weibull lifetime, F(t) = 1 - exp(-(λt)^k) — the classical aging model the
+// paper compares against (Fig. 1): k < 1 infant mortality, k > 1 wear-out.
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace preempt::dist {
+
+class Weibull final : public Distribution {
+ public:
+  /// Rate-form parameterisation: λ > 0 (per hour), shape k > 0.
+  Weibull(double lambda, double k);
+
+  double lambda() const noexcept { return lambda_; }
+  double shape() const noexcept { return k_; }
+
+  std::string name() const override { return "weibull"; }
+  std::vector<std::string> parameter_names() const override { return {"lambda", "k"}; }
+  std::vector<double> parameters() const override { return {lambda_, k_}; }
+  DistributionPtr clone() const override { return std::make_unique<Weibull>(*this); }
+
+  double cdf(double t) const override;
+  double pdf(double t) const override;
+  double survival(double t) const override;
+  double hazard(double t) const override;
+  double quantile(double p) const override;
+  double sample(Rng& rng) const override;
+  double mean() const override;
+
+ private:
+  double lambda_;
+  double k_;
+};
+
+}  // namespace preempt::dist

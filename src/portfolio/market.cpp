@@ -1,0 +1,106 @@
+#include "portfolio/market.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "trace/generator.hpp"
+
+namespace preempt::portfolio {
+
+std::string Market::label() const {
+  return trace::to_string(regime.type) + "/" + trace::to_string(regime.zone) + "/" +
+         trace::to_string(regime.period);
+}
+
+MarketCatalog::MarketCatalog(trace::Dataset dataset, Options options)
+    : dataset_(std::move(dataset)), options_(options) {
+  PREEMPT_REQUIRE(!dataset_.empty(), "market catalog needs observations");
+  PREEMPT_REQUIRE(options_.horizon_hours > 0.0, "market horizon must be positive");
+  std::size_t id = 0;
+  for (const auto& spec : trace::all_vm_specs()) {
+    for (const auto zone : trace::all_zones()) {
+      for (const auto period : {trace::DayPeriod::kDay, trace::DayPeriod::kNight}) {
+        Market m;
+        m.id = id++;
+        m.regime = trace::RegimeKey{spec.type, zone, period, trace::WorkloadKind::kBatch};
+        m.price_per_hour = spec.preemptible_per_hour;
+        markets_.push_back(std::move(m));
+      }
+    }
+  }
+  cache_.resize(markets_.size());
+}
+
+MarketCatalog::MarketCatalog(MarketCatalog&& other) noexcept
+    : markets_(std::move(other.markets_)),
+      dataset_(std::move(other.dataset_)),
+      options_(other.options_) {
+  const std::lock_guard<std::mutex> lock(other.mutex_);
+  cache_ = std::move(other.cache_);
+}
+
+MarketCatalog MarketCatalog::synthetic(std::size_t vms_per_cell, std::uint64_t seed,
+                                       Options options) {
+  trace::StudyConfig study;
+  study.vms_per_cell = vms_per_cell;
+  study.seed = seed;
+  return MarketCatalog(trace::generate_study(study), options);
+}
+
+const Market& MarketCatalog::market(std::size_t id) const {
+  PREEMPT_REQUIRE(id < markets_.size(), "unknown market id");
+  return markets_[id];
+}
+
+std::vector<double> MarketCatalog::market_lifetimes(std::size_t id) const {
+  const Market& m = market(id);
+  // Pool over workloads: the portfolio always runs batch jobs, but idle
+  // observations of the same cell still inform its preemption law.
+  const trace::Dataset cell =
+      dataset_.by_type(m.regime.type).by_zone(m.regime.zone).by_period(m.regime.period);
+  if (cell.size() >= options_.min_samples) return cell.lifetimes();
+  const trace::Dataset type_zone = dataset_.by_type(m.regime.type).by_zone(m.regime.zone);
+  if (type_zone.size() >= options_.min_samples) return type_zone.lifetimes();
+  const trace::Dataset type_pool = dataset_.by_type(m.regime.type);
+  if (type_pool.size() >= options_.min_samples) return type_pool.lifetimes();
+  return dataset_.lifetimes();
+}
+
+std::size_t MarketCatalog::sample_count(std::size_t id) const {
+  const Market& m = market(id);
+  return dataset_.by_type(m.regime.type).by_zone(m.regime.zone).by_period(m.regime.period).size();
+}
+
+const core::PreemptionModel& MarketCatalog::model(std::size_t id) const {
+  PREEMPT_REQUIRE(id < markets_.size(), "unknown market id");
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (cache_[id].has_value()) return *cache_[id];
+  }
+  // Fit outside the lock so fit_all(pool) actually runs concurrently; a
+  // racing duplicate fit of the same market produces the identical model.
+  auto fitted =
+      core::PreemptionModel::fit(market_lifetimes(id), options_.horizon_hours);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!cache_[id].has_value()) cache_[id] = std::move(fitted);
+  return *cache_[id];
+}
+
+std::size_t MarketCatalog::fitted_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& slot : cache_) {
+    if (slot.has_value()) ++n;
+  }
+  return n;
+}
+
+void MarketCatalog::fit_all() const {
+  for (std::size_t id = 0; id < markets_.size(); ++id) model(id);
+}
+
+void MarketCatalog::fit_all(ThreadPool& pool) const {
+  parallel_for(pool, 0, markets_.size(), [this](std::size_t id) { model(id); });
+}
+
+}  // namespace preempt::portfolio

@@ -1,0 +1,91 @@
+// Spot markets over the preemption-regime grid.
+//
+// A *market* is one cell of the VmType × Zone × DayPeriod grid: the unit at
+// which the paper shows preemption behaviour to differ (Fig. 2a–2c) and the
+// unit at which a portfolio scheduler can diversify a bag of jobs (Sharma et
+// al., "Portfolio-driven Resource Management for Transient Cloud Servers").
+// The MarketCatalog enumerates the grid and lazily fits one survival model
+// per market from trace data, caching the fit and falling back to coarser
+// data pools for sparsely observed markets.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/model.hpp"
+#include "trace/dataset.hpp"
+#include "trace/ground_truth.hpp"
+#include "trace/vm_catalog.hpp"
+
+namespace preempt::portfolio {
+
+/// One spot market: a regime cell plus its published price.
+struct Market {
+  std::size_t id = 0;
+  trace::RegimeKey regime;       ///< type/zone/period (workload = batch)
+  double price_per_hour = 0.0;   ///< preemptible $/h of the market's VM type
+
+  /// "n1-highcpu-16/us-east1-b/day" — stable display / JSON identifier.
+  std::string label() const;
+};
+
+struct MarketCatalogOptions {
+  double horizon_hours = 24.0;
+  /// Markets with fewer observations borrow from coarser pools
+  /// (type+zone, then type, then the whole dataset).
+  std::size_t min_samples = 20;
+};
+
+class MarketCatalog {
+ public:
+  using Options = MarketCatalogOptions;
+
+  /// Enumerate the full grid and attach the observation dataset.
+  explicit MarketCatalog(trace::Dataset dataset, Options options = Options{});
+
+  /// Catalog backed by a synthetic Sec. 3.1-style study (the stand-in for a
+  /// live measurement campaign).
+  static MarketCatalog synthetic(std::size_t vms_per_cell = 60, std::uint64_t seed = 2019,
+                                 Options options = Options{});
+
+  /// Movable (fresh mutex; the fit cache moves with the data).
+  MarketCatalog(MarketCatalog&& other) noexcept;
+  MarketCatalog& operator=(MarketCatalog&&) = delete;
+  MarketCatalog(const MarketCatalog&) = delete;
+  MarketCatalog& operator=(const MarketCatalog&) = delete;
+
+  std::size_t size() const noexcept { return markets_.size(); }
+  const Market& market(std::size_t id) const;
+  const std::vector<Market>& markets() const noexcept { return markets_; }
+
+  /// Fitted model for one market; fits on first use and caches (thread-safe).
+  const core::PreemptionModel& model(std::size_t id) const;
+
+  /// Observations attributed to a market (workload-pooled), before fallback.
+  std::size_t sample_count(std::size_t id) const;
+
+  /// Markets fitted so far (cache introspection for tests / benches).
+  std::size_t fitted_count() const;
+
+  /// Fit every market serially.
+  void fit_all() const;
+
+  /// Fit every market concurrently on `pool`; each market's least-squares
+  /// fit is independent, so the grid parallelises embarrassingly.
+  void fit_all(ThreadPool& pool) const;
+
+ private:
+  std::vector<double> market_lifetimes(std::size_t id) const;
+
+  std::vector<Market> markets_;
+  trace::Dataset dataset_;
+  Options options_;
+
+  mutable std::mutex mutex_;
+  mutable std::vector<std::optional<core::PreemptionModel>> cache_;
+};
+
+}  // namespace preempt::portfolio

@@ -1,0 +1,181 @@
+#include "portfolio/multi_market_service.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace preempt::portfolio {
+
+MultiMarketService::MultiMarketService(const MarketCatalog& catalog, MultiMarketConfig config)
+    : catalog_(&catalog), config_(config), rng_(config.seed) {
+  PREEMPT_REQUIRE(config_.job_hours > 0.0, "job length must be positive");
+  PREEMPT_REQUIRE(config_.max_concurrent_per_market > 0, "need at least one VM slot");
+  states_.resize(catalog.size());
+  for (std::size_t m = 0; m < catalog.size(); ++m) {
+    states_[m].outcome.market = m;
+    states_[m].ground_truth =
+        trace::ground_truth_distribution(catalog.market(m).regime).clone();
+  }
+  // Quote against the *fitted* models, mirroring what the optimizer saw.
+  PortfolioConfig quote_config;
+  quote_config.job_hours = config_.job_hours;
+  quote_config.risk_bound = 1.0;  // quotes only; eligibility is re-derived
+  const PortfolioOptimizer optimizer(catalog, quote_config);
+  quotes_ = optimizer.quotes();
+}
+
+void MultiMarketService::set_ground_truth(std::size_t market, dist::DistributionPtr d) {
+  PREEMPT_REQUIRE(market < states_.size(), "unknown market id");
+  PREEMPT_REQUIRE(d != nullptr, "ground truth must not be null");
+  states_[market].ground_truth = std::move(d);
+}
+
+std::size_t MultiMarketService::best_healthy_market() const {
+  std::size_t best = states_.size();
+  double best_marginal = std::numeric_limits<double>::infinity();
+  for (std::size_t m = 0; m < states_.size(); ++m) {
+    if (states_[m].quarantined) continue;
+    const MarketQuote& q = quotes_[m];
+    // Marginal quote weighted by current backlog so migrations spread.
+    const double backlog = static_cast<double>(states_[m].queue.size() + states_[m].running);
+    const double marginal = q.expected_cost * (1.0 + q.failure_probability * backlog);
+    if (marginal < best_marginal) {
+      best_marginal = marginal;
+      best = m;
+    }
+  }
+  return best;
+}
+
+void MultiMarketService::observe_lifetime(std::size_t market, double lifetime) {
+  MarketState& state = states_[market];
+  if (!state.monitor) {
+    core::CusumDetector::Options opts;
+    opts.threshold = config_.cusum_threshold;
+    state.monitor = std::make_unique<core::CusumDetector>(
+        catalog_->model(market).distribution(), opts);
+  }
+  const auto status = state.monitor->observe(lifetime);
+  if (status.alarm && !state.quarantined) {
+    state.outcome.drift_alarm = true;
+    if (config_.rebalance_on_drift) {
+      state.quarantined = true;
+      rebalance_from(market);
+    }
+  }
+}
+
+void MultiMarketService::rebalance_from(std::size_t market) {
+  MarketState& state = states_[market];
+  if (state.queue.empty()) return;
+  const std::size_t target = best_healthy_market();
+  if (target >= states_.size() || target == market) {
+    // Nowhere to go: lift the quarantine for the backlog's sake.
+    state.quarantined = false;
+    return;
+  }
+  ++rebalances_;
+  while (!state.queue.empty()) {
+    const std::uint64_t job = state.queue.front();
+    state.queue.pop_front();
+    ++state.outcome.migrated_out;
+    ++states_[target].outcome.migrated_in;
+    states_[target].queue.push_back(job);
+  }
+  try_dispatch(target);
+}
+
+void MultiMarketService::try_dispatch(std::size_t market) {
+  MarketState& state = states_[market];
+  while (state.running < config_.max_concurrent_per_market && !state.queue.empty()) {
+    const std::uint64_t job = state.queue.front();
+    state.queue.pop_front();
+    ++state.running;
+    sim_.schedule_in(config_.provision_delay_hours,
+                     [this, market, job] { start_job(market, job); });
+  }
+}
+
+void MultiMarketService::start_job(std::size_t market, std::uint64_t job_id) {
+  MarketState& state = states_[market];
+  const double lifetime = state.ground_truth->sample(rng_);
+  const double work = remaining_work_[job_id];
+
+  if (lifetime >= work) {
+    // Completes; the VM is released (and billed) at completion.
+    state.outcome.vm_hours += work;
+    sim_.schedule_in(work, [this, market, job_id] {
+      MarketState& s = states_[market];
+      --s.running;
+      remaining_work_[job_id] = 0.0;
+      ++s.outcome.completed;
+      ++completed_;
+      last_completion_ = sim_.now();
+      try_dispatch(market);
+    });
+    return;
+  }
+
+  // Preempted mid-job: bill the VM's whole life, requeue the job (work is
+  // lost — these short bag jobs do not checkpoint), feed the monitor.
+  state.outcome.vm_hours += lifetime;
+  sim_.schedule_in(lifetime, [this, market, job_id, lifetime] {
+    MarketState& s = states_[market];
+    --s.running;
+    ++s.outcome.preemptions;
+    observe_lifetime(market, lifetime);
+    // The job may have been rebalanced away from `market` while running;
+    // requeue wherever it is cheapest now if this market is quarantined.
+    std::size_t home = market;
+    if (s.quarantined) {
+      const std::size_t target = best_healthy_market();
+      if (target < states_.size()) {
+        home = target;
+        ++s.outcome.migrated_out;
+        ++states_[target].outcome.migrated_in;
+      }
+    }
+    states_[home].queue.push_back(job_id);
+    try_dispatch(home);
+    if (home != market) try_dispatch(market);
+  });
+}
+
+MultiMarketReport MultiMarketService::run(const Allocation& allocation) {
+  PREEMPT_REQUIRE(allocation.counts.size() == states_.size(),
+                  "allocation size must match the catalog");
+  PREEMPT_REQUIRE(remaining_work_.empty(),
+                  "MultiMarketService::run is single-shot; construct a new service");
+  std::uint64_t next_job = 0;
+  for (std::size_t m = 0; m < states_.size(); ++m) {
+    states_[m].outcome.assigned = allocation.counts[m];
+    for (std::size_t i = 0; i < allocation.counts[m]; ++i) {
+      states_[m].queue.push_back(next_job++);
+      remaining_work_.push_back(config_.job_hours);
+    }
+  }
+  for (std::size_t m = 0; m < states_.size(); ++m) try_dispatch(m);
+  sim_.run(config_.max_sim_hours);
+
+  MultiMarketReport report;
+  report.rebalances = rebalances_;
+  report.jobs_completed = completed_;
+  report.jobs_abandoned = static_cast<std::size_t>(next_job) - completed_;
+  report.makespan_hours = last_completion_;
+  for (std::size_t m = 0; m < states_.size(); ++m) {
+    MarketOutcome outcome = states_[m].outcome;
+    outcome.cost = cost_model_.vm_cost(catalog_->market(m).regime.type, outcome.vm_hours,
+                                       /*preemptible=*/true);
+    report.total_cost += outcome.cost;
+    if (outcome.assigned > 0 || outcome.migrated_in > 0 || outcome.completed > 0) {
+      report.markets.push_back(outcome);
+    }
+  }
+  if (completed_ > 0) {
+    report.cost_per_job = report.total_cost / static_cast<double>(completed_);
+  }
+  return report;
+}
+
+}  // namespace preempt::portfolio

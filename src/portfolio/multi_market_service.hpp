@@ -1,0 +1,101 @@
+// Multi-market batch service: executes a portfolio allocation as a
+// discrete-event simulation, one VM fleet per market, all sharing a single
+// sim::Simulator clock.
+//
+// Per-market preemptions are drawn from that market's ground-truth law
+// (independently across markets — preemption pressure is a per-zone /
+// per-type phenomenon). Every observed lifetime also feeds the market's
+// CUSUM drift monitor (core/cusum); when a monitor fires the market is
+// quarantined and its queued jobs rebalance to the cheapest healthy market,
+// closing the paper's Sec. 8 "detect change-points and react" loop at the
+// portfolio level.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/cusum.hpp"
+#include "dist/distribution.hpp"
+#include "portfolio/optimizer.hpp"
+#include "sim/cost.hpp"
+#include "sim/simulator.hpp"
+
+namespace preempt::portfolio {
+
+struct MultiMarketConfig {
+  double job_hours = 0.25;                    ///< failure-free per-job run time
+  double provision_delay_hours = 2.0 / 60.0;  ///< VM boot + registration
+  std::size_t max_concurrent_per_market = 8;  ///< VM slots per market
+  std::uint64_t seed = 42;
+  double max_sim_hours = 24.0 * 30.0;         ///< safety cap on simulated time
+  bool rebalance_on_drift = true;             ///< move queued jobs off alarmed markets
+  double cusum_threshold = 8.0;               ///< per-market drift sensitivity
+};
+
+/// Per-market outcome of one run.
+struct MarketOutcome {
+  std::size_t market = 0;
+  std::size_t assigned = 0;       ///< jobs initially allocated here
+  std::size_t completed = 0;      ///< jobs finished here
+  std::size_t migrated_in = 0;    ///< jobs received via rebalancing
+  std::size_t migrated_out = 0;   ///< jobs pushed away via rebalancing
+  int preemptions = 0;            ///< preemptions that hit running jobs
+  double vm_hours = 0.0;
+  double cost = 0.0;              ///< preemptible billing of this fleet
+  bool drift_alarm = false;       ///< did the CUSUM monitor fire?
+};
+
+struct MultiMarketReport {
+  std::vector<MarketOutcome> markets;
+  std::size_t jobs_completed = 0;
+  std::size_t jobs_abandoned = 0;   ///< still unfinished at the safety cap
+  double makespan_hours = 0.0;
+  double total_cost = 0.0;
+  double cost_per_job = 0.0;
+  std::size_t rebalances = 0;       ///< drift-triggered migration events
+};
+
+class MultiMarketService {
+ public:
+  MultiMarketService(const MarketCatalog& catalog, MultiMarketConfig config);
+
+  /// Override one market's ground-truth lifetime law (drift injection; the
+  /// default is the regime's calibrated ground truth).
+  void set_ground_truth(std::size_t market, dist::DistributionPtr d);
+
+  /// Execute an allocation (counts in catalog order) to completion.
+  MultiMarketReport run(const Allocation& allocation);
+
+ private:
+  struct MarketState {
+    std::deque<std::uint64_t> queue;       ///< pending job ids
+    std::size_t running = 0;               ///< occupied VM slots
+    dist::DistributionPtr ground_truth;
+    std::unique_ptr<core::CusumDetector> monitor;
+    bool quarantined = false;
+    MarketOutcome outcome;
+  };
+
+  void try_dispatch(std::size_t market);
+  void start_job(std::size_t market, std::uint64_t job_id);
+  void observe_lifetime(std::size_t market, double lifetime);
+  void rebalance_from(std::size_t market);
+  /// Healthy market with the cheapest marginal cost; catalog size if none.
+  std::size_t best_healthy_market() const;
+
+  const MarketCatalog* catalog_;
+  MultiMarketConfig config_;
+  std::vector<MarketState> states_;
+  std::vector<MarketQuote> quotes_;       ///< for rebalancing decisions
+  sim::Simulator sim_;
+  Rng rng_;
+  sim::CostModel cost_model_;
+  std::vector<double> remaining_work_;    ///< per job id
+  std::size_t completed_ = 0;
+  std::size_t rebalances_ = 0;
+  double last_completion_ = 0.0;
+};
+
+}  // namespace preempt::portfolio

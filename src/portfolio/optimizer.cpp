@@ -1,0 +1,140 @@
+#include "portfolio/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "policy/running_time.hpp"
+#include "policy/scheduling.hpp"
+
+namespace preempt::portfolio {
+
+std::size_t Allocation::total() const {
+  std::size_t n = 0;
+  for (const std::size_t c : counts) n += c;
+  return n;
+}
+
+PortfolioOptimizer::PortfolioOptimizer(const MarketCatalog& catalog, PortfolioConfig config)
+    : config_(config) {
+  PREEMPT_REQUIRE(config_.jobs > 0, "portfolio needs a non-empty bag");
+  PREEMPT_REQUIRE(config_.job_hours > 0.0, "portfolio job length must be positive");
+  PREEMPT_REQUIRE(config_.risk_bound > 0.0 && config_.risk_bound <= 1.0,
+                  "risk bound must be in (0, 1]");
+  PREEMPT_REQUIRE(config_.correlation_penalty >= 0.0, "correlation penalty must be >= 0");
+  quotes_.reserve(catalog.size());
+  for (std::size_t id = 0; id < catalog.size(); ++id) {
+    const auto& d = catalog.model(id).distribution();
+    MarketQuote q;
+    q.market = id;
+    q.failure_probability = policy::job_failure_probability(d, 0.0, config_.job_hours);
+    q.expected_makespan_hours = policy::expected_makespan(d, config_.job_hours);
+    q.expected_cost = catalog.market(id).price_per_hour * q.expected_makespan_hours;
+    q.eligible = q.failure_probability <= config_.risk_bound;
+    quotes_.push_back(q);
+  }
+}
+
+std::size_t PortfolioOptimizer::eligible_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(quotes_.begin(), quotes_.end(), [](const MarketQuote& q) { return q.eligible; }));
+}
+
+double PortfolioOptimizer::objective(const std::vector<std::size_t>& counts) const {
+  PREEMPT_REQUIRE(counts.size() == quotes_.size(), "allocation size must match catalog");
+  double j = 0.0;
+  for (std::size_t m = 0; m < counts.size(); ++m) {
+    const double n = static_cast<double>(counts[m]);
+    const MarketQuote& q = quotes_[m];
+    j += n * q.expected_cost +
+         config_.correlation_penalty * 0.5 * n * (n - 1.0) * q.failure_probability *
+             q.expected_cost;
+  }
+  return j;
+}
+
+Allocation PortfolioOptimizer::finish(std::vector<std::size_t> counts) const {
+  Allocation out;
+  out.counts = std::move(counts);
+  out.objective = objective(out.counts);
+  for (std::size_t m = 0; m < out.counts.size(); ++m) {
+    if (out.counts[m] == 0) continue;
+    ++out.markets_used;
+    out.base_cost += static_cast<double>(out.counts[m]) * quotes_[m].expected_cost;
+  }
+  return out;
+}
+
+Allocation PortfolioOptimizer::optimize_greedy() const {
+  PREEMPT_REQUIRE(eligible_count() > 0, "no market satisfies the risk bound");
+  std::vector<std::size_t> counts(quotes_.size(), 0);
+  for (std::size_t placed = 0; placed < config_.jobs; ++placed) {
+    std::size_t best = quotes_.size();
+    double best_marginal = std::numeric_limits<double>::infinity();
+    for (const MarketQuote& q : quotes_) {
+      if (!q.eligible) continue;
+      // Marginal cost of the (n+1)-th job in market m:
+      // ΔJ = c_m + λ c_m p_m n_m  (ties break on market id → deterministic).
+      const double marginal =
+          q.expected_cost * (1.0 + config_.correlation_penalty * q.failure_probability *
+                                       static_cast<double>(counts[q.market]));
+      if (marginal < best_marginal) {
+        best_marginal = marginal;
+        best = q.market;
+      }
+    }
+    ++counts[best];
+  }
+  return finish(std::move(counts));
+}
+
+namespace {
+
+/// Compositions of `remaining` over markets[index:]; prunes nothing (the
+/// caller bounds the search space up front).
+void enumerate(const PortfolioOptimizer& opt, const std::vector<std::size_t>& eligible,
+               std::size_t index, std::size_t remaining, std::vector<std::size_t>& counts,
+               double& best_value, std::vector<std::size_t>& best_counts) {
+  if (index + 1 == eligible.size()) {
+    counts[eligible[index]] = remaining;
+    const double value = opt.objective(counts);
+    if (value < best_value) {
+      best_value = value;
+      best_counts = counts;
+    }
+    counts[eligible[index]] = 0;
+    return;
+  }
+  for (std::size_t take = 0; take <= remaining; ++take) {
+    counts[eligible[index]] = take;
+    enumerate(opt, eligible, index + 1, remaining - take, counts, best_value, best_counts);
+  }
+  counts[eligible[index]] = 0;
+}
+
+}  // namespace
+
+Allocation PortfolioOptimizer::optimize_exhaustive() const {
+  std::vector<std::size_t> eligible;
+  for (const MarketQuote& q : quotes_) {
+    if (q.eligible) eligible.push_back(q.market);
+  }
+  PREEMPT_REQUIRE(!eligible.empty(), "no market satisfies the risk bound");
+
+  // Search space is C(N + M − 1, M − 1); refuse combinatorial explosions.
+  double nodes = 1.0;
+  for (std::size_t i = 1; i < eligible.size(); ++i) {
+    nodes *= static_cast<double>(config_.jobs + i) / static_cast<double>(i);
+  }
+  PREEMPT_REQUIRE(nodes <= 2e6,
+                  "exhaustive portfolio search is limited to small instances");
+
+  std::vector<std::size_t> counts(quotes_.size(), 0);
+  std::vector<std::size_t> best_counts(quotes_.size(), 0);
+  double best_value = std::numeric_limits<double>::infinity();
+  enumerate(*this, eligible, 0, config_.jobs, counts, best_value, best_counts);
+  return finish(std::move(best_counts));
+}
+
+}  // namespace preempt::portfolio

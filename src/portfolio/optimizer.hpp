@@ -1,0 +1,79 @@
+// Portfolio allocation of a bag of jobs across spot markets.
+//
+// Each market quotes a per-job failure probability p_m (Sec. 4.1 running-time
+// model on a fresh VM) and an expected per-job cost c_m = price_m · E[T_m]
+// (Eq. 7 expected makespan at the market's preemptible rate). The optimizer
+// picks a per-market job count vector n minimising the mean-risk objective
+//
+//   J(n) = Σ_m n_m c_m  +  λ Σ_m C(n_m, 2) p_m c_m
+//
+// subject to Σ n_m = N and p_m <= risk bound wherever n_m > 0. The quadratic
+// term prices correlated rework: preemptions within one market hit all of its
+// jobs together (capacity reclaims are market-wide events), so piling the bag
+// into the single cheapest market is penalised pairwise — the classic
+// portfolio-diversification effect. J is separable and convex in each n_m,
+// so incremental greedy (always add the next job where the marginal cost
+// c_m (1 + λ p_m n_m) is lowest) is exact; the exhaustive solver enumerates
+// all compositions as an independent reference for small instances.
+#pragma once
+
+#include <vector>
+
+#include "portfolio/market.hpp"
+
+namespace preempt::portfolio {
+
+struct PortfolioConfig {
+  std::size_t jobs = 100;              ///< bag size N
+  double job_hours = 0.25;             ///< failure-free per-job running time
+  double risk_bound = 0.05;            ///< max per-job failure probability
+  double correlation_penalty = 0.5;    ///< λ, weight of the pairwise risk term
+};
+
+/// Per-market quote derived from its fitted survival model.
+struct MarketQuote {
+  std::size_t market = 0;
+  double failure_probability = 0.0;    ///< P(job fails | fresh VM), atom incl.
+  double expected_makespan_hours = 0.0;///< Eq. 7 E[T]
+  double expected_cost = 0.0;          ///< price · E[T], $ per job
+  bool eligible = false;               ///< failure_probability <= risk bound
+};
+
+struct Allocation {
+  std::vector<std::size_t> counts;     ///< jobs per market (catalog order)
+  double objective = 0.0;              ///< J(n), $-denominated mean-risk cost
+  double base_cost = 0.0;              ///< Σ n_m c_m, $ without the risk term
+  std::size_t markets_used = 0;        ///< markets with n_m > 0
+
+  std::size_t total() const;
+};
+
+class PortfolioOptimizer {
+ public:
+  /// Quotes every market in the catalog (forcing its lazy fit).
+  PortfolioOptimizer(const MarketCatalog& catalog, PortfolioConfig config);
+
+  const std::vector<MarketQuote>& quotes() const noexcept { return quotes_; }
+  const PortfolioConfig& config() const noexcept { return config_; }
+  std::size_t eligible_count() const;
+
+  /// Mean-risk objective of an arbitrary allocation (counts in catalog order).
+  double objective(const std::vector<std::size_t>& counts) const;
+
+  /// Incremental greedy — exact for this convex separable objective.
+  /// Throws InvalidArgument when no market satisfies the risk bound.
+  Allocation optimize_greedy() const;
+
+  /// Brute-force reference: enumerates every composition of N jobs over the
+  /// eligible markets. Throws InvalidArgument when the search space exceeds
+  /// ~2e6 nodes; use for small-N validation only.
+  Allocation optimize_exhaustive() const;
+
+ private:
+  Allocation finish(std::vector<std::size_t> counts) const;
+
+  PortfolioConfig config_;
+  std::vector<MarketQuote> quotes_;  ///< all catalog data the solvers need
+};
+
+}  // namespace preempt::portfolio

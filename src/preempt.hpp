@@ -60,6 +60,11 @@
 #include "sim/service.hpp"         // IWYU pragma: export
 #include "sim/workloads.hpp"       // IWYU pragma: export
 
+// Multi-market portfolio allocation
+#include "portfolio/market.hpp"     // IWYU pragma: export
+#include "portfolio/multi_market_service.hpp"  // IWYU pragma: export
+#include "portfolio/optimizer.hpp"  // IWYU pragma: export
+
 // Batch-service HTTP API
 #include "api/http.hpp"             // IWYU pragma: export
 #include "api/http_client.hpp"      // IWYU pragma: export

@@ -143,6 +143,21 @@ TEST(Piecewise, AtomWhenCdfFallsShort) {
   EXPECT_NEAR(d.mean(), d.partial_expectation(0, 24) + 0.2 * 24.0, 1e-12);
 }
 
+TEST(Piecewise, AtomAtFirstKnotCountsTowardMean) {
+  // F jumps from 0 to 0.5 at t=1 (an atom), then rises linearly to 1 at t=2:
+  // mean = 0.5*1 + ∫_1^2 t*0.5 dt = 0.5 + 0.75 = 1.25.
+  const std::vector<double> ts = {1.0, 2.0};
+  const std::vector<double> fs = {0.5, 1.0};
+  const PiecewiseLinearCdf d(ts, fs);
+  EXPECT_NEAR(d.mean(), 1.25, 1e-12);
+  // The sample mean must agree with mean() — the two share the atom.
+  Rng rng(31);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / n, d.mean(), 0.02);
+}
+
 TEST(Piecewise, RejectsBadKnots) {
   const std::vector<double> ts = {0.0, 1.0};
   const std::vector<double> down = {0.5, 0.2};

@@ -1,0 +1,213 @@
+// The multi-market portfolio subsystem: catalog enumeration and lazy fits,
+// optimizer invariants (bag conservation, risk bound, greedy-vs-exhaustive),
+// and the multi-market dispatch service with drift-driven rebalancing.
+#include "portfolio/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "dist/exponential.hpp"
+#include "portfolio/multi_market_service.hpp"
+
+namespace preempt::portfolio {
+namespace {
+
+/// One shared catalog: market fits dominate the suite's runtime.
+const MarketCatalog& shared_catalog() {
+  static const MarketCatalog catalog = MarketCatalog::synthetic(50, 2019);
+  return catalog;
+}
+
+PortfolioConfig small_config(std::size_t jobs, double risk = 0.05) {
+  PortfolioConfig config;
+  config.jobs = jobs;
+  config.risk_bound = risk;
+  config.job_hours = 0.25;
+  return config;
+}
+
+TEST(MarketCatalog, EnumeratesTheFullGrid) {
+  const auto& catalog = shared_catalog();
+  // 5 VM types x 4 zones x 2 day periods.
+  EXPECT_EQ(catalog.size(), 40u);
+  // Labels are unique and stable.
+  std::vector<std::string> labels;
+  for (const auto& m : catalog.markets()) labels.push_back(m.label());
+  std::sort(labels.begin(), labels.end());
+  EXPECT_EQ(std::unique(labels.begin(), labels.end()), labels.end());
+}
+
+TEST(MarketCatalog, PricesComeFromTheVmCatalog) {
+  const auto& catalog = shared_catalog();
+  for (const auto& m : catalog.markets()) {
+    EXPECT_DOUBLE_EQ(m.price_per_hour, trace::vm_spec(m.regime.type).preemptible_per_hour);
+  }
+}
+
+TEST(MarketCatalog, LazyFitCachesModels) {
+  MarketCatalog catalog = MarketCatalog::synthetic(40, 7);
+  EXPECT_EQ(catalog.fitted_count(), 0u);
+  const auto& first = catalog.model(3);
+  EXPECT_EQ(catalog.fitted_count(), 1u);
+  const auto& again = catalog.model(3);
+  EXPECT_EQ(&first, &again);  // cached, not refit
+  EXPECT_GT(first.expected_lifetime(), 0.0);
+}
+
+TEST(MarketCatalog, ParallelFitMatchesSerialFit) {
+  MarketCatalog serial = MarketCatalog::synthetic(40, 11);
+  MarketCatalog parallel = MarketCatalog::synthetic(40, 11);
+  serial.fit_all();
+  ThreadPool pool(4);
+  parallel.fit_all(pool);
+  ASSERT_EQ(serial.fitted_count(), serial.size());
+  ASSERT_EQ(parallel.fitted_count(), parallel.size());
+  for (std::size_t m = 0; m < serial.size(); ++m) {
+    // Same data, same deterministic fit — bit-identical parameters.
+    EXPECT_EQ(serial.model(m).params().scale, parallel.model(m).params().scale) << m;
+    EXPECT_EQ(serial.model(m).params().tau1, parallel.model(m).params().tau1) << m;
+  }
+}
+
+TEST(MarketCatalog, RejectsEmptyDataset) {
+  EXPECT_THROW(MarketCatalog(trace::Dataset{}), InvalidArgument);
+}
+
+TEST(PortfolioOptimizer, AllocationSumsToBagSize) {
+  const PortfolioOptimizer optimizer(shared_catalog(), small_config(137));
+  const auto allocation = optimizer.optimize_greedy();
+  EXPECT_EQ(allocation.total(), 137u);
+  EXPECT_EQ(allocation.counts.size(), shared_catalog().size());
+}
+
+TEST(PortfolioOptimizer, RiskBoundIsRespected) {
+  const PortfolioOptimizer optimizer(shared_catalog(), small_config(200, 0.05));
+  const auto allocation = optimizer.optimize_greedy();
+  for (const auto& quote : optimizer.quotes()) {
+    if (allocation.counts[quote.market] > 0) {
+      EXPECT_LE(quote.failure_probability, 0.05) << quote.market;
+      EXPECT_TRUE(quote.eligible);
+    }
+  }
+}
+
+TEST(PortfolioOptimizer, DiversifiesAcrossMarkets) {
+  const PortfolioOptimizer optimizer(shared_catalog(), small_config(100));
+  const auto allocation = optimizer.optimize_greedy();
+  // The pairwise correlated-failure penalty spreads the bag.
+  EXPECT_GE(allocation.markets_used, 3u);
+}
+
+TEST(PortfolioOptimizer, DeterministicAcrossRuns) {
+  const PortfolioOptimizer a(shared_catalog(), small_config(100));
+  const PortfolioOptimizer b(shared_catalog(), small_config(100));
+  EXPECT_EQ(a.optimize_greedy().counts, b.optimize_greedy().counts);
+}
+
+TEST(PortfolioOptimizer, GreedyMatchesExhaustiveOnSmallInstances) {
+  // The objective is separable-convex, so incremental greedy should be exact;
+  // the acceptance bar is the looser 10%.
+  for (const std::size_t jobs : {1u, 2u, 5u, 9u}) {
+    for (const double risk : {0.02, 0.03}) {
+      const PortfolioOptimizer optimizer(shared_catalog(), small_config(jobs, risk));
+      const auto greedy = optimizer.optimize_greedy();
+      const auto reference = optimizer.optimize_exhaustive();
+      EXPECT_EQ(greedy.total(), reference.total());
+      EXPECT_LE(greedy.objective, reference.objective * 1.10 + 1e-12)
+          << "jobs=" << jobs << " risk=" << risk;
+      // And in fact exact, up to floating-point noise.
+      EXPECT_NEAR(greedy.objective, reference.objective,
+                  1e-9 * std::max(1.0, reference.objective));
+    }
+  }
+}
+
+TEST(PortfolioOptimizer, ObjectiveChargesCorrelationPenalty) {
+  const PortfolioOptimizer optimizer(shared_catalog(), small_config(10));
+  // Concentrating the bag must cost at least as much as the optimum.
+  std::size_t cheapest = 0;
+  double best_cost = 1e300;
+  for (const auto& q : optimizer.quotes()) {
+    if (q.eligible && q.expected_cost < best_cost) {
+      best_cost = q.expected_cost;
+      cheapest = q.market;
+    }
+  }
+  std::vector<std::size_t> concentrated(shared_catalog().size(), 0);
+  concentrated[cheapest] = 10;
+  const auto greedy = optimizer.optimize_greedy();
+  EXPECT_LE(greedy.objective, optimizer.objective(concentrated) + 1e-12);
+}
+
+TEST(PortfolioOptimizer, ThrowsWhenNoMarketMeetsTheRiskBound) {
+  PortfolioConfig config = small_config(10, 1e-9);
+  const PortfolioOptimizer optimizer(shared_catalog(), config);
+  EXPECT_EQ(optimizer.eligible_count(), 0u);
+  EXPECT_THROW(optimizer.optimize_greedy(), InvalidArgument);
+  EXPECT_THROW(optimizer.optimize_exhaustive(), InvalidArgument);
+}
+
+TEST(PortfolioOptimizer, ExhaustiveRefusesLargeInstances) {
+  const PortfolioOptimizer optimizer(shared_catalog(), small_config(500, 0.2));
+  EXPECT_THROW(optimizer.optimize_exhaustive(), InvalidArgument);
+}
+
+TEST(MultiMarketService, CompletesTheBagDeterministically) {
+  const PortfolioOptimizer optimizer(shared_catalog(), small_config(40));
+  const auto allocation = optimizer.optimize_greedy();
+  MultiMarketConfig config;
+  config.seed = 99;
+  MultiMarketService service(shared_catalog(), config);
+  const auto report = service.run(allocation);
+  EXPECT_EQ(report.jobs_completed, 40u);
+  EXPECT_EQ(report.jobs_abandoned, 0u);
+  EXPECT_GT(report.total_cost, 0.0);
+  EXPECT_GT(report.makespan_hours, 0.0);
+
+  MultiMarketService repeat(shared_catalog(), config);
+  const auto second = repeat.run(allocation);
+  EXPECT_EQ(second.jobs_completed, report.jobs_completed);
+  EXPECT_DOUBLE_EQ(second.total_cost, report.total_cost);
+  EXPECT_DOUBLE_EQ(second.makespan_hours, report.makespan_hours);
+}
+
+TEST(MultiMarketService, DriftedMarketTriggersRebalancing) {
+  const PortfolioOptimizer optimizer(shared_catalog(), small_config(60));
+  const auto allocation = optimizer.optimize_greedy();
+  // Find the most-loaded market and make its real lifetimes collapse to
+  // minutes: jobs there keep getting preempted until CUSUM notices.
+  std::size_t loaded = 0;
+  for (std::size_t m = 1; m < allocation.counts.size(); ++m) {
+    if (allocation.counts[m] > allocation.counts[loaded]) loaded = m;
+  }
+  MultiMarketConfig config;
+  config.seed = 5;
+  config.cusum_threshold = 4.0;  // alarm quickly in a short test
+  MultiMarketService service(shared_catalog(), config);
+  service.set_ground_truth(loaded, std::make_unique<dist::Exponential>(30.0));
+  const auto report = service.run(allocation);
+  EXPECT_GE(report.rebalances, 1u);
+  EXPECT_EQ(report.jobs_completed, 60u);
+  bool saw_migration = false;
+  for (const auto& m : report.markets) {
+    if (m.market == loaded) {
+      EXPECT_TRUE(m.drift_alarm);
+      EXPECT_GT(m.migrated_out, 0u);
+    }
+    saw_migration = saw_migration || m.migrated_in > 0;
+  }
+  EXPECT_TRUE(saw_migration);
+}
+
+TEST(MultiMarketService, RejectsMismatchedAllocation) {
+  MultiMarketService service(shared_catalog(), MultiMarketConfig{});
+  Allocation bad;
+  bad.counts = {1, 2, 3};
+  EXPECT_THROW(service.run(bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace preempt::portfolio

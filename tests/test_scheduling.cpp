@@ -80,6 +80,44 @@ TEST(GangFailure, CertainWhenAnyMemberCannotFinish) {
   EXPECT_DOUBLE_EQ(gang_failure_probability(d, ages, 4.0), 1.0);
 }
 
+TEST(GangFailure, RejectsEmptyGang) {
+  const auto d = reference_bathtub();
+  const std::vector<double> none;
+  EXPECT_THROW(gang_failure_probability(d, none, 4.0), InvalidArgument);
+}
+
+TEST(GangFailure, ZeroLengthJobNeverFails) {
+  const auto d = reference_bathtub();
+  const std::vector<double> ages = {0.0, 8.0, 23.9};
+  EXPECT_DOUBLE_EQ(gang_failure_probability(d, ages, 0.0), 0.0);
+}
+
+TEST(GangFailure, CertainWhenJobOutlivesSupportForEveryMember) {
+  const auto d = reference_bathtub();
+  // A 25 h job cannot fit inside the 24 h deadline from any start age.
+  const std::vector<double> fresh = {0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(gang_failure_probability(d, fresh, 25.0), 1.0);
+}
+
+TEST(GangFailure, MemberPastSupportEndFailsImmediately) {
+  const auto d = reference_bathtub();
+  // One member is already at the deadline: survival there is zero, so any
+  // positive-length job fails with certainty no matter how young the rest are.
+  const std::vector<double> ages = {0.5, 24.0};
+  EXPECT_DOUBLE_EQ(gang_failure_probability(d, ages, 0.25), 1.0);
+}
+
+TEST(GangFailure, UnboundedSupportNeverHitsTheDeadlineWall) {
+  const dist::Exponential e(0.1);
+  // No deadline: even a 100 h job has failure probability < 1...
+  const std::vector<double> ages = {0.0, 50.0};
+  const double p = gang_failure_probability(e, ages, 100.0);
+  EXPECT_LT(p, 1.0);
+  // ... and the memoryless product form holds at any ages.
+  const double single = job_failure_probability(e, 0.0, 100.0);
+  EXPECT_NEAR(p, 1.0 - (1.0 - single) * (1.0 - single), 1e-12);
+}
+
 TEST(ModelDriven, ReusesStableVms) {
   const ModelDrivenScheduler policy(ref_ptr());
   for (double age : {4.0, 8.0, 12.0, 15.0}) {

@@ -86,6 +86,35 @@ TEST_F(ServiceApiTest, ReuseDecisionValidatesParameters) {
   EXPECT_EQ(daemon().handle(get("/api/decisions/reuse?age=-1&job=2")).status, 400);
 }
 
+TEST_F(ServiceApiTest, PortfolioAllocatesAcrossMarkets) {
+  const auto r = daemon().handle(get("/v1/portfolio?jobs=100&risk=0.05"));
+  ASSERT_EQ(r.status, 200);
+  const JsonValue v = parse_json(r.body);
+  EXPECT_EQ(v.number_or("jobs", 0), 100);
+  EXPECT_EQ(v.number_or("markets_total", 0), 40);
+  EXPECT_GE(v.number_or("markets_used", 0), 3);
+  const JsonValue* allocation = v.find("allocation");
+  ASSERT_NE(allocation, nullptr);
+  ASSERT_TRUE(allocation->is_array());
+  double placed = 0.0;
+  for (const auto& row : allocation->as_array()) {
+    placed += row.number_or("jobs", 0.0);
+    EXPECT_LE(row.number_or("failure_probability", 1.0), 0.05);
+  }
+  EXPECT_DOUBLE_EQ(placed, 100.0);
+  // Same request via POST body, same deterministic allocation.
+  const auto again =
+      daemon().handle(post("/v1/portfolio", R"({"jobs":100,"risk":0.05})"));
+  ASSERT_EQ(again.status, 200);
+  EXPECT_EQ(again.body, r.body);
+}
+
+TEST_F(ServiceApiTest, PortfolioValidatesParameters) {
+  EXPECT_EQ(daemon().handle(get("/v1/portfolio?jobs=abc")).status, 400);
+  EXPECT_EQ(daemon().handle(get("/v1/portfolio?risk=0")).status, 400);
+  EXPECT_EQ(daemon().handle(post("/v1/portfolio", "not json")).status, 400);
+}
+
 TEST_F(ServiceApiTest, BagLifecycle) {
   const auto created = daemon().handle(
       post("/api/bags", R"({"app":"shapes","jobs":20,"vms":8,"seed":7})"));
