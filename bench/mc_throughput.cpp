@@ -1,0 +1,174 @@
+// Recorded Monte-Carlo performance baseline (BENCH_mc.json).
+//
+// Measures the batched sampling/replication layer against the pre-batching
+// hot path — one virtual quantile(uniform()) per draw with the base-class
+// bracketing-bisection quantile — on the paper's headline bathtub regime,
+// plus the replication engine and the simulator event loop. Writes the
+// numbers to a JSON file so CI can archive a per-machine baseline.
+//
+// Usage: bench_mc_throughput [--smoke] [--out PATH]
+//   --smoke   small draw counts (CI); --out defaults to BENCH_mc.json
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/json.hpp"
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+#include "mc/engine.hpp"
+#include "policy/checkpoint.hpp"
+#include "policy/checkpoint_sim.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace preempt;
+
+/// The pre-batching baseline: forwards the bathtub cdf/pdf but inherits the
+/// base-class quantile (bracketing bisection on cdf) and sample (one virtual
+/// quantile(uniform()) per draw) — exactly the old per-draw hot path.
+class BisectionBathtub final : public dist::Distribution {
+ public:
+  explicit BisectionBathtub(const dist::BathtubDistribution& d) : d_(&d) {}
+  std::string name() const override { return "bathtub-bisection-baseline"; }
+  std::vector<std::string> parameter_names() const override { return d_->parameter_names(); }
+  std::vector<double> parameters() const override { return d_->parameters(); }
+  dist::DistributionPtr clone() const override {
+    return std::make_unique<BisectionBathtub>(*this);
+  }
+  double cdf(double t) const override { return d_->cdf(t); }
+  double pdf(double t) const override { return d_->pdf(t); }
+  double support_end() const override { return d_->support_end(); }
+
+ private:
+  const dist::BathtubDistribution* d_;
+};
+
+double draws_per_sec(std::size_t n, double seconds) {
+  return seconds > 0.0 ? static_cast<double>(n) / seconds : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_mc.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+  }
+
+  const auto truth = trace::ground_truth_distribution(bench::headline_regime());
+  const BisectionBathtub baseline(truth);
+
+  const std::size_t n_baseline = smoke ? 20000 : 200000;
+  const std::size_t n_batched = smoke ? 400000 : 4000000;
+  const std::size_t n_runs = smoke ? 2000 : 20000;
+
+  bench::print_header("MC", "batched sampling / replication engine baseline");
+
+  // 1. Per-draw baseline: virtual quantile(uniform()) with bisection.
+  double sink = 0.0;
+  Stopwatch sw;
+  {
+    Rng rng(1);
+    for (std::size_t i = 0; i < n_baseline; ++i) sink += baseline.sample(rng);
+  }
+  const double baseline_rate = draws_per_sec(n_baseline, sw.elapsed_seconds());
+
+  // 2. Per-draw with the cached quantile table (sample, not batched).
+  sw.reset();
+  {
+    Rng rng(1);
+    for (std::size_t i = 0; i < n_batched; ++i) sink += truth.sample(rng);
+  }
+  const double table_rate = draws_per_sec(n_batched, sw.elapsed_seconds());
+
+  // 3. Batched single-thread sample_many.
+  std::vector<double> buffer(n_batched);
+  sw.reset();
+  {
+    Rng rng(1);
+    truth.sample_many(rng, buffer);
+  }
+  const double batched_rate = draws_per_sec(n_batched, sw.elapsed_seconds());
+
+  // 4. Batched multi-thread (engine stream layout).
+  sw.reset();
+  mc::sample_many_parallel(truth, 1, buffer);
+  const double parallel_rate = draws_per_sec(n_batched, sw.elapsed_seconds());
+  for (double x : buffer) sink += x;
+
+  // 5. Replication engine on the Fig. 8 Monte-Carlo workload.
+  const policy::CheckpointPlan plan = policy::young_daly_plan(4.0, 1.0, 1.0 / 60.0);
+  policy::SimulationOptions sim_opts;
+  sim_opts.runs = n_runs;
+  sim_opts.threads = 1;
+  sw.reset();
+  sink += policy::simulate_plan(truth, plan, sim_opts).mean_hours;
+  const double runs_inline = draws_per_sec(n_runs, sw.elapsed_seconds());
+  sim_opts.threads = 0;
+  sw.reset();
+  sink += policy::simulate_plan(truth, plan, sim_opts).mean_hours;
+  const double runs_pool = draws_per_sec(n_runs, sw.elapsed_seconds());
+
+  // 6. Event loop: schedule/cancel-heavy calendar (the old linear callback
+  // scan made this quadratic in pending events).
+  const std::size_t n_events = smoke ? 20000 : 200000;
+  sw.reset();
+  {
+    sim::Simulator sim;
+    std::vector<std::uint64_t> ids;
+    ids.reserve(n_events);
+    long counter = 0;
+    for (std::size_t i = 0; i < n_events; ++i) {
+      ids.push_back(
+          sim.schedule_at(static_cast<double>(i % 9973), [&counter] { ++counter; }));
+    }
+    for (std::size_t i = 0; i < n_events; i += 2) sim.cancel(ids[i]);
+    sim.run();
+    sink += static_cast<double>(counter);
+  }
+  const double events_rate = draws_per_sec(n_events, sw.elapsed_seconds());
+
+  const double speedup = baseline_rate > 0.0 ? batched_rate / baseline_rate : 0.0;
+  std::cout << "baseline per-draw (bisection quantile) : " << bench::fmt(baseline_rate / 1e6, 3)
+            << " Mdraws/s\n"
+            << "table per-draw sample()                : " << bench::fmt(table_rate / 1e6, 3)
+            << " Mdraws/s\n"
+            << "batched sample_many (1 thread)         : " << bench::fmt(batched_rate / 1e6, 3)
+            << " Mdraws/s\n"
+            << "batched sample_many_parallel (pool)    : " << bench::fmt(parallel_rate / 1e6, 3)
+            << " Mdraws/s\n"
+            << "simulate_plan runs/s (inline | pool)   : " << bench::fmt(runs_inline, 0)
+            << " | " << bench::fmt(runs_pool, 0) << "\n"
+            << "simulator events/s (50% cancelled)     : " << bench::fmt(events_rate / 1e6, 3)
+            << " M\n";
+  bench::print_claim("batched bathtub sampling >= 5x the per-draw bisection baseline",
+                     "speedup = " + bench::fmt(speedup, 1) + "x");
+
+  JsonObject doc;
+  doc.emplace_back("benchmark", JsonValue("mc_throughput"));
+  doc.emplace_back("smoke", JsonValue(smoke));
+  doc.emplace_back("threads", JsonValue(ThreadPool::global().thread_count()));
+  doc.emplace_back("baseline_draws_per_sec", JsonValue(baseline_rate));
+  doc.emplace_back("table_sample_draws_per_sec", JsonValue(table_rate));
+  doc.emplace_back("batched_draws_per_sec", JsonValue(batched_rate));
+  doc.emplace_back("batched_parallel_draws_per_sec", JsonValue(parallel_rate));
+  doc.emplace_back("speedup_batched_vs_baseline", JsonValue(speedup));
+  doc.emplace_back("simulate_plan_runs_per_sec_inline", JsonValue(runs_inline));
+  doc.emplace_back("simulate_plan_runs_per_sec_pool", JsonValue(runs_pool));
+  doc.emplace_back("simulator_events_per_sec", JsonValue(events_rate));
+  doc.emplace_back("checksum", JsonValue(sink));  // keeps the loops observable
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << JsonValue(std::move(doc)).dump(2) << "\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

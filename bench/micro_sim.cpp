@@ -1,8 +1,12 @@
 // Micro benchmarks: discrete-event service simulation throughput.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "bench_util.hpp"
+#include "mc/engine.hpp"
 #include "sim/service.hpp"
+#include "sim/simulator.hpp"
 
 namespace {
 
@@ -38,6 +42,25 @@ void BM_EventQueueThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueThroughput)->Unit(benchmark::kMicrosecond);
 
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  // Half the scheduled events are cancelled before run(); the old linear
+  // callback scan made this workload quadratic in pending events.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    long counter = 0;
+    std::vector<std::uint64_t> ids;
+    ids.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      ids.push_back(sim.schedule_at(static_cast<double>(i % 97), [&counter] { ++counter; }));
+    }
+    for (int i = 0; i < n; i += 2) sim.cancel(ids[static_cast<std::size_t>(i)]);
+    sim.run();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_EventQueueCancelHeavy)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
 void BM_LifetimeSampling(benchmark::State& state) {
   const auto truth = trace::ground_truth_distribution(bench::headline_regime());
   Rng rng(5);
@@ -46,5 +69,28 @@ void BM_LifetimeSampling(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LifetimeSampling);
+
+void BM_LifetimeSamplingBatched(benchmark::State& state) {
+  const auto truth = trace::ground_truth_distribution(bench::headline_regime());
+  std::vector<double> buffer(static_cast<std::size_t>(state.range(0)));
+  Rng rng(5);
+  for (auto _ : state) {
+    truth.sample_many(rng, buffer);
+    benchmark::DoNotOptimize(buffer.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LifetimeSamplingBatched)->Arg(1024)->Arg(16384);
+
+void BM_LifetimeSamplingParallel(benchmark::State& state) {
+  const auto truth = trace::ground_truth_distribution(bench::headline_regime());
+  std::vector<double> buffer(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    mc::sample_many_parallel(truth, 5, buffer);
+    benchmark::DoNotOptimize(buffer.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LifetimeSamplingParallel)->Arg(1 << 18);
 
 }  // namespace

@@ -37,7 +37,7 @@ std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
 }
 
 double Rng::exponential(double rate) noexcept {
-  // -log(1-U) with U in [0,1) avoids log(0).
+  // -log(1-U) with U in (0,1): never 0, never log(0).
   return -std::log1p(-uniform()) / rate;
 }
 

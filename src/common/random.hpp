@@ -71,10 +71,24 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed = 42) noexcept : gen_(seed) {}
 
-  /// Uniform double in [0, 1) with 53 bits of entropy.
-  double uniform() noexcept { return static_cast<double>(gen_() >> 11) * 0x1.0p-53; }
+  /// Uniform double in the open interval (0, 1): odd multiples of 2^-53,
+  /// i.e. the midpoints of the 2^52 dyadic cells. Excluding 0 matters for
+  /// inverse-transform sampling, where u == 0 maps to zero-length lifetimes
+  /// (and quantile(0) short-circuits); the all-zero-bits draw lands on
+  /// 2^-53 instead, and the all-one-bits draw on 1 - 2^-53 (both exactly
+  /// representable — a floating-point "+ 0.5" midpoint would round the top
+  /// cell to exactly 1.0).
+  double uniform() noexcept { return to_open_unit(gen_()); }
 
-  /// Uniform double in [lo, hi).
+  /// The bit transform behind uniform(); exposed so the all-zero-bits and
+  /// all-one-bits edge paths are directly testable.
+  static constexpr double to_open_unit(std::uint64_t bits) noexcept {
+    return static_cast<double>(((bits >> 12) << 1) | 1) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi]: although uniform() is open-interval, the
+  /// affine map can round to either endpoint (e.g. hi - hi*2^-53 rounds to
+  /// hi for most magnitudes), so callers must not rely on strict openness.
   double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
 
   /// Uniform integer in [0, n). n must be > 0.

@@ -10,7 +10,10 @@
 // horizon — the provider reclaims every VM there ("deadline reclaim").
 #pragma once
 
+#include <optional>
+
 #include "dist/distribution.hpp"
+#include "dist/quantile_table.hpp"
 
 namespace preempt::dist {
 
@@ -60,6 +63,7 @@ class BathtubDistribution final : public Distribution {
   double pdf(double t) const override;
   double quantile(double p) const override;
   double sample(Rng& rng) const override;
+  void sample_many(Rng& rng, std::span<double> out) const override;
   double mean() const override;
   double partial_expectation(double a, double b) const override;
   double support_end() const override { return params_.horizon; }
@@ -68,10 +72,15 @@ class BathtubDistribution final : public Distribution {
   /// Antiderivative of t f(t): A[−(t+τ1)e^{−t/τ1} + (t−τ2)e^{(t−b)/τ2}].
   double tf_antiderivative(double t) const;
 
+  /// Invert the raw CDF for p in (0, raw_at_end_): table + Newton polish.
+  double quantile_continuous(double p) const;
+
   BathtubParams params_;
   double atom_ = 0.0;       ///< 1 − raw_cdf(horizon), clamped to [0, 1]
   double raw_at_end_ = 0.0; ///< raw_cdf(horizon)
   double sat_ = 0.0;        ///< first t where the raw CDF saturates at 1
+  /// Inverse raw CDF over [0, sat_]; replaces the old per-draw bisection.
+  std::optional<QuantileTable> table_;
 };
 
 }  // namespace preempt::dist

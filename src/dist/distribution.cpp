@@ -43,6 +43,10 @@ double Distribution::quantile(double p) const {
   return hi;
 }
 
+void Distribution::sample_many(Rng& rng, std::span<double> out) const {
+  for (double& x : out) x = sample(rng);
+}
+
 double Distribution::mean() const {
   // E[T] = ∫_0^end S(t) dt for non-negative T; this absorbs any atom at the
   // support end since S stays positive up to it.

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,13 @@ class Distribution {
 
   /// Draw one variate. Default: inverse-transform via quantile().
   virtual double sample(Rng& rng) const { return quantile(rng.uniform()); }
+
+  /// Fill `out` with independent draws. Contract: consumes the generator
+  /// exactly as the equivalent sequence of sample() calls would, so batched
+  /// and sequential draws are bit-for-bit identical streams. Family
+  /// overrides hoist per-draw constants and virtual dispatch out of the
+  /// loop; the Monte-Carlo engine (src/mc) builds on this.
+  virtual void sample_many(Rng& rng, std::span<double> out) const;
 
   /// E[T], atom included. Default: integral of survival over the support.
   virtual double mean() const;

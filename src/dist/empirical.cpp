@@ -109,8 +109,10 @@ double EmpiricalDistribution::quantile(double p) const {
   return sorted_[i] + frac * (sorted_[i + 1] - sorted_[i]);
 }
 
-double EmpiricalDistribution::sample(Rng& rng) const {
-  return sorted_[rng.uniform_index(sorted_.size())];
+double EmpiricalDistribution::sample(Rng& rng) const { return quantile(rng.uniform()); }
+
+void EmpiricalDistribution::sample_many(Rng& rng, std::span<double> out) const {
+  for (double& x : out) x = quantile(rng.uniform());
 }
 
 double EmpiricalDistribution::partial_expectation(double a, double b) const {

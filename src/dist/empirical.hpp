@@ -57,8 +57,12 @@ class EmpiricalDistribution final : public Distribution {
   double pdf(double t) const override;
   /// Linear-interpolation (type-7) sample quantile.
   double quantile(double p) const override;
-  /// Bootstrap draw: one of the observed samples, uniformly.
+  /// Inverse-transform draw via the type-7 quantile, so direct draws and
+  /// quantile(uniform()) agree in distribution. (The old convention resampled
+  /// raw order statistics, which disagreed with quantile(); bootstrap
+  /// resampling lives in fit/bootstrap, not here.)
   double sample(Rng& rng) const override;
+  void sample_many(Rng& rng, std::span<double> out) const override;
   double mean() const override { return mean_; }
   double partial_expectation(double a, double b) const override;
   double support_end() const override { return sorted_.back(); }

@@ -28,6 +28,9 @@ class Exponential final : public Distribution {
   double hazard(double t) const override { return rate_; }
   double quantile(double p) const override;
   double sample(Rng& rng) const override { return rng.exponential(rate_); }
+  void sample_many(Rng& rng, std::span<double> out) const override {
+    for (double& x : out) x = rng.exponential(rate_);
+  }
   double mean() const override { return 1.0 / rate_; }
   double partial_expectation(double a, double b) const override;
 

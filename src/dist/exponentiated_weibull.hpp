@@ -27,6 +27,9 @@ class ExponentiatedWeibull final : public Distribution {
   double pdf(double t) const override;
   double quantile(double p) const override;
   double sample(Rng& rng) const override { return quantile(rng.uniform()); }
+  void sample_many(Rng& rng, std::span<double> out) const override {
+    for (double& x : out) x = quantile(rng.uniform());
+  }
 
  private:
   double lambda_;

@@ -1,5 +1,6 @@
 #include "dist/gamma.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -24,7 +25,21 @@ double Gamma::pdf(double t) const {
                   log_gamma(shape_));
 }
 
-double Gamma::sample(Rng& rng) const {
+double Gamma::quantile(double p) const {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return support_end();
+  // Table over [0, q(1 - 1e-9)]; rarer tail queries fall back to bisection.
+  const QuantileTable& table = table_.get([this] {
+    const double t_hi = Distribution::quantile(1.0 - 1e-9);
+    return QuantileTable([this](double t) { return cdf(t); }, 0.0, t_hi, 1024);
+  });
+  if (p > table.p_hi()) return Distribution::quantile(p);
+  const double tol = 1e-13 * std::max(1.0, table.t_hi());
+  return table.invert(
+      p, [this](double t) { return std::pair{cdf(t), pdf(t)}; }, tol);
+}
+
+double Gamma::draw(Rng& rng) const {
   // Marsaglia & Tsang (2000); the α < 1 case boosts via U^{1/α}.
   double alpha = shape_;
   double boost = 1.0;

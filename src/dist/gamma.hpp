@@ -2,6 +2,7 @@
 #pragma once
 
 #include "dist/distribution.hpp"
+#include "dist/quantile_table.hpp"
 
 namespace preempt::dist {
 
@@ -20,13 +21,23 @@ class Gamma final : public Distribution {
 
   double cdf(double t) const override;
   double pdf(double t) const override;
-  double sample(Rng& rng) const override;
+  /// Cached inverse-CDF table + Newton (the base-class bisection would pay
+  /// ~200 incomplete-gamma evaluations per call).
+  double quantile(double p) const override;
+  double sample(Rng& rng) const override { return draw(rng); }
+  void sample_many(Rng& rng, std::span<double> out) const override {
+    for (double& x : out) x = draw(rng);
+  }
   double mean() const override { return shape_ / rate_; }
   double partial_expectation(double a, double b) const override;
 
  private:
+  /// Marsaglia & Tsang rejection draw shared by sample/sample_many.
+  double draw(Rng& rng) const;
+
   double shape_;
   double rate_;
+  LazyQuantileTable table_;
 };
 
 }  // namespace preempt::dist

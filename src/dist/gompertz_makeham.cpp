@@ -1,5 +1,6 @@
 #include "dist/gompertz_makeham.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -36,6 +37,46 @@ double GompertzMakeham::survival(double t) const {
 double GompertzMakeham::hazard(double t) const {
   if (t < 0.0) return 0.0;
   return lambda_ + alpha_ * std::exp(beta_ * t);
+}
+
+const QuantileTable& GompertzMakeham::quantile_table() const {
+  // Table over [0, q(1 - 1e-9)]; rarer tail queries fall back to bisection.
+  return table_.get([this] {
+    const double t_hi = Distribution::quantile(1.0 - 1e-9);
+    return QuantileTable([this](double t) { return cdf(t); }, 0.0, t_hi, 1024);
+  });
+}
+
+namespace {
+/// S(t) = e^{-Λ(t)} feeds both refinement terms: F = 1 − S and f = h·S.
+auto gm_cdf_pdf(const GompertzMakeham& d) {
+  return [&d](double t) {
+    const double s = d.survival(t);
+    return std::pair{1.0 - s, d.hazard(t) * s};
+  };
+}
+}  // namespace
+
+double GompertzMakeham::quantile(double p) const {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return support_end();
+  const QuantileTable& table = quantile_table();
+  if (p > table.p_hi()) return Distribution::quantile(p);
+  const double tol = 1e-13 * std::max(1.0, table.t_hi());
+  return table.invert(p, gm_cdf_pdf(*this), tol);
+}
+
+void GompertzMakeham::sample_many(Rng& rng, std::span<double> out) const {
+  // Same path as quantile(uniform()) with the table (and its lazy-init
+  // mutex) acquired once for the whole batch; uniform() is open-interval so
+  // the p <= 0 / p >= 1 branches cannot fire.
+  const QuantileTable& table = quantile_table();
+  const double tol = 1e-13 * std::max(1.0, table.t_hi());
+  const auto eval = gm_cdf_pdf(*this);
+  for (double& x : out) {
+    const double u = rng.uniform();
+    x = u > table.p_hi() ? Distribution::quantile(u) : table.invert(u, eval, tol);
+  }
 }
 
 }  // namespace preempt::dist

@@ -3,6 +3,7 @@
 #pragma once
 
 #include "dist/distribution.hpp"
+#include "dist/quantile_table.hpp"
 
 namespace preempt::dist {
 
@@ -26,14 +27,21 @@ class GompertzMakeham final : public Distribution {
   double pdf(double t) const override;
   double survival(double t) const override;
   double hazard(double t) const override;
+  /// Cached inverse-CDF table + Newton (Λ(t) has no closed-form inverse).
+  double quantile(double p) const override;
+  void sample_many(Rng& rng, std::span<double> out) const override;
 
  private:
   /// Cumulative hazard Λ(t) = λt + (α/β)(e^{βt} − 1).
   double cumulative_hazard(double t) const;
 
+  /// The lazily built table behind quantile()/sample_many.
+  const QuantileTable& quantile_table() const;
+
   double lambda_;
   double alpha_;
   double beta_;
+  LazyQuantileTable table_;
 };
 
 }  // namespace preempt::dist

@@ -33,6 +33,10 @@ double LogNormal::quantile(double p) const {
 
 double LogNormal::sample(Rng& rng) const { return std::exp(rng.normal(mu_, sigma_)); }
 
+void LogNormal::sample_many(Rng& rng, std::span<double> out) const {
+  for (double& x : out) x = std::exp(rng.normal(mu_, sigma_));
+}
+
 double LogNormal::mean() const { return std::exp(mu_ + 0.5 * sq(sigma_)); }
 
 double LogNormal::partial_expectation(double a, double b) const {

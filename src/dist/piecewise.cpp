@@ -77,6 +77,14 @@ double PiecewiseLinearCdf::sample(Rng& rng) const {
   return quantile(u);
 }
 
+void PiecewiseLinearCdf::sample_many(Rng& rng, std::span<double> out) const {
+  const double atom_start = fs_.back();
+  for (double& x : out) {
+    const double u = rng.uniform();
+    x = u >= atom_start ? ts_.back() : quantile(u);
+  }
+}
+
 double PiecewiseLinearCdf::mean() const {
   // fs.front() > 0 with ts.front() > 0 is an atom at the first knot (the CDF
   // jumps from 0 there); count it alongside the deadline atom.

@@ -28,6 +28,7 @@ class PiecewiseLinearCdf final : public Distribution {
   double pdf(double t) const override;
   double quantile(double p) const override;
   double sample(Rng& rng) const override;
+  void sample_many(Rng& rng, std::span<double> out) const override;
   double mean() const override;
   double partial_expectation(double a, double b) const override;
   double support_end() const override { return ts_.back(); }

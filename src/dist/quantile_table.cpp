@@ -1,0 +1,27 @@
+#include "dist/quantile_table.hpp"
+
+#include "common/error.hpp"
+
+namespace preempt::dist {
+
+void QuantileTable::finish_build() {
+  PREEMPT_REQUIRE(p_.size() >= 2, "quantile table needs at least one cell");
+  PREEMPT_REQUIRE(dt_ > 0.0, "quantile table needs a positive time span");
+  // Repair sub-ulp numerical dips so bracketing stays well defined.
+  for (std::size_t i = 1; i < p_.size(); ++i) {
+    if (p_[i] < p_[i - 1]) p_[i] = p_[i - 1];
+  }
+  const double span = p_.back() - p_.front();
+  const std::size_t bins = p_.size() - 1;
+  guide_.assign(bins, 0);
+  if (span <= 0.0) return;  // fully flat CDF; lookups clamp to t_lo
+  guide_scale_ = static_cast<double>(bins) / span;
+  std::size_t knot = 0;
+  for (std::size_t bin = 0; bin < bins; ++bin) {
+    const double bin_lo = p_.front() + static_cast<double>(bin) / guide_scale_;
+    while (knot + 2 < p_.size() && p_[knot + 1] <= bin_lo) ++knot;
+    guide_[bin] = static_cast<std::uint32_t>(knot);
+  }
+}
+
+}  // namespace preempt::dist

@@ -1,0 +1,152 @@
+// Cached monotone inverse-CDF grid.
+//
+// Families without a closed-form quantile (the bathtub law, gamma,
+// Gompertz–Makeham) otherwise fall back to ~200-step bracketing bisection on
+// cdf() per draw, which dominates every Monte-Carlo hot path. A QuantileTable
+// tabulates the CDF on a uniform time grid once, adds a guide index mapping
+// uniform probability bins to grid cells (O(1) amortised lookup), and lets
+// the owning family polish the interpolated value with a few safeguarded
+// Newton steps against its exact cdf/pdf. A probability atom at the support
+// end (the 24 h deadline reclaim) is handled explicitly: p >= p_atom maps
+// straight to the atom location.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace preempt::dist {
+
+class QuantileTable {
+ public:
+  /// Tabulate `cdf` on `cells`+1 equispaced knots over [t_lo, t_hi].
+  /// Queries with p >= p_atom return t_atom (pass p_atom > 1 for no atom).
+  /// cdf must be non-decreasing on the interval; small numerical dips are
+  /// repaired by a monotone sweep.
+  template <typename Cdf>
+  QuantileTable(const Cdf& cdf, double t_lo, double t_hi, std::size_t cells,
+                double p_atom = 2.0, double t_atom = 0.0)
+      : t_lo_(t_lo),
+        dt_((t_hi - t_lo) / static_cast<double>(cells)),
+        p_atom_(p_atom),
+        t_atom_(t_atom) {
+    p_.resize(cells + 1);
+    for (std::size_t i = 0; i <= cells; ++i) {
+      p_[i] = cdf(t_lo_ + static_cast<double>(i) * dt_);
+    }
+    finish_build();
+  }
+
+  std::size_t cells() const noexcept { return p_.size() - 1; }
+  double p_lo() const noexcept { return p_.front(); }
+  double p_hi() const noexcept { return p_.back(); }
+  double t_lo() const noexcept { return t_lo_; }
+  double t_hi() const noexcept { return t_lo_ + dt_ * static_cast<double>(cells()); }
+
+  /// Piecewise-linear inverse lookup. Clamps p into [p_lo, p_hi]; p >= p_atom
+  /// returns the atom location. Error is bounded by one grid cell in t.
+  double lookup(double p) const noexcept {
+    if (p >= p_atom_) return t_atom_;
+    const std::size_t i = bracket(p);
+    return interpolate(p, i);
+  }
+
+  /// Lookup plus safeguarded Newton refinement against the exact CDF.
+  /// `eval(t)` returns the {cdf, pdf} pair — one functor so families can
+  /// share subexpressions (the bathtub CDF and density reuse the same two
+  /// exponentials). The iterate is confined to the bracketing grid cell,
+  /// falling back to bisection whenever Newton would escape it or the
+  /// density vanishes, so the result is within `tol` (in t) of the true
+  /// quantile.
+  template <typename CdfPdf>
+  double invert(double p, const CdfPdf& eval, double tol) const noexcept {
+    if (p >= p_atom_) return t_atom_;
+    if (p <= p_.front()) return t_lo_;
+    if (p >= p_.back()) return t_hi();
+    const std::size_t i = bracket(p);
+    double lo = t_lo_ + static_cast<double>(i) * dt_;
+    double hi = lo + dt_;
+    double t = interpolate(p, i);
+    for (int iter = 0; iter < 32 && hi - lo > tol; ++iter) {
+      const auto [big_f, f] = eval(t);
+      const double err = big_f - p;
+      if (err < 0.0) {
+        lo = t;
+      } else {
+        hi = t;
+      }
+      double next = f > 0.0 ? t - err / f : lo - 1.0;
+      if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
+      if (std::abs(next - t) <= tol) return next;
+      t = next;
+    }
+    return t;
+  }
+
+ private:
+  /// Index i with p_[i] <= p <= p_[i+1] (p assumed inside [p_lo, p_hi]).
+  std::size_t bracket(double p) const noexcept {
+    std::size_t i = guide_[guide_bin(p)];
+    const std::size_t last = p_.size() - 2;
+    while (i < last && p_[i + 1] < p) ++i;
+    return i;
+  }
+
+  std::size_t guide_bin(double p) const noexcept {
+    const double x = (p - p_.front()) * guide_scale_;
+    const auto bin = x <= 0.0 ? std::size_t{0} : static_cast<std::size_t>(x);
+    return std::min(bin, guide_.size() - 1);
+  }
+
+  double interpolate(double p, std::size_t i) const noexcept {
+    const double lo = t_lo_ + static_cast<double>(i) * dt_;
+    const double dp = p_[i + 1] - p_[i];
+    if (dp <= 0.0) return lo;  // flat cell (saturated CDF)
+    return lo + dt_ * std::clamp((p - p_[i]) / dp, 0.0, 1.0);
+  }
+
+  void finish_build();
+
+  double t_lo_;
+  double dt_;
+  double p_atom_;
+  double t_atom_;
+  std::vector<double> p_;               ///< CDF at knot i
+  std::vector<std::uint32_t> guide_;    ///< uniform p-bin -> first knot index
+  double guide_scale_ = 0.0;            ///< bins / (p_hi - p_lo)
+};
+
+/// Thread-safe lazily built table. Reads after the first build are
+/// lock-free (atomic shared_ptr load), so per-draw quantile calls from
+/// pool workers do not serialize on a mutex. Copying a distribution drops
+/// the cache (the copy rebuilds on first use), which keeps every family's
+/// implicit copy/clone semantics intact.
+class LazyQuantileTable {
+ public:
+  LazyQuantileTable() = default;
+  LazyQuantileTable(const LazyQuantileTable&) noexcept {}
+  LazyQuantileTable& operator=(const LazyQuantileTable&) noexcept { return *this; }
+
+  /// Returns the cached table, building it with `build()` on first use.
+  /// The reference stays valid for the lifetime of this object (the cache
+  /// is never reset once built).
+  template <typename Build>
+  const QuantileTable& get(const Build& build) const {
+    if (auto t = table_.load(std::memory_order_acquire)) return *t;
+    std::scoped_lock lock(mutex_);
+    if (auto t = table_.load(std::memory_order_relaxed)) return *t;
+    auto built = std::make_shared<const QuantileTable>(build());
+    table_.store(built, std::memory_order_release);
+    return *built;
+  }
+
+ private:
+  mutable std::mutex mutex_;  ///< serialises the one-time build only
+  mutable std::atomic<std::shared_ptr<const QuantileTable>> table_{nullptr};
+};
+
+}  // namespace preempt::dist

@@ -57,6 +57,17 @@ double TruncatedDistribution::quantile(double p) const {
   return std::min(base_->quantile(p * mass_), horizon_);
 }
 
+void TruncatedDistribution::sample_many(Rng& rng, std::span<double> out) const {
+  // Same transform as quantile(uniform()); uniform() is open-interval so the
+  // p <= 0 / p >= 1 branches cannot fire. The base quantile stays a virtual
+  // call per draw, but any cached table inside the base is warm after the
+  // first one.
+  const Distribution& base = *base_;
+  for (double& x : out) {
+    x = std::min(base.quantile(rng.uniform() * mass_), horizon_);
+  }
+}
+
 double TruncatedDistribution::partial_expectation(double a, double b) const {
   const double lo = clamp(a, 0.0, horizon_);
   const double hi = clamp(b, 0.0, horizon_);

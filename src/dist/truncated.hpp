@@ -31,6 +31,7 @@ class TruncatedDistribution final : public Distribution {
   double pdf(double t) const override;
   double quantile(double p) const override;
   double sample(Rng& rng) const override { return quantile(rng.uniform()); }
+  void sample_many(Rng& rng, std::span<double> out) const override;
   double partial_expectation(double a, double b) const override;
   double support_end() const override { return horizon_; }
 

@@ -22,6 +22,9 @@ class UniformLifetime final : public Distribution {
   double pdf(double t) const override;
   double quantile(double p) const override;
   double sample(Rng& rng) const override { return rng.uniform(0.0, horizon_); }
+  void sample_many(Rng& rng, std::span<double> out) const override {
+    for (double& x : out) x = rng.uniform(0.0, horizon_);
+  }
   double mean() const override { return 0.5 * horizon_; }
   double partial_expectation(double a, double b) const override;
   double support_end() const override { return horizon_; }

@@ -49,6 +49,15 @@ double Weibull::quantile(double p) const {
 
 double Weibull::sample(Rng& rng) const { return quantile(rng.uniform()); }
 
+void Weibull::sample_many(Rng& rng, std::span<double> out) const {
+  // Same transform as quantile(uniform()) with the shape reciprocal hoisted;
+  // uniform() is open-interval so the p <= 0 / p >= 1 branches cannot fire.
+  const double inv_k = 1.0 / k_;
+  for (double& x : out) {
+    x = std::pow(-std::log1p(-rng.uniform()), inv_k) / lambda_;
+  }
+}
+
 double Weibull::mean() const { return std::tgamma(1.0 + 1.0 / k_) / lambda_; }
 
 }  // namespace preempt::dist

@@ -25,6 +25,7 @@ class Weibull final : public Distribution {
   double hazard(double t) const override;
   double quantile(double p) const override;
   double sample(Rng& rng) const override;
+  void sample_many(Rng& rng, std::span<double> out) const override;
   double mean() const override;
 
  private:

@@ -1,0 +1,27 @@
+#include "mc/accumulator.hpp"
+
+#include <cmath>
+
+namespace preempt::mc {
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Accumulator::std_error() const noexcept {
+  return count_ >= 2 ? stddev() / std::sqrt(static_cast<double>(count_)) : 0.0;
+}
+
+MetricSummary summarize(const std::string& name, const Accumulator& acc) {
+  MetricSummary s;
+  s.name = name;
+  s.count = acc.count();
+  s.mean = acc.mean();
+  s.variance = acc.variance();
+  s.stddev = acc.stddev();
+  s.std_error = acc.std_error();
+  s.ci95_half = acc.ci95_half();
+  s.min = acc.min();
+  s.max = acc.max();
+  return s;
+}
+
+}  // namespace preempt::mc

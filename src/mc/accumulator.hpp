@@ -1,0 +1,83 @@
+// Streaming moment accumulators for the Monte-Carlo replication engine.
+//
+// Welford's online algorithm per worker shard, merged with Chan et al.'s
+// pairwise formula, so mean/variance/CI come out of a parallel run without
+// materialising per-replication vectors (struct-of-arrays: one accumulator
+// per named metric, each holding its own running statistics).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace preempt::mc {
+
+/// Online mean/variance/min/max over a stream of doubles. Mergeable.
+class Accumulator {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  /// Chan et al. parallel combination; `other` may be empty.
+  void merge(const Accumulator& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * nb / (na + nb);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance (0 for fewer than two observations).
+  double variance() const noexcept {
+    return count_ >= 2 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const noexcept;
+  /// Standard error of the mean (0 for fewer than two observations).
+  double std_error() const noexcept;
+  /// Half-width of the normal-approximation 95% CI on the mean.
+  double ci95_half() const noexcept { return 1.959963984540054 * std_error(); }
+  double min() const noexcept { return count_ > 0 ? min_ : 0.0; }
+  double max() const noexcept { return count_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Summary of one named metric across all replications.
+struct MetricSummary {
+  std::string name;
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;
+  double stddev = 0.0;
+  double std_error = 0.0;
+  double ci95_half = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+MetricSummary summarize(const std::string& name, const Accumulator& acc);
+
+}  // namespace preempt::mc

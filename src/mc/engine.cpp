@@ -1,0 +1,126 @@
+#include "mc/engine.hpp"
+
+#include <exception>
+#include <future>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace preempt::mc {
+
+namespace {
+
+/// Replications per chunk. The chunk layout is a pure function of the
+/// replication count (never of thread count), so streams — and therefore
+/// results — are machine-independent.
+constexpr std::size_t kReplicationsPerChunk = 256;
+/// Draws per chunk for sample_many_parallel.
+constexpr std::size_t kDrawsPerChunk = 16384;
+/// Upper bound on chunks; beyond this chunks simply grow.
+constexpr std::size_t kMaxChunks = 1024;
+
+std::size_t chunk_count(std::size_t items, std::size_t per_chunk) {
+  if (items == 0) return 0;
+  const std::size_t chunks = (items + per_chunk - 1) / per_chunk;
+  return std::min(chunks, kMaxChunks);
+}
+
+/// Jump-derived streams: chunk 0 continues the master seed's own sequence
+/// (so a one-chunk run is bit-identical to plain sequential code), each
+/// further chunk is 2^128 draws ahead of the previous.
+std::vector<Rng> chunk_streams(std::uint64_t seed, std::size_t chunks) {
+  std::vector<Rng> streams;
+  streams.reserve(chunks);
+  Rng master(seed);
+  for (std::size_t c = 0; c < chunks; ++c) streams.push_back(master.fork());
+  return streams;
+}
+
+/// Run `task(c)` for every chunk, on the pool or inline. Rethrows the first
+/// chunk exception only after every chunk has finished (tasks reference
+/// caller-owned state).
+void for_each_chunk(std::size_t chunks, bool inline_run,
+                    const std::function<void(std::size_t)>& task) {
+  if (inline_run || chunks <= 1) {
+    for (std::size_t c = 0; c < chunks; ++c) task(c);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::global();
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    futures.push_back(pool.submit([&task, c] { task(c); }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
+const MetricSummary& ReplicationReport::metric(std::string_view name) const {
+  for (const MetricSummary& m : metrics) {
+    if (m.name == name) return m;
+  }
+  throw InvalidArgument("unknown metric: " + std::string(name));
+}
+
+ReplicationReport run_replications(const EngineOptions& options,
+                                   std::vector<std::string> metric_names,
+                                   const ReplicationBody& body) {
+  PREEMPT_REQUIRE(body != nullptr, "replication body must not be null");
+  const std::size_t metrics = metric_names.size();
+  const std::size_t chunks = chunk_count(options.replications, kReplicationsPerChunk);
+  const std::size_t per_chunk =
+      chunks > 0 ? (options.replications + chunks - 1) / chunks : 0;
+
+  std::vector<Rng> streams = chunk_streams(options.seed, chunks);
+  // Struct-of-arrays: chunk-major grid of per-metric accumulators, merged in
+  // chunk order below so the report is independent of completion order.
+  std::vector<std::vector<Accumulator>> shard(chunks, std::vector<Accumulator>(metrics));
+
+  const bool inline_run = options.max_threads == 1 ||
+                          options.replications < options.min_parallel_replications;
+  for_each_chunk(chunks, inline_run, [&](std::size_t c) {
+    const std::size_t begin = c * per_chunk;
+    const std::size_t end = std::min(begin + per_chunk, options.replications);
+    Rng& rng = streams[c];
+    Recorder rec(shard[c]);
+    for (std::size_t rep = begin; rep < end; ++rep) body(rep, rng, rec);
+  });
+
+  ReplicationReport report;
+  report.replications = options.replications;
+  report.chunks = chunks;
+  std::vector<Accumulator> merged(metrics);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    for (std::size_t m = 0; m < metrics; ++m) merged[m].merge(shard[c][m]);
+  }
+  report.metrics.reserve(metrics);
+  for (std::size_t m = 0; m < metrics; ++m) {
+    report.metrics.push_back(summarize(metric_names[m], merged[m]));
+  }
+  return report;
+}
+
+void sample_many_parallel(const dist::Distribution& d, std::uint64_t seed,
+                          std::span<double> out) {
+  const std::size_t chunks = chunk_count(out.size(), kDrawsPerChunk);
+  if (chunks == 0) return;
+  const std::size_t per_chunk = (out.size() + chunks - 1) / chunks;
+  std::vector<Rng> streams = chunk_streams(seed, chunks);
+  for_each_chunk(chunks, /*inline_run=*/chunks <= 1, [&](std::size_t c) {
+    const std::size_t begin = c * per_chunk;
+    const std::size_t end = std::min(begin + per_chunk, out.size());
+    d.sample_many(streams[c], out.subspan(begin, end - begin));
+  });
+}
+
+}  // namespace preempt::mc

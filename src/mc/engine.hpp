@@ -1,0 +1,75 @@
+// Batched Monte-Carlo replication engine.
+//
+// Replications are partitioned into a fixed number of chunks — a function of
+// the replication count only, never of the machine — and each chunk gets its
+// own RNG stream derived from the master seed by xoshiro jump() (2^128 draws
+// apart, so streams cannot overlap). Chunks execute on the shared thread
+// pool and their accumulators merge in chunk order, which makes every report
+// bit-for-bit reproducible for a given (seed, replications) regardless of
+// how many worker threads happen to run it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.hpp"
+#include "dist/distribution.hpp"
+#include "mc/accumulator.hpp"
+
+namespace preempt::mc {
+
+struct EngineOptions {
+  std::size_t replications = 10000;
+  std::uint64_t seed = 42;
+  /// Execution mode: 0 = shard chunks over the global pool, 1 = run inline
+  /// on the calling thread (no pool). Other values currently behave like 0
+  /// (the shared pool's size wins; there is no per-call thread cap).
+  /// Results are identical in every mode — only wall-clock changes.
+  std::size_t max_threads = 0;
+  /// Replication count below which the run stays inline regardless of
+  /// max_threads (task overhead would dominate).
+  std::size_t min_parallel_replications = 256;
+};
+
+/// Per-replication sink handed to the body: record(metric, value) feeds the
+/// chunk-local accumulator for that metric index.
+class Recorder {
+ public:
+  explicit Recorder(std::span<Accumulator> slots) noexcept : slots_(slots) {}
+  void record(std::size_t metric, double value) noexcept { slots_[metric].add(value); }
+  std::size_t metric_count() const noexcept { return slots_.size(); }
+
+ private:
+  std::span<Accumulator> slots_;
+};
+
+/// One replication: `replication` is the global index, `rng` the chunk
+/// stream (never shared across threads), `rec` the metric sink.
+using ReplicationBody = std::function<void(std::size_t replication, Rng& rng, Recorder& rec)>;
+
+struct ReplicationReport {
+  std::size_t replications = 0;
+  std::size_t chunks = 0;
+  std::vector<MetricSummary> metrics;
+
+  /// Lookup by metric name; throws InvalidArgument if unknown.
+  const MetricSummary& metric(std::string_view name) const;
+};
+
+/// Run `body` for every replication and aggregate the recorded metrics.
+ReplicationReport run_replications(const EngineOptions& options,
+                                   std::vector<std::string> metric_names,
+                                   const ReplicationBody& body);
+
+/// Fill `out` with draws from `d` using the same chunked jump-stream layout
+/// (a pure function of seed and out.size()), sharding sample_many calls
+/// across the pool. Deterministic regardless of thread count.
+void sample_many_parallel(const dist::Distribution& d, std::uint64_t seed,
+                          std::span<double> out);
+
+}  // namespace preempt::mc

@@ -4,7 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/math.hpp"
-#include "common/stats.hpp"
+#include "mc/engine.hpp"
 
 namespace preempt::policy {
 
@@ -29,46 +29,52 @@ SimulatedMakespan simulate_plan(const dist::Distribution& d, const CheckpointPla
                                 const SimulationOptions& options) {
   PREEMPT_REQUIRE(!plan.work_segments_hours.empty(), "plan has no segments");
   PREEMPT_REQUIRE(options.runs >= 1, "simulation needs at least one run");
-  Rng rng(options.seed);
 
-  std::vector<double> makespans;
-  makespans.reserve(options.runs);
-  double total_preemptions = 0.0;
+  mc::EngineOptions engine;
+  engine.replications = options.runs;
+  engine.seed = options.seed;
+  engine.max_threads = options.threads;
 
-  for (std::size_t run = 0; run < options.runs; ++run) {
-    double elapsed = 0.0;
-    std::size_t preemptions = 0;
-    std::size_t segment = 0;  // next segment to execute (checkpointed progress)
-    // Remaining lifetime of the current VM.
-    double vm_left = sample_remaining_lifetime(d, options.start_age_hours, rng);
+  enum Metric : std::size_t { kMakespan = 0, kPreemptions = 1 };
+  const auto report = mc::run_replications(
+      engine, {"makespan_hours", "preemptions"},
+      [&](std::size_t /*rep*/, Rng& rng, mc::Recorder& rec) {
+        double elapsed = 0.0;
+        std::size_t preemptions = 0;
+        std::size_t segment = 0;  // next segment to execute (checkpointed progress)
+        // Remaining lifetime of the current VM.
+        double vm_left = sample_remaining_lifetime(d, options.start_age_hours, rng);
 
-    while (segment < plan.work_segments_hours.size()) {
-      const bool has_checkpoint = segment + 1 < plan.work_segments_hours.size();
-      const double need =
-          plan.work_segments_hours[segment] + (has_checkpoint ? plan.checkpoint_cost_hours : 0.0);
-      if (vm_left >= need) {
-        elapsed += need;
-        vm_left -= need;
-        ++segment;
-      } else {
-        // Preempted mid-segment: lose the partial segment, move to a new VM.
-        elapsed += vm_left;
-        elapsed += options.restart_overhead_hours;
-        ++preemptions;
-        if (preemptions >= options.max_preemptions_per_run) break;
-        vm_left = d.sample(rng);
-      }
-    }
-    makespans.push_back(elapsed);
-    total_preemptions += static_cast<double>(preemptions);
-  }
+        while (segment < plan.work_segments_hours.size()) {
+          const bool has_checkpoint = segment + 1 < plan.work_segments_hours.size();
+          const double need = plan.work_segments_hours[segment] +
+                              (has_checkpoint ? plan.checkpoint_cost_hours : 0.0);
+          if (vm_left >= need) {
+            elapsed += need;
+            vm_left -= need;
+            ++segment;
+          } else {
+            // Preempted mid-segment: lose the partial segment, move to a new VM.
+            elapsed += vm_left;
+            elapsed += options.restart_overhead_hours;
+            ++preemptions;
+            if (preemptions >= options.max_preemptions_per_run) break;
+            vm_left = d.sample(rng);
+          }
+        }
+        rec.record(kMakespan, elapsed);
+        rec.record(kPreemptions, static_cast<double>(preemptions));
+      });
 
+  const mc::MetricSummary& makespan = report.metrics[kMakespan];
   SimulatedMakespan out;
   out.runs = options.runs;
-  out.mean_hours = mean(makespans);
-  out.stddev_hours = makespans.size() >= 2 ? stddev(makespans) : 0.0;
-  out.mean_preemptions = total_preemptions / static_cast<double>(options.runs);
-  out.max_hours = max_of(makespans);
+  out.mean_hours = makespan.mean;
+  out.stddev_hours = makespan.stddev;
+  out.std_error_hours = makespan.std_error;
+  out.ci95_half_hours = makespan.ci95_half;
+  out.max_hours = makespan.max;
+  out.mean_preemptions = report.metrics[kPreemptions].mean;
   return out;
 }
 

@@ -4,6 +4,9 @@
 // every preemption moves the job to a brand-new VM (fresh lifetime draw)
 // and it resumes from the last completed checkpoint. Used to validate the
 // DP/evaluator ordering and as an extra column in the Fig. 8 benches.
+// Replications run on the batched Monte-Carlo engine (src/mc): chunked
+// jump-derived RNG streams sharded over the thread pool, deterministic for
+// a given seed regardless of thread count.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +20,8 @@ namespace preempt::policy {
 struct SimulatedMakespan {
   double mean_hours = 0.0;
   double stddev_hours = 0.0;
+  double std_error_hours = 0.0;   ///< standard error of mean_hours
+  double ci95_half_hours = 0.0;   ///< 95% CI half-width on mean_hours
   double mean_preemptions = 0.0;
   double max_hours = 0.0;
   std::size_t runs = 0;
@@ -30,6 +35,10 @@ struct SimulationOptions {
   /// Safety valve: abort a run after this many preemptions (treats the run as
   /// its accumulated time; prevents pathological infinite loops).
   std::size_t max_preemptions_per_run = 10000;
+  /// Replication-engine execution mode: 0 = shared pool, 1 = inline on the
+  /// calling thread (other values behave like 0). Results are identical in
+  /// every mode.
+  std::size_t threads = 0;
 };
 
 /// Execute `plan` repeatedly against lifetimes drawn from `d`.

@@ -7,15 +7,24 @@
 
 namespace preempt::portfolio {
 
+namespace {
+/// Lifetimes drawn per sample_many refill of a market's batch buffer.
+constexpr std::size_t kLifetimeBatch = 256;
+}  // namespace
+
 MultiMarketService::MultiMarketService(const MarketCatalog& catalog, MultiMarketConfig config)
-    : catalog_(&catalog), config_(config), rng_(config.seed) {
+    : catalog_(&catalog), config_(config) {
   PREEMPT_REQUIRE(config_.job_hours > 0.0, "job length must be positive");
   PREEMPT_REQUIRE(config_.max_concurrent_per_market > 0, "need at least one VM slot");
   states_.resize(catalog.size());
+  Rng master(config_.seed);
   for (std::size_t m = 0; m < catalog.size(); ++m) {
     states_[m].outcome.market = m;
     states_[m].ground_truth =
         trace::ground_truth_distribution(catalog.market(m).regime).clone();
+    // Fork per-market streams 2^128 draws apart so one market's preemption
+    // sequence never depends on another market's event interleaving.
+    states_[m].stream = master.fork();
   }
   // Quote against the *fitted* models, mirroring what the optimizer saw.
   PortfolioConfig quote_config;
@@ -29,6 +38,19 @@ void MultiMarketService::set_ground_truth(std::size_t market, dist::Distribution
   PREEMPT_REQUIRE(market < states_.size(), "unknown market id");
   PREEMPT_REQUIRE(d != nullptr, "ground truth must not be null");
   states_[market].ground_truth = std::move(d);
+  // Undrawn batched lifetimes still follow the old law; discard them.
+  states_[market].lifetimes.clear();
+  states_[market].next_lifetime = 0;
+}
+
+double MultiMarketService::draw_lifetime(std::size_t market) {
+  MarketState& state = states_[market];
+  if (state.next_lifetime >= state.lifetimes.size()) {
+    state.lifetimes.resize(kLifetimeBatch);
+    state.ground_truth->sample_many(state.stream, state.lifetimes);
+    state.next_lifetime = 0;
+  }
+  return state.lifetimes[state.next_lifetime++];
 }
 
 std::size_t MultiMarketService::best_healthy_market() const {
@@ -99,7 +121,7 @@ void MultiMarketService::try_dispatch(std::size_t market) {
 
 void MultiMarketService::start_job(std::size_t market, std::uint64_t job_id) {
   MarketState& state = states_[market];
-  const double lifetime = state.ground_truth->sample(rng_);
+  const double lifetime = draw_lifetime(market);
   const double work = remaining_work_[job_id];
 
   if (lifetime >= work) {

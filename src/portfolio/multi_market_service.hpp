@@ -4,7 +4,10 @@
 //
 // Per-market preemptions are drawn from that market's ground-truth law
 // (independently across markets — preemption pressure is a per-zone /
-// per-type phenomenon). Every observed lifetime also feeds the market's
+// per-type phenomenon). Each market owns a jump-derived RNG stream and
+// refills a batch buffer via Distribution::sample_many, so draws are cheap
+// and a market's lifetime sequence is independent of how events from other
+// markets interleave on the shared clock. Every observed lifetime also feeds the market's
 // CUSUM drift monitor (core/cusum); when a monitor fires the market is
 // quarantined and its queued jobs rebalance to the cheapest healthy market,
 // closing the paper's Sec. 8 "detect change-points and react" loop at the
@@ -73,6 +76,9 @@ class MultiMarketService {
     std::deque<std::uint64_t> queue;       ///< pending job ids
     std::size_t running = 0;               ///< occupied VM slots
     dist::DistributionPtr ground_truth;
+    Rng stream{0};                         ///< per-market jump-derived stream
+    std::vector<double> lifetimes;         ///< batched draws (sample_many)
+    std::size_t next_lifetime = 0;         ///< cursor into `lifetimes`
     std::unique_ptr<core::CusumDetector> monitor;
     bool quarantined = false;
     MarketOutcome outcome;
@@ -80,6 +86,8 @@ class MultiMarketService {
 
   void try_dispatch(std::size_t market);
   void start_job(std::size_t market, std::uint64_t job_id);
+  /// Next batched lifetime draw for the market (refills on demand).
+  double draw_lifetime(std::size_t market);
   void observe_lifetime(std::size_t market, double lifetime);
   void rebalance_from(std::size_t market);
   /// Healthy market with the cheapest marginal cost; catalog size if none.
@@ -90,7 +98,6 @@ class MultiMarketService {
   std::vector<MarketState> states_;
   std::vector<MarketQuote> quotes_;       ///< for rebalancing decisions
   sim::Simulator sim_;
-  Rng rng_;
   sim::CostModel cost_model_;
   std::vector<double> remaining_work_;    ///< per job id
   std::size_t completed_ = 0;

@@ -11,7 +11,7 @@ std::uint64_t Simulator::schedule_at(double when, EventCallback callback, int pr
   PREEMPT_REQUIRE(callback != nullptr, "event callback must not be null");
   const std::uint64_t id = next_id_++;
   queue_.push(Entry{std::max(when, now_), priority, next_sequence_++, id});
-  callbacks_.emplace_back(id, std::move(callback));
+  callbacks_.emplace(id, std::move(callback));
   return id;
 }
 
@@ -20,18 +20,9 @@ std::uint64_t Simulator::schedule_in(double delay, EventCallback callback, int p
   return schedule_at(now_ + delay, std::move(callback), priority);
 }
 
-EventCallback* Simulator::find_callback(std::uint64_t id) {
-  for (auto& [cb_id, cb] : callbacks_) {
-    if (cb_id == id) return &cb;
-  }
-  return nullptr;
-}
-
 void Simulator::cancel(std::uint64_t event_id) {
   // Lazy cancellation: drop the callback; the queue entry is skipped later.
-  callbacks_.erase(std::remove_if(callbacks_.begin(), callbacks_.end(),
-                                  [event_id](const auto& p) { return p.first == event_id; }),
-                   callbacks_.end());
+  callbacks_.erase(event_id);
 }
 
 std::uint64_t Simulator::run(double max_time) {
@@ -40,16 +31,22 @@ std::uint64_t Simulator::run(double max_time) {
     const Entry top = queue_.top();
     if (top.time > max_time) break;
     queue_.pop();
-    EventCallback* cb = find_callback(top.id);
-    if (cb == nullptr) continue;  // cancelled
-    EventCallback callback = std::move(*cb);
-    cancel(top.id);
+    const auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    EventCallback callback = std::move(it->second);
+    callbacks_.erase(it);
     PREEMPT_CHECK(top.time >= now_ - 1e-12, "event queue went backwards in time");
     now_ = std::max(now_, top.time);
     callback();
     ++count;
     ++executed_;
   }
+  // A bounded run simulated the whole window up to max_time even when no
+  // event fired at its end (whether later events remain queued or the queue
+  // drained early). Advance the clock so relative scheduling after run()
+  // anchors at the window end, not in the past. The kNoLimit sentinel means
+  // "run to drain": there the clock stays at the last executed event.
+  if (max_time != kNoLimit) now_ = std::max(now_, max_time);
   return count;
 }
 

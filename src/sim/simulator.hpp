@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_map>
 #include <vector>
 
 namespace preempt::sim {
@@ -33,7 +34,11 @@ class Simulator {
   void cancel(std::uint64_t event_id);
 
   /// Run until the queue is empty or `max_time` is passed. Events scheduled
-  /// beyond max_time remain queued. Returns the number of events executed.
+  /// beyond max_time remain queued. A bounded run leaves the clock at
+  /// max_time (the whole window was simulated), so a subsequent
+  /// schedule_in() anchors its delay at the window end rather than at the
+  /// last executed event; an unbounded run (kNoLimit) leaves it at the last
+  /// executed event. Returns the number of events executed.
   std::uint64_t run(double max_time = kNoLimit);
 
   /// True if no runnable events remain.
@@ -59,10 +64,10 @@ class Simulator {
   std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  // id -> callback; erased on execution/cancellation.
-  std::vector<std::pair<std::uint64_t, EventCallback>> callbacks_;
-
-  EventCallback* find_callback(std::uint64_t id);
+  // id -> callback; erased on execution/cancellation. A hash map keeps
+  // cancel() and the per-event lookup in run() O(1) — with the previous
+  // linear scan a run over n pending events cost O(n²).
+  std::unordered_map<std::uint64_t, EventCallback> callbacks_;
 };
 
 }  // namespace preempt::sim

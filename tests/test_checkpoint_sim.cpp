@@ -122,6 +122,39 @@ TEST(SimulatePlan, DeterministicPerSeed) {
   EXPECT_DOUBLE_EQ(a.mean_preemptions, b.mean_preemptions);
 }
 
+TEST(SimulatePlan, ThreadCountDoesNotChangeResults) {
+  // The replication engine's chunked jump-streams make the pooled run
+  // bit-identical to the inline run.
+  const auto d = reference_bathtub();
+  const CheckpointPlan plan = young_daly_plan(3.0, 1.0, kMinute);
+  SimulationOptions pooled;
+  pooled.runs = 3000;
+  pooled.seed = 7;
+  pooled.threads = 0;
+  SimulationOptions inline_run = pooled;
+  inline_run.threads = 1;
+  const auto a = simulate_plan(d, plan, pooled);
+  const auto b = simulate_plan(d, plan, inline_run);
+  EXPECT_DOUBLE_EQ(a.mean_hours, b.mean_hours);
+  EXPECT_DOUBLE_EQ(a.stddev_hours, b.stddev_hours);
+  EXPECT_DOUBLE_EQ(a.mean_preemptions, b.mean_preemptions);
+  EXPECT_DOUBLE_EQ(a.max_hours, b.max_hours);
+}
+
+TEST(SimulatePlan, ReportsConfidenceInterval) {
+  const auto d = reference_bathtub();
+  const CheckpointPlan plan = no_checkpoint_plan(2.0, kMinute);
+  SimulationOptions opts;
+  opts.runs = 2000;
+  const SimulatedMakespan res = simulate_plan(d, plan, opts);
+  EXPECT_GT(res.stddev_hours, 0.0);
+  EXPECT_GT(res.std_error_hours, 0.0);
+  EXPECT_LT(res.std_error_hours, res.stddev_hours);
+  EXPECT_NEAR(res.ci95_half_hours, 1.96 * res.std_error_hours,
+              1e-4 * res.std_error_hours);
+  EXPECT_GE(res.max_hours, res.mean_hours);
+}
+
 TEST(SimulatePlan, ValidatesArguments) {
   const auto d = reference_bathtub();
   CheckpointPlan empty;

@@ -42,13 +42,18 @@ TEST(Empirical, QuantileMeanMinMax) {
   EXPECT_DOUBLE_EQ(e.support_end(), 7.0);
 }
 
-TEST(Empirical, BootstrapSamplingDrawsFromData) {
+TEST(Empirical, SampleFollowsInverseTransformConvention) {
+  // sample() and quantile(uniform()) must agree draw-for-draw — direct and
+  // inverse-transform sampling used to follow different conventions (raw
+  // order statistics vs type-7 interpolation) and disagreed in distribution.
   const std::vector<double> samples = {1.0, 2.0, 3.0};
   const EmpiricalDistribution e(samples);
-  Rng rng(5);
+  Rng direct(5), inverse(5);
   for (int i = 0; i < 100; ++i) {
-    const double x = e.sample(rng);
-    EXPECT_TRUE(x == 1.0 || x == 2.0 || x == 3.0);
+    const double x = e.sample(direct);
+    EXPECT_DOUBLE_EQ(x, e.quantile(inverse.uniform()));
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 3.0);
   }
 }
 

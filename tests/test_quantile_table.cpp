@@ -1,0 +1,120 @@
+// QuantileTable: monotone inverse-CDF grid with deadline-atom handling.
+#include "dist/quantile_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+#include "dist/gamma.hpp"
+#include "dist/gompertz_makeham.hpp"
+#include "test_util.hpp"
+
+namespace preempt::dist {
+namespace {
+
+using preempt::testing::reference_bathtub;
+
+// Exponential CDF with rate 1 over [0, 20]: closed-form inverse available.
+double exp_cdf(double t) { return -std::expm1(-t); }
+double exp_quantile(double p) { return -std::log1p(-p); }
+
+TEST(QuantileTable, LookupErrorBoundedByOneCell) {
+  const QuantileTable table(exp_cdf, 0.0, 20.0, 512);
+  const double cell = 20.0 / 512.0;
+  for (int i = 1; i < 100; ++i) {
+    const double p = exp_cdf(20.0) * i / 100.0;
+    EXPECT_NEAR(table.lookup(p), exp_quantile(p), cell) << "p=" << p;
+  }
+}
+
+TEST(QuantileTable, LookupIsMonotone) {
+  const QuantileTable table(exp_cdf, 0.0, 20.0, 256);
+  double prev = -1.0;
+  for (int i = 0; i <= 1000; ++i) {
+    const double t = table.lookup(static_cast<double>(i) / 1000.0);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(QuantileTable, InvertRefinesToTolerance) {
+  const QuantileTable table(exp_cdf, 0.0, 20.0, 128);  // coarse on purpose
+  const auto eval = [](double t) { return std::pair{exp_cdf(t), std::exp(-t)}; };
+  for (int i = 1; i < 200; ++i) {
+    const double p = exp_cdf(20.0) * i / 200.0;
+    EXPECT_NEAR(table.invert(p, eval, 1e-10), exp_quantile(p), 1e-8) << "p=" << p;
+  }
+}
+
+TEST(QuantileTable, AtomMapsToAtomLocation) {
+  const QuantileTable table(exp_cdf, 0.0, 20.0, 64, /*p_atom=*/0.9, /*t_atom=*/24.0);
+  const auto eval = [](double t) { return std::pair{exp_cdf(t), std::exp(-t)}; };
+  EXPECT_DOUBLE_EQ(table.lookup(0.9), 24.0);
+  EXPECT_DOUBLE_EQ(table.lookup(0.95), 24.0);
+  EXPECT_DOUBLE_EQ(table.invert(0.99, eval, 1e-10), 24.0);
+  EXPECT_LT(table.lookup(0.89), 20.0);
+}
+
+TEST(QuantileTable, ClampsOutsideTabulatedRange) {
+  const QuantileTable table(exp_cdf, 0.0, 20.0, 64);
+  EXPECT_DOUBLE_EQ(table.lookup(-0.5), 0.0);
+  EXPECT_DOUBLE_EQ(table.lookup(0.0), 0.0);
+  // Beyond the tabulated CDF mass but below the atom: clamps to the grid end.
+  EXPECT_DOUBLE_EQ(table.lookup(1.0), 20.0);
+}
+
+TEST(QuantileTable, RejectsDegenerateGrids) {
+  EXPECT_THROW(QuantileTable(exp_cdf, 0.0, 20.0, 0), Error);
+  EXPECT_THROW(QuantileTable(exp_cdf, 5.0, 5.0, 16), InvalidArgument);
+}
+
+// --- the bathtub law's cached table, including the deadline atom -------------
+
+TEST(QuantileTable, BathtubQuantileMatchesBisectionReference) {
+  // The stated accuracy contract of the table-backed bathtub quantile: within
+  // 1e-8 hours of the exact (bisection) inverse across the whole continuous
+  // range, right up to the edge of the deadline atom.
+  const auto d = reference_bathtub();
+  const double p_atom = d.raw_cdf(24.0);
+  for (int i = 1; i <= 400; ++i) {
+    const double p = p_atom * i / 401.0;
+    // Reference inverse by bisection on the raw CDF.
+    double lo = 0.0, hi = 24.0;
+    for (int it = 0; it < 100; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      if (d.raw_cdf(mid) < p) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    EXPECT_NEAR(d.quantile(p), 0.5 * (lo + hi), 1e-8) << "p=" << p;
+  }
+}
+
+TEST(QuantileTable, BathtubDeadlineAtomEdge) {
+  const auto d = reference_bathtub();
+  const double p_atom = d.raw_cdf(24.0);
+  // Just below the atom the quantile approaches the horizon continuously...
+  EXPECT_LT(d.quantile(p_atom - 1e-9), 24.0);
+  EXPECT_GT(d.quantile(p_atom - 1e-9), 23.9);
+  // ...at and above it the draw is the deadline reclaim itself.
+  EXPECT_DOUBLE_EQ(d.quantile(p_atom), 24.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.99), 24.0);
+}
+
+TEST(QuantileTable, GammaAndGompertzRoundTrip) {
+  // The lazily cached tables behind Gamma/Gompertz-Makeham quantiles must
+  // keep the CDF round-trip tight (these used to be pure bisection).
+  const Gamma gamma(0.6, 0.1);
+  const GompertzMakeham gm(0.05, 0.01, 0.25);
+  for (double p : {0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    EXPECT_NEAR(gamma.cdf(gamma.quantile(p)), p, 1e-8) << "gamma p=" << p;
+    EXPECT_NEAR(gm.cdf(gm.quantile(p)), p, 1e-8) << "gm p=" << p;
+  }
+}
+
+}  // namespace
+}  // namespace preempt::dist

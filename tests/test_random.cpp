@@ -33,13 +33,26 @@ TEST(Xoshiro, JumpChangesStream) {
   EXPECT_TRUE(any_different);
 }
 
-TEST(Rng, UniformInUnitInterval) {
+TEST(Rng, UniformInOpenUnitInterval) {
   Rng rng(7);
   for (int i = 0; i < 10000; ++i) {
     const double u = rng.uniform();
-    EXPECT_GE(u, 0.0);
+    EXPECT_GT(u, 0.0);
     EXPECT_LT(u, 1.0);
   }
+}
+
+TEST(Rng, ToOpenUnitNeverReturnsEndpoints) {
+  // Regression: uniform() used to map the all-zero-bits draw to exactly 0.0,
+  // which inverse-transform sampling turns into zero-length lifetimes (and
+  // quantile(0) short-circuits). The transform now lands on cell midpoints.
+  EXPECT_GT(Rng::to_open_unit(0), 0.0);
+  EXPECT_DOUBLE_EQ(Rng::to_open_unit(0), 0x1.0p-53);
+  EXPECT_LT(Rng::to_open_unit(~std::uint64_t{0}), 1.0);
+  EXPECT_DOUBLE_EQ(Rng::to_open_unit(~std::uint64_t{0}), 1.0 - 0x1.0p-53);
+  // Midpoints are uniform: consecutive bit patterns are 2^-52 apart.
+  EXPECT_DOUBLE_EQ(Rng::to_open_unit(std::uint64_t{1} << 12) - Rng::to_open_unit(0),
+                   0x1.0p-52);
 }
 
 TEST(Rng, UniformMomentsMatch) {

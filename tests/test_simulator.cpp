@@ -62,6 +62,61 @@ TEST(Simulator, RunStopsAtMaxTime) {
   EXPECT_TRUE(sim.idle());
 }
 
+TEST(Simulator, RunAdvancesClockToMaxTimeOnEarlyExit) {
+  // Regression: run(max_time) used to leave now() at the last executed event,
+  // so a subsequent schedule_in(delay) anchored its delay in the past.
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&count] { ++count; });
+  sim.schedule_at(5.0, [&count] { ++count; });
+  sim.run(2.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);  // min(max_time, next-event time)
+
+  double fired_at = -1.0;
+  sim.schedule_in(0.5, [&sim, &fired_at] { fired_at = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 2.5);  // anchored at the window end, not at 1.0
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, RunWithoutLimitKeepsClockAtLastEvent) {
+  Simulator sim;
+  sim.schedule_at(3.0, [] {});
+  sim.run();  // no limit: queue drains, clock stays at the last event
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, BoundedRunAdvancesClockEvenWhenQueueDrains) {
+  // The window-end contract must not depend on whether later events happen
+  // to remain queued: run(2.0) simulates the whole [0, 2] window either way.
+  Simulator sim;
+  sim.schedule_at(1.0, [] {});
+  sim.run(2.0);  // queue drains at 1.0, but the window ran to 2.0
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+
+  double fired_at = -1.0;
+  sim.schedule_in(0.5, [&sim, &fired_at] { fired_at = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 2.5);
+}
+
+TEST(Simulator, CancelHeavyWorkloadExecutesSurvivors) {
+  // Exercises the hash-map callback store: half the events cancelled up
+  // front, the rest must still run in time order.
+  Simulator sim;
+  int executed = 0;
+  std::vector<std::uint64_t> ids;
+  constexpr int kN = 10000;
+  ids.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    ids.push_back(sim.schedule_at(static_cast<double>(i % 97), [&executed] { ++executed; }));
+  }
+  for (int i = 0; i < kN; i += 2) sim.cancel(ids[static_cast<std::size_t>(i)]);
+  sim.run();
+  EXPECT_EQ(executed, kN / 2);
+  EXPECT_EQ(sim.executed_events(), static_cast<std::uint64_t>(kN / 2));
+}
+
 TEST(Simulator, EventsCanScheduleMoreEvents) {
   Simulator sim;
   int chain = 0;
