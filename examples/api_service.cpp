@@ -1,54 +1,76 @@
 // Batch service over HTTP — the paper's Sec. 5 user workflow end to end.
 //
 // Starts the controller daemon in-process on an ephemeral loopback port and
-// then acts as a user: checks health, reads the fitted model for a regime,
-// asks for a reuse decision, submits a bag of jobs and reads the report
-// back. Every call is a real HTTP request over a real socket; the same
-// endpoints serve `curl` when run via tools/preempt-batchd.
+// then acts as a user of the versioned /v1 REST surface through the typed
+// ApiClient: checks health, reads the fitted model for a regime, asks for a
+// reuse decision, submits an async bag of jobs (202 -> poll -> done) with
+// Monte-Carlo replications, and reads the per-route metrics back. Every call
+// is a real HTTP request over a real socket; the same endpoints serve `curl`
+// when run via tools/preempt-batchd.
 //
 // Build & run:  ./build/examples/api_service
 #include <iostream>
 
+#include "api/api_client.hpp"
 #include "preempt.hpp"
 
 int main() {
   using namespace preempt;
-  using api::http_get;
-  using api::http_post;
 
   // -- boot the controller -----------------------------------------------------
   api::ServiceDaemon::Options options;
   options.bootstrap_vms_per_cell = 30;  // smaller Sec. 3.1 bootstrap, faster start
   api::ServiceDaemon daemon(options);
   daemon.start(0);
-  const std::uint16_t port = daemon.port();
-  std::cout << "controller listening on 127.0.0.1:" << port << "\n\n";
+  const api::ApiClient client(daemon.port());
+  std::cout << "controller listening on 127.0.0.1:" << daemon.port() << "\n\n";
 
   // -- 1. health ---------------------------------------------------------------
-  std::cout << "GET /healthz\n  -> " << http_get(port, "/healthz").body << "\n\n";
+  std::cout << "GET /healthz -> " << (client.healthy() ? "ok" : "DOWN") << "\n\n";
 
   // -- 2. what does the service believe about this regime? ---------------------
-  const auto model = http_get(port, "/api/model?type=n1-highcpu-16&zone=us-east1-b");
-  std::cout << "GET /api/model?type=n1-highcpu-16&zone=us-east1-b\n  -> "
-            << parse_json(model.body).dump(2) << "\n\n";
+  const auto model = client.model({.type = "n1-highcpu-16", .zone = "us-east1-b"});
+  std::cout << "GET /v1/models?type=n1-highcpu-16&zone=us-east1-b\n  -> " << model.regime
+            << ": A=" << model.scale << " tau1=" << model.tau1 << " tau2=" << model.tau2
+            << " b=" << model.deadline << "\n  -> expected lifetime "
+            << model.expected_lifetime_hours << " h\n\n";
 
   // -- 3. a scheduling question -------------------------------------------------
-  const auto decision = http_get(port, "/api/decisions/reuse?age=20&job=6");
-  std::cout << "GET /api/decisions/reuse?age=20&job=6\n  -> "
-            << parse_json(decision.body).dump(2) << "\n\n";
+  const auto decision = client.reuse_decision(20.0, 6.0);
+  std::cout << "GET /v1/decisions/reuse?age=20&job=6\n  -> "
+            << (decision.reuse ? "REUSE" : "FRESH VM")
+            << " (P(fail|existing) = " << decision.failure_probability << ")\n\n";
 
-  // -- 4. submit a bag of jobs and read the report ------------------------------
-  const auto created = http_post(
-      port, "/api/bags", R"({"app":"nanoconfinement","jobs":60,"vms":16,"seed":11})");
-  const JsonValue report = parse_json(created.body);
-  std::cout << "POST /api/bags {nanoconfinement x60 on 16 VMs}\n  -> "
-            << report.dump(2) << "\n\n";
+  // -- 4. submit an async bag of jobs and poll for the report -------------------
+  api::BagSubmission submission;
+  submission.app = "nanoconfinement";
+  submission.jobs = 60;
+  submission.vms = 16;
+  submission.seed = 11;
+  submission.replications = 8;  // fan over the mc engine for error bars
+  auto job = client.submit_bag(submission);
+  std::cout << "POST /v1/bags {nanoconfinement x60 on 16 VMs, 8 replications}\n  -> 202, job "
+            << job.id << " " << job.status << "\n";
+  job = client.wait_for_bag(job.id, 120.0);
+  std::cout << "GET /v1/bags/" << job.id << "\n  -> " << job.status << "\n";
+  if (job.status != "done") {
+    std::cout << "  bag failed: " << job.error << "\n";
+    daemon.stop();
+    return 1;
+  }
+  const auto& report = *job.report;
+  std::cout << "  cost reduction vs on-demand: " << report.cost_reduction_factor << "x\n";
+  const auto cost = report.metrics.at("cost_per_job");
+  std::cout << "  cost/job: $" << cost.mean << " +/- " << cost.std_error << " (95% CI +/- "
+            << cost.ci95 << ")\n\n";
 
-  const auto id = static_cast<int>(report.number_or("id", 0));
-  const auto fetched = http_get(port, "/api/bags/" + std::to_string(id));
-  std::cout << "GET /api/bags/" << id << "  (status " << fetched.status << ")\n";
-  std::cout << "cost reduction vs on-demand: "
-            << parse_json(fetched.body).number_or("cost_reduction_factor", 0.0) << "x\n";
+  // -- 5. what did all of that cost the server? ---------------------------------
+  std::cout << "GET /v1/metrics\n";
+  for (const auto& row : client.metrics()) {
+    if (row.requests == 0) continue;
+    std::cout << "  " << row.method << " " << row.route << ": " << row.requests
+              << " requests, mean " << row.mean_latency_ms << " ms\n";
+  }
 
   daemon.stop();
   return 0;

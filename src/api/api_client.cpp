@@ -1,0 +1,267 @@
+#include "api/api_client.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "api/http_client.hpp"
+
+namespace preempt::api {
+
+namespace {
+
+std::string url_encode(const std::string& s) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.' || c == '~';
+    if (safe) {
+      out += c;
+    } else {
+      out += '%';
+      out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+      out += kHex[static_cast<unsigned char>(c) & 0xf];
+    }
+  }
+  return out;
+}
+
+/// Translate a non-2xx response into ApiError via the standard envelope.
+[[noreturn]] void throw_api_error(const HttpResponse& response) {
+  std::string code = "unknown";
+  std::string message = response.body;
+  try {
+    const JsonValue body = parse_json(response.body);
+    if (const JsonValue* envelope = body.find("error")) {
+      if (envelope->is_object()) {
+        code = envelope->string_or("code", code);
+        message = envelope->string_or("message", message);
+      } else if (envelope->is_string()) {
+        message = envelope->as_string();  // legacy {"error":"..."} bodies
+      }
+    }
+  } catch (const std::exception&) {
+    // Not JSON; keep the raw body as the message.
+  }
+  throw ApiError(response.status, code, message);
+}
+
+JsonValue expect_json(const HttpResponse& response) {
+  if (response.status < 200 || response.status >= 300) throw_api_error(response);
+  return parse_json(response.body);
+}
+
+void append_query(std::string& target, const char* key, const std::string& value) {
+  if (value.empty()) return;
+  target += target.find('?') == std::string::npos ? '?' : '&';
+  target += key;
+  target += '=';
+  target += url_encode(value);
+}
+
+}  // namespace
+
+std::string RegimeQuery::query_string() const {
+  std::string out;
+  append_query(out, "type", type);
+  append_query(out, "zone", zone);
+  append_query(out, "period", period);
+  append_query(out, "workload", workload);
+  return out;
+}
+
+std::string BagSubmission::to_json() const {
+  JsonObject obj;
+  obj.emplace_back("app", app);
+  obj.emplace_back("jobs", jobs);
+  obj.emplace_back("vms", vms);
+  obj.emplace_back("seed", seed);
+  obj.emplace_back("policy", policy);
+  obj.emplace_back("replications", replications);
+  return JsonValue(std::move(obj)).dump();
+}
+
+JsonValue ApiClient::get_json(const std::string& target) const {
+  return expect_json(http_get(port_, target));
+}
+
+JsonValue ApiClient::post_json(const std::string& target, const std::string& body) const {
+  return expect_json(http_post(port_, target, body));
+}
+
+bool ApiClient::healthy() const {
+  try {
+    return get_json("/healthz").string_or("status", "") == "ok";
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+ModelInfo ApiClient::model(const RegimeQuery& regime) const {
+  const JsonValue v = get_json("/v1/models" + regime.query_string());
+  ModelInfo out;
+  out.regime = v.string_or("regime", "");
+  out.scale = v.number_or("A", 0.0);
+  out.tau1 = v.number_or("tau1", 0.0);
+  out.tau2 = v.number_or("tau2", 0.0);
+  out.deadline = v.number_or("b", 0.0);
+  out.horizon = v.number_or("horizon", 0.0);
+  out.expected_lifetime_hours = v.number_or("expected_lifetime_hours", 0.0);
+  return out;
+}
+
+LifetimeInfo ApiClient::lifetime(const RegimeQuery& regime) const {
+  const JsonValue v = get_json("/v1/lifetimes" + regime.query_string());
+  LifetimeInfo out;
+  out.regime = v.string_or("regime", "");
+  out.expected_lifetime_hours = v.number_or("expected_lifetime_hours", 0.0);
+  out.mean_lifetime_hours = v.number_or("mean_lifetime_hours", 0.0);
+  return out;
+}
+
+ReuseDecisionInfo ApiClient::reuse_decision(double age_hours, double job_hours,
+                                            const RegimeQuery& regime) const {
+  std::string target = "/v1/decisions/reuse" + regime.query_string();
+  append_query(target, "age", std::to_string(age_hours));
+  append_query(target, "job", std::to_string(job_hours));
+  const JsonValue v = get_json(target);
+  ReuseDecisionInfo out;
+  out.regime = v.string_or("regime", "");
+  out.vm_age_hours = v.number_or("vm_age_hours", 0.0);
+  out.job_hours = v.number_or("job_hours", 0.0);
+  out.reuse = v.bool_or("reuse", false);
+  out.expected_existing_hours = v.number_or("expected_existing_hours", 0.0);
+  out.expected_fresh_hours = v.number_or("expected_fresh_hours", 0.0);
+  out.failure_probability = v.number_or("failure_probability", 0.0);
+  return out;
+}
+
+BagJobInfo ApiClient::parse_job(const JsonValue& v) {
+  BagJobInfo out;
+  out.id = static_cast<std::uint64_t>(v.number_or("id", 0));
+  out.status = v.string_or("status", "");
+  out.app = v.string_or("app", "");
+  out.jobs = static_cast<std::size_t>(v.number_or("jobs", 0));
+  out.vms = static_cast<std::size_t>(v.number_or("vms", 0));
+  out.seed = static_cast<std::uint64_t>(v.number_or("seed", 0));
+  out.policy = v.string_or("policy", "");
+  out.replications = static_cast<std::size_t>(v.number_or("replications", 1));
+  out.error = v.string_or("error", "");
+  if (const JsonValue* report = v.find("report"); report != nullptr && report->is_object()) {
+    BagReport r;
+    r.jobs_completed = static_cast<std::size_t>(report->number_or("jobs_completed", 0));
+    r.makespan_hours = report->number_or("makespan_hours", 0.0);
+    r.increase_fraction = report->number_or("increase_fraction", 0.0);
+    r.cost_per_job = report->number_or("cost_per_job", 0.0);
+    r.on_demand_cost_per_job = report->number_or("on_demand_cost_per_job", 0.0);
+    r.cost_reduction_factor = report->number_or("cost_reduction_factor", 0.0);
+    r.preemptions = static_cast<int>(report->number_or("preemptions", 0));
+    r.preemptions_total = static_cast<int>(report->number_or("preemptions_total", 0));
+    r.vms_launched = static_cast<int>(report->number_or("vms_launched", 0));
+    r.wasted_hours = report->number_or("wasted_hours", 0.0);
+    if (const JsonValue* metrics = report->find("metrics");
+        metrics != nullptr && metrics->is_object()) {
+      for (const auto& [name, stat] : metrics->as_object()) {
+        MetricStat s;
+        s.mean = stat.number_or("mean", 0.0);
+        s.std_error = stat.number_or("std_error", 0.0);
+        s.ci95 = stat.number_or("ci95", 0.0);
+        r.metrics[name] = s;
+      }
+    }
+    out.report = std::move(r);
+  }
+  return out;
+}
+
+BagJobInfo ApiClient::submit_bag(const BagSubmission& submission) const {
+  const HttpResponse response = http_post(port_, "/v1/bags", submission.to_json());
+  if (response.status != 202) throw_api_error(response);
+  return parse_job(parse_json(response.body));
+}
+
+BagJobInfo ApiClient::bag(std::uint64_t id) const {
+  return parse_job(get_json("/v1/bags/" + std::to_string(id)));
+}
+
+BagJobInfo ApiClient::wait_for_bag(std::uint64_t id, double timeout_seconds) const {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(timeout_seconds));
+  // Back off geometrically: bags usually finish in milliseconds, but a
+  // replicated run can take a while — don't hammer the daemon either way.
+  auto delay = std::chrono::milliseconds(2);
+  while (true) {
+    const BagJobInfo job = bag(id);
+    if (job.terminal()) return job;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw ApiError(408, "timeout",
+                     "bag job " + std::to_string(id) + " still " + job.status + " after " +
+                         std::to_string(timeout_seconds) + "s");
+    }
+    std::this_thread::sleep_for(delay);
+    delay = std::min(delay * 2, std::chrono::milliseconds(200));
+  }
+}
+
+BagPage ApiClient::list_bags(const std::string& status, std::size_t limit,
+                             std::size_t offset) const {
+  std::string target = "/v1/bags";
+  append_query(target, "status", status);
+  append_query(target, "limit", std::to_string(limit));
+  append_query(target, "offset", std::to_string(offset));
+  const JsonValue v = get_json(target);
+  BagPage page;
+  page.total = static_cast<std::size_t>(v.number_or("total", 0));
+  page.limit = static_cast<std::size_t>(v.number_or("limit", 0));
+  page.offset = static_cast<std::size_t>(v.number_or("offset", 0));
+  if (const JsonValue* jobs = v.find("jobs"); jobs != nullptr && jobs->is_array()) {
+    for (const JsonValue& job : jobs->as_array()) page.jobs.push_back(parse_job(job));
+  }
+  return page;
+}
+
+DriftStatus ApiClient::observe_lifetimes(const std::vector<double>& lifetimes_hours,
+                                         const RegimeQuery& regime) const {
+  JsonArray lifetimes;
+  lifetimes.reserve(lifetimes_hours.size());
+  for (double h : lifetimes_hours) lifetimes.emplace_back(h);
+  JsonObject body;
+  if (!regime.type.empty()) body.emplace_back("type", regime.type);
+  if (!regime.zone.empty()) body.emplace_back("zone", regime.zone);
+  if (!regime.period.empty()) body.emplace_back("period", regime.period);
+  if (!regime.workload.empty()) body.emplace_back("workload", regime.workload);
+  body.emplace_back("lifetimes", std::move(lifetimes));
+  const JsonValue v = post_json("/v1/observations", JsonValue(std::move(body)).dump());
+  DriftStatus out;
+  out.regime = v.string_or("regime", "");
+  out.observed = static_cast<std::size_t>(v.number_or("observed", 0));
+  out.ks_statistic = v.number_or("ks_statistic", 0.0);
+  out.ks_drift = v.bool_or("ks_drift", false);
+  out.cusum_shorter = v.number_or("cusum_shorter", 0.0);
+  out.cusum_longer = v.number_or("cusum_longer", 0.0);
+  out.cusum_alarm = v.bool_or("cusum_alarm", false);
+  out.drift_detected = v.bool_or("drift_detected", false);
+  return out;
+}
+
+std::vector<RouteMetricsInfo> ApiClient::metrics() const {
+  const JsonValue v = get_json("/v1/metrics");
+  std::vector<RouteMetricsInfo> out;
+  if (const JsonValue* routes = v.find("routes"); routes != nullptr && routes->is_array()) {
+    for (const JsonValue& row : routes->as_array()) {
+      RouteMetricsInfo m;
+      m.method = row.string_or("method", "");
+      m.route = row.string_or("route", "");
+      m.requests = static_cast<std::uint64_t>(row.number_or("requests", 0));
+      m.errors = static_cast<std::uint64_t>(row.number_or("errors", 0));
+      m.mean_latency_ms = row.number_or("mean_latency_ms", 0.0);
+      m.max_latency_ms = row.number_or("max_latency_ms", 0.0);
+      out.push_back(std::move(m));
+    }
+  }
+  return out;
+}
+
+}  // namespace preempt::api

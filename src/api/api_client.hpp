@@ -1,0 +1,198 @@
+// Typed client for the controller's /v1 REST surface.
+//
+// Wraps the raw loopback http_client in the resource types the daemon
+// serves, so `preempt-batchd --self-check`, the `preempt bags` CLI command,
+// examples and tests all speak the API through one decoder instead of four
+// hand-rolled JSON pickers. Non-2xx responses become ApiError carrying the
+// standardized envelope's code/message plus the HTTP status.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace preempt::api {
+
+/// A non-2xx API response, decoded from the {"error":{"code","message"}}
+/// envelope (legacy bodies without an envelope fall back to the raw body).
+class ApiError : public Error {
+ public:
+  ApiError(int status, std::string code, const std::string& message)
+      : Error("api error " + std::to_string(status) + " [" + code + "]: " + message),
+        status_(status),
+        code_(std::move(code)) {}
+
+  int status() const noexcept { return status_; }
+  const std::string& code() const noexcept { return code_; }
+
+ private:
+  int status_;
+  std::string code_;
+};
+
+/// Optional regime selector shared by several endpoints; empty fields are
+/// omitted and fall back to the daemon defaults.
+struct RegimeQuery {
+  std::string type;
+  std::string zone;
+  std::string period;
+  std::string workload;
+
+  /// "?type=..&zone=.." ("" when all fields are empty).
+  std::string query_string() const;
+};
+
+struct ModelInfo {
+  std::string regime;
+  double scale = 0.0;  ///< bathtub A
+  double tau1 = 0.0;
+  double tau2 = 0.0;
+  double deadline = 0.0;  ///< b
+  double horizon = 0.0;
+  double expected_lifetime_hours = 0.0;
+};
+
+struct LifetimeInfo {
+  std::string regime;
+  double expected_lifetime_hours = 0.0;
+  double mean_lifetime_hours = 0.0;
+};
+
+struct ReuseDecisionInfo {
+  std::string regime;
+  double vm_age_hours = 0.0;
+  double job_hours = 0.0;
+  bool reuse = false;
+  double expected_existing_hours = 0.0;
+  double expected_fresh_hours = 0.0;
+  double failure_probability = 0.0;
+};
+
+/// POST /v1/bags submission body.
+struct BagSubmission {
+  std::string app = "nanoconfinement";
+  std::size_t jobs = 50;
+  std::size_t vms = 16;
+  std::uint64_t seed = 42;
+  std::string policy = "model";
+  std::size_t replications = 1;
+
+  std::string to_json() const;
+};
+
+/// mean/std_error/ci95 of one replicated-bag metric.
+struct MetricStat {
+  double mean = 0.0;
+  double std_error = 0.0;
+  double ci95 = 0.0;
+};
+
+struct BagReport {
+  std::size_t jobs_completed = 0;
+  double makespan_hours = 0.0;
+  double increase_fraction = 0.0;
+  double cost_per_job = 0.0;
+  double on_demand_cost_per_job = 0.0;
+  double cost_reduction_factor = 0.0;
+  int preemptions = 0;
+  int preemptions_total = 0;
+  int vms_launched = 0;
+  double wasted_hours = 0.0;
+  /// Per-metric replication statistics (empty when replications == 1).
+  std::map<std::string, MetricStat> metrics;
+};
+
+/// One async bag job resource.
+struct BagJobInfo {
+  std::uint64_t id = 0;
+  std::string status;  ///< queued|running|done|failed
+  std::string app;
+  std::size_t jobs = 0;
+  std::size_t vms = 0;
+  std::uint64_t seed = 0;
+  std::string policy;
+  std::size_t replications = 1;
+  std::optional<BagReport> report;  ///< present when status == "done"
+  std::string error;                ///< set when status == "failed"
+
+  bool terminal() const { return status == "done" || status == "failed"; }
+};
+
+struct BagPage {
+  std::vector<BagJobInfo> jobs;
+  std::size_t total = 0;
+  std::size_t limit = 0;
+  std::size_t offset = 0;
+};
+
+struct DriftStatus {
+  std::string regime;
+  std::size_t observed = 0;
+  double ks_statistic = 0.0;
+  bool ks_drift = false;
+  double cusum_shorter = 0.0;
+  double cusum_longer = 0.0;
+  bool cusum_alarm = false;
+  bool drift_detected = false;
+};
+
+struct RouteMetricsInfo {
+  std::string method;
+  std::string route;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  double mean_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+};
+
+class ApiClient {
+ public:
+  explicit ApiClient(std::uint16_t port) : port_(port) {}
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// GET /healthz; true when the daemon answers {"status":"ok"}.
+  bool healthy() const;
+
+  /// GET /v1/models.
+  ModelInfo model(const RegimeQuery& regime = {}) const;
+  /// GET /v1/lifetimes.
+  LifetimeInfo lifetime(const RegimeQuery& regime = {}) const;
+  /// GET /v1/decisions/reuse.
+  ReuseDecisionInfo reuse_decision(double age_hours, double job_hours,
+                                   const RegimeQuery& regime = {}) const;
+
+  /// POST /v1/bags (expects 202); returns the queued job resource.
+  BagJobInfo submit_bag(const BagSubmission& submission) const;
+  /// GET /v1/bags/{id}.
+  BagJobInfo bag(std::uint64_t id) const;
+  /// Poll GET /v1/bags/{id} until done/failed; throws ApiError(408) on
+  /// timeout.
+  BagJobInfo wait_for_bag(std::uint64_t id, double timeout_seconds = 60.0) const;
+  /// GET /v1/bags?status=&limit=&offset= ("" status = no filter).
+  BagPage list_bags(const std::string& status = "", std::size_t limit = 50,
+                    std::size_t offset = 0) const;
+
+  /// POST /v1/observations.
+  DriftStatus observe_lifetimes(const std::vector<double>& lifetimes_hours,
+                                const RegimeQuery& regime = {}) const;
+
+  /// GET /v1/metrics.
+  std::vector<RouteMetricsInfo> metrics() const;
+
+  /// Raw escape hatches: parsed JSON on 2xx, ApiError otherwise.
+  JsonValue get_json(const std::string& target) const;
+  JsonValue post_json(const std::string& target, const std::string& body) const;
+
+ private:
+  static BagJobInfo parse_job(const JsonValue& v);
+
+  std::uint16_t port_;
+};
+
+}  // namespace preempt::api

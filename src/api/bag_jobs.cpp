@@ -1,0 +1,176 @@
+#include "api/bag_jobs.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/error.hpp"
+
+namespace preempt::api {
+
+std::string to_string(BagJobStatus status) {
+  switch (status) {
+    case BagJobStatus::kQueued: return "queued";
+    case BagJobStatus::kRunning: return "running";
+    case BagJobStatus::kDone: return "done";
+    case BagJobStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+std::optional<BagJobStatus> bag_job_status_from_string(const std::string& text) {
+  if (text == "queued") return BagJobStatus::kQueued;
+  if (text == "running") return BagJobStatus::kRunning;
+  if (text == "done") return BagJobStatus::kDone;
+  if (text == "failed") return BagJobStatus::kFailed;
+  return std::nullopt;
+}
+
+BagJobQueue::BagJobQueue(std::size_t workers, Executor executor)
+    : executor_(std::move(executor)) {
+  PREEMPT_REQUIRE(executor_ != nullptr, "bag job queue needs an executor");
+  PREEMPT_REQUIRE(workers >= 1, "bag job queue needs at least one worker");
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+BagJobQueue::~BagJobQueue() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+std::uint64_t BagJobQueue::submit(BagJobSpec spec) {
+  std::uint64_t id = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    id = next_id_++;
+    BagJobRecord record;
+    record.id = id;
+    record.status = BagJobStatus::kQueued;
+    record.spec = std::move(spec);
+    records_.emplace(id, std::move(record));
+    queue_.push_back(id);
+  }
+  work_cv_.notify_one();
+  return id;
+}
+
+BagJobRecord BagJobQueue::execute_into_store(BagJobRecord scratch) {
+  std::string error;
+  try {
+    executor_(scratch);
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+  BagJobRecord stored;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    BagJobRecord& record = records_.at(scratch.id);
+    if (error.empty()) {
+      record.report = scratch.report;
+      record.metrics = std::move(scratch.metrics);
+      record.status = BagJobStatus::kDone;
+    } else {
+      record.error = std::move(error);
+      record.status = BagJobStatus::kFailed;
+    }
+    stored = record;
+  }
+  done_cv_.notify_all();
+  return stored;
+}
+
+BagJobRecord BagJobQueue::run_inline(BagJobSpec spec) {
+  BagJobRecord scratch;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    scratch.id = next_id_++;
+    scratch.status = BagJobStatus::kRunning;
+    scratch.spec = std::move(spec);
+    records_.emplace(scratch.id, scratch);
+  }
+  return execute_into_store(std::move(scratch));
+}
+
+void BagJobQueue::worker_loop() {
+  while (true) {
+    std::uint64_t id = 0;
+    BagJobRecord scratch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // On stop, exit without draining: a queued backlog of long Monte-Carlo
+      // bags must not hold the daemon's shutdown hostage. Jobs that never
+      // started simply stay "queued" in the store while the process exits.
+      if (stop_) return;
+      id = queue_.front();
+      queue_.erase(queue_.begin());
+      BagJobRecord& record = records_.at(id);
+      record.status = BagJobStatus::kRunning;
+      scratch = record;  // run on a copy; the store stays consistent meanwhile
+    }
+    execute_into_store(std::move(scratch));
+  }
+}
+
+std::optional<BagJobRecord> BagJobQueue::get(std::uint64_t id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = records_.find(id);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+BagJobQueue::Page BagJobQueue::list(std::optional<BagJobStatus> filter, std::size_t limit,
+                                    std::size_t offset) const {
+  Page page;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [id, record] : records_) {  // std::map: id-ascending
+    if (filter && record.status != *filter) continue;
+    if (page.total >= offset && page.jobs.size() < limit) page.jobs.push_back(record);
+    ++page.total;
+  }
+  return page;
+}
+
+void BagJobQueue::for_each(std::optional<BagJobStatus> filter,
+                           const std::function<void(const BagJobRecord&)>& fn) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [id, record] : records_) {  // std::map: id-ascending
+    if (filter && record.status != *filter) continue;
+    fn(record);
+  }
+}
+
+bool BagJobQueue::wait(std::uint64_t id, double timeout_seconds) const {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(timeout_seconds));
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Ids are assigned from next_id_ and the store is append-only, so an id
+  // outside [1, next_id_) can never appear — fail fast instead of holding
+  // the caller for the whole timeout.
+  if (id == 0 || id >= next_id_) return false;
+  return done_cv_.wait_until(lock, deadline, [&] {
+    const auto it = records_.find(id);
+    return it != records_.end() && (it->second.status == BagJobStatus::kDone ||
+                                    it->second.status == BagJobStatus::kFailed);
+  });
+}
+
+std::size_t BagJobQueue::done_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t done = 0;
+  for (const auto& [id, record] : records_) {
+    if (record.status == BagJobStatus::kDone) ++done;
+  }
+  return done;
+}
+
+}  // namespace preempt::api

@@ -1,0 +1,121 @@
+// Asynchronous bag-of-jobs execution for the controller.
+//
+// POST /v1/bags no longer runs the discrete-event simulation inside the HTTP
+// handler: submissions become job resources (queued -> running -> done |
+// failed) executed by a fixed worker pool, so the request path stays
+// O(microseconds) while bags — including multi-replication Monte-Carlo runs
+// fanned out over src/mc — burn CPU in the background. The store keeps every
+// record for the life of the daemon and answers paginated, status-filtered
+// listings for GET /v1/bags.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mc/accumulator.hpp"
+#include "sim/service.hpp"
+
+namespace preempt::api {
+
+enum class BagJobStatus { kQueued, kRunning, kDone, kFailed };
+
+std::string to_string(BagJobStatus status);
+/// Parse a status filter ("queued"/"running"/"done"/"failed"); nullopt on
+/// anything else.
+std::optional<BagJobStatus> bag_job_status_from_string(const std::string& text);
+
+/// A validated bag submission (the daemon parses/validates the JSON body
+/// before queueing, so workers never see malformed input).
+struct BagJobSpec {
+  std::string app = "nanoconfinement";
+  std::size_t jobs = 50;
+  std::size_t vms = 16;
+  std::uint64_t seed = 42;
+  sim::ReusePolicyKind policy = sim::ReusePolicyKind::kModelDriven;
+  std::string policy_name = "model";
+  std::size_t replications = 1;  ///< > 1 fans out over the mc engine
+};
+
+/// One job resource. `report` is the representative (first-replication)
+/// simulation outcome; `metrics` carries mean/std_error/ci95 per headline
+/// metric when replications > 1.
+struct BagJobRecord {
+  std::uint64_t id = 0;
+  BagJobStatus status = BagJobStatus::kQueued;
+  BagJobSpec spec;
+  sim::ServiceReport report;
+  std::vector<mc::MetricSummary> metrics;
+  std::string error;  ///< set when status == kFailed
+};
+
+class BagJobQueue {
+ public:
+  /// Executor: fills record.report (and record.metrics for replicated runs)
+  /// or throws; runs on a worker thread without the store lock held.
+  using Executor = std::function<void(BagJobRecord& record)>;
+
+  BagJobQueue(std::size_t workers, Executor executor);
+  /// Joins the workers after their in-flight job (if any); queued jobs that
+  /// never started are abandoned, not drained.
+  ~BagJobQueue();
+  BagJobQueue(const BagJobQueue&) = delete;
+  BagJobQueue& operator=(const BagJobQueue&) = delete;
+
+  /// Enqueue a validated spec; returns the new job id immediately.
+  std::uint64_t submit(BagJobSpec spec);
+
+  /// Execute a spec synchronously on the calling thread (the legacy
+  /// /api/bags path): the job is stored and listed like any other record
+  /// but never touches the worker queue, so a synchronous caller cannot be
+  /// starved by someone else's queued backlog. Returns the terminal record.
+  BagJobRecord run_inline(BagJobSpec spec);
+
+  /// Snapshot of one record; nullopt for unknown ids.
+  std::optional<BagJobRecord> get(std::uint64_t id) const;
+
+  struct Page {
+    std::vector<BagJobRecord> jobs;  ///< id-ascending slice
+    std::size_t total = 0;           ///< records matching the filter
+  };
+  /// Status-filtered, offset/limit-paginated listing (ids ascending).
+  Page list(std::optional<BagJobStatus> filter, std::size_t limit, std::size_t offset) const;
+
+  /// Visit matching records in id order without copying them out of the
+  /// store. `fn` runs under the store lock — keep it cheap (project a few
+  /// fields), or every concurrent submit/get/wait stalls behind it.
+  void for_each(std::optional<BagJobStatus> filter,
+                const std::function<void(const BagJobRecord&)>& fn) const;
+
+  /// Block until the job reaches done/failed; false on timeout or unknown id.
+  bool wait(std::uint64_t id, double timeout_seconds) const;
+
+  std::size_t worker_count() const noexcept { return workers_.size(); }
+  /// Jobs that finished successfully since construction.
+  std::size_t done_count() const;
+
+ private:
+  void worker_loop();
+  /// Run the executor on `scratch` (no lock held) and write the terminal
+  /// status/report back into the store; returns the stored record. Shared by
+  /// the workers and run_inline.
+  BagJobRecord execute_into_store(BagJobRecord scratch);
+
+  Executor executor_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;            ///< queue_ / stop_ changes
+  mutable std::condition_variable done_cv_;    ///< terminal status changes
+  std::map<std::uint64_t, BagJobRecord> records_;
+  std::vector<std::uint64_t> queue_;           ///< FIFO of queued ids
+  std::uint64_t next_id_ = 1;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace preempt::api

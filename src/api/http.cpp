@@ -4,9 +4,21 @@
 #include <cctype>
 #include <stdexcept>
 
+#include "common/json.hpp"
 #include "common/string_util.hpp"
 
 namespace preempt::api {
+
+HttpResponse error_envelope(int status, const std::string& code, const std::string& message) {
+  // Through the JSON serializer, not hand-rolled escaping: messages carry
+  // exception text with arbitrary characters.
+  JsonObject envelope;
+  envelope.emplace_back("code", code);
+  envelope.emplace_back("message", message);
+  JsonObject body;
+  body.emplace_back("error", JsonValue(std::move(envelope)));
+  return HttpResponse::json(status, JsonValue(std::move(body)).dump());
+}
 
 std::string HttpRequest::path() const {
   const auto q = target.find('?');
@@ -46,10 +58,12 @@ std::string reason_for(int status) {
   switch (status) {
     case 200: return "OK";
     case 201: return "Created";
+    case 202: return "Accepted";
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
     default: return "Unknown";
   }
 }

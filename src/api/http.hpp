@@ -42,6 +42,11 @@ struct HttpResponse {
   static HttpResponse method_not_allowed();
 };
 
+/// Build the standardized `{"error":{"code","message"}}` envelope response.
+/// Lives at the http layer so both the router and the raw server's own
+/// exception fallback produce the identical shape.
+HttpResponse error_envelope(int status, const std::string& code, const std::string& message);
+
 /// Incremental request parser: feed() bytes until complete() or error().
 class HttpRequestParser {
  public:

@@ -16,6 +16,8 @@ HttpServer::~HttpServer() { stop(); }
 void HttpServer::start(HttpHandler handler, Options options) {
   PREEMPT_REQUIRE(handler != nullptr, "http server needs a handler");
   PREEMPT_REQUIRE(!running_.load(), "http server already running");
+  PREEMPT_REQUIRE(options.worker_threads >= 1, "http server needs at least one worker");
+  PREEMPT_REQUIRE(options.max_pending_connections >= 1, "pending-connection cap must be >= 1");
   handler_ = std::move(handler);
   options_ = options;
 
@@ -46,14 +48,24 @@ void HttpServer::start(HttpHandler handler, Options options) {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
 
+  connections_served_.store(0);
+  draining_ = false;  // no threads yet, safe to write unlocked
   running_.store(true);
+  workers_.reserve(options_.worker_threads);
+  for (std::size_t i = 0; i < options_.worker_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
 void HttpServer::stop() {
   if (!running_.exchange(false)) {
-    // Not running: still join a finished accept thread if present.
+    // Not running: still join finished threads if present.
     if (accept_thread_.joinable()) accept_thread_.join();
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+    workers_.clear();
     return;
   }
   // shutdown() unblocks accept() so the loop observes running_ == false.
@@ -61,14 +73,21 @@ void HttpServer::stop() {
   ::close(listen_fd_);
   listen_fd_ = -1;
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> workers;
+  // Workers exit on draining_, not running_: the accept thread can push one
+  // last fd after the running_ flip, so a worker keying off running_ could
+  // exit with that fd stranded in pending_. draining_ is set only after the
+  // accept join (nothing can enqueue anymore) and written under the queue
+  // mutex, so no worker can miss it between its predicate check and wait()
+  // — after these joins every accepted connection has been served.
   {
-    const std::lock_guard<std::mutex> lock(workers_mutex_);
-    workers.swap(workers_);
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    draining_ = true;
   }
-  for (auto& w : workers) {
+  queue_cv_.notify_all();
+  for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
+  workers_.clear();
 }
 
 void HttpServer::accept_loop() {
@@ -80,8 +99,49 @@ void HttpServer::accept_loop() {
     }
     const timeval tv{options_.recv_timeout_seconds, 0};
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    const std::lock_guard<std::mutex> lock(workers_mutex_);
-    workers_.emplace_back([this, fd] { handle_connection(fd); });
+    bool shed = false;
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (pending_.size() >= options_.max_pending_connections) {
+        shed = true;
+      } else {
+        pending_.push_back(fd);
+      }
+    }
+    if (shed) {
+      // Overload: refuse outright rather than queue without bound. Same
+      // shutdown+drain close sequence as handle_connection — closing with
+      // unread request bytes pending would RST and eat the 503 — but with a
+      // much shorter recv bound: this runs on the (only) accept thread, so a
+      // client that connected without sending anything must not stall new
+      // accepts for the full recv_timeout_seconds.
+      const timeval shed_tv{0, 100 * 1000};  // 100ms
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &shed_tv, sizeof(shed_tv));
+      static const std::string kBusy =
+          error_envelope(503, "overloaded", "server busy").serialize();
+      (void)::send(fd, kBusy.data(), kBusy.size(), MSG_NOSIGNAL);
+      ::shutdown(fd, SHUT_WR);
+      char drain[1024];
+      (void)::recv(fd, drain, sizeof(drain), 0);
+      ::close(fd);
+      PREEMPT_LOG_WARN << "http server shed a connection (pending queue full)";
+      continue;
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void HttpServer::worker_loop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return draining_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // draining and fully drained
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    handle_connection(fd);
   }
 }
 
@@ -108,13 +168,14 @@ void HttpServer::handle_connection(int fd) {
     }
     try {
       response = handler_(parser.request());
-    } catch (const Error& e) {
-      response = HttpResponse::json(500, std::string("{\"error\":\"") + e.what() + "\"}");
     } catch (const std::exception& e) {
-      response = HttpResponse::json(500, std::string("{\"error\":\"") + e.what() + "\"}");
+      response = error_envelope(500, "internal", e.what());
     }
   }
 
+  // Count before the response hits the wire so a client that has read its
+  // reply always observes the connection as served.
+  connections_served_.fetch_add(1);
   const std::string wire = response.serialize();
   std::size_t sent = 0;
   while (sent < wire.size()) {

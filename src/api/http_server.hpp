@@ -1,13 +1,20 @@
-// A small threaded HTTP/1.1 server over POSIX sockets (loopback only).
+// A small HTTP/1.1 server over POSIX sockets (loopback only) with a fixed
+// worker pool.
 //
-// One accept thread plus one thread per connection — connections are short
-// (Connection: close) and the controller's request rate is human-scale, so
-// the simple model is the right one. Binding to port 0 picks an ephemeral
-// port, reported by port(); tests use that to avoid collisions.
+// One accept thread feeds accepted connections into a bounded queue drained
+// by `worker_threads` long-lived workers — the thread count is a constant of
+// the configuration, not of traffic, so a burst of requests can no longer
+// grow the process thread-by-thread (the old thread-per-connection model
+// also never reaped finished threads). When the pending queue is full the
+// connection is refused with a 503 so overload degrades loudly instead of
+// queueing without bound. Binding to port 0 picks an ephemeral port,
+// reported by port(); tests use that to avoid collisions.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -17,15 +24,17 @@
 
 namespace preempt::api {
 
-/// Request handler: must be thread-safe (called from connection threads).
+/// Request handler: must be thread-safe (called from pool workers).
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
 
 class HttpServer {
  public:
   struct Options {
-    std::uint16_t port = 0;       ///< 0 = ephemeral
+    std::uint16_t port = 0;        ///< 0 = ephemeral
     int backlog = 16;
-    int recv_timeout_seconds = 5; ///< drop connections idle past this
+    int recv_timeout_seconds = 5;  ///< drop connections idle past this
+    std::size_t worker_threads = 4;
+    std::size_t max_pending_connections = 256;  ///< accepted-but-unserved cap
   };
 
   HttpServer() = default;
@@ -33,7 +42,7 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Bind, listen and start serving `handler` on a background thread.
+  /// Bind, listen and start serving `handler` on the worker pool.
   /// Throws IoError when the socket cannot be set up.
   void start(HttpHandler handler, Options options);
   void start(HttpHandler handler) { start(std::move(handler), Options{}); }
@@ -43,11 +52,19 @@ class HttpServer {
 
   bool running() const noexcept { return running_.load(); }
 
-  /// Stop accepting, close the listener and join all threads. Idempotent.
+  /// Size of the fixed worker pool (valid after start(); constant until
+  /// stop() — the regression guard against per-connection thread growth).
+  std::size_t worker_threads() const noexcept { return workers_.size(); }
+
+  /// Connections fully served since start().
+  std::uint64_t connections_served() const noexcept { return connections_served_.load(); }
+
+  /// Stop accepting, close the listener, drain and join the pool. Idempotent.
   void stop();
 
  private:
   void accept_loop();
+  void worker_loop();
   void handle_connection(int fd);
 
   HttpHandler handler_;
@@ -55,9 +72,16 @@ class HttpServer {
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> connections_served_{0};
   std::thread accept_thread_;
-  std::mutex workers_mutex_;
   std::vector<std::thread> workers_;
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  ///< accepted fds awaiting a worker
+  /// Guarded by queue_mutex_. Set by stop() after the accept thread is
+  /// joined: workers must not exit on the running_ flip alone — the accept
+  /// thread can still push one final connection after it.
+  bool draining_ = false;
 };
 
 }  // namespace preempt::api

@@ -1,0 +1,234 @@
+#include "api/router.hpp"
+
+#include <atomic>
+#include <charconv>
+#include <chrono>
+#include <memory>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace preempt::api {
+
+const std::string& RouteContext::param(const std::string& name) const {
+  const auto it = params.find(name);
+  PREEMPT_REQUIRE(it != params.end(), "route " + route + " captures no parameter '" + name + "'");
+  return it->second;
+}
+
+bool RouteContext::param_id(const std::string& name, std::uint64_t& out) const {
+  const std::string& text = param(name);
+  if (text.empty()) return false;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+HttpResponse invoke_handler(const RouteHandler& handler, RouteContext& ctx) {
+  try {
+    return handler(ctx);
+  } catch (const InvalidArgument& e) {
+    return error_envelope(400, "invalid_argument", e.what());
+  } catch (const IoError& e) {
+    return error_envelope(400, "bad_payload", e.what());
+  } catch (const std::exception& e) {
+    return error_envelope(500, "internal", e.what());
+  }
+}
+
+Router::Router() : counters_(1) {}  // slot 0 = the (unmatched) aggregate
+
+std::vector<std::string> Router::split_segments(const std::string& path) {
+  std::vector<std::string> out;
+  std::size_t pos = 1;  // skip the leading '/'
+  while (pos <= path.size()) {
+    std::size_t slash = path.find('/', pos);
+    if (slash == std::string::npos) slash = path.size();
+    out.push_back(path.substr(pos, slash - pos));
+    pos = slash + 1;
+  }
+  return out;
+}
+
+Router& Router::add(const std::string& method, const std::string& pattern, RouteHandler handler) {
+  PREEMPT_REQUIRE(!pattern.empty() && pattern.front() == '/',
+                  "route pattern must start with '/': " + pattern);
+  PREEMPT_REQUIRE(handler != nullptr, "route " + pattern + " needs a handler");
+  Route route;
+  route.method = method;
+  route.pattern = pattern;
+  for (const std::string& seg : split_segments(pattern)) {
+    const bool capture = seg.size() >= 2 && seg.front() == '{' && seg.back() == '}';
+    route.segments.push_back(capture ? seg.substr(1, seg.size() - 2) : seg);
+    route.is_capture.push_back(capture);
+    PREEMPT_REQUIRE(!capture || !route.segments.back().empty(),
+                    "empty capture name in pattern " + pattern);
+  }
+  route.handler = std::move(handler);
+  routes_.push_back(std::move(route));
+  counters_.resize(routes_.size() + 1);
+  return *this;
+}
+
+Router& Router::use(Middleware middleware) {
+  PREEMPT_REQUIRE(middleware != nullptr, "null middleware");
+  middlewares_.push_back(std::move(middleware));
+  return *this;
+}
+
+bool Router::match(const Route& route, const std::vector<std::string>& segments,
+                   std::map<std::string, std::string>& params) {
+  if (route.segments.size() != segments.size()) return false;
+  std::map<std::string, std::string> captured;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    if (route.is_capture[i]) {
+      captured[route.segments[i]] = url_decode(segments[i]);
+    } else if (route.segments[i] != segments[i]) {
+      return false;
+    }
+  }
+  params = std::move(captured);
+  return true;
+}
+
+void Router::record(std::size_t slot, double elapsed_ms, int status) const {
+  const std::lock_guard<std::mutex> lock(metrics_mutex_);
+  Counters& c = counters_[slot];
+  ++c.requests;
+  if (status >= 400) ++c.errors;
+  c.total_ms += elapsed_ms;
+  c.max_ms = std::max(c.max_ms, elapsed_ms);
+}
+
+HttpResponse Router::dispatch(const HttpRequest& request) const {
+  const std::vector<std::string> segments = split_segments(request.path());
+
+  // Resolve the route first so middleware (and metrics) see its identity.
+  const Route* matched = nullptr;
+  std::size_t slot = 0;  // 0 = unmatched aggregate; route i lives in slot i+1
+  std::map<std::string, std::string> params;
+  std::set<std::string> allowed;  // methods of path-matching routes
+  for (std::size_t i = 0; i < routes_.size(); ++i) {
+    std::map<std::string, std::string> p;
+    if (!match(routes_[i], segments, p)) continue;
+    allowed.insert(routes_[i].method);
+    if (matched == nullptr && routes_[i].method == request.method) {
+      matched = &routes_[i];
+      slot = i + 1;
+      params = std::move(p);
+    }
+  }
+
+  RouteContext ctx;
+  ctx.request = &request;
+  ctx.params = std::move(params);
+  ctx.route = matched != nullptr ? matched->pattern : "(unmatched)";
+
+  // Exceptions are translated to envelopes *inside* the terminal so the
+  // middleware chain still decorates (and logs) errored responses exactly
+  // like returned ones.
+  NextHandler terminal = [&]() -> HttpResponse {
+    if (matched != nullptr) return invoke_handler(matched->handler, ctx);
+    if (!allowed.empty()) {
+      std::string allow;
+      for (const std::string& m : allowed) allow += (allow.empty() ? "" : ", ") + m;
+      HttpResponse r = error_envelope(405, "method_not_allowed",
+                                      request.method + " not supported by " + request.path());
+      r.headers["allow"] = allow;
+      return r;
+    }
+    return error_envelope(404, "not_found", "no route for " + request.path());
+  };
+
+  // Wrap middlewares inside-out so the first registered runs outermost.
+  NextHandler chain = std::move(terminal);
+  for (auto it = middlewares_.rbegin(); it != middlewares_.rend(); ++it) {
+    const Middleware& mw = *it;
+    chain = [&mw, &ctx, inner = std::move(chain)]() { return mw(ctx, inner); };
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  HttpResponse response;
+  try {
+    response = chain();
+  } catch (const std::exception& e) {
+    // Backstop for middleware bugs; handler exceptions never reach here.
+    response = error_envelope(500, "internal", e.what());
+  }
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - started)
+          .count();
+  record(slot, elapsed_ms, response.status);
+  if (!ctx.request_id.empty()) response.headers["x-request-id"] = ctx.request_id;
+  return response;
+}
+
+std::vector<RouteMetrics> Router::metrics() const {
+  std::vector<RouteMetrics> out;
+  out.reserve(routes_.size() + 1);
+  const std::lock_guard<std::mutex> lock(metrics_mutex_);
+  for (std::size_t i = 0; i < routes_.size(); ++i) {
+    RouteMetrics m;
+    m.method = routes_[i].method;
+    m.pattern = routes_[i].pattern;
+    m.requests = counters_[i + 1].requests;
+    m.errors = counters_[i + 1].errors;
+    m.total_ms = counters_[i + 1].total_ms;
+    m.max_ms = counters_[i + 1].max_ms;
+    out.push_back(std::move(m));
+  }
+  RouteMetrics unmatched;
+  unmatched.method = "*";
+  unmatched.pattern = "(unmatched)";
+  unmatched.requests = counters_[0].requests;
+  unmatched.errors = counters_[0].errors;
+  unmatched.total_ms = counters_[0].total_ms;
+  unmatched.max_ms = counters_[0].max_ms;
+  out.push_back(std::move(unmatched));
+  return out;
+}
+
+JsonValue Router::metrics_json() const {
+  JsonArray rows;
+  std::uint64_t total = 0;
+  for (const RouteMetrics& m : metrics()) {
+    if (m.pattern == "(unmatched)" && m.requests == 0) continue;
+    total += m.requests;
+    JsonObject row;
+    row.emplace_back("method", m.method);
+    row.emplace_back("route", m.pattern);
+    row.emplace_back("requests", m.requests);
+    row.emplace_back("errors", m.errors);
+    row.emplace_back("mean_latency_ms", m.mean_ms());
+    row.emplace_back("max_latency_ms", m.max_ms);
+    rows.emplace_back(std::move(row));
+  }
+  JsonObject obj;
+  obj.emplace_back("requests_total", total);
+  obj.emplace_back("routes", std::move(rows));
+  return JsonValue(std::move(obj));
+}
+
+Middleware request_id_middleware() {
+  // Process-wide monotonic ids; good enough for correlating loopback logs.
+  auto counter = std::make_shared<std::atomic<std::uint64_t>>(0);
+  return [counter](RouteContext& ctx, const NextHandler& next) {
+    const auto it = ctx.req().headers.find("x-request-id");
+    ctx.request_id = it != ctx.req().headers.end() && !it->second.empty()
+                         ? it->second
+                         : "req-" + std::to_string(counter->fetch_add(1) + 1);
+    return next();
+  };
+}
+
+Middleware access_log_middleware() {
+  return [](RouteContext& ctx, const NextHandler& next) {
+    const HttpResponse response = next();
+    PREEMPT_LOG_INFO << ctx.req().method << " " << ctx.req().target << " -> " << response.status
+                     << " route=" << ctx.route
+                     << (ctx.request_id.empty() ? "" : " id=" + ctx.request_id);
+    return response;
+  };
+}
+
+}  // namespace preempt::api

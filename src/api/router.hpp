@@ -1,0 +1,136 @@
+// Versioned REST routing for the controller's HTTP API.
+//
+// A Router owns a table of (method, path pattern) -> handler entries where
+// pattern segments in braces capture path parameters ("/v1/bags/{id}"), plus
+// a middleware chain that wraps every dispatch (request-id stamping, access
+// logging — metrics are built in). Routing errors and handler exceptions are
+// rendered as the standardized JSON error envelope
+//
+//   {"error":{"code":"<machine-readable>","message":"<human-readable>"}}
+//
+// so every non-2xx response on the /v1 surface has the same shape. Dispatch
+// is thread-safe: the route table is immutable after setup (add/use must not
+// race with dispatch) and per-route metrics are guarded by an internal lock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/http.hpp"
+#include "common/json.hpp"
+
+namespace preempt::api {
+
+/// Context handed to a route handler: the raw request plus the decoded path
+/// parameters and the request id assigned by the middleware chain.
+struct RouteContext {
+  const HttpRequest* request = nullptr;
+  std::map<std::string, std::string> params;  ///< path parameters by name
+  std::string route;                          ///< matched pattern, e.g. "/v1/bags/{id}"
+  std::string request_id;                     ///< set by request_id_middleware()
+
+  const HttpRequest& req() const { return *request; }
+  /// Decoded path parameter; throws InvalidArgument when the pattern has no
+  /// such capture (a programming error, not a client error).
+  const std::string& param(const std::string& name) const;
+  /// Path parameter parsed as a non-negative integer id; returns false on
+  /// non-numeric or trailing garbage.
+  bool param_id(const std::string& name, std::uint64_t& out) const;
+};
+
+using RouteHandler = std::function<HttpResponse(RouteContext&)>;
+/// Continuation invoked by middleware to run the rest of the chain.
+using NextHandler = std::function<HttpResponse()>;
+/// Middleware wraps the chain tail; it may inspect/annotate the context,
+/// short-circuit with its own response, or decorate the inner response.
+using Middleware = std::function<HttpResponse(RouteContext&, const NextHandler&)>;
+
+/// Run a handler, translating exceptions into the standard envelope
+/// (InvalidArgument -> 400 invalid_argument, IoError -> 400 bad_payload,
+/// anything else -> 500 internal). Router::dispatch uses this around every
+/// matched handler; wrappers that decorate responses (e.g. deprecation
+/// headers) call it directly so errored responses get decorated too.
+HttpResponse invoke_handler(const RouteHandler& handler, RouteContext& ctx);
+
+/// Snapshot of one route's traffic counters.
+struct RouteMetrics {
+  std::string method;
+  std::string pattern;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;     ///< responses with status >= 400
+  double total_ms = 0.0;        ///< summed handler latency
+  double max_ms = 0.0;
+  double mean_ms() const { return requests > 0 ? total_ms / static_cast<double>(requests) : 0.0; }
+};
+
+class Router {
+ public:
+  Router();
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Register a handler for an exact method + pattern. Patterns are
+  /// slash-separated; a segment spelled "{name}" captures that path segment
+  /// (URL-decoded) as params["name"]. Registration order breaks ties; exact
+  /// patterns should be added before overlapping capture patterns.
+  Router& add(const std::string& method, const std::string& pattern, RouteHandler handler);
+
+  /// Append a middleware; middlewares run in registration order, outermost
+  /// first, around every matched-or-not dispatch.
+  Router& use(Middleware middleware);
+
+  /// Route one request: 404 envelope when no pattern matches the path, 405
+  /// (with an Allow header) when the path matches but the method does not,
+  /// and exception-to-envelope translation for handler errors
+  /// (InvalidArgument/IoError -> 400, anything else -> 500).
+  HttpResponse dispatch(const HttpRequest& request) const;
+
+  /// Per-route traffic counters, in registration order; unmatched requests
+  /// are aggregated under the synthetic pattern "(unmatched)".
+  std::vector<RouteMetrics> metrics() const;
+
+  /// The metrics snapshot as a JSON document for GET /v1/metrics.
+  JsonValue metrics_json() const;
+
+ private:
+  struct Route {
+    std::string method;
+    std::string pattern;
+    std::vector<std::string> segments;  ///< literal text, or capture name
+    std::vector<bool> is_capture;
+    RouteHandler handler;
+  };
+  struct Counters {
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;
+    double total_ms = 0.0;
+    double max_ms = 0.0;
+  };
+
+  static std::vector<std::string> split_segments(const std::string& path);
+  /// Try `route` against pre-split path segments, filling `params` on match.
+  static bool match(const Route& route, const std::vector<std::string>& segments,
+                    std::map<std::string, std::string>& params);
+  void record(std::size_t slot, double elapsed_ms, int status) const;
+
+  std::vector<Route> routes_;
+  std::vector<Middleware> middlewares_;
+  mutable std::mutex metrics_mutex_;
+  /// One slot per route plus a trailing slot for unmatched requests.
+  mutable std::vector<Counters> counters_;
+};
+
+/// Middleware stamping every response with an `x-request-id` header (taken
+/// from the incoming header when present, generated otherwise) and exposing
+/// the id to handlers via RouteContext::request_id.
+Middleware request_id_middleware();
+
+/// Middleware logging one access line per request (method, route, status,
+/// latency) at info level through common/log.
+Middleware access_log_middleware();
+
+}  // namespace preempt::api

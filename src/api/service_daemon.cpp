@@ -1,10 +1,17 @@
 #include "api/service_daemon.hpp"
 
+#include <algorithm>
 #include <charconv>
+#include <cmath>
+#include <limits>
+#include <string>
 
 #include "common/error.hpp"
+#include "common/random.hpp"
+#include "mc/engine.hpp"
 #include "portfolio/optimizer.hpp"
 #include "trace/generator.hpp"
+#include "trace/ground_truth.hpp"
 #include "trace/vm_catalog.hpp"
 
 namespace preempt::api {
@@ -33,11 +40,8 @@ JsonValue model_json(const trace::RegimeKey& key, const core::PreemptionModel& m
   return JsonValue(std::move(obj));
 }
 
-JsonValue report_json(std::uint64_t id, const std::string& app,
-                      const sim::ServiceReport& report) {
-  JsonObject obj;
-  obj.emplace_back("id", id);
-  obj.emplace_back("app", app);
+/// The report metrics, in the (frozen) legacy field order.
+void append_report_fields(JsonObject& obj, const sim::ServiceReport& report) {
   obj.emplace_back("jobs_completed", report.jobs_completed);
   obj.emplace_back("makespan_hours", report.makespan_hours);
   obj.emplace_back("increase_fraction", report.increase_fraction);
@@ -48,12 +52,17 @@ JsonValue report_json(std::uint64_t id, const std::string& app,
   obj.emplace_back("preemptions_total", report.preemptions_total);
   obj.emplace_back("vms_launched", report.vms_launched);
   obj.emplace_back("wasted_hours", report.wasted_hours);
-  return JsonValue(std::move(obj));
 }
 
-}  // namespace
-
-namespace {
+/// Legacy bag payload — byte-compatible with the pre-/v1 API.
+JsonValue report_json(std::uint64_t id, const std::string& app,
+                      const sim::ServiceReport& report) {
+  JsonObject obj;
+  obj.emplace_back("id", id);
+  obj.emplace_back("app", app);
+  append_report_fields(obj, report);
+  return JsonValue(std::move(obj));
+}
 
 trace::Dataset bootstrap_study(const ServiceDaemon::Options& options) {
   // Bootstrap the per-regime models from a synthetic measurement study, as
@@ -70,6 +79,61 @@ portfolio::MarketCatalog::Options catalog_options(const ServiceDaemon::Options& 
   return out;
 }
 
+std::optional<sim::Workload> find_workload(const std::string& app) {
+  for (const auto& w : sim::all_workloads()) {
+    if (w.name == app) return w;
+  }
+  return std::nullopt;
+}
+
+/// Client-input check: clean message only (no file:line prefix — that is for
+/// programmer-facing preconditions, not 400 bodies).
+void require_arg(bool cond, const std::string& message) {
+  if (!cond) throw InvalidArgument(message);
+}
+
+/// Strict double parse for a query token: the whole token must be consumed
+/// and the value finite — "5garbage", "nan" and "inf" all 400 instead of
+/// leaking into downstream math.
+double parse_query_double(const std::string& text, const char* name) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    throw InvalidArgument(std::string(name) + " must be a number");
+  }
+  require_arg(consumed == text.size() && std::isfinite(value),
+              std::string(name) + " must be a finite number");
+  return value;
+}
+
+double query_number(const HttpRequest& request, const char* name, double fallback,
+                    const JsonValue& body) {
+  if (const auto q = request.query(name)) return parse_query_double(*q, name);
+  return body.number_or(name, fallback);
+}
+
+/// Non-negative integer query parameter with an inclusive upper bound;
+/// rejects (rather than clamps or prefix-parses) anything else.
+std::size_t query_size(const HttpRequest& request, const char* name, std::size_t fallback,
+                       std::size_t max) {
+  const auto q = request.query(name);
+  if (!q) return fallback;
+  std::size_t v = 0;
+  const auto [ptr, ec] = std::from_chars(q->data(), q->data() + q->size(), v);
+  require_arg(ec == std::errc{} && ptr == q->data() + q->size(),
+              std::string(name) + " must be a non-negative integer");
+  require_arg(v <= max, std::string(name) + " must be <= " + std::to_string(max));
+  return v;
+}
+
+JsonValue parse_body(const HttpRequest& request) {
+  const JsonValue body = parse_json(request.body.empty() ? "{}" : request.body);
+  require_arg(body.is_object(), "body must be a JSON object");
+  return body;
+}
+
 }  // namespace
 
 ServiceDaemon::ServiceDaemon(Options options) : ServiceDaemon(options, bootstrap_study(options)) {}
@@ -77,19 +141,77 @@ ServiceDaemon::ServiceDaemon(Options options) : ServiceDaemon(options, bootstrap
 ServiceDaemon::ServiceDaemon(Options options, trace::Dataset bootstrap)
     : options_(options), market_catalog_(bootstrap, catalog_options(options)) {
   registry_ = core::ModelRegistry::fit_from_dataset(bootstrap, options_.horizon_hours);
+  bag_jobs_ = std::make_unique<BagJobQueue>(
+      options_.bag_workers, [this](BagJobRecord& record) { execute_bag(record); });
+  router_.use(request_id_middleware());
+  router_.use(access_log_middleware());
+  build_routes();
 }
+
+ServiceDaemon::~ServiceDaemon() { stop(); }
 
 void ServiceDaemon::start(std::uint16_t port) {
   HttpServer::Options opts;
   opts.port = port;
+  opts.worker_threads = options_.http_workers;
   server_.start([this](const HttpRequest& request) { return handle(request); }, opts);
 }
 
 void ServiceDaemon::stop() { server_.stop(); }
 
-std::size_t ServiceDaemon::bags_completed() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return bags_.size();
+std::size_t ServiceDaemon::bags_completed() const { return bag_jobs_->done_count(); }
+
+bool ServiceDaemon::wait_for_bag(std::uint64_t id, double timeout_seconds) const {
+  return bag_jobs_->wait(id, timeout_seconds);
+}
+
+void ServiceDaemon::build_routes() {
+  auto bind = [this](HttpResponse (ServiceDaemon::*method)(RouteContext&)) {
+    return [this, method](RouteContext& ctx) { return (this->*method)(ctx); };
+  };
+  auto bind_const = [this](HttpResponse (ServiceDaemon::*method)(RouteContext&) const) {
+    return [this, method](RouteContext& ctx) { return (this->*method)(ctx); };
+  };
+  /// Alias wrapper: same handler, plus a deprecation pointer at the /v1
+  /// home — on errored responses too, hence invoke_handler.
+  auto deprecated = [](RouteHandler inner, const std::string& replacement) -> RouteHandler {
+    return [inner = std::move(inner), replacement](RouteContext& ctx) {
+      HttpResponse response = invoke_handler(inner, ctx);
+      response.headers["x-deprecated"] = "use " + replacement;
+      return response;
+    };
+  };
+
+  router_.add("GET", "/healthz", [](RouteContext&) {
+    return HttpResponse::json(200, R"({"status":"ok","service":"preempt-batch"})");
+  });
+
+  // --- the versioned /v1 surface -------------------------------------------
+  router_.add("GET", "/v1/models", bind(&ServiceDaemon::get_model));
+  router_.add("GET", "/v1/lifetimes", bind(&ServiceDaemon::get_lifetime));
+  router_.add("GET", "/v1/decisions/reuse", bind(&ServiceDaemon::get_reuse_decision));
+  router_.add("POST", "/v1/bags", bind(&ServiceDaemon::post_bag_async));
+  router_.add("GET", "/v1/bags", bind_const(&ServiceDaemon::list_bags_v1));
+  router_.add("GET", "/v1/bags/{id}", bind_const(&ServiceDaemon::get_bag_v1));
+  router_.add("POST", "/v1/observations", bind(&ServiceDaemon::post_observations));
+  router_.add("GET", "/v1/portfolio", bind(&ServiceDaemon::portfolio_allocation));
+  router_.add("POST", "/v1/portfolio", bind(&ServiceDaemon::portfolio_allocation));
+  router_.add("GET", "/v1/metrics",
+              [this](RouteContext&) { return HttpResponse::json(200, router_.metrics_json().dump()); });
+
+  // --- deprecated /api/* aliases (byte-compatible success payloads) --------
+  router_.add("GET", "/api/model", deprecated(bind(&ServiceDaemon::get_model), "/v1/models"));
+  router_.add("GET", "/api/lifetime",
+              deprecated(bind(&ServiceDaemon::get_lifetime), "/v1/lifetimes"));
+  router_.add("GET", "/api/decisions/reuse",
+              deprecated(bind(&ServiceDaemon::get_reuse_decision), "/v1/decisions/reuse"));
+  router_.add("POST", "/api/bags", deprecated(bind(&ServiceDaemon::post_bag_legacy), "/v1/bags"));
+  router_.add("GET", "/api/bags",
+              deprecated(bind_const(&ServiceDaemon::list_bags_legacy), "/v1/bags"));
+  router_.add("GET", "/api/bags/{id}",
+              deprecated(bind_const(&ServiceDaemon::get_bag_legacy), "/v1/bags/{id}"));
+  router_.add("POST", "/api/lifetimes",
+              deprecated(bind(&ServiceDaemon::post_observations), "/v1/observations"));
 }
 
 trace::RegimeKey ServiceDaemon::parse_regime(const HttpRequest& request, const JsonValue* body) {
@@ -103,22 +225,22 @@ trace::RegimeKey ServiceDaemon::parse_regime(const HttpRequest& request, const J
   };
   if (const auto type = field("type")) {
     const auto parsed = trace::vm_type_from_string(*type);
-    PREEMPT_REQUIRE(parsed.has_value(), "unknown vm type '" + *type + "'");
+    require_arg(parsed.has_value(), "unknown vm type '" + *type + "'");
     key.type = *parsed;
   }
   if (const auto zone = field("zone")) {
     const auto parsed = trace::zone_from_string(*zone);
-    PREEMPT_REQUIRE(parsed.has_value(), "unknown zone '" + *zone + "'");
+    require_arg(parsed.has_value(), "unknown zone '" + *zone + "'");
     key.zone = *parsed;
   }
   if (const auto period = field("period")) {
     const auto parsed = trace::day_period_from_string(*period);
-    PREEMPT_REQUIRE(parsed.has_value(), "unknown period '" + *period + "'");
+    require_arg(parsed.has_value(), "unknown period '" + *period + "'");
     key.period = *parsed;
   }
   if (const auto workload = field("workload")) {
     const auto parsed = trace::workload_from_string(*workload);
-    PREEMPT_REQUIRE(parsed.has_value(), "unknown workload '" + *workload + "'");
+    require_arg(parsed.has_value(), "unknown workload '" + *workload + "'");
     key.workload = *parsed;
   }
   return key;
@@ -141,67 +263,15 @@ ServiceDaemon::DriftMonitors& ServiceDaemon::monitors_for(const trace::RegimeKey
   return it->second;
 }
 
-HttpResponse ServiceDaemon::handle(const HttpRequest& request) {
-  try {
-    const std::string path = request.path();
-    if (path == "/healthz") {
-      if (request.method != "GET") return HttpResponse::method_not_allowed();
-      return HttpResponse::json(200, R"({"status":"ok","service":"preempt-batch"})");
-    }
-    if (path == "/api/model") {
-      if (request.method != "GET") return HttpResponse::method_not_allowed();
-      return get_model(request);
-    }
-    if (path == "/api/lifetime") {
-      if (request.method != "GET") return HttpResponse::method_not_allowed();
-      return get_lifetime(request);
-    }
-    if (path == "/api/decisions/reuse") {
-      if (request.method != "GET") return HttpResponse::method_not_allowed();
-      return get_reuse_decision(request);
-    }
-    if (path == "/api/bags") {
-      if (request.method == "POST") return post_bag(request);
-      if (request.method == "GET") return get_bags();
-      return HttpResponse::method_not_allowed();
-    }
-    if (path.rfind("/api/bags/", 0) == 0) {
-      if (request.method != "GET") return HttpResponse::method_not_allowed();
-      const std::string tail = path.substr(std::string("/api/bags/").size());
-      std::uint64_t id = 0;
-      const auto [ptr, ec] = std::from_chars(tail.data(), tail.data() + tail.size(), id);
-      if (ec != std::errc{} || ptr != tail.data() + tail.size()) {
-        return HttpResponse::bad_request("bad bag id");
-      }
-      return get_bag(id);
-    }
-    if (path == "/api/lifetimes") {
-      if (request.method != "POST") return HttpResponse::method_not_allowed();
-      return post_lifetimes(request);
-    }
-    if (path == "/v1/portfolio") {
-      if (request.method != "GET" && request.method != "POST") {
-        return HttpResponse::method_not_allowed();
-      }
-      return portfolio_allocation(request);
-    }
-    return HttpResponse::not_found();
-  } catch (const InvalidArgument& e) {
-    return HttpResponse::bad_request(e.what());
-  } catch (const IoError& e) {
-    return HttpResponse::bad_request(e.what());
-  }
-}
-
-HttpResponse ServiceDaemon::get_model(const HttpRequest& request) {
-  const trace::RegimeKey key = parse_regime(request, nullptr);
+HttpResponse ServiceDaemon::get_model(RouteContext& ctx) {
+  const trace::RegimeKey key = parse_regime(ctx.req(), nullptr);
   const std::lock_guard<std::mutex> lock(mutex_);
   const core::PreemptionModel& model = registry_.lookup(key);
   return HttpResponse::json(200, model_json(key, model).dump());
 }
 
-HttpResponse ServiceDaemon::get_lifetime(const HttpRequest& request) {
-  const trace::RegimeKey key = parse_regime(request, nullptr);
+HttpResponse ServiceDaemon::get_lifetime(RouteContext& ctx) {
+  const trace::RegimeKey key = parse_regime(ctx.req(), nullptr);
   const std::lock_guard<std::mutex> lock(mutex_);
   const core::PreemptionModel& model = registry_.lookup(key);
   JsonObject obj;
@@ -211,21 +281,18 @@ HttpResponse ServiceDaemon::get_lifetime(const HttpRequest& request) {
   return HttpResponse::json(200, JsonValue(std::move(obj)).dump());
 }
 
-HttpResponse ServiceDaemon::get_reuse_decision(const HttpRequest& request) {
-  const trace::RegimeKey key = parse_regime(request, nullptr);
-  const auto age_param = request.query("age");
-  const auto job_param = request.query("job");
+HttpResponse ServiceDaemon::get_reuse_decision(RouteContext& ctx) {
+  const trace::RegimeKey key = parse_regime(ctx.req(), nullptr);
+  const auto age_param = ctx.req().query("age");
+  const auto job_param = ctx.req().query("job");
   if (!age_param || !job_param) {
-    return HttpResponse::bad_request("age and job query parameters are required");
+    return error_envelope(400, "missing_parameter", "age and job query parameters are required");
   }
-  double age = 0.0, job = 0.0;
-  try {
-    age = std::stod(*age_param);
-    job = std::stod(*job_param);
-  } catch (const std::exception&) {
-    return HttpResponse::bad_request("age/job must be numbers");
+  const double age = parse_query_double(*age_param, "age");
+  const double job = parse_query_double(*job_param, "job");
+  if (age < 0.0 || job <= 0.0) {
+    return error_envelope(400, "invalid_argument", "age >= 0 and job > 0 required");
   }
-  if (age < 0.0 || job <= 0.0) return HttpResponse::bad_request("age >= 0 and job > 0 required");
 
   const std::lock_guard<std::mutex> lock(mutex_);
   const core::PreemptionModel& model = registry_.lookup(key);
@@ -241,102 +308,242 @@ HttpResponse ServiceDaemon::get_reuse_decision(const HttpRequest& request) {
   return HttpResponse::json(200, JsonValue(std::move(obj)).dump());
 }
 
-HttpResponse ServiceDaemon::post_bag(const HttpRequest& request) {
-  const JsonValue body = parse_json(request.body.empty() ? "{}" : request.body);
-  if (!body.is_object()) return HttpResponse::bad_request("body must be a JSON object");
+BagJobSpec ServiceDaemon::parse_bag_spec(const JsonValue& body, BagField fields) const {
+  BagJobSpec spec;
+  spec.app = body.string_or("app", "nanoconfinement");
+  require_arg(find_workload(spec.app).has_value(), "unknown app '" + spec.app + "'");
 
-  const std::string app = body.string_or("app", "nanoconfinement");
-  sim::Workload workload;
-  bool found = false;
-  for (const auto& w : sim::all_workloads()) {
-    if (w.name == app) {
-      workload = w;
-      found = true;
-      break;
-    }
-  }
-  if (!found) return HttpResponse::bad_request("unknown app '" + app + "'");
+  const double jobs = body.number_or("jobs", 50);
+  const double vms = body.number_or("vms", 16);
+  require_arg(jobs >= 1 && jobs <= 100000, "jobs must be in 1..100000");
+  require_arg(vms >= 1 && vms <= 4096, "vms must be in 1..4096");
+  spec.jobs = static_cast<std::size_t>(jobs);
+  spec.vms = static_cast<std::size_t>(vms);
+  const double seed = body.number_or("seed", 42);
+  // Range-check before the cast: double -> uint64 is UB out of range, and
+  // doubles are only exact integers up to 2^53 anyway.
+  require_arg(seed >= 0 && seed <= 9007199254740992.0, "seed must be in 0..2^53");
+  spec.seed = static_cast<std::uint64_t>(seed);
 
-  const auto jobs = static_cast<std::size_t>(body.number_or("jobs", 50));
-  const auto vms = static_cast<std::size_t>(body.number_or("vms", 16));
-  if (jobs == 0 || jobs > 100000) return HttpResponse::bad_request("jobs must be in 1..100000");
-  if (vms == 0 || vms > 4096) return HttpResponse::bad_request("vms must be in 1..4096");
-
-  sim::ServiceConfig cfg;
-  cfg.vm_type = workload.vm_type;
-  cfg.cluster_size = vms;
-  cfg.seed = static_cast<std::uint64_t>(body.number_or("seed", 42));
-  const std::string policy = body.string_or("policy", "model");
-  if (policy == "model") {
-    cfg.reuse_policy = sim::ReusePolicyKind::kModelDriven;
-  } else if (policy == "memoryless") {
-    cfg.reuse_policy = sim::ReusePolicyKind::kMemoryless;
-  } else if (policy == "fresh") {
-    cfg.reuse_policy = sim::ReusePolicyKind::kAlwaysFresh;
+  spec.policy_name = body.string_or("policy", "model");
+  if (spec.policy_name == "model") {
+    spec.policy = sim::ReusePolicyKind::kModelDriven;
+  } else if (spec.policy_name == "memoryless") {
+    spec.policy = sim::ReusePolicyKind::kMemoryless;
+  } else if (spec.policy_name == "fresh") {
+    spec.policy = sim::ReusePolicyKind::kAlwaysFresh;
   } else {
-    return HttpResponse::bad_request("unknown policy '" + policy + "'");
+    throw InvalidArgument("unknown policy '" + spec.policy_name + "'");
   }
 
+  if (fields == BagField::kWithReplications) {
+    const double replications = body.number_or("replications", 1);
+    require_arg(replications >= 1 && replications <= 10000,
+                "replications must be in 1..10000");
+    spec.replications = static_cast<std::size_t>(replications);
+  }
+  return spec;
+}
+
+void ServiceDaemon::execute_bag(BagJobRecord& record) {
+  const BagJobSpec& spec = record.spec;
+  const sim::Workload workload = *find_workload(spec.app);  // validated at submit
   const trace::RegimeKey regime{workload.vm_type, trace::Zone::kUsEast1B,
                                 trace::DayPeriod::kDay, trace::WorkloadKind::kBatch};
 
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const core::PreemptionModel& model = registry_.lookup(regime);
-  sim::BatchService service(cfg, trace::ground_truth_distribution(regime).clone(),
-                            model.distribution().clone());
-  sim::BagOfJobs bag;
-  bag.name = app;
-  bag.spec = workload.job;
-  bag.count = jobs;
-  service.submit_bag(bag);
-  const sim::ServiceReport report = service.run();
+  // Clone the distributions under the daemon lock, then simulate without it:
+  // a long bag must not stall the registry for every other endpoint.
+  dist::DistributionPtr ground_truth;
+  dist::DistributionPtr decision_model;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ground_truth = trace::ground_truth_distribution(regime).clone();
+    decision_model = registry_.lookup(regime).distribution().clone();
+  }
 
-  const std::uint64_t id = next_bag_id_++;
-  bags_.push_back({id, app, report});
-  return HttpResponse::json(201, report_json(id, app, report).dump());
+  auto run_once = [&](std::uint64_t seed) {
+    sim::ServiceConfig cfg;
+    cfg.vm_type = workload.vm_type;
+    cfg.cluster_size = spec.vms;
+    cfg.seed = seed;
+    cfg.reuse_policy = spec.policy;
+    sim::BatchService service(cfg, ground_truth->clone(), decision_model->clone());
+    sim::BagOfJobs bag;
+    bag.name = spec.app;
+    bag.spec = workload.job;
+    bag.count = spec.jobs;
+    service.submit_bag(bag);
+    return service.run();
+  };
+
+  if (spec.replications <= 1) {
+    record.report = run_once(spec.seed);
+    return;
+  }
+
+  // Fan the bag over the mc replication engine: per-replication seeds are a
+  // pure function of (bag seed, index), so reports are thread-count
+  // independent; the first replication doubles as the representative report.
+  mc::EngineOptions engine;
+  engine.replications = spec.replications;
+  engine.seed = spec.seed;
+  const mc::ReplicationReport stats = mc::run_replications(
+      engine,
+      {"cost_per_job", "makespan_hours", "cost_reduction_factor", "preemptions", "wasted_hours"},
+      [&](std::size_t replication, Rng& /*rng*/, mc::Recorder& rec) {
+        const sim::ServiceReport r = run_once(substream_seed(spec.seed, replication));
+        rec.record(0, r.cost_per_job);
+        rec.record(1, r.makespan_hours);
+        rec.record(2, r.cost_reduction_factor);
+        rec.record(3, static_cast<double>(r.preemptions));
+        rec.record(4, r.wasted_hours);
+        // Single writer (only index 0), read after run_replications joins —
+        // no synchronization needed beyond the engine's own.
+        if (replication == 0) record.report = r;
+      });
+  record.metrics = stats.metrics;
 }
 
-HttpResponse ServiceDaemon::get_bags() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  JsonArray arr;
-  for (const auto& bag : bags_) {
-    JsonObject summary;
-    summary.emplace_back("id", bag.id);
-    summary.emplace_back("app", bag.app);
-    summary.emplace_back("jobs_completed", bag.report.jobs_completed);
-    summary.emplace_back("cost_reduction_factor", bag.report.cost_reduction_factor);
-    arr.emplace_back(std::move(summary));
+JsonValue ServiceDaemon::job_resource_json(const BagJobRecord& record) const {
+  JsonObject obj;
+  obj.emplace_back("id", record.id);
+  obj.emplace_back("status", to_string(record.status));
+  obj.emplace_back("app", record.spec.app);
+  obj.emplace_back("jobs", record.spec.jobs);
+  obj.emplace_back("vms", record.spec.vms);
+  obj.emplace_back("seed", record.spec.seed);
+  obj.emplace_back("policy", record.spec.policy_name);
+  obj.emplace_back("replications", record.spec.replications);
+  if (record.status == BagJobStatus::kDone) {
+    JsonObject report;
+    append_report_fields(report, record.report);
+    if (!record.metrics.empty()) {
+      report.emplace_back("replications", record.spec.replications);
+      JsonObject metrics;
+      for (const mc::MetricSummary& m : record.metrics) {
+        JsonObject stat;
+        stat.emplace_back("mean", m.mean);
+        stat.emplace_back("std_error", m.std_error);
+        stat.emplace_back("ci95", m.ci95_half);
+        stat.emplace_back("min", m.min);
+        stat.emplace_back("max", m.max);
+        metrics.emplace_back(m.name, std::move(stat));
+      }
+      report.emplace_back("metrics", std::move(metrics));
+    }
+    obj.emplace_back("report", std::move(report));
   }
+  if (record.status == BagJobStatus::kFailed) obj.emplace_back("error", record.error);
+  return JsonValue(std::move(obj));
+}
+
+HttpResponse ServiceDaemon::post_bag_async(RouteContext& ctx) {
+  const BagJobSpec spec = parse_bag_spec(parse_body(ctx.req()));
+  const std::uint64_t id = bag_jobs_->submit(spec);
+  const auto record = bag_jobs_->get(id);
+  PREEMPT_CHECK(record.has_value(), "submitted job vanished");
+  HttpResponse response = HttpResponse::json(202, job_resource_json(*record).dump());
+  response.headers["location"] = "/v1/bags/" + std::to_string(id);
+  return response;
+}
+
+HttpResponse ServiceDaemon::post_bag_legacy(RouteContext& ctx) {
+  // The legacy API predates replicated bags; it ignored unknown body fields,
+  // so a "replications" key must neither validate nor take effect here.
+  BagJobSpec spec = parse_bag_spec(parse_body(ctx.req()), BagField::kLegacy);
+  // Synchronous by contract: run on this connection's worker, never behind
+  // the async queue, so legacy posts cannot starve on queued /v1 bags (nor
+  // tie up HTTP workers waiting on someone else's work).
+  const BagJobRecord record = bag_jobs_->run_inline(std::move(spec));
+  if (record.status == BagJobStatus::kFailed) {
+    return error_envelope(500, "bag_failed", record.error);
+  }
+  return HttpResponse::json(201, report_json(record.id, record.spec.app, record.report).dump());
+}
+
+HttpResponse ServiceDaemon::list_bags_v1(RouteContext& ctx) const {
+  std::optional<BagJobStatus> filter;
+  if (const auto status = ctx.req().query("status")) {
+    filter = bag_job_status_from_string(*status);
+    if (!filter) {
+      return error_envelope(400, "invalid_argument",
+                            "status must be queued|running|done|failed");
+    }
+  }
+  const std::size_t limit = query_size(ctx.req(), "limit", 50, 1000);
+  const std::size_t offset = query_size(ctx.req(), "offset",
+                                        0, std::numeric_limits<std::size_t>::max());
+  const BagJobQueue::Page page = bag_jobs_->list(filter, limit, offset);
+  JsonArray jobs;
+  for (const BagJobRecord& record : page.jobs) jobs.push_back(job_resource_json(record));
+  JsonObject obj;
+  obj.emplace_back("jobs", std::move(jobs));
+  obj.emplace_back("total", page.total);
+  obj.emplace_back("limit", limit);
+  obj.emplace_back("offset", offset);
+  return HttpResponse::json(200, JsonValue(std::move(obj)).dump());
+}
+
+HttpResponse ServiceDaemon::list_bags_legacy(RouteContext&) const {
+  // Legacy semantics: only completed bags exist, summarised in id order.
+  // Project the four summary fields in place — the store is unbounded for
+  // the daemon's lifetime, so deep-copying every record (full report plus
+  // metrics) just to emit a summary would make this O(all-history) copies
+  // under the store lock.
+  JsonArray arr;
+  bag_jobs_->for_each(BagJobStatus::kDone, [&arr](const BagJobRecord& record) {
+    JsonObject summary;
+    summary.emplace_back("id", record.id);
+    summary.emplace_back("app", record.spec.app);
+    summary.emplace_back("jobs_completed", record.report.jobs_completed);
+    summary.emplace_back("cost_reduction_factor", record.report.cost_reduction_factor);
+    arr.emplace_back(std::move(summary));
+  });
   JsonObject obj;
   obj.emplace_back("bags", std::move(arr));
   return HttpResponse::json(200, JsonValue(std::move(obj)).dump());
 }
 
-HttpResponse ServiceDaemon::get_bag(std::uint64_t id) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  for (const auto& bag : bags_) {
-    if (bag.id == id) {
-      return HttpResponse::json(200, report_json(bag.id, bag.app, bag.report).dump());
-    }
+HttpResponse ServiceDaemon::get_bag_v1(RouteContext& ctx) const {
+  std::uint64_t id = 0;
+  if (!ctx.param_id("id", id)) {
+    return error_envelope(400, "invalid_argument", "bad bag id");
   }
-  return HttpResponse::not_found();
+  const auto record = bag_jobs_->get(id);
+  if (!record) return error_envelope(404, "not_found", "no bag job " + std::to_string(id));
+  return HttpResponse::json(200, job_resource_json(*record).dump());
 }
 
-HttpResponse ServiceDaemon::post_lifetimes(const HttpRequest& request) {
-  const JsonValue body = parse_json(request.body.empty() ? "{}" : request.body);
-  if (!body.is_object()) return HttpResponse::bad_request("body must be a JSON object");
+HttpResponse ServiceDaemon::get_bag_legacy(RouteContext& ctx) const {
+  std::uint64_t id = 0;
+  if (!ctx.param_id("id", id)) {
+    return error_envelope(400, "invalid_argument", "bad bag id");
+  }
+  const auto record = bag_jobs_->get(id);
+  // Legacy clients only ever saw finished bags.
+  if (!record || record->status != BagJobStatus::kDone) return HttpResponse::not_found();
+  return HttpResponse::json(200, report_json(record->id, record->spec.app, record->report).dump());
+}
+
+HttpResponse ServiceDaemon::post_observations(RouteContext& ctx) {
+  const JsonValue body = parse_body(ctx.req());
   const JsonValue* lifetimes = body.find("lifetimes");
   if (lifetimes == nullptr || !lifetimes->is_array() || lifetimes->as_array().empty()) {
-    return HttpResponse::bad_request("lifetimes must be a non-empty array of hours");
+    return error_envelope(400, "invalid_argument",
+                          "lifetimes must be a non-empty array of hours");
   }
-  const trace::RegimeKey key = parse_regime(request, &body);
+  const trace::RegimeKey key = parse_regime(ctx.req(), &body);
+  // Validate the whole array before the first observe(): a rejected request
+  // must not leave a partial batch inside the drift monitors.
+  for (const auto& v : lifetimes->as_array()) {
+    if (!v.is_number() || v.as_number() < 0.0) {
+      return error_envelope(400, "invalid_argument", "lifetimes must be non-negative numbers");
+    }
+  }
 
   const std::lock_guard<std::mutex> lock(mutex_);
   DriftMonitors& monitors = monitors_for(key);
   for (const auto& v : lifetimes->as_array()) {
-    if (!v.is_number() || v.as_number() < 0.0) {
-      return HttpResponse::bad_request("lifetimes must be non-negative numbers");
-    }
     monitors.ks.observe(v.as_number());
     monitors.cusum.observe(v.as_number());
   }
@@ -355,27 +562,19 @@ HttpResponse ServiceDaemon::post_lifetimes(const HttpRequest& request) {
   return HttpResponse::json(200, JsonValue(std::move(obj)).dump());
 }
 
-HttpResponse ServiceDaemon::portfolio_allocation(const HttpRequest& request) {
-  const JsonValue body = parse_json(request.body.empty() ? "{}" : request.body);
-  if (!body.is_object()) return HttpResponse::bad_request("body must be a JSON object");
-  auto field = [&](const char* name, double fallback) {
-    if (const auto q = request.query(name)) {
-      try {
-        return std::stod(*q);
-      } catch (const std::exception&) {
-        throw InvalidArgument(std::string(name) + " must be a number");
-      }
-    }
-    return body.number_or(name, fallback);
-  };
+HttpResponse ServiceDaemon::portfolio_allocation(RouteContext& ctx) {
+  const JsonValue body = parse_body(ctx.req());
 
-  const double jobs_raw = field("jobs", 100.0);
-  PREEMPT_REQUIRE(jobs_raw >= 1.0 && jobs_raw <= 1e7, "jobs must be in [1, 1e7]");
+  const double jobs_raw = query_number(ctx.req(), "jobs", 100.0, body);
+  require_arg(jobs_raw >= 1.0 && jobs_raw <= 1e7, "jobs must be in [1, 1e7]");
   portfolio::PortfolioConfig config;
   config.jobs = static_cast<std::size_t>(jobs_raw);
-  config.job_hours = field("job_hours", 0.25);
-  config.risk_bound = field("risk", 0.05);
-  config.correlation_penalty = field("lambda", 0.5);
+  config.job_hours = query_number(ctx.req(), "job_hours", 0.25, body);
+  config.risk_bound = query_number(ctx.req(), "risk", 0.05, body);
+  config.correlation_penalty = query_number(ctx.req(), "lambda", 0.5, body);
+  require_arg(config.job_hours > 0, "job_hours must be > 0");
+  require_arg(config.risk_bound > 0 && config.risk_bound <= 1, "risk must be in (0, 1]");
+  require_arg(config.correlation_penalty >= 0, "lambda must be >= 0");
 
   // No daemon lock: the catalog synchronizes its own fit cache and the
   // optimizer is request-local, so the (expensive) first-use market fits

@@ -2,38 +2,56 @@
 // exposes an HTTP API to end-users. Users submit jobs to the controller via
 // the HTTP API").
 //
-// Endpoints (all JSON):
-//   GET  /healthz                      liveness probe
-//   GET  /api/model?type=&zone=&period=&workload=
-//                                      fitted bathtub parameters for a regime
-//   GET  /api/lifetime?type=&zone=     Eq. 3 expected lifetime for a regime
-//   GET  /api/decisions/reuse?age=&job=&type=&zone=
-//                                      one Sec. 4.2 VM-reuse decision
-//   POST /api/bags                     submit a bag of jobs; runs the batch
-//                                      service simulation and returns the
-//                                      report   {"app","jobs","vms","policy",
-//                                      "seed","checkpointing"}
-//   GET  /api/bags                     all completed bag reports (summaries)
-//   GET  /api/bags/<id>                one full report
-//   POST /api/lifetimes                feed observed lifetimes to the drift
-//                                      monitors {"type","zone","lifetimes":[..]}
-//   GET/POST /v1/portfolio             allocate a bag across the spot-market
-//                                      grid; query or JSON body
-//                                      {"jobs","job_hours","risk","lambda"}
+// The surface is versioned under /v1 and served by a pattern router
+// (src/api/router.hpp) with request-id + access-log middleware, per-route
+// latency/count metrics, and the standardized error envelope
+// {"error":{"code","message"}} on every non-2xx response.
+//
+//   GET  /healthz                        liveness probe
+//   GET  /v1/models?type=&zone=&period=&workload=
+//                                        fitted bathtub parameters for a regime
+//   GET  /v1/lifetimes?type=&zone=       Eq. 3 expected lifetime for a regime
+//   GET  /v1/decisions/reuse?age=&job=&type=&zone=
+//                                        one Sec. 4.2 VM-reuse decision
+//   POST /v1/bags                        submit a bag of jobs; returns 202 plus
+//                                        an async job resource {"id","status"}.
+//                                        Body {"app","jobs","vms","policy",
+//                                        "seed","replications"}; replications>1
+//                                        fans the bag over the src/mc engine
+//                                        and reports std_error/ci95 per metric
+//   GET  /v1/bags?status=&limit=&offset= paginated job listing
+//   GET  /v1/bags/{id}                   one job resource (report when done)
+//   POST /v1/observations                feed observed lifetimes to the drift
+//                                        monitors {"type","zone","lifetimes":[..]}
+//   GET/POST /v1/portfolio               allocate a bag across the spot-market
+//                                        grid; query or JSON body
+//                                        {"jobs","job_hours","risk","lambda"}
+//   GET  /v1/metrics                     per-route request counts and latency
+//
+// Deprecated aliases (byte-compatible success payloads, kept for pre-/v1
+// clients; responses carry an `x-deprecated` header pointing at the
+// replacement): GET /api/model, GET /api/lifetime, GET /api/decisions/reuse,
+// POST /api/bags (synchronous by contract: runs the bag inline on the
+// connection worker and answers 201 with the legacy report), GET /api/bags,
+// GET /api/bags/{id}, POST /api/lifetimes.
 //
 // The daemon owns one ModelRegistry bootstrapped from a synthetic study
 // (standing in for the paper's Sec. 3.1 campaign) plus per-regime drift
-// monitors. Handlers are synchronous: a POST /api/bags call runs the DES to
-// completion before responding — bags simulate in milliseconds.
+// monitors. Bag simulations run on the BagJobQueue worker pool — the HTTP
+// request path never executes the DES inline, and the daemon mutex guards
+// only registry/drift state, never a running simulation.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
-#include <vector>
+#include <optional>
 
+#include "api/bag_jobs.hpp"
 #include "api/http.hpp"
 #include "api/http_server.hpp"
+#include "api/router.hpp"
 #include "common/json.hpp"
 #include "core/cusum.hpp"
 #include "core/drift.hpp"
@@ -49,21 +67,29 @@ class ServiceDaemon {
     std::uint64_t bootstrap_seed = 2019;  ///< seed of the synthetic Sec. 3.1 study
     std::size_t bootstrap_vms_per_cell = 44;
     double horizon_hours = 24.0;
+    std::size_t bag_workers = 2;   ///< BagJobQueue simulation workers
+    std::size_t http_workers = 4;  ///< HttpServer connection workers
   };
 
   explicit ServiceDaemon(Options options);
   ServiceDaemon() : ServiceDaemon(Options{}) {}
+  ~ServiceDaemon();
 
   /// Route one request (thread-safe); usable directly in tests without a
   /// socket in the loop.
-  HttpResponse handle(const HttpRequest& request);
+  HttpResponse handle(const HttpRequest& request) { return router_.dispatch(request); }
 
   /// Serve over HTTP on loopback; port 0 picks an ephemeral port.
   void start(std::uint16_t port = 0);
   std::uint16_t port() const noexcept { return server_.port(); }
   void stop();
 
+  /// Bags that finished successfully (async jobs in status "done").
   std::size_t bags_completed() const;
+  /// Block until bag job `id` is done/failed; false on timeout/unknown id.
+  bool wait_for_bag(std::uint64_t id, double timeout_seconds) const;
+
+  const Router& router() const noexcept { return router_; }
 
  private:
   struct DriftMonitors {
@@ -71,34 +97,43 @@ class ServiceDaemon {
     core::CusumDetector cusum;
   };
 
-  HttpResponse get_model(const HttpRequest& request);
-  HttpResponse get_lifetime(const HttpRequest& request);
-  HttpResponse get_reuse_decision(const HttpRequest& request);
-  HttpResponse post_bag(const HttpRequest& request);
-  HttpResponse get_bags() const;
-  HttpResponse get_bag(std::uint64_t id) const;
-  HttpResponse post_lifetimes(const HttpRequest& request);
-  HttpResponse portfolio_allocation(const HttpRequest& request);
+  void build_routes();
+  /// Which bag-spec fields a submission body may carry: the legacy /api/bags
+  /// contract ignores "replications" (it ignored all unknown fields).
+  enum class BagField { kWithReplications, kLegacy };
+  /// Parse + validate a bag submission body; throws InvalidArgument.
+  BagJobSpec parse_bag_spec(const JsonValue& body,
+                            BagField fields = BagField::kWithReplications) const;
+  /// Run one bag job (BagJobQueue executor; replications > 1 via src/mc).
+  void execute_bag(BagJobRecord& record);
+
+  HttpResponse get_model(RouteContext& ctx);
+  HttpResponse get_lifetime(RouteContext& ctx);
+  HttpResponse get_reuse_decision(RouteContext& ctx);
+  HttpResponse post_bag_async(RouteContext& ctx);
+  HttpResponse post_bag_legacy(RouteContext& ctx);
+  HttpResponse list_bags_v1(RouteContext& ctx) const;
+  HttpResponse list_bags_legacy(RouteContext& ctx) const;
+  HttpResponse get_bag_v1(RouteContext& ctx) const;
+  HttpResponse get_bag_legacy(RouteContext& ctx) const;
+  HttpResponse post_observations(RouteContext& ctx);
+  HttpResponse portfolio_allocation(RouteContext& ctx);
 
   /// Regime from query parameters / JSON body fields (missing -> defaults).
   static trace::RegimeKey parse_regime(const HttpRequest& request, const JsonValue* body);
   ServiceDaemon(Options options, trace::Dataset bootstrap);
   DriftMonitors& monitors_for(const trace::RegimeKey& key);
+  JsonValue job_resource_json(const BagJobRecord& record) const;
 
   Options options_;
-  mutable std::mutex mutex_;
+  mutable std::mutex mutex_;  ///< guards registry_ lookups and drift_
   core::ModelRegistry registry_;
   /// Spot-market grid over the bootstrap observations; market fits are
   /// lazy, so untouched markets cost nothing until /v1/portfolio is hit.
   portfolio::MarketCatalog market_catalog_;
   std::map<std::string, DriftMonitors> drift_;  ///< keyed by regime string
-  struct BagRecord {
-    std::uint64_t id;
-    std::string app;
-    sim::ServiceReport report;
-  };
-  std::vector<BagRecord> bags_;
-  std::uint64_t next_bag_id_ = 1;
+  std::unique_ptr<BagJobQueue> bag_jobs_;
+  Router router_;
   HttpServer server_;
 };
 

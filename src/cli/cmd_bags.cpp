@@ -1,0 +1,118 @@
+// `preempt bags` — drive a running controller daemon's async /v1/bags API
+// through the typed ApiClient: submit a bag (optionally waiting for the
+// report), poll one job, or list jobs with the server-side pagination
+// filters. Pairs with `preempt-batchd`:
+//
+//   preempt-batchd --port 8080 &
+//   preempt bags --port 8080 --app shapes --jobs 50 --vms 16 --wait
+//   preempt bags --port 8080 --list --status done --limit 10
+//   preempt bags --port 8080 --id 1
+#include <iomanip>
+#include <ostream>
+
+#include "api/api_client.hpp"
+#include "cli/cli_util.hpp"
+#include "cli/commands.hpp"
+
+namespace preempt::cli {
+
+namespace {
+
+void print_job(const api::BagJobInfo& job, std::ostream& out) {
+  out << "job " << job.id << ": " << job.status << "  app=" << job.app << " jobs=" << job.jobs
+      << " vms=" << job.vms << " policy=" << job.policy << " seed=" << job.seed;
+  if (job.replications > 1) out << " replications=" << job.replications;
+  out << "\n";
+  if (job.status == "failed") {
+    out << "  error: " << job.error << "\n";
+    return;
+  }
+  if (!job.report) return;
+  const api::BagReport& r = *job.report;
+  out << "  jobs completed        " << r.jobs_completed << "\n";
+  out << "  makespan              " << r.makespan_hours << " h (+"
+      << 100.0 * r.increase_fraction << "% vs ideal)\n";
+  out << "  cost per job          $" << r.cost_per_job << " (on-demand $"
+      << r.on_demand_cost_per_job << ", " << r.cost_reduction_factor << "x cheaper)\n";
+  out << "  preemptions           " << r.preemptions << " hitting jobs, " << r.preemptions_total
+      << " total\n";
+  out << "  wasted                " << r.wasted_hours << " h across " << r.vms_launched
+      << " VM launches\n";
+  for (const auto& [name, stat] : r.metrics) {
+    out << "  " << std::left << std::setw(22) << name << std::right << stat.mean << " +/- "
+        << stat.std_error << " (95% CI half-width " << stat.ci95 << ")\n";
+  }
+}
+
+}  // namespace
+
+int cmd_bags(const Args& args, std::ostream& out, std::ostream& err) {
+  FlagSet flags("preempt bags");
+  flags.add_int("port", 0, "port of a running preempt-batchd (required)");
+  flags.add_string("app", "nanoconfinement", "workload: nanoconfinement|shapes|lulesh");
+  flags.add_int("jobs", 50, "jobs in the bag");
+  flags.add_int("vms", 16, "cluster size");
+  flags.add_int("seed", 42, "simulation seed");
+  flags.add_string("policy", "model", "reuse policy: model|memoryless|fresh");
+  flags.add_int("replications", 1, "Monte-Carlo replications (>1 adds std_error/ci95)");
+  flags.add_bool("wait", "block until the submitted bag finishes and print the report");
+  flags.add_double("timeout", 120.0, "--wait poll bound (seconds)");
+  flags.add_int("id", 0, "poll one existing job instead of submitting");
+  flags.add_bool("list", "list jobs instead of submitting");
+  flags.add_string("status", "", "--list filter: queued|running|done|failed");
+  flags.add_int("limit", 20, "--list page size");
+  flags.add_int("offset", 0, "--list page offset");
+  if (!args.empty() && (args[0] == "--help" || args[0] == "help")) {
+    out << flags.usage();
+    return 0;
+  }
+  flags.parse(args);
+
+  if (flags.get_int("port") <= 0) {
+    err << "preempt bags: --port of a running preempt-batchd is required\n";
+    return 2;
+  }
+  const api::ApiClient client(static_cast<std::uint16_t>(flags.get_int("port")));
+
+  if (flags.get_bool("list")) {
+    const api::BagPage page =
+        client.list_bags(flags.get_string("status"),
+                         static_cast<std::size_t>(flags.get_int("limit")),
+                         static_cast<std::size_t>(flags.get_int("offset")));
+    out << page.jobs.size() << " of " << page.total << " jobs (offset " << page.offset
+        << "):\n";
+    for (const auto& job : page.jobs) {
+      out << "  " << job.id << "  " << std::left << std::setw(8) << job.status << std::right
+          << job.app << " x" << job.jobs;
+      if (job.report) out << "  " << job.report->cost_reduction_factor << "x vs on-demand";
+      out << "\n";
+    }
+    return 0;
+  }
+
+  if (flags.is_set("id")) {
+    print_job(client.bag(static_cast<std::uint64_t>(flags.get_int("id"))), out);
+    return 0;
+  }
+
+  api::BagSubmission submission;
+  submission.app = flags.get_string("app");
+  submission.jobs = static_cast<std::size_t>(flags.get_int("jobs"));
+  submission.vms = static_cast<std::size_t>(flags.get_int("vms"));
+  submission.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  submission.policy = flags.get_string("policy");
+  submission.replications = static_cast<std::size_t>(flags.get_int("replications"));
+
+  api::BagJobInfo job = client.submit_bag(submission);
+  out << "submitted bag job " << job.id << " (status " << job.status << ")\n";
+  if (flags.get_bool("wait")) {
+    job = client.wait_for_bag(job.id, flags.get_double("timeout"));
+    print_job(job, out);
+    return job.status == "done" ? 0 : 1;
+  }
+  out << "poll it with: preempt bags --port " << flags.get_int("port") << " --id " << job.id
+      << "\n";
+  return 0;
+}
+
+}  // namespace preempt::cli

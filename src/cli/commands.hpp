@@ -13,6 +13,7 @@
 //   simulate    run the batch computing service on a bag of jobs (Sec. 5/6.3)
 //   drift       stream lifetimes through the KS + CUSUM change-point monitors
 //   portfolio   allocate a bag across VmType x Zone x DayPeriod spot markets
+//   bags        submit/poll/list async bag jobs on a running preempt-batchd
 #pragma once
 
 #include <iosfwd>
@@ -31,6 +32,7 @@ int cmd_checkpoint(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_drift(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_portfolio(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_bags(const Args& args, std::ostream& out, std::ostream& err);
 
 /// Top-level usage text (list of subcommands).
 std::string main_usage();

@@ -36,6 +36,19 @@ std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
   return static_cast<std::uint64_t>(m >> 64);
 }
 
+void Rng::uniform_indices(std::uint64_t n, std::span<std::uint64_t> out) noexcept {
+  // Same nearly-divisionless transform as uniform_index, applied per slot on
+  // a local generator copy so the 256-bit state stays in registers for the
+  // whole batch.
+  __extension__ using uint128 = unsigned __int128;
+  Xoshiro256StarStar gen = gen_;
+  for (std::uint64_t& slot : out) {
+    const uint128 m = static_cast<uint128>(gen()) * n;
+    slot = static_cast<std::uint64_t>(m >> 64);
+  }
+  gen_ = gen;
+}
+
 double Rng::exponential(double rate) noexcept {
   // -log(1-U) with U in (0,1): never 0, never log(0).
   return -std::log1p(-uniform()) / rate;

@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace preempt {
@@ -28,6 +29,14 @@ class SplitMix64 {
  private:
   std::uint64_t state_;
 };
+
+/// Seed for the `index`-th independent substream of `seed`: SplitMix64 over
+/// a golden-ratio offset, so parallel replicates get decorrelated streams as
+/// a pure function of (seed, index) — results never depend on thread count.
+/// Shared by the parallel bootstrap and replicated API bag runs.
+inline std::uint64_t substream_seed(std::uint64_t seed, std::uint64_t index) noexcept {
+  return SplitMix64(seed ^ (0x9e3779b97f4a7c15ULL * (index + 1))).next();
+}
 
 /// xoshiro256** 1.0 — all-purpose 64-bit generator with 256-bit state.
 class Xoshiro256StarStar {
@@ -93,6 +102,12 @@ class Rng {
 
   /// Uniform integer in [0, n). n must be > 0.
   std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Fill `out` with uniform integers in [0, n): the batched form of
+  /// uniform_index, consuming the stream in the same order (bit-identical
+  /// to out.size() sequential calls) while keeping the generator state in
+  /// registers across the whole batch. Bootstrap resampling's hot loop.
+  void uniform_indices(std::uint64_t n, std::span<std::uint64_t> out) noexcept;
 
   /// Exponential variate with the given rate (= 1/mean).
   double exponential(double rate) noexcept;

@@ -23,9 +23,13 @@ BootstrapResult bootstrap_parameters(std::span<const double> samples, const Samp
   Rng rng(seed);
   std::vector<std::vector<double>> draws(n_params);
   std::vector<double> resample(samples.size());
+  // One batched index draw per replicate (stream-identical to per-element
+  // uniform_index calls, ~3x fewer generator round-trips).
+  std::vector<std::uint64_t> indices(samples.size());
   std::size_t ok = 0;
   for (std::size_t rep = 0; rep < replicates; ++rep) {
-    for (auto& x : resample) x = samples[rng.uniform_index(samples.size())];
+    rng.uniform_indices(samples.size(), indices);
+    for (std::size_t j = 0; j < samples.size(); ++j) resample[j] = samples[indices[j]];
     try {
       const std::vector<double> p = fitter(resample);
       PREEMPT_CHECK(p.size() == n_params, "fitter changed its parameter count");
@@ -68,12 +72,11 @@ BootstrapResult bootstrap_parameters_parallel(std::span<const double> samples,
   // and the result is independent of scheduling order.
   std::vector<std::vector<double>> replicate_fits(replicates);
   parallel_for(0, replicates, [&](std::size_t rep) {
-    // Stream derived from (seed, rep) via SplitMix64 — deterministic across
-    // thread counts.
-    SplitMix64 mix(seed ^ (0x9e3779b97f4a7c15ULL * (rep + 1)));
-    Rng rng(mix.next());
+    Rng rng(substream_seed(seed, rep));
+    std::vector<std::uint64_t> indices(samples.size());
+    rng.uniform_indices(samples.size(), indices);
     std::vector<double> resample(samples.size());
-    for (auto& x : resample) x = samples[rng.uniform_index(samples.size())];
+    for (std::size_t j = 0; j < samples.size(); ++j) resample[j] = samples[indices[j]];
     try {
       std::vector<double> p = fitter(resample);
       PREEMPT_CHECK(p.size() == n_params, "fitter changed its parameter count");

@@ -66,9 +66,12 @@
 #include "portfolio/optimizer.hpp"  // IWYU pragma: export
 
 // Batch-service HTTP API
+#include "api/api_client.hpp"       // IWYU pragma: export
+#include "api/bag_jobs.hpp"         // IWYU pragma: export
 #include "api/http.hpp"             // IWYU pragma: export
 #include "api/http_client.hpp"      // IWYU pragma: export
 #include "api/http_server.hpp"      // IWYU pragma: export
+#include "api/router.hpp"           // IWYU pragma: export
 #include "api/service_daemon.hpp"   // IWYU pragma: export
 
 // Public facade

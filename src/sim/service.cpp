@@ -11,6 +11,8 @@ namespace {
 /// VMs younger than this are considered "fresh" and always acceptable (they
 /// were just provisioned, typically on this very dispatch round).
 constexpr double kFreshAgeHours = 2.0 / 60.0;
+/// Lifetimes drawn per sample_many refill of the batch buffer.
+constexpr std::size_t kLifetimeBatch = 256;
 }  // namespace
 
 BatchService::BatchService(ServiceConfig config, dist::DistributionPtr ground_truth,
@@ -81,7 +83,7 @@ void BatchService::on_vm_ready(std::uint64_t vm_id) {
   vm.id = vm_id;
   vm.type = config_.vm_type;
   vm.launch_time = sim_.now();
-  const double lifetime = ground_truth_->sample(rng_);
+  const double lifetime = draw_lifetime();
   vm.preempt_time = sim_.now() + lifetime;
   cluster_.register_node(vm);
   sim_.schedule_at(vm.preempt_time, [this, vm_id] { on_vm_preempted(vm_id); },
@@ -91,6 +93,15 @@ void BatchService::on_vm_ready(std::uint64_t vm_id) {
   sim_.schedule_in(config_.hot_spare_retention_hours,
                    [this, vm_id, idle_since] { on_hot_spare_timeout(vm_id, idle_since); });
   try_dispatch();
+}
+
+double BatchService::draw_lifetime() {
+  if (next_lifetime_ >= lifetime_buffer_.size()) {
+    lifetime_buffer_.resize(kLifetimeBatch);
+    ground_truth_->sample_many(rng_, lifetime_buffer_);
+    next_lifetime_ = 0;
+  }
+  return lifetime_buffer_[next_lifetime_++];
 }
 
 void BatchService::on_vm_preempted(std::uint64_t vm_id) {

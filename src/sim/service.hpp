@@ -94,6 +94,11 @@ class BatchService {
   void on_segment_complete(std::uint64_t job_id, std::uint64_t epoch);
   void fail_running_job(Job& job, std::uint64_t preempted_vm);
   void complete_job(Job& job);
+  /// Next ground-truth lifetime, from a sample_many-refilled batch buffer
+  /// (one virtual call per 256 launches instead of one per launch; the draw
+  /// sequence — and so every report — is bit-identical to per-launch
+  /// sample() because sample_many consumes the same stream in order).
+  double draw_lifetime();
   double gang_age(const std::vector<std::uint64_t>& gang) const;
   bool accepts_vm(const Job& job, const VmInstance& vm) const;
   ServiceReport build_report() const;
@@ -106,6 +111,8 @@ class BatchService {
   Simulator sim_;
   ClusterManager cluster_;
   Rng rng_;
+  std::vector<double> lifetime_buffer_;  ///< batched ground-truth draws
+  std::size_t next_lifetime_ = 0;
 
   std::vector<Job> job_store_;             // indexed by job id - 1
   std::deque<std::uint64_t> queue_;        // pending job ids

@@ -1,0 +1,107 @@
+// The async bag-job queue: lifecycle states, worker-pool execution, failure
+// capture, waiting, and the pagination/filter contract — with a stub
+// executor, so no daemon bootstrap is needed.
+#include "api/bag_jobs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace preempt::api {
+namespace {
+
+TEST(BagJobQueue, RunsJobsToDoneOnWorkers) {
+  std::atomic<int> executed{0};
+  BagJobQueue queue(2, [&](BagJobRecord& record) {
+    ++executed;
+    record.report.jobs_completed = record.spec.jobs;
+  });
+  BagJobSpec spec;
+  spec.jobs = 7;
+  const std::uint64_t id = queue.submit(spec);
+  ASSERT_TRUE(queue.wait(id, 10.0));
+  const auto record = queue.get(id);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->status, BagJobStatus::kDone);
+  EXPECT_EQ(record->report.jobs_completed, 7u);
+  EXPECT_EQ(executed.load(), 1);
+  EXPECT_EQ(queue.done_count(), 1u);
+  EXPECT_EQ(queue.worker_count(), 2u);
+}
+
+TEST(BagJobQueue, ExecutorExceptionsBecomeFailedJobs) {
+  BagJobQueue queue(1, [](BagJobRecord& record) {
+    if (record.spec.seed == 13) throw std::runtime_error("unlucky seed");
+    record.report.jobs_completed = 1;
+  });
+  BagJobSpec bad;
+  bad.seed = 13;
+  BagJobSpec good;
+  good.seed = 1;
+  const auto bad_id = queue.submit(bad);
+  const auto good_id = queue.submit(good);
+  ASSERT_TRUE(queue.wait(bad_id, 10.0));
+  ASSERT_TRUE(queue.wait(good_id, 10.0));
+  EXPECT_EQ(queue.get(bad_id)->status, BagJobStatus::kFailed);
+  EXPECT_NE(queue.get(bad_id)->error.find("unlucky seed"), std::string::npos);
+  // A failed job does not poison the worker: the next one still runs.
+  EXPECT_EQ(queue.get(good_id)->status, BagJobStatus::kDone);
+  EXPECT_EQ(queue.done_count(), 1u);
+}
+
+TEST(BagJobQueue, ListPaginatesAndFiltersByStatus) {
+  BagJobQueue queue(1, [](BagJobRecord& record) {
+    if (record.spec.seed % 2 == 1) throw std::runtime_error("odd");
+  });
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    BagJobSpec spec;
+    spec.seed = seed;
+    ids.push_back(queue.submit(spec));
+  }
+  for (const auto id : ids) ASSERT_TRUE(queue.wait(id, 10.0));
+
+  const auto all = queue.list(std::nullopt, 100, 0);
+  EXPECT_EQ(all.total, 6u);
+  ASSERT_EQ(all.jobs.size(), 6u);
+  for (std::size_t i = 1; i < all.jobs.size(); ++i) {
+    EXPECT_LT(all.jobs[i - 1].id, all.jobs[i].id);  // id-ascending
+  }
+
+  const auto done = queue.list(BagJobStatus::kDone, 100, 0);
+  EXPECT_EQ(done.total, 3u);
+  const auto failed = queue.list(BagJobStatus::kFailed, 2, 1);
+  EXPECT_EQ(failed.total, 3u);  // total counts matches, not the page
+  EXPECT_EQ(failed.jobs.size(), 2u);
+  const auto past_end = queue.list(std::nullopt, 10, 99);
+  EXPECT_EQ(past_end.total, 6u);
+  EXPECT_TRUE(past_end.jobs.empty());
+  EXPECT_TRUE(queue.list(BagJobStatus::kQueued, 10, 0).jobs.empty());
+}
+
+TEST(BagJobQueue, WaitTimesOutOnRunningJobs) {
+  std::atomic<bool> release{false};
+  BagJobQueue queue(1, [&](BagJobRecord&) {
+    while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  const auto id = queue.submit(BagJobSpec{});
+  EXPECT_FALSE(queue.wait(id, 0.05));
+  EXPECT_FALSE(queue.wait(999, 0.01));  // unknown id
+  release.store(true);
+  EXPECT_TRUE(queue.wait(id, 10.0));
+}
+
+TEST(BagJobStatusStrings, RoundTrip) {
+  for (const auto status : {BagJobStatus::kQueued, BagJobStatus::kRunning, BagJobStatus::kDone,
+                            BagJobStatus::kFailed}) {
+    const auto parsed = bag_job_status_from_string(to_string(status));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, status);
+  }
+  EXPECT_FALSE(bag_job_status_from_string("nonsense").has_value());
+}
+
+}  // namespace
+}  // namespace preempt::api

@@ -13,6 +13,7 @@
 #include "api/http_client.hpp"
 #include "api/http_server.hpp"
 #include "common/error.hpp"
+#include "common/json.hpp"
 
 namespace preempt::api {
 namespace {
@@ -155,12 +156,19 @@ TEST(HttpServer, ServesConcurrentClients) {
 
 TEST(HttpServer, HandlerExceptionsBecome500) {
   HttpServer server;
+  // Quotes in the message: the body must stay valid JSON (escaped through
+  // the serializer) and use the standard envelope even from a raw handler.
   server.start([](const HttpRequest&) -> HttpResponse {
-    throw NumericError("deliberate failure");
+    throw NumericError("deliberate \"failure\"");
   });
   const auto r = http_get(server.port(), "/");
   EXPECT_EQ(r.status, 500);
-  EXPECT_NE(r.body.find("deliberate failure"), std::string::npos);
+  const JsonValue body = parse_json(r.body);
+  const JsonValue* envelope = body.find("error");
+  ASSERT_NE(envelope, nullptr);
+  EXPECT_EQ(envelope->string_or("code", ""), "internal");
+  EXPECT_NE(envelope->string_or("message", "").find("deliberate \"failure\""),
+            std::string::npos);
   server.stop();
 }
 
@@ -191,6 +199,52 @@ TEST(HttpServer, MalformedRequestGets400) {
     return parsed;
   }();
   EXPECT_EQ(r.status, 400);
+  server.stop();
+}
+
+TEST(HttpServer, WorkerPoolStaysBoundedAcrossManyRequests) {
+  // Regression: the old thread-per-connection server grew its thread vector
+  // for the life of the process (finished threads were never reaped). The
+  // fixed pool must serve any number of connections with the configured
+  // thread count, and every request must still be answered.
+  HttpServer server;
+  HttpServer::Options options;
+  options.worker_threads = 2;
+  server.start([](const HttpRequest& req) { return HttpResponse::text(200, req.body); },
+               options);
+  ASSERT_EQ(server.worker_threads(), 2u);
+
+  constexpr int kRequests = 64;
+  for (int i = 0; i < kRequests; ++i) {
+    const auto r = http_post(server.port(), "/echo", "ping-" + std::to_string(i));
+    ASSERT_EQ(r.status, 200);
+    ASSERT_EQ(r.body, "ping-" + std::to_string(i));
+    ASSERT_EQ(server.worker_threads(), 2u);  // no per-connection thread growth
+  }
+  EXPECT_EQ(server.connections_served(), static_cast<std::uint64_t>(kRequests));
+  server.stop();
+}
+
+TEST(HttpServer, ConcurrentClientsShareTheWorkerPool) {
+  HttpServer server;
+  HttpServer::Options options;
+  options.worker_threads = 3;
+  server.start([](const HttpRequest& req) { return HttpResponse::text(200, req.path()); },
+               options);
+  constexpr int kClients = 16;
+  std::atomic<int> successes{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      const auto r = http_get(server.port(), "/c" + std::to_string(i));
+      if (r.status == 200 && r.body == "/c" + std::to_string(i)) ++successes;
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(successes.load(), kClients);
+  EXPECT_EQ(server.worker_threads(), 3u);
+  EXPECT_EQ(server.connections_served(), static_cast<std::uint64_t>(kClients));
   server.stop();
 }
 

@@ -154,5 +154,23 @@ TEST(Rng, SameSeedSameSequenceAcrossInstances) {
   for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
 }
 
+TEST(Rng, UniformIndicesMatchSequentialDraws) {
+  // The batched form consumes the stream exactly like repeated
+  // uniform_index calls — bootstrap results must not change.
+  Rng batched(37), sequential(37);
+  std::vector<std::uint64_t> batch(257);
+  batched.uniform_indices(10, batch);
+  for (const std::uint64_t idx : batch) {
+    EXPECT_EQ(idx, sequential.uniform_index(10));
+    EXPECT_LT(idx, 10u);
+  }
+  // And the generators end in the same state.
+  EXPECT_DOUBLE_EQ(batched.uniform(), sequential.uniform());
+  // Empty batches are a no-op.
+  std::vector<std::uint64_t> empty;
+  batched.uniform_indices(10, empty);
+  EXPECT_DOUBLE_EQ(batched.uniform(), sequential.uniform());
+}
+
 }  // namespace
 }  // namespace preempt

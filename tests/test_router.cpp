@@ -1,0 +1,223 @@
+// The /v1 REST router: pattern matching, path-parameter extraction, method
+// dispatch, the middleware chain, the JSON error envelope, and per-route
+// metrics.
+#include "api/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace preempt::api {
+namespace {
+
+HttpRequest make_request(const std::string& method, const std::string& target) {
+  HttpRequest r;
+  r.method = method;
+  r.target = target;
+  r.version = "HTTP/1.1";
+  return r;
+}
+
+TEST(Router, DispatchesByMethodAndPattern) {
+  Router router;
+  router.add("GET", "/v1/things", [](RouteContext&) { return HttpResponse::text(200, "list"); });
+  router.add("POST", "/v1/things",
+             [](RouteContext&) { return HttpResponse::text(201, "create"); });
+  router.add("GET", "/healthz", [](RouteContext&) { return HttpResponse::text(200, "ok"); });
+
+  EXPECT_EQ(router.dispatch(make_request("GET", "/v1/things")).body, "list");
+  EXPECT_EQ(router.dispatch(make_request("POST", "/v1/things")).body, "create");
+  EXPECT_EQ(router.dispatch(make_request("GET", "/healthz")).body, "ok");
+  // The query string is not part of the route.
+  EXPECT_EQ(router.dispatch(make_request("GET", "/v1/things?limit=5")).body, "list");
+}
+
+TEST(Router, ExtractsPathParameters) {
+  Router router;
+  router.add("GET", "/v1/bags/{id}", [](RouteContext& ctx) {
+    return HttpResponse::text(200, "bag:" + ctx.param("id"));
+  });
+  router.add("GET", "/v1/markets/{zone}/{type}", [](RouteContext& ctx) {
+    return HttpResponse::text(200, ctx.param("zone") + "|" + ctx.param("type"));
+  });
+
+  EXPECT_EQ(router.dispatch(make_request("GET", "/v1/bags/42")).body, "bag:42");
+  EXPECT_EQ(router.dispatch(make_request("GET", "/v1/markets/us-east1-b/n1-highcpu-16")).body,
+            "us-east1-b|n1-highcpu-16");
+  // Captures are URL-decoded.
+  EXPECT_EQ(router.dispatch(make_request("GET", "/v1/bags/a%2Fb")).body, "bag:a/b");
+  // A capture never spans segments.
+  EXPECT_EQ(router.dispatch(make_request("GET", "/v1/bags/1/extra")).status, 404);
+  EXPECT_EQ(router.dispatch(make_request("GET", "/v1/bags")).status, 404);
+}
+
+TEST(Router, ParamIdParsesStrictly) {
+  Router router;
+  std::uint64_t seen = 0;
+  bool ok = false;
+  router.add("GET", "/v1/bags/{id}", [&](RouteContext& ctx) {
+    ok = ctx.param_id("id", seen);
+    return HttpResponse::text(200, "x");
+  });
+  router.dispatch(make_request("GET", "/v1/bags/17"));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(seen, 17u);
+  router.dispatch(make_request("GET", "/v1/bags/17abc"));
+  EXPECT_FALSE(ok);
+  router.dispatch(make_request("GET", "/v1/bags/-3"));
+  EXPECT_FALSE(ok);
+}
+
+TEST(Router, NotFoundAndMethodNotAllowedEnvelopes) {
+  Router router;
+  router.add("GET", "/v1/things", [](RouteContext&) { return HttpResponse::text(200, "x"); });
+  router.add("POST", "/v1/things", [](RouteContext&) { return HttpResponse::text(201, "y"); });
+
+  const HttpResponse missing = router.dispatch(make_request("GET", "/nope"));
+  EXPECT_EQ(missing.status, 404);
+  const JsonValue missing_body = parse_json(missing.body);
+  ASSERT_NE(missing_body.find("error"), nullptr);
+  EXPECT_EQ(missing_body.find("error")->string_or("code", ""), "not_found");
+  EXPECT_FALSE(missing_body.find("error")->string_or("message", "").empty());
+
+  const HttpResponse wrong = router.dispatch(make_request("DELETE", "/v1/things"));
+  EXPECT_EQ(wrong.status, 405);
+  EXPECT_EQ(parse_json(wrong.body).find("error")->string_or("code", ""), "method_not_allowed");
+  // The Allow header lists every method registered on the path.
+  ASSERT_TRUE(wrong.headers.count("allow"));
+  EXPECT_EQ(wrong.headers.at("allow"), "GET, POST");
+}
+
+TEST(Router, HandlerExceptionsBecomeEnvelopes) {
+  Router router;
+  router.add("GET", "/bad-arg",
+             [](RouteContext&) -> HttpResponse { throw InvalidArgument("no such regime"); });
+  router.add("GET", "/boom",
+             [](RouteContext&) -> HttpResponse { throw std::runtime_error("kaboom"); });
+
+  const HttpResponse bad = router.dispatch(make_request("GET", "/bad-arg"));
+  EXPECT_EQ(bad.status, 400);
+  const JsonValue bad_body = parse_json(bad.body);
+  EXPECT_EQ(bad_body.find("error")->string_or("code", ""), "invalid_argument");
+  EXPECT_NE(bad_body.find("error")->string_or("message", "").find("no such regime"),
+            std::string::npos);
+
+  const HttpResponse boom = router.dispatch(make_request("GET", "/boom"));
+  EXPECT_EQ(boom.status, 500);
+  EXPECT_EQ(parse_json(boom.body).find("error")->string_or("code", ""), "internal");
+
+  // Exception text with JSON-hostile characters survives the envelope.
+  router.add("GET", "/quote", [](RouteContext&) -> HttpResponse {
+    throw InvalidArgument("bad \"name\"\nwith newline");
+  });
+  const HttpResponse quoted = router.dispatch(make_request("GET", "/quote"));
+  EXPECT_EQ(parse_json(quoted.body).find("error")->string_or("message", ""),
+            "bad \"name\"\nwith newline");
+}
+
+TEST(Router, ThrownErrorsStillPassThroughMiddleware) {
+  // Handler exceptions are translated inside the chain, so middleware
+  // decorates errored responses exactly like returned ones.
+  Router router;
+  router.use([](RouteContext&, const NextHandler& next) {
+    HttpResponse r = next();
+    r.headers["x-decorated"] = "1";
+    return r;
+  });
+  router.add("GET", "/throws",
+             [](RouteContext&) -> HttpResponse { throw InvalidArgument("nope"); });
+  const HttpResponse r = router.dispatch(make_request("GET", "/throws"));
+  EXPECT_EQ(r.status, 400);
+  EXPECT_TRUE(r.headers.count("x-decorated"));
+}
+
+TEST(Router, MiddlewareRunsOutermostFirstAndCanDecorate) {
+  Router router;
+  std::string trail;
+  router.use([&trail](RouteContext&, const NextHandler& next) {
+    trail += "a(";
+    HttpResponse r = next();
+    trail += ")a";
+    r.headers["x-outer"] = "1";
+    return r;
+  });
+  router.use([&trail](RouteContext&, const NextHandler& next) {
+    trail += "b(";
+    HttpResponse r = next();
+    trail += ")b";
+    return r;
+  });
+  router.add("GET", "/x", [&trail](RouteContext&) {
+    trail += "h";
+    return HttpResponse::text(200, "x");
+  });
+
+  const HttpResponse r = router.dispatch(make_request("GET", "/x"));
+  EXPECT_EQ(trail, "a(b(h)b)a");
+  EXPECT_EQ(r.headers.at("x-outer"), "1");
+  // Middleware also wraps unmatched dispatches.
+  router.dispatch(make_request("GET", "/nope"));
+  EXPECT_EQ(trail, "a(b(h)b)aa(b()b)a");
+}
+
+TEST(Router, RequestIdMiddlewareStampsResponses) {
+  Router router;
+  router.use(request_id_middleware());
+  router.add("GET", "/x", [](RouteContext& ctx) {
+    EXPECT_FALSE(ctx.request_id.empty());
+    return HttpResponse::text(200, "x");
+  });
+
+  const HttpResponse fresh = router.dispatch(make_request("GET", "/x"));
+  ASSERT_TRUE(fresh.headers.count("x-request-id"));
+  EXPECT_EQ(fresh.headers.at("x-request-id").rfind("req-", 0), 0u);
+
+  HttpRequest tagged = make_request("GET", "/x");
+  tagged.headers["x-request-id"] = "caller-7";
+  EXPECT_EQ(router.dispatch(tagged).headers.at("x-request-id"), "caller-7");
+}
+
+TEST(Router, MetricsCountPerRoute) {
+  Router router;
+  router.add("GET", "/a", [](RouteContext&) { return HttpResponse::text(200, "a"); });
+  router.add("GET", "/b",
+             [](RouteContext&) -> HttpResponse { throw InvalidArgument("nope"); });
+
+  router.dispatch(make_request("GET", "/a"));
+  router.dispatch(make_request("GET", "/a"));
+  router.dispatch(make_request("GET", "/b"));
+  router.dispatch(make_request("GET", "/missing"));
+
+  const auto metrics = router.metrics();
+  ASSERT_EQ(metrics.size(), 3u);  // two routes + the unmatched aggregate
+  EXPECT_EQ(metrics[0].pattern, "/a");
+  EXPECT_EQ(metrics[0].requests, 2u);
+  EXPECT_EQ(metrics[0].errors, 0u);
+  EXPECT_GE(metrics[0].total_ms, 0.0);
+  EXPECT_GE(metrics[0].max_ms, 0.0);
+  EXPECT_EQ(metrics[1].pattern, "/b");
+  EXPECT_EQ(metrics[1].requests, 1u);
+  EXPECT_EQ(metrics[1].errors, 1u);
+  EXPECT_EQ(metrics[2].pattern, "(unmatched)");
+  EXPECT_EQ(metrics[2].requests, 1u);
+  EXPECT_EQ(metrics[2].errors, 1u);
+
+  const JsonValue doc = router.metrics_json();
+  EXPECT_EQ(doc.number_or("requests_total", 0), 4);
+  ASSERT_NE(doc.find("routes"), nullptr);
+  EXPECT_EQ(doc.find("routes")->as_array().size(), 3u);
+}
+
+TEST(Router, RegistrationValidation) {
+  Router router;
+  EXPECT_THROW(router.add("GET", "no-slash", [](RouteContext&) { return HttpResponse(); }),
+               InvalidArgument);
+  EXPECT_THROW(router.add("GET", "/x", nullptr), InvalidArgument);
+  EXPECT_THROW(router.add("GET", "/x/{}", [](RouteContext&) { return HttpResponse(); }),
+               InvalidArgument);
+  EXPECT_THROW(router.use(nullptr), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace preempt::api

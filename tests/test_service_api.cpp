@@ -1,9 +1,11 @@
-// The batch-service HTTP API daemon: routing, payload validation, and an
-// end-to-end session over live loopback sockets.
+// The batch-service HTTP API daemon: /v1 routing, async bag jobs, legacy
+// /api/* alias compatibility, payload validation, and an end-to-end session
+// over live loopback sockets.
 #include "api/service_daemon.hpp"
 
 #include <gtest/gtest.h>
 
+#include "api/api_client.hpp"
 #include "api/http_client.hpp"
 #include "common/json.hpp"
 
@@ -11,8 +13,7 @@ namespace preempt::api {
 namespace {
 
 /// One daemon shared by the suite: the bootstrap study fit is the expensive
-/// part (~seconds), and handle() is thread-safe and stateless across most
-/// endpoints.
+/// part (~seconds), and handle() is thread-safe across all endpoints.
 class ServiceApiTest : public ::testing::Test {
  protected:
   static ServiceDaemon& daemon() {
@@ -38,16 +39,34 @@ class ServiceApiTest : public ::testing::Test {
     r.body = body;
     return r;
   }
+
+  /// Submit an async bag and block until it is done; returns the job id.
+  static std::uint64_t run_bag(const std::string& body) {
+    const auto created = daemon().handle(post("/v1/bags", body));
+    EXPECT_EQ(created.status, 202);
+    const auto id = static_cast<std::uint64_t>(parse_json(created.body).number_or("id", 0));
+    EXPECT_GT(id, 0u);
+    EXPECT_TRUE(daemon().wait_for_bag(id, 120.0));
+    return id;
+  }
+
+  static std::vector<std::string> keys_of(const JsonValue& v) {
+    std::vector<std::string> keys;
+    for (const auto& [k, value] : v.as_object()) keys.push_back(k);
+    return keys;
+  }
 };
 
 TEST_F(ServiceApiTest, Healthz) {
   const auto r = daemon().handle(get("/healthz"));
   EXPECT_EQ(r.status, 200);
   EXPECT_EQ(parse_json(r.body).string_or("status", ""), "ok");
+  // The middleware chain stamps every response with a request id.
+  EXPECT_TRUE(r.headers.count("x-request-id"));
 }
 
 TEST_F(ServiceApiTest, ModelEndpointReturnsBathtubParams) {
-  const auto r = daemon().handle(get("/api/model?type=n1-highcpu-16&zone=us-east1-b"));
+  const auto r = daemon().handle(get("/v1/models?type=n1-highcpu-16&zone=us-east1-b"));
   ASSERT_EQ(r.status, 200);
   const JsonValue v = parse_json(r.body);
   EXPECT_GT(v.number_or("A", 0.0), 0.1);
@@ -57,33 +76,33 @@ TEST_F(ServiceApiTest, ModelEndpointReturnsBathtubParams) {
 }
 
 TEST_F(ServiceApiTest, ModelEndpointValidatesRegime) {
-  EXPECT_EQ(daemon().handle(get("/api/model?type=quantum-vm")).status, 400);
-  EXPECT_EQ(daemon().handle(get("/api/model?zone=atlantis-1a")).status, 400);
+  EXPECT_EQ(daemon().handle(get("/v1/models?type=quantum-vm")).status, 400);
+  EXPECT_EQ(daemon().handle(get("/v1/models?zone=atlantis-1a")).status, 400);
 }
 
 TEST_F(ServiceApiTest, LargerVmsHaveShorterLifetimes) {
   // Observation 4 through the API: compare fitted expected lifetimes.
   const auto small = parse_json(
-      daemon().handle(get("/api/lifetime?type=n1-highcpu-2&zone=us-central1-c")).body);
+      daemon().handle(get("/v1/lifetimes?type=n1-highcpu-2&zone=us-central1-c")).body);
   const auto large = parse_json(
-      daemon().handle(get("/api/lifetime?type=n1-highcpu-32&zone=us-central1-c")).body);
+      daemon().handle(get("/v1/lifetimes?type=n1-highcpu-32&zone=us-central1-c")).body);
   EXPECT_GT(small.number_or("mean_lifetime_hours", 0.0),
             large.number_or("mean_lifetime_hours", 100.0));
 }
 
 TEST_F(ServiceApiTest, ReuseDecisionFlipsNearDeadline) {
   const auto young =
-      parse_json(daemon().handle(get("/api/decisions/reuse?age=8&job=4")).body);
+      parse_json(daemon().handle(get("/v1/decisions/reuse?age=8&job=4")).body);
   EXPECT_TRUE(young.bool_or("reuse", false));
   const auto old =
-      parse_json(daemon().handle(get("/api/decisions/reuse?age=21&job=6")).body);
+      parse_json(daemon().handle(get("/v1/decisions/reuse?age=21&job=6")).body);
   EXPECT_FALSE(old.bool_or("reuse", true));
 }
 
 TEST_F(ServiceApiTest, ReuseDecisionValidatesParameters) {
-  EXPECT_EQ(daemon().handle(get("/api/decisions/reuse?age=1")).status, 400);
-  EXPECT_EQ(daemon().handle(get("/api/decisions/reuse?age=x&job=2")).status, 400);
-  EXPECT_EQ(daemon().handle(get("/api/decisions/reuse?age=-1&job=2")).status, 400);
+  EXPECT_EQ(daemon().handle(get("/v1/decisions/reuse?age=1")).status, 400);
+  EXPECT_EQ(daemon().handle(get("/v1/decisions/reuse?age=x&job=2")).status, 400);
+  EXPECT_EQ(daemon().handle(get("/v1/decisions/reuse?age=-1&job=2")).status, 400);
 }
 
 TEST_F(ServiceApiTest, PortfolioAllocatesAcrossMarkets) {
@@ -113,40 +132,153 @@ TEST_F(ServiceApiTest, PortfolioValidatesParameters) {
   EXPECT_EQ(daemon().handle(get("/v1/portfolio?jobs=abc")).status, 400);
   EXPECT_EQ(daemon().handle(get("/v1/portfolio?risk=0")).status, 400);
   EXPECT_EQ(daemon().handle(post("/v1/portfolio", "not json")).status, 400);
+  // Strict token parse: trailing garbage and non-finite values 400 instead
+  // of leaking into the optimizer.
+  EXPECT_EQ(daemon().handle(get("/v1/portfolio?risk=nan")).status, 400);
+  EXPECT_EQ(daemon().handle(get("/v1/portfolio?jobs=50abc")).status, 400);
+  EXPECT_EQ(daemon().handle(get("/v1/portfolio?job_hours=-5")).status, 400);
 }
 
-TEST_F(ServiceApiTest, BagLifecycle) {
+// ------------------------------------------------------------ async bag jobs
+
+TEST_F(ServiceApiTest, AsyncBagLifecycle) {
   const auto created = daemon().handle(
-      post("/api/bags", R"({"app":"shapes","jobs":20,"vms":8,"seed":7})"));
-  ASSERT_EQ(created.status, 201);
-  const JsonValue report = parse_json(created.body);
-  const auto id = static_cast<std::uint64_t>(report.number_or("id", 0));
+      post("/v1/bags", R"({"app":"shapes","jobs":20,"vms":8,"seed":7})"));
+  ASSERT_EQ(created.status, 202);
+  const JsonValue resource = parse_json(created.body);
+  const auto id = static_cast<std::uint64_t>(resource.number_or("id", 0));
   ASSERT_GT(id, 0u);
-  EXPECT_EQ(report.number_or("jobs_completed", 0), 20);
-  EXPECT_GT(report.number_or("cost_reduction_factor", 0.0), 2.0);
+  // 202 resource: queued (or already picked up), never synchronously done
+  // with a report — and it tells the client where to poll.
+  const std::string status = resource.string_or("status", "");
+  EXPECT_TRUE(status == "queued" || status == "running" || status == "done");
+  ASSERT_TRUE(created.headers.count("location"));
+  EXPECT_EQ(created.headers.at("location"), "/v1/bags/" + std::to_string(id));
 
-  const auto fetched = daemon().handle(get("/api/bags/" + std::to_string(id)));
+  ASSERT_TRUE(daemon().wait_for_bag(id, 120.0));
+  const auto fetched = daemon().handle(get("/v1/bags/" + std::to_string(id)));
   ASSERT_EQ(fetched.status, 200);
-  EXPECT_EQ(parse_json(fetched.body).number_or("id", 0), static_cast<double>(id));
+  const JsonValue job = parse_json(fetched.body);
+  EXPECT_EQ(job.string_or("status", ""), "done");
+  EXPECT_EQ(job.string_or("app", ""), "shapes");
+  const JsonValue* report = job.find("report");
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->number_or("jobs_completed", 0), 20);
+  EXPECT_GT(report->number_or("cost_reduction_factor", 0.0), 2.0);
+}
 
-  const auto listed = daemon().handle(get("/api/bags"));
-  ASSERT_EQ(listed.status, 200);
-  EXPECT_GE(parse_json(listed.body).find("bags")->as_array().size(), 1u);
+TEST_F(ServiceApiTest, ReplicatedBagReportsConfidenceIntervals) {
+  // A bag long enough that replications differ (preemptions are near-certain
+  // somewhere in 6 x 8 VM-lifetimes), so the spread statistics are nonzero.
+  const auto id =
+      run_bag(R"({"app":"nanoconfinement","jobs":40,"vms":8,"seed":5,"replications":6})");
+  const JsonValue job =
+      parse_json(daemon().handle(get("/v1/bags/" + std::to_string(id))).body);
+  EXPECT_EQ(job.number_or("replications", 0), 6);
+  const JsonValue* report = job.find("report");
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->number_or("replications", 0), 6);
+  const JsonValue* metrics = report->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const JsonValue* cost = metrics->find("cost_per_job");
+  ASSERT_NE(cost, nullptr);
+  EXPECT_GT(cost->number_or("mean", 0.0), 0.0);
+  EXPECT_GT(cost->number_or("std_error", -1.0), 0.0);
+  EXPECT_GT(cost->number_or("ci95", -1.0), 0.0);
+  ASSERT_NE(metrics->find("makespan_hours"), nullptr);
+  // The representative report is the first replication: deterministic.
+  const auto again =
+      run_bag(R"({"app":"nanoconfinement","jobs":40,"vms":8,"seed":5,"replications":6})");
+  EXPECT_EQ(
+      parse_json(daemon().handle(get("/v1/bags/" + std::to_string(again))).body)
+          .find("report")->dump(),
+      report->dump());
+}
+
+TEST_F(ServiceApiTest, BagListingPaginatesAndFilters) {
+  for (int i = 0; i < 3; ++i) {
+    run_bag(R"({"app":"lulesh","jobs":4,"vms":8,"seed":)" + std::to_string(100 + i) + "}");
+  }
+  const JsonValue all = parse_json(daemon().handle(get("/v1/bags")).body);
+  const auto total = static_cast<std::size_t>(all.number_or("total", 0));
+  EXPECT_GE(total, 3u);
+
+  const JsonValue page =
+      parse_json(daemon().handle(get("/v1/bags?status=done&limit=2&offset=1")).body);
+  EXPECT_EQ(page.find("jobs")->as_array().size(), 2u);
+  EXPECT_EQ(page.number_or("limit", 0), 2);
+  EXPECT_EQ(page.number_or("offset", 0), 1);
+  for (const auto& job : page.find("jobs")->as_array()) {
+    EXPECT_EQ(job.string_or("status", ""), "done");
+  }
+  // Ids ascend within a page.
+  const auto& jobs = page.find("jobs")->as_array();
+  EXPECT_LT(jobs[0].number_or("id", 0), jobs[1].number_or("id", 0));
+
+  // An offset past the end yields an empty page with the same total.
+  const JsonValue past =
+      parse_json(daemon().handle(get("/v1/bags?offset=100000")).body);
+  EXPECT_EQ(past.find("jobs")->as_array().size(), 0u);
+  EXPECT_GE(past.number_or("total", 0), 3);
+
+  // No queued leftovers once everything we waited on is done.
+  EXPECT_EQ(daemon().handle(get("/v1/bags?status=nonsense")).status, 400);
+  // Pagination parameters are validated strictly: no prefix parsing, no
+  // silent clamping.
+  EXPECT_EQ(daemon().handle(get("/v1/bags?limit=5garbage")).status, 400);
+  EXPECT_EQ(daemon().handle(get("/v1/bags?limit=-1")).status, 400);
+  EXPECT_EQ(daemon().handle(get("/v1/bags?limit=999999")).status, 400);
+  EXPECT_EQ(daemon().handle(get("/v1/bags?offset=x")).status, 400);
 }
 
 TEST_F(ServiceApiTest, BagValidation) {
-  EXPECT_EQ(daemon().handle(post("/api/bags", R"({"app":"doom"})")).status, 400);
-  EXPECT_EQ(daemon().handle(post("/api/bags", R"({"jobs":0})")).status, 400);
-  EXPECT_EQ(daemon().handle(post("/api/bags", R"({"policy":"vibes"})")).status, 400);
-  EXPECT_EQ(daemon().handle(post("/api/bags", "not json")).status, 400);
-  EXPECT_EQ(daemon().handle(get("/api/bags/999999")).status, 404);
-  EXPECT_EQ(daemon().handle(get("/api/bags/notanumber")).status, 400);
+  EXPECT_EQ(daemon().handle(post("/v1/bags", R"({"app":"doom"})")).status, 400);
+  EXPECT_EQ(daemon().handle(post("/v1/bags", R"({"jobs":0})")).status, 400);
+  EXPECT_EQ(daemon().handle(post("/v1/bags", R"({"policy":"vibes"})")).status, 400);
+  EXPECT_EQ(daemon().handle(post("/v1/bags", R"({"replications":0})")).status, 400);
+  EXPECT_EQ(daemon().handle(post("/v1/bags", R"({"seed":-1})")).status, 400);
+  EXPECT_EQ(daemon().handle(post("/v1/bags", R"({"seed":1e300})")).status, 400);
+  EXPECT_EQ(daemon().handle(post("/v1/bags", "not json")).status, 400);
+  EXPECT_EQ(daemon().handle(get("/v1/bags/999999")).status, 404);
+  EXPECT_EQ(daemon().handle(get("/v1/bags/notanumber")).status, 400);
+
+  // Validation failures carry the clean message, not the PREEMPT_REQUIRE
+  // file:line prefix — those are programmer-facing, not 400 bodies.
+  const JsonValue bad_jobs = parse_json(daemon().handle(post("/v1/bags", R"({"jobs":0})")).body);
+  EXPECT_EQ(bad_jobs.find("error")->string_or("message", ""), "jobs must be in 1..100000");
+}
+
+TEST_F(ServiceApiTest, LegacyBagsIgnoreReplicationsField) {
+  // The pre-/v1 API ignored unknown body fields, so "replications" — even a
+  // value /v1 would reject — must neither 400 nor take effect on the alias.
+  const auto created = daemon().handle(
+      post("/api/bags", R"({"app":"shapes","jobs":5,"vms":4,"seed":1,"replications":0})"));
+  ASSERT_EQ(created.status, 201);
+  const JsonValue body = parse_json(created.body);
+  EXPECT_EQ(body.number_or("jobs_completed", 0), 5);
+  EXPECT_EQ(body.find("metrics"), nullptr);
+}
+
+TEST_F(ServiceApiTest, ErrorsUseTheStandardEnvelope) {
+  const auto missing = daemon().handle(get("/v1/bags/999999"));
+  const JsonValue body = parse_json(missing.body);
+  const JsonValue* envelope = body.find("error");
+  ASSERT_NE(envelope, nullptr);
+  ASSERT_TRUE(envelope->is_object());
+  EXPECT_EQ(envelope->string_or("code", ""), "not_found");
+  EXPECT_FALSE(envelope->string_or("message", "").empty());
+  EXPECT_EQ(parse_json(daemon().handle(get("/nope")).body).find("error")->string_or("code", ""),
+            "not_found");
+  EXPECT_EQ(parse_json(daemon().handle(post("/healthz", "")).body)
+                .find("error")->string_or("code", ""),
+            "method_not_allowed");
 }
 
 TEST_F(ServiceApiTest, LifetimesFeedDriftMonitors) {
-  // Baseline-consistent lifetimes: no drift.
+  // Baseline-consistent lifetimes: no drift. (v1 spelling.)
   const auto ok = daemon().handle(post(
-      "/api/lifetimes", R"({"lifetimes":[2.5,11.0,23.9,0.7,16.2,8.8,21.5,3.4,23.95,12.1]})"));
+      "/v1/observations",
+      R"({"lifetimes":[2.5,11.0,23.9,0.7,16.2,8.8,21.5,3.4,23.95,12.1]})"));
   ASSERT_EQ(ok.status, 200);
   const JsonValue v = parse_json(ok.body);
   EXPECT_EQ(v.number_or("observed", 0), 10);
@@ -154,33 +286,163 @@ TEST_F(ServiceApiTest, LifetimesFeedDriftMonitors) {
 }
 
 TEST_F(ServiceApiTest, LifetimesValidation) {
+  EXPECT_EQ(daemon().handle(post("/v1/observations", R"({"lifetimes":[]})")).status, 400);
+  EXPECT_EQ(daemon().handle(post("/v1/observations", R"({"lifetimes":[-1]})")).status, 400);
+  EXPECT_EQ(daemon().handle(post("/v1/observations", R"({"lifetimes":["x"]})")).status, 400);
+  EXPECT_EQ(daemon().handle(post("/v1/observations", R"({})")).status, 400);
+  // A batch with a bad tail is rejected atomically (valid prefix must not
+  // reach the drift monitors).
+  EXPECT_EQ(daemon().handle(post("/v1/observations", R"({"lifetimes":[5.0,2.0,-1]})")).status,
+            400);
+  // The legacy alias validates identically.
   EXPECT_EQ(daemon().handle(post("/api/lifetimes", R"({"lifetimes":[]})")).status, 400);
-  EXPECT_EQ(daemon().handle(post("/api/lifetimes", R"({"lifetimes":[-1]})")).status, 400);
-  EXPECT_EQ(daemon().handle(post("/api/lifetimes", R"({"lifetimes":["x"]})")).status, 400);
-  EXPECT_EQ(daemon().handle(post("/api/lifetimes", R"({})")).status, 400);
 }
 
 TEST_F(ServiceApiTest, RoutingErrors) {
   EXPECT_EQ(daemon().handle(get("/api/unknown")).status, 404);
   EXPECT_EQ(daemon().handle(post("/healthz", "")).status, 405);
+  EXPECT_EQ(daemon().handle(post("/v1/models", "")).status, 405);
   EXPECT_EQ(daemon().handle(post("/api/model", "")).status, 405);
-  HttpRequest del = get("/api/bags");
+  HttpRequest del = get("/v1/bags");
   del.method = "DELETE";
   EXPECT_EQ(daemon().handle(del).status, 405);
 }
 
+TEST_F(ServiceApiTest, MetricsReportPerRouteTraffic) {
+  daemon().handle(get("/healthz"));
+  const auto r = daemon().handle(get("/v1/metrics"));
+  ASSERT_EQ(r.status, 200);
+  const JsonValue v = parse_json(r.body);
+  EXPECT_GT(v.number_or("requests_total", 0.0), 0.0);
+  const JsonValue* routes = v.find("routes");
+  ASSERT_NE(routes, nullptr);
+  bool saw_healthz = false;
+  for (const auto& row : routes->as_array()) {
+    if (row.string_or("route", "") == "/healthz" && row.string_or("method", "") == "GET") {
+      saw_healthz = true;
+      EXPECT_GE(row.number_or("requests", 0.0), 1.0);
+      EXPECT_GE(row.number_or("mean_latency_ms", -1.0), 0.0);
+      EXPECT_GE(row.number_or("max_latency_ms", -1.0), 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_healthz);
+}
+
+// ------------------------------------------------- legacy alias compatibility
+
+TEST_F(ServiceApiTest, LegacyAliasesReturnV1Payloads) {
+  // Read-only aliases answer byte-identically to their /v1 homes, plus the
+  // deprecation pointer.
+  const std::pair<const char*, const char*> pairs[] = {
+      {"/api/model?type=n1-highcpu-16", "/v1/models?type=n1-highcpu-16"},
+      {"/api/lifetime?type=n1-highcpu-4", "/v1/lifetimes?type=n1-highcpu-4"},
+      {"/api/decisions/reuse?age=9&job=6", "/v1/decisions/reuse?age=9&job=6"},
+  };
+  for (const auto& [legacy, v1] : pairs) {
+    const auto legacy_response = daemon().handle(get(legacy));
+    const auto v1_response = daemon().handle(get(v1));
+    ASSERT_EQ(legacy_response.status, 200) << legacy;
+    EXPECT_EQ(legacy_response.body, v1_response.body) << legacy;
+    ASSERT_TRUE(legacy_response.headers.count("x-deprecated")) << legacy;
+    EXPECT_EQ(legacy_response.headers.at("x-deprecated").rfind("use /v1", 0), 0u) << legacy;
+    EXPECT_FALSE(v1_response.headers.count("x-deprecated")) << v1;
+  }
+  // Errored alias responses are decorated too (exceptions translate inside
+  // the middleware chain).
+  const auto bad = daemon().handle(post("/api/bags", R"({"policy":"vibes"})"));
+  EXPECT_EQ(bad.status, 400);
+  EXPECT_TRUE(bad.headers.count("x-deprecated"));
+}
+
+TEST_F(ServiceApiTest, LegacyBagFlowKeepsPayloadShape) {
+  // The synchronous legacy submission still answers 201 with the frozen
+  // report schema — exact keys in the exact order.
+  const auto created = daemon().handle(
+      post("/api/bags", R"({"app":"lulesh","jobs":10,"vms":8,"seed":3})"));
+  ASSERT_EQ(created.status, 201);
+  const JsonValue report = parse_json(created.body);
+  const std::vector<std::string> expected_keys{
+      "id",           "app",         "jobs_completed",
+      "makespan_hours", "increase_fraction", "cost_per_job",
+      "on_demand_cost_per_job", "cost_reduction_factor", "preemptions",
+      "preemptions_total", "vms_launched", "wasted_hours"};
+  EXPECT_EQ(keys_of(report), expected_keys);
+  EXPECT_EQ(report.number_or("jobs_completed", 0), 10);
+  const auto id = static_cast<std::uint64_t>(report.number_or("id", 0));
+  ASSERT_GT(id, 0u);
+
+  // GET /api/bags/{id} re-serves the identical legacy payload.
+  const auto fetched = daemon().handle(get("/api/bags/" + std::to_string(id)));
+  ASSERT_EQ(fetched.status, 200);
+  EXPECT_EQ(fetched.body, created.body);
+
+  // GET /api/bags summarises with the frozen key set.
+  const auto listed = daemon().handle(get("/api/bags"));
+  ASSERT_EQ(listed.status, 200);
+  const JsonValue bags = parse_json(listed.body);
+  ASSERT_NE(bags.find("bags"), nullptr);
+  ASSERT_GE(bags.find("bags")->as_array().size(), 1u);
+  EXPECT_EQ(keys_of(bags.find("bags")->as_array().front()),
+            (std::vector<std::string>{"id", "app", "jobs_completed", "cost_reduction_factor"}));
+
+  EXPECT_EQ(daemon().handle(get("/api/bags/999999")).status, 404);
+  EXPECT_EQ(daemon().handle(get("/api/bags/notanumber")).status, 400);
+}
+
+TEST_F(ServiceApiTest, LegacyAndV1BagsAgreeNumerically) {
+  // The same spec through both generations produces the same simulation.
+  const auto legacy = parse_json(daemon().handle(
+      post("/api/bags", R"({"app":"shapes","jobs":12,"vms":8,"seed":99})")).body);
+  const auto id = run_bag(R"({"app":"shapes","jobs":12,"vms":8,"seed":99})");
+  const JsonValue job =
+      parse_json(daemon().handle(get("/v1/bags/" + std::to_string(id))).body);
+  const JsonValue* report = job.find("report");
+  ASSERT_NE(report, nullptr);
+  for (const char* field : {"jobs_completed", "makespan_hours", "cost_per_job",
+                            "preemptions", "vms_launched", "wasted_hours"}) {
+    EXPECT_DOUBLE_EQ(report->number_or(field, -1.0), legacy.number_or(field, -2.0)) << field;
+  }
+}
+
+// ---------------------------------------------------------------- end to end
+
 TEST_F(ServiceApiTest, EndToEndOverSockets) {
-  // The same daemon served over a real socket: submit a bag with curl-like
-  // calls and read it back.
+  // The same daemon served over a real socket: drive the async v1 flow with
+  // the typed client and the legacy flow with curl-like calls.
   daemon().start(0);
   const std::uint16_t port = daemon().port();
   ASSERT_GT(port, 0);
 
-  EXPECT_EQ(http_get(port, "/healthz").status, 200);
-  const auto created =
+  const ApiClient client(port);
+  EXPECT_TRUE(client.healthy());
+  EXPECT_GT(client.model({.type = "n1-highcpu-16"}).expected_lifetime_hours, 0.0);
+
+  BagSubmission submission;
+  submission.app = "lulesh";
+  submission.jobs = 10;
+  submission.vms = 8;
+  submission.seed = 3;
+  const BagJobInfo queued = client.submit_bag(submission);
+  const BagJobInfo done = client.wait_for_bag(queued.id, 120.0);
+  EXPECT_EQ(done.status, "done");
+  ASSERT_TRUE(done.report.has_value());
+  EXPECT_EQ(done.report->jobs_completed, 10u);
+  EXPECT_GE(client.list_bags("done").total, 1u);
+
+  // Typed errors carry the envelope.
+  try {
+    client.bag(999999);
+    FAIL() << "expected ApiError";
+  } catch (const ApiError& e) {
+    EXPECT_EQ(e.status(), 404);
+    EXPECT_EQ(e.code(), "not_found");
+  }
+
+  // Legacy flow over the same socket.
+  const auto legacy =
       http_post(port, "/api/bags", R"({"app":"lulesh","jobs":10,"vms":8,"seed":3})");
-  ASSERT_EQ(created.status, 201);
-  const auto id = static_cast<std::uint64_t>(parse_json(created.body).number_or("id", 0));
+  ASSERT_EQ(legacy.status, 201);
+  const auto id = static_cast<std::uint64_t>(parse_json(legacy.body).number_or("id", 0));
   const auto round = http_get(port, "/api/bags/" + std::to_string(id));
   EXPECT_EQ(round.status, 200);
   EXPECT_EQ(parse_json(round.body).string_or("app", ""), "lulesh");

@@ -5,12 +5,14 @@
 //
 // Endpoints are documented in src/api/service_daemon.hpp. Example session:
 //   curl localhost:8080/healthz
-//   curl 'localhost:8080/api/model?type=n1-highcpu-16&zone=us-east1-b'
-//   curl -X POST localhost:8080/api/bags -d '{"app":"shapes","jobs":50,"vms":16}'
+//   curl 'localhost:8080/v1/models?type=n1-highcpu-16&zone=us-east1-b'
+//   curl -X POST localhost:8080/v1/bags -d '{"app":"shapes","jobs":50,"vms":16}'
+//   curl localhost:8080/v1/bags/1
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "api/api_client.hpp"
 #include "api/http_client.hpp"
 #include "api/service_daemon.hpp"
 #include "common/cli.hpp"
@@ -18,23 +20,70 @@
 
 namespace {
 
+/// Probe every /v1 route (including the async bag flow), the deprecated
+/// /api/* aliases, and the router's error envelope through the typed client.
 int self_check(preempt::api::ServiceDaemon& daemon) {
+  using preempt::api::ApiClient;
   using preempt::api::http_get;
   using preempt::api::http_post;
-  const std::uint16_t port = daemon.port();
+  const ApiClient client(daemon.port());
   int failures = 0;
   auto check = [&](const std::string& what, bool ok) {
     std::cout << (ok ? "  ok  " : " FAIL ") << what << "\n";
     if (!ok) ++failures;
   };
-  check("GET /healthz", http_get(port, "/healthz").status == 200);
-  check("GET /api/model", http_get(port, "/api/model?type=n1-highcpu-16").status == 200);
-  check("GET /api/decisions/reuse",
-        http_get(port, "/api/decisions/reuse?age=9&job=6").status == 200);
-  check("POST /api/bags",
-        http_post(port, "/api/bags", R"({"app":"shapes","jobs":20,"vms":8})").status == 201);
-  check("GET /api/bags/1", http_get(port, "/api/bags/1").status == 200);
-  check("404 routing", http_get(port, "/nope").status == 404);
+
+  check("GET /healthz", client.healthy());
+  check("GET /v1/models",
+        client.model({.type = "n1-highcpu-16"}).expected_lifetime_hours > 0.0);
+  check("GET /v1/lifetimes", client.lifetime().mean_lifetime_hours > 0.0);
+  check("GET /v1/decisions/reuse", client.reuse_decision(9.0, 6.0).expected_fresh_hours > 0.0);
+
+  // Async bag lifecycle: 202 -> poll -> done, with replication statistics.
+  preempt::api::BagSubmission submission;
+  submission.app = "shapes";
+  submission.jobs = 20;
+  submission.vms = 8;
+  submission.replications = 4;
+  const auto queued = client.submit_bag(submission);
+  check("POST /v1/bags -> 202 job resource", queued.id > 0 && !queued.status.empty());
+  const auto done = client.wait_for_bag(queued.id, 120.0);
+  check("async bag reaches done", done.status == "done" && done.report.has_value());
+  check("replicated bag reports ci95",
+        done.report && done.report->metrics.count("cost_per_job") > 0 &&
+            done.report->metrics.at("cost_per_job").ci95 >= 0.0);
+  check("GET /v1/bags pagination",
+        client.list_bags("done", 1, 0).jobs.size() == 1 && client.list_bags().total >= 1);
+
+  check("POST /v1/observations",
+        client.observe_lifetimes({2.5, 11.0, 23.9, 16.2, 8.8}).observed == 5);
+  check("GET /v1/portfolio",
+        client.get_json("/v1/portfolio?jobs=50").number_or("markets_used", 0) >= 1);
+
+  // Deprecated aliases answer with the legacy payloads.
+  check("GET /api/model (alias)", http_get(daemon.port(), "/api/model").status == 200);
+  const auto legacy =
+      http_post(daemon.port(), "/api/bags", R"({"app":"shapes","jobs":10,"vms":8})");
+  check("POST /api/bags (sync alias) -> 201", legacy.status == 201);
+  check("GET /api/bags/1 (alias)", http_get(daemon.port(), "/api/bags/1").status == 200);
+
+  // Router error handling: envelope + metrics.
+  check("404 routing", http_get(daemon.port(), "/nope").status == 404);
+  check("405 method dispatch", http_post(daemon.port(), "/healthz", "").status == 405);
+  bool envelope_ok = false;
+  try {
+    client.get_json("/v1/bags/notanumber");
+  } catch (const preempt::api::ApiError& e) {
+    envelope_ok = e.status() == 400 && e.code() == "invalid_argument";
+  }
+  check("error envelope carries code", envelope_ok);
+  const auto metrics = client.metrics();
+  bool counted = false;
+  for (const auto& m : metrics) {
+    if (m.route == "/v1/bags/{id}" && m.method == "GET" && m.requests > 0) counted = true;
+  }
+  check("GET /v1/metrics counts per route", counted);
+
   std::cout << (failures == 0 ? "self-check passed\n" : "self-check FAILED\n");
   return failures == 0 ? 0 : 1;
 }
@@ -45,6 +94,8 @@ int main(int argc, char** argv) {
   preempt::FlagSet flags("preempt-batchd");
   flags.add_int("port", 0, "TCP port to bind on loopback (0 = ephemeral)");
   flags.add_int("seed", 2019, "bootstrap campaign seed");
+  flags.add_int("http-workers", 4, "HTTP connection worker threads");
+  flags.add_int("bag-workers", 2, "async bag simulation worker threads");
   flags.add_bool("self-check", "start, probe every endpoint, and exit");
   try {
     flags.parse(std::vector<std::string>(argv + 1, argv + argc));
@@ -53,9 +104,21 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Validate before the size_t casts: a negative count would wrap to ~2^64
+  // and sail past the queues' `workers >= 1` preconditions into a
+  // std::length_error from vector::reserve.
+  const int http_workers = flags.get_int("http-workers");
+  const int bag_workers = flags.get_int("bag-workers");
+  if (http_workers < 1 || bag_workers < 1) {
+    std::cerr << "--http-workers and --bag-workers must be >= 1\n";
+    return 2;
+  }
+
   try {
     preempt::api::ServiceDaemon::Options options;
     options.bootstrap_seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    options.http_workers = static_cast<std::size_t>(http_workers);
+    options.bag_workers = static_cast<std::size_t>(bag_workers);
     preempt::api::ServiceDaemon daemon(options);
     daemon.start(static_cast<std::uint16_t>(flags.get_int("port")));
     std::cout << "preempt-batchd listening on 127.0.0.1:" << daemon.port() << "\n";
