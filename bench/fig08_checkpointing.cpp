@@ -15,15 +15,23 @@
 #include "dist/truncated.hpp"
 #include "policy/checkpoint.hpp"
 #include "policy/checkpoint_sim.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 
 int main() {
   using namespace preempt;
   bench::print_header("Fig. 8", "checkpointing: model-driven DP vs Young-Daly");
 
-  const auto truth = trace::ground_truth_distribution(bench::headline_regime());
-  policy::CheckpointConfig cfg;  // 1 min steps, delta = 1 min (as in Sec. 6.2.2)
-  constexpr double kMttfYoungDaly = 1.0;  // "an MTTF of 1 hour" (Sec. 6.2.2)
-  constexpr double kDelta = 1.0 / 60.0;
+  // The experiment's configuration — ground-truth law, DP grid, Young-Daly
+  // MTTF, Monte-Carlo runs/seed — comes from the scenario registry entry;
+  // the grids swept below are the figure's axes.
+  const scenario::ScenarioSpec spec =
+      scenario::find_builtin("paper-fig08-checkpointing")->sweep.base;
+  const auto truth_ptr = scenario::make_ground_truth(spec);
+  const dist::Distribution& truth = *truth_ptr;
+  const policy::CheckpointConfig cfg = scenario::checkpoint_config(spec);
+  const double kMttfYoungDaly = spec.mttf_hours;  // "an MTTF of 1 hour" (Sec. 6.2.2)
+  const double kDelta = spec.checkpoint_cost_hours;
 
   // One value table covers every job length up to 9 h (the Fig. 8b range).
   const policy::CheckpointDp dp(truth, 9.0, cfg);
@@ -68,8 +76,8 @@ int main() {
     dp_plan.checkpoint_cost_hours = kDelta;
     dp_plan.work_segments_hours = dp.schedule_partial(j, 0.0);
     policy::SimulationOptions sim_opts;
-    sim_opts.runs = 2000;
-    sim_opts.seed = 1234;
+    sim_opts.runs = spec.replications;
+    sim_opts.seed = spec.seed;
     const policy::SimulatedMakespan sim_res = policy::simulate_plan(truth, dp_plan, sim_opts);
     const double mc = (sim_res.mean_hours - j) / j * 100.0;
     const double mc_ci = sim_res.ci95_half_hours / j * 100.0;

@@ -4,39 +4,30 @@
 // LULESH) on a cluster of 32 preemptible n1-highcpu-32 VMs vs the same work
 // at on-demand prices.
 // Paper claim: "our service can reduce costs by 5x for all the applications".
+//
+// The experiment cells come from the declarative scenario registry
+// (src/scenario, named sweep "paper-fig09a-cost"): each cell is one workload
+// repacked onto the Fig. 9 market, executed by scenario::run. Reports are
+// byte-identical to the historical hand-wired BatchService setup.
 #include <iostream>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
-#include "sim/service.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 
 int main() {
   using namespace preempt;
   bench::print_header("Fig. 9a", "cost per job: our service vs on-demand");
 
-  trace::RegimeKey key = bench::headline_regime();
-  key.type = trace::VmType::kN1Highcpu32;
-  key.zone = trace::Zone::kUsCentral1C;
-  const auto truth = trace::ground_truth_distribution(key);
-
+  const scenario::NamedScenario* named = scenario::find_builtin("paper-fig09a-cost");
   Table table({"application", "our_cost_per_job", "on_demand_per_job", "reduction",
                "preemptions", "runtime_increase_pct"},
               "Bag of 100 jobs on 32 x n1-highcpu-32");
   double min_reduction = 1e9;
-  for (const sim::Workload& base : sim::all_workloads()) {
-    const sim::Workload w = sim::repack_for_vm_type(base, trace::VmType::kN1Highcpu32);
-    sim::ServiceConfig cfg;
-    cfg.vm_type = trace::VmType::kN1Highcpu32;
-    cfg.cluster_size = 32;
-    cfg.seed = 4242;
-    sim::BatchService svc(cfg, truth.clone(), truth.clone());
-    sim::BagOfJobs bag;
-    bag.name = w.name;
-    bag.spec = w.job;
-    bag.count = 100;
-    svc.submit_bag(bag);
-    const sim::ServiceReport r = svc.run();
-    table.add_row({w.name, "$" + bench::fmt(r.cost_per_job, 4),
+  for (const scenario::ScenarioSpec& cell : scenario::expand(named->sweep)) {
+    const sim::ServiceReport r = scenario::run(cell).report;
+    table.add_row({cell.app, "$" + bench::fmt(r.cost_per_job, 4),
                    "$" + bench::fmt(r.on_demand_cost_per_job, 4),
                    bench::fmt(r.cost_reduction_factor, 2) + "x",
                    std::to_string(r.preemptions),

@@ -5,41 +5,34 @@
 // time); aggregate by preemption count.
 // Paper claim: "the net impact of preemptions results in a roughly linear
 // increase in running time. Each preemption results in a roughly 3% increase."
+//
+// The experiment configuration comes from the scenario registry
+// ("paper-fig09b-preemptions"); each repetition re-seeds that scenario and
+// runs it through scenario::run, byte-identical to the historical
+// hand-wired BatchService loop.
 #include <iostream>
 #include <map>
 
 #include "bench_util.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "sim/service.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 
 int main() {
   using namespace preempt;
   bench::print_header("Fig. 9b", "% increase in running time vs #preemptions");
 
-  trace::RegimeKey key = bench::headline_regime();
-  key.type = trace::VmType::kN1Highcpu32;
-  key.zone = trace::Zone::kUsCentral1C;
-  const auto truth = trace::ground_truth_distribution(key);
-  const sim::Workload w =
-      sim::repack_for_vm_type(sim::nanoconfinement(), trace::VmType::kN1Highcpu32);
+  scenario::ScenarioSpec spec = scenario::find_builtin("paper-fig09b-preemptions")->sweep.base;
+  spec.replications = 1;  // per-seed reports, bucketed below
 
   // Repeat the experiment with different seeds; preemption counts vary
   // naturally ("repeated the experiment multiple times", Sec. 6.3).
   std::map<int, std::vector<double>> by_count;
   std::vector<double> xs, ys;
   for (std::uint64_t seed = 1; seed <= 60; ++seed) {
-    sim::ServiceConfig cfg;
-    cfg.vm_type = trace::VmType::kN1Highcpu32;
-    cfg.cluster_size = 32;
-    cfg.seed = seed * 7919;
-    sim::BatchService svc(cfg, truth.clone(), truth.clone());
-    sim::BagOfJobs bag;
-    bag.name = w.name;
-    bag.spec = w.job;
-    bag.count = 100;
-    svc.submit_bag(bag);
-    const sim::ServiceReport r = svc.run();
+    spec.seed = seed * 7919;
+    const sim::ServiceReport r = scenario::run(spec).report;
     const double pct = r.increase_fraction * 100.0;
     by_count[r.preemptions].push_back(pct);
     xs.push_back(static_cast<double>(r.preemptions));

@@ -147,6 +147,9 @@ BagJobInfo ApiClient::parse_job(const JsonValue& v) {
   out.seed = static_cast<std::uint64_t>(v.number_or("seed", 0));
   out.policy = v.string_or("policy", "");
   out.replications = static_cast<std::size_t>(v.number_or("replications", 1));
+  out.scenario = v.string_or("scenario", "");
+  out.cells = static_cast<std::size_t>(v.number_or("cells", 0));
+  if (const JsonValue* result = v.find("result")) out.scenario_result = *result;
   out.error = v.string_or("error", "");
   if (const JsonValue* report = v.find("report"); report != nullptr && report->is_object()) {
     BagReport r;
@@ -220,6 +223,20 @@ BagPage ApiClient::list_bags(const std::string& status, std::size_t limit,
     for (const JsonValue& job : jobs->as_array()) page.jobs.push_back(parse_job(job));
   }
   return page;
+}
+
+JsonValue ApiClient::scenarios() const { return get_json("/v1/scenarios"); }
+
+JsonValue ApiClient::scenario(const std::string& name) const {
+  return get_json("/v1/scenarios/" + url_encode(name));
+}
+
+BagJobInfo ApiClient::run_scenario(const std::string& name,
+                                   const std::string& overrides_json) const {
+  const HttpResponse response =
+      http_post(port_, "/v1/scenarios/" + url_encode(name) + "/run", overrides_json);
+  if (response.status != 202) throw_api_error(response);
+  return parse_job(parse_json(response.body));
 }
 
 DriftStatus ApiClient::observe_lifetimes(const std::vector<double>& lifetimes_hours,

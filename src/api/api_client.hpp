@@ -107,7 +107,8 @@ struct BagReport {
   std::map<std::string, MetricStat> metrics;
 };
 
-/// One async bag job resource.
+/// One async bag job resource (scenario runs are bag jobs too: `scenario`
+/// carries the scenario name and `scenario_result` its rendered outcome).
 struct BagJobInfo {
   std::uint64_t id = 0;
   std::string status;  ///< queued|running|done|failed
@@ -118,6 +119,9 @@ struct BagJobInfo {
   std::string policy;
   std::size_t replications = 1;
   std::optional<BagReport> report;  ///< present when status == "done"
+  std::string scenario;             ///< scenario name (scenario jobs only)
+  std::size_t cells = 0;            ///< expanded sweep cells (scenario jobs only)
+  JsonValue scenario_result;        ///< "result" of a done scenario job (else null)
   std::string error;                ///< set when status == "failed"
 
   bool terminal() const { return status == "done" || status == "failed"; }
@@ -177,6 +181,16 @@ class ApiClient {
   /// GET /v1/bags?status=&limit=&offset= ("" status = no filter).
   BagPage list_bags(const std::string& status = "", std::size_t limit = 50,
                     std::size_t offset = 0) const;
+
+  /// GET /v1/scenarios — the named-scenario listing (raw JSON rows).
+  JsonValue scenarios() const;
+  /// GET /v1/scenarios/{name} — one scenario's spec + sweep axes.
+  JsonValue scenario(const std::string& name) const;
+  /// POST /v1/scenarios/{name}/run (expects 202); `overrides_json` is a JSON
+  /// object of spec overrides ({"seed":1,"replications":4,...}). Poll the
+  /// returned job with bag()/wait_for_bag().
+  BagJobInfo run_scenario(const std::string& name,
+                          const std::string& overrides_json = "{}") const;
 
   /// POST /v1/observations.
   DriftStatus observe_lifetimes(const std::vector<double>& lifetimes_hours,

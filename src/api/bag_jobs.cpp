@@ -25,10 +25,12 @@ std::optional<BagJobStatus> bag_job_status_from_string(const std::string& text) 
   return std::nullopt;
 }
 
-BagJobQueue::BagJobQueue(std::size_t workers, Executor executor)
-    : executor_(std::move(executor)) {
+BagJobQueue::BagJobQueue(std::size_t workers, Executor executor, Options options)
+    : executor_(std::move(executor)), options_(options) {
   PREEMPT_REQUIRE(executor_ != nullptr, "bag job queue needs an executor");
   PREEMPT_REQUIRE(workers >= 1, "bag job queue needs at least one worker");
+  PREEMPT_REQUIRE(options_.max_finished_jobs >= 1,
+                  "bag job queue must retain at least one finished job");
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -76,12 +78,22 @@ BagJobRecord BagJobQueue::execute_into_store(BagJobRecord scratch) {
     if (error.empty()) {
       record.report = scratch.report;
       record.metrics = std::move(scratch.metrics);
+      record.scenario_result = std::move(scratch.scenario_result);
       record.status = BagJobStatus::kDone;
+      ++done_total_;
     } else {
       record.error = std::move(error);
       record.status = BagJobStatus::kFailed;
     }
     stored = record;
+    // Bound the finished-job store: evict the oldest terminal record beyond
+    // the cap. Queued/running records never enter finished_order_, so they
+    // are never evicted.
+    finished_order_.push_back(scratch.id);
+    while (finished_order_.size() > options_.max_finished_jobs) {
+      records_.erase(finished_order_.front());
+      finished_order_.pop_front();
+    }
   }
   done_cv_.notify_all();
   return stored;
@@ -127,6 +139,13 @@ std::optional<BagJobRecord> BagJobQueue::get(std::uint64_t id) const {
   return it->second;
 }
 
+bool BagJobQueue::evicted(std::uint64_t id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Ids are dense from next_id_ and only terminal records are erased, so an
+  // assigned id that is no longer in the store must have been evicted.
+  return id >= 1 && id < next_id_ && records_.find(id) == records_.end();
+}
+
 BagJobQueue::Page BagJobQueue::list(std::optional<BagJobStatus> filter, std::size_t limit,
                                     std::size_t offset) const {
   Page page;
@@ -159,18 +178,17 @@ bool BagJobQueue::wait(std::uint64_t id, double timeout_seconds) const {
   if (id == 0 || id >= next_id_) return false;
   return done_cv_.wait_until(lock, deadline, [&] {
     const auto it = records_.find(id);
-    return it != records_.end() && (it->second.status == BagJobStatus::kDone ||
-                                    it->second.status == BagJobStatus::kFailed);
+    // A missing id below next_id_ was evicted — and only terminal records
+    // are evicted, so the job is finished.
+    if (it == records_.end()) return true;
+    return it->second.status == BagJobStatus::kDone ||
+           it->second.status == BagJobStatus::kFailed;
   });
 }
 
 std::size_t BagJobQueue::done_count() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  std::size_t done = 0;
-  for (const auto& [id, record] : records_) {
-    if (record.status == BagJobStatus::kDone) ++done;
-  }
-  return done;
+  return done_total_;
 }
 
 }  // namespace preempt::api

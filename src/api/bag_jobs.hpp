@@ -1,16 +1,19 @@
 // Asynchronous bag-of-jobs execution for the controller.
 //
-// POST /v1/bags no longer runs the discrete-event simulation inside the HTTP
-// handler: submissions become job resources (queued -> running -> done |
-// failed) executed by a fixed worker pool, so the request path stays
-// O(microseconds) while bags — including multi-replication Monte-Carlo runs
-// fanned out over src/mc — burn CPU in the background. The store keeps every
-// record for the life of the daemon and answers paginated, status-filtered
-// listings for GET /v1/bags.
+// POST /v1/bags (and POST /v1/scenarios/{name}/run) no longer runs the
+// discrete-event simulation inside the HTTP handler: submissions become job
+// resources (queued -> running -> done | failed) executed by a fixed worker
+// pool, so the request path stays O(microseconds) while bags — including
+// multi-replication Monte-Carlo runs fanned out over src/mc — burn CPU in
+// the background. The store answers paginated, status-filtered listings for
+// GET /v1/bags and retains at most Options::max_finished_jobs terminal
+// records (FIFO eviction in completion order); evicted ids stay
+// distinguishable from ids that never existed.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -20,6 +23,7 @@
 #include <vector>
 
 #include "mc/accumulator.hpp"
+#include "scenario/sweep.hpp"
 #include "sim/service.hpp"
 
 namespace preempt::api {
@@ -41,18 +45,25 @@ struct BagJobSpec {
   sim::ReusePolicyKind policy = sim::ReusePolicyKind::kModelDriven;
   std::string policy_name = "model";
   std::size_t replications = 1;  ///< > 1 fans out over the mc engine
+  /// Set for POST /v1/scenarios/{name}/run submissions: the resolved sweep
+  /// (overrides already applied) the executor runs instead of the legacy
+  /// bag path. `scenario_name` labels the job resource.
+  std::string scenario_name;
+  std::optional<scenario::SweepSpec> scenario;
 };
 
 /// One job resource. `report` is the representative (first-replication)
 /// simulation outcome; `metrics` carries mean/std_error/ci95 per headline
-/// metric when replications > 1.
+/// metric when replications > 1. Scenario jobs store their rendered result
+/// in `scenario_result` instead.
 struct BagJobRecord {
   std::uint64_t id = 0;
   BagJobStatus status = BagJobStatus::kQueued;
   BagJobSpec spec;
   sim::ServiceReport report;
   std::vector<mc::MetricSummary> metrics;
-  std::string error;  ///< set when status == kFailed
+  JsonValue scenario_result;  ///< null unless a scenario job is done
+  std::string error;          ///< set when status == kFailed
 };
 
 class BagJobQueue {
@@ -61,7 +72,15 @@ class BagJobQueue {
   /// or throws; runs on a worker thread without the store lock held.
   using Executor = std::function<void(BagJobRecord& record)>;
 
-  BagJobQueue(std::size_t workers, Executor executor);
+  struct Options {
+    /// Terminal (done/failed) records retained; the oldest-finished record
+    /// is evicted beyond this. Queued/running jobs are never evicted.
+    std::size_t max_finished_jobs = 1024;
+  };
+
+  BagJobQueue(std::size_t workers, Executor executor, Options options);
+  BagJobQueue(std::size_t workers, Executor executor)
+      : BagJobQueue(workers, std::move(executor), Options{}) {}
   /// Joins the workers after their in-flight job (if any); queued jobs that
   /// never started are abandoned, not drained.
   ~BagJobQueue();
@@ -77,8 +96,12 @@ class BagJobQueue {
   /// starved by someone else's queued backlog. Returns the terminal record.
   BagJobRecord run_inline(BagJobSpec spec);
 
-  /// Snapshot of one record; nullopt for unknown ids.
+  /// Snapshot of one record; nullopt for unknown or evicted ids.
   std::optional<BagJobRecord> get(std::uint64_t id) const;
+
+  /// True when `id` was a real finished job whose record the bounded store
+  /// has since evicted (lets callers answer "gone" instead of "never was").
+  bool evicted(std::uint64_t id) const;
 
   struct Page {
     std::vector<BagJobRecord> jobs;  ///< id-ascending slice
@@ -93,11 +116,13 @@ class BagJobQueue {
   void for_each(std::optional<BagJobStatus> filter,
                 const std::function<void(const BagJobRecord&)>& fn) const;
 
-  /// Block until the job reaches done/failed; false on timeout or unknown id.
+  /// Block until the job reaches done/failed; false on timeout or unknown
+  /// id (an evicted id was terminal, so it returns true immediately).
   bool wait(std::uint64_t id, double timeout_seconds) const;
 
   std::size_t worker_count() const noexcept { return workers_.size(); }
-  /// Jobs that finished successfully since construction.
+  std::size_t max_finished_jobs() const noexcept { return options_.max_finished_jobs; }
+  /// Jobs that finished successfully since construction (evictions included).
   std::size_t done_count() const;
 
  private:
@@ -108,12 +133,15 @@ class BagJobQueue {
   BagJobRecord execute_into_store(BagJobRecord scratch);
 
   Executor executor_;
+  Options options_;
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;            ///< queue_ / stop_ changes
   mutable std::condition_variable done_cv_;    ///< terminal status changes
   std::map<std::uint64_t, BagJobRecord> records_;
   std::vector<std::uint64_t> queue_;           ///< FIFO of queued ids
+  std::deque<std::uint64_t> finished_order_;   ///< terminal ids, completion order
   std::uint64_t next_id_ = 1;
+  std::size_t done_total_ = 0;                 ///< cumulative successful jobs
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

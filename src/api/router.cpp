@@ -209,6 +209,53 @@ JsonValue Router::metrics_json() const {
   return JsonValue(std::move(obj));
 }
 
+std::string Router::metrics_prometheus() const {
+  // Label values per the exposition format: backslash, double-quote and
+  // newline must be escaped inside label quotes.
+  auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '\\' || c == '"') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    return out;
+  };
+  const std::vector<RouteMetrics> snapshot = metrics();
+  // value_of returns the rendered sample: counters as exact integers (a
+  // float rendering would freeze a counter's visible value once it crossed
+  // the mantissa precision, breaking rate()), gauges in %.6g.
+  auto series = [&](const std::string& name, const std::string& help, const char* type,
+                    auto value_of) {
+    std::string out = "# HELP " + name + " " + help + "\n# TYPE " + name + " " + type + "\n";
+    for (const RouteMetrics& m : snapshot) {
+      if (m.pattern == "(unmatched)" && m.requests == 0) continue;
+      out += name + "{method=\"" + escape(m.method) + "\",route=\"" + escape(m.pattern) +
+             "\"} " + value_of(m) + "\n";
+    }
+    return out;
+  };
+  auto gauge = [](double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return std::string(buf);
+  };
+  std::string out;
+  out += series("preempt_http_requests_total", "Requests handled per route.", "counter",
+                [](const RouteMetrics& m) { return std::to_string(m.requests); });
+  out += series("preempt_http_errors_total", "Responses with status >= 400 per route.",
+                "counter", [](const RouteMetrics& m) { return std::to_string(m.errors); });
+  out += series("preempt_http_request_duration_ms_mean", "Mean handler latency (ms).",
+                "gauge", [&](const RouteMetrics& m) { return gauge(m.mean_ms()); });
+  out += series("preempt_http_request_duration_ms_max", "Max handler latency (ms).", "gauge",
+                [&](const RouteMetrics& m) { return gauge(m.max_ms); });
+  return out;
+}
+
 Middleware request_id_middleware() {
   // Process-wide monotonic ids; good enough for correlating loopback logs.
   auto counter = std::make_shared<std::atomic<std::uint64_t>>(0);

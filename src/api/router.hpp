@@ -96,6 +96,12 @@ class Router {
   /// The metrics snapshot as a JSON document for GET /v1/metrics.
   JsonValue metrics_json() const;
 
+  /// The metrics snapshot in Prometheus text exposition format (0.0.4):
+  /// preempt_http_requests_total / preempt_http_errors_total counters and
+  /// preempt_http_request_duration_ms_{mean,max} gauges, labelled by
+  /// method + route. Served by GET /v1/metrics?format=prometheus.
+  std::string metrics_prometheus() const;
+
  private:
   struct Route {
     std::string method;

@@ -7,9 +7,9 @@
 #include <string>
 
 #include "common/error.hpp"
-#include "common/random.hpp"
-#include "mc/engine.hpp"
 #include "portfolio/optimizer.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 #include "trace/generator.hpp"
 #include "trace/ground_truth.hpp"
 #include "trace/vm_catalog.hpp"
@@ -40,27 +40,14 @@ JsonValue model_json(const trace::RegimeKey& key, const core::PreemptionModel& m
   return JsonValue(std::move(obj));
 }
 
-/// The report metrics, in the (frozen) legacy field order.
-void append_report_fields(JsonObject& obj, const sim::ServiceReport& report) {
-  obj.emplace_back("jobs_completed", report.jobs_completed);
-  obj.emplace_back("makespan_hours", report.makespan_hours);
-  obj.emplace_back("increase_fraction", report.increase_fraction);
-  obj.emplace_back("cost_per_job", report.cost_per_job);
-  obj.emplace_back("on_demand_cost_per_job", report.on_demand_cost_per_job);
-  obj.emplace_back("cost_reduction_factor", report.cost_reduction_factor);
-  obj.emplace_back("preemptions", report.preemptions);
-  obj.emplace_back("preemptions_total", report.preemptions_total);
-  obj.emplace_back("vms_launched", report.vms_launched);
-  obj.emplace_back("wasted_hours", report.wasted_hours);
-}
-
-/// Legacy bag payload — byte-compatible with the pre-/v1 API.
+/// Legacy bag payload — byte-compatible with the pre-/v1 API (the frozen
+/// field order lives in scenario::append_report_fields).
 JsonValue report_json(std::uint64_t id, const std::string& app,
                       const sim::ServiceReport& report) {
   JsonObject obj;
   obj.emplace_back("id", id);
   obj.emplace_back("app", app);
-  append_report_fields(obj, report);
+  scenario::append_report_fields(obj, report);
   return JsonValue(std::move(obj));
 }
 
@@ -142,7 +129,8 @@ ServiceDaemon::ServiceDaemon(Options options, trace::Dataset bootstrap)
     : options_(options), market_catalog_(bootstrap, catalog_options(options)) {
   registry_ = core::ModelRegistry::fit_from_dataset(bootstrap, options_.horizon_hours);
   bag_jobs_ = std::make_unique<BagJobQueue>(
-      options_.bag_workers, [this](BagJobRecord& record) { execute_bag(record); });
+      options_.bag_workers, [this](BagJobRecord& record) { execute_bag(record); },
+      BagJobQueue::Options{options_.max_finished_jobs});
   router_.use(request_id_middleware());
   router_.use(access_log_middleware());
   build_routes();
@@ -196,8 +184,10 @@ void ServiceDaemon::build_routes() {
   router_.add("POST", "/v1/observations", bind(&ServiceDaemon::post_observations));
   router_.add("GET", "/v1/portfolio", bind(&ServiceDaemon::portfolio_allocation));
   router_.add("POST", "/v1/portfolio", bind(&ServiceDaemon::portfolio_allocation));
-  router_.add("GET", "/v1/metrics",
-              [this](RouteContext&) { return HttpResponse::json(200, router_.metrics_json().dump()); });
+  router_.add("GET", "/v1/scenarios", bind_const(&ServiceDaemon::list_scenarios));
+  router_.add("GET", "/v1/scenarios/{name}", bind_const(&ServiceDaemon::get_scenario));
+  router_.add("POST", "/v1/scenarios/{name}/run", bind(&ServiceDaemon::run_scenario));
+  router_.add("GET", "/v1/metrics", bind_const(&ServiceDaemon::get_metrics));
 
   // --- deprecated /api/* aliases (byte-compatible success payloads) --------
   router_.add("GET", "/api/model", deprecated(bind(&ServiceDaemon::get_model), "/v1/models"));
@@ -326,15 +316,9 @@ BagJobSpec ServiceDaemon::parse_bag_spec(const JsonValue& body, BagField fields)
   spec.seed = static_cast<std::uint64_t>(seed);
 
   spec.policy_name = body.string_or("policy", "model");
-  if (spec.policy_name == "model") {
-    spec.policy = sim::ReusePolicyKind::kModelDriven;
-  } else if (spec.policy_name == "memoryless") {
-    spec.policy = sim::ReusePolicyKind::kMemoryless;
-  } else if (spec.policy_name == "fresh") {
-    spec.policy = sim::ReusePolicyKind::kAlwaysFresh;
-  } else {
-    throw InvalidArgument("unknown policy '" + spec.policy_name + "'");
-  }
+  const auto policy = sim::reuse_policy_from_string(spec.policy_name);
+  require_arg(policy.has_value(), "unknown policy '" + spec.policy_name + "'");
+  spec.policy = *policy;
 
   if (fields == BagField::kWithReplications) {
     const double replications = body.number_or("replications", 1);
@@ -346,6 +330,10 @@ BagJobSpec ServiceDaemon::parse_bag_spec(const JsonValue& body, BagField fields)
 }
 
 void ServiceDaemon::execute_bag(BagJobRecord& record) {
+  if (record.spec.scenario) {
+    execute_scenario(record);
+    return;
+  }
   const BagJobSpec& spec = record.spec;
   const sim::Workload workload = *find_workload(spec.app);  // validated at submit
   const trace::RegimeKey regime{workload.vm_type, trace::Zone::kUsEast1B,
@@ -361,50 +349,79 @@ void ServiceDaemon::execute_bag(BagJobRecord& record) {
     decision_model = registry_.lookup(regime).distribution().clone();
   }
 
-  auto run_once = [&](std::uint64_t seed) {
-    sim::ServiceConfig cfg;
-    cfg.vm_type = workload.vm_type;
-    cfg.cluster_size = spec.vms;
-    cfg.seed = seed;
-    cfg.reuse_policy = spec.policy;
-    sim::BatchService service(cfg, ground_truth->clone(), decision_model->clone());
-    sim::BagOfJobs bag;
-    bag.name = spec.app;
-    bag.spec = workload.job;
-    bag.count = spec.jobs;
-    service.submit_bag(bag);
-    return service.run();
-  };
+  // Execution (single run or mc-engine fan-out, metric names, substream
+  // seeding, rep-0 representative) lives in the scenario layer; the daemon
+  // only contributes its registry-fitted decision model. Reports are
+  // byte-identical to the historical hand-wired path.
+  scenario::ScenarioSpec cell;
+  cell.kind = scenario::ScenarioKind::kService;
+  cell.app = spec.app;
+  cell.jobs = spec.jobs;
+  cell.cluster_size = spec.vms;
+  cell.seed = spec.seed;
+  cell.policy = spec.policy;
+  cell.replications = spec.replications;
+  scenario::ScenarioResult result = scenario::run_service(cell, *ground_truth, *decision_model);
+  record.report = result.report;
+  record.metrics = std::move(result.metrics);
+}
 
-  if (spec.replications <= 1) {
-    record.report = run_once(spec.seed);
+void ServiceDaemon::execute_scenario(BagJobRecord& record) {
+  const scenario::SweepSpec& sweep = *record.spec.scenario;
+  if (sweep.axes.empty()) {
+    scenario::ScenarioResult result = scenario::run(sweep.base);
+    // Single service cells also fill report/metrics; job_resource_json
+    // serializes them as the familiar `report` block alongside `result`.
+    if (result.kind == scenario::ScenarioKind::kService) {
+      record.report = result.report;
+      record.metrics = result.metrics;
+    }
+    record.scenario_result = result.to_json();
     return;
   }
+  record.scenario_result = scenario::to_json(scenario::run_sweep(sweep));
+}
 
-  // Fan the bag over the mc replication engine: per-replication seeds are a
-  // pure function of (bag seed, index), so reports are thread-count
-  // independent; the first replication doubles as the representative report.
-  mc::EngineOptions engine;
-  engine.replications = spec.replications;
-  engine.seed = spec.seed;
-  const mc::ReplicationReport stats = mc::run_replications(
-      engine,
-      {"cost_per_job", "makespan_hours", "cost_reduction_factor", "preemptions", "wasted_hours"},
-      [&](std::size_t replication, Rng& /*rng*/, mc::Recorder& rec) {
-        const sim::ServiceReport r = run_once(substream_seed(spec.seed, replication));
-        rec.record(0, r.cost_per_job);
-        rec.record(1, r.makespan_hours);
-        rec.record(2, r.cost_reduction_factor);
-        rec.record(3, static_cast<double>(r.preemptions));
-        rec.record(4, r.wasted_hours);
-        // Single writer (only index 0), read after run_replications joins —
-        // no synchronization needed beyond the engine's own.
-        if (replication == 0) record.report = r;
-      });
-  record.metrics = stats.metrics;
+/// The "report" member of a done job resource: the frozen field order plus
+/// the replication statistics block when the run was replicated (both
+/// serialized by the scenario layer's shared helpers).
+static JsonValue job_report_json(const BagJobRecord& record) {
+  JsonObject report;
+  scenario::append_report_fields(report, record.report);
+  if (!record.metrics.empty()) {
+    report.emplace_back("replications", record.spec.replications);
+    report.emplace_back("metrics", scenario::metrics_block_json(record.metrics));
+  }
+  return JsonValue(std::move(report));
 }
 
 JsonValue ServiceDaemon::job_resource_json(const BagJobRecord& record) const {
+  if (!record.spec.scenario_name.empty()) {
+    // Scenario job resources: the spec echo is the scenario name + cell
+    // count; `result` carries the rendered scenario outcome (a checkpoint
+    // run, a portfolio run, or a whole sweep). Single service cells also
+    // expose the familiar `report` block, so bag-polling clients (and
+    // ApiClient::BagJobInfo::report) keep working unchanged.
+    const bool single_service_cell =
+        record.spec.scenario && record.spec.scenario->axes.empty() &&
+        record.spec.scenario->base.kind == scenario::ScenarioKind::kService;
+    JsonObject obj;
+    obj.emplace_back("id", record.id);
+    obj.emplace_back("status", to_string(record.status));
+    obj.emplace_back("scenario", record.spec.scenario_name);
+    obj.emplace_back("kind", record.spec.scenario
+                                 ? scenario::to_string(record.spec.scenario->base.kind)
+                                 : std::string("service"));
+    obj.emplace_back("cells",
+                     record.spec.scenario ? record.spec.scenario->cardinality() : 1);
+    obj.emplace_back("replications", record.spec.replications);
+    if (record.status == BagJobStatus::kDone) {
+      if (single_service_cell) obj.emplace_back("report", job_report_json(record));
+      obj.emplace_back("result", record.scenario_result);
+    }
+    if (record.status == BagJobStatus::kFailed) obj.emplace_back("error", record.error);
+    return JsonValue(std::move(obj));
+  }
   JsonObject obj;
   obj.emplace_back("id", record.id);
   obj.emplace_back("status", to_string(record.status));
@@ -415,35 +432,21 @@ JsonValue ServiceDaemon::job_resource_json(const BagJobRecord& record) const {
   obj.emplace_back("policy", record.spec.policy_name);
   obj.emplace_back("replications", record.spec.replications);
   if (record.status == BagJobStatus::kDone) {
-    JsonObject report;
-    append_report_fields(report, record.report);
-    if (!record.metrics.empty()) {
-      report.emplace_back("replications", record.spec.replications);
-      JsonObject metrics;
-      for (const mc::MetricSummary& m : record.metrics) {
-        JsonObject stat;
-        stat.emplace_back("mean", m.mean);
-        stat.emplace_back("std_error", m.std_error);
-        stat.emplace_back("ci95", m.ci95_half);
-        stat.emplace_back("min", m.min);
-        stat.emplace_back("max", m.max);
-        metrics.emplace_back(m.name, std::move(stat));
-      }
-      report.emplace_back("metrics", std::move(metrics));
-    }
-    obj.emplace_back("report", std::move(report));
+    obj.emplace_back("report", job_report_json(record));
   }
   if (record.status == BagJobStatus::kFailed) obj.emplace_back("error", record.error);
   return JsonValue(std::move(obj));
 }
 
 HttpResponse ServiceDaemon::post_bag_async(RouteContext& ctx) {
-  const BagJobSpec spec = parse_bag_spec(parse_body(ctx.req()));
-  const std::uint64_t id = bag_jobs_->submit(spec);
-  const auto record = bag_jobs_->get(id);
-  PREEMPT_CHECK(record.has_value(), "submitted job vanished");
-  HttpResponse response = HttpResponse::json(202, job_resource_json(*record).dump());
-  response.headers["location"] = "/v1/bags/" + std::to_string(id);
+  // Serialize the 202 snapshot locally (see run_scenario: a fast job could
+  // finish and be evicted from the bounded store before a re-read).
+  BagJobRecord snapshot;
+  snapshot.status = BagJobStatus::kQueued;
+  snapshot.spec = parse_bag_spec(parse_body(ctx.req()));
+  snapshot.id = bag_jobs_->submit(snapshot.spec);
+  HttpResponse response = HttpResponse::json(202, job_resource_json(snapshot).dump());
+  response.headers["location"] = "/v1/bags/" + std::to_string(snapshot.id);
   return response;
 }
 
@@ -510,8 +513,99 @@ HttpResponse ServiceDaemon::get_bag_v1(RouteContext& ctx) const {
     return error_envelope(400, "invalid_argument", "bad bag id");
   }
   const auto record = bag_jobs_->get(id);
-  if (!record) return error_envelope(404, "not_found", "no bag job " + std::to_string(id));
+  if (!record) {
+    if (bag_jobs_->evicted(id)) {
+      return error_envelope(
+          404, "evicted",
+          "bag job " + std::to_string(id) +
+              " finished and was evicted from the bounded job store (the daemon retains "
+              "the last " +
+              std::to_string(bag_jobs_->max_finished_jobs()) +
+              " finished jobs; raise --max-finished-jobs to keep more)");
+    }
+    return error_envelope(404, "not_found", "no bag job " + std::to_string(id));
+  }
   return HttpResponse::json(200, job_resource_json(*record).dump());
+}
+
+HttpResponse ServiceDaemon::list_scenarios(RouteContext&) const {
+  JsonArray rows;
+  for (const scenario::NamedScenario& s : scenario::builtin_scenarios()) {
+    JsonObject row;
+    row.emplace_back("name", s.name);
+    row.emplace_back("summary", s.summary);
+    row.emplace_back("kind", scenario::to_string(s.sweep.base.kind));
+    row.emplace_back("cells", s.sweep.cardinality());
+    rows.emplace_back(std::move(row));
+  }
+  JsonObject obj;
+  obj.emplace_back("scenarios", std::move(rows));
+  obj.emplace_back("total", scenario::builtin_scenarios().size());
+  return HttpResponse::json(200, JsonValue(std::move(obj)).dump());
+}
+
+HttpResponse ServiceDaemon::get_scenario(RouteContext& ctx) const {
+  const std::string& name = ctx.param("name");
+  const scenario::NamedScenario* named = scenario::find_builtin(name);
+  if (named == nullptr) {
+    return error_envelope(404, "not_found", "no scenario named '" + name + "'");
+  }
+  JsonObject obj;
+  obj.emplace_back("name", named->name);
+  obj.emplace_back("summary", named->summary);
+  obj.emplace_back("cells", named->sweep.cardinality());
+  obj.emplace_back("sweep", scenario::to_json(named->sweep));
+  return HttpResponse::json(200, JsonValue(std::move(obj)).dump());
+}
+
+HttpResponse ServiceDaemon::run_scenario(RouteContext& ctx) {
+  const std::string& name = ctx.param("name");
+  const scenario::NamedScenario* named = scenario::find_builtin(name);
+  if (named == nullptr) {
+    return error_envelope(404, "not_found", "no scenario named '" + name + "'");
+  }
+  const JsonValue body = parse_body(ctx.req());
+  scenario::SweepSpec sweep = named->sweep;
+  // Body fields are spec overrides in the same vocabulary the JSON spec
+  // uses; apply_override rejects — with a clean 400 — unknown fields, bad
+  // values, the identity fields kind/name, and fields this scenario's own
+  // sweep axes set (expansion would silently clobber those).
+  for (const auto& [key, value] : body.as_object()) {
+    scenario::apply_override(sweep, key, value);
+  }
+  // Validate every expanded cell before queueing: a bad override must fail
+  // the request, not the job an hour later.
+  scenario::expand(sweep);
+
+  BagJobSpec spec;
+  spec.scenario_name = name;
+  spec.seed = sweep.base.seed;
+  spec.replications = sweep.base.replications;
+  // Serialize the 202 snapshot from what was submitted rather than
+  // re-reading the store: with a small --max-finished-jobs a fast job could
+  // finish and be evicted before the read, which must not 500 the submit.
+  BagJobRecord snapshot;
+  snapshot.status = BagJobStatus::kQueued;
+  snapshot.spec = spec;
+  snapshot.spec.scenario = sweep;
+  spec.scenario = std::move(sweep);
+  snapshot.id = bag_jobs_->submit(std::move(spec));
+  HttpResponse response = HttpResponse::json(202, job_resource_json(snapshot).dump());
+  response.headers["location"] = "/v1/bags/" + std::to_string(snapshot.id);
+  return response;
+}
+
+HttpResponse ServiceDaemon::get_metrics(RouteContext& ctx) const {
+  const auto format = ctx.req().query("format");
+  if (format && *format == "prometheus") {
+    HttpResponse response = HttpResponse::text(200, router_.metrics_prometheus());
+    response.headers["content-type"] = "text/plain; version=0.0.4";
+    return response;
+  }
+  if (format && *format != "json") {
+    return error_envelope(400, "invalid_argument", "format must be json|prometheus");
+  }
+  return HttpResponse::json(200, router_.metrics_json().dump());
 }
 
 HttpResponse ServiceDaemon::get_bag_legacy(RouteContext& ctx) const {

@@ -26,7 +26,14 @@
 //   GET/POST /v1/portfolio               allocate a bag across the spot-market
 //                                        grid; query or JSON body
 //                                        {"jobs","job_hours","risk","lambda"}
+//   GET  /v1/scenarios                   named declarative scenarios (src/scenario)
+//   GET  /v1/scenarios/{name}            one scenario's spec + sweep axes
+//   POST /v1/scenarios/{name}/run        run a scenario (or its whole sweep) on
+//                                        the async job queue; body fields are
+//                                        spec overrides ({"seed","jobs",...});
+//                                        poll the returned /v1/bags/{id} resource
 //   GET  /v1/metrics                     per-route request counts and latency
+//                                        (?format=prometheus for text exposition)
 //
 // Deprecated aliases (byte-compatible success payloads, kept for pre-/v1
 // clients; responses carry an `x-deprecated` header pointing at the
@@ -69,6 +76,9 @@ class ServiceDaemon {
     double horizon_hours = 24.0;
     std::size_t bag_workers = 2;   ///< BagJobQueue simulation workers
     std::size_t http_workers = 4;  ///< HttpServer connection workers
+    /// Finished bag/scenario jobs retained by the store (FIFO eviction
+    /// beyond this; evicted ids answer 404 with an eviction message).
+    std::size_t max_finished_jobs = 1024;
   };
 
   explicit ServiceDaemon(Options options);
@@ -104,8 +114,12 @@ class ServiceDaemon {
   /// Parse + validate a bag submission body; throws InvalidArgument.
   BagJobSpec parse_bag_spec(const JsonValue& body,
                             BagField fields = BagField::kWithReplications) const;
-  /// Run one bag job (BagJobQueue executor; replications > 1 via src/mc).
+  /// Run one bag job (BagJobQueue executor). Legacy bag specs and scenario
+  /// submissions both execute through the scenario layer (src/scenario);
+  /// replications > 1 fan out over src/mc either way.
   void execute_bag(BagJobRecord& record);
+  /// Run a POST /v1/scenarios/{name}/run submission (single cell or sweep).
+  void execute_scenario(BagJobRecord& record);
 
   HttpResponse get_model(RouteContext& ctx);
   HttpResponse get_lifetime(RouteContext& ctx);
@@ -118,6 +132,10 @@ class ServiceDaemon {
   HttpResponse get_bag_legacy(RouteContext& ctx) const;
   HttpResponse post_observations(RouteContext& ctx);
   HttpResponse portfolio_allocation(RouteContext& ctx);
+  HttpResponse list_scenarios(RouteContext& ctx) const;
+  HttpResponse get_scenario(RouteContext& ctx) const;
+  HttpResponse run_scenario(RouteContext& ctx);
+  HttpResponse get_metrics(RouteContext& ctx) const;
 
   /// Regime from query parameters / JSON body fields (missing -> defaults).
   static trace::RegimeKey parse_regime(const HttpRequest& request, const JsonValue* body);

@@ -1,0 +1,233 @@
+// `preempt scenario` — the declarative scenario layer from the command line.
+//
+//   preempt scenario list
+//   preempt scenario show --name paper-fig08-checkpointing
+//   preempt scenario run --name paper-fig09-quick [--seed 7] [--replications 5]
+//   preempt scenario run --file my_scenario.json --json
+//   preempt scenario sweep --name paper-fig09a-cost --axes "vms=16,32;policy=model,fresh"
+//
+// `run` executes a named or file-provided scenario (a named sweep runs all
+// of its cells); `sweep` layers extra axes on top before expanding. Cells
+// with replications > 1 report mean +/- 95% CI per headline metric from the
+// src/mc replication engine.
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "cli/cli_util.hpp"
+#include "cli/commands.hpp"
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/sweep.hpp"
+
+namespace preempt::cli {
+
+namespace {
+
+using scenario::ScenarioKind;
+using scenario::ScenarioResult;
+using scenario::ScenarioSpec;
+using scenario::SweepSpec;
+
+SweepSpec load_sweep(const FlagSet& flags) {
+  const std::string name = flags.get_string("name");
+  const std::string file = flags.get_string("file");
+  if (!name.empty() && !file.empty()) {
+    throw InvalidArgument("--name and --file are mutually exclusive");
+  }
+  if (!name.empty()) {
+    const scenario::NamedScenario* named = scenario::find_builtin(name);
+    if (named == nullptr) {
+      throw InvalidArgument("no scenario named '" + name +
+                            "' (run `preempt scenario list`)");
+    }
+    return named->sweep;
+  }
+  if (!file.empty()) {
+    std::ifstream in(file);
+    if (!in) throw IoError("cannot open scenario file '" + file + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    return scenario::sweep_from_json(parse_json(text.str()));
+  }
+  throw InvalidArgument("one of --name or --file is required");
+}
+
+/// CLI overrides routed through the shared override rules (fields swept by
+/// the scenario's own axes are rejected rather than silently clobbered).
+void apply_overrides(const FlagSet& flags, SweepSpec& sweep) {
+  for (const char* field : {"seed", "replications", "jobs", "vms"}) {
+    if (flags.is_set(field)) {
+      scenario::apply_override(sweep, field,
+                               JsonValue(static_cast<double>(flags.get_int(field))));
+    }
+  }
+}
+
+/// The metric a sweep table reports per cell, by scenario kind.
+const char* headline_metric(ScenarioKind kind) {
+  return kind == ScenarioKind::kCheckpoint ? "makespan_hours" : "cost_per_job";
+}
+
+/// (mean, ci95) of the headline metric; single runs report the value with a
+/// zero half-width.
+std::pair<double, double> headline_value(const ScenarioSpec& spec, const ScenarioResult& r) {
+  const std::string wanted = headline_metric(spec.kind);
+  for (const auto& m : r.metrics) {
+    if (m.name == wanted) return {m.mean, m.ci95_half};
+  }
+  switch (spec.kind) {
+    case ScenarioKind::kService: return {r.report.cost_per_job, 0.0};
+    case ScenarioKind::kCheckpoint: return {r.makespan.mean_hours, r.makespan.ci95_half_hours};
+    case ScenarioKind::kPortfolio: return {r.market_report.cost_per_job, 0.0};
+  }
+  return {0.0, 0.0};
+}
+
+void print_single(const ScenarioSpec& spec, const ScenarioResult& result, std::ostream& out) {
+  const std::string title =
+      (spec.name.empty() ? std::string("scenario") : spec.name) + " (" +
+      scenario::to_string(spec.kind) + ", " + std::to_string(spec.replications) +
+      (spec.replications == 1 ? " replication)" : " replications)");
+  Table table({"metric", "value"}, title);
+  switch (spec.kind) {
+    case ScenarioKind::kService: {
+      const sim::ServiceReport& r = result.report;
+      table.add_row({"jobs completed", std::to_string(r.jobs_completed)});
+      table.add_row({"makespan (h)", fmt_double(r.makespan_hours, 3)});
+      table.add_row({"increase over ideal", fmt_double(r.increase_fraction * 100.0, 2) + "%"});
+      table.add_row({"cost per job ($)", fmt_double(r.cost_per_job, 4)});
+      table.add_row({"on-demand cost per job ($)", fmt_double(r.on_demand_cost_per_job, 4)});
+      table.add_row({"cost reduction", fmt_double(r.cost_reduction_factor, 2) + "x"});
+      table.add_row({"preemptions hitting jobs", std::to_string(r.preemptions)});
+      table.add_row({"VMs launched", std::to_string(r.vms_launched)});
+      table.add_row({"wasted hours", fmt_double(r.wasted_hours, 3)});
+      break;
+    }
+    case ScenarioKind::kCheckpoint: {
+      const policy::SimulatedMakespan& m = result.makespan;
+      table.add_row({"scheduler", spec.scheduler});
+      table.add_row({"job (h)", fmt_double(spec.job_hours, 2)});
+      table.add_row({"mean makespan (h)", fmt_double(m.mean_hours, 4)});
+      table.add_row({"increase over job", fmt_double((m.mean_hours - spec.job_hours) /
+                                                         spec.job_hours * 100.0, 2) + "%"});
+      table.add_row({"95% CI half-width (h)", fmt_double(m.ci95_half_hours, 4)});
+      table.add_row({"mean preemptions", fmt_double(m.mean_preemptions, 3)});
+      table.add_row({"runs", std::to_string(m.runs)});
+      break;
+    }
+    case ScenarioKind::kPortfolio: {
+      const portfolio::MultiMarketReport& r = result.market_report;
+      table.add_row({"jobs completed", std::to_string(r.jobs_completed)});
+      table.add_row({"jobs abandoned", std::to_string(r.jobs_abandoned)});
+      table.add_row({"makespan (h)", fmt_double(r.makespan_hours, 3)});
+      table.add_row({"cost per job ($)", fmt_double(r.cost_per_job, 4)});
+      table.add_row({"rebalances", std::to_string(r.rebalances)});
+      break;
+    }
+  }
+  out << table;
+  if (!result.metrics.empty()) {
+    Table stats({"metric", "mean", "std_error", "ci95", "min", "max"},
+                "replication statistics (src/mc)");
+    for (const auto& m : result.metrics) {
+      stats.add_row({m.name, fmt_double(m.mean, 4), fmt_double(m.std_error, 4),
+                     fmt_double(m.ci95_half, 4), fmt_double(m.min, 4), fmt_double(m.max, 4)});
+    }
+    out << stats;
+  }
+}
+
+int run_cells(const SweepSpec& sweep, bool as_json, std::ostream& out) {
+  const std::vector<ScenarioSpec> cells = scenario::expand(sweep);
+  if (cells.size() == 1 && !as_json) {
+    const ScenarioResult result = scenario::run(cells.front());
+    print_single(cells.front(), result, out);
+    return 0;
+  }
+  scenario::SweepReport report;
+  for (const ScenarioSpec& cell : cells) {
+    report.cells.push_back({cell, scenario::run(cell)});
+  }
+  if (as_json) {
+    out << scenario::to_json(report).dump(2) << "\n";
+    return 0;
+  }
+  Table table({"cell", "reps", "metric", "mean", "ci95"},
+              std::to_string(report.cells.size()) + " scenario cells");
+  for (const auto& cell : report.cells) {
+    const auto [mean, ci95] = headline_value(cell.spec, cell.result);
+    table.add_row({cell.spec.name.empty() ? "(unnamed)" : cell.spec.name,
+                   std::to_string(cell.spec.replications), headline_metric(cell.spec.kind),
+                   fmt_double(mean, 4), cell.spec.replications > 1
+                                            ? "+/-" + fmt_double(ci95, 4)
+                                            : std::string("-")});
+  }
+  out << table;
+  return 0;
+}
+
+}  // namespace
+
+int cmd_scenario(const Args& args, std::ostream& out, std::ostream& err) {
+  FlagSet flags("preempt scenario <list|show|run|sweep>");
+  flags.add_string("name", "", "built-in scenario name (see `preempt scenario list`)");
+  flags.add_string("file", "", "scenario or sweep JSON file instead of --name");
+  flags.add_string("axes", "", "sweep axes, e.g. \"vms=16,32;policy=model,fresh\"");
+  flags.add_int("seed", 42, "override the base scenario seed");
+  flags.add_int("replications", 1, "override the base replication count");
+  flags.add_int("jobs", 100, "override the bag size");
+  flags.add_int("vms", 32, "override the cluster size");
+  flags.add_bool("json", "print results as JSON instead of tables");
+  if (args.empty() || args[0] == "--help" || args[0] == "help") {
+    out << flags.usage()
+        << "\nverbs:\n"
+           "  list   built-in scenarios\n"
+           "  show   a scenario's JSON spec (+ sweep axes)\n"
+           "  run    execute one scenario (or a named sweep's cells)\n"
+           "  sweep  expand axes over a base scenario and run every cell\n";
+    return args.empty() ? 2 : 0;
+  }
+  flags.parse(args);
+  if (flags.positional().size() != 1) {
+    err << "preempt scenario: exactly one verb expected (list|show|run|sweep)\n";
+    return 2;
+  }
+  const std::string verb = flags.positional()[0];
+
+  if (verb == "list") {
+    Table table({"name", "kind", "cells", "summary"}, "built-in scenarios");
+    for (const auto& s : scenario::builtin_scenarios()) {
+      table.add_row({s.name, scenario::to_string(s.sweep.base.kind),
+                     std::to_string(s.sweep.cardinality()), s.summary});
+    }
+    out << table;
+    return 0;
+  }
+
+  SweepSpec sweep = load_sweep(flags);
+  apply_overrides(flags, sweep);
+
+  if (verb == "show") {
+    out << scenario::to_json(sweep).dump(2) << "\n";
+    return 0;
+  }
+  if (verb == "sweep") {
+    if (flags.is_set("axes")) {
+      for (auto& axis : scenario::parse_axes(flags.get_string("axes"))) {
+        sweep.axes.push_back(std::move(axis));
+      }
+    }
+    return run_cells(sweep, flags.get_bool("json"), out);
+  }
+  if (verb == "run") {
+    return run_cells(sweep, flags.get_bool("json"), out);
+  }
+  err << "preempt scenario: unknown verb '" << verb << "' (list|show|run|sweep)\n";
+  return 2;
+}
+
+}  // namespace preempt::cli

@@ -50,15 +50,9 @@ int cmd_simulate(const Args& args, std::ostream& out, std::ostream& /*err*/) {
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   cfg.checkpointing = flags.get_bool("checkpointing");
   const std::string policy_name = flags.get_string("policy");
-  if (policy_name == "model") {
-    cfg.reuse_policy = sim::ReusePolicyKind::kModelDriven;
-  } else if (policy_name == "memoryless") {
-    cfg.reuse_policy = sim::ReusePolicyKind::kMemoryless;
-  } else if (policy_name == "fresh") {
-    cfg.reuse_policy = sim::ReusePolicyKind::kAlwaysFresh;
-  } else {
-    throw InvalidArgument("unknown --policy '" + policy_name + "'");
-  }
+  const auto policy = sim::reuse_policy_from_string(policy_name);
+  if (!policy) throw InvalidArgument("unknown --policy '" + policy_name + "'");
+  cfg.reuse_policy = *policy;
 
   const trace::RegimeKey regime{workload.vm_type, *zone, trace::DayPeriod::kDay,
                                 trace::WorkloadKind::kBatch};

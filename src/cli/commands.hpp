@@ -14,6 +14,7 @@
 //   drift       stream lifetimes through the KS + CUSUM change-point monitors
 //   portfolio   allocate a bag across VmType x Zone x DayPeriod spot markets
 //   bags        submit/poll/list async bag jobs on a running preempt-batchd
+//   scenario    list/show/run/sweep declarative scenarios (src/scenario)
 #pragma once
 
 #include <iosfwd>
@@ -33,6 +34,7 @@ int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_drift(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_portfolio(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_bags(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_scenario(const Args& args, std::ostream& out, std::ostream& err);
 
 /// Top-level usage text (list of subcommands).
 std::string main_usage();

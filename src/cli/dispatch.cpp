@@ -19,6 +19,7 @@ std::string main_usage() {
          "  drift       change-point monitoring of a lifetime stream (Sec. 8)\n"
          "  portfolio   allocate a bag of jobs across spot markets\n"
          "  bags        submit/poll/list async bag jobs on a running preempt-batchd\n"
+         "  scenario    list/show/run/sweep declarative experiment scenarios\n"
          "\n"
          "run `preempt <command> --help` for per-command flags.\n";
 }
@@ -40,6 +41,7 @@ int run_cli(const Args& args, std::ostream& out, std::ostream& err) {
     if (command == "drift") return cmd_drift(rest, out, err);
     if (command == "portfolio") return cmd_portfolio(rest, out, err);
     if (command == "bags") return cmd_bags(rest, out, err);
+    if (command == "scenario") return cmd_scenario(rest, out, err);
   } catch (const Error& e) {
     err << "preempt " << command << ": " << e.what() << "\n";
     return 1;

@@ -1,0 +1,130 @@
+#include "dist/factory.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "dist/bathtub.hpp"
+#include "dist/empirical.hpp"
+#include "dist/exponential.hpp"
+#include "dist/exponentiated_weibull.hpp"
+#include "dist/gamma.hpp"
+#include "dist/gompertz_makeham.hpp"
+#include "dist/lognormal.hpp"
+#include "dist/piecewise.hpp"
+#include "dist/truncated.hpp"
+#include "dist/uniform.hpp"
+#include "dist/weibull.hpp"
+
+namespace preempt::dist {
+
+namespace {
+
+constexpr char kTruncatedSuffix[] = "-truncated";
+
+std::string parameter_list(const FamilyInfo& info) {
+  std::string out;
+  for (const auto& p : info.parameters) {
+    if (!out.empty()) out += ", ";
+    out += p;
+  }
+  return out;
+}
+
+void require_count(const FamilyInfo& info, std::span<const double> params) {
+  if (params.size() != info.parameters.size()) {
+    throw InvalidArgument("family '" + info.name + "' expects " +
+                          std::to_string(info.parameters.size()) + " parameters (" +
+                          parameter_list(info) + "), got " + std::to_string(params.size()));
+  }
+}
+
+DistributionPtr make_fixed_arity(const std::string& family, std::span<const double> p) {
+  const FamilyInfo* info = nullptr;
+  for (const auto& f : distribution_families()) {
+    if (f.name == family) info = &f;
+  }
+  if (info == nullptr || info->parameters.empty() ||
+      info->parameters.back() == "...") {
+    return nullptr;  // not a fixed-arity family; caller handles
+  }
+  require_count(*info, p);
+  if (family == "bathtub") {
+    BathtubParams params;
+    params.scale = p[0];
+    params.tau1 = p[1];
+    params.tau2 = p[2];
+    params.deadline = p[3];
+    params.horizon = p[4];
+    return std::make_unique<BathtubDistribution>(params);
+  }
+  if (family == "exponential") return std::make_unique<Exponential>(p[0]);
+  if (family == "weibull") return std::make_unique<Weibull>(p[0], p[1]);
+  if (family == "gamma") return std::make_unique<Gamma>(p[0], p[1]);
+  if (family == "lognormal") return std::make_unique<LogNormal>(p[0], p[1]);
+  if (family == "uniform") return std::make_unique<UniformLifetime>(p[0]);
+  if (family == "gompertz-makeham") {
+    return std::make_unique<GompertzMakeham>(p[0], p[1], p[2]);
+  }
+  if (family == "exponentiated_weibull") {
+    return std::make_unique<ExponentiatedWeibull>(p[0], p[1], p[2]);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const std::vector<FamilyInfo>& distribution_families() {
+  static const std::vector<FamilyInfo> kFamilies = {
+      {"bathtub", {"A", "tau1", "tau2", "b", "horizon"}},
+      {"exponential", {"lambda"}},
+      {"weibull", {"lambda", "k"}},
+      {"gamma", {"alpha", "beta"}},
+      {"lognormal", {"mu", "sigma"}},
+      {"uniform", {"horizon"}},
+      {"gompertz-makeham", {"lambda", "alpha", "beta"}},
+      {"exponentiated_weibull", {"lambda", "k", "gamma"}},
+      {"empirical", {"..."}},   // the samples themselves
+      {"piecewise", {"..."}},   // knot times then knot CDF values
+  };
+  return kFamilies;
+}
+
+DistributionPtr make_distribution(const std::string& family, std::span<const double> params) {
+  if (family.size() > sizeof(kTruncatedSuffix) &&
+      family.ends_with(kTruncatedSuffix)) {
+    if (params.empty()) {
+      throw InvalidArgument("family '" + family +
+                            "' expects the base parameters plus a trailing horizon");
+    }
+    const std::string base_name = family.substr(0, family.size() - sizeof(kTruncatedSuffix) + 1);
+    DistributionPtr base = make_distribution(base_name, params.first(params.size() - 1));
+    return std::make_unique<TruncatedDistribution>(std::move(base), params.back());
+  }
+  if (family == "empirical") {
+    if (params.empty()) {
+      throw InvalidArgument("family 'empirical' expects at least one sample parameter");
+    }
+    return std::make_unique<EmpiricalDistribution>(params);
+  }
+  if (family == "piecewise") {
+    if (params.size() < 4 || params.size() % 2 != 0) {
+      throw InvalidArgument(
+          "family 'piecewise' expects an even number (>= 4) of parameters: the knot "
+          "times followed by the knot CDF values");
+    }
+    const std::size_t n = params.size() / 2;
+    std::vector<double> ts(params.begin(), params.begin() + static_cast<std::ptrdiff_t>(n));
+    std::vector<double> fs(params.begin() + static_cast<std::ptrdiff_t>(n), params.end());
+    return std::make_unique<PiecewiseLinearCdf>(std::move(ts), std::move(fs));
+  }
+  if (DistributionPtr made = make_fixed_arity(family, params)) return made;
+  std::string known;
+  for (const auto& f : distribution_families()) {
+    if (!known.empty()) known += ", ";
+    known += f.name;
+  }
+  throw InvalidArgument("unknown distribution family '" + family + "' (known: " + known +
+                        "; any parametric family also accepts a '-truncated' suffix)");
+}
+
+}  // namespace preempt::dist

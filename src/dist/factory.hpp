@@ -1,0 +1,36 @@
+// By-name construction of lifetime laws for declarative callers (the
+// scenario layer, JSON specs, sweep axes).
+//
+// Every family in src/dist that is constructible from a flat parameter
+// vector is reachable here by its Distribution::name() string; "-truncated"
+// suffixes wrap any parametric base in TruncatedDistribution with the last
+// parameter as the horizon. Data-driven families take their data as the
+// parameter vector: "empirical" consumes the samples themselves, "piecewise"
+// the knot times followed by the knot CDF values.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dist/distribution.hpp"
+
+namespace preempt::dist {
+
+/// One constructible family: its name plus the parameter labels expected by
+/// make_distribution, in order ("..." marks variable-length data families).
+struct FamilyInfo {
+  std::string name;
+  std::vector<std::string> parameters;
+};
+
+/// All families make_distribution accepts, in a stable listing order
+/// (truncated wrappers are not enumerated; append "-truncated" + horizon).
+const std::vector<FamilyInfo>& distribution_families();
+
+/// Build a distribution by family name. Throws InvalidArgument with a clean
+/// (no file:line) message on unknown families or wrong parameter counts;
+/// parameter-range violations surface the family constructor's own error.
+DistributionPtr make_distribution(const std::string& family, std::span<const double> params);
+
+}  // namespace preempt::dist

@@ -1,0 +1,166 @@
+#include "scenario/registry.hpp"
+
+namespace preempt::scenario {
+
+namespace {
+
+/// The Fig. 9 market: everything runs on 32-core VMs in us-central1-c
+/// ("a cluster of 32 preemptible n1-highcpu-32 VMs", Sec. 6.3).
+DistributionSpec fig09_truth() {
+  DistributionSpec truth;
+  truth.source = DistributionSpec::Source::kRegime;
+  truth.regime = trace::RegimeKey{trace::VmType::kN1Highcpu32, trace::Zone::kUsCentral1C,
+                                  trace::DayPeriod::kDay, trace::WorkloadKind::kBatch};
+  return truth;
+}
+
+/// One Sec. 6.3 workload on its native VM type: bag of 100 jobs, 32 VMs,
+/// model-driven reuse, ground truth of the workload's own market cell, and a
+/// decision model fitted to a synthetic bootstrap campaign of that cell.
+ScenarioSpec section6_workload(const std::string& app, trace::VmType native) {
+  ScenarioSpec spec;
+  spec.name = "paper-" + app;
+  spec.kind = ScenarioKind::kService;
+  spec.app = app;
+  spec.jobs = 100;
+  spec.cluster_size = 32;
+  spec.seed = 4242;
+  spec.ground_truth.source = DistributionSpec::Source::kRegime;
+  spec.ground_truth.regime =
+      trace::RegimeKey{native, trace::Zone::kUsEast1B, trace::DayPeriod::kDay,
+                       trace::WorkloadKind::kBatch};
+  spec.decision.source = DistributionSpec::Source::kFitted;
+  spec.decision.regime = spec.ground_truth.regime;
+  return spec;
+}
+
+ScenarioSpec fig09_base(const std::string& name) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.kind = ScenarioKind::kService;
+  spec.app = "nanoconfinement";
+  spec.vm_type = trace::VmType::kN1Highcpu32;
+  spec.jobs = 100;
+  spec.cluster_size = 32;
+  spec.seed = 4242;
+  spec.ground_truth = fig09_truth();
+  spec.decision.source = DistributionSpec::Source::kTruth;
+  return spec;
+}
+
+std::vector<NamedScenario> build() {
+  std::vector<NamedScenario> out;
+
+  out.push_back({"paper-nanoconfinement",
+                 "Sec. 6 nanoconfinement MD bag (100 jobs, 32 x n1-highcpu-16)",
+                 {section6_workload("nanoconfinement", trace::VmType::kN1Highcpu16), {}}});
+  out.push_back({"paper-shapes",
+                 "Sec. 6 nanoparticle-shapes MD bag (100 jobs, 32 x n1-highcpu-16)",
+                 {section6_workload("shapes", trace::VmType::kN1Highcpu16), {}}});
+  out.push_back({"paper-lulesh",
+                 "Sec. 6 LULESH hydrodynamics bag (100 jobs, 32 x n1-highcpu-8)",
+                 {section6_workload("lulesh", trace::VmType::kN1Highcpu8), {}}});
+
+  {
+    // Fig. 8: 4 h job, DP schedule executed under the true bathtub law,
+    // 2000 Monte-Carlo runs (the fig8b "ours_mc" column's configuration).
+    ScenarioSpec spec;
+    spec.name = "paper-fig08-checkpointing";
+    spec.kind = ScenarioKind::kCheckpoint;
+    spec.scheduler = "dp";
+    spec.job_hours = 4.0;
+    spec.start_age_hours = 0.0;
+    spec.mttf_hours = 1.0;  // the Young-Daly world view (Sec. 6.2.2)
+    spec.seed = 1234;
+    spec.replications = 2000;
+    spec.ground_truth.source = DistributionSpec::Source::kRegime;  // headline regime
+    out.push_back({"paper-fig08-checkpointing",
+                   "Fig. 8 checkpointing: DP schedule under the true bathtub law",
+                   {spec, {}}});
+  }
+
+  {
+    SweepSpec sweep;
+    sweep.base = fig09_base("paper-fig09a-cost");
+    SweepAxis app;
+    app.field = "app";
+    app.values = {JsonValue("nanoconfinement"), JsonValue("shapes"), JsonValue("lulesh")};
+    sweep.axes.push_back(std::move(app));
+    out.push_back({"paper-fig09a-cost",
+                   "Fig. 9a cost per job: all three workloads on 32 x n1-highcpu-32",
+                   std::move(sweep)});
+  }
+
+  {
+    ScenarioSpec spec = fig09_base("paper-fig09b-preemptions");
+    spec.seed = 7919;
+    spec.replications = 60;  // the bench's 60 seeded repetitions, mc-aggregated
+    out.push_back({"paper-fig09b-preemptions",
+                   "Fig. 9b running-time increase vs preemptions (60 replications)",
+                   {spec, {}}});
+  }
+
+  {
+    ScenarioSpec spec = fig09_base("paper-fig09-quick");
+    spec.jobs = 10;
+    spec.cluster_size = 8;
+    spec.replications = 3;
+    out.push_back({"paper-fig09-quick",
+                   "CI-sized Fig. 9 smoke run (10 jobs, 8 VMs, 3 replications)",
+                   {spec, {}}});
+  }
+
+  {
+    SweepSpec sweep;
+    sweep.base = fig09_base("grid-cluster-policy");
+    sweep.base.jobs = 20;
+    sweep.base.replications = 3;
+    SweepAxis vm_type;
+    vm_type.field = "vm_type";
+    vm_type.values = {JsonValue("n1-highcpu-16"), JsonValue("n1-highcpu-32")};
+    SweepAxis vms;
+    vms.field = "vms";
+    vms.values = {JsonValue(8), JsonValue(16), JsonValue(32)};
+    SweepAxis policy;
+    policy.field = "policy";
+    policy.values = {JsonValue("model"), JsonValue("fresh")};
+    sweep.axes = {std::move(vm_type), std::move(vms), std::move(policy)};
+    out.push_back({"grid-cluster-policy",
+                   "12-cell grid: vm_type x cluster size x reuse policy, ci95 per cell",
+                   std::move(sweep)});
+  }
+
+  {
+    ScenarioSpec spec;
+    spec.name = "portfolio-baseline";
+    spec.kind = ScenarioKind::kPortfolio;
+    spec.jobs = 100;
+    spec.job_hours = 0.25;
+    spec.risk_bound = 0.05;
+    spec.correlation_penalty = 0.5;
+    spec.seed = 42;
+    spec.replications = 3;
+    out.push_back({"portfolio-baseline",
+                   "Mean-risk allocation of 100 jobs over the market grid, executed by "
+                   "the multi-market service",
+                   {spec, {}}});
+  }
+
+  return out;
+}
+
+}  // namespace
+
+const std::vector<NamedScenario>& builtin_scenarios() {
+  static const std::vector<NamedScenario> kScenarios = build();
+  return kScenarios;
+}
+
+const NamedScenario* find_builtin(const std::string& name) {
+  for (const NamedScenario& scenario : builtin_scenarios()) {
+    if (scenario.name == name) return &scenario;
+  }
+  return nullptr;
+}
+
+}  // namespace preempt::scenario

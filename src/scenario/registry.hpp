@@ -1,0 +1,37 @@
+// Named built-in scenarios reproducing the paper's experiment setups.
+//
+// Each entry is a SweepSpec (single-cell when it has no axes) that `preempt
+// scenario run --name <x>`, POST /v1/scenarios/<x>/run, and the fig08/fig09
+// bench harnesses all resolve through, so the paper's configurations live in
+// exactly one place.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/sweep.hpp"
+
+namespace preempt::scenario {
+
+struct NamedScenario {
+  std::string name;
+  std::string summary;
+  SweepSpec sweep;
+
+  bool single_cell() const { return sweep.axes.empty(); }
+};
+
+/// All built-ins, in listing order:
+///   paper-nanoconfinement / paper-shapes / paper-lulesh  (Sec. 6 workloads)
+///   paper-fig08-checkpointing                            (Fig. 8 DP vs YD)
+///   paper-fig09a-cost                                    (Fig. 9a, 3 workloads)
+///   paper-fig09b-preemptions                             (Fig. 9b, replicated)
+///   paper-fig09-quick                                    (CI-sized smoke run)
+///   grid-cluster-policy                                  (12-cell CI sweep demo)
+///   portfolio-baseline                                   (multi-market run)
+const std::vector<NamedScenario>& builtin_scenarios();
+
+/// Lookup by name; nullptr when unknown.
+const NamedScenario* find_builtin(const std::string& name);
+
+}  // namespace preempt::scenario

@@ -1,0 +1,302 @@
+#include "scenario/runner.hpp"
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "core/model.hpp"
+#include "dist/factory.hpp"
+#include "mc/engine.hpp"
+#include "sim/planner.hpp"
+#include "sim/workloads.hpp"
+#include "trace/generator.hpp"
+
+namespace preempt::scenario {
+
+namespace {
+
+dist::DistributionPtr resolve_distribution(const DistributionSpec& spec) {
+  switch (spec.source) {
+    case DistributionSpec::Source::kRegime:
+      return trace::ground_truth_distribution(spec.regime).clone();
+    case DistributionSpec::Source::kFitted: {
+      // The controller's bootstrap path in miniature: synthesize a Sec. 3.1
+      // campaign for the cell and fit the bathtub model to it.
+      const trace::Dataset campaign =
+          trace::generate_campaign({spec.regime, spec.fit_samples, spec.fit_seed});
+      return core::PreemptionModel::fit(campaign.lifetimes()).distribution().clone();
+    }
+    case DistributionSpec::Source::kFamily:
+      return dist::make_distribution(spec.family, spec.params);
+    case DistributionSpec::Source::kTruth:
+      break;
+  }
+  throw InvalidArgument("a ground-truth law cannot have source 'truth'");
+}
+
+void append_summary(JsonObject& obj, const std::vector<mc::MetricSummary>& metrics) {
+  if (metrics.empty()) return;
+  obj.emplace_back("metrics", metrics_block_json(metrics));
+}
+
+ScenarioResult run_checkpoint(const ScenarioSpec& spec) {
+  const dist::DistributionPtr truth = make_ground_truth(spec);
+  const policy::CheckpointConfig cfg = checkpoint_config(spec);
+  policy::CheckpointPlan plan;
+  if (spec.scheduler == "dp") {
+    const policy::CheckpointDp dp(*truth, spec.job_hours, cfg);
+    plan.checkpoint_cost_hours = cfg.checkpoint_cost_hours;
+    plan.work_segments_hours = dp.schedule_partial(spec.job_hours, spec.start_age_hours);
+  } else if (spec.scheduler == "young-daly") {
+    plan = policy::young_daly_plan(spec.job_hours, spec.mttf_hours, cfg.checkpoint_cost_hours);
+  } else {
+    plan = policy::no_checkpoint_plan(spec.job_hours, cfg.checkpoint_cost_hours);
+  }
+
+  policy::SimulationOptions options;
+  options.runs = spec.replications;
+  options.seed = spec.seed;
+  options.start_age_hours = spec.start_age_hours;
+  options.restart_overhead_hours = cfg.restart_overhead_hours;
+
+  ScenarioResult result;
+  result.kind = ScenarioKind::kCheckpoint;
+  // simulate_plan replicates through the mc engine internally; its
+  // SimulatedMakespan already carries std_error/ci95, so no separate
+  // metrics block is synthesized.
+  result.makespan = policy::simulate_plan(*truth, plan, options);
+  return result;
+}
+
+ScenarioResult run_portfolio(const ScenarioSpec& spec) {
+  const portfolio::MarketCatalog catalog =
+      portfolio::MarketCatalog::synthetic(spec.catalog_vms_per_cell, spec.catalog_seed);
+  portfolio::PortfolioConfig config;
+  config.jobs = spec.jobs;
+  config.job_hours = spec.job_hours;
+  config.risk_bound = spec.risk_bound;
+  config.correlation_penalty = spec.correlation_penalty;
+  const portfolio::PortfolioOptimizer optimizer(catalog, config);
+  const portfolio::Allocation allocation = optimizer.optimize_greedy();
+
+  auto run_once = [&](std::uint64_t seed) {
+    portfolio::MultiMarketConfig mm;
+    mm.job_hours = spec.job_hours;
+    mm.seed = seed;
+    portfolio::MultiMarketService service(catalog, mm);
+    return service.run(allocation);
+  };
+
+  ScenarioResult result;
+  result.kind = ScenarioKind::kPortfolio;
+  if (spec.replications <= 1) {
+    result.market_report = run_once(spec.seed);
+    return result;
+  }
+  mc::EngineOptions engine;
+  engine.replications = spec.replications;
+  engine.seed = spec.seed;
+  const mc::ReplicationReport stats = mc::run_replications(
+      engine, {"cost_per_job", "makespan_hours", "jobs_completed", "rebalances"},
+      [&](std::size_t replication, Rng& /*rng*/, mc::Recorder& rec) {
+        const portfolio::MultiMarketReport r = run_once(substream_seed(spec.seed, replication));
+        rec.record(0, r.cost_per_job);
+        rec.record(1, r.makespan_hours);
+        rec.record(2, static_cast<double>(r.jobs_completed));
+        rec.record(3, static_cast<double>(r.rebalances));
+        if (replication == 0) result.market_report = r;
+      });
+  result.metrics = stats.metrics;
+  return result;
+}
+
+}  // namespace
+
+void append_report_fields(JsonObject& obj, const sim::ServiceReport& report) {
+  obj.emplace_back("jobs_completed", report.jobs_completed);
+  obj.emplace_back("makespan_hours", report.makespan_hours);
+  obj.emplace_back("increase_fraction", report.increase_fraction);
+  obj.emplace_back("cost_per_job", report.cost_per_job);
+  obj.emplace_back("on_demand_cost_per_job", report.on_demand_cost_per_job);
+  obj.emplace_back("cost_reduction_factor", report.cost_reduction_factor);
+  obj.emplace_back("preemptions", report.preemptions);
+  obj.emplace_back("preemptions_total", report.preemptions_total);
+  obj.emplace_back("vms_launched", report.vms_launched);
+  obj.emplace_back("wasted_hours", report.wasted_hours);
+}
+
+JsonValue metrics_block_json(const std::vector<mc::MetricSummary>& metrics) {
+  JsonObject block;
+  for (const mc::MetricSummary& m : metrics) {
+    JsonObject stat;
+    stat.emplace_back("mean", m.mean);
+    stat.emplace_back("std_error", m.std_error);
+    stat.emplace_back("ci95", m.ci95_half);
+    stat.emplace_back("min", m.min);
+    stat.emplace_back("max", m.max);
+    block.emplace_back(m.name, std::move(stat));
+  }
+  return JsonValue(std::move(block));
+}
+
+dist::DistributionPtr make_ground_truth(const ScenarioSpec& spec) {
+  return resolve_distribution(spec.ground_truth);
+}
+
+dist::DistributionPtr make_decision_model(const ScenarioSpec& spec,
+                                          const dist::Distribution& ground_truth) {
+  if (spec.decision.source == DistributionSpec::Source::kTruth) return ground_truth.clone();
+  return resolve_distribution(spec.decision);
+}
+
+sim::Workload resolve_workload(const ScenarioSpec& spec) {
+  for (const sim::Workload& w : sim::all_workloads()) {
+    if (w.name == spec.app) {
+      return spec.vm_type ? sim::repack_for_vm_type(w, *spec.vm_type) : w;
+    }
+  }
+  throw InvalidArgument("unknown app '" + spec.app + "' (try: nanoconfinement, shapes, lulesh)");
+}
+
+sim::ServiceConfig service_config(const ScenarioSpec& spec) {
+  sim::ServiceConfig cfg;
+  cfg.vm_type = resolve_workload(spec).vm_type;
+  cfg.cluster_size = spec.cluster_size;
+  cfg.seed = spec.seed;
+  cfg.reuse_policy = spec.policy;
+  cfg.checkpointing = spec.checkpointing;
+  return cfg;
+}
+
+policy::CheckpointConfig checkpoint_config(const ScenarioSpec& spec) {
+  policy::CheckpointConfig cfg;
+  cfg.step_hours = spec.step_hours;
+  cfg.checkpoint_cost_hours = spec.checkpoint_cost_hours;
+  cfg.restart_overhead_hours = spec.restart_overhead_hours;
+  return cfg;
+}
+
+ScenarioResult run_service(const ScenarioSpec& spec, const dist::Distribution& ground_truth,
+                           const dist::Distribution& decision_model) {
+  const sim::Workload workload = resolve_workload(spec);
+
+  // The DP table is precomputed once per scenario (it only depends on the
+  // decision model and the job length), then shared by every replication.
+  std::shared_ptr<const policy::CheckpointDp> dp;
+  if (spec.checkpointing) {
+    policy::CheckpointConfig ck;
+    ck.checkpoint_cost_hours = workload.job.checkpoint_cost_hours;
+    dp = std::make_shared<const policy::CheckpointDp>(decision_model, workload.job.work_hours,
+                                                      ck);
+  }
+
+  auto run_once = [&](std::uint64_t seed) {
+    sim::ServiceConfig cfg;
+    cfg.vm_type = workload.vm_type;
+    cfg.cluster_size = spec.cluster_size;
+    cfg.seed = seed;
+    cfg.reuse_policy = spec.policy;
+    cfg.checkpointing = spec.checkpointing;
+    std::unique_ptr<sim::CheckpointPlanner> planner;
+    if (dp) planner = std::make_unique<sim::DpCheckpointPlanner>(dp);
+    sim::BatchService service(cfg, ground_truth.clone(), decision_model.clone(),
+                              std::move(planner));
+    sim::BagOfJobs bag;
+    bag.name = spec.app;
+    bag.spec = workload.job;
+    bag.spec.checkpointable = cfg.checkpointing;
+    bag.count = spec.jobs;
+    service.submit_bag(bag);
+    return service.run();
+  };
+
+  ScenarioResult result;
+  result.kind = ScenarioKind::kService;
+  if (spec.replications <= 1) {
+    result.report = run_once(spec.seed);
+    return result;
+  }
+
+  // Fan over the mc engine: per-replication seeds are a pure function of
+  // (scenario seed, index), so reports are thread-count independent and the
+  // first replication doubles as the representative report.
+  mc::EngineOptions engine;
+  engine.replications = spec.replications;
+  engine.seed = spec.seed;
+  const mc::ReplicationReport stats = mc::run_replications(
+      engine,
+      {"cost_per_job", "makespan_hours", "cost_reduction_factor", "preemptions", "wasted_hours"},
+      [&](std::size_t replication, Rng& /*rng*/, mc::Recorder& rec) {
+        const sim::ServiceReport r = run_once(substream_seed(spec.seed, replication));
+        rec.record(0, r.cost_per_job);
+        rec.record(1, r.makespan_hours);
+        rec.record(2, r.cost_reduction_factor);
+        rec.record(3, static_cast<double>(r.preemptions));
+        rec.record(4, r.wasted_hours);
+        // Single writer (only index 0), read after run_replications joins.
+        if (replication == 0) result.report = r;
+      });
+  result.metrics = stats.metrics;
+  return result;
+}
+
+ScenarioResult run(const ScenarioSpec& spec) {
+  validate(spec);
+  switch (spec.kind) {
+    case ScenarioKind::kService: {
+      const dist::DistributionPtr ground_truth = make_ground_truth(spec);
+      const dist::DistributionPtr decision_model = make_decision_model(spec, *ground_truth);
+      return run_service(spec, *ground_truth, *decision_model);
+    }
+    case ScenarioKind::kCheckpoint:
+      return run_checkpoint(spec);
+    case ScenarioKind::kPortfolio:
+      return run_portfolio(spec);
+  }
+  throw InvalidArgument("unknown scenario kind");
+}
+
+JsonValue ScenarioResult::to_json() const {
+  JsonObject obj;
+  obj.emplace_back("kind", to_string(kind));
+  switch (kind) {
+    case ScenarioKind::kService: {
+      JsonObject rep;
+      append_report_fields(rep, report);
+      obj.emplace_back("report", std::move(rep));
+      break;
+    }
+    case ScenarioKind::kCheckpoint: {
+      JsonObject rep;
+      rep.emplace_back("mean_makespan_hours", makespan.mean_hours);
+      rep.emplace_back("stddev_hours", makespan.stddev_hours);
+      rep.emplace_back("std_error_hours", makespan.std_error_hours);
+      rep.emplace_back("ci95_half_hours", makespan.ci95_half_hours);
+      rep.emplace_back("mean_preemptions", makespan.mean_preemptions);
+      rep.emplace_back("max_hours", makespan.max_hours);
+      rep.emplace_back("runs", makespan.runs);
+      obj.emplace_back("report", std::move(rep));
+      break;
+    }
+    case ScenarioKind::kPortfolio: {
+      JsonObject rep;
+      rep.emplace_back("jobs_completed", market_report.jobs_completed);
+      rep.emplace_back("jobs_abandoned", market_report.jobs_abandoned);
+      rep.emplace_back("makespan_hours", market_report.makespan_hours);
+      rep.emplace_back("total_cost", market_report.total_cost);
+      rep.emplace_back("cost_per_job", market_report.cost_per_job);
+      rep.emplace_back("rebalances", market_report.rebalances);
+      std::size_t used = 0;
+      for (const auto& m : market_report.markets) {
+        if (m.assigned > 0 || m.migrated_in > 0) ++used;
+      }
+      rep.emplace_back("markets_used", used);
+      obj.emplace_back("report", std::move(rep));
+      break;
+    }
+  }
+  append_summary(obj, metrics);
+  return JsonValue(std::move(obj));
+}
+
+}  // namespace preempt::scenario

@@ -1,0 +1,74 @@
+// Execution of declarative scenarios.
+//
+// A scenario run resolves the spec into the existing engines — the batch
+// service DES (sim::BatchService), the checkpoint-plan Monte Carlo
+// (policy::simulate_plan), or the multi-market portfolio simulation
+// (portfolio::MultiMarketService) — and, when replications > 1, fans the
+// runs over the src/mc replication engine with per-replication seeds that
+// are a pure function of (spec seed, index). Identical spec + seed therefore
+// produce identical reports regardless of thread count, and the service path
+// is byte-identical to the controller daemon's historical hand-wired bag
+// execution (same metric names, same substream seeding, same rep-0
+// representative report).
+#pragma once
+
+#include "dist/distribution.hpp"
+#include "mc/accumulator.hpp"
+#include "policy/checkpoint.hpp"
+#include "policy/checkpoint_sim.hpp"
+#include "portfolio/multi_market_service.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/service.hpp"
+
+namespace preempt::scenario {
+
+/// Outcome of one scenario run. Exactly one of the kind-specific payloads is
+/// meaningful (matching `kind`); `metrics` carries the mc-engine replication
+/// statistics (mean/std_error/ci95/min/max) for the headline metrics.
+struct ScenarioResult {
+  ScenarioKind kind = ScenarioKind::kService;
+  sim::ServiceReport report;                    ///< service: replication-0 representative
+  policy::SimulatedMakespan makespan;           ///< checkpoint
+  portfolio::MultiMarketReport market_report;   ///< portfolio: replication-0 representative
+  std::vector<mc::MetricSummary> metrics;
+
+  JsonValue to_json() const;
+};
+
+/// Append a ServiceReport's headline metrics in the frozen field order the
+/// bag API payloads use; scenario results and /v1/bags resources serialize
+/// through this one definition.
+void append_report_fields(JsonObject& obj, const sim::ServiceReport& report);
+
+/// The {metric: {mean,std_error,ci95,min,max}} replication-statistics block
+/// shared by scenario results and replicated bag reports.
+JsonValue metrics_block_json(const std::vector<mc::MetricSummary>& metrics);
+
+/// Resolve the ground-truth lifetime law of a spec. Throws on source=truth
+/// (which only decision models may use).
+dist::DistributionPtr make_ground_truth(const ScenarioSpec& spec);
+
+/// Resolve the decision model; source=truth clones `ground_truth`.
+dist::DistributionPtr make_decision_model(const ScenarioSpec& spec,
+                                          const dist::Distribution& ground_truth);
+
+/// The workload template after any vm_type repack (service kind).
+sim::Workload resolve_workload(const ScenarioSpec& spec);
+
+/// ServiceConfig assembled from a service-kind spec (seed included).
+sim::ServiceConfig service_config(const ScenarioSpec& spec);
+
+/// CheckpointConfig assembled from a checkpoint-kind spec.
+policy::CheckpointConfig checkpoint_config(const ScenarioSpec& spec);
+
+/// Validate + run a scenario end to end.
+ScenarioResult run(const ScenarioSpec& spec);
+
+/// Service-kind run with injected lifetime laws. This is the controller
+/// daemon's path: its registry-fitted decision model (cloned under the
+/// daemon lock) stands in for spec.decision, and execution — single run or
+/// mc-engine fan-out — is shared with run().
+ScenarioResult run_service(const ScenarioSpec& spec, const dist::Distribution& ground_truth,
+                           const dist::Distribution& decision_model);
+
+}  // namespace preempt::scenario

@@ -1,0 +1,393 @@
+#include "scenario/scenario.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "dist/factory.hpp"
+#include "sim/workloads.hpp"
+
+namespace preempt::scenario {
+
+namespace {
+
+void fail(const std::string& message) { throw InvalidArgument(message); }
+
+/// Strict number read: the value must be a JSON number, finite.
+double as_finite_number(const JsonValue& value, const std::string& field) {
+  if (!value.is_number() || !std::isfinite(value.as_number())) {
+    fail("scenario field '" + field + "' must be a finite number");
+  }
+  return value.as_number();
+}
+
+/// Whole non-negative integer up to 2^53 (exactly representable in a double).
+std::uint64_t as_uint(const JsonValue& value, const std::string& field) {
+  const double v = as_finite_number(value, field);
+  if (v < 0 || v > 9007199254740992.0 || v != std::floor(v)) {
+    fail("scenario field '" + field + "' must be a whole number in 0..2^53");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+const std::string& as_string(const JsonValue& value, const std::string& field) {
+  if (!value.is_string()) fail("scenario field '" + field + "' must be a string");
+  return value.as_string();
+}
+
+bool as_bool(const JsonValue& value, const std::string& field) {
+  if (!value.is_bool()) fail("scenario field '" + field + "' must be a boolean");
+  return value.as_bool();
+}
+
+sim::ReusePolicyKind policy_from_string(const std::string& text) {
+  const auto parsed = sim::reuse_policy_from_string(text);
+  if (!parsed) fail("unknown policy '" + text + "' (expected model|memoryless|fresh)");
+  return *parsed;
+}
+
+trace::VmType vm_type_from(const JsonValue& value, const std::string& field) {
+  const auto parsed = trace::vm_type_from_string(as_string(value, field));
+  if (!parsed) fail("unknown vm type '" + value.as_string() + "' in field '" + field + "'");
+  return *parsed;
+}
+
+const char* source_string(DistributionSpec::Source source) {
+  switch (source) {
+    case DistributionSpec::Source::kRegime: return "regime";
+    case DistributionSpec::Source::kFitted: return "fitted";
+    case DistributionSpec::Source::kFamily: return "family";
+    case DistributionSpec::Source::kTruth: return "truth";
+  }
+  return "regime";
+}
+
+JsonValue distribution_to_json(const DistributionSpec& spec) {
+  JsonObject obj;
+  obj.emplace_back("source", source_string(spec.source));
+  switch (spec.source) {
+    case DistributionSpec::Source::kTruth:
+      break;
+    case DistributionSpec::Source::kRegime:
+    case DistributionSpec::Source::kFitted:
+      obj.emplace_back("type", trace::to_string(spec.regime.type));
+      obj.emplace_back("zone", trace::to_string(spec.regime.zone));
+      obj.emplace_back("period", trace::to_string(spec.regime.period));
+      obj.emplace_back("workload", trace::to_string(spec.regime.workload));
+      if (spec.source == DistributionSpec::Source::kFitted) {
+        obj.emplace_back("fit_samples", spec.fit_samples);
+        obj.emplace_back("fit_seed", spec.fit_seed);
+      }
+      break;
+    case DistributionSpec::Source::kFamily: {
+      obj.emplace_back("family", spec.family);
+      JsonArray params;
+      for (double p : spec.params) params.emplace_back(p);
+      obj.emplace_back("params", std::move(params));
+      break;
+    }
+  }
+  return JsonValue(std::move(obj));
+}
+
+DistributionSpec distribution_from_json(const JsonValue& value, const std::string& field) {
+  if (!value.is_object()) fail("scenario field '" + field + "' must be an object");
+  DistributionSpec spec;
+  const std::string source = value.string_or("source", "regime");
+  if (source == "regime") {
+    spec.source = DistributionSpec::Source::kRegime;
+  } else if (source == "fitted") {
+    spec.source = DistributionSpec::Source::kFitted;
+  } else if (source == "family") {
+    spec.source = DistributionSpec::Source::kFamily;
+  } else if (source == "truth") {
+    spec.source = DistributionSpec::Source::kTruth;
+  } else {
+    fail("'" + field + ".source' must be regime|fitted|family|truth, got '" + source + "'");
+  }
+  for (const auto& [key, v] : value.as_object()) {
+    if (key == "source") continue;
+    const std::string path = field + "." + key;
+    if (key == "type") {
+      spec.regime.type = vm_type_from(v, path);
+    } else if (key == "zone") {
+      const auto zone = trace::zone_from_string(as_string(v, path));
+      if (!zone) fail("unknown zone '" + v.as_string() + "' in field '" + path + "'");
+      spec.regime.zone = *zone;
+    } else if (key == "period") {
+      const auto period = trace::day_period_from_string(as_string(v, path));
+      if (!period) fail("unknown period '" + v.as_string() + "' in field '" + path + "'");
+      spec.regime.period = *period;
+    } else if (key == "workload") {
+      const auto workload = trace::workload_from_string(as_string(v, path));
+      if (!workload) fail("unknown workload '" + v.as_string() + "' in field '" + path + "'");
+      spec.regime.workload = *workload;
+    } else if (key == "fit_samples") {
+      spec.fit_samples = static_cast<std::size_t>(as_uint(v, path));
+    } else if (key == "fit_seed") {
+      spec.fit_seed = as_uint(v, path);
+    } else if (key == "family") {
+      spec.family = as_string(v, path);
+    } else if (key == "params") {
+      if (!v.is_array()) fail("scenario field '" + path + "' must be an array of numbers");
+      spec.params.clear();
+      for (const auto& p : v.as_array()) spec.params.push_back(as_finite_number(p, path));
+    } else {
+      fail("unknown scenario field '" + path + "'");
+    }
+  }
+  return spec;
+}
+
+void validate_distribution(const DistributionSpec& spec, const std::string& field,
+                           bool truth_allowed) {
+  switch (spec.source) {
+    case DistributionSpec::Source::kTruth:
+      if (!truth_allowed) fail("'" + field + ".source' cannot be 'truth'");
+      break;
+    case DistributionSpec::Source::kRegime:
+      break;
+    case DistributionSpec::Source::kFitted:
+      if (spec.fit_samples < 10 || spec.fit_samples > 100000) {
+        fail("'" + field + ".fit_samples' must be in 10..100000");
+      }
+      break;
+    case DistributionSpec::Source::kFamily:
+      // Constructing surfaces unknown families and bad parameters now, so a
+      // queued REST run cannot fail late on a typo.
+      dist::make_distribution(spec.family, spec.params);
+      break;
+  }
+}
+
+bool service_field(const std::string& field) {
+  return field == "app" || field == "vm_type" || field == "jobs" || field == "vms" ||
+         field == "policy" || field == "checkpointing" || field == "decision";
+}
+
+bool checkpoint_field(const std::string& field) {
+  return field == "scheduler" || field == "job_hours" || field == "start_age_hours" ||
+         field == "mttf_hours" || field == "checkpoint_cost_hours" || field == "step_hours" ||
+         field == "restart_overhead_hours";
+}
+
+bool portfolio_field(const std::string& field) {
+  return field == "jobs" || field == "job_hours" || field == "risk" || field == "lambda" ||
+         field == "catalog_vms_per_cell" || field == "catalog_seed";
+}
+
+bool field_allowed(ScenarioKind kind, const std::string& field) {
+  if (field == "name" || field == "kind" || field == "seed" || field == "replications") {
+    return true;
+  }
+  // Portfolio scenarios have no single ground truth: every market cell of
+  // the catalog carries its own calibrated law.
+  if (field == "ground_truth") return kind != ScenarioKind::kPortfolio;
+  switch (kind) {
+    case ScenarioKind::kService: return service_field(field);
+    case ScenarioKind::kCheckpoint: return checkpoint_field(field);
+    case ScenarioKind::kPortfolio: return portfolio_field(field);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string to_string(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kService: return "service";
+    case ScenarioKind::kCheckpoint: return "checkpoint";
+    case ScenarioKind::kPortfolio: return "portfolio";
+  }
+  return "service";
+}
+
+std::optional<ScenarioKind> scenario_kind_from_string(const std::string& text) {
+  if (text == "service") return ScenarioKind::kService;
+  if (text == "checkpoint") return ScenarioKind::kCheckpoint;
+  if (text == "portfolio") return ScenarioKind::kPortfolio;
+  return std::nullopt;
+}
+
+JsonValue to_json(const ScenarioSpec& spec) {
+  JsonObject obj;
+  if (!spec.name.empty()) obj.emplace_back("name", spec.name);
+  obj.emplace_back("kind", to_string(spec.kind));
+  obj.emplace_back("seed", spec.seed);
+  obj.emplace_back("replications", spec.replications);
+  if (spec.kind != ScenarioKind::kPortfolio) {
+    obj.emplace_back("ground_truth", distribution_to_json(spec.ground_truth));
+  }
+  switch (spec.kind) {
+    case ScenarioKind::kService:
+      obj.emplace_back("decision", distribution_to_json(spec.decision));
+      obj.emplace_back("app", spec.app);
+      if (spec.vm_type) obj.emplace_back("vm_type", trace::to_string(*spec.vm_type));
+      obj.emplace_back("jobs", spec.jobs);
+      obj.emplace_back("vms", spec.cluster_size);
+      obj.emplace_back("policy", sim::to_string(spec.policy));
+      obj.emplace_back("checkpointing", spec.checkpointing);
+      break;
+    case ScenarioKind::kCheckpoint:
+      obj.emplace_back("scheduler", spec.scheduler);
+      obj.emplace_back("job_hours", spec.job_hours);
+      obj.emplace_back("start_age_hours", spec.start_age_hours);
+      obj.emplace_back("mttf_hours", spec.mttf_hours);
+      obj.emplace_back("checkpoint_cost_hours", spec.checkpoint_cost_hours);
+      obj.emplace_back("step_hours", spec.step_hours);
+      obj.emplace_back("restart_overhead_hours", spec.restart_overhead_hours);
+      break;
+    case ScenarioKind::kPortfolio:
+      obj.emplace_back("jobs", spec.jobs);
+      obj.emplace_back("job_hours", spec.job_hours);
+      obj.emplace_back("risk", spec.risk_bound);
+      obj.emplace_back("lambda", spec.correlation_penalty);
+      obj.emplace_back("catalog_vms_per_cell", spec.catalog_vms_per_cell);
+      obj.emplace_back("catalog_seed", spec.catalog_seed);
+      break;
+  }
+  return JsonValue(std::move(obj));
+}
+
+void apply_field(ScenarioSpec& spec, const std::string& field, const JsonValue& value) {
+  if (!field_allowed(spec.kind, field)) {
+    if (field_allowed(ScenarioKind::kService, field) ||
+        field_allowed(ScenarioKind::kCheckpoint, field) ||
+        field_allowed(ScenarioKind::kPortfolio, field)) {
+      fail("scenario field '" + field + "' does not apply to kind '" + to_string(spec.kind) +
+           "'");
+    }
+    fail("unknown scenario field '" + field + "'");
+  }
+  if (field == "name") {
+    spec.name = as_string(value, field);
+  } else if (field == "kind") {
+    const auto kind = scenario_kind_from_string(as_string(value, field));
+    if (!kind) fail("unknown scenario kind '" + value.as_string() + "'");
+    spec.kind = *kind;
+  } else if (field == "seed") {
+    spec.seed = as_uint(value, field);
+  } else if (field == "replications") {
+    spec.replications = static_cast<std::size_t>(as_uint(value, field));
+  } else if (field == "ground_truth") {
+    spec.ground_truth = distribution_from_json(value, field);
+  } else if (field == "decision") {
+    spec.decision = distribution_from_json(value, field);
+  } else if (field == "app") {
+    spec.app = as_string(value, field);
+  } else if (field == "vm_type") {
+    spec.vm_type = vm_type_from(value, field);
+  } else if (field == "jobs") {
+    spec.jobs = static_cast<std::size_t>(as_uint(value, field));
+  } else if (field == "vms") {
+    spec.cluster_size = static_cast<std::size_t>(as_uint(value, field));
+  } else if (field == "policy") {
+    spec.policy = policy_from_string(as_string(value, field));
+  } else if (field == "checkpointing") {
+    spec.checkpointing = as_bool(value, field);
+  } else if (field == "scheduler") {
+    spec.scheduler = as_string(value, field);
+  } else if (field == "job_hours") {
+    spec.job_hours = as_finite_number(value, field);
+  } else if (field == "start_age_hours") {
+    spec.start_age_hours = as_finite_number(value, field);
+  } else if (field == "mttf_hours") {
+    spec.mttf_hours = as_finite_number(value, field);
+  } else if (field == "checkpoint_cost_hours") {
+    spec.checkpoint_cost_hours = as_finite_number(value, field);
+  } else if (field == "step_hours") {
+    spec.step_hours = as_finite_number(value, field);
+  } else if (field == "restart_overhead_hours") {
+    spec.restart_overhead_hours = as_finite_number(value, field);
+  } else if (field == "risk") {
+    spec.risk_bound = as_finite_number(value, field);
+  } else if (field == "lambda") {
+    spec.correlation_penalty = as_finite_number(value, field);
+  } else if (field == "catalog_vms_per_cell") {
+    spec.catalog_vms_per_cell = static_cast<std::size_t>(as_uint(value, field));
+  } else if (field == "catalog_seed") {
+    spec.catalog_seed = as_uint(value, field);
+  } else {
+    fail("unknown scenario field '" + field + "'");  // unreachable; keeps the chain total
+  }
+}
+
+ScenarioSpec scenario_from_json(const JsonValue& value) {
+  if (!value.is_object()) fail("a scenario spec must be a JSON object");
+  ScenarioSpec spec;
+  // Kind first: it gates which other fields are legal, independent of the
+  // order the caller happened to write them in.
+  if (const JsonValue* kind = value.find("kind")) apply_field(spec, "kind", *kind);
+  for (const auto& [key, v] : value.as_object()) {
+    if (key == "kind") continue;
+    apply_field(spec, key, v);
+  }
+  validate(spec);
+  return spec;
+}
+
+void validate(const ScenarioSpec& spec) {
+  if (spec.replications < 1 || spec.replications > 100000) {
+    fail("replications must be in 1..100000");
+  }
+  if (spec.kind != ScenarioKind::kPortfolio) {
+    validate_distribution(spec.ground_truth, "ground_truth", /*truth_allowed=*/false);
+  }
+  switch (spec.kind) {
+    case ScenarioKind::kService: {
+      validate_distribution(spec.decision, "decision", /*truth_allowed=*/true);
+      if (spec.jobs < 1 || spec.jobs > 100000) fail("jobs must be in 1..100000");
+      if (spec.cluster_size < 1 || spec.cluster_size > 4096) fail("vms must be in 1..4096");
+      const auto workloads = sim::all_workloads();
+      const sim::Workload* found = nullptr;
+      for (const auto& w : workloads) {
+        if (w.name == spec.app) found = &w;
+      }
+      if (found == nullptr) {
+        fail("unknown app '" + spec.app + "' (try: nanoconfinement, shapes, lulesh)");
+      }
+      // Surfaces un-packable vm_type choices and too-small clusters at
+      // validation time rather than from inside a queued job.
+      const sim::Workload resolved =
+          spec.vm_type ? sim::repack_for_vm_type(*found, *spec.vm_type) : *found;
+      if (static_cast<std::size_t>(resolved.job.gang_vms) > spec.cluster_size) {
+        fail("app '" + spec.app + "' needs a gang of " +
+             std::to_string(resolved.job.gang_vms) + " x " +
+             trace::to_string(resolved.vm_type) + " VMs; vms=" +
+             std::to_string(spec.cluster_size) + " is too small");
+      }
+      break;
+    }
+    case ScenarioKind::kCheckpoint:
+      if (spec.scheduler != "dp" && spec.scheduler != "young-daly" &&
+          spec.scheduler != "none") {
+        fail("scheduler must be dp|young-daly|none, got '" + spec.scheduler + "'");
+      }
+      if (spec.job_hours <= 0.0 || spec.job_hours > 240.0) {
+        fail("job_hours must be in (0, 240]");
+      }
+      if (spec.start_age_hours < 0.0) fail("start_age_hours must be >= 0");
+      if (spec.mttf_hours <= 0.0) fail("mttf_hours must be > 0");
+      if (spec.checkpoint_cost_hours <= 0.0) fail("checkpoint_cost_hours must be > 0");
+      if (spec.step_hours <= 0.0) fail("step_hours must be > 0");
+      if (spec.restart_overhead_hours < 0.0) fail("restart_overhead_hours must be >= 0");
+      break;
+    case ScenarioKind::kPortfolio:
+      if (spec.jobs < 1 || spec.jobs > 100000) fail("jobs must be in 1..100000");
+      if (spec.job_hours <= 0.0) fail("job_hours must be > 0");
+      if (spec.risk_bound <= 0.0 || spec.risk_bound > 1.0) fail("risk must be in (0, 1]");
+      if (spec.correlation_penalty < 0.0) fail("lambda must be >= 0");
+      if (spec.catalog_vms_per_cell < 4 || spec.catalog_vms_per_cell > 1000) {
+        fail("catalog_vms_per_cell must be in 4..1000");
+      }
+      break;
+  }
+}
+
+std::string axis_value_string(const JsonValue& value) {
+  if (value.is_string()) return value.as_string();
+  if (value.is_bool()) return value.as_bool() ? "true" : "false";
+  return value.dump();
+}
+
+}  // namespace preempt::scenario

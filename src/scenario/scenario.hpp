@@ -1,0 +1,121 @@
+// Declarative scenario specifications (the paper's Sec. 6 experiment shape:
+// "pick a ground-truth lifetime law + workload + policy + market, run
+// replications").
+//
+// A ScenarioSpec is the single validated object behind `preempt scenario`,
+// the /v1/scenarios REST routes, and the fig08/fig09 bench harnesses. It
+// composes the existing building blocks — sim::ServiceConfig + workload
+// templates (service scenarios), policy::CheckpointConfig (checkpoint
+// scenarios), portfolio::PortfolioConfig + MultiMarketConfig (portfolio
+// scenarios) — plus a declarative choice of ground-truth lifetime law: a
+// calibrated regime cell, a bathtub fitted to a synthetic campaign of a
+// cell, or any dist/ family by name (dist::make_distribution).
+//
+// Specs round-trip through common/json; parsing is strict (unknown fields
+// and out-of-range values are rejected with clean messages, so the REST
+// surface answers 400 instead of mis-running a typo).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "sim/service.hpp"
+#include "trace/ground_truth.hpp"
+
+namespace preempt::scenario {
+
+/// What a scenario simulates.
+enum class ScenarioKind {
+  kService,     ///< batch computing service on a bag of jobs (Sec. 5 / 6.3)
+  kCheckpoint,  ///< one checkpoint plan executed under sampled preemptions (Sec. 6.2.2)
+  kPortfolio,   ///< multi-market allocation executed by MultiMarketService
+};
+
+std::string to_string(ScenarioKind kind);
+std::optional<ScenarioKind> scenario_kind_from_string(const std::string& text);
+
+/// Where a lifetime law comes from.
+struct DistributionSpec {
+  enum class Source {
+    kRegime,  ///< calibrated ground-truth bathtub of a VmType x Zone x Period cell
+    kFitted,  ///< bathtub fitted to a synthetic measurement campaign of the cell
+    kFamily,  ///< explicit family + parameters via dist::make_distribution
+    kTruth,   ///< decision models only: believe the scenario's ground truth
+  };
+
+  Source source = Source::kRegime;
+  trace::RegimeKey regime{};       ///< kRegime / kFitted cell
+  std::size_t fit_samples = 300;   ///< kFitted campaign size
+  std::uint64_t fit_seed = 2019;   ///< kFitted campaign seed
+  std::string family;              ///< kFamily name (dist::distribution_families)
+  std::vector<double> params;      ///< kFamily parameters
+
+  /// The decision-model default: believe the scenario's ground truth.
+  static DistributionSpec truth() {
+    DistributionSpec spec;
+    spec.source = Source::kTruth;
+    return spec;
+  }
+
+  friend bool operator==(const DistributionSpec&, const DistributionSpec&) = default;
+};
+
+/// One declarative experiment cell. Only the fields of the active `kind`
+/// (plus the common block) are serialized, validated and sweepable.
+struct ScenarioSpec {
+  // --- common ---
+  std::string name;  ///< optional label (set for registry entries / sweep cells)
+  ScenarioKind kind = ScenarioKind::kService;
+  std::uint64_t seed = 42;
+  std::size_t replications = 1;  ///< > 1 fans over the src/mc engine (ci95 per metric)
+  DistributionSpec ground_truth;
+  DistributionSpec decision = DistributionSpec::truth();
+
+  // --- service ---
+  std::string app = "nanoconfinement";       ///< workload template name
+  std::optional<trace::VmType> vm_type;      ///< repack target (native type otherwise)
+  std::size_t jobs = 100;                    ///< bag size (portfolio: bag size N)
+  std::size_t cluster_size = 32;
+  sim::ReusePolicyKind policy = sim::ReusePolicyKind::kModelDriven;
+  bool checkpointing = false;
+
+  // --- checkpoint ---
+  std::string scheduler = "dp";        ///< dp | young-daly | none
+  double job_hours = 4.0;              ///< (portfolio: failure-free per-job hours)
+  double start_age_hours = 0.0;
+  double mttf_hours = 1.0;             ///< young-daly world view (Sec. 6.2.2)
+  double checkpoint_cost_hours = 1.0 / 60.0;
+  double step_hours = 1.0 / 60.0;
+  double restart_overhead_hours = 0.0;
+
+  // --- portfolio ---
+  double risk_bound = 0.05;
+  double correlation_penalty = 0.5;
+  std::size_t catalog_vms_per_cell = 44;
+  std::uint64_t catalog_seed = 2019;
+};
+
+/// Serialize (kind-relevant fields only; stable key order).
+JsonValue to_json(const ScenarioSpec& spec);
+
+/// Strict parse + validate. Throws InvalidArgument with a clean message on
+/// unknown fields, wrong types, or out-of-range values.
+ScenarioSpec scenario_from_json(const JsonValue& value);
+
+/// Set one field from a JSON value ("vms", "policy", "app", ...). Shared by
+/// scenario_from_json, sweep-axis expansion and REST run overrides, so every
+/// entry point accepts exactly the same field vocabulary. Throws
+/// InvalidArgument on unknown fields, fields of another kind, or bad values.
+void apply_field(ScenarioSpec& spec, const std::string& field, const JsonValue& value);
+
+/// Full structural validation; throws InvalidArgument with a clean message.
+void validate(const ScenarioSpec& spec);
+
+/// Render a sweep-axis value the way apply_field accepts it ("32", "model",
+/// "true") for cell naming and tables.
+std::string axis_value_string(const JsonValue& value);
+
+}  // namespace preempt::scenario

@@ -1,0 +1,186 @@
+#include "scenario/sweep.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace preempt::scenario {
+
+namespace {
+
+void fail(const std::string& message) { throw InvalidArgument(message); }
+
+JsonValue typed_axis_value(const std::string& token) {
+  if (token == "true") return JsonValue(true);
+  if (token == "false") return JsonValue(false);
+  char* end = nullptr;
+  const double number = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() && *end == '\0') return JsonValue(number);
+  return JsonValue(token);
+}
+
+}  // namespace
+
+std::size_t SweepSpec::cardinality() const {
+  std::size_t cells = 1;
+  for (const SweepAxis& axis : axes) {
+    if (axis.values.empty()) return 0;
+    // Saturate instead of overflowing; expand() rejects past the cap anyway.
+    if (cells > kMaxSweepCells) return cells;
+    cells *= axis.values.size();
+  }
+  return cells;
+}
+
+JsonValue to_json(const SweepSpec& spec) {
+  JsonObject obj;
+  obj.emplace_back("base", to_json(spec.base));
+  JsonArray axes;
+  for (const SweepAxis& axis : spec.axes) {
+    JsonObject a;
+    a.emplace_back("field", axis.field);
+    a.emplace_back("values", axis.values);
+    axes.emplace_back(std::move(a));
+  }
+  obj.emplace_back("axes", std::move(axes));
+  return JsonValue(std::move(obj));
+}
+
+SweepSpec sweep_from_json(const JsonValue& value) {
+  if (!value.is_object()) fail("a sweep spec must be a JSON object");
+  if (value.find("base") == nullptr) {
+    // A bare scenario object is a single-cell sweep.
+    return SweepSpec{scenario_from_json(value), {}};
+  }
+  SweepSpec spec;
+  for (const auto& [key, v] : value.as_object()) {
+    if (key == "base") {
+      spec.base = scenario_from_json(v);
+    } else if (key == "axes") {
+      if (!v.is_array()) fail("'axes' must be an array of {field, values} objects");
+      for (const JsonValue& axis_value : v.as_array()) {
+        if (!axis_value.is_object()) fail("'axes' entries must be objects");
+        SweepAxis axis;
+        for (const auto& [axis_key, axis_field] : axis_value.as_object()) {
+          if (axis_key == "field") {
+            if (!axis_field.is_string()) fail("'axes[].field' must be a string");
+            axis.field = axis_field.as_string();
+          } else if (axis_key == "values") {
+            if (!axis_field.is_array()) fail("'axes[].values' must be an array");
+            axis.values = axis_field.as_array();
+          } else {
+            fail("unknown sweep field 'axes[]." + axis_key + "'");
+          }
+        }
+        if (axis.field.empty()) fail("'axes[].field' is required");
+        spec.axes.push_back(std::move(axis));
+      }
+    } else {
+      fail("unknown sweep field '" + key + "'");
+    }
+  }
+  return spec;
+}
+
+std::vector<ScenarioSpec> expand(const SweepSpec& spec) {
+  for (std::size_t i = 0; i < spec.axes.size(); ++i) {
+    if (spec.axes[i].values.empty()) {
+      fail("sweep axis '" + spec.axes[i].field + "' has no values");
+    }
+    for (std::size_t j = i + 1; j < spec.axes.size(); ++j) {
+      if (spec.axes[i].field == spec.axes[j].field) {
+        fail("sweep axis '" + spec.axes[i].field + "' appears twice");
+      }
+    }
+  }
+  const std::size_t cells = spec.cardinality();
+  if (cells > kMaxSweepCells) {
+    fail("sweep expands to " + std::to_string(cells) + " cells (max " +
+         std::to_string(kMaxSweepCells) + ")");
+  }
+
+  std::vector<ScenarioSpec> expanded;
+  expanded.reserve(cells);
+  // Odometer over the axes: the last axis varies fastest.
+  std::vector<std::size_t> index(spec.axes.size(), 0);
+  for (std::size_t cell = 0; cell < cells; ++cell) {
+    ScenarioSpec s = spec.base;
+    std::string suffix;
+    for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+      const SweepAxis& axis = spec.axes[a];
+      const JsonValue& value = axis.values[index[a]];
+      apply_field(s, axis.field, value);
+      suffix += "/" + axis.field + "=" + axis_value_string(value);
+    }
+    if (!suffix.empty()) s.name = (s.name.empty() ? "sweep" : s.name) + suffix;
+    validate(s);
+    expanded.push_back(std::move(s));
+    for (std::size_t a = spec.axes.size(); a-- > 0;) {
+      if (++index[a] < spec.axes[a].values.size()) break;
+      index[a] = 0;
+    }
+  }
+  return expanded;
+}
+
+SweepReport run_sweep(const SweepSpec& spec) {
+  SweepReport report;
+  for (ScenarioSpec& cell : expand(spec)) {
+    ScenarioResult result = run(cell);
+    report.cells.push_back(SweepCellResult{std::move(cell), std::move(result)});
+  }
+  return report;
+}
+
+JsonValue to_json(const SweepReport& report) {
+  JsonArray cells;
+  for (const SweepCellResult& cell : report.cells) {
+    JsonObject obj;
+    obj.emplace_back("name", cell.spec.name);
+    obj.emplace_back("spec", to_json(cell.spec));
+    obj.emplace_back("result", cell.result.to_json());
+    cells.emplace_back(std::move(obj));
+  }
+  JsonObject out;
+  out.emplace_back("cells", std::move(cells));
+  return JsonValue(std::move(out));
+}
+
+void apply_override(SweepSpec& sweep, const std::string& field, const JsonValue& value) {
+  if (field == "kind" || field == "name") {
+    fail("'" + field + "' is the scenario's identity and cannot be overridden");
+  }
+  for (const SweepAxis& axis : sweep.axes) {
+    if (axis.field == field) {
+      fail("'" + field + "' is swept by this scenario's axes; overriding it would have "
+           "no effect");
+    }
+  }
+  apply_field(sweep.base, field, value);
+}
+
+std::vector<SweepAxis> parse_axes(const std::string& text) {
+  std::vector<SweepAxis> axes;
+  for (const std::string& clause : split(text, ';')) {
+    const std::string trimmed = trim(clause);
+    if (trimmed.empty()) continue;
+    const auto eq = trimmed.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      fail("axis clause '" + trimmed + "' must look like field=value[,value...]");
+    }
+    SweepAxis axis;
+    axis.field = trim(trimmed.substr(0, eq));
+    for (const std::string& token : split(trimmed.substr(eq + 1), ',')) {
+      const std::string value = trim(token);
+      if (value.empty()) fail("axis '" + axis.field + "' has an empty value");
+      axis.values.push_back(typed_axis_value(value));
+    }
+    if (axis.values.empty()) fail("axis '" + axis.field + "' has no values");
+    axes.push_back(std::move(axis));
+  }
+  if (axes.empty()) fail("no sweep axes in '" + text + "'");
+  return axes;
+}
+
+}  // namespace preempt::scenario

@@ -1,0 +1,74 @@
+// Sweep expansion: a base scenario plus value axes, fanned into a grid.
+//
+// An axis is (field, values) where `field` is any scenario field accepted by
+// apply_field ("vms", "policy", "vm_type", "app", ...). expand() takes the
+// cartesian product across axes — grid cells inherit everything else from
+// the base — and validates every cell up front, so an invalid corner of the
+// grid rejects the whole sweep before any simulation starts. run_sweep()
+// executes each cell (its replications go through the src/mc engine), which
+// yields a CI-bearing aggregate report per cell.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+
+namespace preempt::scenario {
+
+struct SweepAxis {
+  std::string field;
+  JsonArray values;  ///< applied via apply_field; at least one value
+};
+
+/// A base spec plus axes; no axes means a single-cell "sweep".
+struct SweepSpec {
+  ScenarioSpec base;
+  std::vector<SweepAxis> axes;
+
+  std::size_t cardinality() const;
+};
+
+/// Serialise as {"base": {...}, "axes": [{"field","values"}...]}.
+JsonValue to_json(const SweepSpec& spec);
+
+/// Strict parse (unknown keys rejected); accepts a bare scenario object as a
+/// single-cell sweep for convenience.
+SweepSpec sweep_from_json(const JsonValue& value);
+
+/// Expansion cap: grids beyond this are almost certainly a typo.
+inline constexpr std::size_t kMaxSweepCells = 4096;
+
+/// Cartesian expansion. Cell names append "/field=value" per axis to the
+/// base name. Throws InvalidArgument on empty axes, duplicate fields,
+/// grids over kMaxSweepCells, or any invalid cell.
+std::vector<ScenarioSpec> expand(const SweepSpec& spec);
+
+struct SweepCellResult {
+  ScenarioSpec spec;
+  ScenarioResult result;
+};
+
+struct SweepReport {
+  std::vector<SweepCellResult> cells;
+};
+
+/// Expand + run every cell in grid order.
+SweepReport run_sweep(const SweepSpec& spec);
+
+/// Report as {"cells":[{"name","spec","result"}...]}.
+JsonValue to_json(const SweepReport& report);
+
+/// Parse the CLI axis shorthand "vms=16,32;policy=model,fresh". Values that
+/// parse as numbers become JSON numbers, "true"/"false" booleans, anything
+/// else strings. Throws InvalidArgument on malformed text.
+std::vector<SweepAxis> parse_axes(const std::string& text);
+
+/// Apply one caller override to the sweep base (the REST run body and the
+/// CLI --seed/--jobs/... flags route through this). Rejects fields the
+/// sweep's own axes set — expansion would silently clobber the override —
+/// and the identity fields "kind"/"name". Throws InvalidArgument.
+void apply_override(SweepSpec& sweep, const std::string& field, const JsonValue& value);
+
+}  // namespace preempt::scenario

@@ -15,6 +15,22 @@ constexpr double kFreshAgeHours = 2.0 / 60.0;
 constexpr std::size_t kLifetimeBatch = 256;
 }  // namespace
 
+std::string to_string(ReusePolicyKind policy) {
+  switch (policy) {
+    case ReusePolicyKind::kModelDriven: return "model";
+    case ReusePolicyKind::kMemoryless: return "memoryless";
+    case ReusePolicyKind::kAlwaysFresh: return "fresh";
+  }
+  return "model";
+}
+
+std::optional<ReusePolicyKind> reuse_policy_from_string(const std::string& text) {
+  if (text == "model") return ReusePolicyKind::kModelDriven;
+  if (text == "memoryless") return ReusePolicyKind::kMemoryless;
+  if (text == "fresh") return ReusePolicyKind::kAlwaysFresh;
+  return std::nullopt;
+}
+
 BatchService::BatchService(ServiceConfig config, dist::DistributionPtr ground_truth,
                            dist::DistributionPtr decision_model,
                            std::unique_ptr<CheckpointPlanner> planner)

@@ -29,6 +29,11 @@ namespace preempt::sim {
 /// Which VM-reuse rule the dispatcher applies (Sec. 4.2 / Sec. 6.2.1).
 enum class ReusePolicyKind { kModelDriven, kMemoryless, kAlwaysFresh };
 
+/// The user-facing policy vocabulary ("model" | "memoryless" | "fresh")
+/// shared by the CLI, the bag API and the scenario layer.
+std::string to_string(ReusePolicyKind policy);
+std::optional<ReusePolicyKind> reuse_policy_from_string(const std::string& text);
+
 struct ServiceConfig {
   trace::VmType vm_type = trace::VmType::kN1Highcpu16;
   std::size_t cluster_size = 32;            ///< target number of live VMs

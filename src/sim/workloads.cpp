@@ -29,10 +29,18 @@ Workload lulesh() { return make("lulesh", 12.5, 8, trace::VmType::kN1Highcpu8); 
 std::vector<Workload> all_workloads() { return {nanoconfinement(), shapes(), lulesh()}; }
 
 Workload repack_for_vm_type(const Workload& w, trace::VmType target) {
+  PREEMPT_REQUIRE(w.job.gang_vms >= 1, "workload gang must have at least one VM");
   const int total_cores = trace::vm_spec(w.vm_type).vcpus * w.job.gang_vms;
   const int target_cores = trace::vm_spec(target).vcpus;
-  PREEMPT_REQUIRE(total_cores % target_cores == 0,
-                  "workload cores must pack evenly onto the target VM type");
+  // A clean client-facing error (the scenario layer passes user-chosen
+  // targets straight through): a non-dividing target would otherwise drop
+  // the remainder cores and silently shrink the gang.
+  if (total_cores % target_cores != 0) {
+    throw InvalidArgument("cannot repack workload '" + w.name + "' (" +
+                          std::to_string(total_cores) + " cores) onto " +
+                          trace::vm_spec(target).name + " (" + std::to_string(target_cores) +
+                          " vCPUs): core count must divide evenly");
+  }
   Workload out = w;
   out.vm_type = target;
   out.job.gang_vms = total_cores / target_cores;

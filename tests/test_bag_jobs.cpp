@@ -93,6 +93,73 @@ TEST(BagJobQueue, WaitTimesOutOnRunningJobs) {
   EXPECT_TRUE(queue.wait(id, 10.0));
 }
 
+TEST(BagJobQueue, BoundedStoreEvictsOldestFinishedFifo) {
+  BagJobQueue::Options options;
+  options.max_finished_jobs = 2;
+  BagJobQueue queue(1, [](BagJobRecord& record) {
+    record.report.jobs_completed = record.spec.jobs;
+  }, options);
+  EXPECT_EQ(queue.max_finished_jobs(), 2u);
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    BagJobSpec spec;
+    spec.jobs = i + 1;
+    ids.push_back(queue.submit(spec));
+    ASSERT_TRUE(queue.wait(ids.back(), 10.0));  // serialize completion order
+  }
+  // Only the two most recently finished jobs survive.
+  EXPECT_FALSE(queue.get(ids[0]).has_value());
+  EXPECT_FALSE(queue.get(ids[1]).has_value());
+  EXPECT_FALSE(queue.get(ids[2]).has_value());
+  ASSERT_TRUE(queue.get(ids[3]).has_value());
+  ASSERT_TRUE(queue.get(ids[4]).has_value());
+  // Evicted ids are distinguishable from ids that never existed.
+  EXPECT_TRUE(queue.evicted(ids[0]));
+  EXPECT_FALSE(queue.evicted(ids[4]));
+  EXPECT_FALSE(queue.evicted(999));
+  // done_count is cumulative: eviction does not erase history.
+  EXPECT_EQ(queue.done_count(), 5u);
+  // The listing only sees retained records.
+  EXPECT_EQ(queue.list(std::nullopt, 100, 0).total, 2u);
+}
+
+TEST(BagJobQueue, FailedJobsCountTowardTheFinishedCap) {
+  BagJobQueue::Options options;
+  options.max_finished_jobs = 1;
+  BagJobQueue queue(1, [](BagJobRecord& record) {
+    if (record.spec.seed == 13) throw std::runtime_error("boom");
+    record.report.jobs_completed = 1;
+  }, options);
+  BagJobSpec bad;
+  bad.seed = 13;
+  const auto bad_id = queue.submit(bad);
+  ASSERT_TRUE(queue.wait(bad_id, 10.0));
+  EXPECT_EQ(queue.get(bad_id)->status, BagJobStatus::kFailed);
+  const auto good_id = queue.submit(BagJobSpec{});
+  ASSERT_TRUE(queue.wait(good_id, 10.0));
+  // The failed record was the oldest finished one and is evicted.
+  EXPECT_FALSE(queue.get(bad_id).has_value());
+  EXPECT_TRUE(queue.evicted(bad_id));
+  EXPECT_TRUE(queue.get(good_id).has_value());
+}
+
+TEST(BagJobQueue, WaitOnEvictedIdReturnsImmediately) {
+  BagJobQueue::Options options;
+  options.max_finished_jobs = 1;
+  BagJobQueue queue(1, [](BagJobRecord&) {}, options);
+  const auto first = queue.submit(BagJobSpec{});
+  ASSERT_TRUE(queue.wait(first, 10.0));
+  const auto second = queue.submit(BagJobSpec{});
+  ASSERT_TRUE(queue.wait(second, 10.0));
+  ASSERT_TRUE(queue.evicted(first));
+  // An evicted job was terminal: wait() must not block for the timeout.
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(queue.wait(first, 30.0));
+  EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::seconds(5));
+  // Unknown ids still fail fast.
+  EXPECT_FALSE(queue.wait(999, 0.01));
+}
+
 TEST(BagJobStatusStrings, RoundTrip) {
   for (const auto status : {BagJobStatus::kQueued, BagJobStatus::kRunning, BagJobStatus::kDone,
                             BagJobStatus::kFailed}) {

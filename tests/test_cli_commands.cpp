@@ -173,5 +173,42 @@ TEST(CliDrift, RefusesTinyStreams) {
   EXPECT_EQ(r.code, 1);
 }
 
+TEST(CliScenario, ListShowAndRun) {
+  const auto list = run({"scenario", "list"});
+  EXPECT_EQ(list.code, 0);
+  EXPECT_NE(list.out.find("paper-fig09a-cost"), std::string::npos);
+  EXPECT_NE(list.out.find("grid-cluster-policy"), std::string::npos);
+
+  const auto show = run({"scenario", "show", "--name", "paper-fig09-quick"});
+  EXPECT_EQ(show.code, 0);
+  EXPECT_NE(show.out.find("\"kind\": \"service\""), std::string::npos);
+
+  const auto result =
+      run({"scenario", "run", "--name", "paper-fig09-quick", "--jobs", "4", "--vms", "2",
+           "--replications", "2"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("jobs completed"), std::string::npos);
+  EXPECT_NE(result.out.find("replication statistics"), std::string::npos);
+}
+
+TEST(CliScenario, SweepFromFileWithAxes) {
+  TempFile spec("scenario.json");
+  {
+    std::ofstream f(spec.path());
+    f << R"({"kind":"service","app":"shapes","jobs":4,"vms":4,"seed":5,"replications":2})";
+  }
+  const auto sweep = run({"scenario", "sweep", "--file", spec.path(), "--axes",
+                          "policy=model,fresh", "--json"});
+  EXPECT_EQ(sweep.code, 0) << sweep.err;
+  EXPECT_NE(sweep.out.find("policy=fresh"), std::string::npos);
+  EXPECT_NE(sweep.out.find("\"ci95\""), std::string::npos);
+}
+
+TEST(CliScenario, ErrorsAreClean) {
+  EXPECT_EQ(run({"scenario", "run", "--name", "nope"}).code, 1);
+  EXPECT_EQ(run({"scenario", "frobnicate", "--name", "paper-fig09-quick"}).code, 2);
+  EXPECT_EQ(run({"scenario", "run"}).code, 1);  // neither --name nor --file
+}
+
 }  // namespace
 }  // namespace preempt::cli

@@ -1,0 +1,384 @@
+// The declarative scenario subsystem: JSON round-trips and strict parsing,
+// the by-name distribution factory, sweep expansion, the built-in registry,
+// and golden determinism — scenario::run must be byte-identical to the
+// pre-refactor hand-wired BatchService / mc-engine paths for equivalent
+// spec + seed.
+#include "scenario/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "dist/factory.hpp"
+#include "mc/engine.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/sweep.hpp"
+#include "sim/workloads.hpp"
+#include "trace/ground_truth.hpp"
+
+namespace preempt::scenario {
+namespace {
+
+ScenarioSpec quick_service_spec() {
+  ScenarioSpec spec;
+  spec.kind = ScenarioKind::kService;
+  spec.app = "shapes";
+  spec.jobs = 10;
+  spec.cluster_size = 8;
+  spec.seed = 99;
+  spec.ground_truth.source = DistributionSpec::Source::kRegime;
+  return spec;
+}
+
+// --- distribution factory ---------------------------------------------------
+
+TEST(DistFactory, ConstructsEveryParametricFamilyByName) {
+  const std::vector<std::pair<std::string, std::vector<double>>> cases = {
+      {"bathtub", {0.45, 1.0, 0.8, 24.0, 24.0}},
+      {"exponential", {0.5}},
+      {"weibull", {0.2, 1.4}},
+      {"gamma", {2.0, 0.5}},
+      {"lognormal", {1.0, 0.6}},
+      {"uniform", {24.0}},
+      {"gompertz-makeham", {0.02, 0.01, 0.3}},
+      {"exponentiated_weibull", {0.2, 1.5, 0.7}},
+  };
+  for (const auto& [family, params] : cases) {
+    const auto d = dist::make_distribution(family, params);
+    ASSERT_NE(d, nullptr) << family;
+    EXPECT_EQ(d->name(), family);
+  }
+}
+
+TEST(DistFactory, ConstructsDataFamiliesAndTruncatedWrappers) {
+  const auto empirical = dist::make_distribution("empirical", std::vector<double>{1.0, 2.0, 5.0});
+  EXPECT_EQ(empirical->name(), "empirical");
+  const auto piecewise =
+      dist::make_distribution("piecewise", std::vector<double>{0.0, 12.0, 0.0, 0.8});
+  EXPECT_EQ(piecewise->name(), "piecewise");
+  const auto truncated =
+      dist::make_distribution("exponential-truncated", std::vector<double>{0.5, 24.0});
+  EXPECT_EQ(truncated->name(), "exponential-truncated");
+  EXPECT_DOUBLE_EQ(truncated->support_end(), 24.0);
+}
+
+TEST(DistFactory, RejectsUnknownFamilyAndWrongArity) {
+  EXPECT_THROW(dist::make_distribution("gaussian", std::vector<double>{0.0, 1.0}),
+               InvalidArgument);
+  try {
+    dist::make_distribution("weibull", std::vector<double>{0.2});
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("expects 2 parameters"), std::string::npos) << what;
+    EXPECT_NE(what.find("lambda, k"), std::string::npos) << what;
+  }
+}
+
+// --- JSON round-trip + strict parsing ---------------------------------------
+
+TEST(ScenarioJson, ServiceSpecRoundTrips) {
+  ScenarioSpec spec = quick_service_spec();
+  spec.name = "rt";
+  spec.vm_type = trace::VmType::kN1Highcpu32;
+  spec.policy = sim::ReusePolicyKind::kAlwaysFresh;
+  spec.replications = 4;
+  spec.decision.source = DistributionSpec::Source::kFamily;
+  spec.decision.family = "weibull";
+  spec.decision.params = {0.2, 1.4};
+  const JsonValue json = to_json(spec);
+  const ScenarioSpec back = scenario_from_json(json);
+  EXPECT_EQ(json.dump(), to_json(back).dump());
+  EXPECT_EQ(back.policy, sim::ReusePolicyKind::kAlwaysFresh);
+  EXPECT_EQ(back.decision.family, "weibull");
+  ASSERT_TRUE(back.vm_type.has_value());
+  EXPECT_EQ(*back.vm_type, trace::VmType::kN1Highcpu32);
+}
+
+TEST(ScenarioJson, CheckpointAndPortfolioSpecsRoundTrip) {
+  ScenarioSpec ck;
+  ck.kind = ScenarioKind::kCheckpoint;
+  ck.scheduler = "young-daly";
+  ck.job_hours = 6.0;
+  ck.start_age_hours = 2.0;
+  ck.replications = 500;
+  ck.ground_truth.source = DistributionSpec::Source::kFitted;
+  ck.ground_truth.fit_samples = 250;
+  ck.ground_truth.fit_seed = 7;
+  EXPECT_EQ(to_json(ck).dump(), to_json(scenario_from_json(to_json(ck))).dump());
+
+  ScenarioSpec pf;
+  pf.kind = ScenarioKind::kPortfolio;
+  pf.jobs = 40;
+  pf.job_hours = 0.5;
+  pf.risk_bound = 0.1;
+  pf.correlation_penalty = 1.0;
+  EXPECT_EQ(to_json(pf).dump(), to_json(scenario_from_json(to_json(pf))).dump());
+}
+
+TEST(ScenarioJson, StrictParsingRejectsBadSpecs) {
+  // Unknown field.
+  EXPECT_THROW(scenario_from_json(parse_json(R"({"kind":"service","warp":9})")),
+               InvalidArgument);
+  // Field of another kind.
+  EXPECT_THROW(scenario_from_json(parse_json(R"({"kind":"service","scheduler":"dp"})")),
+               InvalidArgument);
+  // Portfolio scenarios have no single ground truth.
+  EXPECT_THROW(scenario_from_json(
+                   parse_json(R"({"kind":"portfolio","ground_truth":{"source":"regime"}})")),
+               InvalidArgument);
+  // Bad enum values.
+  EXPECT_THROW(scenario_from_json(parse_json(R"({"kind":"quantum"})")), InvalidArgument);
+  EXPECT_THROW(scenario_from_json(parse_json(R"({"policy":"yolo"})")), InvalidArgument);
+  EXPECT_THROW(scenario_from_json(parse_json(R"({"vm_type":"m5.large"})")), InvalidArgument);
+  // Range violations.
+  EXPECT_THROW(scenario_from_json(parse_json(R"({"jobs":0})")), InvalidArgument);
+  EXPECT_THROW(scenario_from_json(parse_json(R"({"replications":0})")), InvalidArgument);
+  EXPECT_THROW(scenario_from_json(parse_json(R"({"jobs":2.5})")), InvalidArgument);
+  // Unknown app and un-packable repack target.
+  EXPECT_THROW(scenario_from_json(parse_json(R"({"app":"doom"})")), InvalidArgument);
+  // A cluster smaller than the workload's gang can never dispatch.
+  EXPECT_THROW(scenario_from_json(parse_json(R"({"app":"shapes","vms":2})")),
+               InvalidArgument);
+  // Bad ground-truth family parameters surface at parse time.
+  EXPECT_THROW(
+      scenario_from_json(parse_json(
+          R"({"ground_truth":{"source":"family","family":"weibull","params":[1]}})")),
+      InvalidArgument);
+}
+
+// --- sweep expansion ---------------------------------------------------------
+
+TEST(Sweep, ExpandsCartesianGridWithNamedCells) {
+  SweepSpec sweep;
+  sweep.base = quick_service_spec();
+  sweep.base.name = "grid";
+  sweep.axes = parse_axes("vms=4,8,16;policy=model,fresh;seed=1,2");
+  EXPECT_EQ(sweep.cardinality(), 12u);
+  const auto cells = expand(sweep);
+  ASSERT_EQ(cells.size(), 12u);
+  EXPECT_EQ(cells.front().name, "grid/vms=4/policy=model/seed=1");
+  EXPECT_EQ(cells.back().name, "grid/vms=16/policy=fresh/seed=2");
+  // The last axis varies fastest.
+  EXPECT_EQ(cells[1].name, "grid/vms=4/policy=model/seed=2");
+  EXPECT_EQ(cells[0].cluster_size, 4u);
+  EXPECT_EQ(cells[11].policy, sim::ReusePolicyKind::kAlwaysFresh);
+}
+
+TEST(Sweep, RejectsBadAxes) {
+  SweepSpec sweep;
+  sweep.base = quick_service_spec();
+  SweepAxis axis;
+  axis.field = "vms";
+  EXPECT_THROW(expand({sweep.base, {axis}}), InvalidArgument);  // no values
+  axis.values = {JsonValue(8)};
+  EXPECT_THROW(expand({sweep.base, {axis, axis}}), InvalidArgument);  // duplicate
+  SweepAxis unknown;
+  unknown.field = "warp";
+  unknown.values = {JsonValue(1)};
+  EXPECT_THROW(expand({sweep.base, {unknown}}), InvalidArgument);
+  // A single invalid corner rejects the whole grid.
+  SweepAxis jobs;
+  jobs.field = "jobs";
+  jobs.values = {JsonValue(10), JsonValue(0)};
+  EXPECT_THROW(expand({sweep.base, {jobs}}), InvalidArgument);
+}
+
+TEST(Sweep, ParseAxesTypesValues) {
+  const auto axes = parse_axes("vms=16,32;app=shapes;checkpointing=true");
+  ASSERT_EQ(axes.size(), 3u);
+  EXPECT_EQ(axes[0].field, "vms");
+  ASSERT_EQ(axes[0].values.size(), 2u);
+  EXPECT_TRUE(axes[0].values[0].is_number());
+  EXPECT_TRUE(axes[1].values[0].is_string());
+  EXPECT_TRUE(axes[2].values[0].is_bool());
+  EXPECT_THROW(parse_axes("noequals"), InvalidArgument);
+  EXPECT_THROW(parse_axes("vms="), InvalidArgument);
+}
+
+TEST(Sweep, JsonRoundTripAndBareScenarioAccepted) {
+  SweepSpec sweep;
+  sweep.base = quick_service_spec();
+  sweep.base.name = "rt";
+  sweep.axes = parse_axes("vms=8,16");
+  const SweepSpec back = sweep_from_json(to_json(sweep));
+  EXPECT_EQ(to_json(back).dump(), to_json(sweep).dump());
+  // A bare scenario object is a single-cell sweep.
+  const SweepSpec bare = sweep_from_json(to_json(sweep.base));
+  EXPECT_TRUE(bare.axes.empty());
+  EXPECT_EQ(expand(bare).size(), 1u);
+}
+
+// --- registry ----------------------------------------------------------------
+
+TEST(Registry, BuiltinsValidateExpandAndRoundTrip) {
+  ASSERT_GE(builtin_scenarios().size(), 8u);
+  for (const NamedScenario& named : builtin_scenarios()) {
+    SCOPED_TRACE(named.name);
+    EXPECT_FALSE(named.summary.empty());
+    const auto cells = expand(named.sweep);  // validates every cell
+    EXPECT_GE(cells.size(), 1u);
+    const JsonValue json = to_json(named.sweep.base);
+    EXPECT_EQ(json.dump(), to_json(scenario_from_json(json)).dump());
+  }
+  EXPECT_EQ(find_builtin("nope"), nullptr);
+  ASSERT_NE(find_builtin("paper-fig09a-cost"), nullptr);
+  EXPECT_EQ(expand(find_builtin("paper-fig09a-cost")->sweep).size(), 3u);
+  EXPECT_EQ(find_builtin("grid-cluster-policy")->sweep.cardinality(), 12u);
+}
+
+// --- golden determinism ------------------------------------------------------
+
+/// scenario::run of a Fig. 9a cell must equal the pre-refactor hand-wired
+/// BatchService setup field for field (bit-identical doubles).
+TEST(ScenarioGolden, ServiceCellMatchesHandWiredFig09aPath) {
+  trace::RegimeKey key{trace::VmType::kN1Highcpu32, trace::Zone::kUsCentral1C,
+                       trace::DayPeriod::kDay, trace::WorkloadKind::kBatch};
+  const auto truth = trace::ground_truth_distribution(key);
+  const sim::Workload w =
+      sim::repack_for_vm_type(sim::nanoconfinement(), trace::VmType::kN1Highcpu32);
+  sim::ServiceConfig cfg;
+  cfg.vm_type = trace::VmType::kN1Highcpu32;
+  cfg.cluster_size = 32;
+  cfg.seed = 4242;
+  sim::BatchService svc(cfg, truth.clone(), truth.clone());
+  sim::BagOfJobs bag;
+  bag.name = w.name;
+  bag.spec = w.job;
+  bag.count = 100;
+  svc.submit_bag(bag);
+  const sim::ServiceReport expected = svc.run();
+
+  const auto cells = expand(find_builtin("paper-fig09a-cost")->sweep);
+  ASSERT_EQ(cells.front().app, "nanoconfinement");
+  const sim::ServiceReport actual = run(cells.front()).report;
+
+  EXPECT_EQ(actual.jobs_completed, expected.jobs_completed);
+  EXPECT_EQ(actual.makespan_hours, expected.makespan_hours);
+  EXPECT_EQ(actual.ideal_makespan_hours, expected.ideal_makespan_hours);
+  EXPECT_EQ(actual.increase_fraction, expected.increase_fraction);
+  EXPECT_EQ(actual.total_cost, expected.total_cost);
+  EXPECT_EQ(actual.cost_per_job, expected.cost_per_job);
+  EXPECT_EQ(actual.on_demand_cost_per_job, expected.on_demand_cost_per_job);
+  EXPECT_EQ(actual.cost_reduction_factor, expected.cost_reduction_factor);
+  EXPECT_EQ(actual.preemptions, expected.preemptions);
+  EXPECT_EQ(actual.preemptions_total, expected.preemptions_total);
+  EXPECT_EQ(actual.vms_launched, expected.vms_launched);
+  EXPECT_EQ(actual.fresh_vm_launches, expected.fresh_vm_launches);
+  EXPECT_EQ(actual.total_vm_hours, expected.total_vm_hours);
+  EXPECT_EQ(actual.wasted_hours, expected.wasted_hours);
+}
+
+/// Replicated service scenarios must reproduce the legacy daemon fan-out:
+/// same metric names, same substream seeding, same rep-0 representative.
+TEST(ScenarioGolden, ReplicatedRunMatchesHandWiredMcFanOut) {
+  ScenarioSpec spec = quick_service_spec();
+  spec.replications = 3;
+
+  // Hand-wired legacy path (the daemon's historical execute_bag loop).
+  const auto ground_truth = make_ground_truth(spec);
+  const sim::Workload workload = resolve_workload(spec);
+  auto run_once = [&](std::uint64_t seed) {
+    sim::ServiceConfig cfg;
+    cfg.vm_type = workload.vm_type;
+    cfg.cluster_size = spec.cluster_size;
+    cfg.seed = seed;
+    cfg.reuse_policy = spec.policy;
+    sim::BatchService service(cfg, ground_truth->clone(), ground_truth->clone());
+    sim::BagOfJobs bag;
+    bag.name = spec.app;
+    bag.spec = workload.job;
+    bag.count = spec.jobs;
+    service.submit_bag(bag);
+    return service.run();
+  };
+  mc::EngineOptions engine;
+  engine.replications = spec.replications;
+  engine.seed = spec.seed;
+  sim::ServiceReport rep0;
+  const mc::ReplicationReport expected = mc::run_replications(
+      engine,
+      {"cost_per_job", "makespan_hours", "cost_reduction_factor", "preemptions", "wasted_hours"},
+      [&](std::size_t replication, Rng&, mc::Recorder& rec) {
+        const sim::ServiceReport r = run_once(substream_seed(spec.seed, replication));
+        rec.record(0, r.cost_per_job);
+        rec.record(1, r.makespan_hours);
+        rec.record(2, r.cost_reduction_factor);
+        rec.record(3, static_cast<double>(r.preemptions));
+        rec.record(4, r.wasted_hours);
+        if (replication == 0) rep0 = r;
+      });
+
+  const ScenarioResult actual = run(spec);
+  EXPECT_EQ(actual.report.cost_per_job, rep0.cost_per_job);
+  EXPECT_EQ(actual.report.makespan_hours, rep0.makespan_hours);
+  ASSERT_EQ(actual.metrics.size(), expected.metrics.size());
+  for (std::size_t i = 0; i < expected.metrics.size(); ++i) {
+    EXPECT_EQ(actual.metrics[i].name, expected.metrics[i].name);
+    EXPECT_EQ(actual.metrics[i].mean, expected.metrics[i].mean);
+    EXPECT_EQ(actual.metrics[i].std_error, expected.metrics[i].std_error);
+    EXPECT_EQ(actual.metrics[i].ci95_half, expected.metrics[i].ci95_half);
+    EXPECT_EQ(actual.metrics[i].min, expected.metrics[i].min);
+    EXPECT_EQ(actual.metrics[i].max, expected.metrics[i].max);
+  }
+}
+
+TEST(ScenarioGolden, SameSpecSameSeedIsDeterministic) {
+  ScenarioSpec spec = quick_service_spec();
+  spec.replications = 2;
+  EXPECT_EQ(run(spec).to_json().dump(), run(spec).to_json().dump());
+}
+
+TEST(ScenarioGolden, CheckpointScenarioMatchesDirectSimulatePlan) {
+  ScenarioSpec spec;
+  spec.kind = ScenarioKind::kCheckpoint;
+  spec.scheduler = "young-daly";
+  spec.job_hours = 2.0;
+  spec.mttf_hours = 1.0;
+  spec.seed = 77;
+  spec.replications = 200;
+
+  const auto truth = make_ground_truth(spec);
+  const policy::CheckpointPlan plan =
+      policy::young_daly_plan(2.0, 1.0, spec.checkpoint_cost_hours);
+  policy::SimulationOptions options;
+  options.runs = 200;
+  options.seed = 77;
+  const policy::SimulatedMakespan expected = policy::simulate_plan(*truth, plan, options);
+
+  const ScenarioResult actual = run(spec);
+  EXPECT_EQ(actual.makespan.mean_hours, expected.mean_hours);
+  EXPECT_EQ(actual.makespan.ci95_half_hours, expected.ci95_half_hours);
+  EXPECT_EQ(actual.makespan.mean_preemptions, expected.mean_preemptions);
+  EXPECT_EQ(actual.makespan.runs, 200u);
+}
+
+TEST(ScenarioRun, FamilyGroundTruthAndRepackedWorkloads) {
+  // A service scenario under an explicit (misfit) exponential world, with
+  // the gang repacked onto 8-core VMs: the Fig. 7-style sensitivity shape.
+  ScenarioSpec spec = quick_service_spec();
+  spec.vm_type = trace::VmType::kN1Highcpu8;  // 64 cores -> gang of 8
+  spec.ground_truth.source = DistributionSpec::Source::kFamily;
+  spec.ground_truth.family = "exponential-truncated";
+  spec.ground_truth.params = {1.0 / 6.0, 24.0};
+  const ScenarioResult result = run(spec);
+  EXPECT_EQ(result.report.jobs_completed, 10u);
+  EXPECT_GT(result.report.cost_per_job, 0.0);
+}
+
+TEST(ScenarioRun, PortfolioScenarioIsDeterministic) {
+  ScenarioSpec spec;
+  spec.kind = ScenarioKind::kPortfolio;
+  spec.jobs = 30;
+  spec.job_hours = 0.25;
+  spec.catalog_vms_per_cell = 20;  // keep the 40-market fit cheap
+  spec.replications = 2;
+  const ScenarioResult a = run(spec);
+  const ScenarioResult b = run(spec);
+  EXPECT_EQ(a.to_json().dump(), b.to_json().dump());
+  EXPECT_EQ(a.market_report.jobs_completed, 30u);
+}
+
+}  // namespace
+}  // namespace preempt::scenario

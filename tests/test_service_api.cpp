@@ -450,5 +450,154 @@ TEST_F(ServiceApiTest, EndToEndOverSockets) {
   daemon().stop();
 }
 
+TEST_F(ServiceApiTest, ScenariosListAndShow) {
+  const auto list = daemon().handle(get("/v1/scenarios"));
+  ASSERT_EQ(list.status, 200);
+  const JsonValue v = parse_json(list.body);
+  EXPECT_GE(v.number_or("total", 0), 8.0);
+  bool found_quick = false;
+  for (const JsonValue& row : v.find("scenarios")->as_array()) {
+    if (row.string_or("name", "") == "paper-fig09-quick") found_quick = true;
+  }
+  EXPECT_TRUE(found_quick);
+
+  const auto show = daemon().handle(get("/v1/scenarios/paper-fig09a-cost"));
+  ASSERT_EQ(show.status, 200);
+  const JsonValue detail = parse_json(show.body);
+  EXPECT_EQ(detail.number_or("cells", 0), 3.0);
+  const JsonValue* sweep = detail.find("sweep");
+  ASSERT_NE(sweep, nullptr);
+  EXPECT_EQ(sweep->find("base")->string_or("kind", ""), "service");
+
+  EXPECT_EQ(daemon().handle(get("/v1/scenarios/unknown-scenario")).status, 404);
+}
+
+TEST_F(ServiceApiTest, ScenarioRunValidatesOverridesWith400s) {
+  // Unknown scenario name.
+  EXPECT_EQ(daemon().handle(post("/v1/scenarios/nope/run", "{}")).status, 404);
+  // Unknown override field.
+  EXPECT_EQ(daemon().handle(post("/v1/scenarios/paper-fig09-quick/run", R"({"warp":9})")).status,
+            400);
+  // Override of another kind's field.
+  EXPECT_EQ(daemon()
+                .handle(post("/v1/scenarios/paper-fig09-quick/run", R"({"scheduler":"dp"})"))
+                .status,
+            400);
+  // The scenario's identity cannot be overridden (regardless of key order).
+  EXPECT_EQ(daemon()
+                .handle(post("/v1/scenarios/paper-fig09-quick/run",
+                             R"({"kind":"checkpoint","job_hours":2})"))
+                .status,
+            400);
+  EXPECT_EQ(daemon()
+                .handle(post("/v1/scenarios/paper-fig09-quick/run", R"({"name":"alias"})"))
+                .status,
+            400);
+  // Fields swept by the scenario's own axes reject instead of being
+  // silently clobbered by expansion.
+  const auto swept = daemon().handle(post("/v1/scenarios/paper-fig09a-cost/run",
+                                          R"({"app":"lulesh"})"));
+  EXPECT_EQ(swept.status, 400);
+  EXPECT_NE(parse_json(swept.body).find("error")->string_or("message", "").find("axes"),
+            std::string::npos);
+  // Out-of-range override caught by cell validation before queueing.
+  EXPECT_EQ(daemon().handle(post("/v1/scenarios/paper-fig09-quick/run", R"({"jobs":0})")).status,
+            400);
+  const auto bad = daemon().handle(post("/v1/scenarios/paper-fig09-quick/run",
+                                        R"({"replications":-1})"));
+  EXPECT_EQ(bad.status, 400);
+  EXPECT_EQ(parse_json(bad.body).find("error")->string_or("code", ""), "invalid_argument");
+}
+
+TEST_F(ServiceApiTest, ScenarioRunExecutesOnTheJobQueue) {
+  const auto created = daemon().handle(
+      post("/v1/scenarios/paper-fig09-quick/run", R"({"replications":2,"jobs":5})"));
+  ASSERT_EQ(created.status, 202);
+  const JsonValue queued = parse_json(created.body);
+  EXPECT_EQ(queued.string_or("scenario", ""), "paper-fig09-quick");
+  const auto id = static_cast<std::uint64_t>(queued.number_or("id", 0));
+  ASSERT_GT(id, 0u);
+  EXPECT_EQ(created.headers.at("location"), "/v1/bags/" + std::to_string(id));
+  ASSERT_TRUE(daemon().wait_for_bag(id, 120.0));
+
+  const auto fetched = daemon().handle(get("/v1/bags/" + std::to_string(id)));
+  ASSERT_EQ(fetched.status, 200);
+  const JsonValue job = parse_json(fetched.body);
+  EXPECT_EQ(job.string_or("status", ""), "done");
+  EXPECT_EQ(job.string_or("kind", ""), "service");
+  const JsonValue* result = job.find("result");
+  ASSERT_NE(result, nullptr);
+  const JsonValue* report = result->find("report");
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->number_or("jobs_completed", 0), 5.0);
+  EXPECT_GT(result->find("metrics")->find("cost_per_job")->number_or("mean", 0), 0.0);
+  // Single service cells also expose the familiar top-level report block,
+  // so bag-polling clients see the usual shape.
+  const JsonValue* top_report = job.find("report");
+  ASSERT_NE(top_report, nullptr);
+  EXPECT_EQ(top_report->number_or("jobs_completed", 0), 5.0);
+  EXPECT_GT(top_report->find("metrics")->find("cost_per_job")->number_or("mean", 0), 0.0);
+}
+
+TEST_F(ServiceApiTest, ScenarioSweepRunsAllCellsInOneJob) {
+  // Shrink the Fig. 9a sweep for test time: 5-job bags on 4 VMs, 3 cells.
+  const auto created = daemon().handle(
+      post("/v1/scenarios/paper-fig09a-cost/run", R"({"jobs":5,"vms":4})"));
+  ASSERT_EQ(created.status, 202);
+  const JsonValue queued = parse_json(created.body);
+  EXPECT_EQ(queued.number_or("cells", 0), 3.0);
+  const auto id = static_cast<std::uint64_t>(queued.number_or("id", 0));
+  ASSERT_TRUE(daemon().wait_for_bag(id, 120.0));
+  const JsonValue job = parse_json(daemon().handle(get("/v1/bags/" + std::to_string(id))).body);
+  ASSERT_EQ(job.string_or("status", ""), "done");
+  const JsonValue* cells = job.find("result")->find("cells");
+  ASSERT_NE(cells, nullptr);
+  ASSERT_EQ(cells->as_array().size(), 3u);
+  EXPECT_NE(cells->as_array()[1].string_or("name", "").find("app=shapes"), std::string::npos);
+}
+
+TEST_F(ServiceApiTest, MetricsPrometheusExposition) {
+  daemon().handle(get("/healthz"));  // ensure at least one counted request
+  const auto r = daemon().handle(get("/v1/metrics?format=prometheus"));
+  ASSERT_EQ(r.status, 200);
+  EXPECT_NE(r.headers.at("content-type").find("text/plain"), std::string::npos);
+  EXPECT_NE(r.body.find("# TYPE preempt_http_requests_total counter"), std::string::npos);
+  EXPECT_NE(r.body.find("preempt_http_requests_total{method=\"GET\",route=\"/healthz\"}"),
+            std::string::npos);
+  EXPECT_NE(r.body.find("# TYPE preempt_http_request_duration_ms_mean gauge"),
+            std::string::npos);
+  // JSON stays the default; unknown formats reject.
+  EXPECT_TRUE(parse_json(daemon().handle(get("/v1/metrics")).body).is_object());
+  EXPECT_EQ(daemon().handle(get("/v1/metrics?format=xml")).status, 400);
+}
+
+TEST_F(ServiceApiTest, EvictedBagJobsAnswer404WithEvictionMessage) {
+  // A dedicated daemon with a 2-record finished-job store.
+  ServiceDaemon::Options options;
+  options.bootstrap_vms_per_cell = 12;
+  options.bag_workers = 1;
+  options.max_finished_jobs = 2;
+  ServiceDaemon small(options);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 3; ++i) {
+    const auto created =
+        small.handle(post("/v1/bags", R"({"app":"shapes","jobs":2,"vms":2,"seed":1})"));
+    ASSERT_EQ(created.status, 202);
+    const auto id = static_cast<std::uint64_t>(parse_json(created.body).number_or("id", 0));
+    ASSERT_TRUE(small.wait_for_bag(id, 120.0));
+    ids.push_back(id);
+  }
+  const auto evicted = small.handle(get("/v1/bags/" + std::to_string(ids[0])));
+  EXPECT_EQ(evicted.status, 404);
+  const JsonValue error = *parse_json(evicted.body).find("error");
+  EXPECT_EQ(error.string_or("code", ""), "evicted");
+  EXPECT_NE(error.string_or("message", "").find("max-finished-jobs"), std::string::npos);
+  // Retained jobs still resolve; never-assigned ids stay plain not_found.
+  EXPECT_EQ(small.handle(get("/v1/bags/" + std::to_string(ids[2]))).status, 200);
+  const auto unknown = small.handle(get("/v1/bags/999"));
+  EXPECT_EQ(unknown.status, 404);
+  EXPECT_EQ(parse_json(unknown.body).find("error")->string_or("code", ""), "not_found");
+}
+
 }  // namespace
 }  // namespace preempt::api

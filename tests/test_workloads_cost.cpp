@@ -42,6 +42,29 @@ TEST(Workloads, RepackRejectsUnevenPacking) {
   EXPECT_THROW(repack_for_vm_type(odd, trace::VmType::kN1Highcpu32), InvalidArgument);
 }
 
+TEST(Workloads, RepackRejectionIsClientReadable) {
+  // The scenario layer forwards user-chosen targets straight through, so the
+  // rejection must name the workload and core counts without a file:line
+  // prefix — and a target larger than the whole gang must reject too, never
+  // silently round the gang down to zero VMs.
+  Workload odd = nanoconfinement();
+  odd.job.gang_vms = 3;  // 48 cores
+  try {
+    repack_for_vm_type(odd, trace::VmType::kN1Highcpu32);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("nanoconfinement"), std::string::npos) << what;
+    EXPECT_NE(what.find("48"), std::string::npos) << what;
+    EXPECT_NE(what.find("n1-highcpu-32"), std::string::npos) << what;
+    EXPECT_EQ(what.find(".cpp:"), std::string::npos) << what;  // no file:line prefix
+  }
+  Workload tiny = nanoconfinement();
+  tiny.vm_type = trace::VmType::kN1Highcpu2;
+  tiny.job.gang_vms = 1;  // 2 cores cannot fill a 16-core VM
+  EXPECT_THROW(repack_for_vm_type(tiny, trace::VmType::kN1Highcpu16), InvalidArgument);
+}
+
 TEST(CostModel, ChargesByHourAndKind) {
   const CostModel cm;
   const auto& spec = trace::vm_spec(trace::VmType::kN1Highcpu16);
