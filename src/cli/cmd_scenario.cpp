@@ -69,7 +69,9 @@ void apply_overrides(const FlagSet& flags, SweepSpec& sweep) {
 
 /// The metric a sweep table reports per cell, by scenario kind.
 const char* headline_metric(ScenarioKind kind) {
-  return kind == ScenarioKind::kCheckpoint ? "makespan_hours" : "cost_per_job";
+  if (kind == ScenarioKind::kCheckpoint) return "makespan_hours";
+  if (kind == ScenarioKind::kFleet) return "total_energy_kwh";
+  return "cost_per_job";
 }
 
 /// (mean, ci95) of the headline metric; single runs report the value with a
@@ -83,6 +85,7 @@ std::pair<double, double> headline_value(const ScenarioSpec& spec, const Scenari
     case ScenarioKind::kService: return {r.report.cost_per_job, 0.0};
     case ScenarioKind::kCheckpoint: return {r.makespan.mean_hours, r.makespan.ci95_half_hours};
     case ScenarioKind::kPortfolio: return {r.market_report.cost_per_job, 0.0};
+    case ScenarioKind::kFleet: return {r.fleet_report.total_energy_kwh, 0.0};
   }
   return {0.0, 0.0};
 }
@@ -126,6 +129,26 @@ void print_single(const ScenarioSpec& spec, const ScenarioResult& result, std::o
       table.add_row({"makespan (h)", fmt_double(r.makespan_hours, 3)});
       table.add_row({"cost per job ($)", fmt_double(r.cost_per_job, 4)});
       table.add_row({"rebalances", std::to_string(r.rebalances)});
+      break;
+    }
+    case ScenarioKind::kFleet: {
+      const fleet::FleetReport& r = result.fleet_report;
+      table.add_row({"placement", spec.fleet.placement});
+      table.add_row({"machines", std::to_string(r.machines)});
+      table.add_row({"tasks completed", std::to_string(r.tasks_completed) + "/" +
+                                            std::to_string(r.tasks_submitted)});
+      for (std::size_t tier = 0; tier < fleet::kSlaTiers; ++tier) {
+        table.add_row({"sla" + std::to_string(tier) + " violation rate",
+                       fmt_double(r.violation_rate(tier) * 100.0, 2) + "% (" +
+                           std::to_string(r.sla_violations[tier]) + "/" +
+                           std::to_string(r.sla_tasks[tier]) + ")"});
+      }
+      table.add_row({"total energy (kWh)", fmt_double(r.total_energy_kwh, 2)});
+      table.add_row({"migrations", std::to_string(r.migrations)});
+      table.add_row({"machine preemptions", std::to_string(r.machine_preemptions)});
+      table.add_row({"task restarts", std::to_string(r.task_preemptions)});
+      table.add_row({"makespan (h)", fmt_double(r.makespan_hours, 3)});
+      table.add_row({"avg response (h)", fmt_double(r.avg_response_hours, 4)});
       break;
     }
   }

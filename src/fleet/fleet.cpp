@@ -1,0 +1,228 @@
+#include "fleet/fleet.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace preempt::fleet {
+
+namespace {
+
+[[noreturn]] void bad_machine(std::uint64_t id) {
+  throw SimError("fleet: unknown machine id " + std::to_string(id));
+}
+
+}  // namespace
+
+std::string to_string(SlaTier tier) {
+  switch (tier) {
+    case SlaTier::kSla0: return "sla0";
+    case SlaTier::kSla1: return "sla1";
+    case SlaTier::kSla2: return "sla2";
+    case SlaTier::kSla3: return "sla3";
+  }
+  return "sla2";
+}
+
+std::optional<SlaTier> sla_tier_from_string(const std::string& text) {
+  if (text == "sla0") return SlaTier::kSla0;
+  if (text == "sla1") return SlaTier::kSla1;
+  if (text == "sla2") return SlaTier::kSla2;
+  if (text == "sla3") return SlaTier::kSla3;
+  return std::nullopt;
+}
+
+double sla_target_multiplier(SlaTier tier) {
+  switch (tier) {
+    case SlaTier::kSla0: return 1.2;
+    case SlaTier::kSla1: return 1.5;
+    case SlaTier::kSla2: return 2.0;
+    case SlaTier::kSla3: return 0.0;  // best effort: no target
+  }
+  return 2.0;
+}
+
+std::string to_string(ArrivalPattern pattern) {
+  switch (pattern) {
+    case ArrivalPattern::kSteady: return "steady";
+    case ArrivalPattern::kBurstCycle: return "burst-cycle";
+    case ArrivalPattern::kSmallBursts: return "small-bursts";
+  }
+  return "steady";
+}
+
+std::optional<ArrivalPattern> arrival_pattern_from_string(const std::string& text) {
+  if (text == "steady") return ArrivalPattern::kSteady;
+  if (text == "burst-cycle") return ArrivalPattern::kBurstCycle;
+  if (text == "small-bursts") return ArrivalPattern::kSmallBursts;
+  return std::nullopt;
+}
+
+Fleet::Fleet(std::vector<MachineClass> classes) : classes_(std::move(classes)) {
+  std::uint64_t next_id = 1;
+  for (std::size_t ci = 0; ci < classes_.size(); ++ci) {
+    const MachineClass& mc = classes_[ci];
+    PREEMPT_REQUIRE(!mc.mips.empty() && !mc.s_state_power_w.empty(),
+                    "machine class '" + mc.name + "' needs MIPS and S-state tables");
+    PREEMPT_REQUIRE(mc.s_state_wake_hours.size() == mc.s_state_power_w.size(),
+                    "machine class '" + mc.name + "': wake table must match S-state table");
+    for (std::size_t i = 0; i < mc.count; ++i) {
+      Machine m;
+      m.id = next_id++;
+      m.class_index = ci;
+      m.power = MachinePower::kOn;
+      m.power_w = mc.s_state_power_w.front();
+      machines_.push_back(m);
+    }
+  }
+}
+
+Machine& Fleet::machine(std::uint64_t id) {
+  if (id == 0 || id > machines_.size()) bad_machine(id);
+  return machines_[id - 1];
+}
+
+const Machine& Fleet::machine(std::uint64_t id) const {
+  if (id == 0 || id > machines_.size()) bad_machine(id);
+  return machines_[id - 1];
+}
+
+bool Fleet::fits(const Machine& m, const Task& task) const {
+  if (m.power == MachinePower::kPreempted) return false;
+  const MachineClass& mc = classes_[m.class_index];
+  return m.busy_total() < mc.cores && m.memory_used_mb + task.memory_mb <= mc.memory_mb;
+}
+
+double Fleet::power_w(const Machine& m) const {
+  const MachineClass& mc = classes_[m.class_index];
+  switch (m.power) {
+    case MachinePower::kPreempted:
+      return 0.0;
+    case MachinePower::kSleeping:
+      return mc.s_state_power_w[m.s_state];
+    case MachinePower::kWaking:
+    case MachinePower::kOn:
+      // Chassis at S0 plus the active cores at P0.
+      return mc.s_state_power_w.front() +
+             static_cast<double>(m.cores_busy) * mc.core_power_w();
+  }
+  return 0.0;
+}
+
+void Fleet::settle(Machine& m, double now) {
+  if (now > m.last_change) {
+    m.energy_wh += m.power_w * (now - m.last_change);
+    m.last_change = now;
+  }
+  m.power_w = power_w(m);
+}
+
+void Fleet::reserve(std::uint64_t id, const Task& task, double now) {
+  Machine& m = machine(id);
+  PREEMPT_CHECK(m.power != MachinePower::kPreempted, "reserving on a preempted machine");
+  PREEMPT_CHECK(fits(m, task), "reserving beyond machine capacity");
+  m.cores_reserved += 1;
+  m.memory_used_mb += task.memory_mb;
+  settle(m, now);
+}
+
+void Fleet::start_task(std::uint64_t id, const Task& task, double now) {
+  Machine& m = machine(id);
+  PREEMPT_CHECK(m.power == MachinePower::kOn, "starting a task on a machine that is not on");
+  PREEMPT_CHECK(m.cores_reserved > 0, "starting a task without a reservation");
+  (void)task;
+  m.cores_reserved -= 1;
+  m.cores_busy += 1;
+  settle(m, now);
+}
+
+void Fleet::finish_task(std::uint64_t id, const Task& task, double now) {
+  Machine& m = machine(id);
+  PREEMPT_CHECK(m.cores_busy > 0, "finishing a task on a machine with no busy cores");
+  m.cores_busy -= 1;
+  m.memory_used_mb -= task.memory_mb;
+  if (m.memory_used_mb < 0.0) m.memory_used_mb = 0.0;
+  settle(m, now);
+}
+
+void Fleet::unreserve(std::uint64_t id, const Task& task, double now) {
+  Machine& m = machine(id);
+  PREEMPT_CHECK(m.cores_reserved > 0, "releasing a reservation that does not exist");
+  m.cores_reserved -= 1;
+  m.memory_used_mb -= task.memory_mb;
+  if (m.memory_used_mb < 0.0) m.memory_used_mb = 0.0;
+  settle(m, now);
+}
+
+void Fleet::sleep(std::uint64_t id, std::size_t s_state, double now) {
+  Machine& m = machine(id);
+  const MachineClass& mc = classes_[m.class_index];
+  PREEMPT_REQUIRE(s_state > 0 && s_state < mc.s_state_power_w.size(),
+                  "sleep state out of range for machine class '" + mc.name + "'");
+  PREEMPT_CHECK(m.power == MachinePower::kOn, "only an on machine can sleep");
+  PREEMPT_CHECK(m.busy_total() == 0, "sleeping a machine with busy or reserved cores");
+  m.power = MachinePower::kSleeping;
+  m.s_state = s_state;
+  settle(m, now);
+}
+
+double Fleet::begin_wake(std::uint64_t id, double now) {
+  Machine& m = machine(id);
+  PREEMPT_CHECK(m.power == MachinePower::kSleeping, "only a sleeping machine can wake");
+  const MachineClass& mc = classes_[m.class_index];
+  m.power = MachinePower::kWaking;
+  m.wake_ready_at = now + mc.s_state_wake_hours[m.s_state];
+  m.s_state = 0;
+  settle(m, now);
+  return m.wake_ready_at;
+}
+
+void Fleet::complete_wake(std::uint64_t id, double now) {
+  Machine& m = machine(id);
+  if (m.power != MachinePower::kWaking) return;  // preempted mid-wake
+  m.power = MachinePower::kOn;
+  settle(m, now);
+}
+
+void Fleet::mark_preempted(std::uint64_t id, double now) {
+  Machine& m = machine(id);
+  PREEMPT_CHECK(m.power != MachinePower::kPreempted, "machine preempted twice");
+  m.power = MachinePower::kPreempted;
+  m.cores_busy = 0;
+  m.cores_reserved = 0;
+  m.memory_used_mb = 0.0;
+  m.s_state = 0;
+  settle(m, now);
+}
+
+void Fleet::relaunch(std::uint64_t id, double now) {
+  Machine& m = machine(id);
+  PREEMPT_CHECK(m.power == MachinePower::kPreempted, "relaunching a machine that is not preempted");
+  m.power = MachinePower::kOn;
+  settle(m, now);
+}
+
+double Fleet::total_energy_kwh(double now) const {
+  double wh = 0.0;
+  for (const Machine& m : machines_) {
+    wh += m.energy_wh;
+    if (now > m.last_change) wh += m.power_w * (now - m.last_change);
+  }
+  return wh / 1000.0;
+}
+
+std::size_t Fleet::on_count() const {
+  std::size_t n = 0;
+  for (const Machine& m : machines_)
+    if (m.power == MachinePower::kOn) ++n;
+  return n;
+}
+
+std::size_t Fleet::sleeping_count() const {
+  std::size_t n = 0;
+  for (const Machine& m : machines_)
+    if (m.power == MachinePower::kSleeping) ++n;
+  return n;
+}
+
+}  // namespace preempt::fleet

@@ -1,0 +1,80 @@
+// The fleet registry: machines instantiated from machine classes, with
+// energy-consistent power-state transitions.
+//
+// Fleet generalizes sim::ClusterManager from "a bag of identical transient
+// VMs" to "a datacenter of machine classes with sleep states": it owns every
+// Machine, enforces the state machine (on <-> sleeping/waking, preempted <->
+// relaunched), tracks core/memory capacity, and integrates each machine's
+// power draw into an energy ledger on every transition. It knows nothing
+// about events or policies — FleetSimulator drives it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fleet/machine.hpp"
+#include "fleet/task.hpp"
+
+namespace preempt::fleet {
+
+class Fleet {
+ public:
+  explicit Fleet(std::vector<MachineClass> classes);
+
+  std::size_t size() const { return machines_.size(); }
+  const std::vector<MachineClass>& classes() const { return classes_; }
+  const MachineClass& class_of(const Machine& m) const { return classes_[m.class_index]; }
+
+  /// 1-based lookup; throws SimError on unknown ids.
+  Machine& machine(std::uint64_t id);
+  const Machine& machine(std::uint64_t id) const;
+  const std::vector<Machine>& machines() const { return machines_; }
+
+  /// True when `task` could run on `m` right now or after a wake: the
+  /// machine is not preempted and has a free core and enough free memory.
+  bool fits(const Machine& m, const Task& task) const;
+
+  /// Power a machine draws in its current state (W).
+  double power_w(const Machine& m) const;
+
+  /// Reserve a core + memory for a placement that has not started yet (the
+  /// machine may still be waking). Capacity must fit.
+  void reserve(std::uint64_t id, const Task& task, double now);
+  /// Turn a reservation into running work.
+  void start_task(std::uint64_t id, const Task& task, double now);
+  /// Release a running task's core + memory (completion/migration/preempt).
+  void finish_task(std::uint64_t id, const Task& task, double now);
+  /// Release a reservation that never started (machine died while waking).
+  void unreserve(std::uint64_t id, const Task& task, double now);
+
+  /// Drop an idle machine into S-state `s` (> 0). Requires no busy or
+  /// reserved cores.
+  void sleep(std::uint64_t id, std::size_t s_state, double now);
+  /// Begin waking a sleeping machine; returns the time it reaches S0. The
+  /// chassis draws S0 power for the whole transition.
+  double begin_wake(std::uint64_t id, double now);
+  /// Complete a wake transition (at the time begin_wake returned).
+  void complete_wake(std::uint64_t id, double now);
+
+  /// Provider reclaimed a transient machine: power drops to zero. The caller
+  /// is responsible for the tasks that were running on it.
+  void mark_preempted(std::uint64_t id, double now);
+  /// A preempted machine comes back, fully on and empty.
+  void relaunch(std::uint64_t id, double now);
+
+  /// Total energy drawn by the whole fleet up to `now` (kWh). Const: the
+  /// per-machine ledgers are not advanced.
+  double total_energy_kwh(double now) const;
+
+  /// Machines currently on (S0) — the placeable pool size.
+  std::size_t on_count() const;
+  std::size_t sleeping_count() const;
+
+ private:
+  void settle(Machine& m, double now);
+
+  std::vector<MachineClass> classes_;
+  std::vector<Machine> machines_;
+};
+
+}  // namespace preempt::fleet

@@ -1,0 +1,80 @@
+// Machine classes and per-machine runtime state for the fleet simulator.
+//
+// A MachineClass follows the cloudsim-eec convention: a homogeneous pool of
+// machines with per-core MIPS levels (P-states), chassis sleep states
+// (S-states) with per-state power draw and wake latency, and fixed core and
+// memory capacity. S-state 0 is fully on; deeper states draw less power and
+// take longer to return to S0. Power is in watts, memory in MB, time in
+// hours (like the rest of the library).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace preempt::fleet {
+
+struct MachineClass {
+  std::string name = "standard";
+  std::size_t count = 1;       ///< machines of this class in the fleet
+  std::size_t cores = 8;       ///< hardware threads per machine
+  double memory_mb = 32768.0;  ///< RAM per machine
+
+  /// Per-core MIPS at each P-state, fastest first. Only P0 is used for
+  /// service-time scaling today, but the whole ladder is part of the class
+  /// so configs round-trip losslessly.
+  std::vector<double> mips = {3000.0, 2400.0, 2000.0, 1500.0};
+
+  /// Per-core power draw (W) at each P-state, fastest first.
+  std::vector<double> p_state_power_w = {12.0, 8.0, 6.0, 4.0};
+
+  /// Chassis power draw (W) per S-state, S0 first, deepest (off) last.
+  std::vector<double> s_state_power_w = {120.0, 100.0, 100.0, 80.0, 40.0, 10.0, 0.0};
+
+  /// Wake latency (hours) from each S-state back to S0. s_state_wake_hours[0]
+  /// is 0 by definition; the deepest state is the most expensive to leave.
+  std::vector<double> s_state_wake_hours = {0.0,        2.0 / 3600.0, 4.0 / 3600.0,
+                                            8.0 / 3600.0, 20.0 / 3600.0, 60.0 / 3600.0,
+                                            180.0 / 3600.0};
+
+  /// The MIPS a task's cores run at (P0).
+  double peak_mips() const { return mips.empty() ? 0.0 : mips.front(); }
+  /// Per-core power at P0 (the state busy cores run in).
+  double core_power_w() const {
+    return p_state_power_w.empty() ? 0.0 : p_state_power_w.front();
+  }
+  std::size_t deepest_s_state() const {
+    return s_state_power_w.empty() ? 0 : s_state_power_w.size() - 1;
+  }
+};
+
+/// Runtime power situation of one machine.
+enum class MachinePower {
+  kOn,         ///< S0: placeable, cores may be busy
+  kSleeping,   ///< some S-state > 0: no tasks, reduced draw
+  kWaking,     ///< transitioning to S0; placements may already be bound to it
+  kPreempted,  ///< provider reclaimed the (transient) machine; it draws nothing
+};
+
+/// One machine of the fleet. Mutated only by Fleet (which keeps the energy
+/// integral consistent with every state change).
+struct Machine {
+  std::uint64_t id = 0;        ///< 1-based; stable for the whole run
+  std::size_t class_index = 0;
+  std::size_t cores_busy = 0;      ///< running task cores
+  std::size_t cores_reserved = 0;  ///< bound by placements not yet started (waking)
+  double memory_used_mb = 0.0;
+  MachinePower power = MachinePower::kOn;
+  std::size_t s_state = 0;   ///< meaningful when sleeping
+  double wake_ready_at = 0.0;  ///< when a kWaking machine reaches S0
+
+  // Energy bookkeeping: energy_wh accumulates power * dt lazily; power_w is
+  // the draw since last_change.
+  double energy_wh = 0.0;
+  double power_w = 0.0;
+  double last_change = 0.0;
+
+  std::size_t busy_total() const { return cores_busy + cores_reserved; }
+};
+
+}  // namespace preempt::fleet

@@ -1,0 +1,225 @@
+#include "fleet/placement.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace preempt::fleet {
+
+namespace {
+
+bool placeable(const Machine& m) {
+  return m.power == MachinePower::kOn || m.power == MachinePower::kWaking;
+}
+
+/// Greedy first-fit: first awake machine that fits, else the first sleeper
+/// that fits (lowest id wins everywhere). Never powers anything down.
+class GreedyFirstFit final : public PlacementPolicy {
+ public:
+  std::string name() const override { return "first-fit"; }
+
+  std::uint64_t place(const Task& task, const Fleet& fleet) const override {
+    std::uint64_t sleeper = 0;
+    for (const Machine& m : fleet.machines()) {
+      if (!fleet.fits(m, task)) continue;
+      if (placeable(m)) return m.id;
+      if (sleeper == 0 && m.power == MachinePower::kSleeping) sleeper = m.id;
+    }
+    return sleeper;
+  }
+
+  RebalancePlan rebalance(const Fleet&, const std::vector<std::vector<const Task*>>&,
+                          double) const override {
+    return {};
+  }
+};
+
+/// Modified best-fit decreasing: place wherever the fleet's power draw grows
+/// the least, consolidate lightly-loaded machines at rebalance, and sleep
+/// whatever drains empty.
+class Mbfd final : public PlacementPolicy {
+ public:
+  std::string name() const override { return "mbfd"; }
+
+  std::uint64_t place(const Task& task, const Fleet& fleet) const override {
+    std::uint64_t best = 0;
+    double best_delta = std::numeric_limits<double>::infinity();
+    for (const Machine& m : fleet.machines()) {
+      if (!fleet.fits(m, task)) continue;
+      const MachineClass& mc = fleet.class_of(m);
+      double delta = mc.core_power_w();
+      if (m.power == MachinePower::kSleeping) {
+        // Waking raises the chassis from its S-state draw to S0.
+        delta += mc.s_state_power_w.front() - mc.s_state_power_w[m.s_state];
+      }
+      if (delta < best_delta) {
+        best_delta = delta;
+        best = m.id;
+      }
+    }
+    return best;
+  }
+
+  RebalancePlan rebalance(const Fleet& fleet,
+                          const std::vector<std::vector<const Task*>>& running,
+                          double) const override {
+    RebalancePlan plan;
+    // Provisional free capacity per machine, updated as migrations are planned.
+    const std::size_t n = fleet.size();
+    std::vector<std::size_t> free_cores(n, 0);
+    std::vector<double> free_mb(n, 0.0);
+    std::vector<bool> source(n, false);
+    for (const Machine& m : fleet.machines()) {
+      const MachineClass& mc = fleet.class_of(m);
+      free_cores[m.id - 1] = mc.cores - std::min(mc.cores, m.busy_total());
+      free_mb[m.id - 1] = mc.memory_mb - m.memory_used_mb;
+    }
+    // Try to fully drain machines at most a quarter full: every task must fit
+    // on some busier awake machine, else the machine keeps all of them.
+    for (const Machine& m : fleet.machines()) {
+      if (m.power != MachinePower::kOn || m.cores_busy == 0 || m.cores_reserved > 0) continue;
+      const MachineClass& mc = fleet.class_of(m);
+      if (m.busy_total() * 4 > mc.cores) continue;
+      std::vector<RebalancePlan::Migration> moves;
+      std::vector<double> mb_taken(n, 0.0);
+      std::vector<std::size_t> cores_taken(n, 0);
+      bool drained = true;
+      for (const Task* task : running[m.id - 1]) {
+        std::uint64_t to = 0;
+        for (const Machine& cand : fleet.machines()) {
+          if (cand.id == m.id || cand.power != MachinePower::kOn || source[cand.id - 1]) continue;
+          if (cand.busy_total() <= m.busy_total()) continue;  // only consolidate upward
+          const std::size_t i = cand.id - 1;
+          if (free_cores[i] > cores_taken[i] &&
+              free_mb[i] - mb_taken[i] >= task->memory_mb) {
+            to = cand.id;
+            cores_taken[i] += 1;
+            mb_taken[i] += task->memory_mb;
+            break;
+          }
+        }
+        if (to == 0) {
+          drained = false;
+          break;
+        }
+        moves.push_back({task->id, to});
+      }
+      if (!drained || moves.empty()) continue;
+      source[m.id - 1] = true;
+      for (std::size_t i = 0; i < n; ++i) {
+        free_cores[i] -= cores_taken[i];
+        free_mb[i] -= mb_taken[i];
+      }
+      plan.migrations.insert(plan.migrations.end(), moves.begin(), moves.end());
+    }
+    // Sleep every empty on machine (sources drain asynchronously and get
+    // picked up on a later tick once their migrations land).
+    for (const Machine& m : fleet.machines()) {
+      if (m.power == MachinePower::kOn && m.busy_total() == 0 && !source[m.id - 1]) {
+        const MachineClass& mc = fleet.class_of(m);
+        plan.sleeps.emplace_back(m.id, std::min<std::size_t>(3, mc.deepest_s_state()));
+      }
+    }
+    return plan;
+  }
+};
+
+/// E-ECO-style warm-pool sizing: pack arrivals onto the most-loaded awake
+/// machine, and keep awake-pool utilization inside [kLow, kHigh] by waking
+/// or sleeping whole machines at rebalance ticks.
+class EEco final : public PlacementPolicy {
+ public:
+  static constexpr double kLow = 0.25;
+  static constexpr double kHigh = 0.75;
+
+  std::string name() const override { return "e-eco"; }
+
+  std::uint64_t place(const Task& task, const Fleet& fleet) const override {
+    // Best fit: most-loaded awake machine that still fits (packs the warm
+    // pool tight so rebalance can sleep the rest).
+    std::uint64_t best = 0;
+    std::size_t best_load = 0;
+    for (const Machine& m : fleet.machines()) {
+      if (!placeable(m) || !fleet.fits(m, task)) continue;
+      if (best == 0 || m.busy_total() > best_load) {
+        best = m.id;
+        best_load = m.busy_total();
+      }
+    }
+    if (best != 0) return best;
+    // The warm pool is full: fall back to the cheapest-wake sleeper so tasks
+    // never starve; the wake latency is the policy's SLA cost.
+    std::uint64_t sleeper = 0;
+    std::size_t shallowest = std::numeric_limits<std::size_t>::max();
+    for (const Machine& m : fleet.machines()) {
+      if (m.power != MachinePower::kSleeping || !fleet.fits(m, task)) continue;
+      if (m.s_state < shallowest) {
+        shallowest = m.s_state;
+        sleeper = m.id;
+      }
+    }
+    return sleeper;
+  }
+
+  RebalancePlan rebalance(const Fleet& fleet, const std::vector<std::vector<const Task*>>&,
+                          double) const override {
+    RebalancePlan plan;
+    double capacity = 0.0;
+    double active = 0.0;
+    for (const Machine& m : fleet.machines()) {
+      if (m.power == MachinePower::kOn || m.power == MachinePower::kWaking) {
+        capacity += static_cast<double>(fleet.class_of(m).cores);
+        active += static_cast<double>(m.busy_total());
+      }
+    }
+    if (capacity <= 0.0) capacity = 1.0;
+    const double util = active / capacity;
+    if (util > kHigh) {
+      // Wake shallow sleepers first until the projected pool sits mid-band.
+      std::vector<const Machine*> sleepers;
+      for (const Machine& m : fleet.machines()) {
+        if (m.power == MachinePower::kSleeping) sleepers.push_back(&m);
+      }
+      std::sort(sleepers.begin(), sleepers.end(), [](const Machine* a, const Machine* b) {
+        return a->s_state != b->s_state ? a->s_state < b->s_state : a->id < b->id;
+      });
+      for (const Machine* m : sleepers) {
+        if (active / capacity <= (kLow + kHigh) / 2.0) break;
+        plan.wakes.push_back(m->id);
+        capacity += static_cast<double>(fleet.class_of(*m).cores);
+      }
+    } else if (util < kLow) {
+      // Sleep idle machines, always keeping at least one awake.
+      std::size_t awake = 0;
+      for (const Machine& m : fleet.machines()) {
+        if (m.power == MachinePower::kOn || m.power == MachinePower::kWaking) ++awake;
+      }
+      for (const Machine& m : fleet.machines()) {
+        if (m.power != MachinePower::kOn || m.busy_total() != 0) continue;
+        const double cores = static_cast<double>(fleet.class_of(m).cores);
+        if (awake <= 1 || capacity - cores <= 0.0) break;
+        if (active / (capacity - cores) > (kLow + kHigh) / 2.0) break;
+        const MachineClass& mc = fleet.class_of(m);
+        plan.sleeps.emplace_back(m.id, std::min<std::size_t>(3, mc.deepest_s_state()));
+        capacity -= cores;
+        --awake;
+      }
+    }
+    return plan;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<PlacementPolicy> make_placement_policy(const std::string& name) {
+  if (name == "first-fit") return std::make_unique<GreedyFirstFit>();
+  if (name == "mbfd") return std::make_unique<Mbfd>();
+  if (name == "e-eco") return std::make_unique<EEco>();
+  throw InvalidArgument("unknown placement policy '" + name +
+                        "' (expected first-fit|mbfd|e-eco)");
+}
+
+std::vector<std::string> placement_policy_names() { return {"first-fit", "mbfd", "e-eco"}; }
+
+}  // namespace preempt::fleet

@@ -1,0 +1,64 @@
+// Pluggable placement policies for the fleet simulator.
+//
+// A PlacementPolicy answers two questions the simulator asks: where does an
+// arriving (or displaced) task go, and — at each rebalance tick — which
+// machines should change power state and which tasks should migrate. The
+// three built-ins span the SLA/energy trade-off space:
+//
+//   first-fit  greedy first-fit over the whole fleet; never sleeps a
+//              machine. Fewest violations, highest energy.
+//   mbfd       modified best-fit decreasing: place where the marginal power
+//              increase is smallest, consolidate lightly-loaded machines at
+//              rebalance, and sleep the machines that drain empty.
+//   e-eco      warm-pool sizing: pack onto the awake pool, keep pool
+//              utilization inside a band by waking/sleeping whole machines.
+//              Lowest energy; wake latency costs SLA during bursts.
+//
+// Policies are stateless and deterministic: given the same fleet snapshot
+// they return the same answer, which keeps whole-scenario runs reproducible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.hpp"
+
+namespace preempt::fleet {
+
+/// What a rebalance tick decided. The simulator applies migrations first,
+/// then wakes, then sleeps.
+struct RebalancePlan {
+  struct Migration {
+    std::uint64_t task_id = 0;
+    std::uint64_t to = 0;  ///< destination machine
+  };
+  std::vector<Migration> migrations;
+  std::vector<std::uint64_t> wakes;  ///< sleeping machines to bring to S0
+  /// Idle machines to drop into an S-state (machine id, target state).
+  std::vector<std::pair<std::uint64_t, std::size_t>> sleeps;
+};
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+  virtual std::string name() const = 0;
+
+  /// Choose a machine for `task`. May return a sleeping machine — the
+  /// simulator wakes it and binds the reservation to it. Returns 0 when
+  /// nothing in the fleet fits.
+  virtual std::uint64_t place(const Task& task, const Fleet& fleet) const = 0;
+
+  /// Periodic housekeeping. `running[i]` lists the tasks currently running
+  /// on machine id i+1.
+  virtual RebalancePlan rebalance(const Fleet& fleet,
+                                  const std::vector<std::vector<const Task*>>& running,
+                                  double now) const = 0;
+};
+
+/// "first-fit" | "mbfd" | "e-eco"; throws InvalidArgument on anything else.
+std::unique_ptr<PlacementPolicy> make_placement_policy(const std::string& name);
+std::vector<std::string> placement_policy_names();
+
+}  // namespace preempt::fleet

@@ -1,0 +1,411 @@
+#include "fleet/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "fleet/fleet.hpp"
+#include "fleet/placement.hpp"
+#include "sim/simulator.hpp"
+
+namespace preempt::fleet {
+
+namespace {
+
+// Same-time event ordering: free capacity first (completions, transfer
+// arrivals), then machine state changes, then new work, then housekeeping.
+constexpr int kCompletionPrio = 0;
+constexpr int kWakePrio = 1;
+constexpr int kPreemptPrio = 2;
+constexpr int kArrivalPrio = 3;
+constexpr int kRebalancePrio = 4;
+
+// Substream indices: task classes use 0..N-1, machines an offset far above
+// any plausible class count.
+constexpr std::uint64_t kMachineStreamBase = 1u << 20;
+
+class FleetSimulation {
+ public:
+  FleetSimulation(const FleetSpec& spec, std::uint64_t seed, const dist::Distribution* law)
+      : spec_(spec),
+        law_(spec.preemptions ? law : nullptr),
+        fleet_(spec.machines),
+        policy_(make_placement_policy(spec.placement)) {
+    const std::size_t n = fleet_.size();
+    running_on_.resize(n);
+    wake_waiting_.resize(n);
+    inbound_.resize(n);
+    machine_rng_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      machine_rng_.emplace_back(substream_seed(seed, kMachineStreamBase + i));
+    }
+    class_rng_.reserve(spec.tasks.size());
+    for (std::size_t i = 0; i < spec.tasks.size(); ++i) {
+      class_rng_.emplace_back(substream_seed(seed, i));
+    }
+  }
+
+  FleetReport run() {
+    for (std::size_t c = 0; c < spec_.tasks.size(); ++c) {
+      const double first = next_arrival(c, spec_.tasks[c].start_hour);
+      if (first < arrival_limit(c)) {
+        sim_.schedule_at(first, [this, c] { on_arrival(c); }, kArrivalPrio);
+      }
+    }
+    for (std::size_t i = 0; i < fleet_.size(); ++i) arm_preemption(i, 0.0);
+    if (spec_.rebalance_interval_hours < spec_.horizon_hours) {
+      sim_.schedule_at(spec_.rebalance_interval_hours, [this] { on_rebalance(); },
+                       kRebalancePrio);
+    }
+    sim_.run();
+    return finalize();
+  }
+
+ private:
+  double arrival_limit(std::size_t c) const {
+    return std::min(spec_.tasks[c].end_hour, spec_.horizon_hours);
+  }
+
+  /// Next arrival at or after `from`: a Poisson process over the class's
+  /// active windows (the whole [start, end) span for kSteady, the on-phases
+  /// of the burst cycle otherwise). The walk is indexed by window number, so
+  /// each iteration consumes at least one whole on-window of exponential gap
+  /// — an incremental `cur += tiny` walk can stall below one ULP near a
+  /// window edge and never terminate.
+  double next_arrival(std::size_t c, double from) {
+    const TaskClass& tc = spec_.tasks[c];
+    double gap = class_rng_[c].exponential(1.0 / tc.interarrival_hours);
+    if (tc.pattern == ArrivalPattern::kSteady) return std::max(from, tc.start_hour) + gap;
+    const double cycle = tc.burst_on_hours + tc.burst_off_hours;
+    const double rel = std::max(from, tc.start_hour) - tc.start_hour;
+    double window = std::floor(rel / cycle);
+    double phase = rel - window * cycle;
+    if (phase >= tc.burst_on_hours) {  // inside an off-phase: next window
+      window += 1.0;
+      phase = 0.0;
+    }
+    while (true) {
+      const double window_left = tc.burst_on_hours - phase;
+      if (gap <= window_left) {
+        return tc.start_hour + window * cycle + phase + gap;
+      }
+      gap -= window_left;
+      window += 1.0;
+      phase = 0.0;
+    }
+  }
+
+  void on_arrival(std::size_t c) {
+    const TaskClass& tc = spec_.tasks[c];
+    const double now = sim_.now();
+    Task task;
+    task.id = tasks_.size() + 1;
+    task.class_index = c;
+    task.sla = tc.sla;
+    task.arrival = now;
+    task.runtime_hours = tc.runtime_hours;
+    task.reference_mips = tc.reference_mips;
+    task.memory_mb = tc.memory_mb;
+    task.remaining_hours = tc.runtime_hours;
+    tasks_.push_back(task);
+    pending_[static_cast<std::size_t>(tc.sla)].push_back(task.id);
+
+    const double next = next_arrival(c, now);
+    if (next < arrival_limit(c)) {
+      sim_.schedule_at(next, [this, c] { on_arrival(c); }, kArrivalPrio);
+    }
+    dispatch();
+  }
+
+  /// Strict-priority dispatch with head-of-line blocking per tier: SLA0
+  /// first; a tier whose head cannot be placed stops, lower tiers still get
+  /// a chance (their tasks may be smaller).
+  void dispatch() {
+    for (auto& queue : pending_) {
+      while (!queue.empty()) {
+        const std::uint64_t id = queue.front();
+        const std::uint64_t m = policy_->place(tasks_[id - 1], fleet_);
+        if (m == 0) break;
+        queue.pop_front();
+        bind(tasks_[id - 1], m);
+      }
+    }
+  }
+
+  /// Attach a placed task to its machine: run now if it is on, ride the
+  /// pending wake otherwise (starting one if the machine is asleep).
+  void bind(Task& task, std::uint64_t m) {
+    const double now = sim_.now();
+    const MachinePower power = fleet_.machine(m).power;
+    fleet_.reserve(m, task, now);
+    if (power == MachinePower::kOn) {
+      fleet_.start_task(m, task, now);
+      start_segment(task, m);
+      return;
+    }
+    if (power == MachinePower::kSleeping) {
+      const double ready = fleet_.begin_wake(m, now);
+      sim_.schedule_at(ready, [this, m] { on_wake_complete(m); }, kWakePrio);
+    }
+    task.state = TaskState::kWakeWait;
+    task.machine = m;
+    wake_waiting_[m - 1].push_back(task.id);
+  }
+
+  /// Begin a running segment on machine `m` (already holding a busy core).
+  void start_segment(Task& task, std::uint64_t m) {
+    const double now = sim_.now();
+    task.state = TaskState::kRunning;
+    task.machine = m;
+    task.segment_started = now;
+    const MachineClass& mc = fleet_.class_of(fleet_.machine(m));
+    task.segment_rate = mc.peak_mips() / task.reference_mips;
+    const double duration = task.remaining_hours / task.segment_rate;
+    const std::uint64_t id = task.id;
+    task.completion_event =
+        sim_.schedule_in(duration, [this, id] { on_complete(id); }, kCompletionPrio);
+    running_on_[m - 1].push_back(id);
+  }
+
+  void on_complete(std::uint64_t id) {
+    Task& task = tasks_[id - 1];
+    const double now = sim_.now();
+    task.state = TaskState::kDone;
+    task.completed = true;
+    task.completion_time = now;
+    task.remaining_hours = 0.0;
+    task.completion_event = 0;
+    fleet_.finish_task(task.machine, task, now);
+    detach(running_on_[task.machine - 1], id);
+    task.machine = 0;
+    dispatch();
+  }
+
+  void on_wake_complete(std::uint64_t m) {
+    const double now = sim_.now();
+    fleet_.complete_wake(m, now);
+    if (fleet_.machine(m).power != MachinePower::kOn) return;  // preempted mid-wake
+    std::vector<std::uint64_t> waiting = std::move(wake_waiting_[m - 1]);
+    wake_waiting_[m - 1].clear();
+    for (const std::uint64_t id : waiting) {
+      Task& task = tasks_[id - 1];
+      if (task.state != TaskState::kWakeWait || task.machine != m) continue;
+      fleet_.start_task(m, task, now);
+      start_segment(task, m);
+    }
+    dispatch();
+  }
+
+  /// Draw the machine's next preemption from the lifetime law. Draws landing
+  /// past the horizon are dropped so the post-horizon drain terminates.
+  void arm_preemption(std::size_t machine_index, double from) {
+    if (law_ == nullptr) return;
+    const double life = law_->sample(machine_rng_[machine_index]);
+    const double when = from + life;
+    if (when >= spec_.horizon_hours) return;
+    sim_.schedule_at(when, [this, machine_index] { on_preempt(machine_index); }, kPreemptPrio);
+  }
+
+  void on_preempt(std::size_t machine_index) {
+    const std::uint64_t m = machine_index + 1;
+    const double now = sim_.now();
+    ++machine_preemptions_;
+
+    // Running tasks lose their whole segment's progress (the paper's
+    // temporally constrained reclamation: no checkpoint, full restart).
+    std::vector<std::uint64_t> victims = std::move(running_on_[machine_index]);
+    running_on_[machine_index].clear();
+    for (const std::uint64_t id : victims) {
+      Task& task = tasks_[id - 1];
+      sim_.cancel(task.completion_event);
+      task.completion_event = 0;
+      task.remaining_hours = task.runtime_hours;
+      ++task.preemptions;
+      ++task_preemptions_;
+      requeue(task);
+    }
+    // Placements bound but not yet running just go back to the queue.
+    for (auto* list : {&wake_waiting_[machine_index], &inbound_[machine_index]}) {
+      for (const std::uint64_t id : *list) {
+        Task& task = tasks_[id - 1];
+        if (task.machine == m && task.state != TaskState::kDone) requeue(task);
+      }
+      list->clear();
+    }
+    fleet_.mark_preempted(m, now);
+
+    sim_.schedule_in(spec_.relaunch_hours, [this, machine_index] {
+      const std::uint64_t id = machine_index + 1;
+      fleet_.relaunch(id, sim_.now());
+      arm_preemption(machine_index, sim_.now());
+      dispatch();
+    }, kWakePrio);
+  }
+
+  void requeue(Task& task) {
+    task.state = TaskState::kPending;
+    task.machine = 0;
+    task.segment_rate = 0.0;
+    pending_[static_cast<std::size_t>(task.sla)].push_back(task.id);
+  }
+
+  void on_rebalance() {
+    const double now = sim_.now();
+    std::vector<std::vector<const Task*>> running(fleet_.size());
+    for (std::size_t i = 0; i < fleet_.size(); ++i) {
+      running[i].reserve(running_on_[i].size());
+      for (const std::uint64_t id : running_on_[i]) running[i].push_back(&tasks_[id - 1]);
+    }
+    const RebalancePlan plan = policy_->rebalance(fleet_, running, now);
+
+    for (const RebalancePlan::Migration& mv : plan.migrations) {
+      if (mv.task_id == 0 || mv.task_id > tasks_.size()) continue;
+      Task& task = tasks_[mv.task_id - 1];
+      if (task.state != TaskState::kRunning || task.machine == mv.to) continue;
+      const Machine& dest = fleet_.machine(mv.to);
+      if (dest.power != MachinePower::kOn || !fleet_.fits(dest, task)) continue;
+      begin_migration(task, mv.to);
+    }
+    for (const std::uint64_t m : plan.wakes) {
+      if (fleet_.machine(m).power != MachinePower::kSleeping) continue;
+      const double ready = fleet_.begin_wake(m, now);
+      sim_.schedule_at(ready, [this, m] { on_wake_complete(m); }, kWakePrio);
+    }
+    for (const auto& [m, s_state] : plan.sleeps) {
+      const Machine& mach = fleet_.machine(m);
+      if (mach.power == MachinePower::kOn && mach.busy_total() == 0) {
+        fleet_.sleep(m, s_state, now);
+      }
+    }
+    dispatch();
+
+    const double next = now + spec_.rebalance_interval_hours;
+    if (next < spec_.horizon_hours) {
+      sim_.schedule_at(next, [this] { on_rebalance(); }, kRebalancePrio);
+    }
+  }
+
+  /// Stop-and-copy migration: bank the source segment's progress, free the
+  /// source core, and ship the task's memory to a reservation on `to`.
+  void begin_migration(Task& task, std::uint64_t to) {
+    const double now = sim_.now();
+    const double elapsed = now - task.segment_started;
+    task.remaining_hours =
+        std::max(0.0, task.remaining_hours - elapsed * task.segment_rate);
+    sim_.cancel(task.completion_event);
+    task.completion_event = 0;
+    fleet_.finish_task(task.machine, task, now);
+    detach(running_on_[task.machine - 1], task.id);
+    fleet_.reserve(to, task, now);
+    task.state = TaskState::kMigrating;
+    task.machine = to;
+    inbound_[to - 1].push_back(task.id);
+    const double transfer = (task.memory_mb / 1024.0) * spec_.migration_hours_per_gb;
+    const std::uint64_t id = task.id;
+    sim_.schedule_in(transfer, [this, id, to] { on_migration_arrive(id, to); },
+                     kCompletionPrio);
+  }
+
+  void on_migration_arrive(std::uint64_t id, std::uint64_t to) {
+    Task& task = tasks_[id - 1];
+    // The destination may have been preempted mid-flight (the task was
+    // requeued and this event is stale).
+    if (task.state != TaskState::kMigrating || task.machine != to) return;
+    detach(inbound_[to - 1], id);
+    ++migrations_;
+    ++task.migrations;
+    fleet_.start_task(to, task, sim_.now());
+    start_segment(task, to);
+  }
+
+  static void detach(std::vector<std::uint64_t>& list, std::uint64_t id) {
+    const auto it = std::find(list.begin(), list.end(), id);
+    PREEMPT_CHECK(it != list.end(), "fleet: task missing from its machine list");
+    list.erase(it);
+  }
+
+  FleetReport finalize() const {
+    FleetReport report;
+    report.machines = fleet_.size();
+    report.tasks_submitted = tasks_.size();
+    double response_sum = 0.0;
+    for (const Task& task : tasks_) {
+      if (!task.completed) continue;
+      ++report.tasks_completed;
+      const std::size_t tier = static_cast<std::size_t>(task.sla);
+      ++report.sla_tasks[tier];
+      const double response = task.completion_time - task.arrival;
+      response_sum += response;
+      const double multiplier = sla_target_multiplier(task.sla);
+      if (multiplier > 0.0 && response > multiplier * task.runtime_hours) {
+        ++report.sla_violations[tier];
+      }
+    }
+    report.total_energy_kwh = fleet_.total_energy_kwh(sim_.now());
+    report.migrations = migrations_;
+    report.machine_preemptions = machine_preemptions_;
+    report.task_preemptions = task_preemptions_;
+    report.makespan_hours = sim_.now();
+    if (report.tasks_completed > 0) {
+      report.avg_response_hours =
+          response_sum / static_cast<double>(report.tasks_completed);
+    }
+    return report;
+  }
+
+  const FleetSpec& spec_;
+  const dist::Distribution* law_;
+  sim::Simulator sim_;
+  Fleet fleet_;
+  std::unique_ptr<PlacementPolicy> policy_;
+
+  std::vector<Task> tasks_;
+  std::array<std::deque<std::uint64_t>, kSlaTiers> pending_;
+  std::vector<std::vector<std::uint64_t>> running_on_;
+  std::vector<std::vector<std::uint64_t>> wake_waiting_;
+  std::vector<std::vector<std::uint64_t>> inbound_;
+  std::vector<Rng> class_rng_;
+  std::vector<Rng> machine_rng_;
+
+  std::size_t migrations_ = 0;
+  std::size_t machine_preemptions_ = 0;
+  std::size_t task_preemptions_ = 0;
+};
+
+}  // namespace
+
+JsonValue FleetReport::to_json() const {
+  JsonObject obj;
+  obj.emplace_back("machines", machines);
+  obj.emplace_back("tasks_submitted", tasks_submitted);
+  obj.emplace_back("tasks_completed", tasks_completed);
+  JsonObject sla;
+  for (std::size_t tier = 0; tier < kSlaTiers; ++tier) {
+    JsonObject entry;
+    entry.emplace_back("tasks", sla_tasks[tier]);
+    entry.emplace_back("violations", sla_violations[tier]);
+    entry.emplace_back("violation_rate", violation_rate(tier));
+    sla.emplace_back("sla" + std::to_string(tier), std::move(entry));
+  }
+  obj.emplace_back("sla", std::move(sla));
+  obj.emplace_back("total_energy_kwh", total_energy_kwh);
+  obj.emplace_back("migrations", migrations);
+  obj.emplace_back("machine_preemptions", machine_preemptions);
+  obj.emplace_back("task_preemptions", task_preemptions);
+  obj.emplace_back("makespan_hours", makespan_hours);
+  obj.emplace_back("avg_response_hours", avg_response_hours);
+  return JsonValue(std::move(obj));
+}
+
+FleetReport simulate_fleet(const FleetSpec& spec, std::uint64_t seed,
+                           const dist::Distribution* preemption_law) {
+  validate(spec);
+  FleetSimulation simulation(spec, seed, preemption_law);
+  return simulation.run();
+}
+
+}  // namespace preempt::fleet

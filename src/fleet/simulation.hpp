@@ -1,0 +1,57 @@
+// The fleet discrete-event simulation: one replication of a FleetSpec on the
+// sim::Simulator calendar queue.
+//
+// Task classes emit arrivals (Poisson over their active windows), the
+// placement policy maps tasks to machines (waking sleepers when it must),
+// machines are preempted under the scenario's ground-truth lifetime law and
+// relaunched after a dark interval, and a periodic rebalance tick lets the
+// policy migrate tasks (stop-and-copy, priced per GB moved) and resize the
+// warm pool. The run drains to completion after the arrival horizon, then
+// reports per-SLA violation counts, the fleet energy integral, and
+// migration / preemption totals.
+//
+// Everything is single-threaded and seeded through substreams of one scenario
+// seed, so a replication is a pure function of (spec, seed, lifetime law).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/json.hpp"
+#include "dist/distribution.hpp"
+#include "fleet/spec.hpp"
+
+namespace preempt::fleet {
+
+/// Outcome of one fleet replication.
+struct FleetReport {
+  std::size_t machines = 0;
+  std::size_t tasks_submitted = 0;
+  std::size_t tasks_completed = 0;
+  /// Completed tasks / SLA misses per tier (index = SlaTier).
+  std::array<std::size_t, kSlaTiers> sla_tasks{};
+  std::array<std::size_t, kSlaTiers> sla_violations{};
+  double total_energy_kwh = 0.0;
+  std::size_t migrations = 0;          ///< completed stop-and-copy transfers
+  std::size_t machine_preemptions = 0;
+  std::size_t task_preemptions = 0;    ///< task restarts caused by preemptions
+  double makespan_hours = 0.0;         ///< last completion (drain may pass the horizon)
+  double avg_response_hours = 0.0;
+
+  double violation_rate(std::size_t tier) const {
+    return sla_tasks[tier] == 0
+               ? 0.0
+               : static_cast<double>(sla_violations[tier]) /
+                     static_cast<double>(sla_tasks[tier]);
+  }
+
+  JsonValue to_json() const;
+};
+
+/// Run one replication. `preemption_law` may be null (or spec.preemptions
+/// false) to disable machine preemptions; lifetimes are drawn per machine
+/// from substreams of `seed`, independent of event interleaving.
+FleetReport simulate_fleet(const FleetSpec& spec, std::uint64_t seed,
+                           const dist::Distribution* preemption_law);
+
+}  // namespace preempt::fleet

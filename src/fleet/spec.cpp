@@ -1,0 +1,277 @@
+#include "fleet/spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "fleet/placement.hpp"
+
+namespace preempt::fleet {
+
+namespace {
+
+void fail(const std::string& message) { throw InvalidArgument(message); }
+
+double as_finite_number(const JsonValue& value, const std::string& field) {
+  if (!value.is_number() || !std::isfinite(value.as_number())) {
+    fail("fleet field '" + field + "' must be a finite number");
+  }
+  return value.as_number();
+}
+
+std::uint64_t as_uint(const JsonValue& value, const std::string& field) {
+  const double v = as_finite_number(value, field);
+  if (v < 0 || v > 9007199254740992.0 || v != std::floor(v)) {
+    fail("fleet field '" + field + "' must be a whole number in 0..2^53");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+const std::string& as_string(const JsonValue& value, const std::string& field) {
+  if (!value.is_string()) fail("fleet field '" + field + "' must be a string");
+  return value.as_string();
+}
+
+bool as_bool(const JsonValue& value, const std::string& field) {
+  if (!value.is_bool()) fail("fleet field '" + field + "' must be a boolean");
+  return value.as_bool();
+}
+
+std::vector<double> as_number_array(const JsonValue& value, const std::string& field) {
+  if (!value.is_array()) fail("fleet field '" + field + "' must be an array of numbers");
+  std::vector<double> out;
+  for (const auto& v : value.as_array()) out.push_back(as_finite_number(v, field));
+  return out;
+}
+
+JsonValue numbers_to_json(const std::vector<double>& values) {
+  JsonArray arr;
+  for (double v : values) arr.emplace_back(v);
+  return JsonValue(std::move(arr));
+}
+
+JsonValue machine_to_json(const MachineClass& mc) {
+  JsonObject obj;
+  obj.emplace_back("name", mc.name);
+  obj.emplace_back("count", mc.count);
+  obj.emplace_back("cores", mc.cores);
+  obj.emplace_back("memory_mb", mc.memory_mb);
+  obj.emplace_back("mips", numbers_to_json(mc.mips));
+  obj.emplace_back("p_states_w", numbers_to_json(mc.p_state_power_w));
+  obj.emplace_back("s_states_w", numbers_to_json(mc.s_state_power_w));
+  obj.emplace_back("wake_hours", numbers_to_json(mc.s_state_wake_hours));
+  return JsonValue(std::move(obj));
+}
+
+MachineClass machine_from_json(const JsonValue& value, const std::string& field) {
+  if (!value.is_object()) fail("fleet field '" + field + "' must be an object");
+  MachineClass mc;
+  for (const auto& [key, v] : value.as_object()) {
+    const std::string path = field + "." + key;
+    if (key == "name") {
+      mc.name = as_string(v, path);
+    } else if (key == "count") {
+      mc.count = static_cast<std::size_t>(as_uint(v, path));
+    } else if (key == "cores") {
+      mc.cores = static_cast<std::size_t>(as_uint(v, path));
+    } else if (key == "memory_mb") {
+      mc.memory_mb = as_finite_number(v, path);
+    } else if (key == "mips") {
+      mc.mips = as_number_array(v, path);
+    } else if (key == "p_states_w") {
+      mc.p_state_power_w = as_number_array(v, path);
+    } else if (key == "s_states_w") {
+      mc.s_state_power_w = as_number_array(v, path);
+    } else if (key == "wake_hours") {
+      mc.s_state_wake_hours = as_number_array(v, path);
+    } else {
+      fail("unknown fleet field '" + path + "'");
+    }
+  }
+  return mc;
+}
+
+JsonValue task_to_json(const TaskClass& tc) {
+  JsonObject obj;
+  obj.emplace_back("name", tc.name);
+  obj.emplace_back("sla", to_string(tc.sla));
+  obj.emplace_back("pattern", to_string(tc.pattern));
+  obj.emplace_back("start_hour", tc.start_hour);
+  obj.emplace_back("end_hour", tc.end_hour);
+  obj.emplace_back("interarrival_hours", tc.interarrival_hours);
+  if (tc.pattern != ArrivalPattern::kSteady) {
+    obj.emplace_back("burst_on_hours", tc.burst_on_hours);
+    obj.emplace_back("burst_off_hours", tc.burst_off_hours);
+  }
+  obj.emplace_back("runtime_hours", tc.runtime_hours);
+  obj.emplace_back("reference_mips", tc.reference_mips);
+  obj.emplace_back("memory_mb", tc.memory_mb);
+  return JsonValue(std::move(obj));
+}
+
+TaskClass task_from_json(const JsonValue& value, const std::string& field) {
+  if (!value.is_object()) fail("fleet field '" + field + "' must be an object");
+  TaskClass tc;
+  for (const auto& [key, v] : value.as_object()) {
+    const std::string path = field + "." + key;
+    if (key == "name") {
+      tc.name = as_string(v, path);
+    } else if (key == "sla") {
+      const auto sla = sla_tier_from_string(as_string(v, path));
+      if (!sla) fail("unknown SLA tier '" + v.as_string() + "' in field '" + path + "'");
+      tc.sla = *sla;
+    } else if (key == "pattern") {
+      const auto pattern = arrival_pattern_from_string(as_string(v, path));
+      if (!pattern) {
+        fail("unknown arrival pattern '" + v.as_string() + "' in field '" + path +
+             "' (expected steady|burst-cycle|small-bursts)");
+      }
+      tc.pattern = *pattern;
+    } else if (key == "start_hour") {
+      tc.start_hour = as_finite_number(v, path);
+    } else if (key == "end_hour") {
+      tc.end_hour = as_finite_number(v, path);
+    } else if (key == "interarrival_hours") {
+      tc.interarrival_hours = as_finite_number(v, path);
+    } else if (key == "burst_on_hours") {
+      tc.burst_on_hours = as_finite_number(v, path);
+    } else if (key == "burst_off_hours") {
+      tc.burst_off_hours = as_finite_number(v, path);
+    } else if (key == "runtime_hours") {
+      tc.runtime_hours = as_finite_number(v, path);
+    } else if (key == "reference_mips") {
+      tc.reference_mips = as_finite_number(v, path);
+    } else if (key == "memory_mb") {
+      tc.memory_mb = as_finite_number(v, path);
+    } else {
+      fail("unknown fleet field '" + path + "'");
+    }
+  }
+  return tc;
+}
+
+/// Expected arrival count of one class (active time over mean inter-arrival).
+double expected_arrivals(const TaskClass& tc) {
+  const double span = std::max(0.0, tc.end_hour - tc.start_hour);
+  double active = span;
+  if (tc.pattern != ArrivalPattern::kSteady) {
+    const double cycle = tc.burst_on_hours + tc.burst_off_hours;
+    if (cycle > 0.0) active = span * tc.burst_on_hours / cycle;
+  }
+  return tc.interarrival_hours > 0.0 ? active / tc.interarrival_hours : 0.0;
+}
+
+}  // namespace
+
+JsonValue to_json(const FleetSpec& spec) {
+  JsonObject obj;
+  JsonArray machines;
+  for (const auto& mc : spec.machines) machines.push_back(machine_to_json(mc));
+  obj.emplace_back("machines", std::move(machines));
+  JsonArray tasks;
+  for (const auto& tc : spec.tasks) tasks.push_back(task_to_json(tc));
+  obj.emplace_back("tasks", std::move(tasks));
+  obj.emplace_back("placement", spec.placement);
+  obj.emplace_back("rebalance_interval_hours", spec.rebalance_interval_hours);
+  obj.emplace_back("migration_hours_per_gb", spec.migration_hours_per_gb);
+  obj.emplace_back("preemptions", spec.preemptions);
+  obj.emplace_back("relaunch_hours", spec.relaunch_hours);
+  obj.emplace_back("horizon_hours", spec.horizon_hours);
+  return JsonValue(std::move(obj));
+}
+
+FleetSpec fleet_spec_from_json(const JsonValue& value) {
+  if (!value.is_object()) fail("the 'fleet' block must be a JSON object");
+  FleetSpec spec;
+  for (const auto& [key, v] : value.as_object()) {
+    if (key == "machines") {
+      if (!v.is_array()) fail("fleet field 'machines' must be an array");
+      spec.machines.clear();
+      std::size_t i = 0;
+      for (const auto& m : v.as_array()) {
+        spec.machines.push_back(machine_from_json(m, "machines[" + std::to_string(i++) + "]"));
+      }
+    } else if (key == "tasks") {
+      if (!v.is_array()) fail("fleet field 'tasks' must be an array");
+      spec.tasks.clear();
+      std::size_t i = 0;
+      for (const auto& t : v.as_array()) {
+        spec.tasks.push_back(task_from_json(t, "tasks[" + std::to_string(i++) + "]"));
+      }
+    } else if (key == "placement") {
+      spec.placement = as_string(v, key);
+    } else if (key == "rebalance_interval_hours") {
+      spec.rebalance_interval_hours = as_finite_number(v, key);
+    } else if (key == "migration_hours_per_gb") {
+      spec.migration_hours_per_gb = as_finite_number(v, key);
+    } else if (key == "preemptions") {
+      spec.preemptions = as_bool(v, key);
+    } else if (key == "relaunch_hours") {
+      spec.relaunch_hours = as_finite_number(v, key);
+    } else if (key == "horizon_hours") {
+      spec.horizon_hours = as_finite_number(v, key);
+    } else {
+      fail("unknown fleet field '" + key + "'");
+    }
+  }
+  validate(spec);
+  return spec;
+}
+
+void validate(const FleetSpec& spec) {
+  if (spec.machines.empty()) fail("fleet needs at least one machine class");
+  const std::size_t total = spec.machine_count();
+  if (total < 1 || total > 100000) fail("fleet machine count must be in 1..100000");
+  double max_memory = 0.0;
+  for (const auto& mc : spec.machines) {
+    const std::string where = "machine class '" + mc.name + "'";
+    if (mc.count < 1) fail(where + ": count must be >= 1");
+    if (mc.cores < 1 || mc.cores > 1024) fail(where + ": cores must be in 1..1024");
+    if (mc.memory_mb <= 0.0) fail(where + ": memory_mb must be > 0");
+    if (mc.mips.empty() || mc.mips.front() <= 0.0) fail(where + ": mips must lead with P0 > 0");
+    if (mc.s_state_power_w.empty()) fail(where + ": s_states_w must not be empty");
+    if (mc.s_state_wake_hours.size() != mc.s_state_power_w.size()) {
+      fail(where + ": wake_hours must have one entry per S-state");
+    }
+    if (mc.s_state_wake_hours.front() != 0.0) fail(where + ": wake_hours[0] must be 0");
+    for (double w : mc.s_state_power_w) {
+      if (w < 0.0) fail(where + ": S-state power must be >= 0");
+    }
+    for (double w : mc.s_state_wake_hours) {
+      if (w < 0.0) fail(where + ": wake_hours must be >= 0");
+    }
+    for (double p : mc.p_state_power_w) {
+      if (p < 0.0) fail(where + ": P-state power must be >= 0");
+    }
+    max_memory = std::max(max_memory, mc.memory_mb);
+  }
+  if (spec.tasks.empty()) fail("fleet needs at least one task class");
+  double arrivals = 0.0;
+  for (const auto& tc : spec.tasks) {
+    const std::string where = "task class '" + tc.name + "'";
+    if (tc.interarrival_hours <= 0.0) fail(where + ": interarrival_hours must be > 0");
+    if (tc.runtime_hours <= 0.0) fail(where + ": runtime_hours must be > 0");
+    if (tc.reference_mips <= 0.0) fail(where + ": reference_mips must be > 0");
+    if (tc.memory_mb < 0.0) fail(where + ": memory_mb must be >= 0");
+    if (tc.memory_mb > max_memory) {
+      fail(where + ": memory_mb exceeds every machine class (no machine can run it)");
+    }
+    if (tc.end_hour <= tc.start_hour) fail(where + ": end_hour must be > start_hour");
+    if (tc.pattern != ArrivalPattern::kSteady &&
+        (tc.burst_on_hours <= 0.0 || tc.burst_off_hours < 0.0)) {
+      fail(where + ": burst windows must be positive");
+    }
+    arrivals += expected_arrivals(tc);
+  }
+  if (arrivals > 5e6) {
+    fail("fleet task classes expect ~" + std::to_string(static_cast<long long>(arrivals)) +
+         " arrivals per replication; the limit is 5000000");
+  }
+  if (spec.rebalance_interval_hours <= 0.0) fail("rebalance_interval_hours must be > 0");
+  if (spec.migration_hours_per_gb < 0.0) fail("migration_hours_per_gb must be >= 0");
+  if (spec.relaunch_hours <= 0.0) fail("relaunch_hours must be > 0");
+  if (spec.horizon_hours <= 0.0) fail("horizon_hours must be > 0");
+  make_placement_policy(spec.placement);  // surfaces unknown policy names now
+}
+
+}  // namespace preempt::fleet

@@ -1,0 +1,66 @@
+// Declarative fleet configuration: the `"fleet"` block of a `kind: fleet`
+// ScenarioSpec.
+//
+// A FleetSpec is the full description of one fleet experiment minus the
+// pieces the scenario layer owns (seed, replications, ground-truth
+// preemption law): the machine classes, the task-class workload shapes, the
+// placement policy, and the migration / preemption / rebalance knobs.
+// Parsing is strict, like scenario JSON: unknown keys and out-of-range
+// values are rejected with clean messages.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "fleet/machine.hpp"
+#include "fleet/task.hpp"
+
+namespace preempt::fleet {
+
+struct FleetSpec {
+  std::vector<MachineClass> machines;
+  std::vector<TaskClass> tasks;
+
+  /// Placement policy name (see make_placement_policy).
+  std::string placement = "first-fit";
+
+  /// How often the policy's rebalance hook runs (migrations + power-state
+  /// housekeeping).
+  double rebalance_interval_hours = 0.25;
+
+  /// Live-migration transfer cost: hours per GB of task memory moved.
+  double migration_hours_per_gb = 0.002;
+
+  /// Inject machine preemptions drawn from the scenario's ground-truth
+  /// lifetime law (the paper's transient-VM reclamations, applied to whole
+  /// machines).
+  bool preemptions = true;
+
+  /// How long a preempted machine stays dark before the provider hands back
+  /// a replacement.
+  double relaunch_hours = 0.05;
+
+  /// Arrivals stop and rebalancing freezes after this point; the run then
+  /// drains to completion.
+  double horizon_hours = 24.0;
+
+  std::size_t machine_count() const {
+    std::size_t n = 0;
+    for (const auto& mc : machines) n += mc.count;
+    return n;
+  }
+};
+
+/// Stable-key-order serialization (round-trips through fleet_spec_from_json).
+JsonValue to_json(const FleetSpec& spec);
+
+/// Strict parse. Throws InvalidArgument on unknown fields or bad values.
+FleetSpec fleet_spec_from_json(const JsonValue& value);
+
+/// Structural validation (also called by fleet_spec_from_json). Bounds the
+/// fleet and the expected arrival volume so a queued REST job cannot be
+/// asked to simulate an absurd configuration.
+void validate(const FleetSpec& spec);
+
+}  // namespace preempt::fleet

@@ -1,0 +1,90 @@
+// SLA-tiered tasks and bursty task-class workload shapes.
+//
+// Tasks arrive from declarative TaskClass generators (steady Poisson
+// arrivals, long on/off burst cycles, or short high-rate burst windows —
+// the cloudsim-eec BurstCycle / SmallBursts shapes) and carry an SLA tier
+// that sets the response-time target the fleet is graded against.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace preempt::fleet {
+
+/// SLA0 is the strictest tier, SLA3 best-effort (never counted violated).
+enum class SlaTier { kSla0 = 0, kSla1 = 1, kSla2 = 2, kSla3 = 3 };
+
+inline constexpr std::size_t kSlaTiers = 4;
+
+std::string to_string(SlaTier tier);
+std::optional<SlaTier> sla_tier_from_string(const std::string& text);
+
+/// Response-time target as a multiple of the task's nominal runtime: a task
+/// violates its SLA when (completion - arrival) exceeds the multiplier times
+/// its reference-machine runtime. SLA3 is best effort (infinite target).
+double sla_target_multiplier(SlaTier tier);
+
+/// How a task class spreads its arrivals over the run.
+enum class ArrivalPattern {
+  kSteady,       ///< Poisson arrivals at a constant rate over [start, end)
+  kBurstCycle,   ///< long alternating on/off phases (BurstCycle.md shape)
+  kSmallBursts,  ///< short high-rate windows separated by long gaps
+};
+
+std::string to_string(ArrivalPattern pattern);
+std::optional<ArrivalPattern> arrival_pattern_from_string(const std::string& text);
+
+/// One declarative stream of tasks.
+struct TaskClass {
+  std::string name = "batch";
+  SlaTier sla = SlaTier::kSla2;
+  ArrivalPattern pattern = ArrivalPattern::kSteady;
+  double start_hour = 0.0;
+  double end_hour = 24.0;
+  /// Mean inter-arrival inside an active window (exponential).
+  double interarrival_hours = 0.1;
+  /// Burst shape (ignored for kSteady): active window length and the gap to
+  /// the next window. kBurstCycle defaults to long 50/50 phases; kSmallBursts
+  /// to short spikes with long gaps.
+  double burst_on_hours = 2.0;
+  double burst_off_hours = 2.0;
+  /// Nominal runtime on a reference machine (scaled by machine MIPS).
+  double runtime_hours = 0.5;
+  double reference_mips = 3000.0;
+  double memory_mb = 1024.0;
+};
+
+/// Where an arrived task currently is in its lifecycle.
+enum class TaskState {
+  kPending,   ///< queued, waiting for a placement
+  kWakeWait,  ///< reserved on a machine that is still waking
+  kMigrating, ///< memory in flight to `machine`
+  kRunning,   ///< consuming a core on `machine`
+  kDone,
+};
+
+/// One arrived task instance.
+struct Task {
+  std::uint64_t id = 0;  ///< 1-based arrival order (deterministic)
+  std::size_t class_index = 0;
+  TaskState state = TaskState::kPending;
+  SlaTier sla = SlaTier::kSla2;
+  double arrival = 0.0;
+  double runtime_hours = 0.0;  ///< nominal, at reference MIPS
+  double reference_mips = 3000.0;
+  double memory_mb = 0.0;
+
+  // Execution state.
+  std::uint64_t machine = 0;        ///< current machine (0 = not placed)
+  double remaining_hours = 0.0;     ///< nominal work left (reference MIPS)
+  double segment_started = 0.0;     ///< when the current segment began
+  double segment_rate = 0.0;        ///< nominal-hours consumed per sim-hour
+  std::uint64_t completion_event = 0;
+  std::size_t preemptions = 0;
+  std::size_t migrations = 0;
+  bool completed = false;
+  double completion_time = 0.0;
+};
+
+}  // namespace preempt::fleet

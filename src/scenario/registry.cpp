@@ -4,6 +4,64 @@ namespace preempt::scenario {
 
 namespace {
 
+/// Standard fleet hardware: the cloudsim-eec-style two-class datacenter.
+/// `scale` multiplies the machine counts (scale 1 = 1000 machines).
+std::vector<fleet::MachineClass> fleet_machines(double scale) {
+  fleet::MachineClass standard;
+  standard.name = "standard-16";
+  standard.count = static_cast<std::size_t>(600 * scale);
+  standard.cores = 16;
+  standard.memory_mb = 32768.0;
+
+  fleet::MachineClass highcpu;
+  highcpu.name = "highcpu-32";
+  highcpu.count = static_cast<std::size_t>(400 * scale);
+  highcpu.cores = 32;
+  highcpu.memory_mb = 16384.0;
+  highcpu.mips = {3500.0, 3000.0, 2500.0, 2000.0};
+  highcpu.p_state_power_w = {14.0, 10.0, 7.0, 5.0};
+  return {standard, highcpu};
+}
+
+fleet::TaskClass fleet_task(const std::string& name, fleet::SlaTier sla,
+                            fleet::ArrivalPattern pattern, double interarrival_hours,
+                            double runtime_hours, double memory_mb) {
+  fleet::TaskClass tc;
+  tc.name = name;
+  tc.sla = sla;
+  tc.pattern = pattern;
+  tc.interarrival_hours = interarrival_hours;
+  tc.runtime_hours = runtime_hours;
+  tc.memory_mb = memory_mb;
+  return tc;
+}
+
+/// The headline fleet: 1,000 machines, ~114k tasks over 24 h across all four
+/// SLA tiers, preemptions drawn from the default calibrated regime cell.
+ScenarioSpec fleet_base(const std::string& name) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.kind = ScenarioKind::kFleet;
+  spec.seed = 2020;
+  spec.replications = 3;
+  spec.ground_truth.source = DistributionSpec::Source::kRegime;
+  spec.fleet.machines = fleet_machines(1.0);
+  spec.fleet.tasks = {
+      fleet_task("interactive", fleet::SlaTier::kSla0, fleet::ArrivalPattern::kBurstCycle,
+                 0.0004, 0.05, 512.0),
+      fleet_task("api", fleet::SlaTier::kSla1, fleet::ArrivalPattern::kSmallBursts, 0.0003,
+                 0.02, 256.0),
+      fleet_task("batch", fleet::SlaTier::kSla2, fleet::ArrivalPattern::kSteady, 0.0006, 0.2,
+                 2048.0),
+      fleet_task("analytics", fleet::SlaTier::kSla3, fleet::ArrivalPattern::kSteady, 0.001,
+                 0.5, 4096.0),
+  };
+  // Short on/off spikes for the small-bursts class; long halves otherwise.
+  spec.fleet.tasks[1].burst_on_hours = 0.25;
+  spec.fleet.tasks[1].burst_off_hours = 0.75;
+  return spec;
+}
+
 /// The Fig. 9 market: everything runs on 32-core VMs in us-central1-c
 /// ("a cluster of 32 preemptible n1-highcpu-32 VMs", Sec. 6.3).
 DistributionSpec fig09_truth() {
@@ -128,6 +186,157 @@ std::vector<NamedScenario> build() {
     out.push_back({"grid-cluster-policy",
                    "12-cell grid: vm_type x cluster size x reuse policy, ci95 per cell",
                    std::move(sweep)});
+  }
+
+  {
+    // Fig. 4: expected running time vs job length under preemptions, no
+    // checkpointing — the bare E[T(x)] growth curve.
+    SweepSpec sweep;
+    sweep.base.name = "paper-fig04-running-time";
+    sweep.base.kind = ScenarioKind::kCheckpoint;
+    sweep.base.scheduler = "none";
+    sweep.base.seed = 1234;
+    sweep.base.replications = 1000;
+    sweep.base.ground_truth.source = DistributionSpec::Source::kRegime;
+    SweepAxis job_hours;
+    job_hours.field = "job_hours";
+    job_hours.values = {JsonValue(1.0), JsonValue(2.0), JsonValue(4.0), JsonValue(6.0),
+                        JsonValue(8.0)};
+    sweep.axes.push_back(std::move(job_hours));
+    out.push_back({"paper-fig04-running-time",
+                   "Fig. 4 sensitivity: running time vs job length, no checkpointing",
+                   std::move(sweep)});
+  }
+
+  {
+    // Fig. 5: the bathtub's age-dependence — the same job started at
+    // different VM ages sees very different preemption pressure.
+    SweepSpec sweep;
+    sweep.base.name = "paper-fig05-start-time";
+    sweep.base.kind = ScenarioKind::kCheckpoint;
+    sweep.base.scheduler = "none";
+    sweep.base.job_hours = 6.0;
+    sweep.base.seed = 1234;
+    sweep.base.replications = 1000;
+    sweep.base.ground_truth.source = DistributionSpec::Source::kRegime;
+    SweepAxis start_age;
+    start_age.field = "start_age_hours";
+    start_age.values = {JsonValue(0.0), JsonValue(2.0), JsonValue(4.0), JsonValue(8.0),
+                        JsonValue(12.0)};
+    sweep.axes.push_back(std::move(start_age));
+    out.push_back({"paper-fig05-start-time",
+                   "Fig. 5 sensitivity: running time vs VM age at job start",
+                   std::move(sweep)});
+  }
+
+  {
+    // Fig. 6: job length x reuse policy over the batch service.
+    SweepSpec sweep;
+    sweep.base = fig09_base("paper-fig06-job-length");
+    sweep.base.jobs = 50;
+    sweep.base.replications = 3;
+    SweepAxis app;
+    app.field = "app";
+    app.values = {JsonValue("nanoconfinement"), JsonValue("shapes"), JsonValue("lulesh")};
+    SweepAxis policy;
+    policy.field = "policy";
+    policy.values = {JsonValue("model"), JsonValue("memoryless"), JsonValue("fresh")};
+    sweep.axes = {std::move(app), std::move(policy)};
+    out.push_back({"paper-fig06-job-length",
+                   "Fig. 6 sensitivity: workload x reuse policy on the batch service",
+                   std::move(sweep)});
+  }
+
+  {
+    // Fig. 7: decision-model sensitivity — the right law, a fitted law, and
+    // a deliberately mis-matched market cell, each under both reuse
+    // policies.
+    SweepSpec sweep;
+    sweep.base = fig09_base("paper-fig07-sensitivity");
+    sweep.base.jobs = 50;
+    sweep.base.replications = 3;
+    SweepAxis decision;
+    decision.field = "decision";
+    JsonObject truth_model;
+    truth_model.emplace_back("source", "truth");
+    JsonObject fitted;
+    fitted.emplace_back("source", "fitted");
+    fitted.emplace_back("type", "n1-highcpu-32");
+    fitted.emplace_back("zone", "us-central1-c");
+    JsonObject misfit;
+    misfit.emplace_back("source", "regime");
+    misfit.emplace_back("type", "n1-highcpu-16");
+    misfit.emplace_back("zone", "us-east1-b");
+    decision.values = {JsonValue(std::move(truth_model)), JsonValue(std::move(fitted)),
+                       JsonValue(std::move(misfit))};
+    SweepAxis policy;
+    policy.field = "policy";
+    policy.values = {JsonValue("model"), JsonValue("fresh")};
+    sweep.axes = {std::move(decision), std::move(policy)};
+    out.push_back({"paper-fig07-sensitivity",
+                   "Fig. 7 sensitivity: decision model mis-specification x reuse policy",
+                   std::move(sweep)});
+  }
+
+  out.push_back({"fleet-burst-cycle",
+                 "1,000-machine fleet under burst-cycle load: ~114k tasks, 4 SLA tiers, "
+                 "preemptions from the calibrated regime cell",
+                 {fleet_base("fleet-burst-cycle"), {}}});
+
+  {
+    ScenarioSpec spec = fleet_base("fleet-small-bursts");
+    spec.fleet.machines = fleet_machines(0.3);  // 300 machines
+    spec.fleet.tasks = {
+        fleet_task("spiky-frontend", fleet::SlaTier::kSla0,
+                   fleet::ArrivalPattern::kSmallBursts, 0.0008, 0.03, 512.0),
+        fleet_task("spiky-api", fleet::SlaTier::kSla1, fleet::ArrivalPattern::kSmallBursts,
+                   0.001, 0.05, 1024.0),
+        fleet_task("filler", fleet::SlaTier::kSla3, fleet::ArrivalPattern::kSteady, 0.002,
+                   0.3, 2048.0),
+    };
+    for (std::size_t i = 0; i < 2; ++i) {
+      spec.fleet.tasks[i].burst_on_hours = 0.2;
+      spec.fleet.tasks[i].burst_off_hours = 1.8;
+    }
+    spec.fleet.placement = "e-eco";
+    out.push_back({"fleet-small-bursts",
+                   "300-machine fleet under short high-rate bursts with an e-eco warm pool "
+                   "(wake latency vs energy)",
+                   {spec, {}}});
+  }
+
+  {
+    ScenarioSpec spec = fleet_base("fleet-migrations");
+    spec.fleet.machines = fleet_machines(0.2);  // 200 machines
+    spec.fleet.placement = "mbfd";
+    spec.fleet.rebalance_interval_hours = 0.5;
+    spec.fleet.tasks = {
+        fleet_task("web", fleet::SlaTier::kSla1, fleet::ArrivalPattern::kBurstCycle, 0.002,
+                   0.4, 2048.0),
+        fleet_task("batch", fleet::SlaTier::kSla2, fleet::ArrivalPattern::kSteady, 0.003,
+                   1.0, 4096.0),
+    };
+    out.push_back({"fleet-migrations",
+                   "200-machine fleet with MBFD consolidation: migrations drain "
+                   "lightly-loaded machines so they can sleep",
+                   {spec, {}}});
+  }
+
+  {
+    ScenarioSpec spec = fleet_base("fleet-quick");
+    spec.fleet.machines = fleet_machines(0.04);  // 40 machines
+    spec.fleet.horizon_hours = 8.0;
+    spec.replications = 2;
+    spec.fleet.tasks = {
+        fleet_task("interactive", fleet::SlaTier::kSla0, fleet::ArrivalPattern::kBurstCycle,
+                   0.02, 0.05, 512.0),
+        fleet_task("batch", fleet::SlaTier::kSla2, fleet::ArrivalPattern::kSteady, 0.01, 0.2,
+                   2048.0),
+    };
+    spec.fleet.placement = "e-eco";
+    out.push_back({"fleet-quick",
+                   "CI-sized fleet smoke run (40 machines, ~1.2k tasks, 2 replications)",
+                   {spec, {}}});
   }
 
   {

@@ -68,6 +68,46 @@ ScenarioResult run_checkpoint(const ScenarioSpec& spec) {
   return result;
 }
 
+ScenarioResult run_fleet(const ScenarioSpec& spec) {
+  // The lifetime law is resolved once and shared by every replication;
+  // simulate_fleet ignores it when spec.fleet.preemptions is false.
+  const dist::DistributionPtr truth = make_ground_truth(spec);
+
+  auto run_once = [&](std::uint64_t seed) {
+    return fleet::simulate_fleet(spec.fleet, seed, truth.get());
+  };
+
+  ScenarioResult result;
+  result.kind = ScenarioKind::kFleet;
+  if (spec.replications <= 1) {
+    result.fleet_report = run_once(spec.seed);
+    return result;
+  }
+  mc::EngineOptions engine;
+  engine.replications = spec.replications;
+  engine.seed = spec.seed;
+  const mc::ReplicationReport stats = mc::run_replications(
+      engine,
+      {"sla0_violation_rate", "sla1_violation_rate", "sla2_violation_rate",
+       "sla3_violation_rate", "total_energy_kwh", "migrations", "machine_preemptions",
+       "task_preemptions", "tasks_completed", "makespan_hours"},
+      [&](std::size_t replication, Rng& /*rng*/, mc::Recorder& rec) {
+        const fleet::FleetReport r = run_once(substream_seed(spec.seed, replication));
+        for (std::size_t tier = 0; tier < fleet::kSlaTiers; ++tier) {
+          rec.record(tier, r.violation_rate(tier));
+        }
+        rec.record(4, r.total_energy_kwh);
+        rec.record(5, static_cast<double>(r.migrations));
+        rec.record(6, static_cast<double>(r.machine_preemptions));
+        rec.record(7, static_cast<double>(r.task_preemptions));
+        rec.record(8, static_cast<double>(r.tasks_completed));
+        rec.record(9, r.makespan_hours);
+        if (replication == 0) result.fleet_report = r;
+      });
+  result.metrics = stats.metrics;
+  return result;
+}
+
 ScenarioResult run_portfolio(const ScenarioSpec& spec) {
   const portfolio::MarketCatalog catalog =
       portfolio::MarketCatalog::synthetic(spec.catalog_vms_per_cell, spec.catalog_seed);
@@ -252,6 +292,8 @@ ScenarioResult run(const ScenarioSpec& spec) {
       return run_checkpoint(spec);
     case ScenarioKind::kPortfolio:
       return run_portfolio(spec);
+    case ScenarioKind::kFleet:
+      return run_fleet(spec);
   }
   throw InvalidArgument("unknown scenario kind");
 }
@@ -294,6 +336,9 @@ JsonValue ScenarioResult::to_json() const {
       obj.emplace_back("report", std::move(rep));
       break;
     }
+    case ScenarioKind::kFleet:
+      obj.emplace_back("report", fleet_report.to_json());
+      break;
   }
   append_summary(obj, metrics);
   return JsonValue(std::move(obj));

@@ -13,6 +13,7 @@
 #pragma once
 
 #include "dist/distribution.hpp"
+#include "fleet/simulation.hpp"
 #include "mc/accumulator.hpp"
 #include "policy/checkpoint.hpp"
 #include "policy/checkpoint_sim.hpp"
@@ -30,6 +31,7 @@ struct ScenarioResult {
   sim::ServiceReport report;                    ///< service: replication-0 representative
   policy::SimulatedMakespan makespan;           ///< checkpoint
   portfolio::MultiMarketReport market_report;   ///< portfolio: replication-0 representative
+  fleet::FleetReport fleet_report;              ///< fleet: replication-0 representative
   std::vector<mc::MetricSummary> metrics;
 
   JsonValue to_json() const;

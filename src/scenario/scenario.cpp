@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "dist/factory.hpp"
+#include "fleet/placement.hpp"
 #include "sim/workloads.hpp"
 
 namespace preempt::scenario {
@@ -176,6 +177,10 @@ bool portfolio_field(const std::string& field) {
          field == "catalog_vms_per_cell" || field == "catalog_seed";
 }
 
+bool fleet_field(const std::string& field) {
+  return field == "fleet" || field == "placement";
+}
+
 bool field_allowed(ScenarioKind kind, const std::string& field) {
   if (field == "name" || field == "kind" || field == "seed" || field == "replications") {
     return true;
@@ -187,6 +192,7 @@ bool field_allowed(ScenarioKind kind, const std::string& field) {
     case ScenarioKind::kService: return service_field(field);
     case ScenarioKind::kCheckpoint: return checkpoint_field(field);
     case ScenarioKind::kPortfolio: return portfolio_field(field);
+    case ScenarioKind::kFleet: return fleet_field(field);
   }
   return false;
 }
@@ -198,6 +204,7 @@ std::string to_string(ScenarioKind kind) {
     case ScenarioKind::kService: return "service";
     case ScenarioKind::kCheckpoint: return "checkpoint";
     case ScenarioKind::kPortfolio: return "portfolio";
+    case ScenarioKind::kFleet: return "fleet";
   }
   return "service";
 }
@@ -206,6 +213,7 @@ std::optional<ScenarioKind> scenario_kind_from_string(const std::string& text) {
   if (text == "service") return ScenarioKind::kService;
   if (text == "checkpoint") return ScenarioKind::kCheckpoint;
   if (text == "portfolio") return ScenarioKind::kPortfolio;
+  if (text == "fleet") return ScenarioKind::kFleet;
   return std::nullopt;
 }
 
@@ -245,6 +253,11 @@ JsonValue to_json(const ScenarioSpec& spec) {
       obj.emplace_back("catalog_vms_per_cell", spec.catalog_vms_per_cell);
       obj.emplace_back("catalog_seed", spec.catalog_seed);
       break;
+    case ScenarioKind::kFleet:
+      // The fleet block carries "placement" itself, so no duplicate
+      // top-level key is emitted; the alias exists for apply_field/sweeps.
+      obj.emplace_back("fleet", fleet::to_json(spec.fleet));
+      break;
   }
   return JsonValue(std::move(obj));
 }
@@ -253,7 +266,8 @@ void apply_field(ScenarioSpec& spec, const std::string& field, const JsonValue& 
   if (!field_allowed(spec.kind, field)) {
     if (field_allowed(ScenarioKind::kService, field) ||
         field_allowed(ScenarioKind::kCheckpoint, field) ||
-        field_allowed(ScenarioKind::kPortfolio, field)) {
+        field_allowed(ScenarioKind::kPortfolio, field) ||
+        field_allowed(ScenarioKind::kFleet, field)) {
       fail("scenario field '" + field + "' does not apply to kind '" + to_string(spec.kind) +
            "'");
     }
@@ -307,6 +321,11 @@ void apply_field(ScenarioSpec& spec, const std::string& field, const JsonValue& 
     spec.catalog_vms_per_cell = static_cast<std::size_t>(as_uint(value, field));
   } else if (field == "catalog_seed") {
     spec.catalog_seed = as_uint(value, field);
+  } else if (field == "fleet") {
+    spec.fleet = fleet::fleet_spec_from_json(value);
+  } else if (field == "placement") {
+    fleet::make_placement_policy(as_string(value, field));  // reject typos at parse time
+    spec.fleet.placement = value.as_string();
   } else {
     fail("unknown scenario field '" + field + "'");  // unreachable; keeps the chain total
   }
@@ -380,6 +399,9 @@ void validate(const ScenarioSpec& spec) {
       if (spec.catalog_vms_per_cell < 4 || spec.catalog_vms_per_cell > 1000) {
         fail("catalog_vms_per_cell must be in 4..1000");
       }
+      break;
+    case ScenarioKind::kFleet:
+      fleet::validate(spec.fleet);
       break;
   }
 }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "fleet/spec.hpp"
 #include "sim/service.hpp"
 #include "trace/ground_truth.hpp"
 
@@ -32,6 +33,7 @@ enum class ScenarioKind {
   kService,     ///< batch computing service on a bag of jobs (Sec. 5 / 6.3)
   kCheckpoint,  ///< one checkpoint plan executed under sampled preemptions (Sec. 6.2.2)
   kPortfolio,   ///< multi-market allocation executed by MultiMarketService
+  kFleet,       ///< datacenter fleet: SLA tiers, power states, migration (src/fleet)
 };
 
 std::string to_string(ScenarioKind kind);
@@ -96,6 +98,12 @@ struct ScenarioSpec {
   double correlation_penalty = 0.5;
   std::size_t catalog_vms_per_cell = 44;
   std::uint64_t catalog_seed = 2019;
+
+  // --- fleet ---
+  /// Machine classes, task classes and policy knobs ("fleet" block). The
+  /// top-level "placement" field aliases fleet.placement so sweeps can scan
+  /// policies without repeating the whole block.
+  fleet::FleetSpec fleet;
 };
 
 /// Serialize (kind-relevant fields only; stable key order).

@@ -70,13 +70,25 @@ void ClusterManager::assign(const std::vector<std::uint64_t>& vm_ids, std::uint6
 
 void ClusterManager::release(const std::vector<std::uint64_t>& vm_ids, double now) {
   for (std::uint64_t id : vm_ids) {
-    if (!has_node(id)) continue;
-    VmInstance& vm = node(id);
+    VmInstance& vm = node(id);  // unknown ids throw: a made-up gang is a bug
     if (vm.state != VmState::kBusy) continue;
     vm.state = VmState::kIdle;
     vm.running_job = 0;
     vm.idle_since = now;
   }
+}
+
+void ClusterManager::release(const std::vector<std::uint64_t>& vm_ids, std::uint64_t job_id,
+                             double now) {
+  for (std::uint64_t id : vm_ids) {
+    const VmInstance& vm = node(id);
+    if (vm.state == VmState::kBusy && vm.running_job != job_id) {
+      throw SimError("releasing VM " + std::to_string(id) + " for job " +
+                     std::to_string(job_id) + " but it is running job " +
+                     std::to_string(vm.running_job));
+    }
+  }
+  release(vm_ids, now);
 }
 
 std::uint64_t ClusterManager::mark_preempted(std::uint64_t vm_id, double now) {

@@ -35,8 +35,14 @@ class ClusterManager {
   void assign(const std::vector<std::uint64_t>& vm_ids, std::uint64_t job_id);
 
   /// Return a gang to the idle pool (e.g. after job completion/failure).
-  /// Nodes that are no longer alive are skipped.
+  /// Nodes that are no longer alive are skipped (a member may have been
+  /// preempted in the same instant); unknown ids throw SimError.
   void release(const std::vector<std::uint64_t>& vm_ids, double now);
+
+  /// Job-checked release: like release(), but every still-busy member must
+  /// actually be running `job_id` — releasing somebody else's gang is a
+  /// simulator bug and throws SimError instead of silently idling the node.
+  void release(const std::vector<std::uint64_t>& vm_ids, std::uint64_t job_id, double now);
 
   /// Provider reclaimed the VM; returns the job that was running (0 if idle).
   std::uint64_t mark_preempted(std::uint64_t vm_id, double now);

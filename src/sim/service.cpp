@@ -251,7 +251,7 @@ void BatchService::fail_running_job(Job& job, std::uint64_t preempted_vm) {
   for (std::uint64_t id : ctx.gang) {
     if (id != preempted_vm) survivors.push_back(id);
   }
-  cluster_.release(survivors, sim_.now());
+  cluster_.release(survivors, job.id, sim_.now());
   for (std::uint64_t id : survivors) {
     if (!cluster_.has_node(id) || cluster_.node(id).state != VmState::kIdle) continue;
     const double idle_since = sim_.now();
@@ -269,7 +269,7 @@ void BatchService::complete_job(Job& job) {
   PREEMPT_CHECK(it != running_.end(), "completing a job that is not running");
   const std::vector<std::uint64_t> gang = it->second.gang;
   running_.erase(it);
-  cluster_.release(gang, sim_.now());
+  cluster_.release(gang, job.id, sim_.now());
   for (std::uint64_t id : gang) {
     if (!cluster_.has_node(id) || cluster_.node(id).state != VmState::kIdle) continue;
     const double idle_since = sim_.now();

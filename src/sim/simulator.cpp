@@ -6,12 +6,44 @@
 
 namespace preempt::sim {
 
+namespace {
+
+// Public ids are biased by +1 so 0 is never a valid id (the hash-map scheme
+// also started at 1, and callers may use 0 as an "unset" sentinel).
+constexpr std::uint64_t pack_id(std::uint32_t generation, std::uint32_t index) {
+  return ((static_cast<std::uint64_t>(generation) << 32) | index) + 1;
+}
+
+}  // namespace
+
+std::uint32_t Simulator::acquire_slot(EventCallback callback) {
+  if (!free_slots_.empty()) {
+    const std::uint32_t index = free_slots_.back();
+    free_slots_.pop_back();
+    Slot& slot = slots_[index];
+    slot.callback = std::move(callback);
+    slot.armed = true;
+    return index;
+  }
+  PREEMPT_CHECK(slots_.size() < kIndexMask, "too many pending events");
+  slots_.push_back(Slot{std::move(callback), 0, true});
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::recycle_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.armed = false;
+  slot.callback = nullptr;
+  ++slot.generation;  // stale ids of any earlier occupant stop matching
+  free_slots_.push_back(index);
+}
+
 std::uint64_t Simulator::schedule_at(double when, EventCallback callback, int priority) {
   PREEMPT_REQUIRE(when >= now_ - 1e-12, "cannot schedule events in the past");
   PREEMPT_REQUIRE(callback != nullptr, "event callback must not be null");
-  const std::uint64_t id = next_id_++;
+  const std::uint32_t index = acquire_slot(std::move(callback));
+  const std::uint64_t id = pack_id(slots_[index].generation, index);
   queue_.push(Entry{std::max(when, now_), priority, next_sequence_++, id});
-  callbacks_.emplace(id, std::move(callback));
   return id;
 }
 
@@ -21,8 +53,17 @@ std::uint64_t Simulator::schedule_in(double delay, EventCallback callback, int p
 }
 
 void Simulator::cancel(std::uint64_t event_id) {
-  // Lazy cancellation: drop the callback; the queue entry is skipped later.
-  callbacks_.erase(event_id);
+  if (event_id == 0) return;
+  const std::uint64_t packed = event_id - 1;
+  const auto index = static_cast<std::uint32_t>(packed & kIndexMask);
+  const auto generation = static_cast<std::uint32_t>(packed >> 32);
+  if (index >= slots_.size()) return;
+  Slot& slot = slots_[index];
+  if (slot.generation != generation || !slot.armed) return;  // executed/unknown/stale
+  // Tombstone: release the callback now (it may pin resources); the queue
+  // entry is skipped and the slot recycled when it reaches the top.
+  slot.armed = false;
+  slot.callback = nullptr;
 }
 
 std::uint64_t Simulator::run(double max_time) {
@@ -31,10 +72,14 @@ std::uint64_t Simulator::run(double max_time) {
     const Entry top = queue_.top();
     if (top.time > max_time) break;
     queue_.pop();
-    const auto it = callbacks_.find(top.id);
-    if (it == callbacks_.end()) continue;  // cancelled
-    EventCallback callback = std::move(it->second);
-    callbacks_.erase(it);
+    const auto index = static_cast<std::uint32_t>((top.id - 1) & kIndexMask);
+    Slot& slot = slots_[index];
+    if (!slot.armed) {  // tombstoned by cancel(); reclaim the slot
+      recycle_slot(index);
+      continue;
+    }
+    EventCallback callback = std::move(slot.callback);
+    recycle_slot(index);
     PREEMPT_CHECK(top.time >= now_ - 1e-12, "event queue went backwards in time");
     now_ = std::max(now_, top.time);
     callback();

@@ -8,7 +8,6 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 namespace preempt::sim {
@@ -30,7 +29,9 @@ class Simulator {
   /// Schedule after a delay relative to now.
   std::uint64_t schedule_in(double delay, EventCallback callback, int priority = 0);
 
-  /// Cancel a pending event (no-op if already executed or unknown).
+  /// Cancel a pending event (no-op if already executed or unknown). O(1):
+  /// the slot is tombstoned and its callback released immediately; the queue
+  /// entry is skipped lazily when it reaches the top.
   void cancel(std::uint64_t event_id);
 
   /// Run until the queue is empty or `max_time` is passed. Events scheduled
@@ -41,7 +42,9 @@ class Simulator {
   /// executed event. Returns the number of events executed.
   std::uint64_t run(double max_time = kNoLimit);
 
-  /// True if no runnable events remain.
+  /// True if no runnable events remain (tombstoned entries may linger in the
+  /// queue until popped, so this can briefly report false after a cancel —
+  /// the same contract the hash-map scheme had).
   bool idle() const { return queue_.empty(); }
 
   static constexpr double kNoLimit = 1e300;
@@ -59,15 +62,30 @@ class Simulator {
     }
   };
 
+  // Intrusive tombstone store. Each pending event owns one slot in a
+  // contiguous slab; the public id packs (generation << 32 | slot index), so
+  // cancel() is a bounds check + generation compare — no hashing, no
+  // per-event node churn. Slots recycle through a free list when their queue
+  // entry pops (executed or tombstoned); the generation bump at recycle time
+  // makes stale ids from any earlier occupant harmless no-ops.
+  struct Slot {
+    EventCallback callback;
+    std::uint32_t generation = 0;
+    bool armed = false;  ///< false = tombstone (cancelled) or free
+  };
+
+  static constexpr std::uint64_t kIndexBits = 32;
+  static constexpr std::uint64_t kIndexMask = (std::uint64_t{1} << kIndexBits) - 1;
+
+  std::uint32_t acquire_slot(EventCallback callback);
+  void recycle_slot(std::uint32_t index);
+
   double now_ = 0.0;
   std::uint64_t next_sequence_ = 0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  // id -> callback; erased on execution/cancellation. A hash map keeps
-  // cancel() and the per-event lookup in run() O(1) — with the previous
-  // linear scan a run over n pending events cost O(n²).
-  std::unordered_map<std::uint64_t, EventCallback> callbacks_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace preempt::sim

@@ -95,6 +95,40 @@ TEST(Cluster, ReleaseSkipsDeadNodes) {
   EXPECT_EQ(c.node(2).state, VmState::kIdle);
 }
 
+TEST(Cluster, JobCheckedReleaseRequiresOwnership) {
+  ClusterManager c;
+  c.register_node(make_vm(1));
+  c.register_node(make_vm(2));
+  c.assign({1}, 8);
+  c.assign({2}, 9);
+  // Releasing node 2 under job 8's gang is a simulator bug, not a no-op.
+  EXPECT_THROW(c.release({1, 2}, /*job_id=*/8, 1.0), SimError);
+  // Node 1 was checked before any mutation: the gang release is atomic.
+  EXPECT_EQ(c.node(1).state, VmState::kBusy);
+  c.release({1}, /*job_id=*/8, 2.0);
+  EXPECT_EQ(c.node(1).state, VmState::kIdle);
+  EXPECT_DOUBLE_EQ(c.node(1).idle_since, 2.0);
+}
+
+TEST(Cluster, JobCheckedReleaseSkipsDeadNodesButVerifiesBusyOnes) {
+  ClusterManager c;
+  c.register_node(make_vm(1));
+  c.register_node(make_vm(2));
+  c.assign({1, 2}, 8);
+  c.mark_preempted(1, 1.0);
+  c.release({1, 2}, /*job_id=*/8, 1.0);  // the preempted member is skipped
+  EXPECT_EQ(c.node(1).state, VmState::kPreempted);
+  EXPECT_EQ(c.node(2).state, VmState::kIdle);
+}
+
+TEST(Cluster, ReleaseOfUnknownIdsThrows) {
+  ClusterManager c;
+  c.register_node(make_vm(1));
+  c.assign({1}, 8);
+  EXPECT_THROW(c.release({1, 99}, 1.0), SimError);
+  EXPECT_THROW(c.release({99}, /*job_id=*/8, 1.0), SimError);
+}
+
 TEST(Cluster, BilledHoursStopAtTermination) {
   ClusterManager c;
   VmInstance vm = make_vm(1, 2.0);

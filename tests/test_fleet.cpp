@@ -1,0 +1,261 @@
+// The fleet subsystem: energy-consistent machine state transitions, strict
+// FleetSpec JSON, placement-policy behavior differences, and determinism of
+// simulate_fleet (same seed => byte-identical report).
+#include "fleet/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dist/exponential.hpp"
+#include "fleet/fleet.hpp"
+#include "fleet/placement.hpp"
+#include "fleet/spec.hpp"
+
+namespace preempt::fleet {
+namespace {
+
+MachineClass tiny_class(std::size_t count = 1) {
+  MachineClass mc;
+  mc.name = "tiny";
+  mc.count = count;
+  mc.cores = 4;
+  mc.memory_mb = 8192.0;
+  mc.mips = {3000.0};
+  mc.p_state_power_w = {12.0};
+  mc.s_state_power_w = {120.0, 10.0};
+  mc.s_state_wake_hours = {0.0, 0.25};
+  return mc;
+}
+
+Task tiny_task(std::uint64_t id = 1, double memory_mb = 1024.0) {
+  Task task;
+  task.id = id;
+  task.memory_mb = memory_mb;
+  task.runtime_hours = 0.1;
+  task.remaining_hours = 0.1;
+  return task;
+}
+
+// --- Fleet: energy ledger and state machine ---------------------------------
+
+TEST(Fleet, IdleMachineIntegratesChassisPower) {
+  Fleet fleet({tiny_class()});
+  // 120 W for one hour = 0.120 kWh.
+  EXPECT_NEAR(fleet.total_energy_kwh(1.0), 0.120, 1e-12);
+}
+
+TEST(Fleet, BusyCoresAddCorePowerOnTopOfChassis) {
+  Fleet fleet({tiny_class()});
+  const Task a = tiny_task(1);
+  const Task b = tiny_task(2);
+  fleet.reserve(1, a, 0.0);
+  fleet.start_task(1, a, 0.0);
+  fleet.reserve(1, b, 0.0);
+  fleet.start_task(1, b, 0.0);
+  // (120 + 2 * 12) W for one hour.
+  EXPECT_NEAR(fleet.total_energy_kwh(1.0), 0.144, 1e-12);
+  fleet.finish_task(1, a, 1.0);
+  fleet.finish_task(1, b, 1.0);
+  // Second hour idle again.
+  EXPECT_NEAR(fleet.total_energy_kwh(2.0), 0.144 + 0.120, 1e-12);
+}
+
+TEST(Fleet, SleepDrawsSStatePowerAndWakeDrawsS0) {
+  Fleet fleet({tiny_class()});
+  fleet.sleep(1, 1, 0.0);
+  EXPECT_EQ(fleet.machine(1).power, MachinePower::kSleeping);
+  EXPECT_EQ(fleet.sleeping_count(), 1u);
+  // One hour asleep at 10 W.
+  EXPECT_NEAR(fleet.total_energy_kwh(1.0), 0.010, 1e-12);
+  const double ready = fleet.begin_wake(1, 1.0);
+  EXPECT_NEAR(ready, 1.25, 1e-12);
+  EXPECT_EQ(fleet.machine(1).power, MachinePower::kWaking);
+  fleet.complete_wake(1, ready);
+  EXPECT_EQ(fleet.machine(1).power, MachinePower::kOn);
+  // The 0.25 h transition drew S0 chassis power (120 W).
+  EXPECT_NEAR(fleet.total_energy_kwh(ready), 0.010 + 0.120 * 0.25, 1e-12);
+}
+
+TEST(Fleet, SleepRequiresAnIdleMachine) {
+  Fleet fleet({tiny_class()});
+  const Task a = tiny_task(1);
+  fleet.reserve(1, a, 0.0);
+  EXPECT_THROW(fleet.sleep(1, 1, 0.0), Error);
+}
+
+TEST(Fleet, PreemptedMachineDrawsNothingAndRejectsPlacements) {
+  Fleet fleet({tiny_class()});
+  const Task a = tiny_task(1);
+  fleet.reserve(1, a, 0.0);
+  fleet.start_task(1, a, 0.0);
+  fleet.mark_preempted(1, 1.0);
+  const Machine& m = fleet.machine(1);
+  EXPECT_EQ(m.power, MachinePower::kPreempted);
+  EXPECT_EQ(m.cores_busy, 0u);
+  EXPECT_FALSE(fleet.fits(m, tiny_task(2)));
+  // Dark from t=1 on: only the busy first hour is in the ledger.
+  EXPECT_NEAR(fleet.total_energy_kwh(3.0), (120.0 + 12.0) / 1000.0, 1e-12);
+  fleet.relaunch(1, 3.0);
+  EXPECT_EQ(fleet.machine(1).power, MachinePower::kOn);
+  EXPECT_TRUE(fleet.fits(fleet.machine(1), tiny_task(2)));
+}
+
+TEST(Fleet, FitsChecksCoresAndMemory) {
+  Fleet fleet({tiny_class()});
+  const Machine& m = fleet.machine(1);
+  EXPECT_TRUE(fleet.fits(m, tiny_task(1)));
+  EXPECT_FALSE(fleet.fits(m, tiny_task(1, 9000.0)));  // more RAM than the class has
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    const Task t = tiny_task(i);
+    fleet.reserve(1, t, 0.0);
+  }
+  EXPECT_FALSE(fleet.fits(m, tiny_task(5)));  // all cores reserved
+}
+
+TEST(Fleet, UnknownMachineIdThrows) {
+  Fleet fleet({tiny_class(2)});
+  EXPECT_THROW(fleet.machine(0), SimError);
+  EXPECT_THROW(fleet.machine(3), SimError);
+}
+
+// --- FleetSpec JSON ----------------------------------------------------------
+
+FleetSpec small_spec() {
+  FleetSpec spec;
+  spec.machines = {tiny_class(8)};
+  TaskClass steady;
+  steady.name = "batch";
+  steady.sla = SlaTier::kSla2;
+  steady.pattern = ArrivalPattern::kSteady;
+  steady.interarrival_hours = 0.05;
+  steady.runtime_hours = 0.1;
+  steady.memory_mb = 1024.0;
+  TaskClass bursty;
+  bursty.name = "frontend";
+  bursty.sla = SlaTier::kSla0;
+  bursty.pattern = ArrivalPattern::kSmallBursts;
+  bursty.interarrival_hours = 0.02;
+  bursty.burst_on_hours = 0.5;
+  bursty.burst_off_hours = 3.5;
+  bursty.runtime_hours = 0.1;
+  bursty.memory_mb = 512.0;
+  spec.tasks = {steady, bursty};
+  return spec;
+}
+
+TEST(FleetSpec, RoundTripsThroughJsonLosslessly) {
+  const FleetSpec spec = small_spec();
+  const std::string once = to_json(spec).dump(2);
+  const FleetSpec parsed = fleet_spec_from_json(to_json(spec));
+  EXPECT_EQ(to_json(parsed).dump(2), once);
+}
+
+TEST(FleetSpec, RejectsUnknownFieldsAndBadValues) {
+  {
+    JsonObject obj = to_json(small_spec()).as_object();
+    obj.emplace_back("surprise", JsonValue(1.0));
+    EXPECT_THROW(fleet_spec_from_json(JsonValue(std::move(obj))), InvalidArgument);
+  }
+  {
+    FleetSpec spec = small_spec();
+    spec.tasks[0].memory_mb = 1e9;  // fits no machine class
+    EXPECT_THROW(validate(spec), InvalidArgument);
+  }
+  {
+    FleetSpec spec = small_spec();
+    spec.placement = "round-robin";
+    EXPECT_THROW(validate(spec), InvalidArgument);
+  }
+  {
+    FleetSpec spec = small_spec();
+    spec.tasks[1].interarrival_hours = 0.0;
+    EXPECT_THROW(validate(spec), InvalidArgument);
+  }
+  {
+    FleetSpec spec = small_spec();
+    spec.machines[0].s_state_wake_hours = {0.0};  // size != s_states
+    EXPECT_THROW(validate(spec), InvalidArgument);
+  }
+}
+
+TEST(FleetPlacement, FactoryKnowsEveryAdvertisedPolicy) {
+  for (const std::string& name : placement_policy_names()) {
+    const auto policy = make_placement_policy(name);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->name(), name);
+  }
+  EXPECT_THROW(make_placement_policy("nope"), InvalidArgument);
+}
+
+// --- simulate_fleet ----------------------------------------------------------
+
+TEST(FleetSimulation, SameSeedIsByteIdentical) {
+  const FleetSpec spec = small_spec();
+  const dist::Exponential law(1.0 / 6.0);
+  const std::string a = simulate_fleet(spec, 2020, &law).to_json().dump(2);
+  const std::string b = simulate_fleet(spec, 2020, &law).to_json().dump(2);
+  EXPECT_EQ(a, b);
+  const std::string c = simulate_fleet(spec, 2021, &law).to_json().dump(2);
+  EXPECT_NE(a, c);
+}
+
+TEST(FleetSimulation, CompletesEverythingWithoutPreemptions) {
+  const FleetSpec spec = small_spec();
+  const FleetReport report = simulate_fleet(spec, 7, nullptr);
+  EXPECT_GT(report.tasks_submitted, 100u);
+  EXPECT_EQ(report.tasks_completed, report.tasks_submitted);
+  EXPECT_EQ(report.machine_preemptions, 0u);
+  EXPECT_EQ(report.task_preemptions, 0u);
+  EXPECT_GT(report.total_energy_kwh, 0.0);
+  EXPECT_GE(report.makespan_hours, 24.0);
+}
+
+TEST(FleetSimulation, PreemptionsRestartTasksButWorkStillDrains) {
+  const FleetSpec spec = small_spec();
+  const dist::Exponential law(1.0 / 6.0);  // mean 6 h machine lifetime
+  const FleetReport report = simulate_fleet(spec, 7, &law);
+  EXPECT_GT(report.machine_preemptions, 0u);
+  EXPECT_GT(report.task_preemptions, 0u);
+  EXPECT_EQ(report.tasks_completed, report.tasks_submitted);
+}
+
+// The headline trade-off of the tentpole: an energy-aware policy must spend
+// less energy than always-on first-fit, and pay for it with SLA violations
+// from deep-sleep wake latency (0.25 h against a 0.12 h response target).
+TEST(FleetSimulation, PoliciesTradeEnergyAgainstSlaViolations) {
+  FleetSpec spec = small_spec();
+  spec.tasks[1].interarrival_hours = 0.01;  // bursts overwhelm one machine
+  spec.preemptions = false;
+
+  spec.placement = "first-fit";
+  const FleetReport always_on = simulate_fleet(spec, 11, nullptr);
+  spec.placement = "e-eco";
+  const FleetReport eco = simulate_fleet(spec, 11, nullptr);
+
+  EXPECT_EQ(always_on.tasks_completed, always_on.tasks_submitted);
+  EXPECT_EQ(eco.tasks_completed, eco.tasks_submitted);
+  // first-fit never sleeps a machine, so it burns strictly more energy.
+  EXPECT_GT(always_on.total_energy_kwh, eco.total_energy_kwh);
+  // e-eco pays with strictly more strict-tier violations.
+  const std::size_t tier0 = static_cast<std::size_t>(SlaTier::kSla0);
+  EXPECT_GT(eco.sla_violations[tier0], always_on.sla_violations[tier0]);
+}
+
+TEST(FleetSimulation, MbfdConsolidationMigratesFirstFitDoesNot) {
+  FleetSpec spec = small_spec();
+  spec.tasks[0].runtime_hours = 1.0;  // long enough to be worth moving
+  spec.tasks[0].interarrival_hours = 0.1;
+  spec.rebalance_interval_hours = 0.5;
+  const dist::Exponential law(1.0 / 6.0);
+
+  spec.placement = "mbfd";
+  const FleetReport consolidated = simulate_fleet(spec, 3, &law);
+  EXPECT_GT(consolidated.migrations, 0u);
+
+  spec.placement = "first-fit";
+  const FleetReport pinned = simulate_fleet(spec, 3, &law);
+  EXPECT_EQ(pinned.migrations, 0u);
+}
+
+}  // namespace
+}  // namespace preempt::fleet

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "common/random.hpp"
 #include "dist/factory.hpp"
@@ -365,6 +367,56 @@ TEST(ScenarioRun, FamilyGroundTruthAndRepackedWorkloads) {
   const ScenarioResult result = run(spec);
   EXPECT_EQ(result.report.jobs_completed, 10u);
   EXPECT_GT(result.report.cost_per_job, 0.0);
+}
+
+TEST(ScenarioFleet, RegistrySweepRoundTripsThroughJson) {
+  for (const char* name : {"fleet-quick", "fleet-burst-cycle", "fleet-small-bursts",
+                           "fleet-migrations"}) {
+    const NamedScenario* named = find_builtin(name);
+    ASSERT_NE(named, nullptr) << name;
+    EXPECT_EQ(named->sweep.base.kind, ScenarioKind::kFleet) << name;
+    const std::string once = to_json(named->sweep).dump(2);
+    const SweepSpec parsed = sweep_from_json(to_json(named->sweep));
+    EXPECT_EQ(to_json(parsed).dump(2), once) << name;
+    for (const ScenarioSpec& cell : expand(parsed)) validate(cell);
+  }
+}
+
+TEST(ScenarioFleet, PlacementFieldAliasesTheFleetBlock) {
+  const NamedScenario* named = find_builtin("fleet-quick");
+  ASSERT_NE(named, nullptr);
+  SweepSpec sweep = named->sweep;
+  apply_override(sweep, "placement", JsonValue("mbfd"));
+  EXPECT_EQ(sweep.base.fleet.placement, "mbfd");
+  EXPECT_THROW(apply_override(sweep, "placement", JsonValue("bogus")), InvalidArgument);
+}
+
+// Acceptance: the flagship fleet scenario simulates >= 1,000 machines and
+// >= 100,000 tasks, reports every per-SLA metric with replication stats, and
+// is byte-identical across runs (the mc engine's substream seeding makes the
+// result independent of worker-thread interleaving as well).
+TEST(ScenarioFleet, BurstCycleScaleAndDeterminismAcceptance) {
+  const NamedScenario* named = find_builtin("fleet-burst-cycle");
+  ASSERT_NE(named, nullptr);
+  const std::vector<ScenarioSpec> cells = expand(named->sweep);
+  ASSERT_EQ(cells.size(), 1u);
+
+  const ScenarioResult first = run(cells.front());
+  EXPECT_GE(first.fleet_report.machines, 1000u);
+  EXPECT_GE(first.fleet_report.tasks_submitted, 100000u);
+  EXPECT_GT(first.fleet_report.total_energy_kwh, 0.0);
+  EXPECT_GT(first.fleet_report.machine_preemptions, 0u);
+  for (const char* metric :
+       {"sla0_violation_rate", "sla1_violation_rate", "sla2_violation_rate",
+        "sla3_violation_rate", "total_energy_kwh", "migrations", "machine_preemptions",
+        "task_preemptions", "tasks_completed", "makespan_hours"}) {
+    const bool found = std::any_of(first.metrics.begin(), first.metrics.end(),
+                                   [&](const auto& m) { return m.name == metric; });
+    EXPECT_TRUE(found) << metric;
+  }
+
+  const ScenarioResult second = run(cells.front());
+  EXPECT_EQ(first.to_json().dump(), second.to_json().dump());
 }
 
 TEST(ScenarioRun, PortfolioScenarioIsDeterministic) {

@@ -147,5 +147,112 @@ TEST(Simulator, SameTimeEventScheduledDuringExecutionRuns) {
   EXPECT_TRUE(inner);
 }
 
+// One full pass over the tombstone scheme: schedule 1M events, cancel every
+// other one, and pin both the executed count and the execution order (as a
+// position-weighted checksum) across two identical runs. This is the
+// regression net for the hash-map -> slot-slab rework: a recycling bug would
+// drop or reorder survivors, a cancellation bug would change the count.
+TEST(Simulator, MillionEventsHalfCancelledDeterministic) {
+  constexpr std::size_t kN = 1'000'000;
+  auto run_once = [] {
+    Simulator sim;
+    std::vector<std::uint64_t> ids;
+    ids.reserve(kN);
+    std::uint64_t checksum = 0;
+    std::uint64_t position = 0;
+    for (std::size_t i = 0; i < kN; ++i) {
+      const auto tag = static_cast<std::uint64_t>(i);
+      ids.push_back(sim.schedule_at(static_cast<double>(i % 9973), [&checksum, &position, tag] {
+        checksum += (++position) * (tag + 1);
+      }));
+    }
+    for (std::size_t i = 0; i < kN; i += 2) sim.cancel(ids[i]);
+    sim.run();
+    EXPECT_EQ(sim.executed_events(), kN / 2);
+    return checksum;
+  };
+  const std::uint64_t first = run_once();
+  const std::uint64_t second = run_once();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first, 0u);
+}
+
+TEST(Simulator, CancelAfterExecutionIsNoOp) {
+  Simulator sim;
+  int fired = 0;
+  const auto id = sim.schedule_at(1.0, [&fired] { ++fired; });
+  sim.run();
+  sim.cancel(id);  // must not disturb anything
+  sim.cancel(id);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.executed_events(), 1u);
+}
+
+TEST(Simulator, StaleIdAfterSlotReuseDoesNotCancelNewEvent) {
+  Simulator sim;
+  const auto first = sim.schedule_at(1.0, [] {});
+  sim.run();  // slot recycled once the entry pops
+  bool fired = false;
+  const auto second = sim.schedule_at(2.0, [&fired] { fired = true; });
+  ASSERT_NE(first, second);  // generation bump makes the old id stale
+  sim.cancel(first);         // stale id: must not tombstone the new occupant
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancelZeroAndUnknownIdsAreNoOps) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(1.0, [&fired] { fired = true; });
+  sim.cancel(0);
+  sim.cancel(0xffffffffffffffffULL);
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+// Satellite coverage for the bounded-run clock contract (pins the PR 3
+// early-exit fix): windows interleaved with schedule_in and cancels whose
+// targets lie across the window boundary.
+TEST(Simulator, BoundedWindowsInterleavedWithScheduleInAndCancels) {
+  Simulator sim;
+  std::vector<int> order;
+
+  sim.schedule_at(0.5, [&order] { order.push_back(1); });
+  const auto in_window_cancelled = sim.schedule_at(0.75, [&order] { order.push_back(-1); });
+  const auto beyond_window = sim.schedule_at(3.5, [&order] { order.push_back(-2); });
+  sim.schedule_at(4.5, [&order] { order.push_back(4); });
+
+  sim.cancel(in_window_cancelled);
+  EXPECT_EQ(sim.run(1.0), 1u);  // only the 0.5 event fires in [0, 1]
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+
+  // Relative scheduling anchors at the window end; the event lands at 3.0,
+  // i.e. inside the *next* window.
+  sim.schedule_in(2.0, [&order] { order.push_back(3); });
+  // Cancelling an event queued beyond the already-simulated window must work
+  // from between runs (its queue entry is still pending).
+  sim.cancel(beyond_window);
+
+  EXPECT_EQ(sim.run(4.0), 1u);  // the 3.0 event; the 3.5 one is tombstoned
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+
+  EXPECT_EQ(sim.run(), 1u);  // drains the 4.5 event
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 4}));
+  EXPECT_EQ(sim.executed_events(), 3u);
+}
+
+TEST(Simulator, CancelAcrossWindowBoundaryFromInsideAnEvent) {
+  Simulator sim;
+  bool fired = false;
+  const auto far_event = sim.schedule_at(10.0, [&fired] { fired = true; });
+  // An event inside the first window cancels one beyond it.
+  sim.schedule_at(0.5, [&sim, far_event] { sim.cancel(far_event); });
+  sim.run(1.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.executed_events(), 1u);
+}
+
 }  // namespace
 }  // namespace preempt::sim

@@ -76,6 +76,16 @@ int self_check(preempt::api::ServiceDaemon& daemon) {
             scenario_done.scenario == "paper-fig09-quick" &&
             scenario_done.scenario_result.is_object());
 
+  // The fleet scenario kind rides the same async queue: a compact cluster
+  // simulation runs end to end and reports the per-SLA violation block.
+  const auto fleet_job = client.run_scenario("fleet-quick", R"({"replications":1})");
+  const auto fleet_done = client.wait_for_bag(fleet_job.id, 120.0);
+  const auto* fleet_report = fleet_done.scenario_result.find("report");
+  check("POST /v1/scenarios/fleet-quick/run simulates the fleet",
+        fleet_done.status == "done" && fleet_report != nullptr &&
+            fleet_report->number_or("machines", 0) == 40 &&
+            fleet_report->find("sla") != nullptr);
+
   // Deprecated aliases answer with the legacy payloads.
   check("GET /api/model (alias)", http_get(daemon.port(), "/api/model").status == 200);
   const auto legacy =
