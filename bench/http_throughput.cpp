@@ -1,0 +1,204 @@
+// Recorded HTTP daemon performance baseline (BENCH_http.json).
+//
+// Drives a live ServiceDaemon route surface over real loopback sockets with
+// N concurrent client threads cycling a mixed GET/POST route set, once with
+// one connection per request (Connection: close) and once over persistent
+// keep-alive connections, and records req/s, p50/p99 latency and the
+// server's shed counters for both — the perf trajectory entry for the
+// keep-alive work, alongside BENCH_mc.json and BENCH_fleet.json.
+//
+// Usage: bench_http_throughput [--smoke] [--out PATH]
+//   --smoke   small request counts (CI); --out defaults to BENCH_http.json
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/http_client.hpp"
+#include "api/http_server.hpp"
+#include "api/service_daemon.hpp"
+#include "bench_util.hpp"
+#include "common/json.hpp"
+#include "common/stopwatch.hpp"
+
+namespace {
+
+using namespace preempt;
+
+struct Route {
+  const char* method;
+  const char* target;
+  const char* body;
+};
+
+// Cheap, allocation-light routes: the point is to measure the HTTP layer
+// (connect cost, framing, queueing), not a discrete-event simulation.
+constexpr Route kRoutes[] = {
+    {"GET", "/healthz", ""},
+    {"GET", "/v1/lifetimes?type=n1-highcpu-16", ""},
+    {"GET", "/v1/bags?limit=5", ""},
+    {"POST", "/v1/observations", R"({"lifetimes":[2.5,11.0,23.9,16.2,8.8]})"},
+    {"GET", "/v1/scenarios", ""},
+};
+constexpr std::size_t kRouteCount = sizeof(kRoutes) / sizeof(kRoutes[0]);
+
+struct PhaseResult {
+  double requests_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t connections_served = 0;
+  std::uint64_t connections_shed = 0;
+  double shed_rate = 0.0;
+};
+
+double percentile(std::vector<double>& sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(idx, sorted_ms.size() - 1)];
+}
+
+/// One load phase: `clients` threads, `per_client` requests each, either on
+/// a fresh Connection: close socket per request or on one keep-alive
+/// connection per thread.
+PhaseResult run_phase(api::ServiceDaemon& daemon, bool keep_alive, std::size_t clients,
+                      std::size_t per_client) {
+  // A dedicated HttpServer per phase (fronting the daemon's router) so the
+  // served/shed counters below belong to this phase alone.
+  api::HttpServer server;
+  api::HttpServer::Options options;
+  options.worker_threads = 4;
+  server.start([&daemon](const api::HttpRequest& request) { return daemon.handle(request); },
+               options);
+  const std::uint16_t port = server.port();
+
+  std::vector<std::vector<double>> latencies_ms(clients);
+  std::vector<std::uint64_t> errors(clients, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  Stopwatch wall;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      latencies_ms[c].reserve(per_client);
+      api::HttpConnection connection(port);
+      for (std::size_t i = 0; i < per_client; ++i) {
+        const Route& route = kRoutes[(c + i) % kRouteCount];
+        const auto begin = std::chrono::steady_clock::now();
+        try {
+          const api::HttpResponse response =
+              keep_alive ? connection.request(route.method, route.target, route.body)
+                         : api::http_request(port, route.method, route.target, route.body);
+          if (response.status < 200 || response.status >= 300) ++errors[c];
+        } catch (const std::exception&) {
+          ++errors[c];
+        }
+        const auto end = std::chrono::steady_clock::now();
+        latencies_ms[c].push_back(
+            std::chrono::duration<double, std::milli>(end - begin).count());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed = wall.elapsed_seconds();
+
+  PhaseResult result;
+  std::vector<double> merged;
+  merged.reserve(clients * per_client);
+  for (const auto& v : latencies_ms) merged.insert(merged.end(), v.begin(), v.end());
+  std::sort(merged.begin(), merged.end());
+  result.requests = merged.size();
+  for (std::uint64_t e : errors) result.errors += e;
+  result.requests_per_sec =
+      elapsed > 0.0 ? static_cast<double>(merged.size()) / elapsed : 0.0;
+  result.p50_ms = percentile(merged, 0.50);
+  result.p99_ms = percentile(merged, 0.99);
+  result.connections_served = server.connections_served();
+  result.connections_shed = server.connections_shed();
+  const double accepted =
+      static_cast<double>(result.connections_served + result.connections_shed);
+  result.shed_rate =
+      accepted > 0.0 ? static_cast<double>(result.connections_shed) / accepted : 0.0;
+  server.stop();
+  return result;
+}
+
+JsonValue phase_json(const PhaseResult& r) {
+  JsonObject o;
+  o.emplace_back("requests", static_cast<std::size_t>(r.requests));
+  o.emplace_back("errors", static_cast<std::size_t>(r.errors));
+  o.emplace_back("requests_per_sec", r.requests_per_sec);
+  o.emplace_back("p50_ms", r.p50_ms);
+  o.emplace_back("p99_ms", r.p99_ms);
+  o.emplace_back("connections_served", static_cast<std::size_t>(r.connections_served));
+  o.emplace_back("connections_shed", static_cast<std::size_t>(r.connections_shed));
+  o.emplace_back("shed_rate", r.shed_rate);
+  return JsonValue(std::move(o));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_http.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+  }
+
+  const std::size_t clients = smoke ? 4 : 8;
+  const std::size_t per_client = smoke ? 100 : 1000;
+
+  bench::print_header("HTTP", "daemon request throughput: close-per-request vs keep-alive");
+
+  api::ServiceDaemon daemon;  // routes dispatched in-process; sockets are ours
+
+  // Warm the lazy bits (registry lookups, scenario listing) off the clock.
+  (void)daemon.handle(api::HttpRequest{"GET", "/v1/lifetimes", "HTTP/1.1", {}, ""});
+  (void)daemon.handle(api::HttpRequest{"GET", "/v1/scenarios", "HTTP/1.1", {}, ""});
+
+  const PhaseResult close_phase = run_phase(daemon, /*keep_alive=*/false, clients, per_client);
+  const PhaseResult keep_phase = run_phase(daemon, /*keep_alive=*/true, clients, per_client);
+
+  const double speedup = close_phase.requests_per_sec > 0.0
+                             ? keep_phase.requests_per_sec / close_phase.requests_per_sec
+                             : 0.0;
+  std::cout << "close-per-request : " << bench::fmt(close_phase.requests_per_sec, 0)
+            << " req/s, p50 " << bench::fmt(close_phase.p50_ms, 3) << " ms, p99 "
+            << bench::fmt(close_phase.p99_ms, 3) << " ms, shed rate "
+            << bench::fmt(close_phase.shed_rate, 4) << "\n"
+            << "keep-alive        : " << bench::fmt(keep_phase.requests_per_sec, 0)
+            << " req/s, p50 " << bench::fmt(keep_phase.p50_ms, 3) << " ms, p99 "
+            << bench::fmt(keep_phase.p99_ms, 3) << " ms, shed rate "
+            << bench::fmt(keep_phase.shed_rate, 4) << "\n";
+  bench::print_claim("keep-alive beats close-per-request on the same route mix",
+                     "keep-alive/close throughput = " + bench::fmt(speedup, 2) + "x");
+
+  JsonObject doc;
+  doc.emplace_back("benchmark", JsonValue("http_throughput"));
+  doc.emplace_back("smoke", JsonValue(smoke));
+  doc.emplace_back("clients", clients);
+  doc.emplace_back("requests_per_client", per_client);
+  doc.emplace_back("close", phase_json(close_phase));
+  doc.emplace_back("keepalive", phase_json(keep_phase));
+  doc.emplace_back("speedup_keepalive_vs_close", JsonValue(speedup));
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << JsonValue(std::move(doc)).dump(2) << "\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  const bool healthy = close_phase.errors == 0 && keep_phase.errors == 0;
+  if (!healthy) {
+    std::cerr << "request errors during the run\n";
+    return 1;
+  }
+  return 0;
+}

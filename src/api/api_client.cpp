@@ -82,12 +82,20 @@ std::string BagSubmission::to_json() const {
   return JsonValue(std::move(obj)).dump();
 }
 
+HttpResponse ApiClient::do_request(const std::string& method, const std::string& target,
+                                   const std::string& body) const {
+  if (!keep_alive_) return http_request(port_, method, target, body);
+  const std::lock_guard<std::mutex> lock(conn_mutex_);
+  if (!conn_) conn_ = std::make_unique<HttpConnection>(port_);
+  return conn_->request(method, target, body);
+}
+
 JsonValue ApiClient::get_json(const std::string& target) const {
-  return expect_json(http_get(port_, target));
+  return expect_json(do_request("GET", target));
 }
 
 JsonValue ApiClient::post_json(const std::string& target, const std::string& body) const {
-  return expect_json(http_post(port_, target, body));
+  return expect_json(do_request("POST", target, body));
 }
 
 bool ApiClient::healthy() const {
@@ -179,7 +187,7 @@ BagJobInfo ApiClient::parse_job(const JsonValue& v) {
 }
 
 BagJobInfo ApiClient::submit_bag(const BagSubmission& submission) const {
-  const HttpResponse response = http_post(port_, "/v1/bags", submission.to_json());
+  const HttpResponse response = do_request("POST", "/v1/bags", submission.to_json());
   if (response.status != 202) throw_api_error(response);
   return parse_job(parse_json(response.body));
 }
@@ -234,7 +242,7 @@ JsonValue ApiClient::scenario(const std::string& name) const {
 BagJobInfo ApiClient::run_scenario(const std::string& name,
                                    const std::string& overrides_json) const {
   const HttpResponse response =
-      http_post(port_, "/v1/scenarios/" + url_encode(name) + "/run", overrides_json);
+      do_request("POST", "/v1/scenarios/" + url_encode(name) + "/run", overrides_json);
   if (response.status != 202) throw_api_error(response);
   return parse_job(parse_json(response.body));
 }

@@ -9,10 +9,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "api/http_client.hpp"
 #include "common/error.hpp"
 #include "common/json.hpp"
 
@@ -156,7 +159,13 @@ struct RouteMetricsInfo {
 
 class ApiClient {
  public:
-  explicit ApiClient(std::uint16_t port) : port_(port) {}
+  /// `keep_alive` (the default) reuses one persistent HTTP connection across
+  /// calls — repeated requests skip the per-request TCP connect. Pass false
+  /// to open a fresh Connection: close socket per request.
+  explicit ApiClient(std::uint16_t port, bool keep_alive = true)
+      : port_(port), keep_alive_(keep_alive) {}
+  ApiClient(const ApiClient&) = delete;
+  ApiClient& operator=(const ApiClient&) = delete;
 
   std::uint16_t port() const noexcept { return port_; }
 
@@ -206,7 +215,15 @@ class ApiClient {
  private:
   static BagJobInfo parse_job(const JsonValue& v);
 
+  /// One request through the configured transport (persistent or one-shot).
+  /// Thread-safe: the shared connection is serialized by conn_mutex_.
+  HttpResponse do_request(const std::string& method, const std::string& target,
+                          const std::string& body = "") const;
+
   std::uint16_t port_;
+  bool keep_alive_;
+  mutable std::mutex conn_mutex_;
+  mutable std::unique_ptr<HttpConnection> conn_;  ///< lazy, keep-alive mode only
 };
 
 }  // namespace preempt::api

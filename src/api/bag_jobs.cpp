@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 
+#include "api/job_store.hpp"
 #include "common/error.hpp"
+#include "common/log.hpp"
 
 namespace preempt::api {
 
@@ -31,6 +33,9 @@ BagJobQueue::BagJobQueue(std::size_t workers, Executor executor, Options options
   PREEMPT_REQUIRE(workers >= 1, "bag job queue needs at least one worker");
   PREEMPT_REQUIRE(options_.max_finished_jobs >= 1,
                   "bag job queue must retain at least one finished job");
+  // Replay before any worker exists: re-queued crash survivors must be in
+  // the store when the first worker looks for work.
+  if (!options_.store_path.empty()) load_journal();
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -57,6 +62,7 @@ std::uint64_t BagJobQueue::submit(BagJobSpec spec) {
     record.id = id;
     record.status = BagJobStatus::kQueued;
     record.spec = std::move(spec);
+    if (journal_) journal_locked(make_submit_event(record));
     records_.emplace(id, std::move(record));
     queue_.push_back(id);
   }
@@ -94,6 +100,9 @@ BagJobRecord BagJobQueue::execute_into_store(BagJobRecord scratch) {
       records_.erase(finished_order_.front());
       finished_order_.pop_front();
     }
+    // Evicted records linger in the log until the next compaction; replay
+    // applies the same cap, so they stay gone after a restart too.
+    if (journal_) journal_locked(make_terminal_event(stored));
   }
   done_cv_.notify_all();
   return stored;
@@ -107,6 +116,9 @@ BagJobRecord BagJobQueue::run_inline(BagJobSpec spec) {
     scratch.status = BagJobStatus::kRunning;
     scratch.spec = std::move(spec);
     records_.emplace(scratch.id, scratch);
+    // Journaled as a running submit: if we crash mid-execution, replay
+    // re-queues it like any other interrupted job.
+    if (journal_) journal_locked(make_submit_event(scratch));
   }
   return execute_into_store(std::move(scratch));
 }
@@ -127,6 +139,7 @@ void BagJobQueue::worker_loop() {
       BagJobRecord& record = records_.at(id);
       record.status = BagJobStatus::kRunning;
       scratch = record;  // run on a copy; the store stays consistent meanwhile
+      if (journal_) journal_locked(make_running_event(id));
     }
     execute_into_store(std::move(scratch));
   }
@@ -189,6 +202,67 @@ bool BagJobQueue::wait(std::uint64_t id, double timeout_seconds) const {
 std::size_t BagJobQueue::done_count() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return done_total_;
+}
+
+void BagJobQueue::load_journal() {
+  // Constructor context: no workers yet, no lock needed.
+  JournalReplay replay = replay_journal(options_.store_path);
+  next_id_ = std::max(next_id_, replay.next_id);
+  done_total_ = replay.done_total;
+  for (auto& record : replay.records) {
+    const std::uint64_t id = record.id;
+    if (record.status == BagJobStatus::kQueued || record.status == BagJobStatus::kRunning) {
+      // Interrupted by the crash/restart: run it again from the top.
+      record.status = BagJobStatus::kQueued;
+      record.error.clear();
+      queue_.push_back(id);
+    }
+    records_.emplace(id, std::move(record));
+  }
+  std::sort(queue_.begin(), queue_.end());  // resubmit in original order
+  for (std::uint64_t id : replay.terminal_order) finished_order_.push_back(id);
+  // The live cap applies across restarts: trimming the oldest finished here
+  // reproduces exactly the evictions the previous process would have done.
+  while (finished_order_.size() > options_.max_finished_jobs) {
+    records_.erase(finished_order_.front());
+    finished_order_.pop_front();
+  }
+
+  journal_ = std::make_unique<JobJournal>(options_.store_path);
+  // Compact immediately: the replayed history (plus our re-queue/eviction
+  // decisions) collapses to one snapshot, so restart loops can't grow the
+  // log and the on-disk statuses match the in-memory ones.
+  std::vector<BagJobRecord> snapshot;
+  snapshot.reserve(records_.size());
+  for (std::uint64_t id : finished_order_) snapshot.push_back(records_.at(id));
+  for (const auto& [id, record] : records_) {
+    if (record.status == BagJobStatus::kQueued || record.status == BagJobStatus::kRunning) {
+      snapshot.push_back(record);
+    }
+  }
+  journal_->compact(make_snapshot_event(snapshot, next_id_, done_total_));
+}
+
+void BagJobQueue::journal_locked(const JsonValue& event) {
+  try {
+    if (journal_->bytes() > options_.compact_threshold_bytes) {
+      std::vector<BagJobRecord> snapshot;
+      snapshot.reserve(records_.size());
+      for (std::uint64_t id : finished_order_) snapshot.push_back(records_.at(id));
+      for (const auto& [id, record] : records_) {
+        if (record.status == BagJobStatus::kQueued || record.status == BagJobStatus::kRunning) {
+          snapshot.push_back(record);
+        }
+      }
+      journal_->compact(make_snapshot_event(snapshot, next_id_, done_total_));
+    }
+    journal_->append(event);
+  } catch (const std::exception& e) {
+    // Persistence is best-effort once the daemon is up: losing a journal
+    // write (disk full, unlinked path) must not fail the job or kill a
+    // worker thread.
+    PREEMPT_LOG_WARN << "job journal write failed: " << e.what();
+  }
 }
 
 }  // namespace preempt::api

@@ -16,6 +16,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -27,6 +28,8 @@
 #include "sim/service.hpp"
 
 namespace preempt::api {
+
+class JobJournal;  // job_store.hpp; held by pointer to avoid a header cycle
 
 enum class BagJobStatus { kQueued, kRunning, kDone, kFailed };
 
@@ -76,6 +79,14 @@ class BagJobQueue {
     /// Terminal (done/failed) records retained; the oldest-finished record
     /// is evicted beyond this. Queued/running jobs are never evicted.
     std::size_t max_finished_jobs = 1024;
+    /// When non-empty, the store persists to an append-only JSONL journal at
+    /// this path (see api/job_store.hpp): the constructor replays existing
+    /// events — terminal records come back with their reports, jobs that
+    /// were queued/running at crash time are re-queued — and every
+    /// submission/transition/report is journaled as it happens.
+    std::string store_path;
+    /// Journal size that triggers compaction (rewrite as one snapshot).
+    std::size_t compact_threshold_bytes = 4 * 1024 * 1024;
   };
 
   BagJobQueue(std::size_t workers, Executor executor, Options options);
@@ -131,9 +142,15 @@ class BagJobQueue {
   /// status/report back into the store; returns the stored record. Shared by
   /// the workers and run_inline.
   BagJobRecord execute_into_store(BagJobRecord scratch);
+  /// Replay + adopt the journal at options_.store_path (constructor only).
+  void load_journal();
+  /// Append an event, compacting first when the log is past the threshold;
+  /// journal faults are logged, never fatal to the job. Call with mutex_ held.
+  void journal_locked(const JsonValue& event);
 
   Executor executor_;
   Options options_;
+  std::unique_ptr<JobJournal> journal_;  ///< null when persistence is off
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;            ///< queue_ / stop_ changes
   mutable std::condition_variable done_cv_;    ///< terminal status changes

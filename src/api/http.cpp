@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <stdexcept>
 
 #include "common/json.hpp"
@@ -43,11 +44,11 @@ std::optional<std::string> HttpRequest::query(const std::string& key) const {
   return std::nullopt;
 }
 
-std::string HttpResponse::serialize() const {
+std::string HttpResponse::serialize(bool keep_alive) const {
   std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
   for (const auto& [k, v] : headers) out += k + ": " + v + "\r\n";
   out += "content-length: " + std::to_string(body.size()) + "\r\n";
-  out += "connection: close\r\n\r\n";
+  out += keep_alive ? "connection: keep-alive\r\n\r\n" : "connection: close\r\n\r\n";
   out += body;
   return out;
 }
@@ -62,6 +63,7 @@ std::string reason_for(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
     default: return "Unknown";
@@ -102,6 +104,7 @@ HttpResponse HttpResponse::method_not_allowed() {
 
 bool HttpRequestParser::feed(const char* data, std::size_t size) {
   if (state_ == State::kError) return false;
+  if (size > 0) fed_any_ = true;
   buffer_.append(data, size);
 
   if (state_ == State::kHead) {
@@ -122,6 +125,9 @@ bool HttpRequestParser::feed(const char* data, std::size_t size) {
   if (state_ == State::kBody) {
     if (buffer_.size() >= body_expected_) {
       request_.body = buffer_.substr(0, body_expected_);
+      // Keep what follows the body: under keep-alive that's the start of the
+      // next (pipelined) request, surfaced through remainder().
+      buffer_.erase(0, body_expected_);
       state_ = State::kDone;
     }
   }
@@ -168,18 +174,30 @@ bool HttpRequestParser::parse_head() {
     pos = eol + 2;
   }
 
-  // Body length.
+  // Body length. Digits only (no sign, no trailing junk); a syntactically
+  // valid length over the cap is a size rejection (413), not a parse error.
   body_expected_ = 0;
   if (const auto it = request_.headers.find("content-length"); it != request_.headers.end()) {
-    try {
-      const long long n = std::stoll(it->second);
-      if (n < 0 || static_cast<std::size_t>(n) > kMaxBody) throw std::out_of_range("size");
-      body_expected_ = static_cast<std::size_t>(n);
-    } catch (const std::exception&) {
+    const std::string& text = it->second;
+    const bool digits = !text.empty() && text.size() <= 20 &&
+                        std::all_of(text.begin(), text.end(),
+                                    [](unsigned char c) { return std::isdigit(c) != 0; });
+    if (!digits) {
       state_ = State::kError;
       error_ = "bad content-length";
       return false;
     }
+    unsigned long long n = 0;
+    const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), n);
+    const std::size_t cap = std::min(max_body_, kMaxBody);
+    if (ec != std::errc{} || ptr != text.data() + text.size() || n > cap) {
+      state_ = State::kError;
+      too_large_ = ec == std::errc::result_out_of_range || (ec == std::errc{} && n > cap);
+      error_ = too_large_ ? "request body exceeds the " + std::to_string(cap) + "-byte limit"
+                          : "bad content-length";
+      return false;
+    }
+    body_expected_ = static_cast<std::size_t>(n);
   }
   if (request_.headers.count("transfer-encoding") != 0) {
     state_ = State::kError;

@@ -32,8 +32,11 @@ struct HttpResponse {
   std::map<std::string, std::string> headers;
   std::string body;
 
-  /// Serialise with Content-Length and Connection: close.
-  std::string serialize() const;
+  /// Serialise with Content-Length framing. `keep_alive` picks the
+  /// Connection header (the body is always delimited by Content-Length, so a
+  /// kept-alive peer knows exactly where the next response starts).
+  std::string serialize(bool keep_alive) const;
+  std::string serialize() const { return serialize(false); }
 
   static HttpResponse json(int status, const std::string& body);
   static HttpResponse text(int status, const std::string& body);
@@ -57,10 +60,23 @@ class HttpRequestParser {
   bool complete() const noexcept { return state_ == State::kDone; }
   bool failed() const noexcept { return state_ == State::kError; }
   const std::string& error() const noexcept { return error_; }
+  /// True when the request was rejected for size, not shape: the declared
+  /// Content-Length exceeded max_body (or overflowed). Servers answer 413
+  /// for this instead of the generic 400.
+  bool body_too_large() const noexcept { return too_large_; }
   /// Valid once complete().
   const HttpRequest& request() const noexcept { return request_; }
+  /// Bytes fed beyond the completed request (the start of a pipelined or
+  /// kept-alive follow-up request). Valid once complete().
+  const std::string& remainder() const noexcept { return buffer_; }
+  /// True until the first byte is fed — lets a keep-alive server tell a
+  /// clean idle close apart from a truncated request.
+  bool empty() const noexcept { return !fed_any_; }
 
-  /// Total body bytes the parser will accept (guard against abuse).
+  /// Tighten the body cap below kMaxBody (server request-size limit).
+  void set_max_body(std::size_t bytes) noexcept { max_body_ = bytes; }
+
+  /// Total body bytes the parser will ever accept (guard against abuse).
   static constexpr std::size_t kMaxBody = 16 * 1024 * 1024;
   static constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
 
@@ -71,6 +87,9 @@ class HttpRequestParser {
   State state_ = State::kHead;
   std::string buffer_;
   std::size_t body_expected_ = 0;
+  std::size_t max_body_ = kMaxBody;
+  bool too_large_ = false;
+  bool fed_any_ = false;
   HttpRequest request_;
   std::string error_;
 };

@@ -5,6 +5,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
+#include <charconv>
 #include <cstring>
 
 #include "common/error.hpp"
@@ -14,8 +17,76 @@ namespace preempt::api {
 
 namespace {
 
-/// Parse a full HTTP response (status line, headers, Content-Length body).
-HttpResponse parse_response(const std::string& wire) {
+/// Upper bound on a response body this client will buffer. Far above any real
+/// payload of this API; exists so a bogus content-length cannot make the
+/// framed reader wait for gigabytes.
+constexpr std::size_t kMaxResponseBody = 64 * 1024 * 1024;
+
+/// Strict content-length decode: digits only, no sign, no trailing junk,
+/// bounded. Everything else — "abc", "-1", overflow — is the peer speaking a
+/// protocol we don't trust, surfaced as this layer's IoError rather than a
+/// raw std::stoll exception.
+std::size_t parse_content_length(const std::string& text) {
+  const bool digits = !text.empty() && text.size() <= 20 &&
+                      std::all_of(text.begin(), text.end(),
+                                  [](unsigned char c) { return std::isdigit(c) != 0; });
+  unsigned long long n = 0;
+  const auto [ptr, ec] =
+      digits ? std::from_chars(text.data(), text.data() + text.size(), n)
+             : std::from_chars_result{text.data(), std::errc::invalid_argument};
+  if (!digits || ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw IoError("malformed content-length in HTTP response: \"" + text + "\"");
+  }
+  if (n > kMaxResponseBody) {
+    throw IoError("implausible content-length in HTTP response: " + text);
+  }
+  return static_cast<std::size_t>(n);
+}
+
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw IoError("socket() failed: " + std::string(std::strerror(errno)));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw IoError("connect() to port " + std::to_string(port) + " failed: " + why);
+  }
+  return fd;
+}
+
+std::string build_request_wire(const std::string& method, const std::string& target,
+                               const std::string& body, const std::string& content_type,
+                               bool keep_alive) {
+  std::string wire = method + " " + target + " HTTP/1.1\r\n";
+  wire += "host: 127.0.0.1\r\n";
+  wire += keep_alive ? "connection: keep-alive\r\n" : "connection: close\r\n";
+  if (!body.empty()) {
+    wire += "content-type: " + content_type + "\r\n";
+    wire += "content-length: " + std::to_string(body.size()) + "\r\n";
+  }
+  wire += "\r\n";
+  wire += body;
+  return wire;
+}
+
+bool send_all(int fd, const std::string& wire) {
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpResponse parse_http_response(const std::string& wire) {
   HttpResponse response;
   const auto head_end = wire.find("\r\n\r\n");
   if (head_end == std::string::npos) throw IoError("truncated HTTP response");
@@ -45,48 +116,22 @@ HttpResponse parse_response(const std::string& wire) {
   }
   response.body = wire.substr(head_end + 4);
   if (const auto it = response.headers.find("content-length"); it != response.headers.end()) {
-    const auto expected = static_cast<std::size_t>(std::stoll(it->second));
+    const std::size_t expected = parse_content_length(it->second);
     if (response.body.size() < expected) throw IoError("short HTTP body");
     response.body.resize(expected);
   }
   return response;
 }
 
-}  // namespace
-
 HttpResponse http_request(std::uint16_t port, const std::string& method,
                           const std::string& target, const std::string& body,
                           const std::string& content_type) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw IoError("socket() failed: " + std::string(std::strerror(errno)));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const std::string why = std::strerror(errno);
+  const int fd = connect_loopback(port);
+  const std::string wire =
+      build_request_wire(method, target, body, content_type, /*keep_alive=*/false);
+  if (!send_all(fd, wire)) {
     ::close(fd);
-    throw IoError("connect() to port " + std::to_string(port) + " failed: " + why);
-  }
-
-  std::string wire = method + " " + target + " HTTP/1.1\r\n";
-  wire += "host: 127.0.0.1\r\n";
-  if (!body.empty()) {
-    wire += "content-type: " + content_type + "\r\n";
-    wire += "content-length: " + std::to_string(body.size()) + "\r\n";
-  }
-  wire += "\r\n";
-  wire += body;
-
-  std::size_t sent = 0;
-  while (sent < wire.size()) {
-    const ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      ::close(fd);
-      throw IoError("send() failed");
-    }
-    sent += static_cast<std::size_t>(n);
+    throw IoError("send() failed");
   }
   ::shutdown(fd, SHUT_WR);
 
@@ -98,7 +143,7 @@ HttpResponse http_request(std::uint16_t port, const std::string& method,
     received.append(buf, static_cast<std::size_t>(n));
   }
   ::close(fd);
-  return parse_response(received);
+  return parse_http_response(received);
 }
 
 HttpResponse http_get(std::uint16_t port, const std::string& target) {
@@ -107,6 +152,95 @@ HttpResponse http_get(std::uint16_t port, const std::string& target) {
 
 HttpResponse http_post(std::uint16_t port, const std::string& target, const std::string& body) {
   return http_request(port, "POST", target, body);
+}
+
+void HttpConnection::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  reused_ = false;
+}
+
+void HttpConnection::connect_socket() {
+  fd_ = connect_loopback(port_);
+  reused_ = false;
+}
+
+HttpResponse HttpConnection::roundtrip(const std::string& wire) {
+  response_started_ = false;
+  if (!send_all(fd_, wire)) throw IoError("send() failed on kept-alive connection");
+
+  // Framed read: headers first, then exactly content-length body bytes. No
+  // shutdown and no read-until-EOF — the socket stays open for reuse.
+  std::string received;
+  char buf[4096];
+  std::size_t head_end = std::string::npos;
+  while ((head_end = received.find("\r\n\r\n")) == std::string::npos) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) throw IoError("connection closed before HTTP response headers");
+    response_started_ = true;
+    received.append(buf, static_cast<std::size_t>(n));
+    if (received.size() > HttpRequestParser::kMaxHeaderBytes + 4) {
+      throw IoError("HTTP response header section too large");
+    }
+  }
+
+  // Peek at content-length without a full parse so we know when to stop.
+  std::size_t expected = 0;
+  {
+    const std::string head = to_lower(received.substr(0, head_end + 4));
+    const auto cl = head.find("content-length:");
+    if (cl != std::string::npos) {
+      const auto eol = head.find("\r\n", cl);
+      expected = parse_content_length(
+          trim(received.substr(cl + 15, eol - cl - 15)));
+    }
+  }
+  const std::size_t total = head_end + 4 + expected;
+  while (received.size() < total) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) throw IoError("connection closed mid HTTP response body");
+    received.append(buf, static_cast<std::size_t>(n));
+  }
+
+  HttpResponse response = parse_http_response(received.substr(0, total));
+  reused_ = true;
+  if (const auto it = response.headers.find("connection");
+      it != response.headers.end() && to_lower(trim(it->second)) == "close") {
+    close();
+  }
+  return response;
+}
+
+HttpResponse HttpConnection::request(const std::string& method, const std::string& target,
+                                     const std::string& body,
+                                     const std::string& content_type) {
+  const std::string wire =
+      build_request_wire(method, target, body, content_type, /*keep_alive=*/true);
+  const bool retryable = fd_ >= 0 && reused_;
+  if (fd_ < 0) connect_socket();
+  try {
+    return roundtrip(wire);
+  } catch (const IoError&) {
+    close();  // don't reuse a socket in an unknown protocol state
+    // A reused socket may have been closed server-side (idle timeout,
+    // max-requests cap) with the FIN not observed yet. That surfaces as a
+    // send/recv failure before any response bytes — retry once, fresh. A
+    // failure *after* response bytes started is not retried: the request may
+    // already have executed (double-submitting a POST is worse than failing).
+    if (!retryable || response_started_) throw;
+    connect_socket();
+    try {
+      return roundtrip(wire);
+    } catch (...) {
+      close();
+      throw;
+    }
+  } catch (...) {
+    close();
+    throw;
+  }
 }
 
 }  // namespace preempt::api

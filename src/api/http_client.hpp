@@ -1,6 +1,10 @@
-// A tiny blocking HTTP/1.1 client for loopback use (tests, examples, and the
-// `preempt-batchd` tool's self-check). One request per connection, matching
-// the server's Connection: close policy.
+// A tiny blocking HTTP/1.1 client for loopback use (tests, examples, the CLI
+// and the `preempt-batchd` tool's self-check).
+//
+// Two modes: the free functions open one connection per request (sending
+// `Connection: close`), while HttpConnection keeps a socket alive across
+// requests with Content-Length-framed reads — matching the server's
+// keep-alive support, so repeated calls skip the per-request TCP connect.
 #pragma once
 
 #include <cstdint>
@@ -10,8 +14,13 @@
 
 namespace preempt::api {
 
-/// Perform one request against 127.0.0.1:port. Throws IoError on connection
-/// or protocol failures.
+/// Parse a complete serialized HTTP response (status line, headers,
+/// Content-Length body). Throws IoError on malformed input — including a
+/// non-numeric, negative, or overflowing content-length header.
+HttpResponse parse_http_response(const std::string& wire);
+
+/// Perform one request against 127.0.0.1:port on a fresh connection
+/// (Connection: close). Throws IoError on connection or protocol failures.
 HttpResponse http_request(std::uint16_t port, const std::string& method,
                           const std::string& target, const std::string& body = "",
                           const std::string& content_type = "application/json");
@@ -19,5 +28,52 @@ HttpResponse http_request(std::uint16_t port, const std::string& method,
 /// Convenience wrappers.
 HttpResponse http_get(std::uint16_t port, const std::string& target);
 HttpResponse http_post(std::uint16_t port, const std::string& target, const std::string& body);
+
+/// A persistent (keep-alive) HTTP/1.1 connection to 127.0.0.1:port.
+///
+/// Connects lazily on the first request and reads responses by
+/// Content-Length framing instead of read-until-EOF, so the socket stays
+/// usable for the next request. When a *reused* socket turns out to be dead
+/// (the server closed it after an idle timeout or max-requests cap), the
+/// request is retried once on a fresh connection — safe for this API because
+/// the failure happens before any response bytes arrive. Honors a server's
+/// `Connection: close` by dropping the socket after that response.
+///
+/// Not thread-safe: callers serialize access (ApiClient does).
+class HttpConnection {
+ public:
+  explicit HttpConnection(std::uint16_t port) : port_(port) {}
+  ~HttpConnection() { close(); }
+  HttpConnection(const HttpConnection&) = delete;
+  HttpConnection& operator=(const HttpConnection&) = delete;
+
+  /// Perform one request, reusing the live socket when possible. Throws
+  /// IoError on connection or protocol failures.
+  HttpResponse request(const std::string& method, const std::string& target,
+                       const std::string& body = "",
+                       const std::string& content_type = "application/json");
+
+  HttpResponse get(const std::string& target) { return request("GET", target); }
+  HttpResponse post(const std::string& target, const std::string& body) {
+    return request("POST", target, body);
+  }
+
+  std::uint16_t port() const noexcept { return port_; }
+  /// True while a socket is held open for reuse.
+  bool connected() const noexcept { return fd_ >= 0; }
+  /// Drop the held socket (next request reconnects).
+  void close() noexcept;
+
+ private:
+  void connect_socket();
+  /// Send the serialized request and read one framed response on fd_.
+  /// Throws IoError; `reused` marks failures as retryable-by-reconnect.
+  HttpResponse roundtrip(const std::string& wire);
+
+  std::uint16_t port_;
+  int fd_ = -1;
+  bool reused_ = false;            ///< fd_ already carried a request/response exchange
+  bool response_started_ = false;  ///< roundtrip() saw response bytes (retry unsafe)
+};
 
 }  // namespace preempt::api

@@ -1,6 +1,7 @@
 #include "api/http_server.hpp"
 
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -8,6 +9,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "common/string_util.hpp"
 
 namespace preempt::api {
 
@@ -18,6 +20,9 @@ void HttpServer::start(HttpHandler handler, Options options) {
   PREEMPT_REQUIRE(!running_.load(), "http server already running");
   PREEMPT_REQUIRE(options.worker_threads >= 1, "http server needs at least one worker");
   PREEMPT_REQUIRE(options.max_pending_connections >= 1, "pending-connection cap must be >= 1");
+  PREEMPT_REQUIRE(options.max_requests_per_connection >= 1,
+                  "max requests per connection must be >= 1");
+  PREEMPT_REQUIRE(options.max_request_bytes >= 1, "request size cap must be >= 1");
   handler_ = std::move(handler);
   options_ = options;
 
@@ -49,12 +54,16 @@ void HttpServer::start(HttpHandler handler, Options options) {
   port_ = ntohs(addr.sin_port);
 
   connections_served_.store(0);
+  requests_served_.store(0);
+  connections_shed_.store(0);
   draining_ = false;  // no threads yet, safe to write unlocked
+  shed_stop_ = false;
   running_.store(true);
   workers_.reserve(options_.worker_threads);
   for (std::size_t i = 0; i < options_.worker_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  shed_thread_ = std::thread([this] { shed_loop(); });
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
@@ -66,6 +75,7 @@ void HttpServer::stop() {
       if (w.joinable()) w.join();
     }
     workers_.clear();
+    if (shed_thread_.joinable()) shed_thread_.join();
     return;
   }
   // shutdown() unblocks accept() so the loop observes running_ == false.
@@ -88,6 +98,15 @@ void HttpServer::stop() {
     if (w.joinable()) w.join();
   }
   workers_.clear();
+  // The reaper last: the accept thread (already joined) is the only
+  // producer of shed sockets, so whatever is queued now is all there will be
+  // and the reaper closes it on the way out.
+  {
+    const std::lock_guard<std::mutex> lock(shed_mutex_);
+    shed_stop_ = true;
+  }
+  shed_cv_.notify_all();
+  if (shed_thread_.joinable()) shed_thread_.join();
 }
 
 void HttpServer::accept_loop() {
@@ -109,26 +128,63 @@ void HttpServer::accept_loop() {
       }
     }
     if (shed) {
-      // Overload: refuse outright rather than queue without bound. Same
-      // shutdown+drain close sequence as handle_connection — closing with
-      // unread request bytes pending would RST and eat the 503 — but with a
-      // much shorter recv bound: this runs on the (only) accept thread, so a
-      // client that connected without sending anything must not stall new
-      // accepts for the full recv_timeout_seconds.
-      const timeval shed_tv{0, 100 * 1000};  // 100ms
-      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &shed_tv, sizeof(shed_tv));
+      // Overload: refuse outright rather than queue without bound. The 503 is
+      // tiny (fits any send buffer), so a non-blocking send either delivers it
+      // whole or the peer was never reading anyway; the lingering
+      // shutdown+drain close — needed so the peer reads the 503 instead of an
+      // RST eating it — is the reaper thread's job. Nothing here blocks, so a
+      // flood of shed connections can no longer serialize the accept loop.
+      connections_shed_.fetch_add(1);
       static const std::string kBusy =
           error_envelope(503, "overloaded", "server busy").serialize();
-      (void)::send(fd, kBusy.data(), kBusy.size(), MSG_NOSIGNAL);
+      (void)::send(fd, kBusy.data(), kBusy.size(), MSG_DONTWAIT | MSG_NOSIGNAL);
       ::shutdown(fd, SHUT_WR);
-      char drain[1024];
-      (void)::recv(fd, drain, sizeof(drain), 0);
-      ::close(fd);
+      {
+        const std::lock_guard<std::mutex> lock(shed_mutex_);
+        shed_fds_.push_back(
+            {fd, std::chrono::steady_clock::now() + std::chrono::milliseconds(100)});
+      }
+      shed_cv_.notify_one();
       PREEMPT_LOG_WARN << "http server shed a connection (pending queue full)";
       continue;
     }
     queue_cv_.notify_one();
   }
+}
+
+void HttpServer::shed_loop() {
+  std::vector<ShedSocket> local;
+  std::vector<pollfd> pfds;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(shed_mutex_);
+      if (local.empty()) {
+        shed_cv_.wait(lock, [this] { return shed_stop_ || !shed_fds_.empty(); });
+      }
+      local.insert(local.end(), shed_fds_.begin(), shed_fds_.end());
+      shed_fds_.clear();
+      if (shed_stop_) break;
+    }
+    if (local.empty()) continue;
+
+    pfds.clear();
+    for (const auto& s : local) pfds.push_back({s.fd, POLLIN, 0});
+    (void)::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 20);
+
+    const auto now = std::chrono::steady_clock::now();
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      const bool peer_done = (pfds[i].revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL)) != 0;
+      if (peer_done || now >= local[i].deadline) {
+        ::close(local[i].fd);
+      } else {
+        local[kept++] = local[i];
+      }
+    }
+    local.resize(kept);
+  }
+  // Stopping: nothing produces shed sockets anymore; close what remains.
+  for (const auto& s : local) ::close(s.fd);
 }
 
 void HttpServer::worker_loop() {
@@ -145,46 +201,108 @@ void HttpServer::worker_loop() {
   }
 }
 
-void HttpServer::handle_connection(int fd) {
-  HttpRequestParser parser;
-  char buf[4096];
-  HttpResponse response;
-  bool have_response = false;
+namespace {
 
-  while (!parser.complete()) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;  // peer closed, timeout or error
-    if (!parser.feed(buf, static_cast<std::size_t>(n))) {
-      response = HttpResponse::bad_request(parser.error());
-      have_response = true;
+/// Send a full serialized response; returns false when the peer vanished.
+bool send_all(int fd, const std::string& wire) {
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+void HttpServer::handle_connection(int fd) {
+  char buf[4096];
+  // Bytes read past the end of the previous request (a pipelined follow-up),
+  // carried into the next parser.
+  std::string carry;
+  std::size_t answered = 0;  // requests answered on this connection
+  bool counted = false;      // connections_served_ bumped for this connection
+
+  while (true) {
+    HttpRequestParser parser;
+    parser.set_max_body(options_.max_request_bytes);
+    if (!carry.empty()) {
+      (void)parser.feed(carry.data(), carry.size());
+      carry.clear();
+    }
+    // Between requests the bound is the keep-alive idle timeout; once the
+    // request starts flowing it reverts to the per-request recv timeout.
+    // SO_RCVTIMEO bounds each recv() call, so switching at the first byte is
+    // enough.
+    bool idle_phase = answered > 0 && parser.empty();
+    if (idle_phase) {
+      const timeval idle_tv{options_.idle_timeout_seconds, 0};
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &idle_tv, sizeof(idle_tv));
+    }
+    while (!parser.complete() && !parser.failed()) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) break;  // peer closed, timeout or error
+      if (idle_phase) {
+        const timeval tv{options_.recv_timeout_seconds, 0};
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        idle_phase = false;
+      }
+      (void)parser.feed(buf, static_cast<std::size_t>(n));
+    }
+
+    if (parser.failed()) {
+      // Malformed (400) or over the size cap (413): answer and close — after
+      // a framing error the byte stream can't be trusted for another request.
+      const HttpResponse response =
+          parser.body_too_large()
+              ? error_envelope(413, "payload_too_large", parser.error())
+              : HttpResponse::bad_request(parser.error());
+      requests_served_.fetch_add(1);
+      if (!counted) {
+        connections_served_.fetch_add(1);
+        counted = true;
+      }
+      (void)send_all(fd, response.serialize(false));
       break;
     }
-  }
+    if (!parser.complete()) break;  // idle close, EOF, or truncated request
 
-  if (!have_response) {
-    if (!parser.complete()) {
-      ::close(fd);
-      return;  // truncated request; nothing sensible to answer
-    }
+    ++answered;
+    HttpResponse response;
     try {
       response = handler_(parser.request());
     } catch (const std::exception& e) {
       response = error_envelope(500, "internal", e.what());
     }
+
+    bool client_close = false;
+    const auto& headers = parser.request().headers;
+    if (const auto it = headers.find("connection"); it != headers.end()) {
+      client_close = to_lower(trim(it->second)) == "close";
+    }
+    const bool keep = options_.keep_alive && !client_close &&
+                      answered < options_.max_requests_per_connection;
+
+    // Count before the response hits the wire so a client that has read its
+    // reply always observes the connection/request as served.
+    requests_served_.fetch_add(1);
+    if (!keep && !counted) {
+      connections_served_.fetch_add(1);
+      counted = true;
+    }
+    if (!send_all(fd, response.serialize(keep))) break;
+    if (!keep) break;
+    carry = parser.remainder();
   }
 
-  // Count before the response hits the wire so a client that has read its
-  // reply always observes the connection as served.
-  connections_served_.fetch_add(1);
-  const std::string wire = response.serialize();
-  std::size_t sent = 0;
-  while (sent < wire.size()) {
-    const ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) break;
-    sent += static_cast<std::size_t>(n);
-  }
+  if (!counted && answered > 0) connections_served_.fetch_add(1);
   ::shutdown(fd, SHUT_WR);
   // Drain briefly so the peer sees a clean close, then release the socket.
+  // Short bound: after an idle-timeout close the peer may never write again,
+  // and the worker must not sit out another full timeout here.
+  const timeval drain_tv{0, 100 * 1000};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &drain_tv, sizeof(drain_tv));
   (void)::recv(fd, buf, sizeof(buf), 0);
   ::close(fd);
 }

@@ -1,17 +1,24 @@
 // A small HTTP/1.1 server over POSIX sockets (loopback only) with a fixed
-// worker pool.
+// worker pool and persistent connections.
 //
 // One accept thread feeds accepted connections into a bounded queue drained
 // by `worker_threads` long-lived workers — the thread count is a constant of
 // the configuration, not of traffic, so a burst of requests can no longer
 // grow the process thread-by-thread (the old thread-per-connection model
-// also never reaped finished threads). When the pending queue is full the
-// connection is refused with a 503 so overload degrades loudly instead of
-// queueing without bound. Binding to port 0 picks an ephemeral port,
-// reported by port(); tests use that to avoid collisions.
+// also never reaped finished threads). Workers serve HTTP/1.1 keep-alive:
+// requests loop on one socket with Content-Length framing until the client
+// sends `Connection: close`, the idle timeout expires, or the
+// max-requests-per-connection cap is reached. Request size is bounded by
+// `max_request_bytes` (absurd Content-Length values answer 413 up front).
+// When the pending queue is full the connection is refused with a 503 so
+// overload degrades loudly instead of queueing without bound; shed sockets
+// drain on a dedicated reaper thread, never on the accept thread. Binding to
+// port 0 picks an ephemeral port, reported by port(); tests use that to
+// avoid collisions.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -32,9 +39,21 @@ class HttpServer {
   struct Options {
     std::uint16_t port = 0;        ///< 0 = ephemeral
     int backlog = 16;
-    int recv_timeout_seconds = 5;  ///< drop connections idle past this
+    int recv_timeout_seconds = 5;  ///< read bound within one request
+    /// Keep-alive: how long a connection may sit idle between requests
+    /// before the server closes it.
+    int idle_timeout_seconds = 5;
     std::size_t worker_threads = 4;
     std::size_t max_pending_connections = 256;  ///< accepted-but-unserved cap
+    /// Serve multiple requests per connection (HTTP/1.1 keep-alive). A
+    /// client can always opt out per-request with `Connection: close`.
+    bool keep_alive = true;
+    /// Requests served on one connection before the server closes it (a
+    /// fairness bound so one chatty client cannot pin a worker forever).
+    std::size_t max_requests_per_connection = 100;
+    /// Total request size cap (headers are separately capped by the parser);
+    /// a Content-Length beyond this answers 413 with the error envelope.
+    std::size_t max_request_bytes = 4 * 1024 * 1024;
   };
 
   HttpServer() = default;
@@ -56,15 +75,28 @@ class HttpServer {
   /// stop() — the regression guard against per-connection thread growth).
   std::size_t worker_threads() const noexcept { return workers_.size(); }
 
-  /// Connections fully served since start().
+  /// Connections fully served since start() (a kept-alive connection counts
+  /// once, however many requests it carries).
   std::uint64_t connections_served() const noexcept { return connections_served_.load(); }
+  /// Requests answered since start() (>= connections_served under keep-alive).
+  std::uint64_t requests_served() const noexcept { return requests_served_.load(); }
+  /// Connections refused with 503 because the pending queue was full.
+  std::uint64_t connections_shed() const noexcept { return connections_shed_.load(); }
 
   /// Stop accepting, close the listener, drain and join the pool. Idempotent.
   void stop();
 
  private:
+  /// A shed socket handed to the reaper: already sent its 503, drains until
+  /// the peer reads it (readable/EOF) or the deadline passes, then closes.
+  struct ShedSocket {
+    int fd = -1;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
   void accept_loop();
   void worker_loop();
+  void shed_loop();
   void handle_connection(int fd);
 
   HttpHandler handler_;
@@ -73,6 +105,8 @@ class HttpServer {
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> connections_served_{0};
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> connections_shed_{0};
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
   std::mutex queue_mutex_;
@@ -82,6 +116,14 @@ class HttpServer {
   /// joined: workers must not exit on the running_ flip alone — the accept
   /// thread can still push one final connection after it.
   bool draining_ = false;
+
+  // 503 shed path: the accept thread only sends the (tiny) response and
+  // enqueues the socket here; the reaper thread owns the lingering close.
+  std::thread shed_thread_;
+  std::mutex shed_mutex_;
+  std::condition_variable shed_cv_;
+  std::vector<ShedSocket> shed_fds_;
+  bool shed_stop_ = false;  ///< guarded by shed_mutex_
 };
 
 }  // namespace preempt::api

@@ -1,0 +1,337 @@
+#include "api/job_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace preempt::api {
+
+namespace {
+
+JsonValue report_to_json(const sim::ServiceReport& r) {
+  JsonObject o;
+  o.emplace_back("jobs_completed", r.jobs_completed);
+  o.emplace_back("makespan_hours", r.makespan_hours);
+  o.emplace_back("ideal_makespan_hours", r.ideal_makespan_hours);
+  o.emplace_back("increase_fraction", r.increase_fraction);
+  o.emplace_back("total_cost", r.total_cost);
+  o.emplace_back("cost_per_job", r.cost_per_job);
+  o.emplace_back("on_demand_cost_per_job", r.on_demand_cost_per_job);
+  o.emplace_back("cost_reduction_factor", r.cost_reduction_factor);
+  o.emplace_back("preemptions", r.preemptions);
+  o.emplace_back("preemptions_total", r.preemptions_total);
+  o.emplace_back("vms_launched", r.vms_launched);
+  o.emplace_back("fresh_vm_launches", r.fresh_vm_launches);
+  o.emplace_back("hot_spare_expirations", r.hot_spare_expirations);
+  o.emplace_back("total_vm_hours", r.total_vm_hours);
+  o.emplace_back("wasted_hours", r.wasted_hours);
+  o.emplace_back("checkpoint_overhead_hours", r.checkpoint_overhead_hours);
+  return JsonValue(std::move(o));
+}
+
+sim::ServiceReport report_from_json(const JsonValue& v) {
+  sim::ServiceReport r;
+  r.jobs_completed = static_cast<std::size_t>(v.number_or("jobs_completed", 0));
+  r.makespan_hours = v.number_or("makespan_hours", 0.0);
+  r.ideal_makespan_hours = v.number_or("ideal_makespan_hours", 0.0);
+  r.increase_fraction = v.number_or("increase_fraction", 0.0);
+  r.total_cost = v.number_or("total_cost", 0.0);
+  r.cost_per_job = v.number_or("cost_per_job", 0.0);
+  r.on_demand_cost_per_job = v.number_or("on_demand_cost_per_job", 0.0);
+  r.cost_reduction_factor = v.number_or("cost_reduction_factor", 0.0);
+  r.preemptions = static_cast<int>(v.number_or("preemptions", 0));
+  r.preemptions_total = static_cast<int>(v.number_or("preemptions_total", 0));
+  r.vms_launched = static_cast<int>(v.number_or("vms_launched", 0));
+  r.fresh_vm_launches = static_cast<int>(v.number_or("fresh_vm_launches", 0));
+  r.hot_spare_expirations = static_cast<int>(v.number_or("hot_spare_expirations", 0));
+  r.total_vm_hours = v.number_or("total_vm_hours", 0.0);
+  r.wasted_hours = v.number_or("wasted_hours", 0.0);
+  r.checkpoint_overhead_hours = v.number_or("checkpoint_overhead_hours", 0.0);
+  return r;
+}
+
+JsonValue metric_to_json(const mc::MetricSummary& m) {
+  JsonObject o;
+  o.emplace_back("name", m.name);
+  o.emplace_back("count", static_cast<std::size_t>(m.count));
+  o.emplace_back("mean", m.mean);
+  o.emplace_back("variance", m.variance);
+  o.emplace_back("stddev", m.stddev);
+  o.emplace_back("std_error", m.std_error);
+  o.emplace_back("ci95_half", m.ci95_half);
+  o.emplace_back("min", m.min);
+  o.emplace_back("max", m.max);
+  return JsonValue(std::move(o));
+}
+
+mc::MetricSummary metric_from_json(const JsonValue& v) {
+  mc::MetricSummary m;
+  m.name = v.string_or("name", "");
+  m.count = static_cast<std::uint64_t>(v.number_or("count", 0));
+  m.mean = v.number_or("mean", 0.0);
+  m.variance = v.number_or("variance", 0.0);
+  m.stddev = v.number_or("stddev", 0.0);
+  m.std_error = v.number_or("std_error", 0.0);
+  m.ci95_half = v.number_or("ci95_half", 0.0);
+  m.min = v.number_or("min", 0.0);
+  m.max = v.number_or("max", 0.0);
+  return m;
+}
+
+JsonValue spec_to_json(const BagJobSpec& spec) {
+  JsonObject o;
+  o.emplace_back("app", spec.app);
+  o.emplace_back("jobs", spec.jobs);
+  o.emplace_back("vms", spec.vms);
+  o.emplace_back("seed", spec.seed);
+  o.emplace_back("policy", spec.policy_name);
+  o.emplace_back("replications", spec.replications);
+  if (!spec.scenario_name.empty()) o.emplace_back("scenario_name", spec.scenario_name);
+  if (spec.scenario) o.emplace_back("scenario", scenario::to_json(*spec.scenario));
+  return JsonValue(std::move(o));
+}
+
+BagJobSpec spec_from_json(const JsonValue& v) {
+  PREEMPT_REQUIRE(v.is_object(), "job spec must be a JSON object");
+  BagJobSpec spec;
+  spec.app = v.string_or("app", spec.app);
+  spec.jobs = static_cast<std::size_t>(v.number_or("jobs", static_cast<double>(spec.jobs)));
+  spec.vms = static_cast<std::size_t>(v.number_or("vms", static_cast<double>(spec.vms)));
+  spec.seed = static_cast<std::uint64_t>(v.number_or("seed", static_cast<double>(spec.seed)));
+  spec.policy_name = v.string_or("policy", spec.policy_name);
+  const auto policy = sim::reuse_policy_from_string(spec.policy_name);
+  PREEMPT_REQUIRE(policy.has_value(), "journaled job has unknown policy \"" +
+                                          spec.policy_name + "\"");
+  spec.policy = *policy;
+  spec.replications =
+      static_cast<std::size_t>(v.number_or("replications", static_cast<double>(spec.replications)));
+  spec.scenario_name = v.string_or("scenario_name", "");
+  if (const JsonValue* sweep = v.find("scenario")) {
+    spec.scenario = scenario::sweep_from_json(*sweep);
+  }
+  return spec;
+}
+
+}  // namespace
+
+JsonValue job_record_to_json(const BagJobRecord& record) {
+  JsonObject o;
+  o.emplace_back("id", static_cast<std::size_t>(record.id));
+  o.emplace_back("status", to_string(record.status));
+  o.emplace_back("spec", spec_to_json(record.spec));
+  if (record.status == BagJobStatus::kDone) {
+    o.emplace_back("report", report_to_json(record.report));
+    if (!record.metrics.empty()) {
+      JsonArray metrics;
+      metrics.reserve(record.metrics.size());
+      for (const auto& m : record.metrics) metrics.push_back(metric_to_json(m));
+      o.emplace_back("metrics", std::move(metrics));
+    }
+    if (!record.scenario_result.is_null()) {
+      o.emplace_back("result", record.scenario_result);
+    }
+  }
+  if (!record.error.empty()) o.emplace_back("error", record.error);
+  return JsonValue(std::move(o));
+}
+
+BagJobRecord job_record_from_json(const JsonValue& value) {
+  PREEMPT_REQUIRE(value.is_object(), "journaled job must be a JSON object");
+  BagJobRecord record;
+  record.id = static_cast<std::uint64_t>(value.number_or("id", 0));
+  PREEMPT_REQUIRE(record.id >= 1, "journaled job is missing its id");
+  const std::string status_text = value.string_or("status", "");
+  const auto status = bag_job_status_from_string(status_text);
+  PREEMPT_REQUIRE(status.has_value(),
+                  "journaled job has unknown status \"" + status_text + "\"");
+  record.status = *status;
+  const JsonValue* spec = value.find("spec");
+  PREEMPT_REQUIRE(spec != nullptr, "journaled job is missing its spec");
+  record.spec = spec_from_json(*spec);
+  if (const JsonValue* report = value.find("report")) {
+    record.report = report_from_json(*report);
+  }
+  if (const JsonValue* metrics = value.find("metrics"); metrics != nullptr && metrics->is_array()) {
+    for (const JsonValue& m : metrics->as_array()) record.metrics.push_back(metric_from_json(m));
+  }
+  if (const JsonValue* result = value.find("result")) record.scenario_result = *result;
+  record.error = value.string_or("error", "");
+  return record;
+}
+
+JsonValue make_submit_event(const BagJobRecord& record) {
+  JsonObject o;
+  o.emplace_back("event", "submit");
+  o.emplace_back("job", job_record_to_json(record));
+  return JsonValue(std::move(o));
+}
+
+JsonValue make_running_event(std::uint64_t id) {
+  JsonObject o;
+  o.emplace_back("event", "running");
+  o.emplace_back("id", static_cast<std::size_t>(id));
+  return JsonValue(std::move(o));
+}
+
+JsonValue make_terminal_event(const BagJobRecord& record) {
+  JsonObject o;
+  o.emplace_back("event", record.status == BagJobStatus::kFailed ? "failed" : "done");
+  o.emplace_back("job", job_record_to_json(record));
+  return JsonValue(std::move(o));
+}
+
+JsonValue make_snapshot_event(const std::vector<BagJobRecord>& records, std::uint64_t next_id,
+                              std::size_t done_total) {
+  JsonObject o;
+  o.emplace_back("event", "snapshot");
+  o.emplace_back("next_id", static_cast<std::size_t>(next_id));
+  o.emplace_back("done_total", done_total);
+  JsonArray jobs;
+  jobs.reserve(records.size());
+  for (const auto& record : records) jobs.push_back(job_record_to_json(record));
+  o.emplace_back("jobs", std::move(jobs));
+  return JsonValue(std::move(o));
+}
+
+JournalReplay replay_journal(const std::string& path) {
+  JournalReplay out;
+  std::ifstream in(path);
+  if (!in.is_open()) return out;  // no journal yet: empty state
+
+  // Later events win; keyed map keeps one record per id.
+  std::map<std::uint64_t, BagJobRecord> records;
+  std::vector<std::uint64_t> terminal_order;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue event;
+    try {
+      event = parse_json(line);
+    } catch (const std::exception&) {
+      // Torn tail of an interrupted append (or a corrupt line): skip. The
+      // events before it are intact, which is all crash recovery promises.
+      PREEMPT_LOG_WARN << "job journal " << path << ": skipping unparseable line " << line_no;
+      continue;
+    }
+    try {
+      const std::string kind = event.string_or("event", "");
+      if (kind == "snapshot") {
+        records.clear();
+        terminal_order.clear();
+        out.next_id =
+            std::max<std::uint64_t>(1, static_cast<std::uint64_t>(event.number_or("next_id", 1)));
+        out.done_total = static_cast<std::size_t>(event.number_or("done_total", 0));
+        if (const JsonValue* jobs = event.find("jobs"); jobs != nullptr && jobs->is_array()) {
+          for (const JsonValue& job : jobs->as_array()) {
+            BagJobRecord record = job_record_from_json(job);
+            if (record.status == BagJobStatus::kDone || record.status == BagJobStatus::kFailed) {
+              terminal_order.push_back(record.id);
+            }
+            records[record.id] = std::move(record);
+          }
+        }
+      } else if (kind == "submit") {
+        const JsonValue* job = event.find("job");
+        PREEMPT_REQUIRE(job != nullptr, "submit event without a job");
+        BagJobRecord record = job_record_from_json(*job);
+        records[record.id] = std::move(record);
+      } else if (kind == "running") {
+        const auto id = static_cast<std::uint64_t>(event.number_or("id", 0));
+        if (const auto it = records.find(id); it != records.end()) {
+          it->second.status = BagJobStatus::kRunning;
+        }
+      } else if (kind == "done" || kind == "failed") {
+        const JsonValue* job = event.find("job");
+        PREEMPT_REQUIRE(job != nullptr, kind + " event without a job");
+        BagJobRecord record = job_record_from_json(*job);
+        // A terminal event can directly follow a compaction snapshot that
+        // already holds the record: count/order each terminal id only once.
+        const auto it = records.find(record.id);
+        const bool already_terminal =
+            it != records.end() && (it->second.status == BagJobStatus::kDone ||
+                                    it->second.status == BagJobStatus::kFailed);
+        if (!already_terminal) {
+          terminal_order.push_back(record.id);
+          if (kind == "done") ++out.done_total;
+        }
+        records[record.id] = std::move(record);
+      } else {
+        PREEMPT_LOG_WARN << "job journal " << path << ": unknown event \"" << kind
+                         << "\" on line " << line_no;
+      }
+    } catch (const std::exception& e) {
+      PREEMPT_LOG_WARN << "job journal " << path << ": skipping bad event on line " << line_no
+                       << ": " << e.what();
+    }
+  }
+
+  for (auto& [id, record] : records) {
+    out.next_id = std::max(out.next_id, id + 1);
+    out.records.push_back(std::move(record));
+  }
+  // Keep only ids that still exist (a snapshot may have dropped earlier ones).
+  for (std::uint64_t id : terminal_order) {
+    if (std::any_of(out.records.begin(), out.records.end(),
+                    [id](const BagJobRecord& r) { return r.id == id; })) {
+      out.terminal_order.push_back(id);
+    }
+  }
+  return out;
+}
+
+JobJournal::JobJournal(std::string path) : path_(std::move(path)) { open_for_append(); }
+
+JobJournal::~JobJournal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JobJournal::open_for_append() {
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    throw IoError("cannot open job store \"" + path_ + "\" for appending");
+  }
+  const long at = std::ftell(file_);
+  bytes_ = at > 0 ? static_cast<std::size_t>(at) : 0;
+}
+
+void JobJournal::append(const JsonValue& event) {
+  const std::string line = event.dump() + "\n";
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() || std::fflush(file_) != 0) {
+    throw IoError("failed to append to job store \"" + path_ + "\"");
+  }
+  bytes_ += line.size();
+}
+
+void JobJournal::compact(const JsonValue& snapshot_event) {
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::FILE* out = std::fopen(tmp.c_str(), "wb");
+    if (out == nullptr) throw IoError("cannot open \"" + tmp + "\" for compaction");
+    const std::string line = snapshot_event.dump() + "\n";
+    const bool ok =
+        std::fwrite(line.data(), 1, line.size(), out) == line.size() && std::fflush(out) == 0;
+    std::fclose(out);
+    if (!ok) {
+      std::remove(tmp.c_str());
+      throw IoError("failed to write compacted job store \"" + tmp + "\"");
+    }
+  }
+  // Atomic swap: a crash before the rename leaves the old log intact, after
+  // it the new one — never a half-written journal under the live name.
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw IoError("failed to swap compacted job store into \"" + path_ + "\"");
+  }
+  std::fclose(file_);
+  file_ = nullptr;
+  open_for_append();
+}
+
+}  // namespace preempt::api

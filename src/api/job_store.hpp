@@ -1,0 +1,92 @@
+// Persistent bag-job store: an append-only JSONL journal behind BagJobQueue.
+//
+// Every submission, status transition and terminal report is appended as one
+// JSON object per line, flushed before the caller proceeds, so
+// `preempt-batchd --store jobs.jsonl` can be killed at any instant and
+// replay the log on the next start: terminal records (reports included)
+// come back readable, and jobs that were queued or running at crash time are
+// re-queued. The log self-compacts — when it grows past a size threshold it
+// is atomically rewritten (tmp + rename) as a single `snapshot` event
+// carrying the live records, so steady-state disk use is bounded by the
+// queue's own finished-job cap rather than by history length.
+//
+// Event grammar (one per line):
+//   {"event":"snapshot","next_id":N,"done_total":M,"jobs":[<record>...]}
+//   {"event":"submit","job":<record>}          // status "queued"
+//   {"event":"running","id":N}
+//   {"event":"done","job":<record>}            // report/metrics/result set
+//   {"event":"failed","job":<record>}          // error set
+// A torn final line (crash mid-append) is tolerated and ignored on replay.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/bag_jobs.hpp"
+#include "common/json.hpp"
+
+namespace preempt::api {
+
+/// Full-fidelity JSON round-trip for one job record: every ServiceReport
+/// field, the replication metrics, the scenario sweep (when present) and its
+/// rendered result survive a dump/parse cycle.
+JsonValue job_record_to_json(const BagJobRecord& record);
+/// Strict inverse; throws InvalidArgument on a structurally bad record.
+BagJobRecord job_record_from_json(const JsonValue& value);
+
+/// The state a journal replay reconstructs.
+struct JournalReplay {
+  std::vector<BagJobRecord> records;  ///< id-ascending; statuses as journaled
+  /// Terminal ids in completion order (the queue's finished_order_), so FIFO
+  /// eviction picks the same victims after a restart as it would have live.
+  std::vector<std::uint64_t> terminal_order;
+  std::uint64_t next_id = 1;
+  std::size_t done_total = 0;  ///< cumulative done jobs (survives eviction)
+};
+
+/// Parse the journal at `path` (missing file = empty state). Later events
+/// win: a `done` event replaces the record its `submit` created. Unparseable
+/// lines — the torn tail of an interrupted append — are skipped.
+JournalReplay replay_journal(const std::string& path);
+
+/// The append side: an open journal file. Not thread-safe — BagJobQueue
+/// serializes access under its store mutex.
+class JobJournal {
+ public:
+  /// Opens `path` for appending (created when missing); throws IoError.
+  explicit JobJournal(std::string path);
+  ~JobJournal();
+  JobJournal(const JobJournal&) = delete;
+  JobJournal& operator=(const JobJournal&) = delete;
+
+  const std::string& path() const noexcept { return path_; }
+  /// Journal size on disk (appended bytes included).
+  std::size_t bytes() const noexcept { return bytes_; }
+
+  /// Append one event line and flush it to the OS before returning.
+  void append(const JsonValue& event);
+
+  /// Atomically replace the whole journal with `snapshot_event` (written to
+  /// a temp file, then renamed over the log) — the compaction step.
+  void compact(const JsonValue& snapshot_event);
+
+ private:
+  void open_for_append();
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::size_t bytes_ = 0;
+};
+
+// Event builders (pure; used by BagJobQueue and tests).
+JsonValue make_submit_event(const BagJobRecord& record);
+JsonValue make_running_event(std::uint64_t id);
+JsonValue make_terminal_event(const BagJobRecord& record);  ///< done or failed
+/// `records` order is preserved; list terminal records in completion order
+/// (followed by the non-terminal ones) so replay reconstructs eviction order.
+JsonValue make_snapshot_event(const std::vector<BagJobRecord>& records, std::uint64_t next_id,
+                              std::size_t done_total);
+
+}  // namespace preempt::api

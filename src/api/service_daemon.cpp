@@ -128,9 +128,12 @@ ServiceDaemon::ServiceDaemon(Options options) : ServiceDaemon(options, bootstrap
 ServiceDaemon::ServiceDaemon(Options options, trace::Dataset bootstrap)
     : options_(options), market_catalog_(bootstrap, catalog_options(options)) {
   registry_ = core::ModelRegistry::fit_from_dataset(bootstrap, options_.horizon_hours);
+  BagJobQueue::Options job_options;
+  job_options.max_finished_jobs = options_.max_finished_jobs;
+  job_options.store_path = options_.store_path;
   bag_jobs_ = std::make_unique<BagJobQueue>(
       options_.bag_workers, [this](BagJobRecord& record) { execute_bag(record); },
-      BagJobQueue::Options{options_.max_finished_jobs});
+      job_options);
   router_.use(request_id_middleware());
   router_.use(access_log_middleware());
   build_routes();

@@ -79,6 +79,9 @@ class ServiceDaemon {
     /// Finished bag/scenario jobs retained by the store (FIFO eviction
     /// beyond this; evicted ids answer 404 with an eviction message).
     std::size_t max_finished_jobs = 1024;
+    /// When non-empty, persist the bag-job store to this JSONL journal
+    /// (replayed on construction — see api/job_store.hpp).
+    std::string store_path;
   };
 
   explicit ServiceDaemon(Options options);

@@ -7,6 +7,8 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <thread>
 
 #include "api/http.hpp"
@@ -78,10 +80,60 @@ TEST(HttpRequestParser, RejectsMalformedInput) {
 }
 
 TEST(HttpRequestParser, RejectsOversizedBodies) {
+  // A syntactically valid length beyond the cap is a size rejection (the
+  // server answers 413), distinguishable from a malformed header (400).
   HttpRequestParser parser;
   const std::string wire = "POST / HTTP/1.1\r\ncontent-length: 999999999999\r\n\r\n";
   EXPECT_FALSE(parser.feed(wire.data(), wire.size()));
-  EXPECT_EQ(parser.error(), "bad content-length");
+  EXPECT_TRUE(parser.body_too_large());
+  EXPECT_NE(parser.error().find("exceeds"), std::string::npos);
+}
+
+TEST(HttpRequestParser, ContentLengthMustBeDigitsOnly) {
+  // (Leading/trailing whitespace is trimmed from header values before this
+  // check, so " 12" is fine; signs, hex, and trailing junk are not.)
+  for (const char* bad : {"-1", "+5", "12abc", "0x10", ""}) {
+    HttpRequestParser parser;
+    const std::string wire =
+        "POST / HTTP/1.1\r\ncontent-length: " + std::string(bad) + "\r\n\r\n";
+    EXPECT_FALSE(parser.feed(wire.data(), wire.size())) << bad;
+    EXPECT_TRUE(parser.failed()) << bad;
+    EXPECT_FALSE(parser.body_too_large()) << bad;  // malformed, not merely big
+    EXPECT_EQ(parser.error(), "bad content-length") << bad;
+  }
+}
+
+TEST(HttpRequestParser, ContentLengthOverflowIsTooLarge) {
+  // 20 nines overflows unsigned 64-bit: size rejection, not a crash.
+  HttpRequestParser parser;
+  const std::string wire =
+      "POST / HTTP/1.1\r\ncontent-length: 99999999999999999999\r\n\r\n";
+  EXPECT_FALSE(parser.feed(wire.data(), wire.size()));
+  EXPECT_TRUE(parser.body_too_large());
+}
+
+TEST(HttpRequestParser, SetMaxBodyTightensTheCap) {
+  HttpRequestParser parser;
+  parser.set_max_body(10);
+  const std::string wire = "POST / HTTP/1.1\r\ncontent-length: 11\r\n\r\nhello world";
+  EXPECT_FALSE(parser.feed(wire.data(), wire.size()));
+  EXPECT_TRUE(parser.body_too_large());
+  EXPECT_NE(parser.error().find("10-byte"), std::string::npos);
+}
+
+TEST(HttpRequestParser, RemainderCarriesPipelinedBytes) {
+  HttpRequestParser parser;
+  const std::string wire =
+      "POST /a HTTP/1.1\r\ncontent-length: 3\r\n\r\nabcGET /b HTTP/1.1\r\n\r\n";
+  ASSERT_TRUE(parser.feed(wire.data(), wire.size()));
+  ASSERT_TRUE(parser.complete());
+  EXPECT_EQ(parser.request().body, "abc");
+  // The next request's bytes survive for the keep-alive loop to re-feed.
+  HttpRequestParser next;
+  const std::string rest = parser.remainder();
+  ASSERT_TRUE(next.feed(rest.data(), rest.size()));
+  ASSERT_TRUE(next.complete());
+  EXPECT_EQ(next.request().target, "/b");
 }
 
 TEST(HttpRequest, QueryParsing) {
@@ -269,6 +321,220 @@ TEST(HttpServer, RequiresHandler) {
 TEST(HttpClient, ConnectFailureThrows) {
   // Port 1 on loopback is essentially never listening.
   EXPECT_THROW(http_get(1, "/"), IoError);
+}
+
+// ------------------------------------------------------ response parsing
+
+TEST(HttpClient, ParsesFramedResponse) {
+  const HttpResponse r = parse_http_response(
+      "HTTP/1.1 202 Accepted\r\nlocation: /v1/bags/7\r\ncontent-length: 4\r\n\r\nbody");
+  EXPECT_EQ(r.status, 202);
+  EXPECT_EQ(r.headers.at("location"), "/v1/bags/7");
+  EXPECT_EQ(r.body, "body");
+}
+
+TEST(HttpClient, MalformedContentLengthThrowsIoError) {
+  // Regression: these used to escape as raw std::invalid_argument /
+  // std::out_of_range from std::stoll instead of the layer's IoError.
+  for (const char* bad : {"abc", "-1", "99999999999999999999", "12junk", ""}) {
+    const std::string wire =
+        "HTTP/1.1 200 OK\r\ncontent-length: " + std::string(bad) + "\r\n\r\nbody";
+    EXPECT_THROW(parse_http_response(wire), IoError) << bad;
+  }
+}
+
+TEST(HttpClient, ImplausibleContentLengthThrowsIoError) {
+  // Parses fine as a number but no real response of this API is 100GB: the
+  // framed reader must not be talked into waiting for one.
+  EXPECT_THROW(
+      parse_http_response("HTTP/1.1 200 OK\r\ncontent-length: 107374182400\r\n\r\n"),
+      IoError);
+}
+
+// ---------------------------------------------------------- keep-alive
+
+TEST(HttpServer, KeepAliveServesManyRequestsOnOneConnection) {
+  HttpServer server;
+  server.start([](const HttpRequest& req) { return HttpResponse::text(200, req.body); });
+
+  constexpr int kRequests = 20;
+  {
+    HttpConnection connection(server.port());
+    for (int i = 0; i < kRequests; ++i) {
+      const auto r = connection.post("/echo", "ping-" + std::to_string(i));
+      ASSERT_EQ(r.status, 200);
+      ASSERT_EQ(r.body, "ping-" + std::to_string(i));
+    }
+    EXPECT_TRUE(connection.connected());
+  }
+  // All requests answered, all down one socket.
+  EXPECT_EQ(server.requests_served(), static_cast<std::uint64_t>(kRequests));
+  EXPECT_LE(server.connections_served(), 1u);
+  server.stop();
+}
+
+TEST(HttpServer, MaxRequestsPerConnectionForcesReconnect) {
+  HttpServer server;
+  HttpServer::Options options;
+  options.max_requests_per_connection = 2;
+  server.start([](const HttpRequest&) { return HttpResponse::text(200, "ok"); }, options);
+
+  HttpConnection connection(server.port());
+  for (int i = 0; i < 5; ++i) {
+    // The server closes after every 2nd response; the client notices the
+    // close header / dead socket and reconnects transparently.
+    ASSERT_EQ(connection.get("/").status, 200) << i;
+  }
+  EXPECT_EQ(server.requests_served(), 5u);
+  EXPECT_GE(server.connections_served(), 2u);
+  server.stop();
+}
+
+TEST(HttpServer, HonorsConnectionCloseHeader) {
+  HttpServer server;
+  server.start([](const HttpRequest&) { return HttpResponse::text(200, "bye"); });
+  // The one-shot client requests Connection: close; the server must answer
+  // with close framing (read-until-EOF would hang forever otherwise).
+  const auto r = http_get(server.port(), "/");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.headers.at("connection"), "close");
+  server.stop();
+}
+
+TEST(HttpServer, KeepAliveDisabledAnswersClose) {
+  HttpServer server;
+  HttpServer::Options options;
+  options.keep_alive = false;
+  server.start([](const HttpRequest&) { return HttpResponse::text(200, "ok"); }, options);
+  HttpConnection connection(server.port());
+  const auto r = connection.get("/");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.headers.at("connection"), "close");
+  EXPECT_FALSE(connection.connected());  // client dropped the socket too
+  // And the next request still works (fresh connection under the hood).
+  EXPECT_EQ(connection.get("/").status, 200);
+  server.stop();
+}
+
+TEST(HttpServer, IdleTimeoutClosesButClientRecovers) {
+  HttpServer server;
+  HttpServer::Options options;
+  options.idle_timeout_seconds = 1;
+  server.start([](const HttpRequest&) { return HttpResponse::text(200, "ok"); }, options);
+  HttpConnection connection(server.port());
+  ASSERT_EQ(connection.get("/").status, 200);
+  // Sit idle past the server's timeout: the server hangs up, and the next
+  // request must transparently reconnect instead of failing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  EXPECT_EQ(connection.get("/").status, 200);
+  EXPECT_EQ(server.requests_served(), 2u);
+  server.stop();
+}
+
+// --------------------------------------------------------- request-size cap
+
+TEST(HttpServer, OversizedBodyAnswers413Envelope) {
+  HttpServer server;
+  HttpServer::Options options;
+  options.max_request_bytes = 1024;
+  server.start([](const HttpRequest&) { return HttpResponse::text(200, "never"); },
+               options);
+  const auto r = http_post(server.port(), "/big", std::string(2048, 'x'));
+  EXPECT_EQ(r.status, 413);
+  const JsonValue body = parse_json(r.body);
+  const JsonValue* envelope = body.find("error");
+  ASSERT_NE(envelope, nullptr);
+  EXPECT_EQ(envelope->string_or("code", ""), "payload_too_large");
+  server.stop();
+}
+
+TEST(HttpServer, AbsurdContentLengthRejectedBeforeBodyArrives) {
+  HttpServer server;
+  server.start([](const HttpRequest&) { return HttpResponse::text(200, "never"); });
+  // Headers announce a terabyte; no body is ever sent. The server must
+  // answer 413 from the header alone instead of buffering toward it.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string wire = "POST / HTTP/1.1\r\ncontent-length: 1099511627776\r\n\r\n";
+  ASSERT_GT(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL), 0);
+  std::string received;
+  char buf[1024];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    received.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(received.find("413"), std::string::npos);
+  EXPECT_NE(received.find("payload_too_large"), std::string::npos);
+  server.stop();
+}
+
+// ------------------------------------------------------------- shed latency
+
+TEST(HttpServer, ShedFloodDoesNotStallTheAcceptLoop) {
+  // Regression: the old shed path did send+shutdown+100ms-drain on the only
+  // accept thread, so each shed connection that stayed open added ~100ms of
+  // accept latency (10 idle sheds ~ 1s serialized). Shed sockets now drain
+  // on the reaper thread, so a flood of them must be refused back-to-back.
+  HttpServer server;
+  HttpServer::Options options;
+  options.worker_threads = 1;
+  options.max_pending_connections = 1;
+  std::promise<void> handler_entered;
+  std::promise<void> release_handler;
+  auto released = release_handler.get_future().share();
+  std::atomic<bool> entered{false};
+  server.start(
+      [&](const HttpRequest&) {
+        if (!entered.exchange(true)) handler_entered.set_value();
+        released.wait();
+        return HttpResponse::text(200, "slow");
+      },
+      options);
+
+  // Occupy the lone worker, then the one pending slot.
+  std::thread blocked1([&] { (void)http_get(server.port(), "/block"); });
+  handler_entered.get_future().wait();
+  std::thread blocked2([&] { (void)http_get(server.port(), "/queued"); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // Flood: sequential idle connections (connect, send nothing, wait for the
+  // 503). Sequential on purpose — each one's latency includes any stall the
+  // previous shed left on the accept thread.
+  constexpr int kFlood = 10;
+  const auto begin = std::chrono::steady_clock::now();
+  int refused = 0;
+  for (int i = 0; i < kFlood; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(server.port());
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    char buf[1024];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);  // the 503, unprompted
+    if (n > 0 && std::string(buf, static_cast<std::size_t>(n)).find("503") !=
+                     std::string::npos) {
+      ++refused;
+    }
+    ::close(fd);
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin).count();
+
+  EXPECT_EQ(refused, kFlood);
+  EXPECT_GE(server.connections_shed(), static_cast<std::uint64_t>(kFlood));
+  // Old behavior: ~100ms per idle shed (>= 1s here). Reaper behavior: ms.
+  EXPECT_LT(elapsed, 0.5);
+
+  release_handler.set_value();
+  blocked1.join();
+  blocked2.join();
+  server.stop();
 }
 
 }  // namespace

@@ -1,0 +1,378 @@
+// Persistent bag-job store (src/api/job_store.*): record round-trips, journal
+// replay semantics (requeue, torn tail, compaction, done_total accounting) and
+// end-to-end BagJobQueue persistence across a simulated kill-and-restart.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "api/bag_jobs.hpp"
+#include "api/job_store.hpp"
+#include "common/json.hpp"
+#include "scenario/registry.hpp"
+
+namespace preempt::api {
+namespace {
+
+/// Journal file in the test's cwd, removed (with its compaction tmp) on exit.
+struct TempJournal {
+  explicit TempJournal(const std::string& name) : path("test_store_" + name + ".jsonl") {
+    std::remove(path.c_str());
+  }
+  ~TempJournal() {
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+  }
+  std::string path;
+};
+
+BagJobRecord sample_done_record(std::uint64_t id) {
+  BagJobRecord record;
+  record.id = id;
+  record.status = BagJobStatus::kDone;
+  record.spec.app = "shapes";
+  record.spec.jobs = 20;
+  record.spec.vms = 8;
+  record.spec.seed = 7;
+  record.spec.policy = sim::ReusePolicyKind::kMemoryless;
+  record.spec.policy_name = "memoryless";
+  record.spec.replications = 3;
+  record.report.jobs_completed = 20;
+  record.report.makespan_hours = 4.5;
+  record.report.ideal_makespan_hours = 4.0;
+  record.report.increase_fraction = 0.125;
+  record.report.total_cost = 12.25;
+  record.report.cost_per_job = 0.6125;
+  record.report.on_demand_cost_per_job = 2.0;
+  record.report.cost_reduction_factor = 3.26;
+  record.report.preemptions = 3;
+  record.report.preemptions_total = 5;
+  record.report.vms_launched = 11;
+  record.report.fresh_vm_launches = 2;
+  record.report.hot_spare_expirations = 1;
+  record.report.total_vm_hours = 36.5;
+  record.report.wasted_hours = 1.75;
+  record.report.checkpoint_overhead_hours = 0.25;
+  mc::MetricSummary m;
+  m.name = "cost_per_job";
+  m.count = 3;
+  m.mean = 0.61;
+  m.variance = 0.004;
+  m.stddev = 0.0632;
+  m.std_error = 0.0365;
+  m.ci95_half = 0.0715;
+  m.min = 0.55;
+  m.max = 0.68;
+  record.metrics.push_back(m);
+  return record;
+}
+
+// ------------------------------------------------------- record round-trip
+
+TEST(JobRecord, RoundTripsEveryReportField) {
+  const BagJobRecord record = sample_done_record(42);
+  const BagJobRecord back = job_record_from_json(job_record_to_json(record));
+  EXPECT_EQ(back.id, 42u);
+  EXPECT_EQ(back.status, BagJobStatus::kDone);
+  EXPECT_EQ(back.spec.app, "shapes");
+  EXPECT_EQ(back.spec.jobs, 20u);
+  EXPECT_EQ(back.spec.vms, 8u);
+  EXPECT_EQ(back.spec.seed, 7u);
+  EXPECT_EQ(back.spec.policy, sim::ReusePolicyKind::kMemoryless);
+  EXPECT_EQ(back.spec.policy_name, "memoryless");
+  EXPECT_EQ(back.spec.replications, 3u);
+  EXPECT_EQ(back.report.jobs_completed, 20u);
+  EXPECT_DOUBLE_EQ(back.report.makespan_hours, 4.5);
+  EXPECT_DOUBLE_EQ(back.report.ideal_makespan_hours, 4.0);
+  EXPECT_DOUBLE_EQ(back.report.increase_fraction, 0.125);
+  EXPECT_DOUBLE_EQ(back.report.total_cost, 12.25);
+  EXPECT_DOUBLE_EQ(back.report.cost_per_job, 0.6125);
+  EXPECT_DOUBLE_EQ(back.report.on_demand_cost_per_job, 2.0);
+  EXPECT_DOUBLE_EQ(back.report.cost_reduction_factor, 3.26);
+  EXPECT_EQ(back.report.preemptions, 3);
+  EXPECT_EQ(back.report.preemptions_total, 5);
+  EXPECT_EQ(back.report.vms_launched, 11);
+  EXPECT_EQ(back.report.fresh_vm_launches, 2);
+  EXPECT_EQ(back.report.hot_spare_expirations, 1);
+  EXPECT_DOUBLE_EQ(back.report.total_vm_hours, 36.5);
+  EXPECT_DOUBLE_EQ(back.report.wasted_hours, 1.75);
+  EXPECT_DOUBLE_EQ(back.report.checkpoint_overhead_hours, 0.25);
+  ASSERT_EQ(back.metrics.size(), 1u);
+  EXPECT_EQ(back.metrics[0].name, "cost_per_job");
+  EXPECT_EQ(back.metrics[0].count, 3u);
+  EXPECT_DOUBLE_EQ(back.metrics[0].mean, 0.61);
+  EXPECT_DOUBLE_EQ(back.metrics[0].ci95_half, 0.0715);
+}
+
+TEST(JobRecord, RoundTripsFailureWithScenarioSpec) {
+  BagJobRecord record;
+  record.id = 9;
+  record.status = BagJobStatus::kFailed;
+  record.error = "executor exploded";
+  record.spec.scenario_name = "paper-fig09-quick";
+  record.spec.scenario = scenario::find_builtin("paper-fig09-quick")->sweep;
+
+  const BagJobRecord back = job_record_from_json(job_record_to_json(record));
+  EXPECT_EQ(back.status, BagJobStatus::kFailed);
+  EXPECT_EQ(back.error, "executor exploded");
+  EXPECT_EQ(back.spec.scenario_name, "paper-fig09-quick");
+  ASSERT_TRUE(back.spec.scenario.has_value());
+  EXPECT_EQ(back.spec.scenario->base.seed, record.spec.scenario->base.seed);
+  EXPECT_EQ(back.spec.scenario->cardinality(), record.spec.scenario->cardinality());
+}
+
+TEST(JobRecord, RoundTripsScenarioResultWhenDone) {
+  BagJobRecord record = sample_done_record(11);
+  record.spec.scenario_name = "paper-fig09-quick";
+  record.spec.scenario = scenario::find_builtin("paper-fig09-quick")->sweep;
+  JsonObject result;
+  result.emplace_back("cells", 1.0);
+  record.scenario_result = JsonValue(std::move(result));
+
+  const BagJobRecord back = job_record_from_json(job_record_to_json(record));
+  EXPECT_EQ(back.spec.scenario_name, "paper-fig09-quick");
+  EXPECT_EQ(back.scenario_result.number_or("cells", 0), 1.0);
+}
+
+// ---------------------------------------------------------------- replay
+
+TEST(JournalReplay, MissingFileIsEmptyState) {
+  const JournalReplay replay = replay_journal("test_store_never_written.jsonl");
+  EXPECT_TRUE(replay.records.empty());
+  EXPECT_EQ(replay.next_id, 1u);
+  EXPECT_EQ(replay.done_total, 0u);
+}
+
+TEST(JournalReplay, LaterEventsWinAndTerminalOrderTracksCompletion) {
+  TempJournal journal("replay");
+  {
+    JobJournal log(journal.path);
+    BagJobRecord a = sample_done_record(1);
+    a.status = BagJobStatus::kQueued;
+    BagJobRecord b = sample_done_record(2);
+    b.status = BagJobStatus::kQueued;
+    log.append(make_submit_event(a));
+    log.append(make_submit_event(b));
+    log.append(make_running_event(2));
+    log.append(make_terminal_event(sample_done_record(2)));  // 2 finishes first
+    log.append(make_running_event(1));
+    log.append(make_terminal_event(sample_done_record(1)));
+  }
+  const JournalReplay replay = replay_journal(journal.path);
+  ASSERT_EQ(replay.records.size(), 2u);
+  EXPECT_EQ(replay.records[0].id, 1u);  // id-ascending
+  EXPECT_EQ(replay.records[0].status, BagJobStatus::kDone);
+  EXPECT_EQ(replay.records[0].report.jobs_completed, 20u);
+  EXPECT_EQ(replay.next_id, 3u);
+  EXPECT_EQ(replay.done_total, 2u);
+  ASSERT_EQ(replay.terminal_order.size(), 2u);
+  EXPECT_EQ(replay.terminal_order[0], 2u);  // completion order, not id order
+  EXPECT_EQ(replay.terminal_order[1], 1u);
+}
+
+TEST(JournalReplay, InFlightJobsKeepTheirJournaledStatus) {
+  TempJournal journal("inflight");
+  {
+    JobJournal log(journal.path);
+    BagJobRecord queued = sample_done_record(1);
+    queued.status = BagJobStatus::kQueued;
+    log.append(make_submit_event(queued));
+    log.append(make_running_event(1));  // crash while running
+  }
+  const JournalReplay replay = replay_journal(journal.path);
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.records[0].status, BagJobStatus::kRunning);
+  EXPECT_TRUE(replay.terminal_order.empty());
+  EXPECT_EQ(replay.done_total, 0u);
+}
+
+TEST(JournalReplay, TornTailIsIgnored) {
+  TempJournal journal("torn");
+  {
+    JobJournal log(journal.path);
+    log.append(make_submit_event(sample_done_record(1)));
+  }
+  {
+    // Simulate a crash mid-append: a truncated JSON line with no newline.
+    std::ofstream out(journal.path, std::ios::app);
+    out << R"({"event":"done","job":{"id":2,"stat)";
+  }
+  const JournalReplay replay = replay_journal(journal.path);
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.records[0].id, 1u);
+  EXPECT_EQ(replay.next_id, 2u);
+}
+
+TEST(JournalReplay, SnapshotResetsAndTerminalAfterSnapshotDoesNotDoubleCount) {
+  TempJournal journal("snapshot");
+  {
+    JobJournal log(journal.path);
+    log.append(make_submit_event(sample_done_record(7)));  // pre-compaction noise
+    const std::vector<BagJobRecord> live = {sample_done_record(3)};
+    log.compact(make_snapshot_event(live, /*next_id=*/4, /*done_total=*/5));
+    // A redundant terminal event for a record the snapshot already carries as
+    // done (compaction races an in-flight append) must not bump done_total.
+    log.append(make_terminal_event(sample_done_record(3)));
+  }
+  const JournalReplay replay = replay_journal(journal.path);
+  ASSERT_EQ(replay.records.size(), 1u);  // the snapshot wiped id 7
+  EXPECT_EQ(replay.records[0].id, 3u);
+  EXPECT_EQ(replay.next_id, 4u);
+  EXPECT_EQ(replay.done_total, 5u);
+  EXPECT_EQ(replay.terminal_order.size(), 1u);
+}
+
+TEST(JobJournal, CompactionShrinksTheLog) {
+  TempJournal journal("compact");
+  JobJournal log(journal.path);
+  for (std::uint64_t id = 1; id <= 50; ++id) {
+    log.append(make_submit_event(sample_done_record(id)));
+    log.append(make_terminal_event(sample_done_record(id)));
+  }
+  const std::size_t before = log.bytes();
+  const std::vector<BagJobRecord> live = {sample_done_record(50)};
+  log.compact(make_snapshot_event(live, 51, 50));
+  EXPECT_LT(log.bytes(), before / 10);
+  // And the compacted log still replays.
+  const JournalReplay replay = replay_journal(journal.path);
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.done_total, 50u);
+}
+
+// ------------------------------------------- BagJobQueue persistence e2e
+
+BagJobQueue::Options store_options(const std::string& path, std::size_t cap = 1024) {
+  BagJobQueue::Options options;
+  options.store_path = path;
+  options.max_finished_jobs = cap;
+  return options;
+}
+
+TEST(BagJobQueuePersistence, FinishedJobsSurviveRestart) {
+  TempJournal journal("queue_restart");
+  std::uint64_t id = 0;
+  {
+    BagJobQueue queue(1,
+                      [](BagJobRecord& record) {
+                        record.report.jobs_completed = record.spec.jobs;
+                        record.report.cost_per_job = 0.5;
+                      },
+                      store_options(journal.path));
+    BagJobSpec spec;
+    spec.jobs = 12;
+    id = queue.submit(spec);
+    ASSERT_TRUE(queue.wait(id, 30.0));
+  }  // queue destroyed — the journal is the only copy now
+
+  BagJobQueue restarted(1, [](BagJobRecord&) {}, store_options(journal.path));
+  const auto record = restarted.get(id);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->status, BagJobStatus::kDone);
+  EXPECT_EQ(record->report.jobs_completed, 12u);
+  EXPECT_DOUBLE_EQ(record->report.cost_per_job, 0.5);
+  EXPECT_EQ(restarted.done_count(), 1u);
+  // New submissions continue the id sequence instead of reusing old ids.
+  BagJobSpec next;
+  EXPECT_EQ(restarted.submit(next), id + 1);
+}
+
+TEST(BagJobQueuePersistence, InterruptedJobsAreRequeuedAndRun) {
+  TempJournal journal("queue_requeue");
+  {
+    // Hand-write a journal describing a crash with one queued and one
+    // running job (no BagJobQueue wrote this — the point is the replay).
+    JobJournal log(journal.path);
+    BagJobRecord queued;
+    queued.id = 1;
+    queued.status = BagJobStatus::kQueued;
+    queued.spec.jobs = 5;
+    BagJobRecord running;
+    running.id = 2;
+    running.status = BagJobStatus::kQueued;
+    running.spec.jobs = 6;
+    log.append(make_submit_event(queued));
+    log.append(make_submit_event(running));
+    log.append(make_running_event(2));
+  }
+  BagJobQueue queue(2,
+                    [](BagJobRecord& record) {
+                      record.report.jobs_completed = record.spec.jobs;
+                    },
+                    store_options(journal.path));
+  ASSERT_TRUE(queue.wait(1, 30.0));
+  ASSERT_TRUE(queue.wait(2, 30.0));
+  EXPECT_EQ(queue.get(1)->status, BagJobStatus::kDone);
+  EXPECT_EQ(queue.get(2)->status, BagJobStatus::kDone);
+  EXPECT_EQ(queue.get(2)->report.jobs_completed, 6u);
+  EXPECT_EQ(queue.done_count(), 2u);
+}
+
+TEST(BagJobQueuePersistence, EvictionOrderSurvivesRestart) {
+  TempJournal journal("queue_evict");
+  {
+    BagJobQueue queue(1, [](BagJobRecord&) {}, store_options(journal.path, /*cap=*/2));
+    for (int i = 0; i < 3; ++i) {
+      const std::uint64_t id = queue.submit(BagJobSpec{});
+      ASSERT_TRUE(queue.wait(id, 30.0));
+    }
+    EXPECT_FALSE(queue.get(1).has_value());  // evicted live (cap 2)
+    EXPECT_TRUE(queue.evicted(1));
+  }
+  BagJobQueue restarted(1, [](BagJobRecord&) {}, store_options(journal.path, /*cap=*/2));
+  EXPECT_FALSE(restarted.get(1).has_value());
+  EXPECT_TRUE(restarted.evicted(1));  // still "gone", not "never was"
+  EXPECT_TRUE(restarted.get(2).has_value());
+  EXPECT_TRUE(restarted.get(3).has_value());
+  EXPECT_EQ(restarted.done_count(), 3u);  // eviction never uncounts
+}
+
+TEST(BagJobQueuePersistence, FailedJobsKeepTheirErrorAcrossRestart) {
+  TempJournal journal("queue_failed");
+  std::uint64_t id = 0;
+  {
+    BagJobQueue queue(1,
+                      [](BagJobRecord&) { throw std::runtime_error("boom"); },
+                      store_options(journal.path));
+    id = queue.submit(BagJobSpec{});
+    ASSERT_TRUE(queue.wait(id, 30.0));
+  }
+  BagJobQueue restarted(1, [](BagJobRecord&) {}, store_options(journal.path));
+  const auto record = restarted.get(id);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->status, BagJobStatus::kFailed);
+  EXPECT_NE(record->error.find("boom"), std::string::npos);
+}
+
+TEST(BagJobQueuePersistence, CompactionKeepsTheLogBounded) {
+  TempJournal journal("queue_bounded");
+  BagJobQueue::Options options = store_options(journal.path, /*cap=*/4);
+  options.compact_threshold_bytes = 8 * 1024;  // force frequent compactions
+  std::size_t log_bytes = 0;
+  {
+    BagJobQueue queue(2,
+                      [](BagJobRecord& record) {
+                        record.report.jobs_completed = record.spec.jobs;
+                      },
+                      options);
+    for (int i = 0; i < 100; ++i) {
+      const std::uint64_t id = queue.submit(BagJobSpec{});
+      ASSERT_TRUE(queue.wait(id, 30.0));
+    }
+  }
+  {
+    std::ifstream in(journal.path, std::ios::ate | std::ios::binary);
+    ASSERT_TRUE(in.good());
+    log_bytes = static_cast<std::size_t>(in.tellg());
+  }
+  // 100 finished jobs went through; the log holds ~a snapshot of 4 plus a
+  // few appends, nowhere near 100 records' worth of history.
+  EXPECT_LT(log_bytes, 64 * 1024u);
+  BagJobQueue restarted(1, [](BagJobRecord&) {}, options);
+  EXPECT_EQ(restarted.done_count(), 100u);
+  EXPECT_EQ(restarted.list(std::nullopt, 1000, 0).total, 4u);
+}
+
+}  // namespace
+}  // namespace preempt::api

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "api/api_client.hpp"
 #include "api/http_client.hpp"
 #include "common/json.hpp"
@@ -597,6 +599,92 @@ TEST_F(ServiceApiTest, EvictedBagJobsAnswer404WithEvictionMessage) {
   const auto unknown = small.handle(get("/v1/bags/999"));
   EXPECT_EQ(unknown.status, 404);
   EXPECT_EQ(parse_json(unknown.body).find("error")->string_or("code", ""), "not_found");
+}
+
+TEST_F(ServiceApiTest, SubmissionSnapshotSurvivesImmediateEviction) {
+  // Regression pin for the 202 path's eviction race: post_bag_async and
+  // run_scenario build the 202 body from a local snapshot taken at submit
+  // time, never by re-reading the store — so even when the 1-record store
+  // evicts the job before the handler returns, the 202 body stays complete.
+  ServiceDaemon::Options options;
+  options.bootstrap_vms_per_cell = 12;
+  options.bag_workers = 2;
+  options.max_finished_jobs = 1;  // eviction pressure on every completion
+  ServiceDaemon racy(options);
+  for (int i = 0; i < 6; ++i) {
+    const auto created =
+        racy.handle(post("/v1/bags", R"({"app":"shapes","jobs":2,"vms":2,"seed":3})"));
+    ASSERT_EQ(created.status, 202) << created.body;
+    const JsonValue body = parse_json(created.body);
+    EXPECT_GT(body.number_or("id", 0), 0.0) << created.body;
+    const std::string status = body.string_or("status", "");
+    EXPECT_TRUE(status == "queued" || status == "running" || status == "done") << status;
+    EXPECT_TRUE(created.headers.count("location"));
+  }
+  const auto scenario =
+      racy.handle(post("/v1/scenarios/paper-fig09-quick/run", R"({"replications":1})"));
+  ASSERT_EQ(scenario.status, 202) << scenario.body;
+  const JsonValue snap = parse_json(scenario.body);
+  EXPECT_GT(snap.number_or("id", 0), 0.0);
+  EXPECT_EQ(snap.string_or("scenario", ""), "paper-fig09-quick");
+  const auto id = static_cast<std::uint64_t>(snap.number_or("id", 0));
+  // And wait() on an id the store may have already evicted returns true
+  // (terminal) instead of timing out as "unknown".
+  EXPECT_TRUE(racy.wait_for_bag(id, 120.0));
+  for (std::uint64_t evictable = 1; evictable < id; ++evictable) {
+    EXPECT_TRUE(racy.wait_for_bag(evictable, 120.0)) << evictable;
+  }
+}
+
+TEST_F(ServiceApiTest, StoreBackedDaemonSurvivesKillAndRestart) {
+  // The tentpole acceptance test: run a bag on a store-backed daemon, tear
+  // the daemon down completely, start a fresh one on the same journal, and
+  // read the finished report back through GET /v1/bags/{id}.
+  const std::string store = "test_service_restart.jsonl";
+  std::remove(store.c_str());
+  ServiceDaemon::Options options;
+  options.bootstrap_vms_per_cell = 12;
+  options.bag_workers = 1;
+  options.store_path = store;
+
+  std::uint64_t id = 0;
+  double cost_per_job = 0.0;
+  {
+    ServiceDaemon first(options);
+    const auto created =
+        first.handle(post("/v1/bags", R"({"app":"shapes","jobs":4,"vms":8,"seed":11})"));
+    ASSERT_EQ(created.status, 202);
+    id = static_cast<std::uint64_t>(parse_json(created.body).number_or("id", 0));
+    ASSERT_TRUE(first.wait_for_bag(id, 120.0));
+    const auto done = first.handle(get("/v1/bags/" + std::to_string(id)));
+    ASSERT_EQ(done.status, 200);
+    const JsonValue* report = parse_json(done.body).find("report");
+    ASSERT_NE(report, nullptr) << done.body;
+    cost_per_job = report->number_or("cost_per_job", 0.0);
+    EXPECT_GT(cost_per_job, 0.0);
+  }  // daemon destroyed — like a kill, the journal is the only copy
+
+  {
+    ServiceDaemon second(options);  // replays the journal on construction
+    const auto resurrected = second.handle(get("/v1/bags/" + std::to_string(id)));
+    ASSERT_EQ(resurrected.status, 200);
+    const JsonValue body = parse_json(resurrected.body);
+    EXPECT_EQ(body.string_or("status", ""), "done");
+    const JsonValue* report = body.find("report");
+    ASSERT_NE(report, nullptr);
+    EXPECT_DOUBLE_EQ(report->number_or("cost_per_job", 0.0), cost_per_job);
+    // The listing sees it too, and new ids continue past the replayed one.
+    const auto listed = second.handle(get("/v1/bags?status=done"));
+    EXPECT_GE(parse_json(listed.body).number_or("total", 0), 1.0);
+    const auto fresh =
+        second.handle(post("/v1/bags", R"({"app":"shapes","jobs":2,"vms":8})"));
+    ASSERT_EQ(fresh.status, 202);
+    EXPECT_GT(parse_json(fresh.body).number_or("id", 0), static_cast<double>(id));
+    ASSERT_TRUE(second.wait_for_bag(
+        static_cast<std::uint64_t>(parse_json(fresh.body).number_or("id", 0)), 120.0));
+  }
+  std::remove(store.c_str());
+  std::remove((store + ".tmp").c_str());
 }
 
 }  // namespace

@@ -1,13 +1,15 @@
 // `preempt-batchd` — the batch-service controller daemon (paper Sec. 5).
 //
-//   preempt-batchd --port 8080        # serve until stdin closes / Ctrl-D
-//   preempt-batchd --self-check      # start, exercise the API, exit
+//   preempt-batchd --port 8080              # serve until stdin closes / Ctrl-D
+//   preempt-batchd --store jobs.jsonl       # persist bag jobs across restarts
+//   preempt-batchd --self-check             # start, exercise the API, exit
 //
 // Endpoints are documented in src/api/service_daemon.hpp. Example session:
 //   curl localhost:8080/healthz
 //   curl 'localhost:8080/v1/models?type=n1-highcpu-16&zone=us-east1-b'
 //   curl -X POST localhost:8080/v1/bags -d '{"app":"shapes","jobs":50,"vms":16}'
 //   curl localhost:8080/v1/bags/1
+#include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -114,6 +116,52 @@ int self_check(preempt::api::ServiceDaemon& daemon) {
   return failures == 0 ? 0 : 1;
 }
 
+/// Kill-and-restart probe: run a bag to completion on a store-backed daemon,
+/// tear the daemon down, start a fresh one on the same journal, and re-read
+/// the finished job's report through the API. Uses its own journal file so it
+/// cannot interleave with the main daemon's open store.
+int restart_probe(preempt::api::ServiceDaemon::Options options, const std::string& store) {
+  using preempt::api::ApiClient;
+  options.store_path = store;
+  int failures = 0;
+  auto check = [&](const std::string& what, bool ok) {
+    std::cout << (ok ? "  ok  " : " FAIL ") << what << "\n";
+    if (!ok) ++failures;
+  };
+
+  std::uint64_t id = 0;
+  std::size_t jobs_completed = 0;
+  {
+    preempt::api::ServiceDaemon daemon(options);
+    daemon.start(0);
+    const ApiClient client(daemon.port());
+    preempt::api::BagSubmission submission;
+    submission.app = "shapes";
+    submission.jobs = 10;
+    submission.vms = 8;
+    const auto queued = client.submit_bag(submission);
+    const auto done = client.wait_for_bag(queued.id, 120.0);
+    id = queued.id;
+    jobs_completed = done.report ? done.report->jobs_completed : 0;
+    check("store-backed bag reaches done", done.status == "done" && jobs_completed > 0);
+    daemon.stop();
+  }  // daemon destroyed: the only copy of the report now lives in the journal
+
+  {
+    preempt::api::ServiceDaemon daemon(options);  // replays the journal
+    daemon.start(0);
+    const ApiClient client(daemon.port());
+    const auto job = client.bag(id);
+    check("restarted daemon re-serves the finished job from the store",
+          job.status == "done" && job.report.has_value() &&
+              job.report->jobs_completed == jobs_completed);
+    daemon.stop();
+  }
+  std::remove(store.c_str());
+  std::remove((store + ".tmp").c_str());
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -124,6 +172,8 @@ int main(int argc, char** argv) {
   flags.add_int("bag-workers", 2, "async bag simulation worker threads");
   flags.add_int("max-finished-jobs", 1024,
                 "finished bag/scenario jobs retained (oldest evicted beyond this)");
+  flags.add_string("store", "",
+                   "persist bag jobs to this JSONL journal (replayed on startup)");
   flags.add_bool("self-check", "start, probe every endpoint, and exit");
   try {
     flags.parse(std::vector<std::string>(argv + 1, argv + argc));
@@ -153,13 +203,20 @@ int main(int argc, char** argv) {
     options.http_workers = static_cast<std::size_t>(http_workers);
     options.bag_workers = static_cast<std::size_t>(bag_workers);
     options.max_finished_jobs = static_cast<std::size_t>(max_finished_jobs);
+    options.store_path = flags.get_string("store");
     preempt::api::ServiceDaemon daemon(options);
     daemon.start(static_cast<std::uint16_t>(flags.get_int("port")));
     std::cout << "preempt-batchd listening on 127.0.0.1:" << daemon.port() << "\n";
 
     if (flags.get_bool("self-check")) {
-      const int rc = self_check(daemon);
+      int rc = self_check(daemon);
       daemon.stop();
+      // With persistence configured, also prove the journal survives a full
+      // daemon restart (on a sibling store file, so it can't interleave with
+      // the store the daemon above still had open).
+      if (rc == 0 && !options.store_path.empty()) {
+        rc = restart_probe(options, options.store_path + ".probe");
+      }
       return rc;
     }
 
