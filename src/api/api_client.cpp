@@ -85,7 +85,7 @@ std::string BagSubmission::to_json() const {
 HttpResponse ApiClient::do_request(const std::string& method, const std::string& target,
                                    const std::string& body) const {
   if (!keep_alive_) return http_request(port_, method, target, body);
-  const std::lock_guard<std::mutex> lock(conn_mutex_);
+  const LockGuard lock(conn_mutex_);
   if (!conn_) conn_ = std::make_unique<HttpConnection>(port_);
   return conn_->request(method, target, body);
 }

@@ -10,7 +10,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -18,6 +17,7 @@
 #include "api/http_client.hpp"
 #include "common/error.hpp"
 #include "common/json.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace preempt::api {
 
@@ -222,8 +222,9 @@ class ApiClient {
 
   std::uint16_t port_;
   bool keep_alive_;
-  mutable std::mutex conn_mutex_;
-  mutable std::unique_ptr<HttpConnection> conn_;  ///< lazy, keep-alive mode only
+  mutable Mutex conn_mutex_{"api_client.connection"};
+  /// Lazy, keep-alive mode only.
+  mutable std::unique_ptr<HttpConnection> conn_ PREEMPT_GUARDED_BY(conn_mutex_);
 };
 
 }  // namespace preempt::api

@@ -34,8 +34,12 @@ BagJobQueue::BagJobQueue(std::size_t workers, Executor executor, Options options
   PREEMPT_REQUIRE(options_.max_finished_jobs >= 1,
                   "bag job queue must retain at least one finished job");
   // Replay before any worker exists: re-queued crash survivors must be in
-  // the store when the first worker looks for work.
-  if (!options_.store_path.empty()) load_journal();
+  // the store when the first worker looks for work (locked only to satisfy
+  // the annotated discipline — there is nobody to contend with yet).
+  if (!options_.store_path.empty()) {
+    const LockGuard lock(mutex_);
+    load_journal();
+  }
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -44,7 +48,7 @@ BagJobQueue::BagJobQueue(std::size_t workers, Executor executor, Options options
 
 BagJobQueue::~BagJobQueue() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -56,7 +60,7 @@ BagJobQueue::~BagJobQueue() {
 std::uint64_t BagJobQueue::submit(BagJobSpec spec) {
   std::uint64_t id = 0;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     id = next_id_++;
     BagJobRecord record;
     record.id = id;
@@ -79,7 +83,7 @@ BagJobRecord BagJobQueue::execute_into_store(BagJobRecord scratch) {
   }
   BagJobRecord stored;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     BagJobRecord& record = records_.at(scratch.id);
     if (error.empty()) {
       record.report = scratch.report;
@@ -111,7 +115,7 @@ BagJobRecord BagJobQueue::execute_into_store(BagJobRecord scratch) {
 BagJobRecord BagJobQueue::run_inline(BagJobSpec spec) {
   BagJobRecord scratch;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     scratch.id = next_id_++;
     scratch.status = BagJobStatus::kRunning;
     scratch.spec = std::move(spec);
@@ -128,8 +132,8 @@ void BagJobQueue::worker_loop() {
     std::uint64_t id = 0;
     BagJobRecord scratch;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      UniqueLock lock(mutex_);
+      while (!stop_ && queue_.empty()) work_cv_.wait(lock);
       // On stop, exit without draining: a queued backlog of long Monte-Carlo
       // bags must not hold the daemon's shutdown hostage. Jobs that never
       // started simply stay "queued" in the store while the process exits.
@@ -146,14 +150,14 @@ void BagJobQueue::worker_loop() {
 }
 
 std::optional<BagJobRecord> BagJobQueue::get(std::uint64_t id) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   const auto it = records_.find(id);
   if (it == records_.end()) return std::nullopt;
   return it->second;
 }
 
 bool BagJobQueue::evicted(std::uint64_t id) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   // Ids are dense from next_id_ and only terminal records are erased, so an
   // assigned id that is no longer in the store must have been evicted.
   return id >= 1 && id < next_id_ && records_.find(id) == records_.end();
@@ -162,7 +166,7 @@ bool BagJobQueue::evicted(std::uint64_t id) const {
 BagJobQueue::Page BagJobQueue::list(std::optional<BagJobStatus> filter, std::size_t limit,
                                     std::size_t offset) const {
   Page page;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   for (const auto& [id, record] : records_) {  // std::map: id-ascending
     if (filter && record.status != *filter) continue;
     if (page.total >= offset && page.jobs.size() < limit) page.jobs.push_back(record);
@@ -173,7 +177,7 @@ BagJobQueue::Page BagJobQueue::list(std::optional<BagJobStatus> filter, std::siz
 
 void BagJobQueue::for_each(std::optional<BagJobStatus> filter,
                            const std::function<void(const BagJobRecord&)>& fn) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   for (const auto& [id, record] : records_) {  // std::map: id-ascending
     if (filter && record.status != *filter) continue;
     fn(record);
@@ -184,23 +188,32 @@ bool BagJobQueue::wait(std::uint64_t id, double timeout_seconds) const {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                             std::chrono::duration<double>(timeout_seconds));
-  std::unique_lock<std::mutex> lock(mutex_);
+  UniqueLock lock(mutex_);
   // Ids are assigned from next_id_ and the store is append-only, so an id
   // outside [1, next_id_) can never appear — fail fast instead of holding
   // the caller for the whole timeout.
   if (id == 0 || id >= next_id_) return false;
-  return done_cv_.wait_until(lock, deadline, [&] {
+  for (;;) {
     const auto it = records_.find(id);
     // A missing id below next_id_ was evicted — and only terminal records
     // are evicted, so the job is finished.
     if (it == records_.end()) return true;
-    return it->second.status == BagJobStatus::kDone ||
-           it->second.status == BagJobStatus::kFailed;
-  });
+    if (it->second.status == BagJobStatus::kDone ||
+        it->second.status == BagJobStatus::kFailed) {
+      return true;
+    }
+    if (done_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // One last look: the terminal transition may have slipped in between
+      // the notification and the deadline expiring.
+      const auto last = records_.find(id);
+      return last == records_.end() || last->second.status == BagJobStatus::kDone ||
+             last->second.status == BagJobStatus::kFailed;
+    }
+  }
 }
 
 std::size_t BagJobQueue::done_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   return done_total_;
 }
 

@@ -11,18 +11,17 @@
 // distinguishable from ids that never existed.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "mc/accumulator.hpp"
 #include "scenario/sweep.hpp"
 #include "sim/service.hpp"
@@ -141,25 +140,30 @@ class BagJobQueue {
   /// Run the executor on `scratch` (no lock held) and write the terminal
   /// status/report back into the store; returns the stored record. Shared by
   /// the workers and run_inline.
-  BagJobRecord execute_into_store(BagJobRecord scratch);
+  BagJobRecord execute_into_store(BagJobRecord scratch) PREEMPT_EXCLUDES(mutex_);
   /// Replay + adopt the journal at options_.store_path (constructor only).
-  void load_journal();
+  void load_journal() PREEMPT_REQUIRES(mutex_);
   /// Append an event, compacting first when the log is past the threshold;
-  /// journal faults are logged, never fatal to the job. Call with mutex_ held.
-  void journal_locked(const JsonValue& event);
+  /// journal faults are logged, never fatal to the job.
+  void journal_locked(const JsonValue& event) PREEMPT_REQUIRES(mutex_);
 
   Executor executor_;
   Options options_;
-  std::unique_ptr<JobJournal> journal_;  ///< null when persistence is off
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;            ///< queue_ / stop_ changes
-  mutable std::condition_variable done_cv_;    ///< terminal status changes
-  std::map<std::uint64_t, BagJobRecord> records_;
-  std::vector<std::uint64_t> queue_;           ///< FIFO of queued ids
-  std::deque<std::uint64_t> finished_order_;   ///< terminal ids, completion order
-  std::uint64_t next_id_ = 1;
-  std::size_t done_total_ = 0;                 ///< cumulative successful jobs
-  bool stop_ = false;
+  mutable Mutex mutex_{"bagjobs.store"};
+  /// Null when persistence is off. The journal itself is not thread-safe
+  /// (see api/job_store.hpp); every touch goes through this store mutex.
+  std::unique_ptr<JobJournal> journal_ PREEMPT_GUARDED_BY(mutex_);
+  CondVar work_cv_;            ///< queue_ / stop_ changes
+  mutable CondVar done_cv_;    ///< terminal status changes
+  std::map<std::uint64_t, BagJobRecord> records_ PREEMPT_GUARDED_BY(mutex_);
+  /// FIFO of queued ids.
+  std::vector<std::uint64_t> queue_ PREEMPT_GUARDED_BY(mutex_);
+  /// Terminal ids, completion order.
+  std::deque<std::uint64_t> finished_order_ PREEMPT_GUARDED_BY(mutex_);
+  std::uint64_t next_id_ PREEMPT_GUARDED_BY(mutex_) = 1;
+  /// Cumulative successful jobs.
+  std::size_t done_total_ PREEMPT_GUARDED_BY(mutex_) = 0;
+  bool stop_ PREEMPT_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -56,8 +56,16 @@ void HttpServer::start(HttpHandler handler, Options options) {
   connections_served_.store(0);
   requests_served_.store(0);
   connections_shed_.store(0);
-  draining_ = false;  // no threads yet, safe to write unlocked
-  shed_stop_ = false;
+  {
+    // No worker threads exist yet; locked anyway to keep the annotated
+    // locking discipline uniform (and the analysis clean).
+    const LockGuard lock(queue_mutex_);
+    draining_ = false;
+  }
+  {
+    const LockGuard lock(shed_mutex_);
+    shed_stop_ = false;
+  }
   running_.store(true);
   workers_.reserve(options_.worker_threads);
   for (std::size_t i = 0; i < options_.worker_threads; ++i) {
@@ -90,7 +98,7 @@ void HttpServer::stop() {
   // mutex, so no worker can miss it between its predicate check and wait()
   // — after these joins every accepted connection has been served.
   {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    const LockGuard lock(queue_mutex_);
     draining_ = true;
   }
   queue_cv_.notify_all();
@@ -102,7 +110,7 @@ void HttpServer::stop() {
   // producer of shed sockets, so whatever is queued now is all there will be
   // and the reaper closes it on the way out.
   {
-    const std::lock_guard<std::mutex> lock(shed_mutex_);
+    const LockGuard lock(shed_mutex_);
     shed_stop_ = true;
   }
   shed_cv_.notify_all();
@@ -120,7 +128,7 @@ void HttpServer::accept_loop() {
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
     bool shed = false;
     {
-      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      const LockGuard lock(queue_mutex_);
       if (pending_.size() >= options_.max_pending_connections) {
         shed = true;
       } else {
@@ -140,7 +148,7 @@ void HttpServer::accept_loop() {
       (void)::send(fd, kBusy.data(), kBusy.size(), MSG_DONTWAIT | MSG_NOSIGNAL);
       ::shutdown(fd, SHUT_WR);
       {
-        const std::lock_guard<std::mutex> lock(shed_mutex_);
+        const LockGuard lock(shed_mutex_);
         shed_fds_.push_back(
             {fd, std::chrono::steady_clock::now() + std::chrono::milliseconds(100)});
       }
@@ -157,9 +165,9 @@ void HttpServer::shed_loop() {
   std::vector<pollfd> pfds;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(shed_mutex_);
+      UniqueLock lock(shed_mutex_);
       if (local.empty()) {
-        shed_cv_.wait(lock, [this] { return shed_stop_ || !shed_fds_.empty(); });
+        while (!shed_stop_ && shed_fds_.empty()) shed_cv_.wait(lock);
       }
       local.insert(local.end(), shed_fds_.begin(), shed_fds_.end());
       shed_fds_.clear();
@@ -191,8 +199,8 @@ void HttpServer::worker_loop() {
   while (true) {
     int fd = -1;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] { return draining_ || !pending_.empty(); });
+      UniqueLock lock(queue_mutex_);
+      while (!draining_ && pending_.empty()) queue_cv_.wait(lock);
       if (pending_.empty()) return;  // draining and fully drained
       fd = pending_.front();
       pending_.pop_front();

@@ -19,15 +19,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "api/http.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace preempt::api {
 
@@ -101,7 +100,10 @@ class HttpServer {
 
   HttpHandler handler_;
   Options options_;
-  int listen_fd_ = -1;
+  /// Atomic because stop() resets it to -1 concurrently with the accept
+  /// thread's read; stop() unblocks the in-flight accept() via shutdown()
+  /// before the store, so the loop never accepts on the dead descriptor.
+  std::atomic<int> listen_fd_{-1};
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> connections_served_{0};
@@ -109,21 +111,22 @@ class HttpServer {
   std::atomic<std::uint64_t> connections_shed_{0};
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<int> pending_;  ///< accepted fds awaiting a worker
-  /// Guarded by queue_mutex_. Set by stop() after the accept thread is
-  /// joined: workers must not exit on the running_ flip alone — the accept
-  /// thread can still push one final connection after it.
-  bool draining_ = false;
+  Mutex queue_mutex_{"http_server.pending"};
+  CondVar queue_cv_;
+  /// Accepted fds awaiting a worker.
+  std::deque<int> pending_ PREEMPT_GUARDED_BY(queue_mutex_);
+  /// Set by stop() after the accept thread is joined: workers must not exit
+  /// on the running_ flip alone — the accept thread can still push one final
+  /// connection after it.
+  bool draining_ PREEMPT_GUARDED_BY(queue_mutex_) = false;
 
   // 503 shed path: the accept thread only sends the (tiny) response and
   // enqueues the socket here; the reaper thread owns the lingering close.
   std::thread shed_thread_;
-  std::mutex shed_mutex_;
-  std::condition_variable shed_cv_;
-  std::vector<ShedSocket> shed_fds_;
-  bool shed_stop_ = false;  ///< guarded by shed_mutex_
+  Mutex shed_mutex_{"http_server.shed"};
+  CondVar shed_cv_;
+  std::vector<ShedSocket> shed_fds_ PREEMPT_GUARDED_BY(shed_mutex_);
+  bool shed_stop_ PREEMPT_GUARDED_BY(shed_mutex_) = false;
 };
 
 }  // namespace preempt::api

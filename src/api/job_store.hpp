@@ -51,8 +51,10 @@ struct JournalReplay {
 /// lines — the torn tail of an interrupted append — are skipped.
 JournalReplay replay_journal(const std::string& path);
 
-/// The append side: an open journal file. Not thread-safe — BagJobQueue
-/// serializes access under its store mutex.
+/// The append side: an open journal file. Not thread-safe by itself —
+/// BagJobQueue owns the only instance as a PREEMPT_GUARDED_BY(mutex_) member,
+/// so every append/compact happens under its store mutex and clang's
+/// -Wthread-safety analysis enforces that at the call sites.
 class JobJournal {
  public:
   /// Opens `path` for appending (created when missing); throws IoError.

@@ -66,7 +66,12 @@ Router& Router::add(const std::string& method, const std::string& pattern, Route
   }
   route.handler = std::move(handler);
   routes_.push_back(std::move(route));
-  counters_.resize(routes_.size() + 1);
+  {
+    // add() must not race dispatch() anyway (the route table is setup-only),
+    // but counters_ is lock-guarded, so honour the discipline here too.
+    const LockGuard lock(metrics_mutex_);
+    counters_.resize(routes_.size() + 1);
+  }
   return *this;
 }
 
@@ -92,7 +97,7 @@ bool Router::match(const Route& route, const std::vector<std::string>& segments,
 }
 
 void Router::record(std::size_t slot, double elapsed_ms, int status) const {
-  const std::lock_guard<std::mutex> lock(metrics_mutex_);
+  const LockGuard lock(metrics_mutex_);
   Counters& c = counters_[slot];
   ++c.requests;
   if (status >= 400) ++c.errors;
@@ -166,7 +171,7 @@ HttpResponse Router::dispatch(const HttpRequest& request) const {
 std::vector<RouteMetrics> Router::metrics() const {
   std::vector<RouteMetrics> out;
   out.reserve(routes_.size() + 1);
-  const std::lock_guard<std::mutex> lock(metrics_mutex_);
+  const LockGuard lock(metrics_mutex_);
   for (std::size_t i = 0; i < routes_.size(); ++i) {
     RouteMetrics m;
     m.method = routes_[i].method;

@@ -16,12 +16,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "api/http.hpp"
 #include "common/json.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace preempt::api {
 
@@ -125,9 +125,9 @@ class Router {
 
   std::vector<Route> routes_;
   std::vector<Middleware> middlewares_;
-  mutable std::mutex metrics_mutex_;
+  mutable Mutex metrics_mutex_{"router.metrics"};
   /// One slot per route plus a trailing slot for unmatched requests.
-  mutable std::vector<Counters> counters_;
+  mutable std::vector<Counters> counters_ PREEMPT_GUARDED_BY(metrics_mutex_);
 };
 
 /// Middleware stamping every response with an `x-request-id` header (taken

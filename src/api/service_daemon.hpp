@@ -52,7 +52,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 
 #include "api/bag_jobs.hpp"
@@ -143,16 +142,18 @@ class ServiceDaemon {
   /// Regime from query parameters / JSON body fields (missing -> defaults).
   static trace::RegimeKey parse_regime(const HttpRequest& request, const JsonValue* body);
   ServiceDaemon(Options options, trace::Dataset bootstrap);
-  DriftMonitors& monitors_for(const trace::RegimeKey& key);
+  DriftMonitors& monitors_for(const trace::RegimeKey& key) PREEMPT_REQUIRES(mutex_);
   JsonValue job_resource_json(const BagJobRecord& record) const;
 
   Options options_;
-  mutable std::mutex mutex_;  ///< guards registry_ lookups and drift_
-  core::ModelRegistry registry_;
+  mutable Mutex mutex_{"daemon.registry"};  ///< guards registry_ lookups and drift_
+  core::ModelRegistry registry_ PREEMPT_GUARDED_BY(mutex_);
   /// Spot-market grid over the bootstrap observations; market fits are
-  /// lazy, so untouched markets cost nothing until /v1/portfolio is hit.
+  /// lazy (internally synchronized), so untouched markets cost nothing
+  /// until /v1/portfolio is hit.
   portfolio::MarketCatalog market_catalog_;
-  std::map<std::string, DriftMonitors> drift_;  ///< keyed by regime string
+  /// Keyed by regime string.
+  std::map<std::string, DriftMonitors> drift_ PREEMPT_GUARDED_BY(mutex_);
   std::unique_ptr<BagJobQueue> bag_jobs_;
   Router router_;
   HttpServer server_;

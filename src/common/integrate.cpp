@@ -2,10 +2,10 @@
 
 #include <cmath>
 #include <map>
-#include <mutex>
 
 #include "common/error.hpp"
 #include "common/math.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace preempt {
 
@@ -53,9 +53,9 @@ double integrate_adaptive(const std::function<double(double)>& f, double a, doub
 
 const GaussLegendreRule& gauss_legendre_rule(std::size_t n) {
   PREEMPT_REQUIRE(n >= 1 && n <= 256, "Gauss-Legendre order must be in [1, 256]");
-  static std::mutex mu;
+  static Mutex mu{"integrate.gauss_legendre_cache"};
   static std::map<std::size_t, GaussLegendreRule> cache;
-  std::scoped_lock lock(mu);
+  const LockGuard lock(mu);
   auto it = cache.find(n);
   if (it != cache.end()) return it->second;
 

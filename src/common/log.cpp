@@ -2,13 +2,14 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/thread_annotations.hpp"
 
 namespace preempt {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mutex;
+Mutex g_mutex{"log.sink"};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -28,7 +29,7 @@ LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); 
 
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
-  std::scoped_lock lock(g_mutex);
+  const LockGuard lock(g_mutex);
   std::fprintf(stderr, "[preempt %s] %s\n", level_name(level), message.c_str());
 }
 

@@ -1,0 +1,169 @@
+// Global lock-acquisition-order checker behind preempt::Mutex.
+//
+// Every acquisition while other mutexes are held records directed edges
+// "held-name -> acquired-name" in a process-wide order graph. An acquisition
+// whose edge would close a cycle is an ordering inversion — some interleaving
+// of the recorded acquisitions deadlocks — so the checker aborts right there
+// with both names and the acquiring thread's held stack, turning a
+// once-a-month production hang into a deterministic unit-test failure.
+//
+// Edges are keyed by mutex *name*, not instance: names survive the instance
+// (a destroyed/reconstructed BagJobQueue keeps its history) and make the
+// abort message meaningful. The flip side is that edges between two
+// same-named instances are ignored — two different stores locked in both
+// orders would be a real (if exotic) deadlock the checker stays silent on;
+// give such mutexes distinct names if that pattern ever appears.
+//
+// Cost when disabled: one relaxed atomic load per lock/unlock. The tier-1
+// RelWithDebInfo build compiles with NDEBUG, so the checker defaults off
+// there; debug builds default on, and tests/tools can force it either way.
+
+#include "common/thread_annotations.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace preempt::lockorder {
+
+namespace {
+
+#ifdef NDEBUG
+constexpr bool kDefaultEnabled = false;
+#else
+constexpr bool kDefaultEnabled = true;
+#endif
+
+std::atomic<bool> g_enabled{kDefaultEnabled};
+
+/// The order graph. Leaked on purpose: file-scope mutexes (common/log.cpp's,
+/// for one) unlock during static destruction, after a function-local static
+/// here would already be gone.
+struct OrderGraph {
+  std::mutex mutex;  // raw by necessity: the checker cannot check itself
+  std::map<std::string, std::set<std::string>> edges;
+
+  /// True when `to` is reachable from `from` (DFS over recorded edges).
+  bool reachable(const std::string& from, const std::string& to) const {
+    std::vector<const std::string*> stack{&from};
+    std::set<std::string> seen;
+    while (!stack.empty()) {
+      const std::string& node = *stack.back();
+      stack.pop_back();
+      if (node == to) return true;
+      if (!seen.insert(node).second) continue;
+      const auto it = edges.find(node);
+      if (it == edges.end()) continue;
+      for (const std::string& next : it->second) stack.push_back(&next);
+    }
+    return false;
+  }
+};
+
+OrderGraph& graph() {
+  static OrderGraph* g = new OrderGraph;
+  return *g;
+}
+
+/// This thread's held mutexes, acquisition order. Stores names (not Mutex*):
+/// only names are needed for edges and diagnostics, and a name outlives the
+/// instance. Identity uses the instance pointer so release can pop the right
+/// entry when several held mutexes share a name.
+struct Held {
+  const void* id;
+  const char* name;
+};
+
+/// Fixed-capacity on purpose: a trivially destructible thread_local has no
+/// destructor to run, so the stack stays usable during process exit, where
+/// glibc destroys all thread_locals *before* static destructors run — a
+/// static destructor that takes a Mutex (the log sink does) would otherwise
+/// push into a destroyed std::vector and corrupt the heap. Acquisitions
+/// beyond capacity are simply not tracked (release tolerates the miss);
+/// sixteen genuinely nested distinct locks would be a bug in its own right.
+struct HeldStack {
+  static constexpr std::size_t kCapacity = 16;
+  Held items[kCapacity];
+  std::size_t size = 0;
+};
+
+HeldStack& held_stack() {
+  static_assert(std::is_trivially_destructible_v<HeldStack>);
+  thread_local HeldStack stack;
+  return stack;
+}
+
+[[noreturn]] void abort_inversion(const char* acquiring, const char* held,
+                                  const HeldStack& stack) {
+  std::fprintf(stderr,
+               "preempt: lock-order inversion: acquiring \"%s\" while holding \"%s\", "
+               "but \"%s\" -> ... -> \"%s\" was the previously established order.\n",
+               acquiring, held, acquiring, held);
+  std::fprintf(stderr, "preempt: this thread's held stack (oldest first):");
+  for (std::size_t i = 0; i < stack.size; ++i) std::fprintf(stderr, " \"%s\"", stack.items[i].name);
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void set_enabled(bool enabled) noexcept {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void reset_for_test() {
+  OrderGraph& g = graph();
+  const std::lock_guard<std::mutex> lock(g.mutex);
+  g.edges.clear();
+}
+
+void on_acquire(const Mutex& m) {
+  HeldStack& stack = held_stack();
+  if (enabled() && stack.size > 0) {
+    for (std::size_t i = 0; i < stack.size; ++i) {
+      if (stack.items[i].id == &m) {  // relocking a non-recursive mutex: guaranteed deadlock
+        std::fprintf(stderr, "preempt: recursive lock of mutex \"%s\" on one thread.\n",
+                     m.name());
+        std::fflush(stderr);
+        std::abort();
+      }
+    }
+    OrderGraph& g = graph();
+    const std::lock_guard<std::mutex> lock(g.mutex);
+    const std::string acquiring(m.name());
+    for (std::size_t i = 0; i < stack.size; ++i) {
+      const std::string held(stack.items[i].name);
+      if (held == acquiring) continue;  // same-named pair: see header comment
+      // Adding held -> acquiring: if acquiring already reaches held, the
+      // edge closes a cycle — abort before anyone can deadlock on it.
+      if (g.reachable(acquiring, held)) abort_inversion(m.name(), stack.items[i].name, stack);
+      g.edges[held].insert(acquiring);
+    }
+  }
+  if (stack.size < HeldStack::kCapacity) stack.items[stack.size++] = Held{&m, m.name()};
+}
+
+void on_release(const Mutex& m) {
+  HeldStack& stack = held_stack();
+  // Locks are usually released LIFO, but unique_lock-style code may not; pop
+  // the most recent matching entry. A miss is fine — the stack may predate a
+  // set_enabled(true) or have overflowed capacity — releases are bookkeeping
+  // only, never an error.
+  for (std::size_t i = stack.size; i > 0; --i) {
+    if (stack.items[i - 1].id == &m) {
+      for (std::size_t j = i - 1; j + 1 < stack.size; ++j) stack.items[j] = stack.items[j + 1];
+      --stack.size;
+      return;
+    }
+  }
+}
+
+}  // namespace preempt::lockorder

@@ -1,0 +1,222 @@
+// Clang Thread Safety Analysis macros and the repo's annotated lock types.
+//
+// Every mutex in src/ is a preempt::Mutex (never a raw std::mutex — enforced
+// by tools/lint_checks.py), so two layers of checking apply to all locking:
+//
+//  * statically, clang's -Wthread-safety analysis: members annotated
+//    PREEMPT_GUARDED_BY(m) may only be touched while m is held, functions
+//    annotated PREEMPT_REQUIRES(m) may only be called with m held, and the
+//    scoped RAII types below tell the analysis where capabilities are
+//    acquired and released. Under gcc (which has no such analysis) the
+//    macros expand to nothing and Mutex/LockGuard behave exactly like their
+//    std counterparts.
+//
+//  * dynamically, a global lock-acquisition-order checker (debug builds, or
+//    whenever lockorder::set_enabled(true) is called): each Mutex carries a
+//    name, every acquisition records "held -> acquiring" edges in a global
+//    order graph, and an acquisition that would close a cycle — the classic
+//    ABBA deadlock — aborts immediately, printing both mutex names and the
+//    full held stack, instead of deadlocking some unlucky production run.
+//
+// CondVar is a std::condition_variable bridge that keeps the checker's
+// held-stack honest across the release/reacquire inside wait(). It has no
+// predicate overloads on purpose: a predicate lambda reading guarded state
+// defeats the static analysis (clang cannot see that the lock is held inside
+// the lambda body), so call sites spell the standard `while (!pred) wait();`
+// loop where the analysis can verify every access.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// -------------------------------------------------------------- attributes
+
+#if defined(__clang__) && defined(__has_attribute)
+#define PREEMPT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PREEMPT_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Class attribute: instances are lockable capabilities.
+#define PREEMPT_CAPABILITY(name) PREEMPT_THREAD_ANNOTATION(capability(name))
+/// Class attribute: RAII object that holds a capability for its lifetime.
+#define PREEMPT_SCOPED_CAPABILITY PREEMPT_THREAD_ANNOTATION(scoped_lockable)
+/// Member attribute: reads/writes require holding `x`.
+#define PREEMPT_GUARDED_BY(x) PREEMPT_THREAD_ANNOTATION(guarded_by(x))
+/// Member attribute: the pointee (not the pointer) is guarded by `x`.
+#define PREEMPT_PT_GUARDED_BY(x) PREEMPT_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function attribute: callers must hold the listed capabilities.
+#define PREEMPT_REQUIRES(...) \
+  PREEMPT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function attribute: callers must NOT hold the listed capabilities.
+#define PREEMPT_EXCLUDES(...) PREEMPT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Function attribute: acquires the listed capabilities (this object when empty).
+#define PREEMPT_ACQUIRE(...) \
+  PREEMPT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function attribute: releases the listed capabilities (this object when empty).
+#define PREEMPT_RELEASE(...) \
+  PREEMPT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function attribute: acquires the capability iff the return value is `ok`.
+#define PREEMPT_TRY_ACQUIRE(ok, ...) \
+  PREEMPT_THREAD_ANNOTATION(try_acquire_capability(ok, ##__VA_ARGS__))
+/// Function attribute: returns a reference to the capability guarding it.
+#define PREEMPT_RETURN_CAPABILITY(x) PREEMPT_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch: the function is exempt from the analysis (constructor-only
+/// helpers, intentionally unusual locking). Always pair with a comment.
+#define PREEMPT_NO_THREAD_SAFETY_ANALYSIS \
+  PREEMPT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace preempt {
+
+class Mutex;
+
+// ------------------------------------------------------ lock-order checker
+
+namespace lockorder {
+
+/// Turn the global checker on/off (process-wide). Defaults to on in debug
+/// builds (NDEBUG not defined), off otherwise; tests force it on. Enable
+/// before threads start contending or the held-stack may be incomplete.
+void set_enabled(bool enabled) noexcept;
+bool enabled() noexcept;
+
+/// Drop every recorded ordering edge (tests only; not thread-safe against
+/// concurrent lock traffic).
+void reset_for_test();
+
+/// Called by Mutex/CondVar around every acquisition/release. An acquisition
+/// that closes a cycle in the order graph aborts with both mutex names.
+void on_acquire(const Mutex& m);
+void on_release(const Mutex& m);
+
+}  // namespace lockorder
+
+// ------------------------------------------------------------- lock types
+
+/// std::mutex with a stable name (for deadlock diagnostics) plus static and
+/// dynamic checking. Same blocking semantics as std::mutex.
+class PREEMPT_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(const char* name = "unnamed") noexcept : name_(name) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PREEMPT_ACQUIRE() {
+    lockorder::on_acquire(*this);  // before blocking: an inversion aborts, not deadlocks
+    raw_.lock();
+  }
+
+  void unlock() PREEMPT_RELEASE() {
+    raw_.unlock();
+    lockorder::on_release(*this);
+  }
+
+  bool try_lock() PREEMPT_TRY_ACQUIRE(true) {
+    if (!raw_.try_lock()) return false;
+    lockorder::on_acquire(*this);  // cannot block, but keeps the held stack honest
+    return true;
+  }
+
+  const char* name() const noexcept { return name_; }
+
+  /// Underlying std::mutex (CondVar bridging only).
+  std::mutex& native() noexcept { return raw_; }
+
+ private:
+  std::mutex raw_;
+  const char* name_;
+};
+
+/// std::lock_guard equivalent over Mutex.
+class PREEMPT_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) PREEMPT_ACQUIRE(m) : mutex_(m) { mutex_.lock(); }
+  ~LockGuard() PREEMPT_RELEASE() { mutex_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// std::unique_lock equivalent over Mutex; the form CondVar waits on.
+/// Always constructed locked; unlock()/lock() may hand the capability back
+/// and forth mid-scope.
+class PREEMPT_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& m) PREEMPT_ACQUIRE(m) : mutex_(m) {
+    mutex_.lock();
+    owns_ = true;
+  }
+  ~UniqueLock() PREEMPT_RELEASE() {
+    if (owns_) mutex_.unlock();
+  }
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() PREEMPT_ACQUIRE() {
+    mutex_.lock();
+    owns_ = true;
+  }
+  void unlock() PREEMPT_RELEASE() {
+    mutex_.unlock();
+    owns_ = false;
+  }
+  bool owns_lock() const noexcept { return owns_; }
+  Mutex& mutex() noexcept PREEMPT_RETURN_CAPABILITY(mutex_) { return mutex_; }
+
+ private:
+  friend class CondVar;
+  Mutex& mutex_;
+  bool owns_ = false;
+};
+
+/// Condition variable over UniqueLock. No predicate overloads — spell the
+/// `while (!pred) wait(lock);` loop at the call site so clang's analysis can
+/// check the guarded reads inside the predicate (see the header comment).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Atomically release, sleep, reacquire. The checker sees the mutex leave
+  /// and re-enter the held stack, so ordering stays accurate across waits.
+  void wait(UniqueLock& lock) {
+    lockorder::on_release(lock.mutex_);
+    std::unique_lock<std::mutex> native(lock.mutex_.native(), std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+    lockorder::on_acquire(lock.mutex_);
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(UniqueLock& lock,
+                            const std::chrono::time_point<Clock, Duration>& deadline) {
+    lockorder::on_release(lock.mutex_);
+    std::unique_lock<std::mutex> native(lock.mutex_.native(), std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    lockorder::on_acquire(lock.mutex_);
+    return status;
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(UniqueLock& lock,
+                          const std::chrono::duration<Rep, Period>& timeout) {
+    lockorder::on_release(lock.mutex_);
+    std::unique_lock<std::mutex> native(lock.mutex_.native(), std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(native, timeout);
+    native.release();
+    lockorder::on_acquire(lock.mutex_);
+    return status;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace preempt

@@ -5,14 +5,14 @@
 // per index range, and RNG streams are forked per chunk by the callers).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace preempt {
 
@@ -36,7 +36,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
     {
-      std::scoped_lock lock(mutex_);
+      const LockGuard lock(mutex_);
       tasks_.emplace([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -50,10 +50,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mutex_{"thread_pool.queue"};
+  std::queue<std::function<void()>> tasks_ PREEMPT_GUARDED_BY(mutex_);
+  CondVar cv_;
+  bool stop_ PREEMPT_GUARDED_BY(mutex_) = false;
 };
 
 /// Run body(i) for i in [begin, end) across the pool, blocking until done.

@@ -25,7 +25,7 @@ class Exponential final : public Distribution {
   double cdf(double t) const override;
   double pdf(double t) const override;
   double survival(double t) const override;
-  double hazard(double t) const override { return rate_; }
+  double hazard(double /*t*/) const override { return rate_; }
   double quantile(double p) const override;
   double sample(Rng& rng) const override { return rng.exponential(rate_); }
   void sample_many(Rng& rng, std::span<double> out) const override {

@@ -16,8 +16,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace preempt::dist {
 
@@ -137,7 +138,7 @@ class LazyQuantileTable {
   template <typename Build>
   const QuantileTable& get(const Build& build) const {
     if (auto t = table_.load(std::memory_order_acquire)) return *t;
-    std::scoped_lock lock(mutex_);
+    const LockGuard lock(mutex_);
     if (auto t = table_.load(std::memory_order_relaxed)) return *t;
     auto built = std::make_shared<const QuantileTable>(build());
     table_.store(built, std::memory_order_release);
@@ -145,7 +146,7 @@ class LazyQuantileTable {
   }
 
  private:
-  mutable std::mutex mutex_;  ///< serialises the one-time build only
+  mutable Mutex mutex_{"dist.quantile_table.build"};  ///< serialises the one-time build only
   mutable std::atomic<std::shared_ptr<const QuantileTable>> table_{nullptr};
 };
 

@@ -35,7 +35,7 @@ MarketCatalog::MarketCatalog(MarketCatalog&& other) noexcept
     : markets_(std::move(other.markets_)),
       dataset_(std::move(other.dataset_)),
       options_(other.options_) {
-  const std::lock_guard<std::mutex> lock(other.mutex_);
+  const LockGuard lock(other.mutex_);
   cache_ = std::move(other.cache_);
 }
 
@@ -74,20 +74,20 @@ std::size_t MarketCatalog::sample_count(std::size_t id) const {
 const core::PreemptionModel& MarketCatalog::model(std::size_t id) const {
   PREEMPT_REQUIRE(id < markets_.size(), "unknown market id");
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     if (cache_[id].has_value()) return *cache_[id];
   }
   // Fit outside the lock so fit_all(pool) actually runs concurrently; a
   // racing duplicate fit of the same market produces the identical model.
   auto fitted =
       core::PreemptionModel::fit(market_lifetimes(id), options_.horizon_hours);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   if (!cache_[id].has_value()) cache_[id] = std::move(fitted);
   return *cache_[id];
 }
 
 std::size_t MarketCatalog::fitted_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   std::size_t n = 0;
   for (const auto& slot : cache_) {
     if (slot.has_value()) ++n;

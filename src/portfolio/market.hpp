@@ -10,10 +10,10 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "core/model.hpp"
 #include "trace/dataset.hpp"
@@ -84,8 +84,8 @@ class MarketCatalog {
   trace::Dataset dataset_;
   Options options_;
 
-  mutable std::mutex mutex_;
-  mutable std::vector<std::optional<core::PreemptionModel>> cache_;
+  mutable Mutex mutex_{"portfolio.fit_cache"};
+  mutable std::vector<std::optional<core::PreemptionModel>> cache_ PREEMPT_GUARDED_BY(mutex_);
 };
 
 }  // namespace preempt::portfolio

@@ -658,7 +658,8 @@ TEST_F(ServiceApiTest, StoreBackedDaemonSurvivesKillAndRestart) {
     ASSERT_TRUE(first.wait_for_bag(id, 120.0));
     const auto done = first.handle(get("/v1/bags/" + std::to_string(id)));
     ASSERT_EQ(done.status, 200);
-    const JsonValue* report = parse_json(done.body).find("report");
+    const JsonValue done_body = parse_json(done.body);
+    const JsonValue* report = done_body.find("report");
     ASSERT_NE(report, nullptr) << done.body;
     cost_per_job = report->number_or("cost_per_job", 0.0);
     EXPECT_GT(cost_per_job, 0.0);

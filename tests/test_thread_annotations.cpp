@@ -1,0 +1,210 @@
+// The annotated lock layer: preempt::Mutex/LockGuard/UniqueLock/CondVar
+// round-trips, and the global lock-acquisition-order checker — consistent
+// orders stay silent, an ABBA inversion aborts deterministically with both
+// mutex names in the message.
+#include "common/thread_annotations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace preempt {
+namespace {
+
+// RAII: force the checker on/off for one test, restore after, and drop the
+// edges the test recorded so order graphs never leak across tests.
+class ScopedChecker {
+ public:
+  explicit ScopedChecker(bool enabled) : was_(lockorder::enabled()) {
+    lockorder::reset_for_test();
+    lockorder::set_enabled(enabled);
+  }
+  ~ScopedChecker() {
+    lockorder::set_enabled(was_);
+    lockorder::reset_for_test();
+  }
+
+ private:
+  bool was_;
+};
+
+TEST(ThreadAnnotations, LockGuardRoundTrip) {
+  const ScopedChecker checker(true);
+  Mutex m{"test.roundtrip"};
+  int value = 0;
+  {
+    const LockGuard lock(m);
+    value = 1;
+  }
+  EXPECT_EQ(value, 1);
+  EXPECT_TRUE(m.try_lock());
+  m.unlock();
+}
+
+TEST(ThreadAnnotations, UniqueLockHandsCapabilityBackAndForth) {
+  const ScopedChecker checker(true);
+  Mutex m{"test.unique"};
+  UniqueLock lock(m);
+  EXPECT_TRUE(lock.owns_lock());
+  lock.unlock();
+  EXPECT_FALSE(lock.owns_lock());
+  EXPECT_TRUE(m.try_lock());  // really released
+  m.unlock();
+  lock.lock();
+  EXPECT_TRUE(lock.owns_lock());
+}
+
+TEST(ThreadAnnotations, CondVarProducerConsumer) {
+  const ScopedChecker checker(true);
+  Mutex m{"test.condvar"};
+  CondVar cv;
+  std::deque<int> queue;
+  bool done = false;
+  constexpr int kItems = 200;
+
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      {
+        const LockGuard lock(m);
+        queue.push_back(i);
+      }
+      cv.notify_one();
+    }
+    {
+      const LockGuard lock(m);
+      done = true;
+    }
+    cv.notify_all();
+  });
+
+  std::vector<int> received;
+  {
+    UniqueLock lock(m);
+    for (;;) {
+      while (!done && queue.empty()) cv.wait(lock);
+      while (!queue.empty()) {
+        received.push_back(queue.front());
+        queue.pop_front();
+      }
+      if (done && queue.empty()) break;
+    }
+  }
+  producer.join();
+
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(received[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadAnnotations, CondVarWaitUntilTimesOut) {
+  const ScopedChecker checker(true);
+  Mutex m{"test.deadline"};
+  CondVar cv;
+  UniqueLock lock(m);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(10);
+  EXPECT_EQ(cv.wait_until(lock, deadline), std::cv_status::timeout);
+  EXPECT_TRUE(lock.owns_lock());  // reacquired after the timed wait
+}
+
+TEST(ThreadAnnotations, ConsistentOrderIsSilent) {
+  const ScopedChecker checker(true);
+  Mutex a{"test.order.first"};
+  Mutex b{"test.order.second"};
+  // Same nesting order many times, from two threads: no abort, no false
+  // positive.
+  auto nest = [&] {
+    for (int i = 0; i < 100; ++i) {
+      const LockGuard la(a);
+      const LockGuard lb(b);
+    }
+  };
+  std::thread t1(nest);
+  std::thread t2(nest);
+  t1.join();
+  t2.join();
+  SUCCEED();
+}
+
+TEST(ThreadAnnotationsDeathTest, TwoMutexInversionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // The whole scenario runs inside the death statement so the established
+  // order and the inversion share one process regardless of death-test style.
+  EXPECT_DEATH(
+      {
+        lockorder::set_enabled(true);
+        Mutex a{"death.a"};
+        Mutex b{"death.b"};
+        {
+          const LockGuard la(a);
+          const LockGuard lb(b);  // establishes a -> b
+        }
+        const LockGuard lb(b);
+        const LockGuard la(a);  // b -> a closes the cycle: abort
+      },
+      "lock-order inversion.*death\\.a.*death\\.b");
+}
+
+TEST(ThreadAnnotationsDeathTest, RecursiveLockAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        lockorder::set_enabled(true);
+        Mutex m{"death.recursive"};
+        const LockGuard first(m);
+        const LockGuard second(m);  // relock on the same thread: abort
+      },
+      "recursive lock.*death\\.recursive");
+}
+
+#if defined(__SANITIZE_THREAD__)
+#define PREEMPT_TSAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PREEMPT_TSAN_ACTIVE 1
+#endif
+#endif
+
+TEST(ThreadAnnotations, CheckerDisabledRecordsNothing) {
+#ifdef PREEMPT_TSAN_ACTIVE
+  // TSan's own lock-order detector flags the deliberate ABBA below — that is
+  // the sanitizer working as intended, not a regression, so skip it there.
+  GTEST_SKIP() << "deliberate ABBA pattern trips TSan's deadlock detector";
+#endif
+  const ScopedChecker checker(false);
+  Mutex a{"test.disabled.a"};
+  Mutex b{"test.disabled.b"};
+  // Both orders, checker off: must not abort (the tier-1 RelWithDebInfo
+  // build runs exactly this configuration).
+  {
+    const LockGuard la(a);
+    const LockGuard lb(b);
+  }
+  {
+    const LockGuard lb(b);
+    const LockGuard la(a);
+  }
+  SUCCEED();
+}
+
+// The pool's internal queue mutex is a preempt::Mutex now; make sure heavy
+// submit/drain traffic still behaves with the checker enabled.
+TEST(ThreadAnnotations, ThreadPoolRunsUnderChecker) {
+  const ScopedChecker checker(true);
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  parallel_for(pool, 0, 1000, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i % 7), std::memory_order_relaxed);
+  });
+  int expected = 0;
+  for (int i = 0; i < 1000; ++i) expected += i % 7;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+}  // namespace
+}  // namespace preempt

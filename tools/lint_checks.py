@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Repo lint rules clang-tidy cannot express.
+
+Rules (each can be waived on one line with `// lint: allow(<rule>)`):
+
+  raw-sync        No raw std::mutex / std::lock_guard / std::unique_lock /
+                  std::scoped_lock / std::shared_mutex / std::condition_variable
+                  in src/ outside common/thread_annotations.{hpp,cpp} — all
+                  locking goes through the annotated preempt::Mutex wrappers so
+                  clang's -Wthread-safety and the lock-order checker see it.
+  wallclock       No argless system_clock::now() / steady_clock::now() inside
+                  the determinism zones src/sim/ and src/fleet/: simulated time
+                  comes from the event clock, and a wall-clock read there is a
+                  reproducibility bug by construction.
+  catch-all       No `catch (...)` that swallows silently: the handler body
+                  must rethrow, stash the exception (std::current_exception),
+                  or log through PREEMPT_LOG_*.
+  pragma-once     Every header in src/ starts its preprocessor life with
+                  `#pragma once`.
+  parent-include  No `#include "../..."` — includes are rooted at src/ so the
+                  same header is never spelled two ways.
+
+Exit status: 0 when clean, 1 when violations are found (they are printed as
+file:line: rule: message, one per line).
+
+`--self-test` runs the same rules over tools/lint_fixtures/ — a deliberately
+bad file set — and fails unless EVERY rule fires there, so a regression that
+silently disables a rule breaks CI instead of going unnoticed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Files allowed to touch raw std synchronisation primitives: the annotated
+# wrapper itself and its checker implementation.
+RAW_SYNC_ALLOWED = {
+    "src/common/thread_annotations.hpp",
+    "src/common/thread_annotations.cpp",
+}
+
+RAW_SYNC_RE = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|unique_lock|"
+    r"scoped_lock|shared_lock|condition_variable(_any)?)\b"
+)
+WALLCLOCK_RE = re.compile(r"\b(system_clock|steady_clock|high_resolution_clock)::now\(\)")
+CATCH_ALL_RE = re.compile(r"catch\s*\(\s*\.\.\.\s*\)")
+PARENT_INCLUDE_RE = re.compile(r'#\s*include\s+"\.\./')
+PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\s*$", re.MULTILINE)
+ALLOW_RE = re.compile(r"//\s*lint:\s*allow\((?P<rule>[a-z-]+)\)")
+
+DETERMINISM_ZONES = ("src/sim/", "src/fleet/")
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Best-effort removal of // comments and string literal bodies."""
+    line = re.sub(r'"(\\.|[^"\\])*"', '""', line)
+    line = re.sub(r"//.*$", "", line)
+    return line
+
+
+def find_matching_brace(text: str, open_idx: int) -> int:
+    """Index just past the brace matching text[open_idx] ('{'); len() if unbalanced."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+class Linter:
+    def __init__(self) -> None:
+        self.violations: list[tuple[str, int, str, str]] = []
+        self.rules_fired: set[str] = set()
+
+    def report(self, path: str, line_no: int, rule: str, message: str) -> None:
+        self.violations.append((path, line_no, rule, message))
+        self.rules_fired.add(rule)
+
+    def allowed(self, line: str, rule: str) -> bool:
+        m = ALLOW_RE.search(line)
+        return bool(m) and m.group("rule") == rule
+
+    def lint_file(self, root: Path, path: Path) -> None:
+        rel = path.relative_to(root).as_posix()
+        text = path.read_text(encoding="utf-8", errors="replace")
+        lines = text.splitlines()
+
+        # pragma-once: every header carries the directive (a comment merely
+        # mentioning it does not count — the regex wants a real directive line).
+        if path.suffix in (".hpp", ".h") and not PRAGMA_ONCE_RE.search(text):
+            self.report(rel, 1, "pragma-once", "header lacks #pragma once")
+
+        for i, raw_line in enumerate(lines, start=1):
+            line = strip_comments_and_strings(raw_line)
+
+            if RAW_SYNC_RE.search(line) and rel not in RAW_SYNC_ALLOWED:
+                if not self.allowed(raw_line, "raw-sync"):
+                    self.report(
+                        rel, i, "raw-sync",
+                        f"raw {RAW_SYNC_RE.search(line).group(0)} — use the annotated "
+                        "wrappers from common/thread_annotations.hpp",
+                    )
+
+            if rel.startswith(DETERMINISM_ZONES) and WALLCLOCK_RE.search(line):
+                if not self.allowed(raw_line, "wallclock"):
+                    self.report(
+                        rel, i, "wallclock",
+                        f"{WALLCLOCK_RE.search(line).group(0)} inside a determinism zone — "
+                        "simulation time must come from the event clock",
+                    )
+
+            # Checked on the raw line: the include path is a string literal,
+            # which strip_comments_and_strings would blank out.
+            if PARENT_INCLUDE_RE.search(raw_line):
+                if not self.allowed(raw_line, "parent-include"):
+                    self.report(
+                        rel, i, "parent-include",
+                        'parent-relative #include "../..." — include paths are rooted at src/',
+                    )
+
+        self.lint_catch_all(rel, text, lines)
+
+    def lint_catch_all(self, rel: str, text: str, lines: list[str]) -> None:
+        for m in CATCH_ALL_RE.finditer(text):
+            line_no = text.count("\n", 0, m.start()) + 1
+            if line_no <= len(lines) and self.allowed(lines[line_no - 1], "catch-all"):
+                continue
+            open_idx = text.find("{", m.end())
+            if open_idx < 0:
+                continue
+            body = text[open_idx:find_matching_brace(text, open_idx)]
+            # Comments don't handle exceptions: a body whose only mention of
+            # "rethrow" is prose still swallows.
+            body = "\n".join(strip_comments_and_strings(l) for l in body.splitlines())
+            handles = any(
+                marker in body
+                for marker in ("throw", "rethrow_exception", "current_exception", "PREEMPT_LOG")
+            )
+            if not handles:
+                self.report(
+                    rel, line_no, "catch-all",
+                    "catch (...) swallows the exception — rethrow, capture with "
+                    "std::current_exception, or log it",
+                )
+
+
+def source_files(root: Path, subdirs: list[str]) -> list[Path]:
+    out: list[Path] = []
+    for sub in subdirs:
+        base = root / sub
+        if not base.exists():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in (".cpp", ".hpp", ".h") and "lint_fixtures" not in path.parts:
+                out.append(path)
+    return out
+
+
+ALL_RULES = {"raw-sync", "wallclock", "catch-all", "pragma-once", "parent-include"}
+
+
+def run_lint(root: Path, subdirs: list[str]) -> int:
+    linter = Linter()
+    files = source_files(root, subdirs)
+    for path in files:
+        linter.lint_file(root, path)
+    for path, line_no, rule, message in linter.violations:
+        print(f"{path}:{line_no}: {rule}: {message}")
+    print(f"lint_checks: {len(files)} files, {len(linter.violations)} violation(s)")
+    return 1 if linter.violations else 0
+
+
+def run_self_test(root: Path) -> int:
+    """The negative fixture must trip every rule — proves none went dead."""
+    fixtures = root / "tools" / "lint_fixtures"
+    linter = Linter()
+    files = [p for p in sorted(fixtures.rglob("*")) if p.suffix in (".cpp", ".hpp", ".h")]
+    if not files:
+        print(f"lint_checks --self-test: no fixtures under {fixtures}", file=sys.stderr)
+        return 1
+    # The fixture tree mirrors the repo layout (tools/lint_fixtures/src/sim/...)
+    # and is linted with the fixture dir as root, so path-scoped rules — the
+    # determinism zones, the raw-sync allowlist — apply exactly as they would
+    # to real sources.
+    for path in files:
+        linter.lint_file(fixtures, path)
+    missing = ALL_RULES - linter.rules_fired
+    for path, line_no, rule, message in linter.violations:
+        print(f"[fixture] {path}:{line_no}: {rule}: {message}")
+    if missing:
+        print(f"lint_checks --self-test: rules never fired on the bad fixture: "
+              f"{', '.join(sorted(missing))}", file=sys.stderr)
+        return 1
+    print(f"lint_checks --self-test: all {len(ALL_RULES)} rules fired on the fixture set")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", type=Path, default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: parent of tools/)")
+    parser.add_argument("--subdirs", nargs="*", default=["src", "tools"],
+                        help="directories to lint (default: src tools)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="lint tools/lint_fixtures/ and require every rule to fire")
+    args = parser.parse_args()
+    root = args.root.resolve()
+    if args.self_test:
+        return run_self_test(root)
+    return run_lint(root, args.subdirs)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

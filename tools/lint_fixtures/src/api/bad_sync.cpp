@@ -1,0 +1,24 @@
+// Negative lint fixture: raw synchronisation primitives, a swallowed
+// catch-all and a parent-relative include. Never compiled.
+#include "../common/bad_header.hpp"
+
+#include <mutex>
+
+namespace preempt::api {
+
+// raw-sync: should be preempt::Mutex / preempt::LockGuard.
+std::mutex fixture_mutex;
+
+void fixture_swallow() {
+  try {
+    fixture_locked_work();
+  } catch (...) {
+    // catch-all: silently dropped — no rethrow, no capture, no log.
+  }
+}
+
+void fixture_locked_work() {
+  const std::lock_guard<std::mutex> lock(fixture_mutex);
+}
+
+}  // namespace preempt::api

@@ -1,0 +1,9 @@
+// Negative lint fixture: header without #pragma once. Never compiled.
+#ifndef PREEMPT_LINT_FIXTURE_BAD_HEADER_HPP
+#define PREEMPT_LINT_FIXTURE_BAD_HEADER_HPP
+
+namespace preempt {
+inline int fixture_header_value() { return 42; }
+}  // namespace preempt
+
+#endif

@@ -1,0 +1,15 @@
+// Negative lint fixture: wall-clock reads inside a determinism zone.
+// Never compiled — tools/lint_fixtures/ exists only so that
+// `lint_checks.py --self-test` can prove the rules still fire.
+#include <chrono>
+
+namespace preempt::sim {
+
+double fixture_wallclock_leak() {
+  // wallclock: simulated time must come from the event clock.
+  const auto t = std::chrono::steady_clock::now();
+  const auto w = std::chrono::system_clock::now();
+  return static_cast<double>(t.time_since_epoch().count() + w.time_since_epoch().count());
+}
+
+}  // namespace preempt::sim

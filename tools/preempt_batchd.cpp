@@ -36,8 +36,9 @@ int self_check(preempt::api::ServiceDaemon& daemon) {
   };
 
   check("GET /healthz", client.healthy());
-  check("GET /v1/models",
-        client.model({.type = "n1-highcpu-16"}).expected_lifetime_hours > 0.0);
+  preempt::api::RegimeQuery model_query;
+  model_query.type = "n1-highcpu-16";
+  check("GET /v1/models", client.model(model_query).expected_lifetime_hours > 0.0);
   check("GET /v1/lifetimes", client.lifetime().mean_lifetime_hours > 0.0);
   check("GET /v1/decisions/reuse", client.reuse_decision(9.0, 6.0).expected_fresh_hours > 0.0);
 
