@@ -1,0 +1,157 @@
+// Recorded sharded-sweep coordinator baseline (BENCH_shard.json).
+//
+// Runs the fleet-quick scenario swept over a seed axis three ways — locally
+// (the single-node run_sweep path), through the shard coordinator with one
+// worker daemon, and with three worker daemons — and records wall time per
+// configuration plus the 3-vs-1 worker speedup. Every daemon lives in this
+// process (the coordinator talks to them over real loopback HTTP), so the
+// numbers capture coordinator + HTTP + job-queue overhead, not container
+// scheduling. The run aborts if the 3-worker merged report is not
+// byte-identical to the local sweep report: the speedup is only meaningful
+// if the answer is exact.
+//
+// Usage: bench_shard_throughput [--smoke] [--out PATH]
+//   --smoke   6-cell sweep (CI); --out defaults to BENCH_shard.json
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/service_daemon.hpp"
+#include "bench_util.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/stopwatch.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/sweep.hpp"
+#include "shard/coordinator.hpp"
+
+namespace {
+
+using namespace preempt;
+
+scenario::SweepSpec seed_sweep(std::size_t cells) {
+  const scenario::NamedScenario* named = scenario::find_builtin("fleet-quick");
+  if (named == nullptr) throw Error("fleet-quick scenario missing from the registry");
+  scenario::SweepSpec sweep = named->sweep;
+  scenario::SweepAxis seeds;
+  seeds.field = "seed";
+  for (std::size_t s = 1; s <= cells; ++s) seeds.values.push_back(JsonValue(s));
+  sweep.axes.push_back(std::move(seeds));
+  return sweep;
+}
+
+struct PhaseResult {
+  double seconds = 0.0;
+  double cells_per_sec = 0.0;
+};
+
+JsonValue phase_json(const PhaseResult& r) {
+  JsonObject o;
+  o.emplace_back("seconds", r.seconds);
+  o.emplace_back("cells_per_sec", r.cells_per_sec);
+  return JsonValue(std::move(o));
+}
+
+PhaseResult sharded_phase(const scenario::SweepSpec& sweep, std::size_t cells,
+                          const std::vector<api::ServiceDaemon*>& workers,
+                          std::string& report_dump) {
+  shard::CoordinatorOptions options;
+  for (api::ServiceDaemon* daemon : workers) options.workers.push_back(daemon->port());
+  options.request_timeout_seconds = 60.0;
+  options.run_deadline_seconds = 600.0;
+  shard::ShardCoordinator coordinator(std::move(options));
+  Stopwatch wall;
+  const shard::ShardOutcome outcome = coordinator.run(sweep);
+  PhaseResult result;
+  result.seconds = wall.elapsed_seconds();
+  result.cells_per_sec =
+      result.seconds > 0.0 ? static_cast<double>(cells) / result.seconds : 0.0;
+  if (!outcome.complete) throw Error("sharded sweep did not complete");
+  report_dump = outcome.report.dump();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_shard.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+  }
+  const std::size_t cells = smoke ? 6 : 12;
+
+  bench::print_header("SHARD", "sharded sweep throughput: 1 vs 3 workers on fleet-quick");
+
+  try {
+    const scenario::SweepSpec sweep = seed_sweep(cells);
+
+    // Local single-node baseline — also the byte-identity ground truth.
+    Stopwatch local_wall;
+    const std::string expected = scenario::to_json(scenario::run_sweep(sweep)).dump();
+    PhaseResult local;
+    local.seconds = local_wall.elapsed_seconds();
+    local.cells_per_sec =
+        local.seconds > 0.0 ? static_cast<double>(cells) / local.seconds : 0.0;
+
+    std::vector<std::unique_ptr<api::ServiceDaemon>> daemons;
+    for (int i = 0; i < 3; ++i) {
+      api::ServiceDaemon::Options options;
+      options.bootstrap_vms_per_cell = 30;  // bootstrap is off the clock anyway
+      options.bag_workers = 1;              // one simulation lane per worker daemon
+      daemons.push_back(std::make_unique<api::ServiceDaemon>(options));
+      daemons.back()->start(0);
+    }
+
+    std::string one_dump, three_dump;
+    const PhaseResult one_worker =
+        sharded_phase(sweep, cells, {daemons[0].get()}, one_dump);
+    const PhaseResult three_workers = sharded_phase(
+        sweep, cells, {daemons[0].get(), daemons[1].get(), daemons[2].get()}, three_dump);
+    for (auto& daemon : daemons) daemon->stop();
+
+    if (three_dump != expected || one_dump != expected) {
+      std::cerr << "merged report is not byte-identical to the local sweep report\n";
+      return 1;
+    }
+
+    const double speedup =
+        one_worker.seconds > 0.0 ? one_worker.seconds / three_workers.seconds : 0.0;
+    std::cout << "local single-node : " << bench::fmt(local.seconds, 3) << " s ("
+              << bench::fmt(local.cells_per_sec, 2) << " cells/s)\n"
+              << "1 worker daemon   : " << bench::fmt(one_worker.seconds, 3) << " s ("
+              << bench::fmt(one_worker.cells_per_sec, 2) << " cells/s)\n"
+              << "3 worker daemons  : " << bench::fmt(three_workers.seconds, 3) << " s ("
+              << bench::fmt(three_workers.cells_per_sec, 2) << " cells/s)\n";
+    bench::print_claim(
+        "scatter/gather over workers cuts sweep wall time without changing a byte",
+        "3-worker/1-worker speedup = " + bench::fmt(speedup, 2) +
+            "x, merge byte-identical to local");
+
+    JsonObject doc;
+    doc.emplace_back("benchmark", JsonValue("shard_throughput"));
+    doc.emplace_back("smoke", JsonValue(smoke));
+    doc.emplace_back("cells", cells);
+    doc.emplace_back("local", phase_json(local));
+    doc.emplace_back("one_worker", phase_json(one_worker));
+    doc.emplace_back("three_workers", phase_json(three_workers));
+    doc.emplace_back("speedup_3_vs_1", JsonValue(speedup));
+    doc.emplace_back("byte_identical", JsonValue(true));
+
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    out << JsonValue(std::move(doc)).dump(2) << "\n";
+    std::cout << "wrote " << out_path << "\n";
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "bench_shard_throughput: " << e.what() << "\n";
+    return 1;
+  }
+}

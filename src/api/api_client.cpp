@@ -82,11 +82,27 @@ std::string BagSubmission::to_json() const {
   return JsonValue(std::move(obj)).dump();
 }
 
+void ApiClient::set_recv_timeout(double seconds) {
+  const LockGuard lock(conn_mutex_);
+  recv_timeout_seconds_ = seconds > 0.0 ? seconds : 0.0;
+  if (conn_) conn_->set_recv_timeout(recv_timeout_seconds_);
+}
+
 HttpResponse ApiClient::do_request(const std::string& method, const std::string& target,
                                    const std::string& body) const {
-  if (!keep_alive_) return http_request(port_, method, target, body);
+  if (!keep_alive_) {
+    double timeout = 0.0;
+    {
+      const LockGuard lock(conn_mutex_);
+      timeout = recv_timeout_seconds_;
+    }
+    return http_request(port_, method, target, body, "application/json", timeout);
+  }
   const LockGuard lock(conn_mutex_);
-  if (!conn_) conn_ = std::make_unique<HttpConnection>(port_);
+  if (!conn_) {
+    conn_ = std::make_unique<HttpConnection>(port_);
+    conn_->set_recv_timeout(recv_timeout_seconds_);
+  }
   return conn_->request(method, target, body);
 }
 
@@ -243,6 +259,12 @@ BagJobInfo ApiClient::run_scenario(const std::string& name,
                                    const std::string& overrides_json) const {
   const HttpResponse response =
       do_request("POST", "/v1/scenarios/" + url_encode(name) + "/run", overrides_json);
+  if (response.status != 202) throw_api_error(response);
+  return parse_job(parse_json(response.body));
+}
+
+BagJobInfo ApiClient::run_cells(const std::string& body_json) const {
+  const HttpResponse response = do_request("POST", "/v1/scenarios/run", body_json);
   if (response.status != 202) throw_api_error(response);
   return parse_job(parse_json(response.body));
 }

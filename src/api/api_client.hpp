@@ -169,6 +169,13 @@ class ApiClient {
 
   std::uint16_t port() const noexcept { return port_; }
 
+  /// Per-request receive deadline (seconds; 0 = unbounded, the default).
+  /// With it set, a worker that accepts the connection but never responds
+  /// fails the request with IoTimeout instead of blocking the caller —
+  /// including wait_for_bag, which would otherwise poll a stalled daemon
+  /// forever. Applies to the held keep-alive socket and every reconnect.
+  void set_recv_timeout(double seconds);
+
   /// GET /healthz; true when the daemon answers {"status":"ok"}.
   bool healthy() const;
 
@@ -200,6 +207,12 @@ class ApiClient {
   /// returned job with bag()/wait_for_bag().
   BagJobInfo run_scenario(const std::string& name,
                           const std::string& overrides_json = "{}") const;
+  /// POST /v1/scenarios/run (expects 202) — the shard-dispatch endpoint:
+  /// `body_json` is {"cells":[<scenario spec>...]} (optionally with a
+  /// "label"), executed cell-by-cell on the worker's async job queue. Poll
+  /// the returned job; its result is {"cells":[{"name","spec","result"}...]}
+  /// in dispatch order, the same shape as a sweep report slice.
+  BagJobInfo run_cells(const std::string& body_json) const;
 
   /// POST /v1/observations.
   DriftStatus observe_lifetimes(const std::vector<double>& lifetimes_hours,
@@ -225,6 +238,8 @@ class ApiClient {
   mutable Mutex conn_mutex_{"api_client.connection"};
   /// Lazy, keep-alive mode only.
   mutable std::unique_ptr<HttpConnection> conn_ PREEMPT_GUARDED_BY(conn_mutex_);
+  /// 0 = unbounded reads (the historical behaviour).
+  double recv_timeout_seconds_ PREEMPT_GUARDED_BY(conn_mutex_) = 0.0;
 };
 
 }  // namespace preempt::api

@@ -52,6 +52,12 @@ struct BagJobSpec {
   /// bag path. `scenario_name` labels the job resource.
   std::string scenario_name;
   std::optional<scenario::SweepSpec> scenario;
+  /// Set for POST /v1/scenarios/run submissions (shard dispatch): an
+  /// explicit list of expanded cells — a round-robin shard of a sweep grid
+  /// is not a sub-grid, so it cannot ride the SweepSpec field above. The
+  /// executor runs each cell in order; the result is the same
+  /// {"cells":[{"name","spec","result"}...]} shape as a sweep report.
+  std::vector<scenario::ScenarioSpec> cells;
 };
 
 /// One job resource. `report` is the representative (first-replication)

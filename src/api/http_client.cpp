@@ -43,6 +43,26 @@ std::size_t parse_content_length(const std::string& text) {
   return static_cast<std::size_t>(n);
 }
 
+/// Arm (or disarm, seconds <= 0) the kernel receive deadline on `fd`. With
+/// it set, a recv() against a silent peer returns -1/EAGAIN instead of
+/// blocking forever; the read loops below translate that into IoTimeout.
+void apply_recv_timeout(int fd, double seconds) {
+  timeval tv{};
+  if (seconds > 0.0) {
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    // A sub-microsecond request must still arm the timer: {0,0} means "no
+    // timeout" to the kernel, the opposite of what the caller asked for.
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  }
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+/// True when recv() failed because the SO_RCVTIMEO deadline expired.
+bool recv_timed_out(ssize_t n) {
+  return n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
+}
+
 int connect_loopback(std::uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw IoError("socket() failed: " + std::string(std::strerror(errno)));
@@ -125,8 +145,9 @@ HttpResponse parse_http_response(const std::string& wire) {
 
 HttpResponse http_request(std::uint16_t port, const std::string& method,
                           const std::string& target, const std::string& body,
-                          const std::string& content_type) {
+                          const std::string& content_type, double recv_timeout_seconds) {
   const int fd = connect_loopback(port);
+  apply_recv_timeout(fd, recv_timeout_seconds);
   const std::string wire =
       build_request_wire(method, target, body, content_type, /*keep_alive=*/false);
   if (!send_all(fd, wire)) {
@@ -139,6 +160,11 @@ HttpResponse http_request(std::uint16_t port, const std::string& method,
   char buf[4096];
   while (true) {
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (recv_timed_out(n)) {
+      ::close(fd);
+      throw IoTimeout("HTTP response from port " + std::to_string(port) +
+                      " timed out after " + std::to_string(recv_timeout_seconds) + "s");
+    }
     if (n <= 0) break;
     received.append(buf, static_cast<std::size_t>(n));
   }
@@ -162,14 +188,25 @@ void HttpConnection::close() noexcept {
   reused_ = false;
 }
 
+void HttpConnection::set_recv_timeout(double seconds) {
+  recv_timeout_seconds_ = seconds > 0.0 ? seconds : 0.0;
+  if (fd_ >= 0) apply_recv_timeout(fd_, recv_timeout_seconds_);
+}
+
 void HttpConnection::connect_socket() {
   fd_ = connect_loopback(port_);
+  apply_recv_timeout(fd_, recv_timeout_seconds_);
   reused_ = false;
 }
 
 HttpResponse HttpConnection::roundtrip(const std::string& wire) {
   response_started_ = false;
   if (!send_all(fd_, wire)) throw IoError("send() failed on kept-alive connection");
+
+  auto timeout = [this]() -> IoTimeout {
+    return IoTimeout("HTTP response from port " + std::to_string(port_) +
+                     " timed out after " + std::to_string(recv_timeout_seconds_) + "s");
+  };
 
   // Framed read: headers first, then exactly content-length body bytes. No
   // shutdown and no read-until-EOF — the socket stays open for reuse.
@@ -178,6 +215,7 @@ HttpResponse HttpConnection::roundtrip(const std::string& wire) {
   std::size_t head_end = std::string::npos;
   while ((head_end = received.find("\r\n\r\n")) == std::string::npos) {
     const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (recv_timed_out(n)) throw timeout();
     if (n <= 0) throw IoError("connection closed before HTTP response headers");
     response_started_ = true;
     received.append(buf, static_cast<std::size_t>(n));
@@ -200,6 +238,7 @@ HttpResponse HttpConnection::roundtrip(const std::string& wire) {
   const std::size_t total = head_end + 4 + expected;
   while (received.size() < total) {
     const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (recv_timed_out(n)) throw timeout();
     if (n <= 0) throw IoError("connection closed mid HTTP response body");
     received.append(buf, static_cast<std::size_t>(n));
   }
@@ -222,6 +261,14 @@ HttpResponse HttpConnection::request(const std::string& method, const std::strin
   if (fd_ < 0) connect_socket();
   try {
     return roundtrip(wire);
+  } catch (const IoTimeout&) {
+    // A deadline expiry is not a stale-socket close: the server holds the
+    // connection and may still be executing the request. Resending here
+    // could double-submit a POST — surface the timeout and let the caller
+    // decide (the shard coordinator retries with backoff; its jobs are pure
+    // functions of the spec, so a duplicate merely wastes work).
+    close();
+    throw;
   } catch (const IoError&) {
     close();  // don't reuse a socket in an unknown protocol state
     // A reused socket may have been closed server-side (idle timeout,

@@ -11,8 +11,21 @@
 #include <string>
 
 #include "api/http.hpp"
+#include "common/error.hpp"
 
 namespace preempt::api {
+
+/// A request that hit its receive deadline: the peer accepted the connection
+/// (or an earlier request on it) but produced no bytes within the configured
+/// timeout. Distinct from plain IoError because the request MAY have
+/// executed server-side — the keep-alive reconnect-and-resend path must not
+/// auto-retry it (double-submitting a POST), while callers with idempotent
+/// or at-least-once semantics (the shard coordinator's dispatch/poll loop)
+/// treat it as retryable with backoff.
+class IoTimeout : public IoError {
+ public:
+  explicit IoTimeout(const std::string& message) : IoError(message) {}
+};
 
 /// Parse a complete serialized HTTP response (status line, headers,
 /// Content-Length body). Throws IoError on malformed input — including a
@@ -21,9 +34,12 @@ HttpResponse parse_http_response(const std::string& wire);
 
 /// Perform one request against 127.0.0.1:port on a fresh connection
 /// (Connection: close). Throws IoError on connection or protocol failures.
+/// `recv_timeout_seconds` > 0 bounds every read on the socket; a stalled
+/// server surfaces as IoTimeout instead of blocking forever.
 HttpResponse http_request(std::uint16_t port, const std::string& method,
                           const std::string& target, const std::string& body = "",
-                          const std::string& content_type = "application/json");
+                          const std::string& content_type = "application/json",
+                          double recv_timeout_seconds = 0.0);
 
 /// Convenience wrappers.
 HttpResponse http_get(std::uint16_t port, const std::string& target);
@@ -46,6 +62,14 @@ class HttpConnection {
   ~HttpConnection() { close(); }
   HttpConnection(const HttpConnection&) = delete;
   HttpConnection& operator=(const HttpConnection&) = delete;
+
+  /// Bound every socket read with a deadline (applies to the current socket
+  /// immediately and to every reconnect). A worker that accepts the
+  /// connection but never answers then fails the request with IoTimeout
+  /// instead of blocking the caller forever. 0 (the default) waits without
+  /// bound — the pre-deadline behaviour.
+  void set_recv_timeout(double seconds);
+  double recv_timeout() const noexcept { return recv_timeout_seconds_; }
 
   /// Perform one request, reusing the live socket when possible. Throws
   /// IoError on connection or protocol failures.
@@ -72,6 +96,7 @@ class HttpConnection {
 
   std::uint16_t port_;
   int fd_ = -1;
+  double recv_timeout_seconds_ = 0.0;  ///< 0 = no read deadline
   bool reused_ = false;            ///< fd_ already carried a request/response exchange
   bool response_started_ = false;  ///< roundtrip() saw response bytes (retry unsafe)
 };

@@ -93,6 +93,12 @@ JsonValue spec_to_json(const BagJobSpec& spec) {
   o.emplace_back("replications", spec.replications);
   if (!spec.scenario_name.empty()) o.emplace_back("scenario_name", spec.scenario_name);
   if (spec.scenario) o.emplace_back("scenario", scenario::to_json(*spec.scenario));
+  if (!spec.cells.empty()) {
+    JsonArray cells;
+    cells.reserve(spec.cells.size());
+    for (const auto& cell : spec.cells) cells.push_back(scenario::to_json(cell));
+    o.emplace_back("cells", std::move(cells));
+  }
   return JsonValue(std::move(o));
 }
 
@@ -113,6 +119,11 @@ BagJobSpec spec_from_json(const JsonValue& v) {
   spec.scenario_name = v.string_or("scenario_name", "");
   if (const JsonValue* sweep = v.find("scenario")) {
     spec.scenario = scenario::sweep_from_json(*sweep);
+  }
+  if (const JsonValue* cells = v.find("cells"); cells != nullptr && cells->is_array()) {
+    for (const JsonValue& cell : cells->as_array()) {
+      spec.cells.push_back(scenario::scenario_from_json(cell));
+    }
   }
   return spec;
 }

@@ -10,6 +10,7 @@
 #include "portfolio/optimizer.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/runner.hpp"
+#include "shard/metrics.hpp"
 #include "trace/generator.hpp"
 #include "trace/ground_truth.hpp"
 #include "trace/vm_catalog.hpp"
@@ -193,6 +194,9 @@ void ServiceDaemon::build_routes() {
   router_.add("GET", "/v1/portfolio", bind(&ServiceDaemon::portfolio_allocation));
   router_.add("POST", "/v1/portfolio", bind(&ServiceDaemon::portfolio_allocation));
   router_.add("GET", "/v1/scenarios", bind_const(&ServiceDaemon::list_scenarios));
+  // Registered before the {name} patterns: /v1/scenarios/run is the shard
+  // dispatch endpoint, never a scenario named "run".
+  router_.add("POST", "/v1/scenarios/run", bind(&ServiceDaemon::run_cells));
   router_.add("GET", "/v1/scenarios/{name}", bind_const(&ServiceDaemon::get_scenario));
   router_.add("POST", "/v1/scenarios/{name}/run", bind(&ServiceDaemon::run_scenario));
   router_.add("GET", "/v1/metrics", bind_const(&ServiceDaemon::get_metrics));
@@ -338,7 +342,7 @@ BagJobSpec ServiceDaemon::parse_bag_spec(const JsonValue& body, BagField fields)
 }
 
 void ServiceDaemon::execute_bag(BagJobRecord& record) {
-  if (record.spec.scenario) {
+  if (record.spec.scenario || !record.spec.cells.empty()) {
     execute_scenario(record);
     return;
   }
@@ -375,6 +379,19 @@ void ServiceDaemon::execute_bag(BagJobRecord& record) {
 }
 
 void ServiceDaemon::execute_scenario(BagJobRecord& record) {
+  if (!record.spec.cells.empty()) {
+    // Shard dispatch: run the explicit cell list in order. scenario::run is
+    // a pure function of the spec, so the per-cell results — serialized in
+    // the same {"name","spec","result"} shape run_sweep uses — are
+    // byte-identical to what a single-node sweep would have produced for
+    // these cells, which is what lets the coordinator's merge be exact.
+    scenario::SweepReport report;
+    for (const scenario::ScenarioSpec& cell : record.spec.cells) {
+      report.cells.push_back(scenario::SweepCellResult{cell, scenario::run(cell)});
+    }
+    record.scenario_result = scenario::to_json(report);
+    return;
+  }
   const scenario::SweepSpec& sweep = *record.spec.scenario;
   if (sweep.axes.empty()) {
     scenario::ScenarioResult result = scenario::run(sweep.base);
@@ -417,11 +434,15 @@ JsonValue ServiceDaemon::job_resource_json(const BagJobRecord& record) const {
     obj.emplace_back("id", record.id);
     obj.emplace_back("status", to_string(record.status));
     obj.emplace_back("scenario", record.spec.scenario_name);
-    obj.emplace_back("kind", record.spec.scenario
-                                 ? scenario::to_string(record.spec.scenario->base.kind)
-                                 : std::string("service"));
-    obj.emplace_back("cells",
-                     record.spec.scenario ? record.spec.scenario->cardinality() : 1);
+    obj.emplace_back("kind",
+                     record.spec.scenario
+                         ? scenario::to_string(record.spec.scenario->base.kind)
+                         : !record.spec.cells.empty()
+                               ? scenario::to_string(record.spec.cells.front().kind)
+                               : std::string("service"));
+    obj.emplace_back("cells", record.spec.scenario ? record.spec.scenario->cardinality()
+                              : !record.spec.cells.empty() ? record.spec.cells.size()
+                                                           : std::size_t{1});
     obj.emplace_back("replications", record.spec.replications);
     if (record.status == BagJobStatus::kDone) {
       if (single_service_cell) obj.emplace_back("report", job_report_json(record));
@@ -603,17 +624,64 @@ HttpResponse ServiceDaemon::run_scenario(RouteContext& ctx) {
   return response;
 }
 
+HttpResponse ServiceDaemon::run_cells(RouteContext& ctx) {
+  const JsonValue body = parse_body(ctx.req());
+  std::string label = "shard";
+  const JsonValue* cells = nullptr;
+  for (const auto& [key, value] : body.as_object()) {
+    if (key == "cells") {
+      cells = &value;
+    } else if (key == "label") {
+      require_arg(value.is_string() && !value.as_string().empty(),
+                  "label must be a non-empty string");
+      label = value.as_string();
+    } else {
+      return error_envelope(400, "invalid_argument", "unknown field '" + key + "'");
+    }
+  }
+  require_arg(cells != nullptr && cells->is_array() && !cells->as_array().empty(),
+              "cells must be a non-empty array of scenario specs");
+  require_arg(cells->as_array().size() <= scenario::kMaxSweepCells,
+              "cells must hold at most " + std::to_string(scenario::kMaxSweepCells) +
+                  " specs");
+
+  BagJobSpec spec;
+  spec.scenario_name = label;
+  spec.cells.reserve(cells->as_array().size());
+  // Parse + validate every cell before queueing (same contract as the named
+  // scenario route: a bad cell fails the request, not the job later).
+  for (const JsonValue& cell : cells->as_array()) {
+    scenario::ScenarioSpec s = scenario::scenario_from_json(cell);
+    scenario::validate(s);
+    spec.cells.push_back(std::move(s));
+  }
+  spec.seed = spec.cells.front().seed;
+  spec.replications = spec.cells.front().replications;
+
+  BagJobRecord snapshot;
+  snapshot.status = BagJobStatus::kQueued;
+  snapshot.spec = spec;
+  snapshot.id = bag_jobs_->submit(std::move(spec));
+  HttpResponse response = HttpResponse::json(202, job_resource_json(snapshot).dump());
+  response.headers["location"] = "/v1/bags/" + std::to_string(snapshot.id);
+  return response;
+}
+
 HttpResponse ServiceDaemon::get_metrics(RouteContext& ctx) const {
   const auto format = ctx.req().query("format");
   if (format && *format == "prometheus") {
-    HttpResponse response = HttpResponse::text(200, router_.metrics_prometheus());
+    // Router exposition plus the process-wide shard-coordinator series.
+    HttpResponse response = HttpResponse::text(
+        200, router_.metrics_prometheus() + shard::ShardMetricsRegistry::instance().prometheus());
     response.headers["content-type"] = "text/plain; version=0.0.4";
     return response;
   }
   if (format && *format != "json") {
     return error_envelope(400, "invalid_argument", "format must be json|prometheus");
   }
-  return HttpResponse::json(200, router_.metrics_json().dump());
+  JsonObject obj = router_.metrics_json().as_object();
+  obj.emplace_back("shard", shard::ShardMetricsRegistry::instance().to_json());
+  return HttpResponse::json(200, JsonValue(std::move(obj)).dump());
 }
 
 HttpResponse ServiceDaemon::get_bag_legacy(RouteContext& ctx) const {

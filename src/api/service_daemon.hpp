@@ -32,6 +32,12 @@
 //                                        the async job queue; body fields are
 //                                        spec overrides ({"seed","jobs",...});
 //                                        poll the returned /v1/bags/{id} resource
+//   POST /v1/scenarios/run               shard dispatch (src/shard coordinator):
+//                                        body {"cells":[<scenario spec>...],
+//                                        "label":"..."} runs each cell in order
+//                                        on the async queue; the done job's
+//                                        result is {"cells":[{"name","spec",
+//                                        "result"}...]} — a sweep-report slice
 //   GET  /v1/metrics                     per-route request counts and latency
 //                                        (?format=prometheus for text exposition)
 //
@@ -137,6 +143,9 @@ class ServiceDaemon {
   HttpResponse list_scenarios(RouteContext& ctx) const;
   HttpResponse get_scenario(RouteContext& ctx) const;
   HttpResponse run_scenario(RouteContext& ctx);
+  /// POST /v1/scenarios/run — shard dispatch: an explicit cell list
+  /// ({"cells":[<spec>...], "label":...}) queued as one async job.
+  HttpResponse run_cells(RouteContext& ctx);
   HttpResponse get_metrics(RouteContext& ctx) const;
 
   /// Regime from query parameters / JSON body fields (missing -> defaults).

@@ -5,6 +5,7 @@
 //   preempt scenario run --name paper-fig09-quick [--seed 7] [--replications 5]
 //   preempt scenario run --file my_scenario.json --json
 //   preempt scenario sweep --name paper-fig09a-cost --axes "vms=16,32;policy=model,fresh"
+//   preempt scenario sweep --name fleet-quick --workers 8080,8081,8082 [--hedge]
 //
 // `run` executes a named or file-provided scenario (a named sweep runs all
 // of its cells); `sweep` layers extra axes on top before expanding. Cells
@@ -22,6 +23,7 @@
 #include "scenario/registry.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/sweep.hpp"
+#include "shard/coordinator.hpp"
 
 namespace preempt::cli {
 
@@ -193,6 +195,41 @@ int run_cells(const SweepSpec& sweep, bool as_json, std::ostream& out) {
   return 0;
 }
 
+/// Scatter the sweep over a fleet of preempt-batchd workers (src/shard).
+/// --json output is the merged report — byte-identical to the single-node
+/// `run --json` output for the same seed when every cell finishes.
+int run_sharded(const SweepSpec& sweep, const FlagSet& flags, bool as_json, std::ostream& out,
+                std::ostream& err) {
+  shard::CoordinatorOptions options;
+  options.workers = shard::parse_workers(flags.get_string("workers"));
+  options.shards = static_cast<std::size_t>(flags.get_int("shards"));
+  options.hedge = flags.get_bool("hedge");
+  shard::ShardCoordinator coordinator(std::move(options));
+  const shard::ShardOutcome outcome = coordinator.run(sweep);
+  if (as_json) {
+    out << outcome.report.dump(2) << "\n";
+  } else {
+    Table table({"worker", "alive", "dispatched", "completed", "retried", "hedged"},
+                "sharded sweep over " + std::to_string(outcome.workers.size()) + " worker(s)");
+    for (const shard::WorkerRunStats& w : outcome.workers) {
+      table.add_row({w.endpoint, w.alive ? "yes" : "no", std::to_string(w.dispatched),
+                     std::to_string(w.completed), std::to_string(w.retried),
+                     std::to_string(w.hedged)});
+    }
+    out << table;
+    out << "cells merged: "
+        << outcome.report.find("cells")->as_array().size() << "  redispatches: "
+        << outcome.redispatches << "  hedges: " << outcome.hedges
+        << "  (use --json for the full merged report)\n";
+  }
+  if (!outcome.complete) {
+    err << "sharded sweep incomplete; unfinished cells:\n";
+    for (const std::string& name : outcome.unfinished_cells) err << "  " << name << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int cmd_scenario(const Args& args, std::ostream& out, std::ostream& err) {
@@ -205,6 +242,11 @@ int cmd_scenario(const Args& args, std::ostream& out, std::ostream& err) {
   flags.add_int("jobs", 100, "override the bag size");
   flags.add_int("vms", 32, "override the cluster size");
   flags.add_bool("json", "print results as JSON instead of tables");
+  flags.add_string("workers", "",
+                   "scatter cells over running preempt-batchd workers, e.g. "
+                   "\"8080,8081\" or \"127.0.0.1:8080,localhost:8081\"");
+  flags.add_int("shards", 0, "shard count for --workers (0 = one per worker)");
+  flags.add_bool("hedge", "with --workers: duplicate straggling shards onto idle workers");
   if (args.empty() || args[0] == "--help" || args[0] == "help") {
     out << flags.usage()
         << "\nverbs:\n"
@@ -244,9 +286,11 @@ int cmd_scenario(const Args& args, std::ostream& out, std::ostream& err) {
         sweep.axes.push_back(std::move(axis));
       }
     }
+    if (flags.is_set("workers")) return run_sharded(sweep, flags, flags.get_bool("json"), out, err);
     return run_cells(sweep, flags.get_bool("json"), out);
   }
   if (verb == "run") {
+    if (flags.is_set("workers")) return run_sharded(sweep, flags, flags.get_bool("json"), out, err);
     return run_cells(sweep, flags.get_bool("json"), out);
   }
   err << "preempt scenario: unknown verb '" << verb << "' (list|show|run|sweep)\n";

@@ -1,0 +1,420 @@
+#include "shard/coordinator.hpp"
+
+#include <charconv>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "api/api_client.hpp"
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "shard/metrics.hpp"
+#include "shard/partition.hpp"
+
+namespace preempt::shard {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+Clock::duration from_seconds(double seconds) {
+  return std::chrono::duration_cast<Clock::duration>(std::chrono::duration<double>(seconds));
+}
+
+enum class ShardState { kPending, kRunning, kDone, kFailed };
+
+struct WorkerState {
+  std::uint16_t port = 0;
+  std::string endpoint;
+  std::unique_ptr<api::ApiClient> client;
+  bool alive = true;
+  WorkerRunStats stats;
+};
+
+struct AttemptState {
+  std::size_t shard = 0;
+  std::size_t worker = 0;
+  std::uint64_t job_id = 0;
+  bool submitted = false;
+  bool hedge = false;
+  bool abandoned = false;
+  std::size_t failures = 0;  ///< consecutive transport failures
+  Clock::time_point started{};
+  Clock::time_point next_action{};
+};
+
+}  // namespace
+
+std::string to_string(ShardEvent event) {
+  switch (event) {
+    case ShardEvent::kDispatched:
+      return "dispatched";
+    case ShardEvent::kAllDispatched:
+      return "all_dispatched";
+    case ShardEvent::kShardDone:
+      return "shard_done";
+    case ShardEvent::kWorkerDead:
+      return "worker_dead";
+    case ShardEvent::kRedispatch:
+      return "redispatch";
+    case ShardEvent::kHedged:
+      return "hedged";
+  }
+  return "unknown";
+}
+
+ShardCoordinator::ShardCoordinator(CoordinatorOptions options) : options_(std::move(options)) {
+  if (options_.workers.empty()) {
+    throw InvalidArgument("shard coordinator needs at least one worker");
+  }
+  if (options_.max_attempts == 0) {
+    throw InvalidArgument("shard coordinator max_attempts must be >= 1");
+  }
+}
+
+ShardOutcome ShardCoordinator::run(const scenario::SweepSpec& sweep) {
+  return run_cells(scenario::expand(sweep));
+}
+
+ShardOutcome ShardCoordinator::run_cells(std::vector<scenario::ScenarioSpec> cells) {
+  if (cells.empty()) throw InvalidArgument("shard coordinator given no cells");
+
+  ShardMetricsRegistry& registry = ShardMetricsRegistry::instance();
+  const auto emit = [&](ShardEvent event, std::size_t shard, const std::string& endpoint) {
+    if (options_.observer) options_.observer(ShardEventInfo{event, shard, endpoint});
+  };
+
+  // --- fixed run state -----------------------------------------------------
+  const std::size_t shard_count =
+      options_.shards != 0 ? options_.shards : options_.workers.size();
+  const std::vector<std::vector<std::size_t>> shards =
+      partition_cells(cells.size(), shard_count);
+  std::vector<std::string> bodies;
+  bodies.reserve(shards.size());
+  for (const std::vector<std::size_t>& shard : shards) {
+    bodies.push_back(shard_body_json(cells, shard, options_.label));
+  }
+
+  std::vector<WorkerState> workers;
+  workers.reserve(options_.workers.size());
+  for (const std::uint16_t port : options_.workers) {
+    WorkerState w;
+    w.port = port;
+    w.endpoint = "127.0.0.1:" + std::to_string(port);
+    w.client = std::make_unique<api::ApiClient>(port);
+    w.client->set_recv_timeout(options_.request_timeout_seconds);
+    w.stats.endpoint = w.endpoint;
+    workers.push_back(std::move(w));
+  }
+
+  // --- mutable run state ---------------------------------------------------
+  std::vector<ShardState> shard_state(shards.size(), ShardState::kPending);
+  std::vector<bool> ever_dispatched(shards.size(), false);
+  std::vector<bool> hedged(shards.size(), false);
+  std::vector<AttemptState> attempts;
+  std::vector<JsonValue> results(cells.size());
+  std::vector<bool> have_result(cells.size(), false);
+  ShardOutcome outcome;
+  bool announced_all_dispatched = false;
+  std::size_t redispatch_cursor = 0;  // rotates re-dispatch load over survivors
+  const Clock::time_point run_started = Clock::now();
+  const Clock::time_point run_deadline =
+      run_started + from_seconds(options_.run_deadline_seconds);
+
+  const auto live_attempts_for = [&](std::size_t shard) {
+    std::size_t n = 0;
+    for (const AttemptState& a : attempts) {
+      if (!a.abandoned && a.shard == shard) ++n;
+    }
+    return n;
+  };
+  const auto backoff = [&](std::size_t failures) {
+    double delay = options_.backoff_base_seconds;
+    for (std::size_t i = 1; i < failures; ++i) delay *= 2.0;
+    return delay < options_.backoff_cap_seconds ? delay : options_.backoff_cap_seconds;
+  };
+  const auto abandon_shard_attempts = [&](std::size_t shard) {
+    for (AttemptState& a : attempts) {
+      if (a.shard == shard) a.abandoned = true;
+    }
+  };
+
+  // Retire a worker: every one of its live attempts is abandoned, and shards
+  // left without a live attempt go back to kPending for re-dispatch.
+  const auto kill_worker = [&](std::size_t wi) {
+    WorkerState& w = workers[wi];
+    if (!w.alive) return;
+    w.alive = false;
+    w.stats.alive = false;
+    PREEMPT_LOG_INFO << "shard: worker " << w.endpoint << " retired after "
+                     << options_.max_attempts << " consecutive failures";
+    emit(ShardEvent::kWorkerDead, 0, w.endpoint);
+    for (AttemptState& a : attempts) {
+      if (a.abandoned || a.worker != wi) continue;
+      a.abandoned = true;
+      registry.record_failure(w.endpoint);
+      if (shard_state[a.shard] == ShardState::kDone ||
+          shard_state[a.shard] == ShardState::kFailed) {
+        continue;
+      }
+      if (live_attempts_for(a.shard) == 0) shard_state[a.shard] = ShardState::kPending;
+    }
+  };
+
+  // One transport failure on attempt `a` against worker `wi`; the caller
+  // continues the control loop either way.
+  const auto attempt_failed = [&](AttemptState& a, std::size_t wi, const char* what,
+                                  const std::string& detail) {
+    WorkerState& w = workers[wi];
+    ++a.failures;
+    ++w.stats.retried;
+    registry.record_retry(w.endpoint);
+    PREEMPT_LOG_INFO << "shard: " << what << " to " << w.endpoint << " failed (attempt "
+                     << a.failures << "/" << options_.max_attempts << "): " << detail;
+    if (a.failures >= options_.max_attempts) {
+      kill_worker(wi);
+    } else {
+      a.next_action = Clock::now() + from_seconds(backoff(a.failures));
+    }
+  };
+
+  const auto complete_shard = [&](AttemptState& a, const api::BagJobInfo& job) {
+    if (shard_state[a.shard] == ShardState::kDone) {
+      a.abandoned = true;  // hedge loser: winner already merged
+      return;
+    }
+    adopt_shard_result(cells, shards[a.shard], job.scenario_result, results, have_result);
+    shard_state[a.shard] = ShardState::kDone;
+    WorkerState& w = workers[a.worker];
+    ++w.stats.completed;
+    registry.record_completion(w.endpoint, seconds_between(a.started, Clock::now()));
+    emit(ShardEvent::kShardDone, a.shard, w.endpoint);
+    abandon_shard_attempts(a.shard);
+  };
+
+  // --- control loop --------------------------------------------------------
+  while (true) {
+    const Clock::time_point now = Clock::now();
+    if (now >= run_deadline) {
+      PREEMPT_LOG_INFO << "shard: run deadline passed with unfinished cells";
+      break;
+    }
+    bool progress = false;
+
+    // Re-dispatch / first dispatch: create attempts for pending shards.
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      if (shard_state[s] != ShardState::kPending) continue;
+      std::size_t wi = workers.size();
+      if (!ever_dispatched[s]) {
+        // Deterministic initial spread: shard s -> configured worker s mod W.
+        if (workers[s % workers.size()].alive) wi = s % workers.size();
+      }
+      if (wi == workers.size()) {
+        for (std::size_t probe = 0; probe < workers.size(); ++probe) {
+          const std::size_t candidate = (redispatch_cursor + probe) % workers.size();
+          if (workers[candidate].alive) {
+            wi = candidate;
+            redispatch_cursor = candidate + 1;
+            break;
+          }
+        }
+      }
+      if (wi == workers.size()) continue;  // no healthy worker; stays pending
+      if (ever_dispatched[s]) {
+        ++outcome.redispatches;
+        emit(ShardEvent::kRedispatch, s, workers[wi].endpoint);
+      }
+      ever_dispatched[s] = true;
+      shard_state[s] = ShardState::kRunning;
+      AttemptState a;
+      a.shard = s;
+      a.worker = wi;
+      a.next_action = now;
+      attempts.push_back(a);
+      progress = true;
+    }
+
+    // Drive every live attempt that is due.
+    for (std::size_t i = 0; i < attempts.size(); ++i) {
+      AttemptState& a = attempts[i];
+      if (a.abandoned || Clock::now() < a.next_action) continue;
+      WorkerState& w = workers[a.worker];
+      if (!w.alive) {
+        a.abandoned = true;
+        continue;
+      }
+      if (!a.submitted) {
+        try {
+          const api::BagJobInfo job = w.client->run_cells(bodies[a.shard]);
+          a.job_id = job.id;
+          a.submitted = true;
+          a.failures = 0;
+          a.started = Clock::now();
+          a.next_action = a.started + from_seconds(options_.poll_interval_seconds);
+          ++w.stats.dispatched;
+          registry.record_dispatch(w.endpoint);
+          emit(ShardEvent::kDispatched, a.shard, w.endpoint);
+          progress = true;
+        } catch (const api::ApiError& e) {
+          if (e.status() != 503) throw;  // our own body was rejected: a coordinator bug
+          attempt_failed(a, a.worker, "dispatch", e.what());
+        } catch (const IoError& e) {
+          attempt_failed(a, a.worker, "dispatch", e.what());
+        }
+        continue;
+      }
+      try {
+        const api::BagJobInfo job = w.client->bag(a.job_id);
+        a.failures = 0;
+        if (job.status == "done") {
+          complete_shard(a, job);
+          progress = true;
+        } else if (job.status == "failed") {
+          // A cell threw. Cells are pure, so another worker would fail the
+          // same way: the whole shard is terminally failed, not retried.
+          PREEMPT_LOG_INFO << "shard: shard " << a.shard << " failed on " << w.endpoint
+                           << ": " << job.error;
+          shard_state[a.shard] = ShardState::kFailed;
+          abandon_shard_attempts(a.shard);
+          progress = true;
+        } else {
+          a.next_action = Clock::now() + from_seconds(options_.poll_interval_seconds);
+        }
+      } catch (const api::ApiError& e) {
+        // Any poll-side API error (503 shed, job evicted/lost) counts
+        // against the worker; persistent ones retire it and re-dispatch.
+        attempt_failed(a, a.worker, "poll", e.what());
+      } catch (const IoError& e) {
+        attempt_failed(a, a.worker, "poll", e.what());
+      }
+    }
+
+    // Announce full dispatch once every shard has been accepted somewhere.
+    if (!announced_all_dispatched) {
+      bool all = true;
+      for (std::size_t s = 0; s < shards.size() && all; ++s) {
+        bool has_submitted = false;
+        for (const AttemptState& a : attempts) {
+          if (!a.abandoned && a.shard == s && a.submitted) has_submitted = true;
+        }
+        all = has_submitted || shard_state[s] == ShardState::kDone ||
+              shard_state[s] == ShardState::kFailed;
+      }
+      if (all) {
+        announced_all_dispatched = true;
+        emit(ShardEvent::kAllDispatched, 0, "");
+      }
+    }
+
+    // Tail hedging: duplicate a lone straggler onto an idle healthy worker.
+    if (options_.hedge && announced_all_dispatched) {
+      for (std::size_t s = 0; s < shards.size(); ++s) {
+        if (shard_state[s] != ShardState::kRunning || hedged[s]) continue;
+        const AttemptState* straggler = nullptr;
+        for (const AttemptState& a : attempts) {
+          if (!a.abandoned && a.shard == s && a.submitted) straggler = &a;
+        }
+        if (straggler == nullptr || live_attempts_for(s) != 1) continue;
+        if (seconds_between(straggler->started, Clock::now()) < options_.hedge_after_seconds) {
+          continue;
+        }
+        std::size_t idle = workers.size();
+        for (std::size_t wi = 0; wi < workers.size() && idle == workers.size(); ++wi) {
+          if (!workers[wi].alive || wi == straggler->worker) continue;
+          bool busy = false;
+          for (const AttemptState& a : attempts) {
+            if (!a.abandoned && a.worker == wi) busy = true;
+          }
+          if (!busy) idle = wi;
+        }
+        if (idle == workers.size()) continue;
+        hedged[s] = true;
+        ++outcome.hedges;
+        ++workers[idle].stats.hedged;
+        registry.record_hedge(workers[idle].endpoint);
+        emit(ShardEvent::kHedged, s, workers[idle].endpoint);
+        AttemptState h;
+        h.shard = s;
+        h.worker = idle;
+        h.hedge = true;
+        h.next_action = Clock::now();
+        attempts.push_back(h);
+        progress = true;
+      }
+    }
+
+    // Terminal?
+    bool any_open = false;
+    bool any_pending = false;
+    for (const ShardState state : shard_state) {
+      if (state == ShardState::kPending) any_pending = true;
+      if (state != ShardState::kDone && state != ShardState::kFailed) any_open = true;
+    }
+    if (!any_open) break;
+    bool any_live = false;
+    for (const AttemptState& a : attempts) {
+      if (!a.abandoned) any_live = true;
+    }
+    bool any_healthy = false;
+    for (const WorkerState& w : workers) {
+      if (w.alive) any_healthy = true;
+    }
+    if (!any_live && (!any_pending || !any_healthy)) {
+      PREEMPT_LOG_INFO << "shard: no live attempts and no healthy worker to re-dispatch to";
+      break;
+    }
+    if (!progress) std::this_thread::sleep_for(from_seconds(options_.poll_interval_seconds));
+  }
+
+  // --- gather --------------------------------------------------------------
+  outcome.report = merge_report(cells, results, have_result);
+  outcome.complete = true;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (have_result[i]) continue;
+    outcome.complete = false;
+    outcome.unfinished_cells.push_back(cells[i].name);
+  }
+  for (WorkerState& w : workers) outcome.workers.push_back(w.stats);
+  return outcome;
+}
+
+std::vector<std::uint16_t> parse_workers(const std::string& text) {
+  std::vector<std::uint16_t> ports;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    std::string token = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    // Trim surrounding whitespace.
+    while (!token.empty() && (token.front() == ' ' || token.front() == '\t')) token.erase(0, 1);
+    while (!token.empty() && (token.back() == ' ' || token.back() == '\t')) token.pop_back();
+    if (token.empty()) {
+      throw InvalidArgument("--workers: empty entry in list \"" + text + "\"");
+    }
+    const std::size_t colon = token.rfind(':');
+    if (colon != std::string::npos) {
+      const std::string host = token.substr(0, colon);
+      if (host != "127.0.0.1" && host != "localhost") {
+        throw InvalidArgument("--workers: host \"" + host +
+                              "\" unsupported (the client dials loopback only; use "
+                              "127.0.0.1:<port>, localhost:<port> or a bare port)");
+      }
+      token = token.substr(colon + 1);
+    }
+    unsigned int value = 0;
+    const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc{} || ptr != token.data() + token.size() || value == 0 ||
+        value > 65535) {
+      throw InvalidArgument("--workers: bad port \"" + token + "\"");
+    }
+    ports.push_back(static_cast<std::uint16_t>(value));
+  }
+  return ports;
+}
+
+}  // namespace preempt::shard

@@ -1,0 +1,123 @@
+// Sharded sweep coordinator: scatter scenario cells over a fleet of
+// preempt-batchd workers, gather the per-cell results back into one report.
+//
+// The coordinator expands the sweep locally, partitions cells round-robin
+// (src/shard/partition.hpp), dispatches each shard to a worker via the
+// keep-alive ApiClient (POST /v1/scenarios/run, 202 + poll), and merges
+// worker results by global cell index — so for the same seed the merged
+// report is byte-identical to the single-node `run_sweep` report
+// (scenario::run is a pure function of the spec; workers contribute no
+// state of their own).
+//
+// Robustness model, all driven from one single-threaded control loop:
+//  * every request carries a receive deadline (a worker that accepts the
+//    socket but never answers costs one timeout, not a hang);
+//  * transport failures (connect refused, IoTimeout, 503 shed) retry with
+//    bounded exponential backoff; a worker that exhausts its attempts is
+//    marked dead and its in-flight shards re-dispatch to survivors;
+//  * optional tail hedging duplicates a straggling shard onto an idle
+//    healthy worker — first completion wins, the loser is discarded
+//    (duplicated work is safe precisely because cells are pure);
+//  * when cells cannot finish (every worker dead, or the run deadline
+//    passes) the coordinator returns a terminal partial-failure outcome
+//    naming the unfinished cells instead of hanging.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "scenario/sweep.hpp"
+
+namespace preempt::shard {
+
+/// Control-loop transitions, surfaced for observability and for tests that
+/// need a deterministic hook ("kill worker 0 once everything is in flight").
+enum class ShardEvent {
+  kDispatched,     ///< a shard's job was accepted (202) by a worker
+  kAllDispatched,  ///< every shard has an in-flight attempt
+  kShardDone,      ///< a shard's result was adopted into the merge
+  kWorkerDead,     ///< a worker exhausted its attempts and was retired
+  kRedispatch,     ///< a dead worker's shard was reassigned to a survivor
+  kHedged,         ///< a straggler was duplicated onto an idle worker
+};
+
+std::string to_string(ShardEvent event);
+
+struct ShardEventInfo {
+  ShardEvent event = ShardEvent::kDispatched;
+  std::size_t shard = 0;  ///< shard index (0 for kAllDispatched/kWorkerDead)
+  std::string endpoint;   ///< worker involved ("" for kAllDispatched)
+};
+
+/// Per-run, per-worker accounting (the process-global ShardMetricsRegistry
+/// accumulates the same counters across runs for /v1/metrics).
+struct WorkerRunStats {
+  std::string endpoint;
+  bool alive = true;
+  std::uint64_t dispatched = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t retried = 0;
+  std::uint64_t hedged = 0;
+};
+
+struct ShardOutcome {
+  /// True when every cell has a result (the merge is then byte-identical to
+  /// the single-node sweep report).
+  bool complete = false;
+  JsonValue report;  ///< merged {"cells":[...]} (partial when !complete)
+  /// Names of cells with no adopted result, grid order (empty iff complete).
+  std::vector<std::string> unfinished_cells;
+  std::vector<WorkerRunStats> workers;
+  std::size_t redispatches = 0;
+  std::size_t hedges = 0;
+};
+
+struct CoordinatorOptions {
+  /// Worker daemon ports (the HTTP client is loopback-only by design).
+  std::vector<std::uint16_t> workers;
+  /// Shard count; 0 (the default) means one shard per worker. Capped at the
+  /// cell count by partitioning.
+  std::size_t shards = 0;
+  std::string label = "shard";  ///< job label shown in worker listings
+  /// Per-request receive deadline (seconds) on every dispatch and poll.
+  double request_timeout_seconds = 10.0;
+  /// Consecutive transport failures before a worker is declared dead.
+  std::size_t max_attempts = 3;
+  double backoff_base_seconds = 0.05;  ///< doubled per failure, up to the cap
+  double backoff_cap_seconds = 1.0;
+  double poll_interval_seconds = 0.005;  ///< job-status poll cadence
+  /// Whole-run deadline; past it, still-running cells go unfinished.
+  double run_deadline_seconds = 120.0;
+  bool hedge = false;  ///< enable tail hedging
+  /// Age after which a lone straggling attempt is eligible for a hedge.
+  double hedge_after_seconds = 2.0;
+  /// Optional event hook, called synchronously from the control loop.
+  std::function<void(const ShardEventInfo&)> observer;
+};
+
+class ShardCoordinator {
+ public:
+  explicit ShardCoordinator(CoordinatorOptions options);
+
+  /// Expand the sweep locally and scatter its cells. Throws InvalidArgument
+  /// on empty worker lists or an invalid sweep (same validation as the
+  /// single-node path).
+  ShardOutcome run(const scenario::SweepSpec& sweep);
+
+  /// Scatter an explicit, already-validated cell list (the run() form and
+  /// the self-check both land here).
+  ShardOutcome run_cells(std::vector<scenario::ScenarioSpec> cells);
+
+ private:
+  CoordinatorOptions options_;
+};
+
+/// Parse the CLI --workers list: comma-separated ports or host:port pairs.
+/// The HTTP client only dials loopback, so hosts other than 127.0.0.1 /
+/// localhost are rejected with a clear message. Throws InvalidArgument.
+std::vector<std::uint16_t> parse_workers(const std::string& text);
+
+}  // namespace preempt::shard

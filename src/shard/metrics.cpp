@@ -1,0 +1,165 @@
+#include "shard/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace preempt::shard {
+
+namespace {
+
+/// Nearest-rank percentile over an unsorted sample set; 0 when empty.
+double percentile(std::vector<double> samples, double pct) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = pct / 100.0 * static_cast<double>(samples.size());
+  std::size_t index = static_cast<std::size_t>(std::ceil(rank));
+  if (index > 0) --index;
+  if (index >= samples.size()) index = samples.size() - 1;
+  return samples[index];
+}
+
+std::string gauge(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return std::string(buf);
+}
+
+std::string escape_label(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+ShardMetricsRegistry& ShardMetricsRegistry::instance() {
+  static ShardMetricsRegistry registry;
+  return registry;
+}
+
+void ShardMetricsRegistry::record_dispatch(const std::string& endpoint) {
+  const LockGuard lock(mutex_);
+  ++workers_[endpoint].dispatched;
+}
+
+void ShardMetricsRegistry::record_retry(const std::string& endpoint) {
+  const LockGuard lock(mutex_);
+  ++workers_[endpoint].retried;
+}
+
+void ShardMetricsRegistry::record_hedge(const std::string& endpoint) {
+  const LockGuard lock(mutex_);
+  ++workers_[endpoint].hedged;
+}
+
+void ShardMetricsRegistry::record_failure(const std::string& endpoint) {
+  const LockGuard lock(mutex_);
+  ++workers_[endpoint].failed;
+}
+
+void ShardMetricsRegistry::record_completion(const std::string& endpoint,
+                                             double latency_seconds) {
+  const LockGuard lock(mutex_);
+  Worker& w = workers_[endpoint];
+  ++w.completed;
+  w.latencies_seconds.push_back(latency_seconds);
+}
+
+std::vector<WorkerMetrics> ShardMetricsRegistry::snapshot() const {
+  const LockGuard lock(mutex_);
+  std::vector<WorkerMetrics> out;
+  out.reserve(workers_.size());
+  for (const auto& [endpoint, w] : workers_) {  // std::map: already endpoint-sorted
+    WorkerMetrics m;
+    m.endpoint = endpoint;
+    m.dispatched = w.dispatched;
+    m.retried = w.retried;
+    m.hedged = w.hedged;
+    m.failed = w.failed;
+    m.completed = w.completed;
+    m.p50_seconds = percentile(w.latencies_seconds, 50.0);
+    m.p99_seconds = percentile(w.latencies_seconds, 99.0);
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+JsonValue ShardMetricsRegistry::to_json() const {
+  JsonArray rows;
+  std::uint64_t dispatched = 0;
+  std::uint64_t completed = 0;
+  for (const WorkerMetrics& m : snapshot()) {
+    dispatched += m.dispatched;
+    completed += m.completed;
+    JsonObject row;
+    row.emplace_back("endpoint", m.endpoint);
+    row.emplace_back("dispatched", m.dispatched);
+    row.emplace_back("retried", m.retried);
+    row.emplace_back("hedged", m.hedged);
+    row.emplace_back("failed", m.failed);
+    row.emplace_back("completed", m.completed);
+    row.emplace_back("p50_latency_seconds", m.p50_seconds);
+    row.emplace_back("p99_latency_seconds", m.p99_seconds);
+    rows.emplace_back(std::move(row));
+  }
+  JsonObject obj;
+  obj.emplace_back("shards_dispatched", dispatched);
+  obj.emplace_back("shards_completed", completed);
+  obj.emplace_back("workers", std::move(rows));
+  return JsonValue(std::move(obj));
+}
+
+std::string ShardMetricsRegistry::prometheus() const {
+  const std::vector<WorkerMetrics> snap = snapshot();
+  auto counter_series = [&](const std::string& name, const std::string& help,
+                            auto value_of) {
+    std::string out = "# HELP " + name + " " + help + "\n# TYPE " + name + " counter\n";
+    for (const WorkerMetrics& m : snap) {
+      out += name + "{worker=\"" + escape_label(m.endpoint) + "\"} " +
+             std::to_string(value_of(m)) + "\n";
+    }
+    return out;
+  };
+  std::string out;
+  out += counter_series("preempt_shard_dispatched_total",
+                        "Shard dispatch attempts per worker (re-dispatch included).",
+                        [](const WorkerMetrics& m) { return m.dispatched; });
+  out += counter_series("preempt_shard_retried_total",
+                        "Backoff retries of shard requests per worker.",
+                        [](const WorkerMetrics& m) { return m.retried; });
+  out += counter_series("preempt_shard_hedged_total",
+                        "Hedge duplicates dispatched per worker.",
+                        [](const WorkerMetrics& m) { return m.hedged; });
+  out += counter_series("preempt_shard_failed_total",
+                        "Shard attempts abandoned per worker.",
+                        [](const WorkerMetrics& m) { return m.failed; });
+  out += counter_series("preempt_shard_completed_total",
+                        "Shards whose adopted result came from this worker.",
+                        [](const WorkerMetrics& m) { return m.completed; });
+  std::string lat = "# HELP preempt_shard_latency_seconds Completed-shard latency quantiles.\n";
+  lat += "# TYPE preempt_shard_latency_seconds gauge\n";
+  for (const WorkerMetrics& m : snap) {
+    lat += "preempt_shard_latency_seconds{worker=\"" + escape_label(m.endpoint) +
+           "\",quantile=\"0.5\"} " + gauge(m.p50_seconds) + "\n";
+    lat += "preempt_shard_latency_seconds{worker=\"" + escape_label(m.endpoint) +
+           "\",quantile=\"0.99\"} " + gauge(m.p99_seconds) + "\n";
+  }
+  out += lat;
+  return out;
+}
+
+void ShardMetricsRegistry::reset() {
+  const LockGuard lock(mutex_);
+  workers_.clear();
+}
+
+}  // namespace preempt::shard

@@ -1,0 +1,73 @@
+// Coordinator-side observability for sharded sweeps.
+//
+// One process-global registry (the coordinator and the daemon share a
+// process in tests, the self-check, and the single-binary CLI, so the
+// daemon's GET /v1/metrics can export coordinator counters without any
+// plumbing between the two). Per worker endpoint it tracks how many shards
+// were dispatched / retried / hedged / failed / completed and the completed
+// shards' wall latencies, summarised as p50/p99.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace preempt::shard {
+
+/// One worker's counters as exported (latencies already reduced).
+struct WorkerMetrics {
+  std::string endpoint;
+  std::uint64_t dispatched = 0;  ///< shard dispatch attempts (incl. re-dispatch)
+  std::uint64_t retried = 0;     ///< backoff retries of a dispatch/poll
+  std::uint64_t hedged = 0;      ///< hedge duplicates sent to this worker
+  std::uint64_t failed = 0;      ///< attempts abandoned (worker marked dead)
+  std::uint64_t completed = 0;   ///< shards whose result this worker supplied
+  double p50_seconds = 0.0;      ///< completed-shard latency percentiles
+  double p99_seconds = 0.0;
+};
+
+class ShardMetricsRegistry {
+ public:
+  static ShardMetricsRegistry& instance();
+
+  void record_dispatch(const std::string& endpoint);
+  void record_retry(const std::string& endpoint);
+  void record_hedge(const std::string& endpoint);
+  void record_failure(const std::string& endpoint);
+  void record_completion(const std::string& endpoint, double latency_seconds);
+
+  /// Endpoint-sorted snapshot.
+  std::vector<WorkerMetrics> snapshot() const;
+
+  /// {"workers":[{...}...], "shards_dispatched": N, ...} — merged into the
+  /// daemon's /v1/metrics JSON under the "shard" key.
+  JsonValue to_json() const;
+
+  /// preempt_shard_* series in the exposition format (counters rendered as
+  /// exact integers, matching Router::metrics_prometheus).
+  std::string prometheus() const;
+
+  /// Drop all state (tests and the self-check isolate their runs with this).
+  void reset();
+
+ private:
+  struct Worker {
+    std::uint64_t dispatched = 0;
+    std::uint64_t retried = 0;
+    std::uint64_t hedged = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t completed = 0;
+    std::vector<double> latencies_seconds;
+  };
+
+  ShardMetricsRegistry() = default;
+
+  mutable Mutex mutex_{"shard.metrics"};
+  std::map<std::string, Worker> workers_ PREEMPT_GUARDED_BY(mutex_);
+};
+
+}  // namespace preempt::shard

@@ -1,0 +1,85 @@
+#include "shard/partition.hpp"
+
+#include "common/error.hpp"
+#include "scenario/scenario.hpp"
+
+namespace preempt::shard {
+
+std::vector<std::vector<std::size_t>> partition_cells(std::size_t cell_count,
+                                                      std::size_t shard_count) {
+  if (shard_count == 0) throw InvalidArgument("partition_cells: shard_count must be >= 1");
+  const std::size_t shards = shard_count < cell_count ? shard_count : cell_count;
+  std::vector<std::vector<std::size_t>> out(shards);
+  for (std::size_t i = 0; i < cell_count; ++i) out[i % shards].push_back(i);
+  return out;
+}
+
+std::string shard_body_json(const std::vector<scenario::ScenarioSpec>& cells,
+                            const std::vector<std::size_t>& shard,
+                            const std::string& label) {
+  JsonArray cell_json;
+  cell_json.reserve(shard.size());
+  for (const std::size_t index : shard) {
+    if (index >= cells.size()) throw InvalidArgument("shard_body_json: cell index out of range");
+    cell_json.push_back(scenario::to_json(cells[index]));
+  }
+  JsonObject body;
+  body.emplace_back("cells", JsonValue(std::move(cell_json)));
+  body.emplace_back("label", label);
+  return JsonValue(std::move(body)).dump();
+}
+
+void adopt_shard_result(const std::vector<scenario::ScenarioSpec>& cells,
+                        const std::vector<std::size_t>& shard,
+                        const JsonValue& shard_result, std::vector<JsonValue>& results,
+                        std::vector<bool>& have_result) {
+  const JsonValue* reported = shard_result.find("cells");
+  if (reported == nullptr || !reported->is_array()) {
+    throw InvalidArgument("shard result missing \"cells\" array");
+  }
+  const JsonArray& rows = reported->as_array();
+  if (rows.size() != shard.size()) {
+    throw InvalidArgument("shard result has " + std::to_string(rows.size()) +
+                          " cells, expected " + std::to_string(shard.size()));
+  }
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const std::size_t global = shard[k];
+    if (global >= cells.size()) {
+      throw InvalidArgument("adopt_shard_result: cell index out of range");
+    }
+    const std::string name = rows[k].string_or("name", "");
+    if (name != cells[global].name) {
+      throw InvalidArgument("shard result cell " + std::to_string(k) + " is \"" + name +
+                            "\", expected \"" + cells[global].name + "\"");
+    }
+    const JsonValue* result = rows[k].find("result");
+    if (result == nullptr) {
+      throw InvalidArgument("shard result cell \"" + name + "\" missing \"result\"");
+    }
+    results[global] = *result;
+    have_result[global] = true;
+  }
+}
+
+JsonValue merge_report(const std::vector<scenario::ScenarioSpec>& cells,
+                       const std::vector<JsonValue>& results,
+                       const std::vector<bool>& have_result) {
+  JsonArray rows;
+  rows.reserve(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (!have_result[i]) continue;
+    // Same row shape and key order as scenario::to_json(SweepReport): the
+    // spec is re-rendered locally, so only "result" carries worker bytes —
+    // and those round-trip bit-exactly through the JSON writer.
+    JsonObject row;
+    row.emplace_back("name", cells[i].name);
+    row.emplace_back("spec", scenario::to_json(cells[i]));
+    row.emplace_back("result", results[i]);
+    rows.push_back(JsonValue(std::move(row)));
+  }
+  JsonObject report;
+  report.emplace_back("cells", JsonValue(std::move(rows)));
+  return JsonValue(std::move(report));
+}
+
+}  // namespace preempt::shard

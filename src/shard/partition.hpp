@@ -1,0 +1,52 @@
+// Deterministic cell -> shard assignment and gather-exact merge.
+//
+// The coordinator expands a sweep locally (the same scenario::expand every
+// single-node path uses), assigns cell i to shard i mod N, and — because a
+// round-robin slice of a cartesian grid is not itself a sub-grid — dispatches
+// each shard as an explicit cell list (POST /v1/scenarios/run). Merging puts
+// worker results back by global cell index, so the merged report is in grid
+// order no matter which worker finished when, and its bytes match the
+// single-node sweep report exactly (scenario::run is a pure function of the
+// spec, and JSON numbers round-trip bit-exactly through dump/parse).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "scenario/sweep.hpp"
+
+namespace preempt::shard {
+
+/// Global cell indices per shard. partition_cells(C, N) yields
+/// min(N, C) shards; shard s holds cells {s, s+N, s+2N, ...} in ascending
+/// order — a pure function of (C, N), never of timing or worker identity.
+std::vector<std::vector<std::size_t>> partition_cells(std::size_t cell_count,
+                                                      std::size_t shard_count);
+
+/// The {"cells":[<spec json>...]} dispatch body for one shard.
+std::string shard_body_json(const std::vector<scenario::ScenarioSpec>& cells,
+                            const std::vector<std::size_t>& shard,
+                            const std::string& label);
+
+/// Pull the per-cell "result" payloads out of a worker's completed shard
+/// job ({"cells":[{"name","spec","result"}...]}) into `results` at the
+/// global indices in `shard`. Throws InvalidArgument when the worker's
+/// answer does not line up with the dispatched cells (count or name
+/// mismatch) — a merge must be exact or not happen at all.
+void adopt_shard_result(const std::vector<scenario::ScenarioSpec>& cells,
+                        const std::vector<std::size_t>& shard,
+                        const JsonValue& shard_result, std::vector<JsonValue>& results,
+                        std::vector<bool>& have_result);
+
+/// Assemble the merged sweep report from per-cell results in global grid
+/// order: {"cells":[{"name","spec","result"}...]}, byte-identical to
+/// scenario::to_json(run_sweep(...)) when every cell is present. Cells
+/// without a result (partial failure) are skipped — the coordinator reports
+/// them separately by name.
+JsonValue merge_report(const std::vector<scenario::ScenarioSpec>& cells,
+                       const std::vector<JsonValue>& results,
+                       const std::vector<bool>& have_result);
+
+}  // namespace preempt::shard

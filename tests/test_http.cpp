@@ -537,5 +537,69 @@ TEST(HttpServer, ShedFloodDoesNotStallTheAcceptLoop) {
   server.stop();
 }
 
+// ----------------------------------------------------- client recv deadline
+
+/// A listener that accepts into the kernel backlog but never serves: the
+/// client's connect() succeeds, its request is swallowed, and no byte ever
+/// comes back — the shape of a worker that wedged after accept().
+class StallingListener {
+ public:
+  StallingListener() {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    EXPECT_EQ(::listen(fd_, 8), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+    port_ = ntohs(addr.sin_port);
+  }
+  ~StallingListener() { ::close(fd_); }
+  std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+// Regression: without a receive deadline, a wedged server blocked the
+// one-shot client forever. With one, the read fails as IoTimeout promptly.
+TEST(HttpClientRecvTimeout, OneShotRequestTimesOutOnAWedgedServer) {
+  StallingListener stall;
+  const auto begin = std::chrono::steady_clock::now();
+  EXPECT_THROW(
+      http_request(stall.port(), "GET", "/healthz", "", "application/json", 0.2),
+      IoTimeout);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin).count();
+  EXPECT_LT(elapsed, 3.0) << "deadline must bound the read, not hang";
+}
+
+// The keep-alive connection path: same deadline, and crucially the timeout
+// must NOT trigger the stale-socket resend (the server may have started
+// executing a POST it never answered; resending could double-submit).
+TEST(HttpClientRecvTimeout, ConnectionTimesOutWithoutRetrying) {
+  StallingListener stall;
+  HttpConnection conn(stall.port());
+  conn.set_recv_timeout(0.2);
+  EXPECT_DOUBLE_EQ(conn.recv_timeout(), 0.2);
+  const auto begin = std::chrono::steady_clock::now();
+  EXPECT_THROW(conn.request("POST", "/v1/bags", "{}"), IoTimeout);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin).count();
+  // A retry would roughly double the wait; one timeout stays close to 0.2s.
+  EXPECT_LT(elapsed, 1.0);
+}
+
+TEST(HttpClientRecvTimeout, ZeroMeansUnboundedStaysTheDefault) {
+  HttpConnection conn_default(1);  // never connected; just inspect the knob
+  EXPECT_DOUBLE_EQ(conn_default.recv_timeout(), 0.0);
+  conn_default.set_recv_timeout(-3.0);  // negatives clamp to "unbounded"
+  EXPECT_DOUBLE_EQ(conn_default.recv_timeout(), 0.0);
+}
+
 }  // namespace
 }  // namespace preempt::api

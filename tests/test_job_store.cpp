@@ -136,6 +136,31 @@ TEST(JobRecord, RoundTripsScenarioResultWhenDone) {
   EXPECT_EQ(back.scenario_result.number_or("cells", 0), 1.0);
 }
 
+TEST(JobRecord, RoundTripsExplicitCellListJobs) {
+  BagJobRecord record = sample_done_record(13);
+  record.spec.scenario_name = "shard-2/3";
+  scenario::ScenarioSpec cell;
+  cell.name = "cell-a";
+  cell.app = "shapes";
+  cell.jobs = 5;
+  cell.seed = 17;
+  record.spec.cells.push_back(cell);
+  cell.name = "cell-b";
+  cell.seed = 18;
+  record.spec.cells.push_back(cell);
+
+  const BagJobRecord back = job_record_from_json(job_record_to_json(record));
+  EXPECT_EQ(back.spec.scenario_name, "shard-2/3");
+  ASSERT_EQ(back.spec.cells.size(), 2u);
+  EXPECT_EQ(back.spec.cells[0].name, "cell-a");
+  EXPECT_EQ(back.spec.cells[0].seed, 17u);
+  EXPECT_EQ(back.spec.cells[1].name, "cell-b");
+  EXPECT_EQ(back.spec.cells[1].seed, 18u);
+  EXPECT_EQ(back.spec.cells[1].jobs, 5u);
+  // A cells job without a SweepSpec must not grow one across the journal.
+  EXPECT_FALSE(back.spec.scenario.has_value());
+}
+
 // ---------------------------------------------------------------- replay
 
 TEST(JournalReplay, MissingFileIsEmptyState) {

@@ -10,6 +10,8 @@
 #include "api/api_client.hpp"
 #include "api/http_client.hpp"
 #include "common/json.hpp"
+#include "scenario/scenario.hpp"
+#include "shard/metrics.hpp"
 
 namespace preempt::api {
 namespace {
@@ -556,6 +558,94 @@ TEST_F(ServiceApiTest, ScenarioSweepRunsAllCellsInOneJob) {
   ASSERT_NE(cells, nullptr);
   ASSERT_EQ(cells->as_array().size(), 3u);
   EXPECT_NE(cells->as_array()[1].string_or("name", "").find("app=shapes"), std::string::npos);
+}
+
+/// A small valid service cell for the shard-dispatch endpoint tests.
+std::string cell_json(const std::string& name, std::uint64_t seed) {
+  scenario::ScenarioSpec spec;
+  spec.name = name;
+  spec.app = "shapes";
+  spec.jobs = 5;
+  spec.cluster_size = 4;
+  spec.seed = seed;
+  return scenario::to_json(spec).dump();
+}
+
+TEST_F(ServiceApiTest, RunCellsValidatesTheDispatchBody) {
+  // Missing / malformed "cells".
+  EXPECT_EQ(daemon().handle(post("/v1/scenarios/run", "{}")).status, 400);
+  EXPECT_EQ(daemon().handle(post("/v1/scenarios/run", R"({"cells":[]})")).status, 400);
+  EXPECT_EQ(daemon().handle(post("/v1/scenarios/run", R"({"cells":42})")).status, 400);
+  // Unknown top-level field and bad label.
+  EXPECT_EQ(daemon()
+                .handle(post("/v1/scenarios/run",
+                             R"({"cells":[)" + cell_json("c", 1) + R"(],"nope":1})"))
+                .status,
+            400);
+  EXPECT_EQ(daemon()
+                .handle(post("/v1/scenarios/run",
+                             R"({"cells":[)" + cell_json("c", 1) + R"(],"label":""})"))
+                .status,
+            400);
+  // A bad cell fails the request up front, not the job later.
+  const auto bad_cell = daemon().handle(
+      post("/v1/scenarios/run", R"({"cells":[{"kind":"service","nope":true}]})"));
+  EXPECT_EQ(bad_cell.status, 400);
+  EXPECT_NE(parse_json(bad_cell.body).find("error")->string_or("message", "").find("nope"),
+            std::string::npos);
+}
+
+TEST_F(ServiceApiTest, RunCellsExecutesAnExplicitCellList) {
+  const std::string body = R"({"cells":[)" + cell_json("cell-a", 7) + "," +
+                           cell_json("cell-b", 8) + R"(],"label":"shard-1/2"})";
+  const auto created = daemon().handle(post("/v1/scenarios/run", body));
+  ASSERT_EQ(created.status, 202);
+  const JsonValue queued = parse_json(created.body);
+  EXPECT_EQ(queued.string_or("scenario", ""), "shard-1/2");
+  EXPECT_EQ(queued.number_or("cells", 0), 2.0);
+  const auto id = static_cast<std::uint64_t>(queued.number_or("id", 0));
+  ASSERT_GT(id, 0u);
+  EXPECT_EQ(created.headers.at("location"), "/v1/bags/" + std::to_string(id));
+  ASSERT_TRUE(daemon().wait_for_bag(id, 120.0));
+
+  const JsonValue job = parse_json(daemon().handle(get("/v1/bags/" + std::to_string(id))).body);
+  ASSERT_EQ(job.string_or("status", ""), "done");
+  const JsonValue* cells = job.find("result")->find("cells");
+  ASSERT_NE(cells, nullptr);
+  ASSERT_EQ(cells->as_array().size(), 2u);
+  // Dispatch order is preserved and each row carries the sweep-report shape.
+  EXPECT_EQ(cells->as_array()[0].string_or("name", ""), "cell-a");
+  EXPECT_EQ(cells->as_array()[1].string_or("name", ""), "cell-b");
+  EXPECT_NE(cells->as_array()[0].find("spec"), nullptr);
+  const JsonValue* report = cells->as_array()[0].find("result")->find("report");
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->number_or("jobs_completed", 0), 5.0);
+}
+
+TEST_F(ServiceApiTest, MetricsExportShardCoordinatorCounters) {
+  shard::ShardMetricsRegistry::instance().reset();
+  shard::ShardMetricsRegistry::instance().record_dispatch("127.0.0.1:19999");
+  shard::ShardMetricsRegistry::instance().record_completion("127.0.0.1:19999", 0.25);
+
+  const JsonValue metrics = parse_json(daemon().handle(get("/v1/metrics")).body);
+  const JsonValue* block = metrics.find("shard");
+  ASSERT_NE(block, nullptr);
+  EXPECT_EQ(block->number_or("shards_dispatched", 0), 1.0);
+  EXPECT_EQ(block->number_or("shards_completed", 0), 1.0);
+  const JsonValue& worker = block->find("workers")->as_array().at(0);
+  EXPECT_EQ(worker.string_or("endpoint", ""), "127.0.0.1:19999");
+  EXPECT_EQ(worker.number_or("p50_latency_seconds", 0), 0.25);
+
+  const auto prom = daemon().handle(get("/v1/metrics?format=prometheus"));
+  ASSERT_EQ(prom.status, 200);
+  EXPECT_NE(prom.body.find("# TYPE preempt_shard_dispatched_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.body.find("preempt_shard_dispatched_total{worker=\"127.0.0.1:19999\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.body.find("preempt_shard_latency_seconds{worker=\"127.0.0.1:19999\","
+                           "quantile=\"0.5\"} 0.25"),
+            std::string::npos);
+  shard::ShardMetricsRegistry::instance().reset();
 }
 
 TEST_F(ServiceApiTest, MetricsPrometheusExposition) {

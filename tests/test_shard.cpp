@@ -1,0 +1,436 @@
+// The sharded sweep coordinator (src/shard): deterministic partitioning,
+// gather-exact merging for every registered sweep, end-to-end byte-identity
+// against the single-node sweep report over live worker daemons, worker
+// failure -> re-dispatch, tail hedging, and terminal partial-failure
+// reporting.
+#include "shard/coordinator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+
+#include "api/http_server.hpp"
+#include "api/service_daemon.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/sweep.hpp"
+#include "shard/metrics.hpp"
+#include "shard/partition.hpp"
+
+namespace preempt::shard {
+namespace {
+
+const std::size_t kShardCounts[] = {1, 2, 3, 7};
+
+// ---------------------------------------------------------------- partition
+
+TEST(Partition, RoundRobinCoversEveryCellExactlyOnce) {
+  for (const std::size_t cells : {1u, 2u, 5u, 12u, 97u}) {
+    for (const std::size_t shards : kShardCounts) {
+      const auto assignment = partition_cells(cells, shards);
+      ASSERT_EQ(assignment.size(), std::min<std::size_t>(shards, cells));
+      std::vector<int> seen(cells, 0);
+      for (const auto& shard : assignment) {
+        for (std::size_t prev = 0, k = 0; k < shard.size(); ++k) {
+          ASSERT_LT(shard[k], cells);
+          if (k > 0) EXPECT_GT(shard[k], prev) << "cells within a shard ascend";
+          prev = shard[k];
+          ++seen[shard[k]];
+        }
+      }
+      for (const int count : seen) EXPECT_EQ(count, 1);
+      // Balanced to within one cell.
+      std::size_t smallest = cells, largest = 0;
+      for (const auto& shard : assignment) {
+        smallest = std::min(smallest, shard.size());
+        largest = std::max(largest, shard.size());
+      }
+      EXPECT_LE(largest - smallest, 1u);
+    }
+  }
+}
+
+TEST(Partition, AssignmentIsDeterministic) {
+  EXPECT_EQ(partition_cells(37, 7), partition_cells(37, 7));
+  EXPECT_EQ(partition_cells(37, 7)[0], (std::vector<std::size_t>{0, 7, 14, 21, 28, 35}));
+}
+
+TEST(Partition, RejectsZeroShards) {
+  EXPECT_THROW(partition_cells(4, 0), InvalidArgument);
+}
+
+// What a worker sends back for one dispatched shard, built from the same
+// serializers the daemon uses.
+JsonValue fake_worker_response(const std::vector<scenario::ScenarioSpec>& cells,
+                               const std::vector<std::size_t>& shard,
+                               const std::vector<JsonValue>& results) {
+  JsonArray rows;
+  for (const std::size_t index : shard) {
+    JsonObject row;
+    row.emplace_back("name", cells[index].name);
+    row.emplace_back("spec", scenario::to_json(cells[index]));
+    row.emplace_back("result", results[index]);
+    rows.push_back(JsonValue(std::move(row)));
+  }
+  JsonObject body;
+  body.emplace_back("cells", JsonValue(std::move(rows)));
+  return JsonValue(std::move(body));
+}
+
+std::vector<JsonValue> synthetic_results(std::size_t count) {
+  std::vector<JsonValue> results;
+  for (std::size_t i = 0; i < count; ++i) {
+    JsonObject r;
+    r.emplace_back("cell_index", i);
+    r.emplace_back("value", 0.1 * static_cast<double>(i) + 1.0 / 3.0);
+    results.push_back(JsonValue(std::move(r)));
+  }
+  return results;
+}
+
+// Scatter/gather at the merge layer is byte-exact for EVERY registered sweep
+// scenario and every shard count: splitting the grid N ways and adopting the
+// (synthetic) per-cell results back reproduces the grid-order report bit for
+// bit, independent of N. This covers the whole registry without paying for
+// cell execution; live execution is covered below on a cheap sweep.
+TEST(Partition, MergeReconstructsEveryRegisteredSweepByteExactly) {
+  for (const scenario::NamedScenario& named : scenario::builtin_scenarios()) {
+    const std::vector<scenario::ScenarioSpec> cells = scenario::expand(named.sweep);
+    const std::vector<JsonValue> results = synthetic_results(cells.size());
+    const std::vector<bool> all(cells.size(), true);
+    const std::string expected = merge_report(cells, results, all).dump();
+    for (const std::size_t shard_count : kShardCounts) {
+      std::vector<JsonValue> gathered(cells.size());
+      std::vector<bool> have(cells.size(), false);
+      for (const auto& shard : partition_cells(cells.size(), shard_count)) {
+        adopt_shard_result(cells, shard, fake_worker_response(cells, shard, results),
+                           gathered, have);
+      }
+      EXPECT_EQ(merge_report(cells, gathered, have).dump(), expected)
+          << named.name << " over " << shard_count << " shards";
+    }
+  }
+}
+
+TEST(Partition, AdoptRejectsMismatchedWorkerAnswers) {
+  scenario::SweepSpec sweep;
+  sweep.base.name = "adopt";
+  sweep.base.app = "shapes";
+  scenario::SweepAxis seeds;
+  seeds.field = "seed";
+  seeds.values = {JsonValue(1), JsonValue(2)};
+  sweep.axes.push_back(seeds);
+  const auto cells = scenario::expand(sweep);
+  const auto results = synthetic_results(cells.size());
+  const std::vector<std::size_t> shard{0, 1};
+  std::vector<JsonValue> gathered(cells.size());
+  std::vector<bool> have(cells.size(), false);
+
+  // Not an object with "cells".
+  EXPECT_THROW(adopt_shard_result(cells, shard, JsonValue(JsonArray{}), gathered, have),
+               InvalidArgument);
+  // Wrong cell count.
+  EXPECT_THROW(adopt_shard_result(cells, {0}, fake_worker_response(cells, shard, results),
+                                  gathered, have),
+               InvalidArgument);
+  // Wrong cell name.
+  JsonValue renamed = fake_worker_response(cells, shard, results);
+  EXPECT_THROW(adopt_shard_result(cells, {1, 0}, renamed, gathered, have), InvalidArgument);
+  for (const bool flag : have) EXPECT_FALSE(flag) << "failed adopts must not half-merge";
+}
+
+// ------------------------------------------------------------ parse_workers
+
+TEST(ParseWorkers, AcceptsPortsAndLoopbackHostPorts) {
+  EXPECT_EQ(parse_workers("8080"), (std::vector<std::uint16_t>{8080}));
+  EXPECT_EQ(parse_workers("8080,8081, 8082"), (std::vector<std::uint16_t>{8080, 8081, 8082}));
+  EXPECT_EQ(parse_workers("127.0.0.1:9001,localhost:9002"),
+            (std::vector<std::uint16_t>{9001, 9002}));
+}
+
+TEST(ParseWorkers, RejectsBadEntries) {
+  EXPECT_THROW(parse_workers(""), InvalidArgument);
+  EXPECT_THROW(parse_workers("8080,,8081"), InvalidArgument);
+  EXPECT_THROW(parse_workers("example.com:80"), InvalidArgument);
+  EXPECT_THROW(parse_workers("10.0.0.1:80"), InvalidArgument);
+  EXPECT_THROW(parse_workers("notaport"), InvalidArgument);
+  EXPECT_THROW(parse_workers("0"), InvalidArgument);
+  EXPECT_THROW(parse_workers("70000"), InvalidArgument);
+}
+
+// -------------------------------------------------------------- coordinator
+
+/// Three worker daemons shared by the end-to-end tests (the bootstrap study
+/// fit dominates construction cost; handle()/the HTTP surface are
+/// thread-safe).
+class ShardCoordinatorTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kWorkers = 3;
+
+  static api::ServiceDaemon& worker(std::size_t i) {
+    static std::vector<std::unique_ptr<api::ServiceDaemon>> daemons = [] {
+      std::vector<std::unique_ptr<api::ServiceDaemon>> out;
+      for (std::size_t k = 0; k < kWorkers; ++k) {
+        api::ServiceDaemon::Options options;
+        options.bootstrap_vms_per_cell = 30;  // keep the fixture fast
+        out.push_back(std::make_unique<api::ServiceDaemon>(options));
+        out.back()->start(0);
+      }
+      return out;
+    }();
+    return *daemons[i];
+  }
+
+  /// A cheap six-cell service sweep (10-job bags on 4 VMs, 3 seeds x 2
+  /// policies) whose single-node report is the byte-identity ground truth.
+  static scenario::SweepSpec cheap_sweep() {
+    scenario::SweepSpec sweep;
+    sweep.base.name = "shard-e2e";
+    sweep.base.app = "shapes";
+    sweep.base.jobs = 10;
+    sweep.base.cluster_size = 4;
+    scenario::SweepAxis seeds;
+    seeds.field = "seed";
+    seeds.values = {JsonValue(1), JsonValue(2), JsonValue(3)};
+    sweep.axes.push_back(seeds);
+    scenario::SweepAxis policies;
+    policies.field = "policy";
+    policies.values = {JsonValue("model"), JsonValue("fresh")};
+    sweep.axes.push_back(policies);
+    return sweep;
+  }
+
+  static const std::string& expected_report() {
+    static const std::string expected =
+        scenario::to_json(scenario::run_sweep(cheap_sweep())).dump();
+    return expected;
+  }
+
+  static CoordinatorOptions base_options(std::size_t workers) {
+    CoordinatorOptions options;
+    for (std::size_t i = 0; i < workers; ++i) options.workers.push_back(worker(i).port());
+    options.request_timeout_seconds = 30.0;
+    options.run_deadline_seconds = 120.0;
+    return options;
+  }
+
+  /// A loopback port with no listener behind it (bound, then closed).
+  static std::uint16_t dead_port() {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+    ::close(fd);
+    return ntohs(addr.sin_port);
+  }
+};
+
+TEST_F(ShardCoordinatorTest, RejectsEmptyConfigurations) {
+  EXPECT_THROW(ShardCoordinator(CoordinatorOptions{}), InvalidArgument);
+  ShardCoordinator coordinator(base_options(1));
+  EXPECT_THROW(coordinator.run_cells({}), InvalidArgument);
+}
+
+// The headline guarantee: for the same seed, the merged sharded report is
+// byte-identical to the single-node sweep report, for 1, 2 and 3 workers
+// and for more shards than workers.
+TEST_F(ShardCoordinatorTest, MergedReportIsByteIdenticalToSingleNode) {
+  for (const std::size_t workers : {1u, 2u, 3u}) {
+    ShardCoordinator coordinator(base_options(workers));
+    const ShardOutcome outcome = coordinator.run(cheap_sweep());
+    EXPECT_TRUE(outcome.complete);
+    EXPECT_TRUE(outcome.unfinished_cells.empty());
+    EXPECT_EQ(outcome.report.dump(), expected_report()) << workers << " workers";
+  }
+  CoordinatorOptions options = base_options(3);
+  options.shards = 7;  // more shards than workers (capped at the cell count)
+  ShardCoordinator coordinator(std::move(options));
+  const ShardOutcome outcome = coordinator.run(cheap_sweep());
+  EXPECT_TRUE(outcome.complete);
+  EXPECT_EQ(outcome.report.dump(), expected_report());
+}
+
+TEST_F(ShardCoordinatorTest, ObserverSeesDispatchAndCompletionEvents) {
+  CoordinatorOptions options = base_options(2);
+  std::size_t dispatched = 0, done = 0, all_dispatched = 0;
+  options.observer = [&](const ShardEventInfo& event) {
+    if (event.event == ShardEvent::kDispatched) ++dispatched;
+    if (event.event == ShardEvent::kShardDone) ++done;
+    if (event.event == ShardEvent::kAllDispatched) ++all_dispatched;
+  };
+  ShardCoordinator coordinator(std::move(options));
+  const ShardOutcome outcome = coordinator.run(cheap_sweep());
+  EXPECT_TRUE(outcome.complete);
+  EXPECT_EQ(dispatched, 2u);
+  EXPECT_EQ(done, 2u);
+  EXPECT_EQ(all_dispatched, 1u);
+}
+
+// A worker that dies mid-sweep is retired after bounded retries and its
+// shards re-dispatch to survivors; the merge still matches single-node.
+TEST_F(ShardCoordinatorTest, DeadWorkerShardsRedispatchToSurvivors) {
+  CoordinatorOptions options = base_options(2);
+  options.workers[0] = dead_port();  // connect refused from the first attempt
+  options.backoff_base_seconds = 0.01;
+  options.max_attempts = 2;
+  const std::string victim = "127.0.0.1:" + std::to_string(options.workers[0]);
+  bool victim_died = false;
+  options.observer = [&](const ShardEventInfo& event) {
+    if (event.event == ShardEvent::kWorkerDead && event.endpoint == victim) {
+      victim_died = true;
+    }
+  };
+  ShardCoordinator coordinator(std::move(options));
+  const ShardOutcome outcome = coordinator.run(cheap_sweep());
+  EXPECT_TRUE(victim_died);
+  EXPECT_GE(outcome.redispatches, 1u);
+  EXPECT_TRUE(outcome.complete);
+  EXPECT_EQ(outcome.report.dump(), expected_report());
+  ASSERT_EQ(outcome.workers.size(), 2u);
+  EXPECT_FALSE(outcome.workers[0].alive);
+  EXPECT_TRUE(outcome.workers[1].alive);
+}
+
+TEST_F(ShardCoordinatorTest, AllWorkersDeadYieldsTerminalPartialFailure) {
+  CoordinatorOptions options;
+  options.workers = {dead_port()};
+  options.backoff_base_seconds = 0.01;
+  options.max_attempts = 2;
+  options.run_deadline_seconds = 30.0;
+  ShardCoordinator coordinator(std::move(options));
+  const auto started = std::chrono::steady_clock::now();
+  const ShardOutcome outcome = coordinator.run(cheap_sweep());
+  const double elapsed = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - started).count();
+  EXPECT_FALSE(outcome.complete);
+  EXPECT_EQ(outcome.unfinished_cells.size(), 6u) << "every cell reported unfinished";
+  EXPECT_EQ(outcome.report.find("cells")->as_array().size(), 0u);
+  EXPECT_LT(elapsed, 20.0) << "partial failure must terminate promptly, not hang";
+}
+
+/// A worker that accepts shard submissions but never finishes them: 202 on
+/// dispatch, "running" on every poll, forever.
+class StallingWorker {
+ public:
+  StallingWorker() {
+    server_.start([](const api::HttpRequest& request) {
+      if (request.method == "POST") {
+        return api::HttpResponse::json(202, R"({"id":1,"status":"queued"})");
+      }
+      return api::HttpResponse::json(200, R"({"id":1,"status":"running"})");
+    });
+  }
+  ~StallingWorker() { server_.stop(); }
+  std::uint16_t port() const noexcept { return server_.port(); }
+
+ private:
+  api::HttpServer server_;
+};
+
+// Tail hedging: the shard stuck on a stalling worker is duplicated onto the
+// idle healthy worker once it ages past the hedge threshold; the first
+// completion wins and the merge is still byte-identical.
+TEST_F(ShardCoordinatorTest, HedgingRescuesAStragglerShard) {
+  StallingWorker stall;
+  CoordinatorOptions options;
+  options.workers = {stall.port(), worker(0).port()};
+  options.request_timeout_seconds = 30.0;
+  options.hedge = true;
+  options.hedge_after_seconds = 0.05;
+  options.run_deadline_seconds = 120.0;
+  std::size_t hedges_seen = 0;
+  options.observer = [&](const ShardEventInfo& event) {
+    if (event.event == ShardEvent::kHedged) ++hedges_seen;
+  };
+  ShardCoordinator coordinator(std::move(options));
+  const ShardOutcome outcome = coordinator.run(cheap_sweep());
+  EXPECT_TRUE(outcome.complete);
+  EXPECT_GE(outcome.hedges, 1u);
+  EXPECT_EQ(hedges_seen, outcome.hedges);
+  EXPECT_EQ(outcome.report.dump(), expected_report());
+}
+
+// Without hedging, a stalling worker pins its shard until the run deadline;
+// the coordinator then reports exactly which cells never finished.
+TEST_F(ShardCoordinatorTest, RunDeadlineNamesUnfinishedCells) {
+  StallingWorker stall;
+  CoordinatorOptions options;
+  options.workers = {stall.port()};
+  options.request_timeout_seconds = 5.0;
+  options.poll_interval_seconds = 0.02;
+  options.run_deadline_seconds = 0.5;
+  ShardCoordinator coordinator(std::move(options));
+  const ShardOutcome outcome = coordinator.run(cheap_sweep());
+  EXPECT_FALSE(outcome.complete);
+  const auto cells = scenario::expand(cheap_sweep());
+  ASSERT_EQ(outcome.unfinished_cells.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(outcome.unfinished_cells[i], cells[i].name);
+  }
+}
+
+// ------------------------------------------------------------------ metrics
+
+TEST(ShardMetrics, CountersAndPercentilesExport) {
+  ShardMetricsRegistry& registry = ShardMetricsRegistry::instance();
+  registry.reset();
+  registry.record_dispatch("127.0.0.1:1");
+  registry.record_dispatch("127.0.0.1:1");
+  registry.record_retry("127.0.0.1:1");
+  registry.record_hedge("127.0.0.1:2");
+  registry.record_failure("127.0.0.1:1");
+  for (int i = 1; i <= 100; ++i) {
+    registry.record_completion("127.0.0.1:1", 0.01 * i);
+  }
+
+  const auto snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].endpoint, "127.0.0.1:1");
+  EXPECT_EQ(snapshot[0].dispatched, 2u);
+  EXPECT_EQ(snapshot[0].retried, 1u);
+  EXPECT_EQ(snapshot[0].failed, 1u);
+  EXPECT_EQ(snapshot[0].completed, 100u);
+  EXPECT_NEAR(snapshot[0].p50_seconds, 0.50, 1e-9);
+  EXPECT_NEAR(snapshot[0].p99_seconds, 0.99, 1e-9);
+  EXPECT_EQ(snapshot[1].hedged, 1u);
+
+  const JsonValue json = registry.to_json();
+  EXPECT_EQ(json.number_or("shards_dispatched", 0), 2.0);
+  EXPECT_EQ(json.number_or("shards_completed", 0), 100.0);
+  EXPECT_EQ(json.find("workers")->as_array().size(), 2u);
+
+  const std::string prom = registry.prometheus();
+  EXPECT_NE(prom.find("preempt_shard_dispatched_total{worker=\"127.0.0.1:1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("preempt_shard_hedged_total{worker=\"127.0.0.1:2\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("preempt_shard_latency_seconds{worker=\"127.0.0.1:1\","
+                      "quantile=\"0.5\"} 0.5"),
+            std::string::npos);
+  registry.reset();
+  EXPECT_TRUE(registry.snapshot().empty());
+}
+
+TEST(ShardEvents, ToStringNamesEveryEvent) {
+  EXPECT_EQ(to_string(ShardEvent::kDispatched), "dispatched");
+  EXPECT_EQ(to_string(ShardEvent::kAllDispatched), "all_dispatched");
+  EXPECT_EQ(to_string(ShardEvent::kShardDone), "shard_done");
+  EXPECT_EQ(to_string(ShardEvent::kWorkerDead), "worker_dead");
+  EXPECT_EQ(to_string(ShardEvent::kRedispatch), "redispatch");
+  EXPECT_EQ(to_string(ShardEvent::kHedged), "hedged");
+}
+
+}  // namespace
+}  // namespace preempt::shard

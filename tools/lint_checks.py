@@ -19,6 +19,11 @@ Rules (each can be waived on one line with `// lint: allow(<rule>)`):
                   `#pragma once`.
   parent-include  No `#include "../..."` — includes are rooted at src/ so the
                   same header is never spelled two ways.
+  retry-loop      No hand-rolled retry loop around ApiClient / HTTP helper
+                  calls (a for/while whose body both calls the client and
+                  catches the failure) outside src/shard/ — retry, backoff and
+                  hedging live in the shard coordinator so every caller gets
+                  the same deadline and jitter policy instead of its own.
 
 Exit status: 0 when clean, 1 when violations are found (they are printed as
 file:line: rule: message, one per line).
@@ -54,6 +59,17 @@ ALLOW_RE = re.compile(r"//\s*lint:\s*allow\((?P<rule>[a-z-]+)\)")
 
 DETERMINISM_ZONES = ("src/sim/", "src/fleet/")
 
+# The shard coordinator is the one sanctioned retry/backoff implementation;
+# everywhere else a loop that catches client errors and spins again is a
+# policy fork waiting to disagree about deadlines.
+RETRY_LOOP_EXEMPT = ("src/shard/",)
+
+LOOP_HEAD_RE = re.compile(r"\b(?:for|while)\s*\(")
+CLIENT_CALL_RE = re.compile(
+    r"\bhttp_(?:request|get|post)\s*\("
+    r"|\.\s*(?:get_json|post_json|run_scenario|run_cells|submit_bag|wait_for_bag)\s*\("
+)
+
 
 def strip_comments_and_strings(line: str) -> str:
     """Best-effort removal of // comments and string literal bodies."""
@@ -69,6 +85,19 @@ def find_matching_brace(text: str, open_idx: int) -> int:
         if text[i] == "{":
             depth += 1
         elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def find_matching_paren(text: str, open_idx: int) -> int:
+    """Index just past the paren matching text[open_idx] ('('); len() if unbalanced."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
             depth -= 1
             if depth == 0:
                 return i + 1
@@ -127,6 +156,34 @@ class Linter:
                     )
 
         self.lint_catch_all(rel, text, lines)
+        self.lint_retry_loop(rel, text, lines)
+
+    def lint_retry_loop(self, rel: str, text: str, lines: list[str]) -> None:
+        if rel.startswith(RETRY_LOOP_EXEMPT):
+            return
+        for m in LOOP_HEAD_RE.finditer(text):
+            line_no = text.count("\n", 0, m.start()) + 1
+            if line_no <= len(lines) and self.allowed(lines[line_no - 1], "retry-loop"):
+                continue
+            cond_end = find_matching_paren(text, m.end() - 1)
+            # Only braced loop bodies; requiring `{` right after the condition
+            # also keeps the trailing `while (...)` of a do-while out of scope
+            # (its body was already scanned at the `do`-side brace... which this
+            # rule does not walk — a do/while retry reads as a while retry the
+            # moment anyone reformats it, and none exist in-tree).
+            rest = text[cond_end:]
+            stripped = rest.lstrip()
+            if not stripped.startswith("{"):
+                continue
+            open_idx = cond_end + (len(rest) - len(stripped))
+            body = text[open_idx:find_matching_brace(text, open_idx)]
+            body = "\n".join(strip_comments_and_strings(l) for l in body.splitlines())
+            if "catch" in body and CLIENT_CALL_RE.search(body):
+                self.report(
+                    rel, line_no, "retry-loop",
+                    "hand-rolled retry loop around a client call — route retries "
+                    "through the shard coordinator (src/shard/) instead",
+                )
 
     def lint_catch_all(self, rel: str, text: str, lines: list[str]) -> None:
         for m in CATCH_ALL_RE.finditer(text):
@@ -164,7 +221,8 @@ def source_files(root: Path, subdirs: list[str]) -> list[Path]:
     return out
 
 
-ALL_RULES = {"raw-sync", "wallclock", "catch-all", "pragma-once", "parent-include"}
+ALL_RULES = {"raw-sync", "wallclock", "catch-all", "pragma-once", "parent-include",
+             "retry-loop"}
 
 
 def run_lint(root: Path, subdirs: list[str]) -> int:

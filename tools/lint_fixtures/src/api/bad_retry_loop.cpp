@@ -1,0 +1,21 @@
+// Negative lint fixture: a hand-rolled retry loop around an ApiClient call.
+// Retries belong to the shard coordinator (src/shard/), which owns the
+// deadline, backoff and hedging policy. Never compiled.
+#include "api/api_client.hpp"
+
+namespace preempt::api {
+
+// retry-loop: catches the client failure inside the loop and spins again
+// with its own ad-hoc policy instead of going through the coordinator.
+JsonValue fixture_naive_retry(ApiClient& client) {
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    try {
+      return client.get_json("/healthz");
+    } catch (const IoError&) {
+      // swallow and retry with no backoff, no deadline, no jitter
+    }
+  }
+  throw IoError("gave up");
+}
+
+}  // namespace preempt::api

@@ -3,6 +3,7 @@
 //   preempt-batchd --port 8080              # serve until stdin closes / Ctrl-D
 //   preempt-batchd --store jobs.jsonl       # persist bag jobs across restarts
 //   preempt-batchd --self-check             # start, exercise the API, exit
+//   preempt-batchd --self-check-shard       # 3-worker sharded sweep, one killed
 //
 // Endpoints are documented in src/api/service_daemon.hpp. Example session:
 //   curl localhost:8080/healthz
@@ -11,6 +12,7 @@
 //   curl localhost:8080/v1/bags/1
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,10 @@
 #include "api/service_daemon.hpp"
 #include "common/cli.hpp"
 #include "common/error.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/sweep.hpp"
+#include "shard/coordinator.hpp"
+#include "shard/metrics.hpp"
 
 namespace {
 
@@ -163,6 +169,82 @@ int restart_probe(preempt::api::ServiceDaemon::Options options, const std::strin
   return failures == 0 ? 0 : 1;
 }
 
+/// Sharded-sweep self check (src/shard): boot three in-process worker
+/// daemons, scatter a six-cell sweep over them, kill worker 0 the moment its
+/// first shard is accepted (so its work is provably in flight and
+/// unreachable), and assert that the coordinator re-dispatches the dead
+/// worker's shards and still produces a merged report byte-identical to the
+/// single-node sweep.
+int self_check_shard() {
+  namespace scenario = preempt::scenario;
+  namespace shard = preempt::shard;
+  int failures = 0;
+  auto check = [&](const std::string& what, bool ok) {
+    std::cout << (ok ? "  ok  " : " FAIL ") << what << "\n";
+    if (!ok) ++failures;
+  };
+
+  const scenario::NamedScenario* named = scenario::find_builtin("fleet-quick");
+  if (named == nullptr) {
+    std::cout << " FAIL fleet-quick scenario missing from the registry\n";
+    return 1;
+  }
+  scenario::SweepSpec sweep = named->sweep;
+  scenario::SweepAxis seeds;
+  seeds.field = "seed";
+  for (int s = 1; s <= 6; ++s) seeds.values.push_back(preempt::JsonValue(s));
+  sweep.axes.push_back(std::move(seeds));
+
+  // The ground truth the merge must match byte for byte.
+  const std::string expected = scenario::to_json(scenario::run_sweep(sweep)).dump();
+
+  shard::ShardMetricsRegistry::instance().reset();
+  std::vector<std::unique_ptr<preempt::api::ServiceDaemon>> daemons;
+  shard::CoordinatorOptions options;
+  for (int i = 0; i < 3; ++i) {
+    daemons.push_back(std::make_unique<preempt::api::ServiceDaemon>());
+    daemons.back()->start(0);
+    options.workers.push_back(daemons.back()->port());
+  }
+  const std::string victim = "127.0.0.1:" + std::to_string(options.workers[0]);
+
+  options.shards = 6;  // two shards per worker; worker 0 always owns cells
+  options.request_timeout_seconds = 5.0;
+  bool killed = false;
+  options.observer = [&](const shard::ShardEventInfo& event) {
+    if (!killed && event.event == shard::ShardEvent::kDispatched && event.endpoint == victim) {
+      killed = true;
+      daemons[0]->stop();  // mid-sweep: its accepted shard can never be fetched
+    }
+  };
+
+  shard::ShardCoordinator coordinator(std::move(options));
+  const shard::ShardOutcome outcome = coordinator.run(sweep);
+
+  check("worker 0 killed mid-sweep", killed);
+  check("coordinator re-dispatched the dead worker's shards", outcome.redispatches >= 1);
+  check("merged report complete despite the dead worker", outcome.complete);
+  check("merged report byte-identical to the single-node sweep",
+        outcome.report.dump() == expected);
+  bool victim_retired = false;
+  for (const shard::WorkerRunStats& w : outcome.workers) {
+    if (w.endpoint == victim && !w.alive) victim_retired = true;
+  }
+  check("dead worker reported as retired", victim_retired);
+
+  // The coordinator shares a process with the surviving daemons, so their
+  // /v1/metrics export carries the shard counters.
+  const preempt::api::ApiClient client(daemons[1]->port());
+  const auto metrics = client.get_json("/v1/metrics");
+  const auto* shard_metrics = metrics.find("shard");
+  check("surviving daemon exports shard metrics",
+        shard_metrics != nullptr && shard_metrics->number_or("shards_completed", 0) >= 6);
+
+  for (std::size_t i = 1; i < daemons.size(); ++i) daemons[i]->stop();
+  std::cout << (failures == 0 ? "shard self-check passed\n" : "shard self-check FAILED\n");
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -176,6 +258,8 @@ int main(int argc, char** argv) {
   flags.add_string("store", "",
                    "persist bag jobs to this JSONL journal (replayed on startup)");
   flags.add_bool("self-check", "start, probe every endpoint, and exit");
+  flags.add_bool("self-check-shard",
+                 "run a 3-worker sharded sweep with one worker killed mid-sweep, and exit");
   try {
     flags.parse(std::vector<std::string>(argv + 1, argv + argc));
   } catch (const preempt::Error& e) {
@@ -196,6 +280,15 @@ int main(int argc, char** argv) {
   if (max_finished_jobs < 1) {
     std::cerr << "--max-finished-jobs must be >= 1\n";
     return 2;
+  }
+
+  if (flags.get_bool("self-check-shard")) {
+    try {
+      return self_check_shard();  // boots its own worker daemons
+    } catch (const preempt::Error& e) {
+      std::cerr << "preempt-batchd --self-check-shard: " << e.what() << "\n";
+      return 1;
+    }
   }
 
   try {
