@@ -6,8 +6,13 @@
 // plus the replication engine and the simulator event loop. Writes the
 // numbers to a JSON file so CI can archive a per-machine baseline.
 //
-// Usage: bench_mc_throughput [--smoke] [--out PATH]
-//   --smoke   small draw counts (CI); --out defaults to BENCH_mc.json
+// Usage: bench_mc_throughput [--smoke] [--out PATH] [--min-batched RATE]
+//   --smoke        small draw counts (CI); --out defaults to BENCH_mc.json
+//   --min-batched  fail (exit 1) when batched sample_many falls below RATE
+//                  draws/s — CI pins this to the recorded floor so a perf
+//                  regression on the hot path breaks the build instead of
+//                  only shifting an artifact nobody reads
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -17,6 +22,7 @@
 #include "common/json.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
+#include "common/vkernel.hpp"
 #include "mc/engine.hpp"
 #include "policy/checkpoint.hpp"
 #include "policy/checkpoint_sim.hpp"
@@ -55,9 +61,12 @@ double draws_per_sec(std::size_t n, double seconds) {
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string out_path = "BENCH_mc.json";
+  double min_batched = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+    if (std::strcmp(argv[i], "--min-batched") == 0 && i + 1 < argc)
+      min_batched = std::strtod(argv[++i], nullptr);
   }
 
   const auto truth = trace::ground_truth_distribution(bench::headline_regime());
@@ -153,6 +162,7 @@ int main(int argc, char** argv) {
   doc.emplace_back("benchmark", JsonValue("mc_throughput"));
   doc.emplace_back("smoke", JsonValue(smoke));
   doc.emplace_back("threads", JsonValue(ThreadPool::global().thread_count()));
+  doc.emplace_back("vkernel_path", JsonValue(std::string(vk::path_name(vk::active_path()))));
   doc.emplace_back("baseline_draws_per_sec", JsonValue(baseline_rate));
   doc.emplace_back("table_sample_draws_per_sec", JsonValue(table_rate));
   doc.emplace_back("batched_draws_per_sec", JsonValue(batched_rate));
@@ -170,5 +180,12 @@ int main(int argc, char** argv) {
   }
   out << JsonValue(std::move(doc)).dump(2) << "\n";
   std::cout << "wrote " << out_path << "\n";
+
+  if (min_batched > 0.0 && batched_rate < min_batched) {
+    std::cerr << "FAIL: batched sample_many " << bench::fmt(batched_rate / 1e6, 3)
+              << " Mdraws/s is below the recorded floor "
+              << bench::fmt(min_batched / 1e6, 3) << " Mdraws/s\n";
+    return 1;
+  }
   return 0;
 }

@@ -50,26 +50,53 @@ ThreadPool& ThreadPool::global() {
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body, std::size_t grain) {
   if (begin >= end) return;
-  grain = std::max<std::size_t>(1, grain);
   const std::size_t n = end - begin;
-  const std::size_t max_chunks = std::max<std::size_t>(1, pool.thread_count() * 4);
-  const std::size_t chunk = std::max(grain, (n + max_chunks - 1) / max_chunks);
+  const std::size_t threads = pool.thread_count();
+  if (grain == 0) {
+    // ~8 chunks per executor (caller included): enough slack for stealing
+    // to balance uneven bodies, few enough that cursor traffic is noise.
+    grain = std::max<std::size_t>(1, n / ((threads + 1) * 8));
+  }
+  const std::size_t chunks = (n + grain - 1) / grain;
+  if (chunks <= 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
 
-  std::vector<std::future<void>> futures;
-  for (std::size_t lo = begin; lo < end; lo += chunk) {
-    const std::size_t hi = std::min(end, lo + chunk);
-    futures.push_back(pool.submit([lo, hi, &body] {
-      for (std::size_t i = lo; i < hi; ++i) body(i);
-    }));
-  }
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+  // Shared work-stealing state; lives on this frame, which outlives every
+  // helper because we join all futures before returning.
+  std::atomic<std::size_t> cursor{0};
+  Mutex error_mutex{"thread_pool.parallel_for.error"};
+  std::exception_ptr first_error;  // guarded by error_mutex
+
+  const auto drain = [&] {
+    for (;;) {
+      const std::size_t c = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      const std::size_t lo = begin + c * grain;
+      const std::size_t hi = std::min(end, lo + grain);
+      for (std::size_t i = lo; i < hi; ++i) {
+        try {
+          body(i);
+        } catch (...) {
+          // Keep driving the range: bodies reference caller-owned state,
+          // so every index must run before the caller's frame unwinds.
+          const LockGuard lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
     }
-  }
+  };
+
+  // The caller is an executor too; helpers beyond chunks-1 could never get
+  // a chunk, so don't pay their submit cost. A helper that wakes up late
+  // finds the cursor exhausted and returns immediately.
+  std::vector<std::future<void>> helpers;
+  const std::size_t helper_count = std::min(threads, chunks - 1);
+  helpers.reserve(helper_count);
+  for (std::size_t h = 0; h < helper_count; ++h) helpers.push_back(pool.submit(drain));
+  drain();
+  for (auto& f : helpers) f.get();  // drain() itself never throws
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -57,13 +57,27 @@ class ThreadPool {
 };
 
 /// Run body(i) for i in [begin, end) across the pool, blocking until done.
-/// Indices are partitioned into contiguous chunks of at least `grain`.
-/// Exceptions from the body are rethrown (first one wins).
+///
+/// Work-stealing dispatch: the range is cut into contiguous chunks of
+/// `grain` indices and an atomic cursor hands chunks to whichever executor
+/// is free next — the caller participates alongside at most
+/// min(threads, chunks-1) pool helpers, so a saturated (or single-core)
+/// pool degrades to the plain inline loop instead of parking the caller on
+/// futures while one worker does everything. Which thread runs which chunk
+/// is scheduling-dependent; every index still runs exactly once, so bodies
+/// whose work is a pure function of the index (the engine's chunk->stream
+/// mapping) stay deterministic.
+///
+/// grain = 0 autotunes to ~8 chunks per executor. Exceptions from the body
+/// are rethrown (first recorded wins) only after the whole range has been
+/// driven — bodies reference caller-owned state, so no chunk is abandoned.
+/// Do not call from inside a pool task: helper futures joined on the sole
+/// worker would deadlock.
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body, std::size_t grain = 1);
+                  const std::function<void(std::size_t)>& body, std::size_t grain = 0);
 
 /// parallel_for on the global pool.
 void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body, std::size_t grain = 1);
+                  const std::function<void(std::size_t)>& body, std::size_t grain = 0);
 
 }  // namespace preempt

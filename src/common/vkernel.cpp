@@ -1,0 +1,214 @@
+#include "common/vkernel.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+
+#include "common/vkernel_detail.hpp"
+
+namespace preempt::vk {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kQnan = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
+
+// ----------------------------------------------------------- scalar kernels
+// These are the lane references: each SIMD lane performs exactly this
+// operation sequence (the special-case branches become mask blends, which is
+// the same selection). Changing an expression here without mirroring it in
+// vkernel_sse2.cpp / vkernel_avx2.cpp breaks cross-path bit-identity.
+
+double exp(double x) noexcept {
+  if (x != x) return x;  // NaN propagates verbatim (blend, not arithmetic)
+  if (x > detail::kExpMax) return kInf;
+  if (x < detail::kExpMin) return 0.0;
+  const double k = std::floor(detail::kLog2E * x + 0.5);
+  const double r = (x - k * detail::kLn2Hi) - k * detail::kLn2Lo;
+  const double r2 = r * r;
+  const double px =
+      r * ((detail::kExpP0 * r2 + detail::kExpP1) * r2 + detail::kExpP2);
+  const double qx =
+      ((detail::kExpQ0 * r2 + detail::kExpQ1) * r2 + detail::kExpQ2) * r2 +
+      detail::kExpQ3;
+  const double y = 1.0 + 2.0 * (px / (qx - px));
+  const double kh = std::floor(k * 0.5);
+  return y * detail::pow2i(kh) * detail::pow2i(k - kh);
+}
+
+double log(double x) noexcept {
+  if (x != x) return x;
+  if (x <= 0.0) return x == 0.0 ? -kInf : kQnan;
+  if (x == kInf) return x;
+  double e = 0.0;
+  double xs = x;
+  if (xs < detail::kDblMinNormal) {  // subnormal: prescale into normal range
+    xs *= 0x1p54;
+    e = -static_cast<double>(detail::kSubnormalShift);
+  }
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(xs);
+  e += static_cast<double>(static_cast<std::int64_t>(bits >> 52)) - 1023.0;
+  double m = std::bit_cast<double>((bits & detail::kMantissaMask) |
+                                   detail::kOneExpBits);  // [1, 2)
+  if (m >= detail::kSqrt2) {
+    m *= 0.5;
+    e += 1.0;
+  }
+  const double f = m - 1.0;
+  const double s = f / (2.0 + f);
+  const double z = s * s;
+  const double w = z * z;
+  const double t1 = w * (detail::kLg2 + w * (detail::kLg4 + w * detail::kLg6));
+  const double t2 =
+      z * (detail::kLg1 +
+           w * (detail::kLg3 + w * (detail::kLg5 + w * detail::kLg7)));
+  const double r = t2 + t1;
+  const double hfsq = 0.5 * f * f;
+  return e * detail::kLogLn2Hi -
+         ((hfsq - (s * (hfsq + r) + e * detail::kLogLn2Lo)) - f);
+}
+
+double expm1(double x) noexcept {
+  if (std::abs(x) < detail::kExpm1Bound) {
+    // Same rational as exp without the 1 +: e^x − 1 = 2xP(x²)/(Q(x²) − xP(x²)).
+    const double r2 = x * x;
+    const double px =
+        x * ((detail::kExpP0 * r2 + detail::kExpP1) * r2 + detail::kExpP2);
+    const double qx =
+        ((detail::kExpQ0 * r2 + detail::kExpQ1) * r2 + detail::kExpQ2) * r2 +
+        detail::kExpQ3;
+    return 2.0 * (px / (qx - px));
+  }
+  return vk::exp(x) - 1.0;  // |result| >= 0.29: the subtraction is benign
+}
+
+double log1p(double x) noexcept {
+  if (x != x) return x;
+  if (x > detail::kLog1pHi || x < detail::kLog1pLo) return vk::log(1.0 + x);
+  // 1 + x is already inside the log reduction band, so run the core on
+  // f = x directly — no rounded 1 + x, no cancellation (k = 0 case).
+  const double f = x;
+  const double s = f / (2.0 + f);
+  const double z = s * s;
+  const double w = z * z;
+  const double t1 = w * (detail::kLg2 + w * (detail::kLg4 + w * detail::kLg6));
+  const double t2 =
+      z * (detail::kLg1 +
+           w * (detail::kLg3 + w * (detail::kLg5 + w * detail::kLg7)));
+  const double r = t2 + t1;
+  const double hfsq = 0.5 * f * f;
+  return f - (hfsq - s * (hfsq + r));
+}
+
+namespace detail {
+
+void exp_many_scalar(const double* x, double* out, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] = vk::exp(x[i]);
+}
+
+void log_many_scalar(const double* x, double* out, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] = vk::log(x[i]);
+}
+
+void expm1_many_scalar(const double* x, double* out, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] = vk::expm1(x[i]);
+}
+
+void log1p_many_scalar(const double* x, double* out, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] = vk::log1p(x[i]);
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------- dispatch
+
+namespace {
+
+using ManyFn = void (*)(const double*, double*, std::size_t) noexcept;
+
+struct KernelTable {
+  ManyFn exp_many;
+  ManyFn log_many;
+  ManyFn expm1_many;
+  ManyFn log1p_many;
+  Path path;
+};
+
+constexpr KernelTable kScalarTable = {
+    detail::exp_many_scalar, detail::log_many_scalar,
+    detail::expm1_many_scalar, detail::log1p_many_scalar, Path::kScalar};
+
+KernelTable detect() noexcept {
+#if defined(PREEMPT_VKERNEL_SIMD)
+  if (__builtin_cpu_supports("avx2")) {
+    return {detail::exp_many_avx2, detail::log_many_avx2,
+            detail::expm1_many_avx2, detail::log1p_many_avx2, Path::kAvx2};
+  }
+  // SSE2 is part of the x86-64 baseline — always available here.
+  return {detail::exp_many_sse2, detail::log_many_sse2,
+          detail::expm1_many_sse2, detail::log1p_many_sse2, Path::kSse2};
+#else
+  return kScalarTable;
+#endif
+}
+
+const KernelTable& simd_table() noexcept {
+  static const KernelTable table = detect();
+  return table;
+}
+
+std::atomic<bool> g_force_scalar{false};
+
+const KernelTable& table() noexcept {
+  return g_force_scalar.load(std::memory_order_relaxed) ? kScalarTable
+                                                        : simd_table();
+}
+
+}  // namespace
+
+Path active_path() noexcept { return table().path; }
+
+const char* path_name(Path path) noexcept {
+  switch (path) {
+    case Path::kScalar: return "scalar";
+    case Path::kSse2: return "sse2";
+    case Path::kAvx2: return "avx2";
+  }
+  return "scalar";
+}
+
+bool simd_compiled() noexcept {
+#if defined(PREEMPT_VKERNEL_SIMD)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void force_scalar(bool on) noexcept {
+  g_force_scalar.store(on, std::memory_order_relaxed);
+}
+
+bool scalar_forced() noexcept {
+  return g_force_scalar.load(std::memory_order_relaxed);
+}
+
+void exp_many(const double* x, double* out, std::size_t n) noexcept {
+  table().exp_many(x, out, n);
+}
+
+void log_many(const double* x, double* out, std::size_t n) noexcept {
+  table().log_many(x, out, n);
+}
+
+void expm1_many(const double* x, double* out, std::size_t n) noexcept {
+  table().expm1_many(x, out, n);
+}
+
+void log1p_many(const double* x, double* out, std::size_t n) noexcept {
+  table().log1p_many(x, out, n);
+}
+
+}  // namespace preempt::vk

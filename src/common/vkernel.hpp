@@ -1,0 +1,70 @@
+// Vectorized math kernels for the sampling hot paths.
+//
+// The Monte-Carlo layers bottleneck on exp/log evaluations inside
+// sample_many (two exponentials per bathtub Newton step, one per
+// exponential/Weibull/log-normal transform). libm's std::exp cannot be
+// vectorized by the caller, so this layer provides polynomial kernels with
+// three implementations — a scalar reference, a 2-wide SSE2 path and a
+// 4-wide AVX2 path — that perform *the same IEEE operations in the same
+// order on every lane*. That makes the batched entry points bit-identical
+// to a scalar loop over the reference kernel, which in turn keeps the
+// repo-wide sample_many ≡ sequential sample() contract intact no matter
+// which path the CPU dispatch picks.
+//
+// Determinism contract:
+//   * exp_many(x, out, n) ≡ { for i: out[i] = vk::exp(x[i]) } bit-for-bit,
+//     on every path (scalar / SSE2 / AVX2) and in every build
+//     (-DPREEMPT_SIMD=ON or OFF). Same for the other *_many entry points.
+//   * No FMA: the kernels are compiled without -mfma and with
+//     -ffp-contract=off, so a*b+c is always mul-then-add on every path.
+//   * Accuracy is a few ULP against libm over the sampling domain
+//     (asserted by tests/test_vkernel.cpp), not correctly-rounded; callers
+//     that need libm-exact values (cdf/pdf reference code) keep std::.
+//
+// Dispatch: the widest path the CPU supports is chosen once per process
+// (AVX2 > SSE2 > scalar). -DPREEMPT_SIMD=OFF compiles the SIMD translation
+// units empty and pins the dispatch to scalar. force_scalar(true) pins it
+// at runtime — the cross-path golden tests flip it to prove bit-identity
+// inside a single binary.
+#pragma once
+
+#include <cstddef>
+
+namespace preempt::vk {
+
+/// Which implementation the batched entry points run on.
+enum class Path { kScalar, kSse2, kAvx2 };
+
+/// The path the next *_many call will take (after force_scalar).
+Path active_path() noexcept;
+const char* path_name(Path path) noexcept;
+
+/// True when the SIMD translation units were compiled in (-DPREEMPT_SIMD=ON
+/// on an x86-64 toolchain). active_path() may still be kScalar on old CPUs.
+bool simd_compiled() noexcept;
+
+/// Pin the batched entry points to the scalar reference path (test hook;
+/// also used by the cross-path golden tests). Thread-safe toggle.
+void force_scalar(bool on) noexcept;
+bool scalar_forced() noexcept;
+
+// ---------------------------------------------------------------- scalar
+// The lane reference. Per-draw sample()/quantile() call these directly so a
+// single draw and a batched draw share one rounding behaviour.
+
+double exp(double x) noexcept;
+double log(double x) noexcept;
+double expm1(double x) noexcept;
+double log1p(double x) noexcept;
+
+// --------------------------------------------------------------- batched
+// out[i] = kernel(x[i]) for i < n; in-place (out == x) is allowed. Tail
+// elements past the widest vector run the scalar reference, which is
+// bit-identical by construction.
+
+void exp_many(const double* x, double* out, std::size_t n) noexcept;
+void log_many(const double* x, double* out, std::size_t n) noexcept;
+void expm1_many(const double* x, double* out, std::size_t n) noexcept;
+void log1p_many(const double* x, double* out, std::size_t n) noexcept;
+
+}  // namespace preempt::vk

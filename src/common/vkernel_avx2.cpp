@@ -1,0 +1,226 @@
+// AVX2 (4-wide) implementations of the vkernel batched entry points.
+//
+// Compiled with -mavx2 (and NOT -mfma; contraction is also disabled with
+// -ffp-contract=off) in its own translation unit so the rest of the library
+// stays runnable on baseline x86-64 — the dispatch in vkernel.cpp only
+// calls into here after __builtin_cpu_supports("avx2").
+//
+// Every vector sequence below mirrors the scalar reference in vkernel.cpp
+// operation for operation; the scalar special-case branches become mask
+// blends selecting the same values. Tails shorter than a vector run the
+// scalar kernel, which is bit-identical by construction.
+#include "common/vkernel.hpp"
+#include "common/vkernel_detail.hpp"
+
+#if defined(PREEMPT_VKERNEL_SIMD)
+
+#include <immintrin.h>
+
+#include <limits>
+
+namespace preempt::vk::detail {
+
+namespace {
+
+const __m256d kVInf = _mm256_set1_pd(std::numeric_limits<double>::infinity());
+const __m256d kVQnan = _mm256_set1_pd(std::numeric_limits<double>::quiet_NaN());
+
+/// 2^n for integer-valued lanes (the vector twin of pow2i): double→int64 via
+/// the 2^52+2^51 magic-constant trick, then a bare exponent-field build.
+inline __m256d pow2i4(__m256d n) noexcept {
+  const __m256d magic = _mm256_set1_pd(0x1.8p52);
+  const __m256i k = _mm256_sub_epi64(
+      _mm256_castpd_si256(_mm256_add_pd(n, magic)), _mm256_castpd_si256(magic));
+  return _mm256_castsi256_pd(
+      _mm256_slli_epi64(_mm256_add_epi64(k, _mm256_set1_epi64x(1023)), 52));
+}
+
+/// Exact int64→double for small non-negative lane values (< 2^51).
+inline __m256d to_double_i64(__m256i v) noexcept {
+  const __m256d magic = _mm256_set1_pd(0x1.8p52);
+  return _mm256_sub_pd(
+      _mm256_castsi256_pd(_mm256_or_si256(v, _mm256_castpd_si256(magic))),
+      magic);
+}
+
+inline __m256d exp4(__m256d x) noexcept {
+  const __m256d vmax = _mm256_set1_pd(kExpMax);
+  const __m256d vmin = _mm256_set1_pd(kExpMin);
+  const __m256d unord = _mm256_cmp_pd(x, x, _CMP_UNORD_Q);
+  const __m256d over = _mm256_cmp_pd(x, vmax, _CMP_GT_OQ);
+  const __m256d under = _mm256_cmp_pd(x, vmin, _CMP_LT_OQ);
+  // NaN lanes become vmin here (maxpd returns the second operand on NaN) and
+  // are blended back to x at the end.
+  const __m256d xc = _mm256_min_pd(_mm256_max_pd(x, vmin), vmax);
+  const __m256d k = _mm256_floor_pd(_mm256_add_pd(
+      _mm256_mul_pd(xc, _mm256_set1_pd(kLog2E)), _mm256_set1_pd(0.5)));
+  const __m256d r = _mm256_sub_pd(
+      _mm256_sub_pd(xc, _mm256_mul_pd(k, _mm256_set1_pd(kLn2Hi))),
+      _mm256_mul_pd(k, _mm256_set1_pd(kLn2Lo)));
+  const __m256d r2 = _mm256_mul_pd(r, r);
+  __m256d px = _mm256_add_pd(_mm256_mul_pd(_mm256_set1_pd(kExpP0), r2),
+                             _mm256_set1_pd(kExpP1));
+  px = _mm256_add_pd(_mm256_mul_pd(px, r2), _mm256_set1_pd(kExpP2));
+  px = _mm256_mul_pd(r, px);
+  __m256d qx = _mm256_add_pd(_mm256_mul_pd(_mm256_set1_pd(kExpQ0), r2),
+                             _mm256_set1_pd(kExpQ1));
+  qx = _mm256_add_pd(_mm256_mul_pd(qx, r2), _mm256_set1_pd(kExpQ2));
+  qx = _mm256_add_pd(_mm256_mul_pd(qx, r2), _mm256_set1_pd(kExpQ3));
+  __m256d y = _mm256_add_pd(
+      _mm256_set1_pd(1.0),
+      _mm256_mul_pd(_mm256_set1_pd(2.0),
+                    _mm256_div_pd(px, _mm256_sub_pd(qx, px))));
+  const __m256d kh = _mm256_floor_pd(_mm256_mul_pd(k, _mm256_set1_pd(0.5)));
+  y = _mm256_mul_pd(y, pow2i4(kh));
+  y = _mm256_mul_pd(y, pow2i4(_mm256_sub_pd(k, kh)));
+  y = _mm256_blendv_pd(y, kVInf, over);
+  y = _mm256_blendv_pd(y, _mm256_setzero_pd(), under);
+  y = _mm256_blendv_pd(y, x, unord);
+  return y;
+}
+
+inline __m256d log4(__m256d x) noexcept {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d unord = _mm256_cmp_pd(x, x, _CMP_UNORD_Q);
+  const __m256d is_zero = _mm256_cmp_pd(x, zero, _CMP_EQ_OQ);
+  const __m256d neg = _mm256_cmp_pd(x, zero, _CMP_LT_OQ);
+  const __m256d is_inf = _mm256_cmp_pd(x, kVInf, _CMP_EQ_OQ);
+  // Subnormals prescale by 2^54; zero/negative lanes ride along harmlessly
+  // (their core result is garbage and gets blended below).
+  const __m256d tiny =
+      _mm256_cmp_pd(x, _mm256_set1_pd(kDblMinNormal), _CMP_LT_OQ);
+  const __m256d xs =
+      _mm256_blendv_pd(x, _mm256_mul_pd(x, _mm256_set1_pd(0x1p54)), tiny);
+  __m256d e = _mm256_and_pd(tiny, _mm256_set1_pd(-54.0));
+  const __m256i bits = _mm256_castpd_si256(xs);
+  const __m256i e_int = _mm256_srli_epi64(bits, 52);
+  e = _mm256_add_pd(
+      e, _mm256_sub_pd(to_double_i64(e_int), _mm256_set1_pd(1023.0)));
+  __m256d m = _mm256_castsi256_pd(_mm256_or_si256(
+      _mm256_and_si256(bits,
+                       _mm256_set1_epi64x(static_cast<long long>(kMantissaMask))),
+      _mm256_set1_epi64x(static_cast<long long>(kOneExpBits))));
+  const __m256d big = _mm256_cmp_pd(m, _mm256_set1_pd(kSqrt2), _CMP_GE_OQ);
+  m = _mm256_blendv_pd(m, _mm256_mul_pd(m, _mm256_set1_pd(0.5)), big);
+  e = _mm256_add_pd(e, _mm256_and_pd(big, _mm256_set1_pd(1.0)));
+  const __m256d f = _mm256_sub_pd(m, _mm256_set1_pd(1.0));
+  const __m256d s = _mm256_div_pd(f, _mm256_add_pd(_mm256_set1_pd(2.0), f));
+  const __m256d z = _mm256_mul_pd(s, s);
+  const __m256d w = _mm256_mul_pd(z, z);
+  __m256d t1 = _mm256_add_pd(_mm256_mul_pd(w, _mm256_set1_pd(kLg6)),
+                             _mm256_set1_pd(kLg4));
+  t1 = _mm256_add_pd(_mm256_mul_pd(w, t1), _mm256_set1_pd(kLg2));
+  t1 = _mm256_mul_pd(w, t1);
+  __m256d t2 = _mm256_add_pd(_mm256_mul_pd(w, _mm256_set1_pd(kLg7)),
+                             _mm256_set1_pd(kLg5));
+  t2 = _mm256_add_pd(_mm256_mul_pd(w, t2), _mm256_set1_pd(kLg3));
+  t2 = _mm256_add_pd(_mm256_mul_pd(w, t2), _mm256_set1_pd(kLg1));
+  t2 = _mm256_mul_pd(z, t2);
+  const __m256d r = _mm256_add_pd(t2, t1);
+  const __m256d hfsq = _mm256_mul_pd(_mm256_mul_pd(_mm256_set1_pd(0.5), f), f);
+  const __m256d inner =
+      _mm256_add_pd(_mm256_mul_pd(s, _mm256_add_pd(hfsq, r)),
+                    _mm256_mul_pd(e, _mm256_set1_pd(kLogLn2Lo)));
+  __m256d y = _mm256_sub_pd(_mm256_mul_pd(e, _mm256_set1_pd(kLogLn2Hi)),
+                            _mm256_sub_pd(_mm256_sub_pd(hfsq, inner), f));
+  y = _mm256_blendv_pd(y, _mm256_sub_pd(zero, kVInf), is_zero);
+  y = _mm256_blendv_pd(y, kVQnan, neg);
+  y = _mm256_blendv_pd(y, kVInf, is_inf);
+  y = _mm256_blendv_pd(y, x, unord);
+  return y;
+}
+
+inline __m256d expm1_4(__m256d x) noexcept {
+  const __m256d absmask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7FFFFFFFFFFFFFFFll));
+  const __m256d bound = _mm256_set1_pd(kExpm1Bound);
+  const __m256d small =
+      _mm256_cmp_pd(_mm256_and_pd(x, absmask), bound, _CMP_LT_OQ);
+  // Clamp the rational's input so non-small lanes can't manufacture a 0/0
+  // while computing a value that is blended away anyway.
+  const __m256d xc =
+      _mm256_min_pd(_mm256_max_pd(x, _mm256_sub_pd(_mm256_setzero_pd(), bound)),
+                    bound);
+  const __m256d r2 = _mm256_mul_pd(xc, xc);
+  __m256d px = _mm256_add_pd(_mm256_mul_pd(_mm256_set1_pd(kExpP0), r2),
+                             _mm256_set1_pd(kExpP1));
+  px = _mm256_add_pd(_mm256_mul_pd(px, r2), _mm256_set1_pd(kExpP2));
+  px = _mm256_mul_pd(xc, px);
+  __m256d qx = _mm256_add_pd(_mm256_mul_pd(_mm256_set1_pd(kExpQ0), r2),
+                             _mm256_set1_pd(kExpQ1));
+  qx = _mm256_add_pd(_mm256_mul_pd(qx, r2), _mm256_set1_pd(kExpQ2));
+  qx = _mm256_add_pd(_mm256_mul_pd(qx, r2), _mm256_set1_pd(kExpQ3));
+  const __m256d rational = _mm256_mul_pd(
+      _mm256_set1_pd(2.0), _mm256_div_pd(px, _mm256_sub_pd(qx, px)));
+  const __m256d via_exp = _mm256_sub_pd(exp4(x), _mm256_set1_pd(1.0));
+  return _mm256_blendv_pd(via_exp, rational, small);
+}
+
+inline __m256d log1p_4(__m256d x) noexcept {
+  const __m256d unord = _mm256_cmp_pd(x, x, _CMP_UNORD_Q);
+  const __m256d out_of_band =
+      _mm256_or_pd(_mm256_cmp_pd(x, _mm256_set1_pd(kLog1pHi), _CMP_GT_OQ),
+                   _mm256_cmp_pd(x, _mm256_set1_pd(kLog1pLo), _CMP_LT_OQ));
+  // Clamped input keeps the in-band core finite on every lane.
+  const __m256d f =
+      _mm256_min_pd(_mm256_max_pd(x, _mm256_set1_pd(kLog1pLo)),
+                    _mm256_set1_pd(kLog1pHi));
+  const __m256d s = _mm256_div_pd(f, _mm256_add_pd(_mm256_set1_pd(2.0), f));
+  const __m256d z = _mm256_mul_pd(s, s);
+  const __m256d w = _mm256_mul_pd(z, z);
+  __m256d t1 = _mm256_add_pd(_mm256_mul_pd(w, _mm256_set1_pd(kLg6)),
+                             _mm256_set1_pd(kLg4));
+  t1 = _mm256_add_pd(_mm256_mul_pd(w, t1), _mm256_set1_pd(kLg2));
+  t1 = _mm256_mul_pd(w, t1);
+  __m256d t2 = _mm256_add_pd(_mm256_mul_pd(w, _mm256_set1_pd(kLg7)),
+                             _mm256_set1_pd(kLg5));
+  t2 = _mm256_add_pd(_mm256_mul_pd(w, t2), _mm256_set1_pd(kLg3));
+  t2 = _mm256_add_pd(_mm256_mul_pd(w, t2), _mm256_set1_pd(kLg1));
+  t2 = _mm256_mul_pd(z, t2);
+  const __m256d r = _mm256_add_pd(t2, t1);
+  const __m256d hfsq = _mm256_mul_pd(_mm256_mul_pd(_mm256_set1_pd(0.5), f), f);
+  const __m256d in_band = _mm256_sub_pd(
+      f, _mm256_sub_pd(hfsq, _mm256_mul_pd(s, _mm256_add_pd(hfsq, r))));
+  const __m256d via_log = log4(_mm256_add_pd(_mm256_set1_pd(1.0), x));
+  __m256d y = _mm256_blendv_pd(in_band, via_log, out_of_band);
+  y = _mm256_blendv_pd(y, x, unord);
+  return y;
+}
+
+}  // namespace
+
+void exp_many_avx2(const double* x, double* out, std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, exp4(_mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) out[i] = vk::exp(x[i]);
+}
+
+void log_many_avx2(const double* x, double* out, std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, log4(_mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) out[i] = vk::log(x[i]);
+}
+
+void expm1_many_avx2(const double* x, double* out, std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, expm1_4(_mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) out[i] = vk::expm1(x[i]);
+}
+
+void log1p_many_avx2(const double* x, double* out, std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, log1p_4(_mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) out[i] = vk::log1p(x[i]);
+}
+
+}  // namespace preempt::vk::detail
+
+#endif  // PREEMPT_VKERNEL_SIMD

@@ -1,0 +1,91 @@
+// Shared internals of the vectorized math kernels: the polynomial
+// coefficients and the per-path batched entry points.
+//
+// Every constant here is consumed by the scalar reference (vkernel.cpp) AND
+// the SSE2/AVX2 translation units; keeping them in one place is what makes
+// "same polynomial, same operation order per lane" checkable by reading one
+// file. The exp reduction and rational are Cephes-style (e^r as
+// 1 + 2rP(r²)/(Q(r²) − rP(r²)) after a two-part ln2 Cody–Waite reduction);
+// the log core is the fdlibm remez polynomial in s = f/(2+f). Do not
+// "simplify" an expression here or in one path only — bit-identity across
+// paths is asserted by tests/test_vkernel.cpp and relied on by every
+// sample_many golden test.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace preempt::vk::detail {
+
+// ------------------------------------------------------------------- exp
+// Valid domain of the core: [kExpMin, kExpMax]; outside, exp saturates.
+inline constexpr double kLog2E = 1.4426950408889634073599;     // log2(e)
+inline constexpr double kLn2Hi = 6.93145751953125e-1;          // ln2 head
+inline constexpr double kLn2Lo = 1.42860682030941723212e-6;    // ln2 tail
+inline constexpr double kExpMax = 709.782712893383996843;      // ln(DBL_MAX)
+inline constexpr double kExpMin = -745.133219101941108420;     // ln(2^-1075)
+inline constexpr double kExpP0 = 1.26177193074810590878e-4;
+inline constexpr double kExpP1 = 3.02994407707441961300e-2;
+inline constexpr double kExpP2 = 9.99999999999999999910e-1;
+inline constexpr double kExpQ0 = 3.00198505138664455042e-6;
+inline constexpr double kExpQ1 = 2.52448340349684104192e-3;
+inline constexpr double kExpQ2 = 2.27265548208155028766e-1;
+inline constexpr double kExpQ3 = 2.00000000000000000005e0;
+/// |x| below this, expm1 uses the rational directly (no reduction, no
+/// cancellation); above, it pays the one-ulp-ish exp(x) − 1.
+inline constexpr double kExpm1Bound = 0.34657359027997265471;  // ln2 / 2
+
+/// 2^n for an integer-valued double n with n + 1023 in (0, 2047) — a bare
+/// exponent-field construction, exact by definition. exp() applies it twice
+/// (2^⌊k/2⌋ then 2^(k−⌊k/2⌋)) so even subnormal results come out of two
+/// ordinary multiplies instead of a per-lane underflow branch.
+inline double pow2i(double n) noexcept {
+  return std::bit_cast<double>((static_cast<std::int64_t>(n) + 1023) << 52);
+}
+
+// ------------------------------------------------------------------- log
+// fdlibm e_log: x = 2^k (1+f) with 1+f in [√2/2·2, √2)·... i.e. mantissa in
+// [1, 2) halved above √2; then ln(1+f) via s = f/(2+f).
+inline constexpr double kLogLn2Hi = 6.93147180369123816490e-1;
+inline constexpr double kLogLn2Lo = 1.90821492927058770002e-10;
+inline constexpr double kSqrt2 = 1.41421356237309514547;
+inline constexpr double kLg1 = 6.666666666666735130e-1;
+inline constexpr double kLg2 = 3.999999999940941908e-1;
+inline constexpr double kLg3 = 2.857142874366239149e-1;
+inline constexpr double kLg4 = 2.222219843214978396e-1;
+inline constexpr double kLg5 = 1.818357216161805012e-1;
+inline constexpr double kLg6 = 1.531383769920937332e-1;
+inline constexpr double kLg7 = 1.479819860511658591e-1;
+/// Outside [kLog1pLo, kLog1pHi] = [√2/2 − 1, √2 − 1], log1p(x) falls back
+/// to log(1 + x); inside, 1 + x is already a valid reduction so the log
+/// core runs on f = x directly with no rounding of the sum.
+inline constexpr double kLog1pLo = -0.29289321881345247560;
+inline constexpr double kLog1pHi = 0.41421356237309514547;
+inline constexpr double kDblMinNormal = 2.2250738585072014e-308;
+inline constexpr std::uint64_t kMantissaMask = 0x000FFFFFFFFFFFFFull;
+inline constexpr std::uint64_t kOneExpBits = 0x3FF0000000000000ull;  // 1.0
+inline constexpr std::int64_t kSubnormalShift = 54;  ///< prescale 2^54
+
+// ------------------------------------------------- per-path batched entry
+// Each *_many_<path> writes out[i] = <scalar kernel>(x[i]) bit-for-bit.
+// The SIMD definitions live in vkernel_sse2.cpp / vkernel_avx2.cpp and are
+// compiled empty when PREEMPT_VKERNEL_SIMD is off.
+
+void exp_many_scalar(const double* x, double* out, std::size_t n) noexcept;
+void log_many_scalar(const double* x, double* out, std::size_t n) noexcept;
+void expm1_many_scalar(const double* x, double* out, std::size_t n) noexcept;
+void log1p_many_scalar(const double* x, double* out, std::size_t n) noexcept;
+
+#if defined(PREEMPT_VKERNEL_SIMD)
+void exp_many_sse2(const double* x, double* out, std::size_t n) noexcept;
+void log_many_sse2(const double* x, double* out, std::size_t n) noexcept;
+void expm1_many_sse2(const double* x, double* out, std::size_t n) noexcept;
+void log1p_many_sse2(const double* x, double* out, std::size_t n) noexcept;
+
+void exp_many_avx2(const double* x, double* out, std::size_t n) noexcept;
+void log_many_avx2(const double* x, double* out, std::size_t n) noexcept;
+void expm1_many_avx2(const double* x, double* out, std::size_t n) noexcept;
+void log1p_many_avx2(const double* x, double* out, std::size_t n) noexcept;
+#endif
+
+}  // namespace preempt::vk::detail

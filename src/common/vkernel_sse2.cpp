@@ -1,0 +1,143 @@
+// SSE2 (2-wide) implementations of the vkernel batched entry points.
+//
+// This is the fallback SIMD tier for x86-64 CPUs without AVX2. It compiles
+// with the baseline target flags only (SSE2 is part of the x86-64 ABI), in
+// its own translation unit so no AVX encodings can leak in from elsewhere.
+//
+// SSE2 has no pcmpgtq/blendv/floor, so:
+//   * floor2() is emulated with a truncating convert + ordered-compare
+//     adjust (exact for the |y| < 2^31 arguments exp produces);
+//   * blend2() is the classic and/andnot/or select on full-lane masks;
+//   * log/log1p need 64-bit integer compares on exponent fields, which is
+//     not worth emulating at width 2 — those two delegate to the scalar
+//     reference per element (bit-identical by definition). The sampling hot
+//     paths (bathtub Newton, Gompertz) only batch exp/expm1.
+// Each vector sequence mirrors the scalar reference in vkernel.cpp
+// operation for operation; branches become mask blends of the same values.
+#include "common/vkernel.hpp"
+#include "common/vkernel_detail.hpp"
+
+#if defined(PREEMPT_VKERNEL_SIMD)
+
+#include <emmintrin.h>
+
+#include <limits>
+
+namespace preempt::vk::detail {
+
+namespace {
+
+const __m128d kVInf2 = _mm_set1_pd(std::numeric_limits<double>::infinity());
+
+/// mask ? a : b with full-lane (all-ones / all-zeros) masks.
+inline __m128d blend2(__m128d mask, __m128d a, __m128d b) noexcept {
+  return _mm_or_pd(_mm_and_pd(mask, a), _mm_andnot_pd(mask, b));
+}
+
+/// floor for |y| < 2^31: truncate toward zero, subtract 1 where the
+/// truncation rounded up (negative non-integers).
+inline __m128d floor2(__m128d y) noexcept {
+  const __m128d t = _mm_cvtepi32_pd(_mm_cvttpd_epi32(y));
+  const __m128d rounded_up = _mm_cmpgt_pd(t, y);
+  return _mm_sub_pd(t, _mm_and_pd(rounded_up, _mm_set1_pd(1.0)));
+}
+
+/// 2^n for integer-valued lanes: double→int64 via the 2^52+2^51 magic
+/// constant, then a bare exponent-field build (same trick as the AVX2 TU).
+inline __m128d pow2i2(__m128d n) noexcept {
+  const __m128d magic = _mm_set1_pd(0x1.8p52);
+  const __m128i k =
+      _mm_sub_epi64(_mm_castpd_si128(_mm_add_pd(n, magic)),
+                    _mm_castpd_si128(magic));
+  return _mm_castsi128_pd(
+      _mm_slli_epi64(_mm_add_epi64(k, _mm_set1_epi64x(1023)), 52));
+}
+
+inline __m128d exp2w(__m128d x) noexcept {
+  const __m128d vmax = _mm_set1_pd(kExpMax);
+  const __m128d vmin = _mm_set1_pd(kExpMin);
+  const __m128d unord = _mm_cmpunord_pd(x, x);
+  const __m128d over = _mm_cmpgt_pd(x, vmax);
+  const __m128d under = _mm_cmplt_pd(x, vmin);
+  // NaN lanes become vmin here (maxpd returns the second operand on NaN)
+  // and are blended back to x at the end.
+  const __m128d xc = _mm_min_pd(_mm_max_pd(x, vmin), vmax);
+  const __m128d k = floor2(
+      _mm_add_pd(_mm_mul_pd(xc, _mm_set1_pd(kLog2E)), _mm_set1_pd(0.5)));
+  const __m128d r =
+      _mm_sub_pd(_mm_sub_pd(xc, _mm_mul_pd(k, _mm_set1_pd(kLn2Hi))),
+                 _mm_mul_pd(k, _mm_set1_pd(kLn2Lo)));
+  const __m128d r2 = _mm_mul_pd(r, r);
+  __m128d px =
+      _mm_add_pd(_mm_mul_pd(_mm_set1_pd(kExpP0), r2), _mm_set1_pd(kExpP1));
+  px = _mm_add_pd(_mm_mul_pd(px, r2), _mm_set1_pd(kExpP2));
+  px = _mm_mul_pd(r, px);
+  __m128d qx =
+      _mm_add_pd(_mm_mul_pd(_mm_set1_pd(kExpQ0), r2), _mm_set1_pd(kExpQ1));
+  qx = _mm_add_pd(_mm_mul_pd(qx, r2), _mm_set1_pd(kExpQ2));
+  qx = _mm_add_pd(_mm_mul_pd(qx, r2), _mm_set1_pd(kExpQ3));
+  __m128d y = _mm_add_pd(
+      _mm_set1_pd(1.0),
+      _mm_mul_pd(_mm_set1_pd(2.0), _mm_div_pd(px, _mm_sub_pd(qx, px))));
+  const __m128d kh = floor2(_mm_mul_pd(k, _mm_set1_pd(0.5)));
+  y = _mm_mul_pd(y, pow2i2(kh));
+  y = _mm_mul_pd(y, pow2i2(_mm_sub_pd(k, kh)));
+  y = blend2(over, kVInf2, y);
+  y = blend2(under, _mm_setzero_pd(), y);
+  y = blend2(unord, x, y);
+  return y;
+}
+
+inline __m128d expm1_2w(__m128d x) noexcept {
+  const __m128d absmask =
+      _mm_castsi128_pd(_mm_set1_epi64x(0x7FFFFFFFFFFFFFFFll));
+  const __m128d bound = _mm_set1_pd(kExpm1Bound);
+  const __m128d small = _mm_cmplt_pd(_mm_and_pd(x, absmask), bound);
+  // Clamp the rational's input so non-small lanes can't manufacture a 0/0
+  // while computing a value that is blended away anyway.
+  const __m128d xc = _mm_min_pd(
+      _mm_max_pd(x, _mm_sub_pd(_mm_setzero_pd(), bound)), bound);
+  const __m128d r2 = _mm_mul_pd(xc, xc);
+  __m128d px =
+      _mm_add_pd(_mm_mul_pd(_mm_set1_pd(kExpP0), r2), _mm_set1_pd(kExpP1));
+  px = _mm_add_pd(_mm_mul_pd(px, r2), _mm_set1_pd(kExpP2));
+  px = _mm_mul_pd(xc, px);
+  __m128d qx =
+      _mm_add_pd(_mm_mul_pd(_mm_set1_pd(kExpQ0), r2), _mm_set1_pd(kExpQ1));
+  qx = _mm_add_pd(_mm_mul_pd(qx, r2), _mm_set1_pd(kExpQ2));
+  qx = _mm_add_pd(_mm_mul_pd(qx, r2), _mm_set1_pd(kExpQ3));
+  const __m128d rational =
+      _mm_mul_pd(_mm_set1_pd(2.0), _mm_div_pd(px, _mm_sub_pd(qx, px)));
+  const __m128d via_exp = _mm_sub_pd(exp2w(x), _mm_set1_pd(1.0));
+  return blend2(small, rational, via_exp);
+}
+
+}  // namespace
+
+void exp_many_sse2(const double* x, double* out, std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(out + i, exp2w(_mm_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) out[i] = vk::exp(x[i]);
+}
+
+void log_many_sse2(const double* x, double* out, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] = vk::log(x[i]);
+}
+
+void expm1_many_sse2(const double* x, double* out, std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(out + i, expm1_2w(_mm_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) out[i] = vk::expm1(x[i]);
+}
+
+void log1p_many_sse2(const double* x, double* out, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] = vk::log1p(x[i]);
+}
+
+}  // namespace preempt::vk::detail
+
+#endif  // PREEMPT_VKERNEL_SIMD

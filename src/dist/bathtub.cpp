@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "common/error.hpp"
 #include "common/math.hpp"
+#include "common/vkernel.hpp"
 
 namespace preempt::dist {
 
@@ -18,6 +20,13 @@ constexpr std::size_t kQuantileCells = 2048;
 /// magnitude smaller — the CDF round-trip error stays below ~1e-10 while the
 /// common case needs only two cdf/pdf evaluations.
 constexpr double kQuantileTol = 5e-11;
+/// Newton lane width for the batched inversion. Two exponentials per
+/// draw-lane means one exp_many(32) per sweep — long enough to amortize
+/// the dispatch call, short enough to stay register/stack resident.
+constexpr std::size_t kLanes = 16;
+/// sample_many works the uniform stream in blocks of this size: draw, split
+/// atom/continuous lanes branchlessly, invert the continuous block.
+constexpr std::size_t kBlock = 256;
 }  // namespace
 
 BathtubDistribution::BathtubDistribution(const BathtubParams& params) : params_(params) {
@@ -31,6 +40,8 @@ BathtubDistribution::BathtubDistribution(const BathtubParams& params) : params_(
                   "bathtub deadline must be positive");
   PREEMPT_REQUIRE(std::isfinite(params.horizon) && params.horizon > 0.0,
                   "bathtub horizon must be positive");
+  inv_tau1_ = 1.0 / params_.tau1;
+  inv_tau2_ = 1.0 / params_.tau2;
   // Saturation point: fitted parameters may push the raw CDF to 1 before the
   // horizon (the clamped regime). The density vanishes there, so all moment
   // integrals must stop at t_sat or they would count phantom mass.
@@ -57,9 +68,12 @@ BathtubDistribution::BathtubDistribution(const BathtubParams& params) : params_(
 }
 
 double BathtubDistribution::raw_cdf(double t) const {
+  // vk::exp with precomputed 1/τ so the table knots carry exactly the same
+  // rounding as the Newton refinement's lane evaluation below.
   if (t <= 0.0) t = 0.0;
-  const double f = params_.scale * (1.0 - std::exp(-t / params_.tau1) +
-                                    std::exp((t - params_.deadline) / params_.tau2));
+  const double f =
+      params_.scale * (1.0 - vk::exp(-t * inv_tau1_) +
+                       vk::exp((t - params_.deadline) * inv_tau2_));
   return std::min(f, 1.0);
 }
 
@@ -73,23 +87,26 @@ double BathtubDistribution::pdf(double t) const {
   if (t < 0.0 || t > params_.horizon) return 0.0;
   // Density vanishes once the raw CDF has saturated at 1 (clamped regime).
   if (raw_cdf(t) >= 1.0) return 0.0;
-  return params_.scale * (std::exp(-t / params_.tau1) / params_.tau1 +
-                          std::exp((t - params_.deadline) / params_.tau2) / params_.tau2);
+  return params_.scale * (vk::exp(-t * inv_tau1_) * inv_tau1_ +
+                          vk::exp((t - params_.deadline) * inv_tau2_) * inv_tau2_);
 }
 
 double BathtubDistribution::quantile_continuous(double p) const {
   // Eq. 1/2 share the two exponentials, so CDF and density come out of one
-  // evaluation inside the Newton refinement.
+  // evaluation inside the Newton refinement. The arithmetic here is the
+  // scalar twin of sample_many's lane evaluation — identical expressions on
+  // vk::exp so single draws and batched draws share one rounding behaviour.
   const double scale = params_.scale;
-  const double tau1 = params_.tau1;
-  const double tau2 = params_.tau2;
+  const double inv_tau1 = inv_tau1_;
+  const double inv_tau2 = inv_tau2_;
   const double deadline = params_.deadline;
   return table_->invert(
       p,
       [=](double t) {
-        const double e1 = std::exp(-t / tau1);
-        const double e2 = std::exp((t - deadline) / tau2);
-        return std::pair{scale * (1.0 - e1 + e2), scale * (e1 / tau1 + e2 / tau2)};
+        const double e1 = vk::exp(-t * inv_tau1);
+        const double e2 = vk::exp((t - deadline) * inv_tau2);
+        return std::pair{scale * (1.0 - e1 + e2),
+                         scale * (e1 * inv_tau1 + e2 * inv_tau2)};
       },
       kQuantileTol * params_.horizon);
 }
@@ -100,18 +117,68 @@ double BathtubDistribution::quantile(double p) const {
   return quantile_continuous(p);
 }
 
+void BathtubDistribution::eval_lanes(const double* t, double* cdf_out,
+                                     double* pdf_out,
+                                     std::size_t lanes) const {
+  double x[2 * kLanes] = {};
+  double e[2 * kLanes] = {};
+  const double scale = params_.scale;
+  const double inv_tau1 = inv_tau1_;
+  const double inv_tau2 = inv_tau2_;
+  const double deadline = params_.deadline;
+  for (std::size_t j = 0; j < lanes; ++j) {
+    x[j] = -t[j] * inv_tau1;
+    x[lanes + j] = (t[j] - deadline) * inv_tau2;
+  }
+  vk::exp_many(x, e, 2 * lanes);
+  for (std::size_t j = 0; j < lanes; ++j) {
+    cdf_out[j] = scale * (1.0 - e[j] + e[lanes + j]);
+    pdf_out[j] = scale * (e[j] * inv_tau1 + e[lanes + j] * inv_tau2);
+  }
+}
+
 double BathtubDistribution::sample(Rng& rng) const {
+  // Sampling inverts through the single-sweep polish (one batched CDF
+  // evaluation per draw) rather than quantile()'s iterated refinement; the
+  // residual is far below Monte-Carlo resolution, and sample_many shares
+  // the same inverse so batched draws match this path bit for bit.
   const double u = rng.uniform();
   if (u >= raw_at_end_) return params_.horizon;  // deadline reclaim atom
-  return quantile_continuous(u);
+  return table_->invert_fast(u, [this](const double* t, double* c, double* f,
+                                       std::size_t lanes) {
+    eval_lanes(t, c, f, lanes);
+  });
 }
 
 void BathtubDistribution::sample_many(Rng& rng, std::span<double> out) const {
+  // Blocked inverse-CDF sampling. Per block: draw the uniforms (same stream
+  // order as the per-draw path), split deadline-atom lanes from continuous
+  // lanes branchlessly, then run the lane-parallel Newton refinement with
+  // one batched exp per sweep. Bit-identical to the per-draw loop: the
+  // uniforms are consumed in the same order, atom draws map to the same
+  // horizon constant, and invert_many's lanes replay invert() exactly.
   const double atom_start = raw_at_end_;
   const double horizon = params_.horizon;
-  for (double& x : out) {
-    const double u = rng.uniform();
-    x = u >= atom_start ? horizon : quantile_continuous(u);
+  const auto lane_eval = [this](const double* t, double* cdf_out,
+                                double* pdf_out, std::size_t lanes) {
+    eval_lanes(t, cdf_out, pdf_out, lanes);
+  };
+  double u[kBlock];
+  double pc[kBlock];
+  double tc[kBlock];
+  std::uint32_t idx[kBlock];
+  for (std::size_t base = 0; base < out.size(); base += kBlock) {
+    const std::size_t n = std::min(kBlock, out.size() - base);
+    for (std::size_t i = 0; i < n; ++i) u[i] = rng.uniform();
+    std::size_t m = 0;
+    for (std::size_t i = 0; i < n; ++i) {  // branchless atom/continuous split
+      out[base + i] = horizon;
+      idx[m] = static_cast<std::uint32_t>(i);
+      pc[m] = u[i];
+      m += u[i] < atom_start ? 1 : 0;
+    }
+    table_->invert_fast_many<kLanes>(pc, tc, m, lane_eval);
+    for (std::size_t k = 0; k < m; ++k) out[base + idx[k]] = tc[k];
   }
 }
 

@@ -72,10 +72,19 @@ class BathtubDistribution final : public Distribution {
   /// Antiderivative of t f(t): A[−(t+τ1)e^{−t/τ1} + (t−τ2)e^{(t−b)/τ2}].
   double tf_antiderivative(double t) const;
 
-  /// Invert the raw CDF for p in (0, raw_at_end_): table + Newton polish.
+  /// Invert the raw CDF for p in (0, raw_at_end_): table + Newton polish
+  /// iterated to the quantile() accuracy contract.
   double quantile_continuous(double p) const;
 
+  /// Eq. 1/2 CDF and density for a group of Newton lanes, the two
+  /// exponentials batched into one vkernel call. Shared by sample() and
+  /// sample_many() so single and batched draws are bit-identical.
+  void eval_lanes(const double* t, double* cdf_out, double* pdf_out,
+                  std::size_t lanes) const;
+
   BathtubParams params_;
+  double inv_tau1_ = 0.0;   ///< 1/τ1; the hot eval multiplies, never divides
+  double inv_tau2_ = 0.0;   ///< 1/τ2
   double atom_ = 0.0;       ///< 1 − raw_cdf(horizon), clamped to [0, 1]
   double raw_at_end_ = 0.0; ///< raw_cdf(horizon)
   double sat_ = 0.0;        ///< first t where the raw CDF saturates at 1

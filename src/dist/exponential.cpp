@@ -1,10 +1,17 @@
 #include "dist/exponential.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/vkernel.hpp"
 
 namespace preempt::dist {
+
+namespace {
+/// Block width of the batched inverse transform in sample_many.
+constexpr std::size_t kBlock = 256;
+}  // namespace
 
 Exponential::Exponential(double rate) : rate_(rate) {
   PREEMPT_REQUIRE(std::isfinite(rate) && rate > 0.0, "exponential rate must be positive");
@@ -34,6 +41,24 @@ double Exponential::quantile(double p) const {
   if (p <= 0.0) return 0.0;
   if (p >= 1.0) return support_end();
   return -std::log1p(-p) / rate_;
+}
+
+double Exponential::sample(Rng& rng) const {
+  return -vk::log1p(-rng.uniform()) / rate_;
+}
+
+void Exponential::sample_many(Rng& rng, std::span<double> out) const {
+  // Blocked inverse transform: draw the uniforms (same stream order as the
+  // per-draw path), one log1p_many per block, then the scale. Bit-identical
+  // to sample() in a loop — vkernel batched entry points match the scalar
+  // kernel lane for lane.
+  double u[kBlock];
+  for (std::size_t base = 0; base < out.size(); base += kBlock) {
+    const std::size_t n = std::min(kBlock, out.size() - base);
+    for (std::size_t i = 0; i < n; ++i) u[i] = -rng.uniform();
+    vk::log1p_many(u, u, n);
+    for (std::size_t i = 0; i < n; ++i) out[base + i] = -u[i] / rate_;
+  }
 }
 
 double Exponential::partial_expectation(double a, double b) const {

@@ -27,10 +27,10 @@ class Exponential final : public Distribution {
   double survival(double t) const override;
   double hazard(double /*t*/) const override { return rate_; }
   double quantile(double p) const override;
-  double sample(Rng& rng) const override { return rng.exponential(rate_); }
-  void sample_many(Rng& rng, std::span<double> out) const override {
-    for (double& x : out) x = rng.exponential(rate_);
-  }
+  /// −log1p(−U)/λ through the vkernel so batched draws (one log1p_many per
+  /// block in sample_many) and single draws share one rounding behaviour.
+  double sample(Rng& rng) const override;
+  void sample_many(Rng& rng, std::span<double> out) const override;
   double mean() const override { return 1.0 / rate_; }
   double partial_expectation(double a, double b) const override;
 

@@ -29,11 +29,20 @@ class GompertzMakeham final : public Distribution {
   double hazard(double t) const override;
   /// Cached inverse-CDF table + Newton (Λ(t) has no closed-form inverse).
   double quantile(double p) const override;
+  /// Single-sweep table inverse on the vkernel (see sample_many); draws
+  /// beyond the table fall back to the bisection quantile.
+  double sample(Rng& rng) const override;
   void sample_many(Rng& rng, std::span<double> out) const override;
 
  private:
   /// Cumulative hazard Λ(t) = λt + (α/β)(e^{βt} − 1).
   double cumulative_hazard(double t) const;
+
+  /// F and f for a group of Newton lanes: em = expm1(βt) feeds both the
+  /// survival exponent and the hazard, each batched through one vkernel
+  /// call. Shared by sample() and sample_many() for bit-identity.
+  void eval_lanes(const double* t, double* cdf_out, double* pdf_out,
+                  std::size_t lanes) const;
 
   /// The lazily built table behind quantile()/sample_many.
   const QuantileTable& quantile_table() const;

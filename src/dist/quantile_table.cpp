@@ -12,7 +12,12 @@ void QuantileTable::finish_build() {
     if (p_[i] < p_[i - 1]) p_[i] = p_[i - 1];
   }
   const double span = p_.back() - p_.front();
-  const std::size_t bins = p_.size() - 1;
+  // 4 probability bins per grid cell: where the CDF is flat many knots
+  // share one p-bin and the bracketing walk from the guide entry gets
+  // long; oversampling the guide keeps the average walk near zero steps
+  // for the cost of one extra uint32 array. Pure lookup acceleration —
+  // the bracket a walk lands in is unchanged.
+  const std::size_t bins = 4 * (p_.size() - 1);
   guide_.assign(bins, 0);
   if (span <= 0.0) return;  // fully flat CDF; lookups clamp to t_lo
   guide_scale_ = static_cast<double>(bins) / span;

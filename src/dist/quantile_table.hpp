@@ -13,6 +13,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -88,7 +90,169 @@ class QuantileTable {
     return t;
   }
 
+  /// Single-sweep inversion for the sampling paths: interpolate, then one
+  /// guarded Newton polish — exactly one eval per draw, no convergence
+  /// loop. The step is confined to the bracketing cell (a step that would
+  /// escape keeps the interpolant), so the error is bounded by one grid
+  /// cell in the worst (vanishing-density) case and is quadratically small
+  /// — far below any Monte-Carlo resolution — everywhere else. quantile()
+  /// keeps the iterated invert() and its tighter tolerance; sample() and
+  /// sample_many() share this cheaper inverse so their draws stay
+  /// bit-identical to each other.
+  template <typename CdfPdf>
+  double invert_fast(double p, const CdfPdf& eval) const noexcept {
+    if (p >= p_atom_) return t_atom_;
+    if (p <= p_.front()) return t_lo_;
+    if (p >= p_.back()) return t_hi();
+    const std::size_t i = bracket(p);
+    const double lo = t_lo_ + static_cast<double>(i) * dt_;
+    const double hi = lo + dt_;
+    const double t = interpolate(p, i);
+    double cdf_t, pdf_t;
+    eval(&t, &cdf_t, &pdf_t, 1);
+    const double next =
+        bit_select(pdf_t > 0.0, t - (cdf_t - p) / pdf_t, t);
+    return bit_select(next > lo && next < hi, next, t);
+  }
+
+  /// Batched invert_fast(): one eval_lanes sweep per group of `Lanes`
+  /// draws, then the branch-free guarded Newton polish per lane. The lane
+  /// arithmetic is identical to invert_fast() — eval_lanes sees the same
+  /// t values in lanes, padding lanes run at t_lo and are discarded — so
+  /// invert_fast_many(p, out, n) ≡ { for i: out[i] = invert_fast(p[i]) }
+  /// bit for bit.
+  template <std::size_t Lanes, typename LaneEval>
+  void invert_fast_many(const double* p, double* out, std::size_t n,
+                        const LaneEval& eval_lanes) const noexcept {
+    static_assert(Lanes >= 1);
+    double pr[Lanes], t[Lanes], lo[Lanes], hi[Lanes];
+    double cdf_v[Lanes], pdf_v[Lanes];
+    for (std::size_t base = 0; base < n; base += Lanes) {
+      const std::size_t m = std::min(Lanes, n - base);
+      for (std::size_t j = m; j < Lanes; ++j) {  // benign padding lanes
+        pr[j] = 0.0;
+        t[j] = t_lo_;
+        lo[j] = t_lo_;
+        hi[j] = t_lo_;
+      }
+      for (std::size_t j = 0; j < m; ++j) {
+        const double pj = p[base + j];
+        if (pj >= p_atom_) {
+          t[j] = t_atom_;
+          lo[j] = hi[j] = t[j];  // lo == hi: the polish below keeps t
+        } else if (pj <= p_.front()) {
+          t[j] = t_lo_;
+          lo[j] = hi[j] = t[j];
+        } else if (pj >= p_.back()) {
+          t[j] = t_hi();
+          lo[j] = hi[j] = t[j];
+        } else {
+          const std::size_t i = bracket(pj);
+          lo[j] = t_lo_ + static_cast<double>(i) * dt_;
+          hi[j] = lo[j] + dt_;
+          t[j] = interpolate(pj, i);
+        }
+        pr[j] = pj;
+      }
+      eval_lanes(t, cdf_v, pdf_v, Lanes);
+      for (std::size_t j = 0; j < m; ++j) {
+        const double next = bit_select(
+            pdf_v[j] > 0.0, t[j] - (cdf_v[j] - pr[j]) / pdf_v[j], t[j]);
+        out[base + j] = bit_select(next > lo[j] && next < hi[j], next, t[j]);
+      }
+    }
+  }
+
+  /// Batched invert(): inverts p[0..n) with the Newton refinement run
+  /// lane-parallel in groups of `Lanes`, so the owning family can batch its
+  /// transcendental evaluations (one vkernel *_many call per sweep instead
+  /// of per draw). `eval_lanes(t, cdf_out, pdf_out, Lanes)` must fill
+  /// cdf_out[j]/pdf_out[j] for every lane with *the same operation sequence
+  /// per lane* as the scalar `eval` passed to invert(); the per-lane control
+  /// flow here mirrors invert() step for step, which makes
+  /// invert_many(p, out, n) ≡ { for i: out[i] = invert(p[i], eval, tol) }
+  /// bit for bit. Finished lanes keep being evaluated at their final t (the
+  /// call shape stays fixed at `Lanes`); their outputs are already latched.
+  template <std::size_t Lanes, typename LaneEval>
+  void invert_many(const double* p, double* out, std::size_t n,
+                   const LaneEval& eval_lanes, double tol) const noexcept {
+    static_assert(Lanes >= 1);
+    for (std::size_t base = 0; base < n; base += Lanes) {
+      const std::size_t m = std::min(Lanes, n - base);
+      double pr[Lanes], t[Lanes], lo[Lanes], hi[Lanes];
+      double cdf_v[Lanes], pdf_v[Lanes];
+      bool done[Lanes];
+      for (std::size_t j = 0; j < Lanes; ++j) {
+        // Padding lanes (and clamp/atom hits) stay parked at benign state:
+        // done, with t already holding their final value.
+        pr[j] = 0.0;
+        t[j] = t_lo_;
+        lo[j] = t_lo_;
+        hi[j] = t_lo_;
+        done[j] = true;
+      }
+      for (std::size_t j = 0; j < m; ++j) {
+        const double pj = p[base + j];
+        if (pj >= p_atom_) {
+          t[j] = t_atom_;
+        } else if (pj <= p_.front()) {
+          t[j] = t_lo_;
+        } else if (pj >= p_.back()) {
+          t[j] = t_hi();
+        } else {
+          const std::size_t i = bracket(pj);
+          pr[j] = pj;
+          lo[j] = t_lo_ + static_cast<double>(i) * dt_;
+          hi[j] = lo[j] + dt_;
+          t[j] = interpolate(pj, i);
+          done[j] = false;
+        }
+      }
+      // The refinement sweep is branch-free per lane (selects, not jumps):
+      // the bisection direction err < 0 is a coin flip per draw, and a
+      // mispredicted jump per lane per sweep would cost more than the two
+      // exponentials the evaluation itself spends. Finished lanes keep
+      // being evaluated at their frozen t; every update is masked by done.
+      for (int iter = 0; iter < 32; ++iter) {
+        bool all_done = true;
+        for (std::size_t j = 0; j < Lanes; ++j) {
+          // Mirrors invert()'s loop condition: stop with the current t.
+          done[j] = done[j] || !(hi[j] - lo[j] > tol);
+          all_done = all_done && done[j];
+        }
+        if (all_done) break;
+        eval_lanes(t, cdf_v, pdf_v, Lanes);
+        for (std::size_t j = 0; j < Lanes; ++j) {
+          const double err = cdf_v[j] - pr[j];
+          const bool neg = err < 0.0;
+          const double nlo = bit_select(neg, t[j], lo[j]);
+          const double nhi = bit_select(neg, hi[j], t[j]);
+          double next = bit_select(pdf_v[j] > 0.0, t[j] - err / pdf_v[j],
+                                   nlo - 1.0);
+          next = bit_select(next > nlo && next < nhi, next, 0.5 * (nlo + nhi));
+          const bool accept = std::abs(next - t[j]) <= tol;
+          const bool d = done[j];
+          lo[j] = bit_select(d, lo[j], nlo);
+          hi[j] = bit_select(d, hi[j], nhi);
+          t[j] = bit_select(d, t[j], next);
+          done[j] = d || accept;
+        }
+      }
+      for (std::size_t j = 0; j < m; ++j) out[base + j] = t[j];
+    }
+  }
+
  private:
+  /// c ? a : b as a bitwise merge — exact (returns a or b verbatim) and
+  /// guaranteed branch-free. The refinement sweep's bisection direction is
+  /// a coin flip per draw; a compiler that lowered those ternaries to jumps
+  /// would pay a misprediction per lane per sweep.
+  static double bit_select(bool c, double a, double b) noexcept {
+    const auto mask = c ? ~std::uint64_t{0} : std::uint64_t{0};
+    return std::bit_cast<double>((std::bit_cast<std::uint64_t>(a) & mask) |
+                                 (std::bit_cast<std::uint64_t>(b) & ~mask));
+  }
+
   /// Index i with p_[i] <= p <= p_[i+1] (p assumed inside [p_lo, p_hi]).
   std::size_t bracket(double p) const noexcept {
     std::size_t i = guide_[guide_bin(p)];

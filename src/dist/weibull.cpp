@@ -1,11 +1,18 @@
 #include "dist/weibull.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/vkernel.hpp"
 
 namespace preempt::dist {
+
+namespace {
+/// Block width of the batched inverse transform in sample_many.
+constexpr std::size_t kBlock = 256;
+}  // namespace
 
 Weibull::Weibull(double lambda, double k) : lambda_(lambda), k_(k) {
   PREEMPT_REQUIRE(std::isfinite(lambda) && lambda > 0.0, "weibull lambda must be positive");
@@ -42,19 +49,32 @@ double Weibull::hazard(double t) const {
 }
 
 double Weibull::quantile(double p) const {
+  // x^{1/k} as exp(log(x)/k) on the vkernel — the same composition the
+  // batched sampler uses, so quantile(u) ≡ a sample drawn at u bit for bit.
   if (p <= 0.0) return 0.0;
   if (p >= 1.0) return support_end();
-  return std::pow(-std::log1p(-p), 1.0 / k_) / lambda_;
+  const double x = -vk::log1p(-p);
+  return vk::exp((1.0 / k_) * vk::log(x)) / lambda_;
 }
 
 double Weibull::sample(Rng& rng) const { return quantile(rng.uniform()); }
 
 void Weibull::sample_many(Rng& rng, std::span<double> out) const {
-  // Same transform as quantile(uniform()) with the shape reciprocal hoisted;
-  // uniform() is open-interval so the p <= 0 / p >= 1 branches cannot fire.
+  // Blocked inverse transform, three kernel sweeps per block:
+  // x = −log1p(−U), then exp(log(x)/k)/λ. Stream order and per-lane
+  // arithmetic match quantile(uniform()) exactly; uniform() is
+  // open-interval so the p <= 0 / p >= 1 branches cannot fire.
   const double inv_k = 1.0 / k_;
-  for (double& x : out) {
-    x = std::pow(-std::log1p(-rng.uniform()), inv_k) / lambda_;
+  double x[kBlock];
+  for (std::size_t base = 0; base < out.size(); base += kBlock) {
+    const std::size_t n = std::min(kBlock, out.size() - base);
+    for (std::size_t i = 0; i < n; ++i) x[i] = -rng.uniform();
+    vk::log1p_many(x, x, n);
+    for (std::size_t i = 0; i < n; ++i) x[i] = -x[i];
+    vk::log_many(x, x, n);
+    for (std::size_t i = 0; i < n; ++i) x[i] *= inv_k;
+    vk::exp_many(x, x, n);
+    for (std::size_t i = 0; i < n; ++i) out[base + i] = x[i] / lambda_;
   }
 }
 

@@ -1,5 +1,6 @@
 #include "fleet/fleet.hpp"
 
+#include <algorithm>
 #include <string>
 
 #include "common/error.hpp"
@@ -60,12 +61,14 @@ std::optional<ArrivalPattern> arrival_pattern_from_string(const std::string& tex
 
 Fleet::Fleet(std::vector<MachineClass> classes) : classes_(std::move(classes)) {
   std::uint64_t next_id = 1;
+  class_ranges_.reserve(classes_.size());
   for (std::size_t ci = 0; ci < classes_.size(); ++ci) {
     const MachineClass& mc = classes_[ci];
     PREEMPT_REQUIRE(!mc.mips.empty() && !mc.s_state_power_w.empty(),
                     "machine class '" + mc.name + "' needs MIPS and S-state tables");
     PREEMPT_REQUIRE(mc.s_state_wake_hours.size() == mc.s_state_power_w.size(),
                     "machine class '" + mc.name + "': wake table must match S-state table");
+    class_ranges_.push_back({next_id, next_id + mc.count});
     for (std::size_t i = 0; i < mc.count; ++i) {
       Machine m;
       m.id = next_id++;
@@ -74,6 +77,62 @@ Fleet::Fleet(std::vector<MachineClass> classes) : classes_(std::move(classes)) {
       m.power_w = mc.s_state_power_w.front();
       machines_.push_back(m);
     }
+  }
+  const std::size_t words = (machines_.size() + 63) / 64;
+  on_bits_.assign(words, 0);
+  sleeping_bits_.assign(words, 0);
+  waking_bits_.assign(words, 0);
+  awake_free_bits_.assign(words, 0);
+  std::size_t max_s_states = 1;
+  for (const MachineClass& mc : classes_) {
+    max_s_states = std::max(max_s_states, mc.s_state_power_w.size());
+  }
+  sleeping_by_state_.assign(max_s_states, MachineBits(words, 0));
+  for (const Machine& m : machines_) {
+    index_add(m);
+    update_free_bit(m);
+  }
+}
+
+void Fleet::index_remove(const Machine& m) {
+  const std::uint64_t bit = std::uint64_t{1} << ((m.id - 1) % 64);
+  const std::size_t w = (m.id - 1) / 64;
+  switch (m.power) {
+    case MachinePower::kOn:
+      on_bits_[w] &= ~bit;
+      --on_count_;
+      break;
+    case MachinePower::kSleeping:
+      sleeping_bits_[w] &= ~bit;
+      sleeping_by_state_[m.s_state][w] &= ~bit;
+      --sleeping_count_;
+      break;
+    case MachinePower::kWaking:
+      waking_bits_[w] &= ~bit;
+      break;
+    case MachinePower::kPreempted:
+      break;  // preempted machines are in no set
+  }
+}
+
+void Fleet::index_add(const Machine& m) {
+  const std::uint64_t bit = std::uint64_t{1} << ((m.id - 1) % 64);
+  const std::size_t w = (m.id - 1) / 64;
+  switch (m.power) {
+    case MachinePower::kOn:
+      on_bits_[w] |= bit;
+      ++on_count_;
+      break;
+    case MachinePower::kSleeping:
+      sleeping_bits_[w] |= bit;
+      sleeping_by_state_[m.s_state][w] |= bit;
+      ++sleeping_count_;
+      break;
+    case MachinePower::kWaking:
+      waking_bits_[w] |= bit;
+      break;
+    case MachinePower::kPreempted:
+      break;
   }
 }
 
@@ -109,12 +168,28 @@ double Fleet::power_w(const Machine& m) const {
   return 0.0;
 }
 
+void Fleet::update_free_bit(const Machine& m) {
+  const std::uint64_t bit = std::uint64_t{1} << ((m.id - 1) % 64);
+  const std::size_t w = (m.id - 1) / 64;
+  const bool free =
+      (m.power == MachinePower::kOn || m.power == MachinePower::kWaking) &&
+      m.busy_total() < classes_[m.class_index].cores;
+  if (free) {
+    awake_free_bits_[w] |= bit;
+  } else {
+    awake_free_bits_[w] &= ~bit;
+  }
+}
+
 void Fleet::settle(Machine& m, double now) {
   if (now > m.last_change) {
     m.energy_wh += m.power_w * (now - m.last_change);
     m.last_change = now;
   }
   m.power_w = power_w(m);
+  // Every mutator funnels through settle with the machine in its new state,
+  // so refreshing the capacity index here keeps it exact by construction.
+  update_free_bit(m);
 }
 
 void Fleet::reserve(std::uint64_t id, const Task& task, double now) {
@@ -161,8 +236,10 @@ void Fleet::sleep(std::uint64_t id, std::size_t s_state, double now) {
                   "sleep state out of range for machine class '" + mc.name + "'");
   PREEMPT_CHECK(m.power == MachinePower::kOn, "only an on machine can sleep");
   PREEMPT_CHECK(m.busy_total() == 0, "sleeping a machine with busy or reserved cores");
+  index_remove(m);
   m.power = MachinePower::kSleeping;
   m.s_state = s_state;
+  index_add(m);
   settle(m, now);
 }
 
@@ -170,9 +247,11 @@ double Fleet::begin_wake(std::uint64_t id, double now) {
   Machine& m = machine(id);
   PREEMPT_CHECK(m.power == MachinePower::kSleeping, "only a sleeping machine can wake");
   const MachineClass& mc = classes_[m.class_index];
+  index_remove(m);
   m.power = MachinePower::kWaking;
   m.wake_ready_at = now + mc.s_state_wake_hours[m.s_state];
   m.s_state = 0;
+  index_add(m);
   settle(m, now);
   return m.wake_ready_at;
 }
@@ -180,13 +259,16 @@ double Fleet::begin_wake(std::uint64_t id, double now) {
 void Fleet::complete_wake(std::uint64_t id, double now) {
   Machine& m = machine(id);
   if (m.power != MachinePower::kWaking) return;  // preempted mid-wake
+  index_remove(m);
   m.power = MachinePower::kOn;
+  index_add(m);
   settle(m, now);
 }
 
 void Fleet::mark_preempted(std::uint64_t id, double now) {
   Machine& m = machine(id);
   PREEMPT_CHECK(m.power != MachinePower::kPreempted, "machine preempted twice");
+  index_remove(m);
   m.power = MachinePower::kPreempted;
   m.cores_busy = 0;
   m.cores_reserved = 0;
@@ -199,6 +281,7 @@ void Fleet::relaunch(std::uint64_t id, double now) {
   Machine& m = machine(id);
   PREEMPT_CHECK(m.power == MachinePower::kPreempted, "relaunching a machine that is not preempted");
   m.power = MachinePower::kOn;
+  index_add(m);
   settle(m, now);
 }
 
@@ -209,20 +292,6 @@ double Fleet::total_energy_kwh(double now) const {
     if (now > m.last_change) wh += m.power_w * (now - m.last_change);
   }
   return wh / 1000.0;
-}
-
-std::size_t Fleet::on_count() const {
-  std::size_t n = 0;
-  for (const Machine& m : machines_)
-    if (m.power == MachinePower::kOn) ++n;
-  return n;
-}
-
-std::size_t Fleet::sleeping_count() const {
-  std::size_t n = 0;
-  for (const Machine& m : machines_)
-    if (m.power == MachinePower::kSleeping) ++n;
-  return n;
 }
 
 }  // namespace preempt::fleet

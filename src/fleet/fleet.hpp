@@ -9,6 +9,7 @@
 // about events or policies — FleetSimulator drives it.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -16,6 +17,78 @@
 #include "fleet/task.hpp"
 
 namespace preempt::fleet {
+
+/// Dense power-state occupancy index: machine id `i` is bit (i-1)%64 of
+/// word (i-1)/64. Fleet maintains one per power state so placement policies
+/// can walk only the machines in the states they care about instead of
+/// scanning the whole fleet per placement.
+using MachineBits = std::vector<std::uint64_t>;
+
+/// Invoke fn(id) for each machine id whose bit is set, in ascending id
+/// order. fn returns false to stop early (first-fit style walks).
+template <typename Fn>
+inline void for_each_machine(const MachineBits& bits, Fn&& fn) {
+  for (std::size_t w = 0; w < bits.size(); ++w) {
+    std::uint64_t word = bits[w];
+    while (word != 0) {
+      const unsigned b = static_cast<unsigned>(std::countr_zero(word));
+      word &= word - 1;
+      if (!fn(static_cast<std::uint64_t>(w * 64 + b + 1))) return;
+    }
+  }
+}
+
+/// Same walk over the union a | b (e.g. on | waking = placeable), without
+/// materializing the merged set.
+template <typename Fn>
+inline void for_each_machine(const MachineBits& a, const MachineBits& b, Fn&& fn) {
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    std::uint64_t word = a[w] | b[w];
+    while (word != 0) {
+      const unsigned bit = static_cast<unsigned>(std::countr_zero(word));
+      word &= word - 1;
+      if (!fn(static_cast<std::uint64_t>(w * 64 + bit + 1))) return;
+    }
+  }
+}
+
+/// Contiguous machine-id range [begin, end) of one machine class (the
+/// constructor assigns ids class by class, so walking classes in order is
+/// walking ids in order).
+struct ClassRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+
+/// Walk a | b restricted to ids in `range` — jumps straight to the word
+/// holding range.begin instead of stepping over every earlier set bit, so a
+/// per-class walk costs O(class size / 64) even deep into a large fleet.
+template <typename Fn>
+inline void for_each_machine(const MachineBits& bits, ClassRange range, Fn&& fn);
+
+template <typename Fn>
+inline void for_each_machine(const MachineBits& a, const MachineBits& b,
+                             ClassRange range, Fn&& fn) {
+  if (range.begin == 0 || range.begin >= range.end) return;
+  const std::size_t w0 = (range.begin - 1) / 64;
+  for (std::size_t w = w0; w < a.size(); ++w) {
+    std::uint64_t word = a[w] | b[w];
+    if (w == w0) word &= ~std::uint64_t{0} << ((range.begin - 1) % 64);
+    while (word != 0) {
+      const unsigned bit = static_cast<unsigned>(std::countr_zero(word));
+      word &= word - 1;
+      const std::uint64_t id = w * 64 + bit + 1;
+      if (id >= range.end) return;
+      if (!fn(id)) return;
+    }
+  }
+}
+
+/// Single-set restricted walk.
+template <typename Fn>
+inline void for_each_machine(const MachineBits& bits, ClassRange range, Fn&& fn) {
+  for_each_machine(bits, bits, range, static_cast<Fn&&>(fn));
+}
 
 class Fleet {
  public:
@@ -66,15 +139,57 @@ class Fleet {
   /// per-machine ledgers are not advanced.
   double total_energy_kwh(double now) const;
 
-  /// Machines currently on (S0) — the placeable pool size.
-  std::size_t on_count() const;
-  std::size_t sleeping_count() const;
+  /// Machines currently on (S0) — the placeable pool size. O(1): counters
+  /// ride the power-state index.
+  std::size_t on_count() const noexcept { return on_count_; }
+  std::size_t sleeping_count() const noexcept { return sleeping_count_; }
+
+  /// Power-state occupancy bitsets (see for_each_machine). A machine in no
+  /// set is preempted. Kept exact by every transition method.
+  const MachineBits& on_bits() const noexcept { return on_bits_; }
+  const MachineBits& sleeping_bits() const noexcept { return sleeping_bits_; }
+  const MachineBits& waking_bits() const noexcept { return waking_bits_; }
+
+  /// On/waking machines with at least one free core — the candidates a
+  /// placement can actually take (memory still checked per machine).
+  /// Updated in settle(), which every mutator runs, so it tracks capacity
+  /// changes (reserve/finish) as well as power transitions. This is what
+  /// lets policies skip a dense-but-full fleet instead of probing every
+  /// machine's capacity per placement.
+  const MachineBits& awake_free_bits() const noexcept { return awake_free_bits_; }
+
+  /// Sleeping machines split by S-state (index 0 is always empty — only
+  /// s > 0 sleeps). Sleepers are always empty (sleep() requires zero busy
+  /// or reserved cores), so within one (class, S-state) group every sleeper
+  /// is interchangeable for placement and policies only ever need the
+  /// lowest-id bit of each group instead of scoring every sleeper.
+  const MachineBits& sleeping_bits(std::size_t s_state) const {
+    return sleeping_by_state_[s_state];
+  }
+  /// Number of per-S-state sets (max S-state table size across classes).
+  std::size_t s_state_count() const noexcept { return sleeping_by_state_.size(); }
+
+  /// Machine-id range of class `ci`.
+  ClassRange class_range(std::size_t ci) const { return class_ranges_[ci]; }
 
  private:
   void settle(Machine& m, double now);
+  /// Clear/set the index bit for m's current power state.
+  void index_remove(const Machine& m);
+  void index_add(const Machine& m);
+  /// Recompute m's awake_free bit from its current state.
+  void update_free_bit(const Machine& m);
 
   std::vector<MachineClass> classes_;
   std::vector<Machine> machines_;
+  std::vector<ClassRange> class_ranges_;
+  MachineBits on_bits_;
+  MachineBits sleeping_bits_;
+  MachineBits waking_bits_;
+  MachineBits awake_free_bits_;
+  std::vector<MachineBits> sleeping_by_state_;
+  std::size_t on_count_ = 0;
+  std::size_t sleeping_count_ = 0;
 };
 
 }  // namespace preempt::fleet

@@ -13,11 +13,22 @@ bool placeable(const Machine& m) {
   return m.power == MachinePower::kOn || m.power == MachinePower::kWaking;
 }
 
+// Each policy ships in two forms: the `*-scan` reference walks the whole
+// machine vector per placement, the default form answers the same question
+// from the fleet's bitset indexes. Awake candidates come from
+// awake_free_bits() — exactly the on/waking machines with a free core, i.e.
+// the ones that pass the capacity half of fits() — so a dense-but-full fleet
+// costs popcount-time instead of a probe per machine; fits() is still
+// applied per candidate for the memory check. The indexed walks visit
+// candidates in the same ascending-id order and apply the same tie-breaks,
+// so a run under either form is byte-identical — the scan forms stay
+// registered so tests can assert that.
+
 /// Greedy first-fit: first awake machine that fits, else the first sleeper
 /// that fits (lowest id wins everywhere). Never powers anything down.
-class GreedyFirstFit final : public PlacementPolicy {
+class GreedyFirstFitScan : public PlacementPolicy {
  public:
-  std::string name() const override { return "first-fit"; }
+  std::string name() const override { return "first-fit-scan"; }
 
   std::uint64_t place(const Task& task, const Fleet& fleet) const override {
     std::uint64_t sleeper = 0;
@@ -35,12 +46,33 @@ class GreedyFirstFit final : public PlacementPolicy {
   }
 };
 
+class GreedyFirstFit final : public GreedyFirstFitScan {
+ public:
+  std::string name() const override { return "first-fit"; }
+
+  std::uint64_t place(const Task& task, const Fleet& fleet) const override {
+    std::uint64_t found = 0;
+    for_each_machine(fleet.awake_free_bits(), [&](std::uint64_t id) {
+      if (!fleet.fits(fleet.machines()[id - 1], task)) return true;
+      found = id;
+      return false;
+    });
+    if (found != 0) return found;
+    for_each_machine(fleet.sleeping_bits(), [&](std::uint64_t id) {
+      if (!fleet.fits(fleet.machines()[id - 1], task)) return true;
+      found = id;
+      return false;
+    });
+    return found;
+  }
+};
+
 /// Modified best-fit decreasing: place wherever the fleet's power draw grows
 /// the least, consolidate lightly-loaded machines at rebalance, and sleep
 /// whatever drains empty.
-class Mbfd final : public PlacementPolicy {
+class MbfdScan : public PlacementPolicy {
  public:
-  std::string name() const override { return "mbfd"; }
+  std::string name() const override { return "mbfd-scan"; }
 
   std::uint64_t place(const Task& task, const Fleet& fleet) const override {
     std::uint64_t best = 0;
@@ -125,15 +157,68 @@ class Mbfd final : public PlacementPolicy {
   }
 };
 
+class Mbfd final : public MbfdScan {
+ public:
+  std::string name() const override { return "mbfd"; }
+
+  std::uint64_t place(const Task& task, const Fleet& fleet) const override {
+    // The scan keeps the first machine with the strictly smallest power
+    // delta in id order — i.e. the (delta, id)-lexicographic minimum. Awake
+    // machines of one class all share the same delta (one more core at P0),
+    // so the first fitting awake machine per class dominates the rest of
+    // its class and the awake side needs one first-fit walk per class
+    // range. Sleepers' deltas depend on their S-state, so each fitting
+    // sleeper is scored individually.
+    std::uint64_t best = 0;
+    double best_delta = std::numeric_limits<double>::infinity();
+    const auto offer = [&](std::uint64_t id, double delta) {
+      if (delta < best_delta || (delta == best_delta && id < best)) {
+        best_delta = delta;
+        best = id;
+      }
+    };
+    const auto& machines = fleet.machines();
+    for (std::size_t ci = 0; ci < fleet.classes().size(); ++ci) {
+      const MachineClass& mc = fleet.classes()[ci];
+      for_each_machine(fleet.awake_free_bits(), fleet.class_range(ci),
+                       [&](std::uint64_t id) {
+                         if (!fleet.fits(machines[id - 1], task)) return true;
+                         offer(id, mc.core_power_w());
+                         // later awake machines of the class cannot beat it
+                         return false;
+                       });
+      // Sleepers are always empty (sleep() requires zero busy/reserved
+      // cores), so both fit and delta depend only on (class, S-state): the
+      // lowest-id sleeper of each group represents it, and one failed fit
+      // rules out the whole class.
+      for (std::size_t s = 1; s < mc.s_state_power_w.size(); ++s) {
+        bool class_fits = true;
+        for_each_machine(fleet.sleeping_bits(s), fleet.class_range(ci),
+                         [&](std::uint64_t id) {
+                           if (fleet.fits(machines[id - 1], task)) {
+                             offer(id, mc.core_power_w() + mc.s_state_power_w.front() -
+                                           mc.s_state_power_w[s]);
+                           } else {
+                             class_fits = false;
+                           }
+                           return false;  // one representative per group
+                         });
+        if (!class_fits) break;
+      }
+    }
+    return best;
+  }
+};
+
 /// E-ECO-style warm-pool sizing: pack arrivals onto the most-loaded awake
 /// machine, and keep awake-pool utilization inside [kLow, kHigh] by waking
 /// or sleeping whole machines at rebalance ticks.
-class EEco final : public PlacementPolicy {
+class EEcoScan : public PlacementPolicy {
  public:
   static constexpr double kLow = 0.25;
   static constexpr double kHigh = 0.75;
 
-  std::string name() const override { return "e-eco"; }
+  std::string name() const override { return "e-eco-scan"; }
 
   std::uint64_t place(const Task& task, const Fleet& fleet) const override {
     // Best fit: most-loaded awake machine that still fits (packs the warm
@@ -210,16 +295,56 @@ class EEco final : public PlacementPolicy {
   }
 };
 
+class EEco final : public EEcoScan {
+ public:
+  std::string name() const override { return "e-eco"; }
+
+  std::uint64_t place(const Task& task, const Fleet& fleet) const override {
+    // Strictly-greater load keeps the earliest machine at the maximum, and
+    // the bitset walk is ascending-id like the scan, so ties break the same.
+    std::uint64_t best = 0;
+    std::size_t best_load = 0;
+    const auto& machines = fleet.machines();
+    for_each_machine(fleet.awake_free_bits(), [&](std::uint64_t id) {
+      const Machine& m = machines[id - 1];
+      if (!fleet.fits(m, task)) return true;
+      if (best == 0 || m.busy_total() > best_load) {
+        best = id;
+        best_load = m.busy_total();
+      }
+      return true;
+    });
+    if (best != 0) return best;
+    // Shallowest-state fitting sleeper, lowest id first: walking the
+    // per-S-state sets in state order visits candidates in exactly the
+    // order the scan's (s_state, id) minimum resolves them.
+    std::uint64_t sleeper = 0;
+    for (std::size_t s = 1; s < fleet.s_state_count() && sleeper == 0; ++s) {
+      for_each_machine(fleet.sleeping_bits(s), [&](std::uint64_t id) {
+        if (!fleet.fits(machines[id - 1], task)) return true;
+        sleeper = id;
+        return false;
+      });
+    }
+    return sleeper;
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<PlacementPolicy> make_placement_policy(const std::string& name) {
   if (name == "first-fit") return std::make_unique<GreedyFirstFit>();
   if (name == "mbfd") return std::make_unique<Mbfd>();
   if (name == "e-eco") return std::make_unique<EEco>();
+  if (name == "first-fit-scan") return std::make_unique<GreedyFirstFitScan>();
+  if (name == "mbfd-scan") return std::make_unique<MbfdScan>();
+  if (name == "e-eco-scan") return std::make_unique<EEcoScan>();
   throw InvalidArgument("unknown placement policy '" + name +
-                        "' (expected first-fit|mbfd|e-eco)");
+                        "' (expected first-fit|mbfd|e-eco, or a -scan reference variant)");
 }
 
-std::vector<std::string> placement_policy_names() { return {"first-fit", "mbfd", "e-eco"}; }
+std::vector<std::string> placement_policy_names() {
+  return {"first-fit", "mbfd", "e-eco", "first-fit-scan", "mbfd-scan", "e-eco-scan"};
+}
 
 }  // namespace preempt::fleet

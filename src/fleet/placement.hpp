@@ -16,6 +16,13 @@
 //
 // Policies are stateless and deterministic: given the same fleet snapshot
 // they return the same answer, which keeps whole-scenario runs reproducible.
+//
+// Each policy also registers a `<name>-scan` variant: the reference
+// implementation that walks the whole machine vector per placement. The
+// default forms answer from the fleet's power-state bitsets (same candidate
+// order, same tie-breaks — byte-identical runs) without touching machines
+// that cannot be chosen; the scan forms exist so tests can assert that
+// equivalence.
 #pragma once
 
 #include <cstdint>
@@ -57,7 +64,8 @@ class PlacementPolicy {
                                   double now) const = 0;
 };
 
-/// "first-fit" | "mbfd" | "e-eco"; throws InvalidArgument on anything else.
+/// "first-fit" | "mbfd" | "e-eco" (indexed) or their "-scan" reference
+/// variants; throws InvalidArgument on anything else.
 std::unique_ptr<PlacementPolicy> make_placement_policy(const std::string& name);
 std::vector<std::string> placement_policy_names();
 

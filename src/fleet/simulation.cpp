@@ -39,6 +39,8 @@ class FleetSimulation {
     running_on_.resize(n);
     wake_waiting_.resize(n);
     inbound_.resize(n);
+    draw_buf_.resize(n);
+    draw_pos_.resize(n, 0);
     machine_rng_.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       machine_rng_.emplace_back(substream_seed(seed, kMachineStreamBase + i));
@@ -200,11 +202,26 @@ class FleetSimulation {
     dispatch();
   }
 
+  /// The machine's next lifetime draw, through a per-machine buffer
+  /// refilled by the law's batched sample_many. machine_rng_[i] is consumed
+  /// only here, and sample_many is bit-identical to sequential sample()
+  /// calls, so pre-drawing leaves the stream — and every report — unchanged
+  /// for any batch size.
+  double next_lifetime(std::size_t machine_index) {
+    std::vector<double>& buf = draw_buf_[machine_index];
+    if (draw_pos_[machine_index] == buf.size()) {
+      buf.resize(std::max<std::size_t>(1, spec_.preemption_draw_batch));
+      law_->sample_many(machine_rng_[machine_index], buf);
+      draw_pos_[machine_index] = 0;
+    }
+    return buf[draw_pos_[machine_index]++];
+  }
+
   /// Draw the machine's next preemption from the lifetime law. Draws landing
   /// past the horizon are dropped so the post-horizon drain terminates.
   void arm_preemption(std::size_t machine_index, double from) {
     if (law_ == nullptr) return;
-    const double life = law_->sample(machine_rng_[machine_index]);
+    const double life = next_lifetime(machine_index);
     const double when = from + life;
     if (when >= spec_.horizon_hours) return;
     sim_.schedule_at(when, [this, machine_index] { on_preempt(machine_index); }, kPreemptPrio);
@@ -370,6 +387,8 @@ class FleetSimulation {
   std::vector<std::vector<std::uint64_t>> inbound_;
   std::vector<Rng> class_rng_;
   std::vector<Rng> machine_rng_;
+  std::vector<std::vector<double>> draw_buf_;  ///< pre-drawn lifetimes per machine
+  std::vector<std::size_t> draw_pos_;
 
   std::size_t migrations_ = 0;
   std::size_t machine_preemptions_ = 0;

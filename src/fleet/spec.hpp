@@ -45,6 +45,12 @@ struct FleetSpec {
   /// drains to completion.
   double horizon_hours = 24.0;
 
+  /// Lifetimes pre-drawn per machine through the law's batched
+  /// sample_many (which is bit-identical to sequential sample() calls, so
+  /// any batch size yields byte-identical reports). A perf knob, not part
+  /// of the experiment definition — deliberately not serialized.
+  std::size_t preemption_draw_batch = 8;
+
   std::size_t machine_count() const {
     std::size_t n = 0;
     for (const auto& mc : machines) n += mc.count;

@@ -1,7 +1,5 @@
 #include "mc/engine.hpp"
 
-#include <exception>
-#include <future>
 #include <utility>
 
 #include "common/error.hpp"
@@ -37,30 +35,20 @@ std::vector<Rng> chunk_streams(std::uint64_t seed, std::size_t chunks) {
   return streams;
 }
 
-/// Run `task(c)` for every chunk, on the pool or inline. Rethrows the first
-/// chunk exception only after every chunk has finished (tasks reference
-/// caller-owned state).
+/// Run `task(c)` for every chunk, on the pool or inline. The pool path is
+/// the work-stealing parallel_for with the caller participating, grain 1
+/// (each task(c) is already a full replication chunk): which thread runs a
+/// chunk is scheduling noise, because the chunk -> stream -> shard layout
+/// is a pure function of the chunk index and shards merge in chunk order.
+/// Exceptions rethrow (first wins) only after every chunk has finished
+/// (tasks reference caller-owned state).
 void for_each_chunk(std::size_t chunks, bool inline_run,
                     const std::function<void(std::size_t)>& task) {
   if (inline_run || chunks <= 1) {
     for (std::size_t c = 0; c < chunks; ++c) task(c);
     return;
   }
-  ThreadPool& pool = ThreadPool::global();
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) {
-    futures.push_back(pool.submit([&task, c] { task(c); }));
-  }
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-  if (first_error) std::rethrow_exception(first_error);
+  parallel_for(ThreadPool::global(), 0, chunks, task, /*grain=*/1);
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "dist/exponential.hpp"
 #include "fleet/fleet.hpp"
@@ -110,6 +112,97 @@ TEST(Fleet, FitsChecksCoresAndMemory) {
     fleet.reserve(1, t, 0.0);
   }
   EXPECT_FALSE(fleet.fits(m, tiny_task(5)));  // all cores reserved
+}
+
+TEST(Fleet, PowerIndexTracksEveryTransition) {
+  // The bitsets the placement policies walk must mirror machine states
+  // exactly through the whole on <-> sleeping/waking, preempted <->
+  // relaunched state machine.
+  Fleet fleet({tiny_class(70)});  // spills into a second bitset word
+  auto ids_in = [](const MachineBits& bits) {
+    std::vector<std::uint64_t> ids;
+    for_each_machine(bits, [&](std::uint64_t id) {
+      ids.push_back(id);
+      return true;
+    });
+    return ids;
+  };
+  EXPECT_EQ(ids_in(fleet.on_bits()).size(), 70u);
+  EXPECT_EQ(fleet.on_count(), 70u);
+  EXPECT_EQ(fleet.class_range(0).begin, 1u);
+  EXPECT_EQ(fleet.class_range(0).end, 71u);
+
+  fleet.sleep(65, 1, 0.0);  // second word
+  fleet.sleep(2, 1, 0.0);
+  EXPECT_EQ(fleet.on_count(), 68u);
+  EXPECT_EQ(fleet.sleeping_count(), 2u);
+  EXPECT_EQ(ids_in(fleet.sleeping_bits()), (std::vector<std::uint64_t>{2, 65}));
+  EXPECT_EQ(ids_in(fleet.sleeping_bits(1)), (std::vector<std::uint64_t>{2, 65}));
+
+  const double ready = fleet.begin_wake(65, 0.0);
+  EXPECT_EQ(ids_in(fleet.waking_bits()), (std::vector<std::uint64_t>{65}));
+  EXPECT_EQ(ids_in(fleet.sleeping_bits(1)), (std::vector<std::uint64_t>{2}));
+  EXPECT_EQ(fleet.sleeping_count(), 1u);
+  fleet.complete_wake(65, ready);
+  EXPECT_EQ(fleet.on_count(), 69u);
+  EXPECT_TRUE(ids_in(fleet.waking_bits()).empty());
+
+  fleet.mark_preempted(7, 1.0);  // preempted machines are in no set
+  EXPECT_EQ(fleet.on_count(), 68u);
+  auto on = ids_in(fleet.on_bits());
+  EXPECT_EQ(std::count(on.begin(), on.end(), 7u), 0);
+  fleet.relaunch(7, 2.0);
+  EXPECT_EQ(fleet.on_count(), 69u);
+
+  // Preempting a waking machine must drop it from the waking set.
+  fleet.begin_wake(2, 2.0);
+  fleet.mark_preempted(2, 2.1);
+  EXPECT_TRUE(ids_in(fleet.waking_bits()).empty());
+  EXPECT_EQ(fleet.sleeping_count(), 0u);
+  EXPECT_TRUE(ids_in(fleet.sleeping_bits(1)).empty());
+}
+
+TEST(Fleet, CapacityIndexTracksReservationsAndPower) {
+  // awake_free_bits must follow core occupancy through reserve/start/finish
+  // as well as every power transition — it is what placement walks.
+  Fleet fleet({tiny_class(2)});
+  auto in_free = [&](std::uint64_t id) {
+    bool found = false;
+    for_each_machine(fleet.awake_free_bits(), [&](std::uint64_t i) {
+      if (i == id) found = true;
+      return !found;
+    });
+    return found;
+  };
+  EXPECT_TRUE(in_free(1));
+  EXPECT_TRUE(in_free(2));
+
+  // Fill machine 1's four cores: the last reservation evicts it.
+  std::vector<Task> tasks;
+  for (std::uint64_t i = 1; i <= 4; ++i) tasks.push_back(tiny_task(i));
+  for (int i = 0; i < 3; ++i) {
+    fleet.reserve(1, tasks[i], 0.0);
+    EXPECT_TRUE(in_free(1)) << "after reservation " << i + 1;
+  }
+  fleet.reserve(1, tasks[3], 0.0);
+  EXPECT_FALSE(in_free(1));
+  fleet.start_task(1, tasks[3], 0.0);
+  EXPECT_FALSE(in_free(1));  // reserved -> busy keeps the total
+  fleet.finish_task(1, tasks[3], 0.1);
+  EXPECT_TRUE(in_free(1));
+  fleet.unreserve(1, tasks[2], 0.1);
+  EXPECT_TRUE(in_free(1));
+
+  // Power transitions: sleepers leave the set, waking machines are
+  // placeable again, preempted machines are out until relaunch.
+  fleet.sleep(2, 1, 0.2);
+  EXPECT_FALSE(in_free(2));
+  fleet.begin_wake(2, 0.3);
+  EXPECT_TRUE(in_free(2));
+  fleet.mark_preempted(1, 0.4);
+  EXPECT_FALSE(in_free(1));
+  fleet.relaunch(1, 0.5);
+  EXPECT_TRUE(in_free(1));
 }
 
 TEST(Fleet, UnknownMachineIdThrows) {

@@ -70,6 +70,96 @@ TEST(QuantileTable, RejectsDegenerateGrids) {
   EXPECT_THROW(QuantileTable(exp_cdf, 5.0, 5.0, 16), InvalidArgument);
 }
 
+// --- batched inversion ≡ scalar inversion, bit for bit -----------------------
+
+// Lane-style evaluator matching the scalar eval() above operation for
+// operation: the batched refinements are only allowed to regroup work, not
+// change per-lane arithmetic.
+void exp_eval_lanes(const double* t, double* cdf_out, double* pdf_out,
+                    std::size_t lanes) {
+  for (std::size_t j = 0; j < lanes; ++j) {
+    cdf_out[j] = -std::expm1(-t[j]);
+    pdf_out[j] = std::exp(-t[j]);
+  }
+}
+
+// Probe set spanning the interesting regimes: clamps below p_lo and above
+// p_hi, the atom, cell boundaries, and a pseudo-random interior spread.
+std::vector<double> probe_ps(double p_atom) {
+  std::vector<double> ps = {-0.5, 0.0, 1e-300, 0.999999, 1.0, 1.5};
+  if (p_atom <= 1.0) {
+    ps.push_back(p_atom);
+    ps.push_back(std::nextafter(p_atom, 0.0));
+    ps.push_back(0.5 * (p_atom + 1.0));
+  }
+  // Low-discrepancy interior fill (deterministic, hits many grid cells).
+  double x = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    x += 0.6180339887498949;
+    x -= std::floor(x);
+    ps.push_back(x);
+  }
+  return ps;
+}
+
+TEST(QuantileTable, InvertFastManyMatchesInvertFastBitForBit) {
+  const QuantileTable table(exp_cdf, 0.0, 20.0, 128);
+  const auto ps = probe_ps(/*p_atom=*/2.0);
+  std::vector<double> batched(ps.size());
+  table.invert_fast_many<16>(ps.data(), batched.data(), ps.size(), exp_eval_lanes);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const double scalar = table.invert_fast(ps[i], exp_eval_lanes);
+    ASSERT_EQ(scalar, batched[i]) << "p=" << ps[i];
+  }
+  // Odd n exercises the padding lanes; they must not perturb real lanes.
+  for (std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{17}}) {
+    std::vector<double> part(n);
+    table.invert_fast_many<16>(ps.data(), part.data(), n, exp_eval_lanes);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(batched[i], part[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(QuantileTable, InvertFastManyHandlesAtomAndClamps) {
+  const QuantileTable table(exp_cdf, 0.0, 20.0, 64, /*p_atom=*/0.9, /*t_atom=*/24.0);
+  const auto ps = probe_ps(0.9);
+  std::vector<double> batched(ps.size());
+  table.invert_fast_many<8>(ps.data(), batched.data(), ps.size(), exp_eval_lanes);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const double scalar = table.invert_fast(ps[i], exp_eval_lanes);
+    ASSERT_EQ(scalar, batched[i]) << "p=" << ps[i];
+    if (ps[i] >= 0.9) ASSERT_EQ(batched[i], 24.0) << "p=" << ps[i];
+  }
+}
+
+TEST(QuantileTable, InvertManyMatchesInvertBitForBit) {
+  const QuantileTable table(exp_cdf, 0.0, 20.0, 128);
+  const auto eval = [](double t) { return std::pair{exp_cdf(t), std::exp(-t)}; };
+  const double tol = 1e-12;
+  const auto ps = probe_ps(/*p_atom=*/2.0);
+  std::vector<double> batched(ps.size());
+  table.invert_many<8>(ps.data(), batched.data(), ps.size(), exp_eval_lanes, tol);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const double scalar = table.invert(ps[i], eval, tol);
+    ASSERT_EQ(scalar, batched[i]) << "p=" << ps[i];
+  }
+}
+
+TEST(QuantileTable, InvertFastStaysWithinOneCellOfInvert) {
+  // The single-sweep inverse trades the convergence loop for a one-eval
+  // polish; its error must stay below one grid cell even where the density
+  // is small, and be far tighter in the bulk.
+  const QuantileTable table(exp_cdf, 0.0, 20.0, 512);
+  const auto eval = [](double t) { return std::pair{exp_cdf(t), std::exp(-t)}; };
+  const double cell = 20.0 / 512.0;
+  for (int i = 1; i < 500; ++i) {
+    const double p = exp_cdf(20.0) * i / 500.0;
+    const double exact = table.invert(p, eval, 1e-12);
+    EXPECT_NEAR(table.invert_fast(p, exp_eval_lanes), exact, cell) << "p=" << p;
+  }
+}
+
 // --- the bathtub law's cached table, including the deadline atom -------------
 
 TEST(QuantileTable, BathtubQuantileMatchesBisectionReference) {

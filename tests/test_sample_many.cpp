@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/random.hpp"
+#include "common/vkernel.hpp"
 #include "dist/bathtub.hpp"
 #include "dist/empirical.hpp"
 #include "dist/exponential.hpp"
@@ -60,6 +61,18 @@ std::vector<Family> all_families() {
   return fams;
 }
 
+/// Pins the vkernel to its scalar reference path for a scope.
+class ForceScalarGuard {
+ public:
+  ForceScalarGuard() : prev_(vk::scalar_forced()) { vk::force_scalar(true); }
+  ~ForceScalarGuard() { vk::force_scalar(prev_); }
+  ForceScalarGuard(const ForceScalarGuard&) = delete;
+  ForceScalarGuard& operator=(const ForceScalarGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
 class SampleManyGolden : public ::testing::TestWithParam<Family> {};
 
 TEST_P(SampleManyGolden, MatchesSequentialSampleBitForBit) {
@@ -108,6 +121,36 @@ TEST_P(SampleManyGolden, DrawsStayInSupport) {
     ASSERT_GE(x, 0.0) << GetParam().label;
     ASSERT_LE(x, d.support_end()) << GetParam().label;
   }
+}
+
+TEST_P(SampleManyGolden, ScalarAndSimdPathsBitIdentical) {
+  // The vkernel's determinism contract: the dispatched SIMD lanes compute
+  // the same rounding sequence as the scalar reference kernel, so a batch
+  // drawn on the SSE2/AVX2 path is bit-for-bit the batch drawn with the
+  // kernel pinned to scalar. This is what makes reports reproducible across
+  // machines with different vector ISAs (and across -DPREEMPT_SIMD=ON/OFF
+  // builds). Runs under the sanitizer jobs too, so the vector paths get
+  // ASan/UBSan/TSan coverage. When SIMD is compiled out both runs take the
+  // scalar path and the check is trivially true.
+  const Distribution& d = *GetParam().dist;
+  constexpr std::size_t kN = 3000;
+
+  std::vector<double> dispatched(kN);
+  Rng rng_simd(20260808);
+  d.sample_many(rng_simd, dispatched);
+
+  std::vector<double> scalar(kN);
+  Rng rng_scalar(20260808);
+  {
+    ForceScalarGuard guard;
+    d.sample_many(rng_scalar, scalar);
+  }
+
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(dispatched[i], scalar[i]) << GetParam().label << " draw " << i;
+  }
+  // Same number of uniforms consumed on both paths.
+  EXPECT_EQ(rng_simd.uniform(), rng_scalar.uniform()) << GetParam().label;
 }
 
 INSTANTIATE_TEST_SUITE_P(AllFamilies, SampleManyGolden, ::testing::ValuesIn(all_families()),

@@ -11,6 +11,7 @@
 
 #include "common/error.hpp"
 #include "common/random.hpp"
+#include "common/vkernel.hpp"
 #include "dist/factory.hpp"
 #include "mc/engine.hpp"
 #include "scenario/registry.hpp"
@@ -417,6 +418,41 @@ TEST(ScenarioFleet, BurstCycleScaleAndDeterminismAcceptance) {
 
   const ScenarioResult second = run(cells.front());
   EXPECT_EQ(first.to_json().dump(), second.to_json().dump());
+}
+
+// Acceptance: the fleet fast paths are pure optimizations. For every
+// registered fleet scenario, the indexed placement policies, the batched
+// per-machine preemption draws, and the SIMD sampling kernels each produce
+// a byte-identical report to their reference counterparts (-scan policies,
+// batch size 1, forced-scalar kernels).
+TEST(ScenarioFleet, FastPathsAreByteIdenticalOnEveryRegisteredScenario) {
+  for (const char* name : {"fleet-quick", "fleet-burst-cycle", "fleet-small-bursts",
+                           "fleet-migrations"}) {
+    const NamedScenario* named = find_builtin(name);
+    ASSERT_NE(named, nullptr) << name;
+    const std::vector<ScenarioSpec> cells = expand(named->sweep);
+    ASSERT_EQ(cells.size(), 1u) << name;
+    const ScenarioSpec& base = cells.front();
+
+    const std::string reference = run(base).to_json().dump();
+
+    {
+      ScenarioSpec scan = base;
+      scan.fleet.placement += "-scan";
+      EXPECT_EQ(run(scan).to_json().dump(), reference) << name << " (indexed vs scan)";
+    }
+    {
+      ScenarioSpec per_draw = base;
+      per_draw.fleet.preemption_draw_batch = 1;
+      EXPECT_EQ(run(per_draw).to_json().dump(), reference) << name << " (batch 8 vs 1)";
+    }
+    {
+      vk::force_scalar(true);
+      const std::string scalar = run(base).to_json().dump();
+      vk::force_scalar(false);
+      EXPECT_EQ(scalar, reference) << name << " (simd vs scalar)";
+    }
+  }
 }
 
 TEST(ScenarioRun, PortfolioScenarioIsDeterministic) {

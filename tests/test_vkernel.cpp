@@ -1,0 +1,268 @@
+// Accuracy and dispatch tests for the vectorized math kernels.
+//
+// Two properties are asserted, matching the vkernel.hpp contract:
+//   1. Accuracy: the scalar reference kernels stay within a few ULP of libm
+//     over the sampling domain, including subnormal and edge inputs.
+//   2. Bit-identity: the batched entry points produce byte-identical output
+//     on the dispatched SIMD path and the forced-scalar path — the property
+//     every sample_many golden test in the repo leans on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/vkernel.hpp"
+
+namespace vk = preempt::vk;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kQnan = std::numeric_limits<double>::quiet_NaN();
+
+/// Distance in representable doubles (0 for bit-equal, including -0 vs 0).
+std::uint64_t ulp_distance(double a, double b) {
+  if (a == b) return 0;
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::isnan(a) && std::isnan(b) ? 0 : ~0ull;
+  }
+  // Map the double line onto an ordered integer line (sign-magnitude to
+  // offset binary) so the difference counts representable values.
+  const auto ordered = [](double x) -> std::int64_t {
+    std::int64_t bits;
+    std::memcpy(&bits, &x, sizeof(bits));
+    return bits < 0 ? std::numeric_limits<std::int64_t>::min() - bits : bits;
+  };
+  const std::int64_t oa = ordered(a);
+  const std::int64_t ob = ordered(b);
+  return oa > ob ? static_cast<std::uint64_t>(oa) - static_cast<std::uint64_t>(ob)
+                 : static_cast<std::uint64_t>(ob) - static_cast<std::uint64_t>(oa);
+}
+
+/// RAII guard so a failing test cannot leave the process pinned to scalar.
+struct ForceScalarGuard {
+  explicit ForceScalarGuard(bool on) { vk::force_scalar(on); }
+  ~ForceScalarGuard() { vk::force_scalar(false); }
+};
+
+/// Inputs that hit every special-case branch of the kernels.
+std::vector<double> edge_inputs() {
+  return {
+      0.0, -0.0, 1.0, -1.0, kInf, -kInf, kQnan,
+      std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::min(),        // smallest normal
+      0.5 * std::numeric_limits<double>::min(),  // subnormal
+      std::numeric_limits<double>::max(),
+      709.0, 710.0, 709.782712893383996843,      // exp overflow boundary
+      -745.0, -746.0, -708.0,                    // exp subnormal/underflow
+      0.34657359027997265471, -0.34657359027997265471,  // expm1 split
+      0.41421356237309514547, -0.29289321881345247560,  // log1p band edges
+      1.4142135623730951, 1.4142135623730949,    // sqrt2 mantissa split
+      1e-300, 1e300, 2.5e-311,                   // log subnormal prescale
+  };
+}
+
+}  // namespace
+
+TEST(VkernelAccuracy, ExpUlpSweepOverSamplingDomain) {
+  preempt::Rng rng(20260808u);
+  std::uint64_t worst = 0;
+  // The samplers feed exp with -t/tau values in roughly [-2000, 0] and the
+  // Newton refinement stays within [-50, 1]; sweep wider than both.
+  for (int i = 0; i < 200000; ++i) {
+    const double x = -708.0 + 1416.0 * rng.uniform();
+    const std::uint64_t d = ulp_distance(vk::exp(x), std::exp(x));
+    worst = std::max(worst, d);
+    ASSERT_LE(d, 4u) << "x = " << x;
+  }
+  for (int i = 0; i < 200000; ++i) {
+    const double x = -50.0 + 51.0 * rng.uniform();
+    ASSERT_LE(ulp_distance(vk::exp(x), std::exp(x)), 2u) << "x = " << x;
+  }
+  EXPECT_GT(worst, 0u);  // not secretly calling libm
+}
+
+TEST(VkernelAccuracy, ExpSubnormalResults) {
+  preempt::Rng rng(1u);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = -709.0 - 36.0 * rng.uniform();  // results down to 2^-1075
+    const double got = vk::exp(x);
+    const double want = std::exp(x);
+    ASSERT_LE(ulp_distance(got, want), 4u) << "x = " << x;
+  }
+  EXPECT_EQ(vk::exp(-745.2), std::exp(-745.2));  // deep subnormal
+  EXPECT_EQ(vk::exp(-746.0), 0.0);
+  EXPECT_EQ(vk::exp(-1e6), 0.0);
+}
+
+TEST(VkernelAccuracy, LogUlpSweep) {
+  preempt::Rng rng(2u);
+  for (int i = 0; i < 200000; ++i) {
+    const double x = std::exp(-745.0 + 1454.0 * rng.uniform());
+    ASSERT_LE(ulp_distance(vk::log(x), std::log(x)), 2u) << "x = " << x;
+  }
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.uniform();  // the quantile-domain inputs
+    if (x == 0.0) continue;
+    ASSERT_LE(ulp_distance(vk::log(x), std::log(x)), 2u) << "x = " << x;
+  }
+  // Subnormal inputs go through the 2^54 prescale.
+  for (int i = 0; i < 20000; ++i) {
+    const double x =
+        std::numeric_limits<double>::denorm_min() * (1.0 + 1e6 * rng.uniform());
+    ASSERT_LE(ulp_distance(vk::log(x), std::log(x)), 2u) << "x = " << x;
+  }
+}
+
+TEST(VkernelAccuracy, Expm1UlpSweep) {
+  preempt::Rng rng(3u);
+  // Just above the |x| = ln2/2 split, exp(x) − 1 cancels ~1.5 bits, so the
+  // worst case is ~3.4x exp's own error — bounded by 8 ulp, not 4.
+  for (int i = 0; i < 200000; ++i) {
+    const double x = -40.0 + 80.0 * rng.uniform();
+    ASSERT_LE(ulp_distance(vk::expm1(x), std::expm1(x)), 8u) << "x = " << x;
+  }
+  for (int i = 0; i < 50000; ++i) {
+    const double x = -1e-8 + 2e-8 * rng.uniform();  // tiny hazards
+    ASSERT_LE(ulp_distance(vk::expm1(x), std::expm1(x)), 2u) << "x = " << x;
+  }
+}
+
+TEST(VkernelAccuracy, Log1pUlpSweep) {
+  preempt::Rng rng(4u);
+  for (int i = 0; i < 200000; ++i) {
+    const double u = rng.uniform();
+    if (u == 1.0) continue;
+    ASSERT_LE(ulp_distance(vk::log1p(-u), std::log1p(-u)), 2u) << "u = " << u;
+  }
+  for (int i = 0; i < 50000; ++i) {
+    const double x = -1.0 + 2e10 * rng.uniform();
+    ASSERT_LE(ulp_distance(vk::log1p(x), std::log1p(x)), 2u) << "x = " << x;
+  }
+}
+
+TEST(VkernelAccuracy, SpecialValues) {
+  EXPECT_TRUE(std::isnan(vk::exp(kQnan)));
+  EXPECT_EQ(vk::exp(kInf), kInf);
+  EXPECT_EQ(vk::exp(-kInf), 0.0);
+  EXPECT_EQ(vk::exp(0.0), 1.0);
+  EXPECT_EQ(vk::exp(710.0), kInf);
+
+  EXPECT_TRUE(std::isnan(vk::log(kQnan)));
+  EXPECT_TRUE(std::isnan(vk::log(-1.0)));
+  EXPECT_EQ(vk::log(0.0), -kInf);
+  EXPECT_EQ(vk::log(-0.0), -kInf);
+  EXPECT_EQ(vk::log(kInf), kInf);
+  EXPECT_EQ(vk::log(1.0), 0.0);
+
+  EXPECT_TRUE(std::isnan(vk::expm1(kQnan)));
+  EXPECT_EQ(vk::expm1(-kInf), -1.0);
+  EXPECT_EQ(vk::expm1(kInf), kInf);
+  EXPECT_EQ(vk::expm1(0.0), 0.0);
+
+  EXPECT_TRUE(std::isnan(vk::log1p(kQnan)));
+  EXPECT_EQ(vk::log1p(-1.0), -kInf);
+  EXPECT_TRUE(std::isnan(vk::log1p(-2.0)));
+  EXPECT_EQ(vk::log1p(0.0), 0.0);
+  EXPECT_EQ(vk::log1p(kInf), kInf);
+}
+
+TEST(VkernelDispatch, PathReportingIsConsistent) {
+  const vk::Path path = vk::active_path();
+  EXPECT_NE(vk::path_name(path), nullptr);
+  if (!vk::simd_compiled()) {
+    EXPECT_EQ(path, vk::Path::kScalar);
+  }
+  {
+    ForceScalarGuard guard(true);
+    EXPECT_TRUE(vk::scalar_forced());
+    EXPECT_EQ(vk::active_path(), vk::Path::kScalar);
+  }
+  EXPECT_FALSE(vk::scalar_forced());
+  EXPECT_EQ(vk::active_path(), path);
+}
+
+namespace {
+
+using ManyFn = void (*)(const double*, double*, std::size_t) noexcept;
+using ScalarFn = double (*)(double) noexcept;
+
+/// Asserts dispatched *_many ≡ forced-scalar *_many ≡ scalar kernel loop,
+/// bit for bit, across sizes that exercise vector bodies and tails.
+void check_bit_identity(ManyFn many, ScalarFn scalar,
+                        const std::vector<double>& inputs) {
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                        std::size_t{3}, std::size_t{5}, std::size_t{8},
+                        std::size_t{13}, std::size_t{64}, inputs.size()}) {
+    ASSERT_LE(n, inputs.size());
+    std::vector<double> simd_out(n, 0.125);
+    std::vector<double> scalar_out(n, 0.25);
+    std::vector<double> reference(n, 0.5);
+    many(inputs.data(), simd_out.data(), n);
+    {
+      ForceScalarGuard guard(true);
+      many(inputs.data(), scalar_out.data(), n);
+    }
+    for (std::size_t i = 0; i < n; ++i) reference[i] = scalar(inputs[i]);
+    if (n > 0) {
+      EXPECT_EQ(std::memcmp(simd_out.data(), scalar_out.data(),
+                            n * sizeof(double)),
+                0)
+          << "dispatched vs forced-scalar mismatch at n = " << n;
+      EXPECT_EQ(std::memcmp(simd_out.data(), reference.data(),
+                            n * sizeof(double)),
+                0)
+          << "dispatched vs per-element kernel mismatch at n = " << n;
+    }
+  }
+  // In-place operation (out == x) must give the same bits.
+  std::vector<double> in_place(inputs);
+  std::vector<double> separate(inputs.size());
+  many(inputs.data(), separate.data(), inputs.size());
+  many(in_place.data(), in_place.data(), in_place.size());
+  EXPECT_EQ(std::memcmp(in_place.data(), separate.data(),
+                        inputs.size() * sizeof(double)),
+            0);
+}
+
+std::vector<double> identity_inputs(double lo, double hi) {
+  preempt::Rng rng(77u);
+  std::vector<double> xs = edge_inputs();
+  for (int i = 0; i < 4096; ++i) xs.push_back(lo + (hi - lo) * rng.uniform());
+  // Misalign the vector bodies relative to the edge block.
+  xs.insert(xs.begin(), 0.75);
+  return xs;
+}
+
+}  // namespace
+
+TEST(VkernelBitIdentity, ExpManyMatchesScalarPath) {
+  check_bit_identity(&vk::exp_many, &vk::exp, identity_inputs(-760.0, 760.0));
+}
+
+TEST(VkernelBitIdentity, LogManyMatchesScalarPath) {
+  std::vector<double> xs = identity_inputs(0.0, 1.0);
+  preempt::Rng rng(78u);
+  for (int i = 0; i < 1024; ++i) {
+    xs.push_back(std::exp(-745.0 + 1454.0 * rng.uniform()));
+    xs.push_back(-rng.uniform());  // negative → NaN lanes
+  }
+  check_bit_identity(&vk::log_many, &vk::log, xs);
+}
+
+TEST(VkernelBitIdentity, Expm1ManyMatchesScalarPath) {
+  check_bit_identity(&vk::expm1_many, &vk::expm1,
+                     identity_inputs(-40.0, 40.0));
+}
+
+TEST(VkernelBitIdentity, Log1pManyMatchesScalarPath) {
+  std::vector<double> xs = identity_inputs(-1.0, 3.0);
+  preempt::Rng rng(79u);
+  for (int i = 0; i < 1024; ++i) xs.push_back(-rng.uniform());
+  check_bit_identity(&vk::log1p_many, &vk::log1p, xs);
+}

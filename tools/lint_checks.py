@@ -24,6 +24,11 @@ Rules (each can be waived on one line with `// lint: allow(<rule>)`):
                   catches the failure) outside src/shard/ — retry, backoff and
                   hedging live in the shard coordinator so every caller gets
                   the same deadline and jitter policy instead of its own.
+  hot-path-libm   No per-draw std::exp / std::log / std::pow family calls
+                  inside a sample_many body under src/dist/ — batched draws go
+                  through the lane-exact kernels in common/vkernel.hpp so the
+                  scalar and SIMD paths stay bit-identical and the batch rate
+                  does not quietly fall back to one libm call per draw.
 
 Exit status: 0 when clean, 1 when violations are found (they are printed as
 file:line: rule: message, one per line).
@@ -63,6 +68,13 @@ DETERMINISM_ZONES = ("src/sim/", "src/fleet/")
 # everywhere else a loop that catches client errors and spins again is a
 # policy fork waiting to disagree about deadlines.
 RETRY_LOOP_EXEMPT = ("src/shard/",)
+
+# Batched sampling bodies must use the vkernel batch primitives; a stray
+# libm call there is a silent 3-4x throughput loss and a scalar/SIMD
+# bit-identity hazard. Scoped to src/dist/ sample_many definitions.
+HOT_PATH_DIRS = ("src/dist/",)
+SAMPLE_MANY_RE = re.compile(r"\bsample_many\s*\(")
+HOT_LIBM_RE = re.compile(r"\bstd::(exp|exp2|expm1|log|log2|log10|log1p|pow)\s*\(")
 
 LOOP_HEAD_RE = re.compile(r"\b(?:for|while)\s*\(")
 CLIENT_CALL_RE = re.compile(
@@ -157,6 +169,39 @@ class Linter:
 
         self.lint_catch_all(rel, text, lines)
         self.lint_retry_loop(rel, text, lines)
+        self.lint_hot_path_libm(rel, text, lines)
+
+    def lint_hot_path_libm(self, rel: str, text: str, lines: list[str]) -> None:
+        if not rel.startswith(HOT_PATH_DIRS):
+            return
+        for m in SAMPLE_MANY_RE.finditer(text):
+            params_end = find_matching_paren(text, text.index("(", m.start()))
+            # A definition's body follows the parameter list after optional
+            # qualifiers; declarations (`;`) and call sites never match.
+            rest = text[params_end:].lstrip()
+            changed = True
+            while changed:
+                changed = False
+                for tok in ("const", "noexcept", "override", "final"):
+                    if rest.startswith(tok):
+                        rest = rest[len(tok):].lstrip()
+                        changed = True
+            if not rest.startswith("{"):
+                continue
+            open_idx = len(text) - len(rest)
+            body_end = find_matching_brace(text, open_idx)
+            for call in HOT_LIBM_RE.finditer(text, open_idx, body_end):
+                line_no = text.count("\n", 0, call.start()) + 1
+                raw_line = lines[line_no - 1] if line_no <= len(lines) else ""
+                if self.allowed(raw_line, "hot-path-libm"):
+                    continue
+                if not HOT_LIBM_RE.search(strip_comments_and_strings(raw_line)):
+                    continue  # the match sat in a comment or string
+                self.report(
+                    rel, line_no, "hot-path-libm",
+                    f"{call.group(0).rstrip('(').strip()} in a sample_many body — "
+                    "use the batch kernels from common/vkernel.hpp",
+                )
 
     def lint_retry_loop(self, rel: str, text: str, lines: list[str]) -> None:
         if rel.startswith(RETRY_LOOP_EXEMPT):
@@ -222,7 +267,7 @@ def source_files(root: Path, subdirs: list[str]) -> list[Path]:
 
 
 ALL_RULES = {"raw-sync", "wallclock", "catch-all", "pragma-once", "parent-include",
-             "retry-loop"}
+             "retry-loop", "hot-path-libm"}
 
 
 def run_lint(root: Path, subdirs: list[str]) -> int:

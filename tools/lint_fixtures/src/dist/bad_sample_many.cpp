@@ -1,0 +1,21 @@
+// Fixture for the hot-path-libm rule: a sample_many body that burns one
+// libm call per draw instead of going through the vkernel batch kernels.
+#include <cmath>
+#include <cstddef>
+
+namespace preempt::dist {
+
+class BadExponential {
+ public:
+  // Declaration alone must NOT fire — only a body can.
+  void sample_many(double* out, std::size_t n) const;
+};
+
+void BadExponential::sample_many(double* out, std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = -std::log(1.0 - 0.5);  // should be vk::log1p_many on the batch
+  }
+  out[0] += std::exp(-1.0);  // lint: allow(hot-path-libm)  waived line stays quiet
+}
+
+}  // namespace preempt::dist
